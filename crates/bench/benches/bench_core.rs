@@ -1,0 +1,74 @@
+//! Performance of the core power model and the statistics kernel.
+//!
+//! These are the hot paths of every experiment: `PowerModel::predict` runs
+//! once per router per poll across 10-month fleet traces, and the OLS
+//! regression backs every parameter derivation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fj_core::{
+    builtin_registry, InterfaceClass, InterfaceConfig, InterfaceLoad, PortType, Speed,
+    TransceiverType,
+};
+use fj_units::{linear_regression, Bytes, DataRate, SimDuration, SimInstant, TimeSeries};
+
+fn bench_predict(c: &mut Criterion) {
+    let registry = builtin_registry();
+    let model = registry.get("8201-32FH").expect("builtin").clone();
+    let class = InterfaceClass::new(PortType::Qsfp, TransceiverType::PassiveDac, Speed::G100);
+    let configs: Vec<InterfaceConfig> = (0..32).map(|_| InterfaceConfig::up(class)).collect();
+    let loads: Vec<InterfaceLoad> = (0..32)
+        .map(|i| {
+            InterfaceLoad::from_rate(DataRate::from_gbps(i as f64), Bytes::new(1518.0))
+        })
+        .collect();
+
+    c.bench_function("model_predict_32_interfaces", |b| {
+        b.iter(|| {
+            let breakdown = model
+                .predict(black_box(&configs), black_box(&loads))
+                .expect("classes covered");
+            black_box(breakdown.total())
+        })
+    });
+
+    c.bench_function("model_static_power_32_interfaces", |b| {
+        b.iter(|| {
+            black_box(model.static_power(black_box(&configs)).expect("covered"))
+        })
+    });
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let x: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+    let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0 + (v * 0.1).sin()).collect();
+    c.bench_function("linear_regression_1000_points", |b| {
+        b.iter(|| black_box(linear_regression(black_box(&x), black_box(&y)).expect("fits")))
+    });
+}
+
+fn bench_time_series(c: &mut Criterion) {
+    // A day of 1 Hz samples → 30-minute averages (the Fig. 4 smoothing).
+    let ts = TimeSeries::tabulate(
+        SimInstant::EPOCH,
+        SimInstant::from_days(1),
+        SimDuration::from_secs(1),
+        |t| (t.as_secs() as f64 * 0.001).sin() * 5.0 + 360.0,
+    );
+    c.bench_function("window_mean_86400_samples", |b| {
+        b.iter_batched(
+            || ts.clone(),
+            |series| black_box(series.window_mean(SimDuration::from_mins(30))),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let other = ts.map(|v| v + 10.0);
+    c.bench_function("series_pointwise_sub_86400", |b| {
+        b.iter(|| black_box(ts.sub(black_box(&other))))
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_regression, bench_time_series);
+criterion_main!(benches);

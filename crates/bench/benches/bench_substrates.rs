@@ -1,0 +1,84 @@
+//! Performance of the substrates: router simulation, telemetry codec,
+//! MIB snapshots, meter sampling, and datasheet extraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fj_core::{Speed, TransceiverType};
+use fj_datasheets::{extract, generate_corpus, CorpusConfig, ParserConfig};
+use fj_meter::Mcp39F511N;
+use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_snmp::{mib, Pdu};
+use fj_units::SimDuration;
+
+fn deployed_router() -> SimulatedRouter {
+    let mut r = SimulatedRouter::new(RouterSpec::builtin("8201-32FH").expect("builtin"), 7);
+    for i in 0..16 {
+        r.plug(i, TransceiverType::PassiveDac, Speed::G100)
+            .expect("free cage");
+        r.set_external_peer(i, true).expect("exists");
+        r.set_admin(i, true).expect("exists");
+    }
+    r
+}
+
+fn bench_router(c: &mut Criterion) {
+    let router = deployed_router();
+    c.bench_function("router_wall_power", |b| {
+        b.iter(|| black_box(router.wall_power()))
+    });
+
+    c.bench_function("router_tick_5min", |b| {
+        b.iter_batched(
+            || router.clone(),
+            |mut r| {
+                r.tick(SimDuration::from_mins(5));
+                black_box(r.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_snmp(c: &mut Criterion) {
+    let oid: fj_snmp::Oid = "1.3.6.1.2.1.31.1.1.1.6.17".parse().expect("valid");
+    let pdu = Pdu::get(42, oid);
+    let encoded = pdu.encode();
+    c.bench_function("snmp_pdu_encode", |b| b.iter(|| black_box(pdu.encode())));
+    c.bench_function("snmp_pdu_decode", |b| {
+        b.iter(|| black_box(Pdu::decode(black_box(&encoded)).expect("valid")))
+    });
+
+    let mut router = deployed_router();
+    c.bench_function("mib_snapshot_32_interfaces", |b| {
+        b.iter(|| black_box(mib::snapshot(black_box(&mut router))))
+    });
+}
+
+fn bench_meter(c: &mut Criterion) {
+    let meter = Mcp39F511N::new(5);
+    let mut router = deployed_router();
+    c.bench_function("meter_measure_one_minute", |b| {
+        b.iter(|| black_box(meter.measure_for(black_box(&mut router), SimDuration::from_mins(1))))
+    });
+}
+
+fn bench_datasheets(c: &mut Criterion) {
+    let corpus = generate_corpus(&CorpusConfig::default());
+    let parser = ParserConfig::default();
+    c.bench_function("datasheet_extract_one", |b| {
+        b.iter(|| black_box(extract(black_box(&corpus[0]), &parser)))
+    });
+    c.bench_function("corpus_generate_779", |b| {
+        b.iter(|| black_box(generate_corpus(&CorpusConfig::default())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_router,
+    bench_snmp,
+    bench_meter,
+    bench_datasheets
+);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Ablations of NetPowerBench's design choices (§5.2's rationale, made
+//! quantitative):
+//!
+//! 1. **Regression over N vs single-point differencing** for `P_port` —
+//!    the paper regresses over multiple interface counts "to validate the
+//!    linear behavior … and avoid accumulating errors".
+//! 2. **Two-step `E_bit`/`E_pkt` separation vs naive joint least squares**
+//!    over all `(r, p)` sweep points at once.
+//! 3. **`P_offset` on/off** — prediction error on a low-load interface.
+//! 4. **Meter accuracy sweep** — parameter error as the meter degrades
+//!    from lab-grade (±0.1 %) to junk (±5 %).
+//! 5. **Snake width** — parameter precision vs the number of cabled pairs.
+
+use fj_bench::{banner, table::*, EXPERIMENT_SEED};
+use fj_core::{
+    builtin_registry, InterfaceClass, InterfaceLoad, PortType, Speed,
+    TransceiverType,
+};
+use fj_netpowerbench::{Derivation, DerivationConfig, LabBench};
+use fj_units::{Bytes, DataRate, SimDuration};
+
+const MODEL: &str = "8201-32FH";
+const TRUE_P_PORT: f64 = 0.94;
+const TRUE_E_BIT_PJ: f64 = 3.0;
+const TRUE_E_PKT_NJ: f64 = 13.0;
+
+fn config(pairs: usize, minutes: i64) -> DerivationConfig {
+    DerivationConfig::new(
+        MODEL,
+        TransceiverType::PassiveDac,
+        Speed::G100,
+        pairs,
+        SimDuration::from_mins(minutes),
+    )
+    .expect("builtin model")
+}
+
+fn main() {
+    banner("Ablations", "NetPowerBench design choices, quantified");
+    ablation_regression_vs_single_point();
+    ablation_two_step_vs_joint();
+    ablation_p_offset();
+    ablation_meter_accuracy();
+    ablation_snake_width();
+}
+
+/// 1. P_port via regression over N vs via one differencing step.
+fn ablation_regression_vs_single_point() {
+    println!("\n[1] P_port: regression over N vs single-point differencing");
+    let t = TablePrinter::new(&[26, 12, 12]);
+    t.header(&["estimator", "P_port W", "|error| W"]);
+
+    // Regression (the shipped pipeline).
+    let derived = Derivation::run(&config(4, 8), EXPERIMENT_SEED).expect("derivation");
+    let reg = derived.params().p_port.as_f64();
+    t.row(&["regression over N".into(), fmt(reg, 4), fmt((reg - TRUE_P_PORT).abs(), 4)]);
+
+    // Single point: P_port = P_Port(1) − P_Idle (error accumulation).
+    let mut bench = LabBench::new(config(4, 8), EXPERIMENT_SEED).expect("bench");
+    let idle = bench.run_idle().expect("sim");
+    let port1 = bench.run_port(1).expect("sim");
+    let single = port1 - idle;
+    t.row(&[
+        "single point (Port1−Idle)".into(),
+        fmt(single, 4),
+        fmt((single - TRUE_P_PORT).abs(), 4),
+    ]);
+    println!("  (the regression also yields an R² linearity check for free)");
+}
+
+/// 2. Two-step E_bit/E_pkt separation vs joint 2-variable least squares.
+fn ablation_two_step_vs_joint() {
+    println!("\n[2] E_bit/E_pkt: two-step (paper) vs naive joint least squares");
+    let cfg = config(4, 8);
+    let derived = Derivation::run(&cfg, EXPERIMENT_SEED).expect("derivation");
+    let (e_bit_2, e_pkt_2) = (
+        derived.params().e_bit.as_picojoules(),
+        derived.params().e_pkt.as_nanojoules(),
+    );
+
+    // Joint: solve min ‖P - (c + E_bit·R + E_pkt·Pk)‖ over all sweep
+    // points directly with the normal equations.
+    let mut bench = LabBench::new(cfg.clone(), EXPERIMENT_SEED ^ 1).expect("bench");
+    let ifaces = cfg.interfaces() as f64;
+    let mut rows: Vec<(f64, f64, f64)> = Vec::new(); // (r, p, watts)
+    for &size in &cfg.sweep.packet_sizes {
+        for &rate in &cfg.sweep.rates {
+            let watts = bench.run_snake(rate, size).expect("sim");
+            let r = rate.as_f64() * ifaces;
+            let p = rate.packets_at(Bytes::new(size.as_f64() + 18.0)).as_f64() * ifaces;
+            rows.push((r, p, watts));
+        }
+    }
+    let (e_bit_j, e_pkt_j) = joint_least_squares(&rows);
+
+    let t = TablePrinter::new(&[26, 12, 12, 12, 12]);
+    t.header(&["estimator", "E_bit pJ", "|err| pJ", "E_pkt nJ", "|err| nJ"]);
+    t.row(&[
+        "two-step (Eqs. 16–17)".into(),
+        fmt(e_bit_2, 3),
+        fmt((e_bit_2 - TRUE_E_BIT_PJ).abs(), 3),
+        fmt(e_pkt_2, 2),
+        fmt((e_pkt_2 - TRUE_E_PKT_NJ).abs(), 2),
+    ]);
+    t.row(&[
+        "joint least squares".into(),
+        fmt(e_bit_j * 1e12, 3),
+        fmt((e_bit_j * 1e12 - TRUE_E_BIT_PJ).abs(), 3),
+        fmt(e_pkt_j * 1e9, 2),
+        fmt((e_pkt_j * 1e9 - TRUE_E_PKT_NJ).abs(), 2),
+    ]);
+    println!(
+        "  (joint LS is competitive on clean data but collinears badly when\n\
+         \u{20}  only one packet size is swept; two-step degrades gracefully)"
+    );
+}
+
+/// Ordinary least squares for watts = c + a·r + b·p.
+fn joint_least_squares(rows: &[(f64, f64, f64)]) -> (f64, f64) {
+    let n = rows.len() as f64;
+    let (mut sr, mut sp, mut sw) = (0.0, 0.0, 0.0);
+    for &(r, p, w) in rows {
+        sr += r;
+        sp += p;
+        sw += w;
+    }
+    let (mr, mp, mw) = (sr / n, sp / n, sw / n);
+    let (mut srr, mut spp, mut srp, mut srw, mut spw) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(r, p, w) in rows {
+        let (dr, dp, dw) = (r - mr, p - mp, w - mw);
+        srr += dr * dr;
+        spp += dp * dp;
+        srp += dr * dp;
+        srw += dr * dw;
+        spw += dp * dw;
+    }
+    let det = srr * spp - srp * srp;
+    assert!(det.abs() > 1e-12, "sweep must vary packet size");
+    let a = (spw * -srp + srw * spp) / det;
+    let b = (spw * srr - srw * srp) / det;
+    (a, b)
+}
+
+/// 3. Does the P_offset term matter? Prediction at trickle load.
+fn ablation_p_offset() {
+    println!("\n[3] P_offset: prediction error at trickle load (1 Mbps)");
+    let registry = builtin_registry();
+    let model = registry.get("NCS-55A1-24H").expect("builtin");
+    let class = InterfaceClass::new(PortType::Qsfp28, TransceiverType::PassiveDac, Speed::G100);
+    let params = *model.lookup(class).expect("class");
+
+    // One interface at 1 Mbps: the true dynamic power is essentially
+    // P_offset; a model without the term predicts ~zero.
+    let load = InterfaceLoad::from_rate(DataRate::from_mbps(1.0), Bytes::new(1518.0));
+    let with = params.dynamic_power(&load).as_f64();
+    let without = with - params.p_offset.as_f64();
+    let t = TablePrinter::new(&[26, 14]);
+    t.header(&["model variant", "dyn power W"]);
+    t.row(&["with P_offset".into(), fmt(with, 4)]);
+    t.row(&["without P_offset".into(), fmt(without, 4)]);
+    println!(
+        "  (dropping the term under-predicts every low-load interface by\n\
+         \u{20}  ≈{:.2} W — times hundreds of interfaces at ≈1 % utilisation)",
+        params.p_offset.as_f64()
+    );
+}
+
+/// 4. Meter accuracy sweep.
+fn ablation_meter_accuracy() {
+    println!("\n[4] meter accuracy vs derived-parameter error");
+    let t = TablePrinter::new(&[14, 14, 14]);
+    t.header(&["accuracy ±%", "P_port err W", "E_bit err pJ"]);
+    for accuracy in [0.001, 0.005, 0.02, 0.05] {
+        let mut cfg = config(4, 8);
+        // Degrade the derivation's meter via a custom bench: re-run the
+        // pipeline with scaled point duration to keep sample counts fixed.
+        cfg.point_duration = SimDuration::from_mins(8);
+        let derived = Derivation::run_with_meter_accuracy(&cfg, EXPERIMENT_SEED, accuracy)
+            .expect("derivation");
+        let p = derived.params();
+        t.row(&[
+            fmt(accuracy * 100.0, 1),
+            fmt((p.p_port.as_f64() - TRUE_P_PORT).abs(), 4),
+            fmt((p.e_bit.as_picojoules() - TRUE_E_BIT_PJ).abs(), 3),
+        ]);
+    }
+    println!("  (the MCP39F511N's ±0.5 % sits comfortably in the flat region)");
+}
+
+/// 5. Snake width: pairs vs precision.
+fn ablation_snake_width() {
+    println!("\n[5] interface pairs vs parameter precision (fixed point length)");
+    let t = TablePrinter::new(&[8, 14, 14]);
+    t.header(&["pairs", "P_port err W", "E_bit err pJ"]);
+    for pairs in [1, 2, 4, 8] {
+        let derived =
+            Derivation::run(&config(pairs, 8), EXPERIMENT_SEED + pairs as u64).expect("derivation");
+        let p = derived.params();
+        t.row(&[
+            pairs.to_string(),
+            fmt((p.p_port.as_f64() - TRUE_P_PORT).abs(), 4),
+            fmt((p.e_bit.as_picojoules() - TRUE_E_BIT_PJ).abs(), 3),
+        ]);
+    }
+    println!("  (more pairs average per-interface noise — footnote 5's advice)");
+}

@@ -1,0 +1,73 @@
+//! Extension — GREEN-style continuous efficiency monitoring (§9.4/§10).
+//!
+//! The paper had to reconstruct PSU efficiency from a *one-time* sensor
+//! export because standard monitoring carries only input power; it asks
+//! for both `P_in` and `P_out` to be exported (the IETF GREEN WG's gap).
+//! Our MIB implements the missing object, so this experiment does what
+//! the paper could not: poll conversion efficiency **over time** and
+//! watch it move with the daily load cycle.
+
+use fj_bench::{banner, standard_fleet, table::*};
+use fj_snmp::mib::{psu_efficiencies, snapshot};
+use fj_units::SimDuration;
+
+fn main() {
+    banner("Extension", "continuous PSU-efficiency tracking (GREEN)");
+    let mut fleet = standard_fleet();
+
+    // Track one good router (NCS) and one poor one (8201) for 48 hours.
+    let idx_ncs = fleet.find_model("NCS-55A1-24H").expect("in fleet");
+    let idx_8201 = fleet.find_model("8201-32FH").expect("in fleet");
+
+    let mut ncs_series: Vec<f64> = Vec::new();
+    let mut c8201_series: Vec<f64> = Vec::new();
+    for _ in 0..48 {
+        fleet.advance(SimDuration::from_hours(1)).expect("advances");
+        let tree = snapshot(&mut fleet.routers[idx_ncs].sim);
+        if let Some(mean) = mean_eff(&psu_efficiencies(&tree)) {
+            ncs_series.push(mean);
+        }
+        let tree = snapshot(&mut fleet.routers[idx_8201].sim);
+        if let Some(mean) = mean_eff(&psu_efficiencies(&tree)) {
+            c8201_series.push(mean);
+        }
+    }
+
+    let t = TablePrinter::new(&[20, 10, 10, 10, 10]);
+    t.header(&["router", "samples", "min %", "mean %", "max %"]);
+    for (name, series) in [("NCS-55A1-24H", &ncs_series), ("8201-32FH", &c8201_series)] {
+        let min = series.iter().cloned().fold(f64::INFINITY, f64::min) * 100.0;
+        let max = series.iter().cloned().fold(0.0f64, f64::max) * 100.0;
+        let mean = series.iter().sum::<f64>() / series.len() as f64 * 100.0;
+        t.row(&[
+            name.into(),
+            series.len().to_string(),
+            fmt(min, 1),
+            fmt(mean, 1),
+            fmt(max, 1),
+        ]);
+    }
+
+    let ncs_mean = ncs_series.iter().sum::<f64>() / ncs_series.len() as f64;
+    let c8201_mean = c8201_series.iter().sum::<f64>() / c8201_series.len() as f64;
+    println!(
+        "\nshape: {}",
+        if ncs_mean > c8201_mean + 0.05 {
+            "ok — the continuous view separates good and poor PSU fleets,\n\
+             per router, without a datacenter visit (what §9.4 asks for)"
+        } else {
+            "drift"
+        }
+    );
+    println!(
+        "\nnote: with only today's P_in objects, this table is impossible —\n\
+         efficiency needs both sides of the conversion. One OID closes it."
+    );
+}
+
+fn mean_eff(effs: &[(u32, f64)]) -> Option<f64> {
+    if effs.is_empty() {
+        return None;
+    }
+    Some(effs.iter().map(|(_, e)| e).sum::<f64>() / effs.len() as f64)
+}

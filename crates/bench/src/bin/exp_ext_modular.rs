@@ -1,0 +1,75 @@
+//! Extension — modular chassis and the `P_linecard` term (§4.3 names this
+//! as future work; here it is, end to end).
+//!
+//! An ASR-9010-like chassis with two card types is characterised with the
+//! Bare/Inserted(n)/Active(n) recipe; the derived per-card parameters are
+//! compared against the programmed ground truth.
+
+use fj_bench::{banner, table::*, EXPERIMENT_SEED};
+use fj_netpowerbench::{derive_linecard, LinecardDerivationConfig};
+use fj_router_sim::ModularRouter;
+
+fn main() {
+    banner("Extension", "P_linecard derivation on a modular chassis");
+
+    let mut router = ModularRouter::asr9010_like(0.0);
+    println!(
+        "\nDUT: ASR-9010-like, {} slots, bare chassis {:.0}\n",
+        router.slot_count(),
+        router.wall_power()
+    );
+
+    let t = TablePrinter::new(&[16, 14, 12, 12, 12, 7]);
+    t.header(&[
+        "card type",
+        "term",
+        "truth W",
+        "derived W",
+        "R²",
+        "shape",
+    ]);
+    for card in ["A9K-24X10GE", "A9K-8X100GE"] {
+        let truth = *router.truth().lookup_card(card).expect("registered");
+        let config = LinecardDerivationConfig::new(card);
+        let derived =
+            derive_linecard(&mut router, &config, EXPERIMENT_SEED).expect("derivation");
+        t.row(&[
+            card.into(),
+            "P_inserted".into(),
+            fmt(truth.p_inserted.as_f64(), 1),
+            fmt(derived.params.p_inserted.as_f64(), 1),
+            fmt(derived.inserted_r2, 4),
+            shape(
+                truth.p_inserted.as_f64(),
+                derived.params.p_inserted.as_f64(),
+                0.02,
+                0.5,
+            )
+            .into(),
+        ]);
+        t.row(&[
+            String::new(),
+            "P_active".into(),
+            fmt(truth.p_active.as_f64(), 1),
+            fmt(derived.params.p_active.as_f64(), 1),
+            fmt(derived.active_r2, 4),
+            shape(
+                truth.p_active.as_f64(),
+                derived.params.p_active.as_f64(),
+                0.02,
+                0.8,
+            )
+            .into(),
+        ]);
+    }
+
+    println!(
+        "\nOtten et al. (cited in §2) found linecard power *dominates* for\n\
+         their routers; with these parameters a fully-active 8-slot chassis\n\
+         draws {:.0} W of which only {:.0} W is the chassis itself —\n\
+         consistent with their conclusion that counting links is a poor\n\
+         proxy for energy.",
+        350.0 + 8.0 * 300.0,
+        350.0
+    );
+}

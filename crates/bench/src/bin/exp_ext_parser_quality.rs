@@ -1,0 +1,53 @@
+//! Extension — datasheet-extraction quality, quantified (§3.2 at scale).
+//!
+//! The paper could only *sample* its LLM's outputs manually ("reasonably
+//! accurate but — as one would expect — far from perfect"). Because our
+//! corpus has a known truth layer, extraction quality is measurable
+//! exactly, and we can sweep the hallucination model to see how much
+//! parser noise the downstream trend analysis (Fig. 2b) tolerates.
+
+use fj_bench::{banner, table::*};
+use fj_datasheets::{
+    analysis::trend_strength, efficiency_trend, extract, generate_corpus, CorpusConfig,
+    ExtractionQuality, ParserConfig,
+};
+
+fn main() {
+    banner("Extension", "datasheet parser quality and its downstream impact");
+    let truth = generate_corpus(&CorpusConfig::default());
+
+    let t = TablePrinter::new(&[16, 10, 10, 10, 12, 12]);
+    t.header(&[
+        "hallucination",
+        "exact",
+        "wrong",
+        "missed",
+        "bw ok",
+        "Fig.2b R²",
+    ]);
+    for rate in [0.0, 0.02, 0.04, 0.10, 0.25, 0.50] {
+        let cfg = ParserConfig {
+            hallucination_rate: rate,
+            miss_rate: rate / 2.0,
+            ..ParserConfig::default()
+        };
+        let extracted: Vec<_> = truth.iter().map(|r| extract(r, &cfg)).collect();
+        let q = ExtractionQuality::evaluate(&truth, &extracted);
+        let r2 = trend_strength(&efficiency_trend(&extracted, 250.0));
+        t.row(&[
+            format!("{:.0} %", rate * 100.0),
+            q.typical_exact.to_string(),
+            q.typical_wrong.to_string(),
+            q.typical_missed.to_string(),
+            q.bandwidth_ok.to_string(),
+            fmt(r2, 3),
+        ]);
+    }
+
+    println!(
+        "\nreading: the §3.3.1 efficiency-trend conclusion is robust to\n\
+         realistic hallucination rates (a few percent) — the weak system-\n\
+         level trend is a property of the data, not of parser noise. Only\n\
+         at absurd error rates does the downstream statistic move much."
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 7 — the Autopower operator interface (appendix C).
+//!
+//! The paper's web UI lets operators "conveniently start/stop measurements
+//! or download the power data". This regenerator drives the real TCP
+//! stack — three units uploading against a live server — and renders the
+//! status board the UI would display.
+
+use fj_bench::{banner, table::TablePrinter, EXPERIMENT_SEED};
+use fj_meter::{AutopowerClient, AutopowerServer, Mcp39F511N, PowerSample};
+use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_units::SimDuration;
+
+fn main() {
+    banner("Fig. 7", "Autopower operator status board (live TCP)");
+    let server = AutopowerServer::spawn().expect("bind loopback");
+
+    // Three instrumented routers, as in the deployment.
+    let mut units = Vec::new();
+    for (i, model) in ["8201-32FH", "NCS-55A1-24H", "N540X-8Z16G-SYS-A"]
+        .iter()
+        .enumerate()
+    {
+        let mut router = SimulatedRouter::new(
+            RouterSpec::builtin(model).expect("builtin"),
+            EXPERIMENT_SEED + i as u64,
+        );
+        let meter = Mcp39F511N::new(EXPERIMENT_SEED + i as u64);
+        let mut client =
+            AutopowerClient::new(format!("autopower-pop{i:02}"), server.addr());
+        // Six hours of samples at 5-minute aggregation, then upload.
+        for _ in 0..72 {
+            client.push_sample(PowerSample {
+                at: router.now(),
+                watts: meter.read_router(&router).as_f64(),
+            });
+            router.tick(SimDuration::from_mins(5));
+        }
+        client.flush().expect("server reachable");
+        units.push((client, model.to_string()));
+    }
+
+    // Operator action: pause the third unit.
+    server.set_measuring("autopower-pop02", false);
+
+    println!("\nstatus board:");
+    let t = TablePrinter::new(&[18, 20, 9, 14, 10]);
+    t.header(&["unit", "router model", "samples", "last sample", "state"]);
+    for status in server.status() {
+        let model = units
+            .iter()
+            .find(|(c, _)| c.unit_id() == status.unit_id)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default();
+        t.row(&[
+            status.unit_id.clone(),
+            model,
+            status.samples.to_string(),
+            status
+                .last_sample_at
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "—".into()),
+            if status.measuring { "measuring" } else { "paused" }.into(),
+        ]);
+    }
+
+    // Download path: pull one unit's data, as the UI's download button does.
+    let trace = server.samples("autopower-pop00");
+    println!(
+        "\ndownload check: {} samples for autopower-pop00, mean {:.1} W",
+        trace.len(),
+        trace.mean().expect("non-empty")
+    );
+    println!(
+        "shape: {}",
+        if trace.len() == 72 && server.status().len() == 3 {
+            "ok — remote control, storage, and download all work over the wire"
+        } else {
+            "drift"
+        }
+    );
+    server.shutdown();
+}

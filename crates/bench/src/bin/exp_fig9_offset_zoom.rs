@@ -1,0 +1,61 @@
+//! Fig. 9 — the zoomed, offset-corrected comparison: after removing the
+//! constant offset, the model tracks the external measurement almost
+//! perfectly (the paper's "precise, not accurate" summary).
+//!
+//! We quantify precision as the residual standard deviation of
+//! `(model + offset) − wall` on 30-minute averages, and compare it to the
+//! size of the traffic-induced swings the model is supposed to follow.
+
+use fj_bench::{banner, standard_fleet, table::*};
+use fj_isp::trace;
+use fj_units::{SimDuration, SimInstant};
+
+fn main() {
+    banner("Fig. 9", "offset-corrected model precision");
+    let mut fleet = standard_fleet();
+    let (start, end, step) = (
+        SimInstant::EPOCH,
+        SimInstant::from_days(10),
+        SimDuration::from_mins(5),
+    );
+
+    let r8201 = fleet.find_model("8201-32FH").expect("8201 in fleet");
+    let rncs = fleet.find_model("NCS-55A1-24H").expect("NCS in fleet");
+    let rn540 = fleet.find_model("N540X-8Z16G-SYS-A").expect("N540X in fleet");
+    let instrumented = [r8201, rncs, rn540];
+    let traces = trace::collect(&mut fleet, start, end, step, vec![], &instrumented)
+        .expect("trace collection");
+
+    let window = SimDuration::from_mins(30);
+    let t = TablePrinter::new(&[20, 11, 13, 13, 9]);
+    t.header(&[
+        "router",
+        "offset W",
+        "residual σ W",
+        "signal σ W",
+        "σ ratio",
+    ]);
+    for &idx in &instrumented {
+        let rt = &traces.routers[idx];
+        let wall = rt.wall.window_mean(window);
+        let model = rt.predicted.window_mean(window);
+        // The manual offset of Fig. 9: shift the model to the wall level.
+        let offset = wall.mean_diff(&model).expect("aligned");
+        let corrected = model.map(|v| v + offset);
+        let residuals = corrected.sub(&wall).values();
+        let resid_sd = fj_units::std_dev(&residuals).expect("non-empty");
+        let signal_sd = fj_units::std_dev(&wall.values()).expect("non-empty");
+        t.row(&[
+            rt.model.clone(),
+            fmt(offset, 1),
+            fmt(resid_sd, 2),
+            fmt(signal_sd, 2),
+            fmt(resid_sd / signal_sd, 2),
+        ]);
+    }
+    println!(
+        "\nshape: residual σ well below signal σ means the offset-corrected\n\
+         model reproduces the traffic-induced structure — the Fig. 9 claim.\n\
+         (paper shows sub-watt tracking on ~5 W swings)"
+    );
+}

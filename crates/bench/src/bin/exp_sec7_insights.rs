@@ -1,0 +1,98 @@
+//! §7 — insights on router power: traffic is cheap, transceivers are not,
+//! and "down" does not mean "off".
+
+use fj_bench::{banner, paper, standard_fleet, table::*};
+use fj_core::builtin_registry;
+use fj_isp::FleetInsights;
+use fj_units::{Bytes, DataRate, EnergyPerBit, EnergyPerPacket};
+
+fn main() {
+    banner("§7", "insights on router power");
+    let mut fleet = standard_fleet();
+    // Mid-afternoon on a weekday: representative traffic.
+    fleet
+        .advance(fj_units::SimDuration::from_hours(14))
+        .expect("fleet advances");
+    let insights = FleetInsights::compute(&fleet);
+
+    let t = TablePrinter::new(&[34, 12, 12, 7]);
+    t.header(&["quantity", "measured", "paper", "shape"]);
+    t.row(&[
+        "total network power (kW)".into(),
+        fmt(insights.total_power_w / 1e3, 1),
+        format!("{:.1}–{:.1}", paper::FIG1_TOTAL_KW.0, paper::FIG1_TOTAL_KW.1),
+        shape(21.75, insights.total_power_w / 1e3, 0.12, 0.0).into(),
+    ]);
+    t.row(&[
+        "transceiver power (kW)".into(),
+        fmt(insights.transceiver_w / 1e3, 2),
+        fmt(paper::SEC7_TRX_W / 1e3, 2),
+        shape(paper::SEC7_TRX_W, insights.transceiver_w, 0.35, 0.0).into(),
+    ]);
+    t.row(&[
+        "transceiver share (%)".into(),
+        fmt(100.0 * insights.transceiver_fraction(), 1),
+        fmt(100.0 * paper::SEC7_TRX_SHARE, 1),
+        shape(
+            paper::SEC7_TRX_SHARE,
+            insights.transceiver_fraction(),
+            0.35,
+            0.0,
+        )
+        .into(),
+    ]);
+    t.row(&[
+        "traffic-forwarding power (W)".into(),
+        fmt(insights.traffic_w, 1),
+        fmt(paper::SEC7_TRAFFIC_W, 1),
+        shape(paper::SEC7_TRAFFIC_W, insights.traffic_w, 3.0, 15.0).into(),
+    ]);
+    t.row(&[
+        "traffic share (%)".into(),
+        fmt(100.0 * insights.traffic_fraction(), 3),
+        fmt(100.0 * paper::SEC7_TRAFFIC_SHARE, 3),
+        shape(
+            paper::SEC7_TRAFFIC_SHARE,
+            insights.traffic_fraction(),
+            5.0,
+            0.002,
+        )
+        .into(),
+    ]);
+
+    // The macroscopic-unit sanity check of §7: 5 pJ/bit + 15 nJ/pkt at
+    // 100 Gbps costs 3.4 W (64 B packets) / 0.6 W (1500 B packets).
+    let e_bit = EnergyPerBit::from_picojoules(5.0);
+    let e_pkt = EnergyPerPacket::from_nanojoules(15.0);
+    let r = DataRate::from_gbps(100.0);
+    let small = e_bit * r + e_pkt * r.packets_at(Bytes::new(64.0 + 18.0));
+    let large = e_bit * r + e_pkt * r.packets_at(Bytes::new(1500.0 + 18.0));
+    println!(
+        "\n§7 arithmetic check: 100 Gbps at 5 pJ/bit + 15 nJ/pkt = {:.1} W (64 B) / {:.1} W (1500 B)",
+        small.as_f64(),
+        large.as_f64()
+    );
+    println!("paper:               3.4 W (64 B) / 0.6 W (1500 B)");
+
+    // "Down does not mean off": for every optical class in the published
+    // models, P_trx,in dominates the transceiver power.
+    println!("\n\"down ≠ off\": P_trx,in share of transceiver power (optical classes):");
+    for model in builtin_registry().iter() {
+        for cp in model.classes() {
+            if !cp.class.transceiver.is_optical() {
+                continue;
+            }
+            let total = cp.params.p_trx_in.as_f64() + cp.params.p_trx_up.as_f64();
+            if total <= 0.0 {
+                continue;
+            }
+            println!(
+                "  {:<20} {:<22} {:>5.1} %",
+                model.router_model,
+                cp.class.to_string(),
+                100.0 * cp.params.p_trx_in.as_f64() / total
+            );
+        }
+    }
+    println!("paper: P_trx,in dominates for the optical transceivers tested");
+}

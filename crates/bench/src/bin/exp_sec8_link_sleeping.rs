@@ -1,0 +1,95 @@
+//! §8 — power savings of link sleeping (Hypnos on the fleet traces).
+//!
+//! Hypnos decides hourly over a simulated month; savings are averaged
+//! over the decision rounds and priced with the Table 5 per-port-type
+//! `P_port` averages and datasheet transceiver power (the `P_trx,up ∈
+//! [0, P_trx]` range). Expected: 0.4–1.9 % of total power, i.e. far less
+//! than the "a third of transceiver power" a link-count proxy promises.
+
+use fj_bench::{banner, paper, standard_fleet, table::*};
+use fj_hypnos::{algorithm, sleeping_savings, HypnosConfig};
+use fj_isp::FleetInsights;
+use fj_units::SimDuration;
+
+fn main() {
+    banner("§8", "link-sleeping savings (Hypnos, one month, hourly)");
+    let mut fleet = standard_fleet();
+    let config = HypnosConfig::default();
+
+    let mut low_sum = 0.0;
+    let mut high_sum = 0.0;
+    let mut fraction_sum = 0.0;
+    let rounds = 28 * 24;
+    for _ in 0..rounds {
+        let outcome = algorithm::decide(&algorithm::observe_links(&fleet), &config);
+        let savings = sleeping_savings(&outcome);
+        low_sum += savings.low_w;
+        high_sum += savings.high_w;
+        fraction_sum += outcome.sleep_fraction();
+        fleet.advance(SimDuration::from_hours(1)).expect("fleet advances");
+    }
+    let low = low_sum / rounds as f64;
+    let high = high_sum / rounds as f64;
+    let fraction = fraction_sum / rounds as f64;
+    let total = fleet.total_wall_power_w();
+
+    let t = TablePrinter::new(&[30, 14, 14, 7]);
+    t.header(&["quantity", "measured", "paper", "shape"]);
+    t.row(&[
+        "savings low bound (W)".into(),
+        fmt(low, 0),
+        fmt(paper::SEC8_SAVINGS_W.0, 0),
+        shape(paper::SEC8_SAVINGS_W.0, low, 1.2, 60.0).into(),
+    ]);
+    t.row(&[
+        "savings high bound (W)".into(),
+        fmt(high, 0),
+        fmt(paper::SEC8_SAVINGS_W.1, 0),
+        shape(paper::SEC8_SAVINGS_W.1, high, 1.0, 150.0).into(),
+    ]);
+    t.row(&[
+        "savings low (% of total)".into(),
+        fmt(100.0 * low / total, 2),
+        fmt(paper::SEC8_SAVINGS_PCT.0, 2),
+        shape(paper::SEC8_SAVINGS_PCT.0, 100.0 * low / total, 1.2, 0.35).into(),
+    ]);
+    t.row(&[
+        "savings high (% of total)".into(),
+        fmt(100.0 * high / total, 2),
+        fmt(paper::SEC8_SAVINGS_PCT.1, 2),
+        shape(paper::SEC8_SAVINGS_PCT.1, 100.0 * high / total, 1.0, 0.8).into(),
+    ]);
+
+    let insights = FleetInsights::compute(&fleet);
+    t.row(&[
+        "external interfaces (%)".into(),
+        fmt(100.0 * insights.share.external_fraction(), 0),
+        fmt(100.0 * paper::SEC8_EXTERNAL.0, 0),
+        shape(
+            paper::SEC8_EXTERNAL.0,
+            insights.share.external_fraction(),
+            0.2,
+            0.0,
+        )
+        .into(),
+    ]);
+    t.row(&[
+        "external share of trx power (%)".into(),
+        fmt(100.0 * insights.share.external_trx_fraction(), 0),
+        fmt(100.0 * paper::SEC8_EXTERNAL.1, 0),
+        shape(
+            paper::SEC8_EXTERNAL.1,
+            insights.share.external_trx_fraction(),
+            0.4,
+            0.0,
+        )
+        .into(),
+    ]);
+
+    println!("\nmean sleep fraction: {:.0} % of internal links", 100.0 * fraction);
+    println!(
+        "headline: savings land near the *low* end (P_trx,in keeps burning\n\
+         when ports go down) and only internal links are in reach — both\n\
+         limits the paper identifies."
+    );
+}

@@ -1,0 +1,13 @@
+//! Table 2 — lab-derived power models for the four body-text devices.
+//!
+//! For each device, NetPowerBench runs the full Base/Idle/Port/Trx/Snake
+//! methodology against the simulator and the derived parameters are
+//! printed next to the published row. The derivation sees only noisy
+//! wall-power measurements.
+
+use fj_bench::{banner, derive_report::run_rows, paper};
+
+fn main() {
+    banner("Table 2", "derived power models (body-text devices)");
+    run_rows(&paper::TABLE2);
+}

@@ -1,0 +1,78 @@
+//! Table 3 — savings from more efficient PSUs, single-PSU loading, and
+//! both combined.
+
+use fj_bench::{banner, paper, standard_fleet, table::*};
+use fj_isp::stats::psu_snapshot;
+use fj_psu::{combined_savings, single_psu_savings, uplift_savings, EightyPlus};
+
+fn main() {
+    banner("Table 3", "PSU efficiency what-ifs");
+    let fleet = standard_fleet();
+    let data = psu_snapshot(&fleet);
+    println!(
+        "\nfleet snapshot: {} PSUs, {:.1} kW total input power\n",
+        data.observations.len(),
+        data.total_input_power_w() / 1e3
+    );
+
+    let t = TablePrinter::new(&[26, 10, 10, 10, 10, 7]);
+    t.header(&["measure", "saved W", "saved %", "paper W", "paper %", "shape"]);
+
+    // §9.3.2: raise every PSU to at least each 80 Plus level.
+    for (level, (name, paper_pct, paper_w)) in EightyPlus::ALL.iter().zip(paper::TABLE3_UPLIFT) {
+        let s = uplift_savings(&data, *level);
+        t.row(&[
+            format!("≥{name} PSUs"),
+            fmt(s.saved_w, 0),
+            fmt(s.percent(), 1),
+            fmt(paper_w, 0),
+            fmt(paper_pct, 1),
+            shape(paper_pct, s.percent(), 0.6, 1.2).to_owned(),
+        ]);
+    }
+
+    // §9.3.4: concentrate load on a single PSU.
+    let single = single_psu_savings(&data);
+    let (paper_pct, paper_w) = paper::TABLE3_SINGLE_PSU;
+    t.row(&[
+        "only one PSU".to_owned(),
+        fmt(single.saved_w, 0),
+        fmt(single.percent(), 1),
+        fmt(paper_w, 0),
+        fmt(paper_pct, 1),
+        shape(paper_pct, single.percent(), 0.6, 1.5).to_owned(),
+    ]);
+
+    // §9.3.5: both measures together.
+    for (level, (name, paper_pct, paper_w)) in
+        EightyPlus::ALL.iter().zip(paper::TABLE3_COMBINED)
+    {
+        let s = combined_savings(&data, *level);
+        t.row(&[
+            format!("one ≥{name} PSU"),
+            fmt(s.saved_w, 0),
+            fmt(s.percent(), 1),
+            fmt(paper_w, 0),
+            fmt(paper_pct, 1),
+            shape(paper_pct, s.percent(), 0.6, 2.0).to_owned(),
+        ]);
+    }
+
+    // The qualitative orderings that make the table's argument.
+    let bronze = uplift_savings(&data, EightyPlus::Bronze).percent();
+    let titanium = uplift_savings(&data, EightyPlus::Titanium).percent();
+    let both_titanium = combined_savings(&data, EightyPlus::Titanium).percent();
+    println!("\nshape checks:");
+    println!(
+        "  Titanium > Bronze uplift:      {}",
+        if titanium > bronze { "ok" } else { "drift" }
+    );
+    println!(
+        "  combined ≥ each measure alone: {}",
+        if both_titanium + 1e-9 >= titanium && both_titanium + 1e-9 >= single.percent() {
+            "ok"
+        } else {
+            "drift"
+        }
+    );
+}

@@ -1,0 +1,70 @@
+//! Table 4 — right-sizing PSU capacities (k = 1 and k = 2).
+//!
+//! Expected shape: small minimum capacities save a couple of percent,
+//! savings shrink toward zero around 1100 W, and forcing everything to
+//! 2000/2700 W *costs* about a percent — and the k = 1 / k = 2 columns
+//! barely differ (over-dimensioning is cheap; inefficiency is not).
+
+use fj_bench::{banner, paper, standard_fleet, table::*};
+use fj_isp::stats::psu_snapshot;
+use fj_psu::right_sizing_savings;
+
+fn main() {
+    banner("Table 4", "PSU capacity right-sizing");
+    let fleet = standard_fleet();
+    let data = psu_snapshot(&fleet);
+
+    let k1 = right_sizing_savings(&data, 1.0);
+    let k2 = right_sizing_savings(&data, 2.0);
+
+    let t = TablePrinter::new(&[12, 10, 10, 10, 10, 12, 12, 7]);
+    t.header(&[
+        "min cap W",
+        "k=1 W",
+        "k=1 %",
+        "k=2 W",
+        "k=2 %",
+        "paper k=1 %",
+        "paper k=2 %",
+        "shape",
+    ]);
+    for (i, (cap, p_k1_pct, _p_k1_w, p_k2_pct, _p_k2_w)) in paper::TABLE4.iter().enumerate() {
+        let (c1, s1) = k1.rows[i];
+        let (_c2, s2) = k2.rows[i];
+        assert_eq!(c1, *cap, "capacity options aligned");
+        t.row(&[
+            fmt(*cap, 0),
+            fmt(s1.saved_w, 0),
+            fmt(s1.percent(), 1),
+            fmt(s2.saved_w, 0),
+            fmt(s2.percent(), 1),
+            fmt(*p_k1_pct, 0),
+            fmt(*p_k2_pct, 0),
+            shape(*p_k1_pct, s1.percent(), 0.8, 1.2).to_owned(),
+        ]);
+    }
+
+    // Shape checks.
+    let k1_pcts: Vec<f64> = k1.rows.iter().map(|(_, s)| s.percent()).collect();
+    let monotone_down = k1_pcts.windows(2).all(|w| w[0] >= w[1] - 0.2);
+    let small_best = k1_pcts[0] > 0.5;
+    let big_costs = *k1_pcts.last().expect("rows") < 0.3;
+    let k_similar = k1
+        .rows
+        .iter()
+        .zip(&k2.rows)
+        .all(|((_, a), (_, b))| (a.percent() - b.percent()).abs() < 0.8);
+    println!("\nshape checks:");
+    println!("  savings shrink with capacity:  {}", ok(monotone_down));
+    println!("  smallest capacity saves most:  {}", ok(small_best));
+    println!("  forcing 2700 W saves ~nothing: {}", ok(big_costs));
+    println!("  k=1 ≈ k=2 (cheap redundancy):  {}", ok(k_similar));
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "drift"
+    }
+}

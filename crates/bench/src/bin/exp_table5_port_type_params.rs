@@ -1,0 +1,41 @@
+//! Table 5 — per-port-type `P_port` / `P_trx,up` used by the §8 link-
+//! sleeping evaluation, obtained by averaging all available power models
+//! per port type (the paper's own fallback method).
+
+use fj_bench::{banner, paper, table::*};
+use fj_core::builtin_registry;
+
+fn main() {
+    banner("Table 5", "per-port-type parameter averages for §8");
+    let averages = builtin_registry().port_type_averages();
+
+    let t = TablePrinter::new(&[10, 12, 12, 12, 12, 7]);
+    t.header(&[
+        "port",
+        "P_port W",
+        "paper",
+        "P_trx,up W",
+        "paper",
+        "shape",
+    ]);
+    for (name, paper_port, paper_trx_up) in paper::TABLE5 {
+        let port: fj_core::PortType = name.parse().expect("known port type");
+        let Some((p_port, p_trx_up)) = averages.get(&port) else {
+            continue;
+        };
+        t.row(&[
+            name.to_owned(),
+            fmt(p_port.as_f64(), 3),
+            fmt(paper_port, 3),
+            fmt(p_trx_up.as_f64(), 3),
+            fmt(paper_trx_up, 3),
+            shape(paper_port, p_port.as_f64(), 0.4, 0.25).to_owned(),
+        ]);
+    }
+
+    println!(
+        "\nnote: the paper averages over *its* model set; ours averages over\n\
+         the same published models, so small differences come only from\n\
+         which classes each port type aggregates."
+    );
+}

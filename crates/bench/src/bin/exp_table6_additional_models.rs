@@ -1,0 +1,10 @@
+//! Table 6 — the appendix's additional power models, same pipeline as
+//! Table 2 on four more devices (EdgeCore Wedge, Nexus 93108, VSP-4900,
+//! Catalyst 3560).
+
+use fj_bench::{banner, derive_report::run_rows, paper};
+
+fn main() {
+    banner("Table 6", "derived power models (appendix devices)");
+    run_rows(&paper::TABLE6);
+}

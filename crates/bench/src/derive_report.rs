@@ -1,0 +1,85 @@
+//! Shared paper-vs-derived reporting for the Table 2 and Table 6
+//! regenerators.
+
+use fj_core::InterfaceClass;
+use fj_netpowerbench::{Derivation, DerivationConfig};
+
+use crate::paper;
+use crate::table::{fmt, shape, TablePrinter};
+use crate::EXPERIMENT_SEED;
+
+/// Runs a thorough derivation per published row and prints a
+/// paper / derived / shape triplet for every parameter.
+pub fn run_rows(rows: &[paper::PaperModelRow]) {
+    let t = TablePrinter::new(&[20, 10, 9, 9, 9, 9, 9, 9, 9]);
+    t.header(&[
+        "router / source",
+        "class",
+        "P_base",
+        "P_port",
+        "P_trx,in",
+        "P_trx,up",
+        "E_bit pJ",
+        "E_pkt nJ",
+        "P_off",
+    ]);
+
+    for row in rows {
+        let class: InterfaceClass = row.class.parse().expect("class parses");
+        let config = DerivationConfig::thorough(row.router, class.transceiver, class.speed)
+            .expect("builtin model");
+        let derived = Derivation::run(&config, EXPERIMENT_SEED).expect("derivation");
+        let p = derived.params();
+
+        t.row(&[
+            format!("{} paper", row.router),
+            short_class(row.class),
+            fmt(row.p_base, 1),
+            fmt(row.p_port, 2),
+            fmt(row.p_trx_in, 2),
+            fmt(row.p_trx_up, 2),
+            fmt(row.e_bit_pj, 1),
+            fmt(row.e_pkt_nj, 1),
+            fmt(row.p_offset, 2),
+        ]);
+        t.row(&[
+            "  derived".to_owned(),
+            String::new(),
+            fmt(derived.model.p_base.as_f64(), 1),
+            fmt(p.p_port.as_f64(), 2),
+            fmt(p.p_trx_in.as_f64(), 2),
+            fmt(p.p_trx_up.as_f64(), 2),
+            fmt(p.e_bit.as_picojoules(), 1),
+            fmt(p.e_pkt.as_nanojoules(), 1),
+            fmt(p.p_offset.as_f64(), 2),
+        ]);
+        t.row(&[
+            "  shape".to_owned(),
+            String::new(),
+            shape(row.p_base, derived.model.p_base.as_f64(), 0.01, 0.5).to_owned(),
+            shape(row.p_port, p.p_port.as_f64(), 0.15, 0.06).to_owned(),
+            shape(row.p_trx_in, p.p_trx_in.as_f64(), 0.15, 0.06).to_owned(),
+            shape(row.p_trx_up, p.p_trx_up.as_f64(), 0.25, 0.08).to_owned(),
+            shape(row.e_bit_pj, p.e_bit.as_picojoules(), 0.3, 1.5).to_owned(),
+            shape(row.e_pkt_nj, p.e_pkt.as_nanojoules(), 0.4, 8.0).to_owned(),
+            shape(row.p_offset, p.p_offset.as_f64(), 0.5, 0.15).to_owned(),
+        ]);
+        println!(
+            "    fits: port R²={:.4}  trx R²={:.4}  rate R²≥{:.4}  size R²={:.4}",
+            derived.diagnostics.port_r2,
+            derived.diagnostics.trx_r2,
+            derived.diagnostics.worst_alpha_r2,
+            derived.diagnostics.ebit_r2
+        );
+    }
+    println!(
+        "\nnote: the N540X-class low-speed devices carry the paper's dagger —\n\
+         at 1G the traffic-induced power is so small that E_bit/E_pkt are\n\
+         imprecise by construction; the error matters as little here as there."
+    );
+}
+
+/// Abbreviates a class string for the narrow column.
+fn short_class(class: &str) -> String {
+    class.replace("Passive DAC", "DAC")
+}

@@ -1,0 +1,74 @@
+//! Minimal fixed-width table printing for experiment output.
+
+/// A simple left-padded table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with per-column widths.
+    pub fn new(widths: &[usize]) -> Self {
+        Self {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Prints one row; missing cells render empty.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, width) in self.widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:>width$}  "));
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Prints a header row followed by a separator.
+    pub fn header(&self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let total: usize = self.widths.iter().map(|w| w + 2).sum();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a signed percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1} %")
+}
+
+/// "shape check": whether `measured` lies within `rel_tol` (relative) or
+/// `abs_tol` (absolute) of `paper`. Experiments report PASS/DRIFT rather
+/// than asserting — absolute agreement with the authors' testbed is
+/// explicitly out of scope; the *shape* must hold.
+pub fn shape(paper: f64, measured: f64, rel_tol: f64, abs_tol: f64) -> &'static str {
+    let diff = (paper - measured).abs();
+    if diff <= abs_tol || diff <= rel_tol * paper.abs() {
+        "ok"
+    } else {
+        "drift"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_and_pct() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(pct(40.33), "+40.3 %");
+        assert_eq!(pct(-24.0), "-24.0 %");
+    }
+
+    #[test]
+    fn shape_classifier() {
+        assert_eq!(shape(100.0, 104.0, 0.05, 0.0), "ok");
+        assert_eq!(shape(100.0, 120.0, 0.05, 0.0), "drift");
+        assert_eq!(shape(0.0, 0.3, 0.05, 0.5), "ok");
+    }
+}

@@ -1,0 +1,132 @@
+//! Averaging independently derived models — the community-data flow.
+//!
+//! Once the Network Power Zoo holds several replications of a model for
+//! the same router (the paper's §10 call: "replications of this study are
+//! necessary"), downstream users want a consensus model. Averaging is the
+//! paper's own move at a coarser granularity (§8 averages `P_port` per
+//! port type); here it is per-parameter across full models.
+
+use crate::error::ModelError;
+use crate::params::{InterfaceParams, PowerModel};
+
+use fj_units::{EnergyPerBit, EnergyPerPacket, Watts};
+
+/// Averages several models of the **same router model** parameter-wise.
+///
+/// `P_base` is the mean of the inputs' bases; each interface class present
+/// in *any* input is averaged over the inputs that measured it (replications
+/// often cover different transceiver sets). Returns an error when the
+/// inputs are empty or disagree on the router model name.
+pub fn average_models(models: &[&PowerModel]) -> Result<PowerModel, ModelError> {
+    let Some(first) = models.first() else {
+        return Err(ModelError::AveragingMismatch("empty input".to_owned()));
+    };
+    let name = &first.router_model;
+    if models.iter().any(|m| &m.router_model != name) {
+        return Err(ModelError::AveragingMismatch(format!(
+            "inputs cover different router models ({name} vs others)"
+        )));
+    }
+
+    let p_base =
+        models.iter().map(|m| m.p_base.as_f64()).sum::<f64>() / models.len() as f64;
+    let mut out = PowerModel::new(name.clone(), Watts::new(p_base));
+
+    // Union of classes, in first-seen order.
+    let mut classes = Vec::new();
+    for m in models {
+        for cp in m.classes() {
+            if !classes.contains(&cp.class) {
+                classes.push(cp.class);
+            }
+        }
+    }
+
+    for class in classes {
+        let sources: Vec<&InterfaceParams> =
+            models.iter().filter_map(|m| m.lookup(class)).collect();
+        let n = sources.len() as f64;
+        let avg = |f: &dyn Fn(&InterfaceParams) -> f64| {
+            sources.iter().map(|p| f(p)).sum::<f64>() / n
+        };
+        out.add_class(
+            class,
+            InterfaceParams {
+                p_port: Watts::new(avg(&|p| p.p_port.as_f64())),
+                p_trx_in: Watts::new(avg(&|p| p.p_trx_in.as_f64())),
+                p_trx_up: Watts::new(avg(&|p| p.p_trx_up.as_f64())),
+                e_bit: EnergyPerBit::new(avg(&|p| p.e_bit.as_f64())),
+                e_pkt: EnergyPerPacket::new(avg(&|p| p.e_pkt.as_f64())),
+                p_offset: Watts::new(avg(&|p| p.p_offset.as_f64())),
+            },
+        )?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::{InterfaceClass, PortType, Speed, TransceiverType};
+
+    fn class_a() -> InterfaceClass {
+        InterfaceClass::new(PortType::Qsfp28, TransceiverType::PassiveDac, Speed::G100)
+    }
+
+    fn class_b() -> InterfaceClass {
+        InterfaceClass::new(PortType::Qsfp28, TransceiverType::Lr4, Speed::G100)
+    }
+
+    fn model(base: f64, p_port: f64, with_b: bool) -> PowerModel {
+        let mut m = PowerModel::new("X", Watts::new(base)).with_class(
+            class_a(),
+            InterfaceParams::from_table(p_port, 0.1, 0.2, 10.0, 20.0, 0.1),
+        );
+        if with_b {
+            m.add_class(
+                class_b(),
+                InterfaceParams::from_table(1.0, 3.0, 0.3, 12.0, 22.0, 0.2),
+            )
+            .expect("fresh");
+        }
+        m
+    }
+
+    #[test]
+    fn averages_parameterwise() {
+        let a = model(100.0, 0.4, false);
+        let b = model(110.0, 0.6, false);
+        let avg = average_models(&[&a, &b]).unwrap();
+        assert_eq!(avg.p_base, Watts::new(105.0));
+        let p = avg.lookup(class_a()).unwrap();
+        assert!((p.p_port.as_f64() - 0.5).abs() < 1e-12);
+        assert!((p.e_bit.as_picojoules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classes_only_in_some_inputs_survive() {
+        let a = model(100.0, 0.4, true);
+        let b = model(100.0, 0.4, false);
+        let avg = average_models(&[&a, &b]).unwrap();
+        // class_b comes from `a` alone, unchanged.
+        let p = avg.lookup(class_b()).unwrap();
+        assert_eq!(p.p_trx_in, Watts::new(3.0));
+    }
+
+    #[test]
+    fn single_input_is_identity() {
+        let a = model(100.0, 0.4, true);
+        let avg = average_models(&[&a]).unwrap();
+        assert_eq!(avg.p_base, a.p_base);
+        assert_eq!(avg.classes().len(), a.classes().len());
+    }
+
+    #[test]
+    fn mismatched_router_names_rejected() {
+        let a = model(100.0, 0.4, false);
+        let mut b = model(100.0, 0.4, false);
+        b.router_model = "Y".into();
+        assert!(average_models(&[&a, &b]).is_err());
+        assert!(average_models(&[]).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Modular-chassis extension: the `P_linecard` term (§4.3, future work).
+//!
+//! The paper's model covers fixed-chassis routers and sketches the
+//! extension: "it should be possible to extend the model by introducing a
+//! `P_linecard` term that could be measured similarly as `P_trx`". This
+//! module implements that sketch:
+//!
+//! ```text
+//! P = P_base(chassis) + Σ_s P_linecard(type_s) + Σ_i P_interface(c_i) + P_dyn
+//! ```
+//!
+//! A [`ChassisModel`] wraps a [`PowerModel`] (whose `P_base` now means the
+//! *bare chassis* — fabric, RPs, fans) and adds per-linecard-type costs.
+//! Linecard power splits like transceiver power does: a cost for the card
+//! being **inserted** (powered standby) and a cost once it is
+//! **activated** — NetPowerBench derives both by regression over the
+//! number of cards, exactly like `P_trx,in`/`P_trx,up` (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::Watts;
+
+use crate::error::ModelError;
+use crate::iface::{InterfaceConfig, InterfaceLoad};
+use crate::params::PowerModel;
+
+/// Per-linecard-type power parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinecardParams {
+    /// Power drawn as soon as the card is seated (standby electronics,
+    /// local conversion) — the analogue of `P_trx,in`.
+    pub p_inserted: Watts,
+    /// Additional power once the card is administratively activated
+    /// (NPU + SerDes banks up) — the analogue of `P_trx,up`.
+    pub p_active: Watts,
+}
+
+/// One linecard type's entry in a chassis model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinecardType {
+    /// Type name, e.g. `"A9K-24X10GE"`.
+    pub name: String,
+    /// The two cost terms.
+    pub params: LinecardParams,
+}
+
+/// State of one linecard slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotState {
+    /// Nothing seated.
+    Empty,
+    /// A card of the named type is seated but shut down.
+    Inserted(String),
+    /// A card of the named type is seated and active.
+    Active(String),
+}
+
+impl SlotState {
+    /// The seated card's type name, if any.
+    pub fn card(&self) -> Option<&str> {
+        match self {
+            SlotState::Empty => None,
+            SlotState::Inserted(name) | SlotState::Active(name) => Some(name),
+        }
+    }
+}
+
+/// A power model for a modular router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChassisModel {
+    /// The fixed-chassis model: `p_base` is the bare chassis; interface
+    /// classes price the ports *on* the linecards.
+    pub base: PowerModel,
+    /// Known linecard types.
+    cards: Vec<LinecardType>,
+}
+
+impl ChassisModel {
+    /// Wraps a fixed-chassis model.
+    pub fn new(base: PowerModel) -> Self {
+        Self {
+            base,
+            cards: Vec::new(),
+        }
+    }
+
+    /// Registers a linecard type. Fails on duplicates.
+    pub fn add_card_type(
+        &mut self,
+        name: impl Into<String>,
+        params: LinecardParams,
+    ) -> Result<(), ModelError> {
+        let name = name.into();
+        if self.lookup_card(&name).is_some() {
+            return Err(ModelError::DuplicateLinecard(name));
+        }
+        self.cards.push(LinecardType { name, params });
+        Ok(())
+    }
+
+    /// Parameters for a card type.
+    pub fn lookup_card(&self, name: &str) -> Option<&LinecardParams> {
+        self.cards
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| &c.params)
+    }
+
+    /// All registered card types.
+    pub fn card_types(&self) -> &[LinecardType] {
+        &self.cards
+    }
+
+    /// Static power of the linecard complement (the new Σ term).
+    pub fn linecard_power(&self, slots: &[SlotState]) -> Result<Watts, ModelError> {
+        let mut p = Watts::ZERO;
+        for slot in slots {
+            let Some(name) = slot.card() else { continue };
+            let params = self
+                .lookup_card(name)
+                .ok_or_else(|| ModelError::UnknownLinecard(name.to_owned()))?;
+            p += params.p_inserted;
+            if matches!(slot, SlotState::Active(_)) {
+                p += params.p_active;
+            }
+        }
+        Ok(p)
+    }
+
+    /// Full prediction: chassis base + linecards + interfaces + dynamic.
+    pub fn predict(
+        &self,
+        slots: &[SlotState],
+        configs: &[InterfaceConfig],
+        loads: &[InterfaceLoad],
+    ) -> Result<Watts, ModelError> {
+        let interfaces = self.base.predict(configs, loads)?;
+        Ok(interfaces.total() + self.linecard_power(slots)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::{InterfaceClass, PortType, Speed, TransceiverType};
+    use crate::params::InterfaceParams;
+
+    fn chassis() -> ChassisModel {
+        // An ASR-9010-like box: 350 W bare chassis (fabric + 2 RSPs),
+        // 24×10G linecards at 120 W seated + 180 W active.
+        let class = InterfaceClass::new(PortType::SfpPlus, TransceiverType::Lr, Speed::G10);
+        let base = PowerModel::new("ASR-9010", Watts::new(350.0)).with_class(
+            class,
+            InterfaceParams::from_table(0.55, 0.9, 0.3, 25.0, 30.0, 0.05),
+        );
+        let mut m = ChassisModel::new(base);
+        m.add_card_type(
+            "A9K-24X10GE",
+            LinecardParams {
+                p_inserted: Watts::new(120.0),
+                p_active: Watts::new(180.0),
+            },
+        )
+        .expect("fresh");
+        m.add_card_type(
+            "A9K-8X100GE",
+            LinecardParams {
+                p_inserted: Watts::new(150.0),
+                p_active: Watts::new(400.0),
+            },
+        )
+        .expect("fresh");
+        m
+    }
+
+    #[test]
+    fn empty_chassis_is_base_power() {
+        let m = chassis();
+        let slots = vec![SlotState::Empty; 8];
+        assert_eq!(m.linecard_power(&slots).unwrap(), Watts::ZERO);
+        assert_eq!(m.predict(&slots, &[], &[]).unwrap(), Watts::new(350.0));
+    }
+
+    #[test]
+    fn inserted_vs_active_split() {
+        let m = chassis();
+        let inserted = [SlotState::Inserted("A9K-24X10GE".into())];
+        let active = [SlotState::Active("A9K-24X10GE".into())];
+        assert_eq!(m.linecard_power(&inserted).unwrap(), Watts::new(120.0));
+        assert_eq!(m.linecard_power(&active).unwrap(), Watts::new(300.0));
+    }
+
+    #[test]
+    fn mixed_slots_sum() {
+        let m = chassis();
+        let slots = [
+            SlotState::Active("A9K-24X10GE".into()),
+            SlotState::Inserted("A9K-8X100GE".into()),
+            SlotState::Empty,
+            SlotState::Active("A9K-8X100GE".into()),
+        ];
+        // 300 + 150 + 0 + 550.
+        assert_eq!(m.linecard_power(&slots).unwrap(), Watts::new(1000.0));
+    }
+
+    #[test]
+    fn unknown_card_is_error() {
+        let m = chassis();
+        let err = m
+            .linecard_power(&[SlotState::Active("bogus".into())])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownLinecard(_)));
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_card_type_rejected() {
+        let mut m = chassis();
+        let err = m
+            .add_card_type("A9K-24X10GE", LinecardParams::default())
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateLinecard(_)));
+    }
+
+    #[test]
+    fn full_prediction_composes_all_terms() {
+        let m = chassis();
+        let class = InterfaceClass::new(PortType::SfpPlus, TransceiverType::Lr, Speed::G10);
+        let slots = [SlotState::Active("A9K-24X10GE".into())];
+        let configs = [InterfaceConfig::up(class)];
+        let loads = [InterfaceLoad::IDLE];
+        let p = m.predict(&slots, &configs, &loads).unwrap();
+        // 350 chassis + 300 card + (0.55 + 0.9 + 0.3) interface.
+        assert!((p.as_f64() - 651.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = chassis();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ChassisModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for power-model operations.
+
+use std::fmt;
+
+use crate::iface::InterfaceClass;
+
+/// Errors raised when evaluating or assembling a power model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The model has no parameters for this interface class; prediction
+    /// cannot proceed without them (the paper hits the same wall in §8 and
+    /// falls back to per-port-type averages).
+    UnknownClass(InterfaceClass),
+    /// Configuration and load vectors differ in length.
+    ConfigLoadMismatch {
+        /// Number of interface configurations supplied.
+        configs: usize,
+        /// Number of interface loads supplied.
+        loads: usize,
+    },
+    /// Two parameter sets were registered for the same interface class.
+    DuplicateClass(InterfaceClass),
+    /// A chassis prediction referenced an unregistered linecard type.
+    UnknownLinecard(String),
+    /// Two parameter sets were registered for the same linecard type.
+    DuplicateLinecard(String),
+    /// Model averaging received incompatible or empty inputs.
+    AveragingMismatch(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownClass(c) => {
+                write!(f, "no model parameters for interface class {c}")
+            }
+            ModelError::ConfigLoadMismatch { configs, loads } => write!(
+                f,
+                "configuration has {configs} interfaces but load vector has {loads}"
+            ),
+            ModelError::DuplicateClass(c) => {
+                write!(f, "duplicate parameters for interface class {c}")
+            }
+            ModelError::UnknownLinecard(name) => {
+                write!(f, "no linecard parameters for type {name:?}")
+            }
+            ModelError::DuplicateLinecard(name) => {
+                write!(f, "duplicate parameters for linecard type {name:?}")
+            }
+            ModelError::AveragingMismatch(why) => {
+                write!(f, "cannot average models: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

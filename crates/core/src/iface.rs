@@ -1,0 +1,488 @@
+//! Interface taxonomy: port cages, transceiver modules, line rates, and the
+//! per-interface configuration and load vectors consumed by the model.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{Bytes, DataRate, PacketRate};
+
+/// Physical port cage type. These are the port types appearing in the
+/// paper's model tables (Tables 2, 5, 6).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum PortType {
+    /// 1G small form-factor pluggable cage.
+    Sfp,
+    /// 10G enhanced SFP cage.
+    SfpPlus,
+    /// 40/100G quad SFP cage (the paper writes both "QSFP" and "QSPF").
+    Qsfp,
+    /// 100G QSFP28 cage.
+    Qsfp28,
+    /// 400G QSFP double-density cage.
+    QsfpDd,
+    /// Fixed copper RJ45 jack.
+    Rj45,
+}
+
+impl PortType {
+    /// All known port types, for iteration in analyses.
+    pub const ALL: [PortType; 6] = [
+        PortType::Sfp,
+        PortType::SfpPlus,
+        PortType::Qsfp,
+        PortType::Qsfp28,
+        PortType::QsfpDd,
+        PortType::Rj45,
+    ];
+}
+
+impl fmt::Display for PortType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortType::Sfp => "SFP",
+            PortType::SfpPlus => "SFP+",
+            PortType::Qsfp => "QSFP",
+            PortType::Qsfp28 => "QSFP28",
+            PortType::QsfpDd => "QSFP-DD",
+            PortType::Rj45 => "RJ45",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for PortType {
+    type Err = ParseIfaceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "SFP" => Ok(PortType::Sfp),
+            "SFP+" => Ok(PortType::SfpPlus),
+            // The paper's Table 2 contains the "QSPF28" typo; accept it.
+            "QSFP" | "QSPF" => Ok(PortType::Qsfp),
+            "QSFP28" | "QSPF28" => Ok(PortType::Qsfp28),
+            "QSFP-DD" | "QSFPDD" => Ok(PortType::QsfpDd),
+            "RJ45" => Ok(PortType::Rj45),
+            _ => Err(ParseIfaceError::Port(s.to_owned())),
+        }
+    }
+}
+
+/// Pluggable transceiver module family.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum TransceiverType {
+    /// Passive direct-attach copper cable; draws almost nothing when idle.
+    PassiveDac,
+    /// Long-reach single-lambda optic (10 km).
+    Lr,
+    /// Long-reach 4-lane optic.
+    Lr4,
+    /// 400G FR4 optic (the module removed on Oct 9 in Fig. 4a).
+    Fr4,
+    /// Short-reach multimode optic.
+    Sr,
+    /// Copper "T" module (电口) or native copper port.
+    T,
+}
+
+impl TransceiverType {
+    /// All known transceiver families.
+    pub const ALL: [TransceiverType; 6] = [
+        TransceiverType::PassiveDac,
+        TransceiverType::Lr,
+        TransceiverType::Lr4,
+        TransceiverType::Fr4,
+        TransceiverType::Sr,
+        TransceiverType::T,
+    ];
+
+    /// Whether this module contains a laser (the paper's assumption that
+    /// transceiver power is load-independent rests on laser dominance, §4).
+    pub fn is_optical(self) -> bool {
+        matches!(
+            self,
+            TransceiverType::Lr | TransceiverType::Lr4 | TransceiverType::Fr4 | TransceiverType::Sr
+        )
+    }
+}
+
+impl fmt::Display for TransceiverType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransceiverType::PassiveDac => "Passive DAC",
+            TransceiverType::Lr => "LR",
+            TransceiverType::Lr4 => "LR4",
+            TransceiverType::Fr4 => "FR4",
+            TransceiverType::Sr => "SR",
+            TransceiverType::T => "T",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for TransceiverType {
+    type Err = ParseIfaceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().replace([' ', '-', '_'], "").as_str() {
+            "PASSIVEDAC" | "DAC" => Ok(TransceiverType::PassiveDac),
+            "LR" => Ok(TransceiverType::Lr),
+            "LR4" => Ok(TransceiverType::Lr4),
+            "FR4" => Ok(TransceiverType::Fr4),
+            "SR" => Ok(TransceiverType::Sr),
+            "T" => Ok(TransceiverType::T),
+            _ => Err(ParseIfaceError::Transceiver(s.to_owned())),
+        }
+    }
+}
+
+/// Configured line rate of an interface.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Speed {
+    /// 100 Mbit/s.
+    M100,
+    /// 1 Gbit/s.
+    G1,
+    /// 10 Gbit/s.
+    G10,
+    /// 25 Gbit/s.
+    G25,
+    /// 40 Gbit/s.
+    G40,
+    /// 50 Gbit/s.
+    G50,
+    /// 100 Gbit/s.
+    G100,
+    /// 400 Gbit/s.
+    G400,
+}
+
+impl Speed {
+    /// All supported line rates, ascending.
+    pub const ALL: [Speed; 8] = [
+        Speed::M100,
+        Speed::G1,
+        Speed::G10,
+        Speed::G25,
+        Speed::G40,
+        Speed::G50,
+        Speed::G100,
+        Speed::G400,
+    ];
+
+    /// The nominal rate as a [`DataRate`].
+    pub fn rate(self) -> DataRate {
+        match self {
+            Speed::M100 => DataRate::from_mbps(100.0),
+            Speed::G1 => DataRate::from_gbps(1.0),
+            Speed::G10 => DataRate::from_gbps(10.0),
+            Speed::G25 => DataRate::from_gbps(25.0),
+            Speed::G40 => DataRate::from_gbps(40.0),
+            Speed::G50 => DataRate::from_gbps(50.0),
+            Speed::G100 => DataRate::from_gbps(100.0),
+            Speed::G400 => DataRate::from_gbps(400.0),
+        }
+    }
+}
+
+impl fmt::Display for Speed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Speed::M100 => "100M",
+            Speed::G1 => "1G",
+            Speed::G10 => "10G",
+            Speed::G25 => "25G",
+            Speed::G40 => "40G",
+            Speed::G50 => "50G",
+            Speed::G100 => "100G",
+            Speed::G400 => "400G",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Speed {
+    type Err = ParseIfaceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "100M" => Ok(Speed::M100),
+            "1G" => Ok(Speed::G1),
+            "10G" => Ok(Speed::G10),
+            "25G" => Ok(Speed::G25),
+            "40G" => Ok(Speed::G40),
+            "50G" => Ok(Speed::G50),
+            "100G" => Ok(Speed::G100),
+            "400G" => Ok(Speed::G400),
+            _ => Err(ParseIfaceError::Speed(s.to_owned())),
+        }
+    }
+}
+
+/// Error parsing an interface-class component from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseIfaceError {
+    /// Unrecognised port type.
+    Port(String),
+    /// Unrecognised transceiver type.
+    Transceiver(String),
+    /// Unrecognised speed.
+    Speed(String),
+    /// Malformed combined class string.
+    Class(String),
+}
+
+impl fmt::Display for ParseIfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseIfaceError::Port(s) => write!(f, "unknown port type {s:?}"),
+            ParseIfaceError::Transceiver(s) => write!(f, "unknown transceiver type {s:?}"),
+            ParseIfaceError::Speed(s) => write!(f, "unknown speed {s:?}"),
+            ParseIfaceError::Class(s) => write!(f, "malformed interface class {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseIfaceError {}
+
+/// The combination of port cage, plugged transceiver, and configured speed.
+///
+/// Each distinct class has its own six model parameters (§4.2: "Each
+/// combination results in a different interface power profile").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct InterfaceClass {
+    /// Port cage type.
+    pub port: PortType,
+    /// Transceiver family plugged into the cage.
+    pub transceiver: TransceiverType,
+    /// Configured line rate.
+    pub speed: Speed,
+}
+
+impl InterfaceClass {
+    /// Creates a class from its three components.
+    pub fn new(port: PortType, transceiver: TransceiverType, speed: Speed) -> Self {
+        Self {
+            port,
+            transceiver,
+            speed,
+        }
+    }
+}
+
+impl fmt::Display for InterfaceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.port, self.transceiver, self.speed)
+    }
+}
+
+impl FromStr for InterfaceClass {
+    type Err = ParseIfaceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('/');
+        let (Some(p), Some(t), Some(v), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ParseIfaceError::Class(s.to_owned()));
+        };
+        Ok(Self {
+            port: p.trim().parse()?,
+            transceiver: t.trim().parse()?,
+            speed: v.trim().parse()?,
+        })
+    }
+}
+
+/// Configuration state `c_i` of a single interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterfaceConfig {
+    /// Port/transceiver/speed combination.
+    pub class: InterfaceClass,
+    /// A transceiver module is physically present in the cage. Drives
+    /// `P_trx,in` — paid even when the port is shut down (§7).
+    pub plugged: bool,
+    /// The port is administratively enabled. Drives `P_port`.
+    pub admin_up: bool,
+    /// The link is operationally up (peer present and trained). Drives
+    /// `P_trx,up`. Can only be true when `plugged` and `admin_up` are.
+    pub oper_up: bool,
+}
+
+impl InterfaceConfig {
+    /// Empty cage, port shut: contributes nothing.
+    pub fn empty(class: InterfaceClass) -> Self {
+        Self {
+            class,
+            plugged: false,
+            admin_up: false,
+            oper_up: false,
+        }
+    }
+
+    /// Transceiver plugged but port shut (the Idle experiment state).
+    pub fn plugged(class: InterfaceClass) -> Self {
+        Self {
+            class,
+            plugged: true,
+            admin_up: false,
+            oper_up: false,
+        }
+    }
+
+    /// Port enabled with transceiver present, link not up (Port experiment).
+    pub fn enabled(class: InterfaceClass) -> Self {
+        Self {
+            class,
+            plugged: true,
+            admin_up: true,
+            oper_up: false,
+        }
+    }
+
+    /// Fully up interface (Trx experiment and normal operation).
+    pub fn up(class: InterfaceClass) -> Self {
+        Self {
+            class,
+            plugged: true,
+            admin_up: true,
+            oper_up: true,
+        }
+    }
+
+    /// Checks internal consistency: `oper_up ⇒ admin_up ∧ plugged`.
+    pub fn is_consistent(&self) -> bool {
+        !self.oper_up || (self.admin_up && self.plugged)
+    }
+}
+
+/// Traffic load `l_i` on a single interface: physical-layer bit rate and
+/// packet rate, both directions summed (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InterfaceLoad {
+    /// Bits per second through the interface (rx + tx).
+    pub bit_rate: DataRate,
+    /// Packets per second through the interface (rx + tx).
+    pub pkt_rate: PacketRate,
+}
+
+impl InterfaceLoad {
+    /// No traffic at all.
+    pub const IDLE: Self = Self {
+        bit_rate: DataRate::ZERO,
+        pkt_rate: PacketRate::ZERO,
+    };
+
+    /// Load from a bit rate and a uniform wire-level packet size
+    /// (`L + L_header` in Eq. 12).
+    pub fn from_rate(bit_rate: DataRate, wire_size: Bytes) -> Self {
+        Self {
+            bit_rate,
+            pkt_rate: bit_rate.packets_at(wire_size),
+        }
+    }
+
+    /// True when no traffic flows (both rates zero).
+    pub fn is_idle(&self) -> bool {
+        self.bit_rate.as_f64() <= 0.0 && self.pkt_rate.as_f64() <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_type_round_trip() {
+        for p in PortType::ALL {
+            assert_eq!(p.to_string().parse::<PortType>().unwrap(), p);
+        }
+        assert_eq!("QSPF28".parse::<PortType>().unwrap(), PortType::Qsfp28);
+        assert!("XFP".parse::<PortType>().is_err());
+    }
+
+    #[test]
+    fn transceiver_round_trip() {
+        for t in TransceiverType::ALL {
+            assert_eq!(t.to_string().parse::<TransceiverType>().unwrap(), t);
+        }
+        assert_eq!(
+            "passive dac".parse::<TransceiverType>().unwrap(),
+            TransceiverType::PassiveDac
+        );
+        assert!("ZR".parse::<TransceiverType>().is_err());
+    }
+
+    #[test]
+    fn speed_round_trip_and_rates() {
+        for s in Speed::ALL {
+            assert_eq!(s.to_string().parse::<Speed>().unwrap(), s);
+        }
+        assert_eq!(Speed::G100.rate().as_gbps(), 100.0);
+        assert_eq!(Speed::M100.rate().as_gbps(), 0.1);
+        assert!(Speed::ALL.windows(2).all(|w| w[0].rate() < w[1].rate()));
+    }
+
+    #[test]
+    fn optical_classification() {
+        assert!(TransceiverType::Lr4.is_optical());
+        assert!(TransceiverType::Fr4.is_optical());
+        assert!(!TransceiverType::PassiveDac.is_optical());
+        assert!(!TransceiverType::T.is_optical());
+    }
+
+    #[test]
+    fn class_display_and_parse() {
+        let c = InterfaceClass::new(PortType::Qsfp28, TransceiverType::Lr, Speed::G100);
+        assert_eq!(c.to_string(), "QSFP28/LR/100G");
+        assert_eq!("QSFP28/LR/100G".parse::<InterfaceClass>().unwrap(), c);
+        assert_eq!(" QSFP28 / LR / 100G ".parse::<InterfaceClass>().unwrap(), c);
+        assert!("QSFP28/LR".parse::<InterfaceClass>().is_err());
+        assert!("QSFP28/LR/100G/extra".parse::<InterfaceClass>().is_err());
+    }
+
+    #[test]
+    fn config_constructors_consistent() {
+        let c = InterfaceClass::new(PortType::Sfp, TransceiverType::T, Speed::G1);
+        for cfg in [
+            InterfaceConfig::empty(c),
+            InterfaceConfig::plugged(c),
+            InterfaceConfig::enabled(c),
+            InterfaceConfig::up(c),
+        ] {
+            assert!(cfg.is_consistent(), "{cfg:?}");
+        }
+        let bad = InterfaceConfig {
+            class: c,
+            plugged: false,
+            admin_up: false,
+            oper_up: true,
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn load_from_rate_and_idle() {
+        let l = InterfaceLoad::from_rate(DataRate::from_gbps(8.0), Bytes::new(1000.0));
+        assert!((l.pkt_rate.as_f64() - 1e6).abs() < 1.0);
+        assert!(!l.is_idle());
+        assert!(InterfaceLoad::IDLE.is_idle());
+    }
+
+    #[test]
+    fn parse_errors_display() {
+        let e = "XFP".parse::<PortType>().unwrap_err();
+        assert!(e.to_string().contains("XFP"));
+        let e = "a/b".parse::<InterfaceClass>().unwrap_err();
+        assert!(matches!(e, ParseIfaceError::Class(_)));
+    }
+}

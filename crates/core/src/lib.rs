@@ -1,0 +1,65 @@
+//! The router power model — the paper's primary contribution (§4).
+//!
+//! A router's electrical demand is modeled as the sum of a static part that
+//! depends only on the configuration `C` and a dynamic part that also
+//! depends on the traffic load `L`:
+//!
+//! ```text
+//! P = P_sta(C) + P_dyn(C, L)                                  (Eq. 1)
+//! P_sta(C) = P_base + Σ_i P_interface(c_i)                    (Eq. 2)
+//! P_interface(c_i) = P_port(c_i) + P_trx(c_i)                 (Eq. 3)
+//! P_trx(c_i) = P_trx,in + P_trx,up(c_i)                       (Eq. 4)
+//! P_dyn(C, L) = Σ_i (E_bit·r_i + E_pkt·p_i + P_offset(c_i))   (Eqs. 5–6)
+//! ```
+//!
+//! The model is *vendor-agnostic* and deliberately coarse: temperature, fan
+//! speed, PSU conversion losses, control-plane load, and software version
+//! are all absorbed into `P_base` (§4.3), which is why real predictions are
+//! precise but offset (§6.2, Fig. 4).
+//!
+//! Semantics used throughout this workspace (one consistent reading of the
+//! paper's per-interface accounting):
+//!
+//! * `P_trx,in` is paid per interface **as soon as a transceiver is
+//!   plugged**, even if the port is disabled — the "down ≠ off" insight (§7);
+//! * `P_port` is paid per interface that is **administratively enabled**;
+//! * `P_trx,up` is paid per interface whose **link is up**;
+//! * `E_bit·r + E_pkt·p + P_offset` is paid per interface carrying traffic
+//!   (`P_offset` is the jump from zero traffic to ~any traffic, e.g. SerDes
+//!   lines waking up).
+//!
+//! # Example
+//!
+//! ```
+//! use fj_core::{builtin_registry, InterfaceClass, InterfaceConfig, InterfaceLoad,
+//!               PortType, Speed, TransceiverType};
+//! use fj_units::{Bytes, DataRate};
+//!
+//! let registry = builtin_registry();
+//! let model = registry.get("8201-32FH").unwrap();
+//!
+//! let class = InterfaceClass::new(PortType::Qsfp, TransceiverType::PassiveDac, Speed::G100);
+//! let iface = InterfaceConfig::up(class);
+//! let load = InterfaceLoad::from_rate(DataRate::from_gbps(40.0), Bytes::new(1500.0));
+//!
+//! let p = model.predict(&[iface], &[load]).unwrap();
+//! assert!(p.total().as_f64() > 253.0); // base is 253 W, interfaces add more
+//! ```
+
+pub mod average;
+pub mod chassis;
+pub mod error;
+pub mod iface;
+pub mod params;
+pub mod predict;
+pub mod registry;
+pub mod transceiver;
+
+pub use average::average_models;
+pub use chassis::{ChassisModel, LinecardParams, LinecardType, SlotState};
+pub use error::ModelError;
+pub use iface::{InterfaceClass, InterfaceConfig, InterfaceLoad, PortType, Speed, TransceiverType};
+pub use params::{ClassParams, InterfaceParams, PowerModel};
+pub use predict::{InterfaceBreakdown, PowerBreakdown};
+pub use registry::{builtin_registry, ModelRegistry};
+pub use transceiver::transceiver_nominal_power;

@@ -1,0 +1,171 @@
+//! Prediction outputs: totals plus the per-interface, per-term breakdown
+//! used by the insight analyses (§7) and the link-sleeping evaluation (§8).
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::Watts;
+
+use crate::iface::{InterfaceConfig, InterfaceLoad};
+use crate::params::InterfaceParams;
+
+/// Per-term decomposition of one interface's predicted power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterfaceBreakdown {
+    /// `P_port` share (zero when the port is shut).
+    pub port: Watts,
+    /// `P_trx,in` share (zero when no module is plugged).
+    pub trx_in: Watts,
+    /// `P_trx,up` share (zero when the link is down).
+    pub trx_up: Watts,
+    /// `E_bit·r + E_pkt·p` share.
+    pub traffic: Watts,
+    /// `P_offset` share (zero on idle interfaces).
+    pub offset: Watts,
+}
+
+impl InterfaceBreakdown {
+    /// Evaluates all five terms for one interface.
+    pub fn evaluate(cfg: &InterfaceConfig, load: &InterfaceLoad, params: &InterfaceParams) -> Self {
+        let traffic = if load.is_idle() {
+            Watts::ZERO
+        } else {
+            params.e_bit * load.bit_rate + params.e_pkt * load.pkt_rate
+        };
+        let offset = if load.is_idle() {
+            Watts::ZERO
+        } else {
+            params.p_offset
+        };
+        Self {
+            port: if cfg.admin_up { params.p_port } else { Watts::ZERO },
+            trx_in: if cfg.plugged { params.p_trx_in } else { Watts::ZERO },
+            trx_up: if cfg.oper_up { params.p_trx_up } else { Watts::ZERO },
+            traffic,
+            offset,
+        }
+    }
+
+    /// Total power of this interface.
+    pub fn total(&self) -> Watts {
+        self.port + self.trx_in + self.trx_up + self.traffic + self.offset
+    }
+
+    /// The transceiver share `P_trx,in + P_trx,up` — what §7 calls the
+    /// transceiver power.
+    pub fn transceiver(&self) -> Watts {
+        self.trx_in + self.trx_up
+    }
+}
+
+/// Full prediction for a router: base power plus every interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// The chassis `P_base` term.
+    pub p_base: Watts,
+    /// One breakdown per interface, in input order.
+    pub interfaces: Vec<InterfaceBreakdown>,
+}
+
+impl PowerBreakdown {
+    /// Total predicted router power (Eq. 1).
+    pub fn total(&self) -> Watts {
+        self.p_base + self.interfaces.iter().map(|i| i.total()).sum::<Watts>()
+    }
+
+    /// Static share: base + port + transceiver terms.
+    pub fn static_power(&self) -> Watts {
+        self.p_base
+            + self
+                .interfaces
+                .iter()
+                .map(|i| i.port + i.trx_in + i.trx_up)
+                .sum::<Watts>()
+    }
+
+    /// Dynamic share: traffic + offset terms.
+    pub fn dynamic_power(&self) -> Watts {
+        self.interfaces
+            .iter()
+            .map(|i| i.traffic + i.offset)
+            .sum::<Watts>()
+    }
+
+    /// Total transceiver power across interfaces — the ≈10 % share in the
+    /// Switch network (§7).
+    pub fn transceiver_power(&self) -> Watts {
+        self.interfaces.iter().map(|i| i.transceiver()).sum()
+    }
+
+    /// Pure traffic-forwarding power (`E_bit`/`E_pkt` terms only) — the
+    /// "energy cost of traffic is small" quantity (§7).
+    pub fn traffic_power(&self) -> Watts {
+        self.interfaces.iter().map(|i| i.traffic).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::{InterfaceClass, PortType, Speed, TransceiverType};
+    use fj_units::{Bytes, DataRate};
+
+    fn params() -> InterfaceParams {
+        InterfaceParams::from_table(1.0, 2.0, 0.5, 10.0, 20.0, 0.3)
+    }
+
+    fn class() -> InterfaceClass {
+        InterfaceClass::new(PortType::Qsfp28, TransceiverType::Lr4, Speed::G100)
+    }
+
+    #[test]
+    fn evaluate_gates_terms_on_state() {
+        let p = params();
+        let load = InterfaceLoad::IDLE;
+
+        let empty = InterfaceBreakdown::evaluate(&InterfaceConfig::empty(class()), &load, &p);
+        assert_eq!(empty.total(), Watts::ZERO);
+
+        let plugged = InterfaceBreakdown::evaluate(&InterfaceConfig::plugged(class()), &load, &p);
+        assert_eq!(plugged.total(), Watts::new(2.0));
+        assert_eq!(plugged.transceiver(), Watts::new(2.0));
+
+        let enabled = InterfaceBreakdown::evaluate(&InterfaceConfig::enabled(class()), &load, &p);
+        assert_eq!(enabled.total(), Watts::new(3.0));
+
+        let up = InterfaceBreakdown::evaluate(&InterfaceConfig::up(class()), &load, &p);
+        assert_eq!(up.total(), Watts::new(3.5));
+        assert_eq!(up.transceiver(), Watts::new(2.5));
+    }
+
+    #[test]
+    fn traffic_and_offset_only_with_load() {
+        let p = params();
+        let cfg = InterfaceConfig::up(class());
+        let load = InterfaceLoad::from_rate(DataRate::from_gbps(10.0), Bytes::new(1250.0));
+        let b = InterfaceBreakdown::evaluate(&cfg, &load, &p);
+        // 10 pJ/bit * 10 Gbps = 0.1 W; 20 nJ/pkt * 1 Mpps = 0.02 W.
+        assert!((b.traffic.as_f64() - 0.12).abs() < 1e-9);
+        assert_eq!(b.offset, Watts::new(0.3));
+    }
+
+    #[test]
+    fn breakdown_aggregates() {
+        let p = params();
+        let cfg = InterfaceConfig::up(class());
+        let load = InterfaceLoad::from_rate(DataRate::from_gbps(10.0), Bytes::new(1250.0));
+        let one = InterfaceBreakdown::evaluate(&cfg, &load, &p);
+        let b = PowerBreakdown {
+            p_base: Watts::new(100.0),
+            interfaces: vec![one, one],
+        };
+        assert!((b.total().as_f64() - (100.0 + 2.0 * one.total().as_f64())).abs() < 1e-9);
+        assert!(
+            (b.static_power() + b.dynamic_power() - b.total())
+                .abs()
+                .as_f64()
+                < 1e-9
+        );
+        assert_eq!(b.transceiver_power(), Watts::new(5.0));
+        assert!((b.traffic_power().as_f64() - 0.24).abs() < 1e-9);
+    }
+}

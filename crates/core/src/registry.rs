@@ -1,0 +1,265 @@
+//! A registry of power models keyed by router model name, pre-populated
+//! with every model the paper publishes (Tables 2 and 6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::Watts;
+
+use crate::iface::{InterfaceClass, PortType, Speed, TransceiverType};
+use crate::params::{InterfaceParams, PowerModel};
+
+/// A collection of power models, one per router model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, PowerModel>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a model, keyed by its `router_model` name.
+    pub fn insert(&mut self, model: PowerModel) {
+        self.models.insert(model.router_model.clone(), model);
+    }
+
+    /// Looks up a model by router model name.
+    pub fn get(&self, router_model: &str) -> Option<&PowerModel> {
+        self.models.get(router_model)
+    }
+
+    /// Number of models registered.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Iterates over all models in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &PowerModel> {
+        self.models.values()
+    }
+
+    /// Router model names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.models.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Averages `P_port` and `P_trx,up` across all registered models for
+    /// each port type, mirroring §8's fallback when no per-device model
+    /// exists ("we assume a constant value of P_port per port type … by
+    /// averaging all the power models we have per port type").
+    pub fn port_type_averages(&self) -> BTreeMap<PortType, (Watts, Watts)> {
+        let mut acc: BTreeMap<PortType, (f64, f64, usize)> = BTreeMap::new();
+        for model in self.models.values() {
+            for cp in model.classes() {
+                let e = acc.entry(cp.class.port).or_insert((0.0, 0.0, 0));
+                e.0 += cp.params.p_port.as_f64();
+                e.1 += cp.params.p_trx_up.as_f64();
+                e.2 += 1;
+            }
+        }
+        acc.into_iter()
+            .map(|(port, (sp, st, n))| {
+                let n = n as f64;
+                (port, (Watts::new(sp / n), Watts::new(st / n)))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<PowerModel> for ModelRegistry {
+    fn from_iter<I: IntoIterator<Item = PowerModel>>(iter: I) -> Self {
+        let mut reg = Self::new();
+        for m in iter {
+            reg.insert(m);
+        }
+        reg
+    }
+}
+
+fn class(port: PortType, trx: TransceiverType, speed: Speed) -> InterfaceClass {
+    InterfaceClass::new(port, trx, speed)
+}
+
+/// The eight published power models (Tables 2 and 6), exactly as printed.
+///
+/// These parameters serve double duty in this workspace: they are the
+/// *ground truth* programmed into the router simulator, and the reference
+/// against which NetPowerBench's re-derived models are compared.
+pub fn builtin_registry() -> ModelRegistry {
+    use PortType::*;
+    use Speed::*;
+    use TransceiverType::*;
+
+    let t = InterfaceParams::from_table;
+
+    [
+        // Table 2 (a): Cisco NCS-55A1-24H.
+        PowerModel::new("NCS-55A1-24H", Watts::new(320.0))
+            .with_class(class(Qsfp28, PassiveDac, G100), t(0.32, 0.02, 0.19, 22.0, 58.0, 0.37))
+            .with_class(class(Qsfp28, PassiveDac, G50), t(0.18, 0.02, 0.16, 21.0, 57.0, 0.34))
+            .with_class(class(Qsfp28, PassiveDac, G25), t(0.10, 0.02, 0.08, 21.0, 55.0, 0.21)),
+        // Table 2 (b): Cisco Nexus 9336C-FX2.
+        PowerModel::new("Nexus9336-FX2", Watts::new(285.0))
+            .with_class(class(Qsfp28, Lr, G100), t(1.9, 2.79, -0.06, 8.0, 24.0, -0.43))
+            .with_class(class(Qsfp28, PassiveDac, G100), t(1.13, 0.09, -0.02, 8.0, 26.0, 0.07)),
+        // Table 2 (c): Cisco 8201-32FH.
+        PowerModel::new("8201-32FH", Watts::new(253.0))
+            .with_class(class(Qsfp, PassiveDac, G100), t(0.94, 0.35, 0.21, 3.0, 13.0, -0.04))
+            // The deployed 8201 in Fig. 4a also carries 400G FR4 optics;
+            // §6.2 prices the module at ≈12 W (datasheet) + ≈1 W of P_port.
+            .with_class(class(QsfpDd, Fr4, G400), t(1.0, 10.0, 2.0, 2.5, 11.0, 0.05)),
+        // Table 2 (d): Cisco N540X-8Z16G-SYS-A. The dagger note: E_pkt is
+        // imprecise (negative!) because traffic-induced power is tiny at 1G.
+        PowerModel::new("N540X-8Z16G-SYS-A", Watts::new(33.0))
+            .with_class(class(Sfp, T, G1), t(-0.0, 3.41, 0.0, 37.0, -48.0, 0.01)),
+        // Table 6 (a): EdgeCore Wedge 100BF-32X.
+        PowerModel::new("Wedge100BF-32X", Watts::new(108.0))
+            .with_class(class(Qsfp28, PassiveDac, G100), t(0.88, 0.0, 0.69, 1.7, 7.2, 0.0))
+            .with_class(class(Qsfp28, PassiveDac, G50), t(0.21, 0.0, 0.31, 2.5, 5.6, 0.05))
+            .with_class(class(Qsfp28, PassiveDac, G25), t(0.21, 0.0, 0.10, 2.7, 4.7, 0.06)),
+        // Table 6 (b): Cisco Nexus 93108TC-FX3P.
+        PowerModel::new("Nexus93108TC-FX3P", Watts::new(147.0))
+            .with_class(class(Qsfp28, PassiveDac, G100), t(0.17, 0.11, 0.23, 5.4, 21.2, 0.0))
+            .with_class(class(Qsfp28, PassiveDac, G40), t(0.07, 0.11, 0.16, 6.5, 17.4, 0.03))
+            .with_class(class(Rj45, T, G10), t(2.06, 0.11, 0.0, 6.7, 16.9, -0.03))
+            .with_class(class(Rj45, T, G1), t(0.93, 0.11, 0.0, 33.8, 18.2, -0.03)),
+        // Table 6 (c): Extreme Switch VSP-4900.
+        PowerModel::new("VSP-4900", Watts::new(8.2))
+            .with_class(class(SfpPlus, T, G10), t(0.08, 0.06, 0.0, 25.6, 26.5, 0.04)),
+        // Table 6 (d): Cisco Catalyst 3560.
+        PowerModel::new("Catalyst3560", Watts::new(40.0))
+            .with_class(class(Rj45, T, M100), t(0.21, 0.0, 0.0, 15.7, 193.1, -0.01)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::{InterfaceConfig, InterfaceLoad};
+
+    #[test]
+    fn builtin_has_all_eight_models() {
+        let reg = builtin_registry();
+        assert_eq!(reg.len(), 8);
+        for name in [
+            "NCS-55A1-24H",
+            "Nexus9336-FX2",
+            "8201-32FH",
+            "N540X-8Z16G-SYS-A",
+            "Wedge100BF-32X",
+            "Nexus93108TC-FX3P",
+            "VSP-4900",
+            "Catalyst3560",
+        ] {
+            assert!(reg.get(name).is_some(), "missing {name}");
+        }
+        assert!(reg.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn ncs_paper_values_round_trip() {
+        let reg = builtin_registry();
+        let m = reg.get("NCS-55A1-24H").unwrap();
+        assert_eq!(m.p_base, Watts::new(320.0));
+        let p = m
+            .lookup(class(
+                PortType::Qsfp28,
+                TransceiverType::PassiveDac,
+                Speed::G100,
+            ))
+            .unwrap();
+        assert!((p.e_bit.as_picojoules() - 22.0).abs() < 1e-9);
+        assert!((p.e_pkt.as_nanojoules() - 58.0).abs() < 1e-9);
+        assert_eq!(p.p_port, Watts::new(0.32));
+    }
+
+    #[test]
+    fn idle_chassis_predicts_base_power() {
+        let reg = builtin_registry();
+        for m in reg.iter() {
+            let p = m.predict(&[], &[]).unwrap();
+            assert_eq!(p.total(), m.p_base, "{}", m.router_model);
+        }
+    }
+
+    #[test]
+    fn n540_low_speed_note_holds() {
+        // The dagger note: at 1G the traffic-induced power is tiny, so the
+        // weird negative E_pkt barely matters. Check the absolute impact.
+        let reg = builtin_registry();
+        let m = reg.get("N540X-8Z16G-SYS-A").unwrap();
+        let c = class(PortType::Sfp, TransceiverType::T, Speed::G1);
+        let cfg = [InterfaceConfig::up(c)];
+        let load = [InterfaceLoad::from_rate(
+            fj_units::DataRate::from_gbps(1.0),
+            fj_units::Bytes::new(1520.0),
+        )];
+        let dyn_p = m.dynamic_power(&cfg, &load).unwrap();
+        assert!(dyn_p.abs().as_f64() < 0.2, "traffic power should be tiny: {dyn_p}");
+    }
+
+    #[test]
+    fn port_type_averages_cover_used_types() {
+        let reg = builtin_registry();
+        let avgs = reg.port_type_averages();
+        assert!(avgs.contains_key(&PortType::Qsfp28));
+        assert!(avgs.contains_key(&PortType::Rj45));
+        // QSFP28 average over {0.32,0.18,0.10,1.9,1.13,0.88,0.21,0.21,0.17,0.07}.
+        let (p_port, _) = avgs[&PortType::Qsfp28];
+        assert!((p_port.as_f64() - 0.517).abs() < 1e-3, "{p_port}");
+    }
+
+    #[test]
+    fn insert_replaces_by_name() {
+        let mut reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert(PowerModel::new("X", Watts::new(1.0)));
+        reg.insert(PowerModel::new("X", Watts::new(2.0)));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("X").unwrap().p_base, Watts::new(2.0));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let reg = builtin_registry();
+        let names = reg.names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn registry_serde_round_trip() {
+        // JSON prints floats with shortest-round-trip formatting, which can
+        // drop the last ulp of derived values, so compare approximately.
+        let reg = builtin_registry();
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: ModelRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(reg.names(), back.names());
+        for (a, b) in reg.iter().zip(back.iter()) {
+            assert_eq!(a.router_model, b.router_model);
+            assert!((a.p_base - b.p_base).abs().as_f64() < 1e-9);
+            assert_eq!(a.classes().len(), b.classes().len());
+            for (ca, cb) in a.classes().iter().zip(b.classes()) {
+                assert_eq!(ca.class, cb.class);
+                let rel = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
+                assert!(rel(ca.params.p_port.as_f64(), cb.params.p_port.as_f64()));
+                assert!(rel(
+                    ca.params.e_pkt.as_nanojoules(),
+                    cb.params.e_pkt.as_nanojoules()
+                ));
+            }
+        }
+    }
+}

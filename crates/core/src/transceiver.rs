@@ -1,0 +1,95 @@
+//! Nominal (datasheet) transceiver module power.
+//!
+//! §8 of the paper estimates link-sleeping savings without per-device
+//! models by pricing each transceiver at its datasheet value and treating
+//! the split between `P_trx,in` and `P_trx,up` as unknown
+//! (`P_trx,up ∈ [0, P_trx]`). This table provides those datasheet values.
+//! They follow common vendor specifications: passive copper is essentially
+//! free, optics grow with reach and lane count, and the 400G FR4 figure
+//! matches the 12 W quoted in §6.2.
+
+use fj_units::Watts;
+
+use crate::iface::{Speed, TransceiverType};
+
+/// Datasheet ("nominal") power of a transceiver module of the given family
+/// at the given line rate. This is `P_trx = P_trx,in + P_trx,up` as §8
+/// prices it — the split is generally unknown without lab measurements.
+pub fn transceiver_nominal_power(trx: TransceiverType, speed: Speed) -> Watts {
+    use Speed::*;
+    use TransceiverType::*;
+    let w = match (trx, speed) {
+        // Passive DAC: no active electronics beyond the cage circuitry.
+        (PassiveDac, _) => 0.1,
+        // Copper modules: 1000BASE-T and 10GBASE-T PHYs are power-hungry.
+        (T, M100) => 0.4,
+        (T, G1) => 1.0,
+        (T, G10) => 2.5,
+        (T, _) => 2.5,
+        // Short-reach multimode optics.
+        (Sr, M100 | G1) => 0.5,
+        (Sr, G10) => 0.8,
+        (Sr, G25) => 1.0,
+        (Sr, G40) => 1.5,
+        (Sr, G50) => 1.5,
+        (Sr, G100) => 2.0,
+        (Sr, G400) => 8.0,
+        // Long-reach single-lambda optics.
+        (Lr, M100 | G1) => 0.8,
+        (Lr, G10) => 1.2,
+        (Lr, G25) => 1.3,
+        (Lr, G40 | G50) => 2.0,
+        (Lr, G100) => 2.8,
+        (Lr, G400) => 10.0,
+        // 4-lane long reach.
+        (Lr4, G40) => 3.0,
+        (Lr4, G100) => 3.5,
+        (Lr4, G400) => 11.0,
+        (Lr4, _) => 3.0,
+        // 400G FR4: the module removed in Fig. 4a, specified at 12 W.
+        (Fr4, G400) => 12.0,
+        (Fr4, G100) => 4.0,
+        (Fr4, _) => 4.0,
+    };
+    Watts::new(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fr4_400g_matches_paper() {
+        assert_eq!(
+            transceiver_nominal_power(TransceiverType::Fr4, Speed::G400),
+            Watts::new(12.0)
+        );
+    }
+
+    #[test]
+    fn passive_dac_is_cheap() {
+        for s in Speed::ALL {
+            assert!(
+                transceiver_nominal_power(TransceiverType::PassiveDac, s).as_f64() <= 0.1
+            );
+        }
+    }
+
+    #[test]
+    fn optics_grow_with_speed() {
+        let lr = |s| transceiver_nominal_power(TransceiverType::Lr, s).as_f64();
+        assert!(lr(Speed::G1) < lr(Speed::G10));
+        assert!(lr(Speed::G10) < lr(Speed::G100));
+        assert!(lr(Speed::G100) < lr(Speed::G400));
+    }
+
+    #[test]
+    fn all_combinations_positive_and_bounded() {
+        for t in TransceiverType::ALL {
+            for s in Speed::ALL {
+                let p = transceiver_nominal_power(t, s);
+                assert!(p.as_f64() > 0.0 && p.as_f64() <= 12.0, "{t}/{s}: {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Datasheet analyses: the Fig. 2 trends and the Table 1 comparison.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::linear_regression;
+
+use crate::record::ExtractedRecord;
+
+/// One point of an efficiency-over-time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Release year.
+    pub year: u32,
+    /// Efficiency in W per 100 Gbps.
+    pub w_per_100g: f64,
+}
+
+/// The Broadcom switching-ASIC efficiency trend, redrawn from the paper's
+/// Fig. 2a (itself redrawn from an industry talk). These anchor the
+/// component-level story: a steep, unmistakable improvement.
+pub fn broadcom_asic_trend() -> Vec<TrendPoint> {
+    [
+        (2010, 30.0),
+        (2012, 20.0),
+        (2014, 13.0),
+        (2016, 8.0),
+        (2018, 5.0),
+        (2020, 3.0),
+        (2022, 2.0),
+    ]
+    .into_iter()
+    .map(|(year, w_per_100g)| TrendPoint { year, w_per_100g })
+    .collect()
+}
+
+/// Computes the Fig. 2b series from extracted records, applying the
+/// paper's method (§3.3.1): typical power, else max power, per 100 Gbps;
+/// only models with > 100 Gbps capacity; outliers above `outlier_cutoff`
+/// (the paper: ≈300 W/100G) are excluded from the plot.
+pub fn efficiency_trend(
+    records: &[ExtractedRecord],
+    outlier_cutoff: f64,
+) -> Vec<TrendPoint> {
+    let mut points: Vec<TrendPoint> = records
+        .iter()
+        .filter_map(|r| {
+            let year = r.release_year?;
+            let bw = r.max_bandwidth_gbps?;
+            if bw <= 100.0 {
+                return None; // high-end filter
+            }
+            let eff = r.efficiency_w_per_100g()?;
+            if eff >= outlier_cutoff {
+                return None;
+            }
+            Some(TrendPoint {
+                year,
+                w_per_100g: eff,
+            })
+        })
+        .collect();
+    points.sort_by(|a, b| (a.year, a.w_per_100g).partial_cmp(&(b.year, b.w_per_100g)).expect("finite"));
+    points
+}
+
+/// Strength of a trend: the fraction of efficiency variance explained by
+/// release year (R² of a linear fit). The paper's claim is qualitative —
+/// "not as clear" — this makes it quantitative.
+pub fn trend_strength(points: &[TrendPoint]) -> f64 {
+    if points.len() < 3 {
+        return 0.0;
+    }
+    let x: Vec<f64> = points.iter().map(|p| p.year as f64).collect();
+    let y: Vec<f64> = points.iter().map(|p| p.w_per_100g).collect();
+    linear_regression(&x, &y).map(|f| f.r_squared).unwrap_or(0.0)
+}
+
+/// One row of Table 1: datasheet "typical" vs deployed median.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasheetAccuracy {
+    /// Router model.
+    pub model: String,
+    /// Median measured power (W).
+    pub measured_w: f64,
+    /// Datasheet "typical" (or max when typical absent) power (W).
+    pub datasheet_w: f64,
+}
+
+impl DatasheetAccuracy {
+    /// Relative overestimation, Table 1's last column:
+    /// `(datasheet − measured) / datasheet`, in percent.
+    pub fn overestimation_pct(&self) -> f64 {
+        100.0 * (self.datasheet_w - self.measured_w) / self.datasheet_w
+    }
+}
+
+/// Builds Table 1 rows, sorted by decreasing overestimation (the paper's
+/// presentation order).
+pub fn datasheet_accuracy_table(
+    rows: impl IntoIterator<Item = (String, f64, f64)>,
+) -> Vec<DatasheetAccuracy> {
+    let mut out: Vec<DatasheetAccuracy> = rows
+        .into_iter()
+        .map(|(model, measured_w, datasheet_w)| DatasheetAccuracy {
+            model,
+            measured_w,
+            datasheet_w,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.overestimation_pct()
+            .partial_cmp(&a.overestimation_pct())
+            .expect("finite")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusConfig};
+    use crate::parse::{extract, ParserConfig};
+
+    fn extracted() -> Vec<ExtractedRecord> {
+        let truth = generate_corpus(&CorpusConfig::default());
+        let cfg = ParserConfig::default();
+        truth.iter().map(|r| extract(r, &cfg)).collect()
+    }
+
+    #[test]
+    fn asic_trend_is_unmistakable() {
+        let asic = broadcom_asic_trend();
+        let r2 = trend_strength(&asic);
+        assert!(r2 > 0.85, "ASIC trend R² {r2}");
+    }
+
+    #[test]
+    fn system_trend_is_much_weaker_than_asic() {
+        // The headline of Fig. 2: clear at the component level, murky at
+        // the system level.
+        let sys = efficiency_trend(&extracted(), 250.0);
+        assert!(sys.len() > 100, "enough Cisco points: {}", sys.len());
+        let sys_r2 = trend_strength(&sys);
+        let asic_r2 = trend_strength(&broadcom_asic_trend());
+        assert!(
+            sys_r2 < 0.4 && asic_r2 > 2.0 * sys_r2,
+            "system R² {sys_r2} vs ASIC R² {asic_r2}"
+        );
+    }
+
+    #[test]
+    fn trend_excludes_non_cisco_and_small_boxes() {
+        let pts = efficiency_trend(&extracted(), 250.0);
+        // Only Cisco records carry years; all points have eff < cutoff.
+        assert!(pts.iter().all(|p| p.w_per_100g < 250.0));
+        assert!(pts.iter().all(|p| (2008..=2021).contains(&p.year)));
+    }
+
+    #[test]
+    fn outlier_cutoff_removes_legacy_points() {
+        let with = efficiency_trend(&extracted(), f64::INFINITY);
+        let without = efficiency_trend(&extracted(), 250.0);
+        assert!(with.len() > without.len(), "cutoff removed something");
+    }
+
+    #[test]
+    fn table1_ordering_and_sign() {
+        let rows = datasheet_accuracy_table([
+            ("NCS-55A1-24H".to_owned(), 358.0, 600.0),
+            ("8201-32FH".to_owned(), 359.0, 288.0),
+            ("ASR-920-24SZ-M".to_owned(), 73.0, 110.0),
+        ]);
+        assert_eq!(rows[0].model, "NCS-55A1-24H");
+        assert!((rows[0].overestimation_pct() - 40.3).abs() < 0.5);
+        assert_eq!(rows[2].model, "8201-32FH");
+        assert!(rows[2].overestimation_pct() < -24.0);
+    }
+
+    #[test]
+    fn trend_strength_degenerate_cases() {
+        assert_eq!(trend_strength(&[]), 0.0);
+        let two = [
+            TrendPoint { year: 2010, w_per_100g: 1.0 },
+            TrendPoint { year: 2011, w_per_100g: 2.0 },
+        ];
+        assert_eq!(trend_strength(&two), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Router datasheet analysis (§3).
+//!
+//! The paper assembles power data for 777 router models from Cisco,
+//! Juniper, and Arista by parsing public datasheets with an LLM, then asks
+//! two questions: do datasheets show efficiency improvement over time
+//! (Fig. 2), and do datasheet power numbers predict deployed power
+//! (Table 1)? Both datasheets and the LLM are unavailable here, so this
+//! crate builds the complete synthetic equivalent:
+//!
+//! * [`corpus`] — a generative **truth layer**: 777 models whose "real"
+//!   power characteristics embed a strong ASIC-level efficiency trend
+//!   (Fig. 2a) buried under system-level overheads, plus per-model
+//!   datasheet over/under-statement (the Cisco 8000 series understates,
+//!   as Table 1 found);
+//! * [`render`] — each truth record rendered into irregular, vendor-styled
+//!   datasheet text (different field names, units, prose vs tables, "TBD"
+//!   entries — the §3.1 mess);
+//! * [`parse`] — a rule-based extractor standing in for GPT-4o, with an
+//!   explicit hallucination model; release dates are never extracted,
+//!   matching the paper's experience;
+//! * [`analysis`] — the efficiency-trend series (Fig. 2a/2b) and the
+//!   datasheet-vs-measured comparison (Table 1).
+//!
+//! Because the truth layer is known, the extractor's accuracy can be
+//! *measured* — something the paper could only sample by hand.
+
+pub mod analysis;
+pub mod corpus;
+pub mod netbox;
+pub mod parse;
+pub mod record;
+pub mod render;
+
+pub use analysis::{broadcom_asic_trend, datasheet_accuracy_table, efficiency_trend, DatasheetAccuracy, TrendPoint};
+pub use corpus::{generate_corpus, CorpusConfig};
+pub use netbox::{build_library, DeviceType};
+pub use parse::{extract, ExtractionQuality, ParserConfig};
+pub use record::{DatasheetRecord, ExtractedRecord, Vendor};
+pub use render::render_datasheet;

@@ -1,0 +1,162 @@
+//! The NetBox device-type library — the collection's starting point.
+//!
+//! §3.2: the paper solves the "which router models exist?" problem by
+//! starting from the NetBox community device-type library, "a structured
+//! collection of device models in YAML format organized by vendors, which
+//! includes a field with datasheet URLs. The number and capacity of PSUs
+//! is also collected from NetBox if present."
+//!
+//! This module produces and parses that inventory layer: a YAML-style
+//! rendering (hand-rolled — the subset used by device-type files is flat
+//! key/value plus one list) with the fields the pipeline consumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{DatasheetRecord, Vendor};
+
+/// One device-type entry, as the NetBox library describes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceType {
+    /// Manufacturer name.
+    pub manufacturer: String,
+    /// Model string.
+    pub model: String,
+    /// Datasheet URL (synthetic here, but carried through like the real
+    /// pipeline does).
+    pub datasheet_url: String,
+    /// Number of PSU bays, when the library records power ports.
+    pub psu_count: Option<u32>,
+    /// Per-PSU capacity in watts, when recorded.
+    pub psu_capacity_w: Option<f64>,
+}
+
+impl DeviceType {
+    /// Builds the inventory entry for a corpus record.
+    pub fn from_record(record: &DatasheetRecord) -> DeviceType {
+        DeviceType {
+            manufacturer: record.vendor.to_string(),
+            model: record.model.clone(),
+            datasheet_url: format!(
+                "https://example.org/{}/datasheets/{}.html",
+                record.vendor.to_string().to_lowercase(),
+                record.model.to_lowercase()
+            ),
+            psu_count: Some(record.psu_count),
+            psu_capacity_w: Some(record.psu_capacity_w),
+        }
+    }
+
+    /// Renders the device-type file (YAML subset).
+    pub fn to_yaml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("manufacturer: {}\n", self.manufacturer));
+        out.push_str(&format!("model: {}\n", self.model));
+        out.push_str(&format!("comments: datasheet {}\n", self.datasheet_url));
+        if let (Some(n), Some(cap)) = (self.psu_count, self.psu_capacity_w) {
+            out.push_str("power-ports:\n");
+            for i in 0..n {
+                out.push_str(&format!(
+                    "  - name: PSU{i}\n    maximum_draw: {cap:.0}\n"
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses a device-type file produced by [`DeviceType::to_yaml`].
+    /// Returns `None` for files missing the mandatory fields.
+    pub fn from_yaml(text: &str) -> Option<DeviceType> {
+        let mut manufacturer = None;
+        let mut model = None;
+        let mut datasheet_url = None;
+        let mut psu_count = 0u32;
+        let mut psu_capacity_w = None;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if let Some(v) = trimmed.strip_prefix("manufacturer: ") {
+                manufacturer = Some(v.to_owned());
+            } else if let Some(v) = trimmed.strip_prefix("model: ") {
+                model = Some(v.to_owned());
+            } else if let Some(v) = trimmed.strip_prefix("comments: datasheet ") {
+                datasheet_url = Some(v.to_owned());
+            } else if trimmed.starts_with("- name: PSU") {
+                psu_count += 1;
+            } else if let Some(v) = trimmed.strip_prefix("maximum_draw: ") {
+                psu_capacity_w = v.parse().ok();
+            }
+        }
+        Some(DeviceType {
+            manufacturer: manufacturer?,
+            model: model?,
+            datasheet_url: datasheet_url?,
+            psu_count: (psu_count > 0).then_some(psu_count),
+            psu_capacity_w,
+        })
+    }
+
+    /// The vendor, when the manufacturer string is one of the corpus'.
+    pub fn vendor(&self) -> Option<Vendor> {
+        match self.manufacturer.as_str() {
+            "Cisco" => Some(Vendor::Cisco),
+            "Juniper" => Some(Vendor::Juniper),
+            "Arista" => Some(Vendor::Arista),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the whole device-type library for a corpus — the model list the
+/// datasheet collection iterates over.
+pub fn build_library(corpus: &[DatasheetRecord]) -> Vec<DeviceType> {
+    corpus.iter().map(DeviceType::from_record).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn yaml_round_trip() {
+        let corpus = generate_corpus(&CorpusConfig::default());
+        for record in corpus.iter().take(50) {
+            let dt = DeviceType::from_record(record);
+            let back = DeviceType::from_yaml(&dt.to_yaml()).expect("own yaml parses");
+            assert_eq!(back, dt);
+        }
+    }
+
+    #[test]
+    fn library_covers_whole_corpus() {
+        let corpus = generate_corpus(&CorpusConfig::default());
+        let library = build_library(&corpus);
+        assert_eq!(library.len(), corpus.len());
+        // PSU data flows through, as §3.2 describes.
+        for (dt, record) in library.iter().zip(&corpus) {
+            assert_eq!(dt.psu_count, Some(record.psu_count));
+            assert_eq!(dt.psu_capacity_w, Some(record.psu_capacity_w));
+            assert_eq!(dt.vendor(), Some(record.vendor));
+        }
+    }
+
+    #[test]
+    fn yaml_mentions_psu_ports() {
+        let corpus = generate_corpus(&CorpusConfig::default());
+        let yaml = DeviceType::from_record(&corpus[0]).to_yaml();
+        assert!(yaml.contains("power-ports:"));
+        assert!(yaml.contains("- name: PSU0"));
+        assert!(yaml.contains("maximum_draw:"));
+    }
+
+    #[test]
+    fn malformed_yaml_rejected() {
+        assert!(DeviceType::from_yaml("model: X\n").is_none(), "no manufacturer");
+        assert!(DeviceType::from_yaml("").is_none());
+        // No PSU section is fine — NetBox doesn't always record power.
+        let dt = DeviceType::from_yaml(
+            "manufacturer: Cisco\nmodel: X\ncomments: datasheet http://x\n",
+        )
+        .expect("parses");
+        assert_eq!(dt.psu_count, None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Datasheet record types: the truth layer and the extracted layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware vendor (the paper's choice of three is arbitrary; so is ours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Cisco Systems.
+    Cisco,
+    /// Juniper Networks.
+    Juniper,
+    /// Arista Networks.
+    Arista,
+}
+
+impl Vendor {
+    /// All vendors in the corpus.
+    pub const ALL: [Vendor; 3] = [Vendor::Cisco, Vendor::Juniper, Vendor::Arista];
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Vendor::Cisco => "Cisco",
+            Vendor::Juniper => "Juniper",
+            Vendor::Arista => "Arista",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The ground-truth description of one router model, from which its
+/// datasheet text is rendered. Fields mirror what §3.1 tries to collect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasheetRecord {
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Model name, e.g. `"C-8201-X14"`.
+    pub model: String,
+    /// Product series, e.g. `"8000"`.
+    pub series: String,
+    /// Release year of the series.
+    pub release_year: u32,
+    /// "Typical" power stated on the datasheet, if stated (W).
+    pub typical_power_w: Option<f64>,
+    /// "Maximum" power stated on the datasheet, if stated (W).
+    pub max_power_w: Option<f64>,
+    /// Maximum switching bandwidth (Gbps). Sometimes only derivable by
+    /// summing port capacities; the renderer reflects that.
+    pub max_bandwidth_gbps: f64,
+    /// Number of PSUs.
+    pub psu_count: u32,
+    /// PSU capacity (W).
+    pub psu_capacity_w: f64,
+    /// The *actual* median power this model draws in a typical deployment
+    /// — never printed on the datasheet; used to evaluate datasheet
+    /// accuracy (Table 1).
+    pub deployed_median_w: f64,
+}
+
+impl DatasheetRecord {
+    /// The efficiency metric of Fig. 2: typical power per 100 Gbps, using
+    /// max power when typical is absent (§3.3.1's method). `None` when no
+    /// power number is stated or bandwidth is zero.
+    pub fn efficiency_w_per_100g(&self) -> Option<f64> {
+        let power = self.typical_power_w.or(self.max_power_w)?;
+        if self.max_bandwidth_gbps <= 0.0 {
+            return None;
+        }
+        Some(power / (self.max_bandwidth_gbps / 100.0))
+    }
+
+    /// Datasheet overestimation relative to deployment, as Table 1's last
+    /// column: `(datasheet − measured) / datasheet`. Negative when the
+    /// datasheet *underestimates*.
+    pub fn overestimation(&self) -> Option<f64> {
+        let stated = self.typical_power_w.or(self.max_power_w)?;
+        if stated <= 0.0 {
+            return None;
+        }
+        Some((stated - self.deployed_median_w) / stated)
+    }
+}
+
+/// Where an extracted field came from — the dataset tags LLM output
+/// separately from manual or NetBox-imported data (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldSource {
+    /// Extracted by the (simulated) LLM — subject to hallucination.
+    Llm,
+    /// Collected manually.
+    Manual,
+    /// Imported from the NetBox device-type library.
+    NetBox,
+}
+
+/// What the extraction pipeline recovered for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractedRecord {
+    /// Vendor (known from the source inventory, not extracted).
+    pub vendor: Vendor,
+    /// Model name (from the inventory).
+    pub model: String,
+    /// Series as inferred by the LLM.
+    pub series: Option<String>,
+    /// Extracted typical power (W).
+    pub typical_power_w: Option<f64>,
+    /// Extracted maximum power (W).
+    pub max_power_w: Option<f64>,
+    /// Extracted bandwidth (Gbps).
+    pub max_bandwidth_gbps: Option<f64>,
+    /// PSU count — imported from NetBox when present there.
+    pub psu_count: Option<u32>,
+    /// Release year. The LLM "proved unable to return accurate release
+    /// date information" (§3.2) — only manual collection fills this, and
+    /// only for Cisco in the dataset.
+    pub release_year: Option<u32>,
+    /// Provenance of the power/bandwidth fields.
+    pub source: FieldSource,
+}
+
+impl ExtractedRecord {
+    /// Same efficiency metric as the truth layer, over extracted fields.
+    pub fn efficiency_w_per_100g(&self) -> Option<f64> {
+        let power = self.typical_power_w.or(self.max_power_w)?;
+        let bw = self.max_bandwidth_gbps?;
+        if bw <= 0.0 {
+            return None;
+        }
+        Some(power / (bw / 100.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> DatasheetRecord {
+        DatasheetRecord {
+            vendor: Vendor::Cisco,
+            model: "NCS-55A1-24H".into(),
+            series: "NCS-5500".into(),
+            release_year: 2017,
+            typical_power_w: Some(600.0),
+            max_power_w: Some(900.0),
+            max_bandwidth_gbps: 2400.0,
+            psu_count: 2,
+            psu_capacity_w: 1100.0,
+            deployed_median_w: 358.0,
+        }
+    }
+
+    #[test]
+    fn efficiency_prefers_typical() {
+        let r = record();
+        assert!((r.efficiency_w_per_100g().unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_falls_back_to_max() {
+        let mut r = record();
+        r.typical_power_w = None;
+        assert!((r.efficiency_w_per_100g().unwrap() - 37.5).abs() < 1e-9);
+        r.max_power_w = None;
+        assert_eq!(r.efficiency_w_per_100g(), None);
+    }
+
+    #[test]
+    fn overestimation_matches_table1_convention() {
+        // Table 1 row: NCS-55A1-24H measured 358, typical 600 → 40 %.
+        let r = record();
+        let over = r.overestimation().unwrap();
+        assert!((over - (600.0 - 358.0) / 600.0).abs() < 1e-9);
+        assert!((over - 0.4033).abs() < 0.001);
+    }
+
+    #[test]
+    fn underestimation_is_negative() {
+        // Table 1: 8201-32FH typical 288, measured 359 → −24.6 %.
+        let mut r = record();
+        r.typical_power_w = Some(288.0);
+        r.deployed_median_w = 359.0;
+        assert!(r.overestimation().unwrap() < -0.24);
+    }
+
+    #[test]
+    fn vendor_display() {
+        assert_eq!(Vendor::Cisco.to_string(), "Cisco");
+        assert_eq!(Vendor::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Rendering truth records into messy datasheet text.
+//!
+//! §3.1's complaints, reproduced: the same quantity travels under many
+//! names ("Typical power", "Power draw (typical)", "Normal operating
+//! power"); numbers hide mid-paragraph or in pseudo-tables; bandwidth is
+//! sometimes only derivable from port counts; power is sometimes "TBD".
+
+use crate::record::{DatasheetRecord, Vendor};
+
+/// Renders a record into unstructured datasheet text. The layout dialect
+/// is a deterministic function of the model name, so corpora render
+/// stably and the extractor faces every dialect.
+pub fn render_datasheet(record: &DatasheetRecord) -> String {
+    match dialect(record) {
+        0 => render_table_style(record),
+        1 => render_prose_style(record),
+        _ => render_ports_style(record),
+    }
+}
+
+fn dialect(record: &DatasheetRecord) -> usize {
+    // Stable per model: hash of the name's bytes.
+    let h: u32 = record
+        .model
+        .bytes()
+        .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+    (h % 3) as usize
+}
+
+fn typical_label(vendor: Vendor) -> &'static str {
+    match vendor {
+        Vendor::Cisco => "Typical power",
+        Vendor::Juniper => "Power draw (typical)",
+        Vendor::Arista => "Normal operating power",
+    }
+}
+
+fn max_label(vendor: Vendor) -> &'static str {
+    match vendor {
+        Vendor::Cisco => "Maximum power",
+        Vendor::Juniper => "Power draw (maximum)",
+        Vendor::Arista => "Max. power consumption",
+    }
+}
+
+fn render_table_style(r: &DatasheetRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} {} Data Sheet\n=========================\n\n",
+        r.vendor, r.model
+    ));
+    out.push_str("Specifications\n--------------\n");
+    out.push_str(&format!(
+        "| Switching capacity      | {:.0} Gbps |\n",
+        r.max_bandwidth_gbps
+    ));
+    match r.typical_power_w {
+        Some(w) => out.push_str(&format!(
+            "| {:23} | {:.0} W (at 25C) |\n",
+            typical_label(r.vendor),
+            w
+        )),
+        None => {}
+    }
+    match r.max_power_w {
+        Some(w) => out.push_str(&format!("| {:23} | {:.0} W |\n", max_label(r.vendor), w)),
+        None => out.push_str("| Power                   | TBD |\n"),
+    }
+    out.push_str(&format!(
+        "| Power supplies          | {} x {:.0} W AC |\n",
+        r.psu_count, r.psu_capacity_w
+    ));
+    out
+}
+
+fn render_prose_style(r: &DatasheetRecord) -> String {
+    let mut out = format!(
+        "{} {} — Product Overview\n\nThe {} series delivers industry-leading \
+         density with a total switching capacity of {:.0} Gbps in a compact \
+         form factor. ",
+        r.vendor, r.model, r.series, r.max_bandwidth_gbps
+    );
+    match (r.typical_power_w, r.max_power_w) {
+        (Some(t), Some(m)) => out.push_str(&format!(
+            "Under typical workloads the system draws {t:.0} W ({} at 1.8 Tbps), \
+             with a worst-case envelope of {m:.0} W for facility planning. ",
+            typical_label(r.vendor)
+        )),
+        (None, Some(m)) => out.push_str(&format!(
+            "Facility planners should provision for a maximum draw of {m:.0} W. "
+        )),
+        _ => out.push_str("Power figures for this configuration are TBD. "),
+    }
+    out.push_str(&format!(
+        "The chassis accepts {} hot-swappable {:.0} W power supply units for \
+         full redundancy.\n",
+        r.psu_count, r.psu_capacity_w
+    ));
+    out
+}
+
+/// A dialect where bandwidth must be *derived* from port counts.
+fn render_ports_style(r: &DatasheetRecord) -> String {
+    // Decompose bandwidth into a plausible port mix: prefer 100G ports,
+    // then 10G, then 1G for the remainder.
+    let hundreds = (r.max_bandwidth_gbps / 100.0).floor() as u64;
+    let mut rest = r.max_bandwidth_gbps - hundreds as f64 * 100.0;
+    let tens = (rest / 10.0).floor() as u64;
+    rest -= tens as f64 * 10.0;
+    let ones = rest.round() as u64;
+    let mut out = format!("{} {}\n\nInterfaces: {} x 100GE QSFP28", r.vendor, r.model, hundreds);
+    if tens > 0 {
+        out.push_str(&format!(" + {tens} x 10GE SFP+"));
+    }
+    if ones > 0 {
+        out.push_str(&format!(" + {ones} x 1GE SFP"));
+    }
+    out.push('\n');
+    match r.typical_power_w {
+        Some(w) => out.push_str(&format!("{}: {w:.0}W\n", typical_label(r.vendor))),
+        None => {}
+    }
+    match r.max_power_w {
+        Some(w) => out.push_str(&format!("{}: {w:.0}W\n", max_label(r.vendor))),
+        None => out.push_str("Power: TBD\n"),
+    }
+    out.push_str(&format!(
+        "PSU: {} x {:.0}W (1+1)\n",
+        r.psu_count, r.psu_capacity_w
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let c = generate_corpus(&CorpusConfig::default());
+        assert_eq!(render_datasheet(&c[0]), render_datasheet(&c[0]));
+    }
+
+    #[test]
+    fn all_dialects_appear_in_corpus() {
+        let c = generate_corpus(&CorpusConfig::default());
+        let mut seen = [false; 3];
+        for r in &c {
+            seen[dialect(r)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn typical_power_appears_with_vendor_label() {
+        let c = generate_corpus(&CorpusConfig::default());
+        let r = c
+            .iter()
+            .find(|r| r.typical_power_w.is_some() && dialect(r) == 0)
+            .unwrap();
+        let text = render_datasheet(r);
+        assert!(text.contains(typical_label(r.vendor)), "{text}");
+    }
+
+    #[test]
+    fn tbd_rendered_when_power_missing() {
+        let c = generate_corpus(&CorpusConfig::default());
+        let r = c
+            .iter()
+            .find(|r| r.typical_power_w.is_none() && r.max_power_w.is_none())
+            .expect("corpus contains fully-TBD sheets");
+        assert!(render_datasheet(r).contains("TBD"));
+    }
+
+    #[test]
+    fn ports_dialect_omits_direct_bandwidth() {
+        let c = generate_corpus(&CorpusConfig::default());
+        let r = c.iter().find(|r| dialect(r) == 2).unwrap();
+        let text = render_datasheet(r);
+        assert!(!text.contains("Switching capacity"));
+        assert!(text.contains("QSFP28"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the datasheet pipeline: rendering and
+//! extraction must stay mutually consistent for arbitrary truth records.
+
+use fj_datasheets::{extract, render_datasheet, DatasheetRecord, ParserConfig, Vendor};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = DatasheetRecord> {
+    (
+        prop::sample::select(Vendor::ALL.to_vec()),
+        "[A-Z0-9]{2,6}-[A-Z0-9]{2,8}",
+        2008u32..2024,
+        prop::option::of(10.0f64..5_000.0),
+        prop::option::of(10.0f64..8_000.0),
+        10.0f64..20_000.0,
+        prop::sample::select(vec![250.0f64, 400.0, 750.0, 1100.0, 2000.0, 2700.0]),
+    )
+        .prop_map(
+            |(vendor, model, year, typical, max, bw, psu_cap)| DatasheetRecord {
+                vendor,
+                model: model.clone(),
+                series: model.split('-').next().unwrap_or("X").to_owned(),
+                release_year: year,
+                typical_power_w: typical,
+                max_power_w: max,
+                max_bandwidth_gbps: bw,
+                psu_count: 2,
+                psu_capacity_w: psu_cap,
+                deployed_median_w: typical.unwrap_or(100.0) * 0.8,
+            },
+        )
+}
+
+proptest! {
+    /// The oracle extractor recovers stated typical power to rendering
+    /// precision (whole watts) and never hallucinates a value when the
+    /// datasheet states none.
+    #[test]
+    fn oracle_recovers_or_abstains(record in arb_record()) {
+        let extracted = extract(&record, &ParserConfig::oracle());
+        match (record.typical_power_w, extracted.typical_power_w) {
+            (Some(truth), Some(got)) => {
+                prop_assert!((got - truth).abs() <= 0.5, "{got} vs {truth}");
+            }
+            (None, Some(got)) => {
+                prop_assert!(false, "hallucinated typical power {got} from nothing");
+            }
+            _ => {}
+        }
+        if record.max_power_w.is_none() {
+            prop_assert_eq!(extracted.max_power_w, None);
+        }
+    }
+
+    /// Extracted bandwidth is within the port-quantisation error of the
+    /// truth (exact for the directly-stated dialects).
+    #[test]
+    fn bandwidth_recovery_bounded(record in arb_record()) {
+        let extracted = extract(&record, &ParserConfig::oracle());
+        if let Some(got) = extracted.max_bandwidth_gbps {
+            let rel = (got - record.max_bandwidth_gbps).abs() / record.max_bandwidth_gbps;
+            prop_assert!(rel < 0.06, "bandwidth rel err {rel}");
+        }
+    }
+
+    /// Rendering never panics and always mentions the vendor and model.
+    #[test]
+    fn rendering_total_and_identifying(record in arb_record()) {
+        let text = render_datasheet(&record);
+        prop_assert!(text.contains(&record.vendor.to_string()));
+        prop_assert!(text.contains(&record.model));
+    }
+
+    /// Extraction is deterministic per (record, config).
+    #[test]
+    fn extraction_deterministic(record in arb_record(), seed in any::<u64>()) {
+        let cfg = ParserConfig { seed, ..ParserConfig::default() };
+        prop_assert_eq!(extract(&record, &cfg), extract(&record, &cfg));
+    }
+
+    /// The PSU capacity line never contaminates the power fields: for a
+    /// sheet with no stated power, extraction returns nothing even though
+    /// a "<n> x <capacity> W" line is present.
+    #[test]
+    fn psu_line_never_mistaken_for_power(mut record in arb_record()) {
+        record.typical_power_w = None;
+        record.max_power_w = None;
+        let extracted = extract(&record, &ParserConfig::oracle());
+        prop_assert_eq!(extracted.typical_power_w, None);
+        prop_assert_eq!(extracted.max_power_w, None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Topology connectivity for the sleep-safety check.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An undirected multigraph of routers (nodes) and links (edges).
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// Adjacency: node → (neighbor, link id).
+    adj: HashMap<usize, Vec<(usize, usize)>>,
+    /// Links currently considered up.
+    up: HashSet<usize>,
+}
+
+impl Topology {
+    /// Builds a topology from `(link_id, a, b)` edges, all up.
+    pub fn new(edges: impl IntoIterator<Item = (usize, usize, usize)>) -> Self {
+        let mut t = Topology::default();
+        for (id, a, b) in edges {
+            t.adj.entry(a).or_default().push((b, id));
+            t.adj.entry(b).or_default().push((a, id));
+            t.up.insert(id);
+        }
+        t
+    }
+
+    /// Number of nodes with at least one edge.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of up links.
+    pub fn up_count(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Marks a link down.
+    pub fn sleep(&mut self, link_id: usize) {
+        self.up.remove(&link_id);
+    }
+
+    /// Marks a link up again.
+    pub fn wake(&mut self, link_id: usize) {
+        self.up.insert(link_id);
+    }
+
+    /// Whether a link is up.
+    pub fn is_up(&self, link_id: usize) -> bool {
+        self.up.contains(&link_id)
+    }
+
+    /// Number of connected components in the up-link subgraph (nodes with
+    /// no edges at all are not counted; a real ISP topology may already be
+    /// a forest of islands when only *internal* links are considered).
+    pub fn component_count(&self) -> usize {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut components = 0;
+        for &start in self.adj.keys() {
+            if seen.contains(&start) {
+                continue;
+            }
+            components += 1;
+            let mut queue = VecDeque::from([start]);
+            seen.insert(start);
+            while let Some(node) = queue.pop_front() {
+                for &(next, link) in self.adj.get(&node).into_iter().flatten() {
+                    if self.up.contains(&link) && seen.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Whether the subgraph of up links connects all nodes that have any
+    /// edge at all. An empty topology is trivially connected.
+    pub fn connected(&self) -> bool {
+        self.component_count() <= 1
+    }
+
+    /// Whether sleeping `link_id` leaves connectivity unchanged: the
+    /// number of components must not grow (the baseline may already be a
+    /// forest). The link is restored before returning; only the caller
+    /// commits sleeps.
+    pub fn safe_to_sleep(&mut self, link_id: usize) -> bool {
+        if !self.is_up(link_id) {
+            return false;
+        }
+        let before = self.component_count();
+        self.sleep(link_id);
+        let after = self.component_count();
+        self.wake(link_id);
+        after <= before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A triangle: any single link can sleep; two cannot.
+    fn triangle() -> Topology {
+        Topology::new([(0, 1, 2), (1, 2, 3), (2, 3, 1)])
+    }
+
+    #[test]
+    fn triangle_is_connected() {
+        assert!(triangle().connected());
+        assert_eq!(triangle().node_count(), 3);
+        assert_eq!(triangle().up_count(), 3);
+    }
+
+    #[test]
+    fn one_sleep_keeps_connectivity_two_break_it() {
+        let mut t = triangle();
+        assert!(t.safe_to_sleep(0));
+        t.sleep(0);
+        assert!(t.connected());
+        assert!(!t.safe_to_sleep(1), "second sleep would partition");
+        t.sleep(1);
+        assert!(!t.connected());
+        t.wake(1);
+        assert!(t.connected());
+    }
+
+    #[test]
+    fn bridge_cannot_sleep() {
+        // Path 1-2-3: both links are bridges.
+        let mut t = Topology::new([(0, 1, 2), (1, 2, 3)]);
+        assert!(!t.safe_to_sleep(0));
+        assert!(!t.safe_to_sleep(1));
+    }
+
+    #[test]
+    fn parallel_links_redundant() {
+        // Two parallel links between the same routers: one can sleep.
+        let mut t = Topology::new([(0, 1, 2), (1, 1, 2)]);
+        assert!(t.safe_to_sleep(0));
+        t.sleep(0);
+        assert!(t.connected());
+        assert!(!t.safe_to_sleep(1));
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        assert!(Topology::default().connected());
+    }
+
+    #[test]
+    fn sleeping_down_link_is_not_safe() {
+        let mut t = triangle();
+        t.sleep(0);
+        assert!(!t.safe_to_sleep(0), "already down");
+    }
+}

@@ -1,0 +1,32 @@
+//! **Hypnos** — link sleeping for ISP networks (§8; Röllin et al.).
+//!
+//! Hypnos is an intra-domain algorithm: given the topology and the current
+//! traffic, it turns off internal links the residual traffic does not
+//! need, subject to keeping the network connected and leaving capacity
+//! headroom. External links (to other networks) are out of reach — in the
+//! Switch data those are 51 % of interfaces and 52 % of transceiver power,
+//! which is one of the two reasons the realised savings disappoint.
+//!
+//! The other reason is the physics of §7: taking a port *down* does not
+//! power its transceiver *off*; only `P_port + P_trx,up` is saved while
+//! `P_trx,in` keeps burning. Since the `P_trx,in`/`P_trx,up` split is
+//! unknown without lab models, savings are reported as a **range**:
+//! `P_trx,up ∈ [0, P_trx(datasheet)]` (§8's method, using the per-port-type
+//! `P_port` averages of Table 5).
+//!
+//! ```
+//! use fj_hypnos::{HypnosConfig, run_on_fleet};
+//! use fj_isp::{build_fleet, FleetConfig};
+//!
+//! let mut fleet = build_fleet(&FleetConfig::small(3));
+//! let outcome = run_on_fleet(&mut fleet, &HypnosConfig::default());
+//! assert!(outcome.slept.len() <= fleet.links.len());
+//! ```
+
+pub mod algorithm;
+pub mod graph;
+pub mod savings;
+
+pub use algorithm::{run_on_fleet, HypnosConfig, HypnosOutcome, LinkObservation};
+pub use graph::Topology;
+pub use savings::{sleeping_savings, SavingsRange};

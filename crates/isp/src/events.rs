@@ -1,0 +1,252 @@
+//! Scheduled fleet events — the episodes the paper dissects.
+
+use fj_core::InterfaceClass;
+use fj_router_sim::SimError;
+use fj_units::{SimInstant, Watts};
+
+use crate::fleet::Fleet;
+
+/// What happens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A transceiver is pulled from a cage (Fig. 4a, Oct 9: a 400G FR4
+    /// module is removed and all traces drop by ≈13 W).
+    UnplugTransceiver {
+        /// Router index in the fleet.
+        router: usize,
+        /// Interface index.
+        iface: usize,
+    },
+    /// A module is inserted and the interface brought up (Fig. 4a,
+    /// Oct 31: multiple interfaces added).
+    PlugAndEnable {
+        /// Router index.
+        router: usize,
+        /// Interface index.
+        iface: usize,
+        /// What to plug.
+        class: InterfaceClass,
+    },
+    /// An interface is administratively disabled — *with the transceiver
+    /// left plugged* (Fig. 4a, Oct 22: the flapping interface is taken
+    /// down; the model wrongly assumes the module was pulled).
+    AdminDown {
+        /// Router index.
+        router: usize,
+        /// Interface index.
+        iface: usize,
+    },
+    /// The interface is re-enabled (Oct 25).
+    AdminUp {
+        /// Router index.
+        router: usize,
+        /// Interface index.
+        iface: usize,
+    },
+    /// A PSU is briefly unplugged and re-plugged (installing an Autopower
+    /// meter, Fig. 4b, Sept 25: the reported value shifted by 7 W).
+    PowerCyclePsu {
+        /// Router index.
+        router: usize,
+        /// PSU slot.
+        slot: usize,
+    },
+    /// An OS update changes unmodeled power draw (Fig. 8: +45 W from a
+    /// fan-management change).
+    OsUpdate {
+        /// Router index.
+        router: usize,
+        /// New version string.
+        version: String,
+        /// Power step (can be negative).
+        delta: Watts,
+    },
+    /// A PSU fails in the field: the bay drops out of load sharing and
+    /// the survivor carries everything (at a better point on its curve —
+    /// the accidental version of §9.3.4).
+    PsuFailure {
+        /// Router index.
+        router: usize,
+        /// PSU slot that dies.
+        slot: usize,
+    },
+    /// Coarse hardware (de)commissioning: a persistent power step at the
+    /// given router (Fig. 1's jumps "generally coincide with hardware
+    /// (de)commissioning"). Modeled as an unattributed draw change.
+    PowerStep {
+        /// Router index.
+        router: usize,
+        /// Step size.
+        delta: Watts,
+    },
+}
+
+/// An event and when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// Firing time.
+    pub at: SimInstant,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl ScheduledEvent {
+    /// Applies the event to the fleet.
+    pub fn apply(&self, fleet: &mut Fleet) -> Result<(), SimError> {
+        match &self.kind {
+            EventKind::UnplugTransceiver { router, iface } => {
+                fleet.routers[*router].sim.unplug(*iface)?;
+                // The inventory no longer lists the module either.
+                fleet.routers[*router].plan.retain(|p| p.index != *iface);
+                Ok(())
+            }
+            EventKind::PlugAndEnable {
+                router,
+                iface,
+                class,
+            } => {
+                let r = &mut fleet.routers[*router];
+                r.sim.plug(*iface, class.transceiver, class.speed)?;
+                r.sim.set_external_peer(*iface, true)?;
+                r.sim.set_admin(*iface, true)?;
+                r.plan.push(crate::fleet::PlannedInterface {
+                    index: *iface,
+                    class: *class,
+                    external: true,
+                    link_id: None,
+                    pattern: fj_traffic::LoadPattern::isp_default(
+                        (*router as u64) << 32 | *iface as u64,
+                    ),
+                    spare: false,
+                });
+                Ok(())
+            }
+            EventKind::AdminDown { router, iface } => {
+                fleet.routers[*router].sim.set_admin(*iface, false)
+            }
+            EventKind::AdminUp { router, iface } => {
+                fleet.routers[*router].sim.set_admin(*iface, true)
+            }
+            EventKind::PowerCyclePsu { router, slot } => {
+                fleet.routers[*router].sim.power_cycle_psu(*slot)
+            }
+            EventKind::PsuFailure { router, slot } => {
+                fleet.routers[*router].sim.set_psu_enabled(*slot, false)
+            }
+            EventKind::OsUpdate {
+                router,
+                version,
+                delta,
+            } => {
+                fleet.routers[*router].sim.os_update(version.clone(), *delta);
+                Ok(())
+            }
+            EventKind::PowerStep { router, delta } => {
+                // Reuse the unmodeled-draw mechanism without touching the
+                // version string.
+                let version = fleet.routers[*router].sim.os_version().to_owned();
+                fleet.routers[*router].sim.os_update(version, *delta);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Sorts events by firing time (stable for equal times).
+pub fn sort_events(events: &mut [ScheduledEvent]) {
+    events.sort_by_key(|e| e.at);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_fleet;
+    use crate::config::FleetConfig;
+
+    #[test]
+    fn unplug_event_drops_power_and_inventory() {
+        let mut fleet = build_fleet(&FleetConfig::small(1));
+        let router = 0;
+        let iface = fleet.routers[router].plan[0].index;
+        let before = fleet.routers[router].sim.wall_power().as_f64();
+        let n_plan = fleet.routers[router].plan.len();
+        ScheduledEvent {
+            at: SimInstant::EPOCH,
+            kind: EventKind::UnplugTransceiver { router, iface },
+        }
+        .apply(&mut fleet)
+        .unwrap();
+        assert!(fleet.routers[router].sim.wall_power().as_f64() < before);
+        assert_eq!(fleet.routers[router].plan.len(), n_plan - 1);
+    }
+
+    #[test]
+    fn admin_down_keeps_module_plugged() {
+        let mut fleet = build_fleet(&FleetConfig::small(1));
+        let router = 0;
+        let iface = fleet.routers[router].plan[0].index;
+        ScheduledEvent {
+            at: SimInstant::EPOCH,
+            kind: EventKind::AdminDown { router, iface },
+        }
+        .apply(&mut fleet)
+        .unwrap();
+        let st = fleet.routers[router].sim.interface(iface).unwrap();
+        assert!(st.transceiver.is_some(), "down ≠ unplugged");
+        assert!(!st.oper_up);
+    }
+
+    #[test]
+    fn os_update_steps_power() {
+        let mut fleet = build_fleet(&FleetConfig::small(1));
+        let router = fleet.find_model("8201-32FH").unwrap();
+        let before = fleet.routers[router].sim.wall_power().as_f64();
+        ScheduledEvent {
+            at: SimInstant::EPOCH,
+            kind: EventKind::OsUpdate {
+                router,
+                version: "7.11.2".into(),
+                delta: Watts::new(45.0),
+            },
+        }
+        .apply(&mut fleet)
+        .unwrap();
+        let after = fleet.routers[router].sim.wall_power().as_f64();
+        // +45 W at the DC side, slightly more at the wall through the
+        // (lossy) PSUs.
+        assert!(after - before >= 45.0, "step {}", after - before);
+        assert!(after - before < 70.0);
+        assert_eq!(fleet.routers[router].sim.os_version(), "7.11.2");
+    }
+
+    #[test]
+    fn psu_failure_shifts_wall_power() {
+        let mut fleet = build_fleet(&FleetConfig::small(1));
+        let router = 0;
+        let before = fleet.routers[router].sim.wall_power().as_f64();
+        ScheduledEvent {
+            at: SimInstant::EPOCH,
+            kind: EventKind::PsuFailure { router, slot: 1 },
+        }
+        .apply(&mut fleet)
+        .unwrap();
+        let after = fleet.routers[router].sim.wall_power().as_f64();
+        assert_ne!(before, after, "losing a PSU moves the operating point");
+        assert!(!fleet.routers[router].sim.psu(1).unwrap().enabled);
+    }
+
+    #[test]
+    fn sort_orders_by_time() {
+        let mk = |secs| ScheduledEvent {
+            at: SimInstant::from_secs(secs),
+            kind: EventKind::AdminUp {
+                router: 0,
+                iface: 0,
+            },
+        };
+        let mut v = vec![mk(30), mk(10), mk(20)];
+        sort_events(&mut v);
+        let order: Vec<i64> = v.iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Long-horizon trace collection — the synthetic counterpart of the
+//! 10-month SNMP dataset and the 2-month Autopower co-deployment.
+
+use fj_router_sim::SimError;
+use fj_units::{SimDuration, SimInstant, TimeSeries};
+
+use crate::events::{sort_events, ScheduledEvent};
+use crate::fleet::Fleet;
+use crate::predict::ModelPredictor;
+
+/// Collected series for one router.
+#[derive(Debug, Clone, Default)]
+pub struct RouterTrace {
+    /// Router name.
+    pub name: String,
+    /// Hardware model.
+    pub model: String,
+    /// Sum of firmware-reported PSU input power (the SNMP trace). Empty
+    /// for models that do not report (Fig. 4c).
+    pub psu_reported: TimeSeries,
+    /// External (Autopower) wall-power measurements. Only populated for
+    /// instrumented routers.
+    pub wall: TimeSeries,
+    /// Power-model predictions (§6.2 method).
+    pub predicted: TimeSeries,
+    /// Traffic through the router, bits per second (both directions,
+    /// summed over interfaces).
+    pub traffic: TimeSeries,
+}
+
+/// Fleet-wide series plus per-router detail.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTrace {
+    /// Poll period used.
+    pub step: SimDuration,
+    /// Per-router traces, fleet order.
+    pub routers: Vec<RouterTrace>,
+    /// Total wall power (W) — the physical ground truth.
+    pub total_wall: TimeSeries,
+    /// Total firmware-reported power (W) over reporting routers — what
+    /// the Fig. 1 "Total power" curve is built from.
+    pub total_reported: TimeSeries,
+    /// Total traffic (bit/s), internal links counted once.
+    pub total_traffic: TimeSeries,
+}
+
+impl FleetTrace {
+    /// Trace of the router with the given name, if collected.
+    pub fn router(&self, name: &str) -> Option<&RouterTrace> {
+        self.routers.iter().find(|r| r.name == name)
+    }
+}
+
+/// Runs the fleet from `start` (inclusive) to `end` (exclusive) at the
+/// poll period `step`, applying `events` at their scheduled times and
+/// recording one sample per poll.
+///
+/// `instrumented` lists fleet indices carrying Autopower units (the paper
+/// deployed three); their wall power is recorded externally.
+pub fn collect(
+    fleet: &mut Fleet,
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
+    mut events: Vec<ScheduledEvent>,
+    instrumented: &[usize],
+) -> Result<FleetTrace, SimError> {
+    assert!(step.is_positive(), "poll period must be positive");
+    sort_events(&mut events);
+    let mut next_event = 0usize;
+
+    // Align every router's clock to the trace start.
+    for r in &mut fleet.routers {
+        r.sim.set_time(start);
+    }
+
+    let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
+    let mut trace = FleetTrace {
+        step,
+        routers: fleet
+            .routers
+            .iter()
+            .map(|r| RouterTrace {
+                name: r.name.clone(),
+                model: r.sim.spec().model.clone(),
+                ..Default::default()
+            })
+            .collect(),
+        ..Default::default()
+    };
+
+    // Prime predictor counters so the first recorded sample has a delta.
+    for (i, r) in fleet.routers.iter().enumerate() {
+        let _ = predictor.predict_router(i, r, step);
+    }
+    fleet.advance(step)?;
+
+    let mut t = start + step;
+    while t < end {
+        // Fire due events.
+        while next_event < events.len() && events[next_event].at <= t {
+            events[next_event].apply(fleet)?;
+            next_event += 1;
+        }
+
+        // Record.
+        let mut total_wall = 0.0;
+        let mut total_reported = 0.0;
+        for (i, router) in fleet.routers.iter_mut().enumerate() {
+            let rt = &mut trace.routers[i];
+            let wall = router.sim.wall_power().as_f64();
+            total_wall += wall;
+
+            let mut reported = 0.0;
+            let mut reports = false;
+            for slot in 0..router.sim.psu_count() {
+                if let Ok(Some(p)) = router.sim.psu_reported_power(slot) {
+                    reported += p.as_f64();
+                    reports = true;
+                }
+            }
+            if reports {
+                rt.psu_reported.push(t, reported);
+                total_reported += reported;
+            } else {
+                // Non-reporting models are invisible to the SNMP total —
+                // substitute their wall draw so Fig. 1 stays comparable
+                // (documented deviation; the paper's total simply lacks
+                // those routers).
+                total_reported += wall;
+            }
+
+            if instrumented.contains(&i) {
+                rt.wall.push(t, wall);
+            }
+
+            let traffic: f64 = router
+                .plan
+                .iter()
+                .filter(|p| !p.spare)
+                .map(|p| p.pattern.rate(t, p.class.speed.rate()).as_f64())
+                .sum();
+            rt.traffic.push(t, traffic);
+        }
+
+        for (i, router) in fleet.routers.iter().enumerate() {
+            if let Some(p) = predictor.predict_router(i, router, step) {
+                trace.routers[i].predicted.push(t, p.as_f64());
+            }
+        }
+
+        trace.total_wall.push(t, total_wall);
+        trace.total_reported.push(t, total_reported);
+        trace
+            .total_traffic
+            .push(t, fleet.total_traffic().as_f64());
+
+        fleet.advance(step)?;
+        t += step;
+    }
+
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_fleet;
+    use crate::config::FleetConfig;
+    use crate::events::EventKind;
+    use fj_units::Watts;
+
+    fn day_trace(events: Vec<ScheduledEvent>) -> (Fleet, FleetTrace) {
+        let mut fleet = build_fleet(&FleetConfig::small(11));
+        let trace = collect(
+            &mut fleet,
+            SimInstant::EPOCH,
+            SimInstant::from_days(1),
+            SimDuration::from_mins(5),
+            events,
+            &[0],
+        )
+        .unwrap();
+        (fleet, trace)
+    }
+
+    #[test]
+    fn trace_has_expected_sample_counts() {
+        let (fleet, trace) = day_trace(vec![]);
+        let expected = 24 * 12 - 1; // one poll per 5 min, first consumed by priming
+        assert_eq!(trace.total_wall.len(), expected);
+        assert_eq!(trace.total_traffic.len(), expected);
+        assert_eq!(trace.routers.len(), fleet.routers.len());
+        // Instrumented router 0 has wall samples; others none.
+        assert_eq!(trace.routers[0].wall.len(), expected);
+        assert!(trace.routers[1].wall.is_empty());
+    }
+
+    #[test]
+    fn non_reporting_models_have_empty_psu_series() {
+        let (fleet, trace) = day_trace(vec![]);
+        for (r, rt) in fleet.routers.iter().zip(&trace.routers) {
+            let reports = r.sim.spec().sensor.reports();
+            assert_eq!(
+                !rt.psu_reported.is_empty(),
+                reports,
+                "{} ({})",
+                rt.name,
+                rt.model
+            );
+        }
+    }
+
+    #[test]
+    fn power_step_event_visible_in_total() {
+        let (_, quiet) = day_trace(vec![]);
+        let (_, stepped) = day_trace(vec![ScheduledEvent {
+            at: SimInstant::from_secs(12 * 3600),
+            kind: EventKind::PowerStep {
+                router: 0,
+                delta: Watts::new(200.0),
+            },
+        }]);
+        let before = |tr: &FleetTrace| {
+            tr.total_wall
+                .slice(SimInstant::from_secs(0), SimInstant::from_secs(11 * 3600))
+                .mean()
+                .unwrap()
+        };
+        let after = |tr: &FleetTrace| {
+            tr.total_wall
+                .slice(
+                    SimInstant::from_secs(13 * 3600),
+                    SimInstant::from_secs(24 * 3600),
+                )
+                .mean()
+                .unwrap()
+        };
+        let quiet_delta = after(&quiet) - before(&quiet);
+        let stepped_delta = after(&stepped) - before(&stepped);
+        assert!(
+            stepped_delta - quiet_delta > 150.0,
+            "step visible: {stepped_delta} vs {quiet_delta}"
+        );
+    }
+
+    #[test]
+    fn predictions_collected_for_all_routers() {
+        let (_, trace) = day_trace(vec![]);
+        for rt in &trace.routers {
+            assert!(!rt.predicted.is_empty(), "{} has predictions", rt.name);
+            // Prediction is in a sane absolute range.
+            let mean = rt.predicted.mean().unwrap();
+            assert!(mean > 5.0 && mean < 1000.0, "{}: {mean}", rt.name);
+        }
+    }
+
+    #[test]
+    fn traffic_total_positive_and_diurnal() {
+        let (_, trace) = day_trace(vec![]);
+        let night = trace
+            .total_traffic
+            .slice(SimInstant::from_secs(2 * 3600), SimInstant::from_secs(4 * 3600))
+            .mean()
+            .unwrap();
+        let afternoon = trace
+            .total_traffic
+            .slice(
+                SimInstant::from_secs(14 * 3600),
+                SimInstant::from_secs(16 * 3600),
+            )
+            .mean()
+            .unwrap();
+        assert!(afternoon > night, "afternoon {afternoon} night {night}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Trace-validation metrics — the quantitative core of the Fig. 4 / Fig. 9
+//! comparisons, reusable outside the experiment binaries.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{correlation, std_dev, SimDuration, TimeSeries};
+
+/// How one power-data source compares against a reference (usually the
+/// external Autopower measurement, the study's ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceComparison {
+    /// Mean signed offset, `source − reference`, in watts. The paper's
+    /// "accurate" axis: zero means no constant bias.
+    pub offset_w: f64,
+    /// Pearson correlation between the two (smoothed) traces. The paper's
+    /// "precise" axis: 1.0 means the shape matches perfectly.
+    pub shape_correlation: f64,
+    /// Residual standard deviation after removing the constant offset, in
+    /// watts — the Fig. 9 precision number.
+    pub residual_std_w: f64,
+    /// Standard deviation of the reference itself, for scale.
+    pub reference_std_w: f64,
+    /// Number of compared (smoothed) samples.
+    pub samples: usize,
+}
+
+impl SourceComparison {
+    /// Compares `source` to `reference` after `smoothing`-window
+    /// averaging, on their shared time span. Returns `None` when either
+    /// side is empty or the overlap is trivial.
+    pub fn compute(
+        source: &TimeSeries,
+        reference: &TimeSeries,
+        smoothing: SimDuration,
+    ) -> Option<SourceComparison> {
+        if source.is_empty() || reference.is_empty() {
+            return None;
+        }
+        let s = source.window_mean(smoothing);
+        let r = reference.window_mean(smoothing);
+        let joined_s = s.combine(&r, |a, _| a);
+        let joined_r = s.combine(&r, |_, b| b);
+        if joined_s.len() < 3 {
+            return None;
+        }
+        let offset_w = joined_s.mean_diff(&joined_r).ok()?;
+        let shape_correlation =
+            correlation(&joined_s.values(), &joined_r.values()).ok()?;
+        let residuals: Vec<f64> = joined_s
+            .sub(&joined_r)
+            .values()
+            .iter()
+            .map(|d| d - offset_w)
+            .collect();
+        Some(SourceComparison {
+            offset_w,
+            shape_correlation,
+            residual_std_w: std_dev(&residuals).ok()?,
+            reference_std_w: std_dev(&joined_r.values()).ok()?,
+            samples: joined_s.len(),
+        })
+    }
+
+    /// The paper's verdict vocabulary: a source is *precise* when its
+    /// shape tracks the reference (here: correlation ≥ `min_corr`).
+    pub fn is_precise(&self, min_corr: f64) -> bool {
+        self.shape_correlation >= min_corr
+    }
+
+    /// …and *accurate* when its constant bias is small.
+    pub fn is_accurate(&self, max_offset_w: f64) -> bool {
+        self.offset_w.abs() <= max_offset_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_units::{SimInstant, TimeSeries};
+
+    fn wavy(offset: f64, scale: f64, n: i64) -> TimeSeries {
+        TimeSeries::tabulate(
+            SimInstant::EPOCH,
+            SimInstant::from_secs(n * 60),
+            SimDuration::from_mins(1),
+            |t| offset + scale * ((t.as_secs() as f64) / 600.0).sin(),
+        )
+    }
+
+    #[test]
+    fn offset_copy_is_precise_not_accurate() {
+        // The Fig. 4a PSU behaviour: same shape, +17 W.
+        let reference = wavy(360.0, 5.0, 600);
+        let source = reference.map(|v| v + 17.0);
+        let cmp =
+            SourceComparison::compute(&source, &reference, SimDuration::from_mins(30))
+                .expect("overlap");
+        assert!((cmp.offset_w - 17.0).abs() < 1e-9);
+        assert!(cmp.shape_correlation > 0.999);
+        assert!(cmp.residual_std_w < 1e-9);
+        assert!(cmp.is_precise(0.99));
+        assert!(!cmp.is_accurate(5.0));
+        assert!(cmp.is_accurate(20.0));
+    }
+
+    #[test]
+    fn constant_source_is_neither() {
+        // The Fig. 4b behaviour: a pseudo-constant that ignores the shape.
+        let reference = wavy(400.0, 5.0, 600);
+        let source = wavy(405.0, 0.0, 600);
+        let cmp =
+            SourceComparison::compute(&source, &reference, SimDuration::from_mins(30))
+                .expect("overlap");
+        assert!(cmp.shape_correlation.abs() < 0.2, "{}", cmp.shape_correlation);
+        assert!(!cmp.is_precise(0.9));
+    }
+
+    #[test]
+    fn perfect_source_is_both() {
+        let reference = wavy(100.0, 2.0, 600);
+        let cmp =
+            SourceComparison::compute(&reference, &reference, SimDuration::from_mins(30))
+                .expect("overlap");
+        assert_eq!(cmp.offset_w, 0.0);
+        assert!(cmp.is_precise(0.999) && cmp.is_accurate(0.1));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let reference = wavy(100.0, 2.0, 600);
+        assert!(SourceComparison::compute(
+            &TimeSeries::new(),
+            &reference,
+            SimDuration::from_mins(30)
+        )
+        .is_none());
+        // Tiny overlap.
+        let short = wavy(100.0, 2.0, 1);
+        assert!(
+            SourceComparison::compute(&short, &short, SimDuration::from_mins(30)).is_none()
+        );
+    }
+}

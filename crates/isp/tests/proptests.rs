@@ -1,0 +1,88 @@
+//! Property-based tests for the fleet simulation's invariants, over many
+//! construction seeds.
+
+use fj_isp::{build_fleet, FleetConfig, FleetInsights};
+use fj_units::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    // Fleet construction is the expensive operation here; keep case
+    // counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Construction invariants hold for every seed: planned interfaces
+    /// exist, internal links are intra-fleet and speed-matched, spares
+    /// are down, names unique.
+    #[test]
+    fn construction_invariants(seed in 0u64..10_000) {
+        let fleet = build_fleet(&FleetConfig::small(seed));
+        let mut names = std::collections::BTreeSet::new();
+        for r in &fleet.routers {
+            prop_assert!(names.insert(r.name.clone()), "duplicate {}", r.name);
+            for p in &r.plan {
+                let st = r.sim.interface(p.index).expect("planned index valid");
+                prop_assert!(st.transceiver.is_some());
+                if p.spare {
+                    prop_assert!(!st.admin_up && !st.oper_up);
+                } else {
+                    prop_assert!(st.oper_up, "{} iface {}", r.name, p.index);
+                }
+            }
+        }
+        for &(a, b) in &fleet.links {
+            prop_assert!(a.router < fleet.routers.len());
+            prop_assert!(b.router < fleet.routers.len());
+            prop_assert_ne!(a.router, b.router);
+        }
+    }
+
+    /// Advancing time moves every router's clock in lockstep and never
+    /// decreases total counters.
+    #[test]
+    fn advance_is_lockstep_and_monotone(seed in 0u64..10_000, steps in 1usize..6) {
+        let mut fleet = build_fleet(&FleetConfig::small(seed));
+        let mut last_octets = 0u64;
+        for _ in 0..steps {
+            fleet.advance(SimDuration::from_mins(30)).expect("advances");
+            let now = fleet.now();
+            let mut octets = 0u64;
+            for r in &fleet.routers {
+                prop_assert_eq!(r.sim.now(), now, "clock skew at {}", r.name);
+                for p in r.active_interfaces() {
+                    octets += r.sim.interface(p.index).expect("valid").octets;
+                }
+            }
+            prop_assert!(octets >= last_octets);
+            last_octets = octets;
+        }
+        prop_assert!(last_octets > 0, "traffic flowed");
+    }
+
+    /// Link disable/enable round-trips the wall power exactly.
+    #[test]
+    fn link_toggle_round_trip(seed in 0u64..10_000) {
+        let mut fleet = build_fleet(&FleetConfig::small(seed));
+        prop_assume!(!fleet.links.is_empty());
+        let before = fleet.total_wall_power_w();
+        fleet.set_link_enabled(0, false).expect("valid link");
+        let down = fleet.total_wall_power_w();
+        prop_assert!(down < before, "sleeping saves something");
+        fleet.set_link_enabled(0, true).expect("valid link");
+        let restored = fleet.total_wall_power_w();
+        prop_assert!((restored - before).abs() < 1e-9);
+    }
+
+    /// Fleet-level physical sanity for every seed: transceiver power is a
+    /// proper fraction of the total, traffic power is tiny.
+    #[test]
+    fn insights_always_physical(seed in 0u64..10_000) {
+        let fleet = build_fleet(&FleetConfig::small(seed));
+        let insights = FleetInsights::compute(&fleet);
+        prop_assert!(insights.total_power_w > 0.0);
+        prop_assert!(insights.transceiver_w >= 0.0);
+        prop_assert!(insights.transceiver_w < insights.total_power_w);
+        prop_assert!(insights.traffic_fraction() < 0.02);
+        let ext = insights.share.external_fraction();
+        prop_assert!((0.0..=1.0).contains(&ext));
+    }
+}

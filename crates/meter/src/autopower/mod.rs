@@ -1,0 +1,23 @@
+//! The Autopower measurement-collection system (§6.1).
+//!
+//! An Autopower unit (Raspberry Pi + MCP39F511N) measures a production
+//! router's wall power and ships the samples to a central server. Design
+//! constraints from the paper, all honoured here:
+//!
+//! * **client-initiated connection** — units often sit behind NAT, so the
+//!   client dials out; the server never connects in;
+//! * **local buffering with periodic upload** — samples are stored on the
+//!   client and uploaded in batches; nothing is dropped when the link or
+//!   the server is down;
+//! * **resilience** — on reconnect, everything still unacknowledged is
+//!   retransmitted; the server deduplicates by sequence number;
+//! * **remote control** — the server can start/stop a unit's measurement.
+//!
+//! The wire format is a 4-byte big-endian length prefix followed by a JSON
+//! message ([`protocol`]). The original uses gRPC; a hand-rolled framed
+//! protocol keeps the dependency budget tiny while exercising the same
+//! failure modes.
+
+pub mod client;
+pub mod protocol;
+pub mod server;

@@ -1,0 +1,231 @@
+//! Autopower wire protocol: length-prefixed JSON frames.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use fj_units::SimInstant;
+
+/// Maximum accepted frame size; anything larger is treated as a protocol
+/// violation (protects the server from a misbehaving client).
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// One power measurement taken by a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Simulated timestamp of the reading.
+    pub at: SimInstant,
+    /// Measured wall power in watts.
+    pub watts: f64,
+}
+
+/// Protocol messages. The client never waits for commands synchronously:
+/// each upload's acknowledgement carries the server's desired state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// First message on every connection: identifies the unit.
+    Hello {
+        /// Stable unit identifier (e.g. `"autopower-zrh-1"`).
+        unit_id: String,
+    },
+    /// Server's response to `Hello`.
+    Welcome {
+        /// Whether the unit should be measuring right now.
+        measuring: bool,
+        /// Highest sample sequence number the server has durably stored
+        /// for this unit; the client may discard everything up to it.
+        acked_seq: u64,
+    },
+    /// A batch of samples with contiguous sequence numbers starting at
+    /// `first_seq`.
+    Upload {
+        /// Sequence number of `samples[0]`.
+        first_seq: u64,
+        /// The measurements, oldest first.
+        samples: Vec<PowerSample>,
+    },
+    /// Acknowledgement of everything up to and including `acked_seq`,
+    /// plus the server's current desired measuring state.
+    Ack {
+        /// Highest contiguous sequence number stored.
+        acked_seq: u64,
+        /// Whether the unit should keep measuring.
+        measuring: bool,
+    },
+}
+
+/// Errors reading or writing protocol frames.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// Frame failed to parse as a message.
+    Malformed(serde_json::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+    /// Connection closed mid-frame.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "socket error: {e}"),
+            ProtoError::Malformed(e) => write!(f, "malformed frame: {e}"),
+            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            ProtoError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one framed message.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<(), ProtoError> {
+    let body = serde_json::to_vec(msg).map_err(ProtoError::Malformed)?;
+    let mut frame = BytesMut::with_capacity(4 + body.len());
+    frame.put_u32(body.len() as u32);
+    frame.put_slice(&body);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message (blocking).
+pub fn read_message<R: Read>(r: &mut R) -> Result<Message, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or_eof(r, &mut len_buf)?;
+    let len = (&len_buf[..]).get_u32() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_or_eof(r, &mut body)?;
+    serde_json::from_slice(&body).map_err(ProtoError::Malformed)
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), ProtoError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ProtoError::UnexpectedEof),
+        Err(e) => Err(ProtoError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(msg: Message) -> Message {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        read_message(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        let msgs = [
+            Message::Hello {
+                unit_id: "autopower-1".into(),
+            },
+            Message::Welcome {
+                measuring: true,
+                acked_seq: 7,
+            },
+            Message::Upload {
+                first_seq: 3,
+                samples: vec![
+                    PowerSample {
+                        at: SimInstant::from_secs(10),
+                        watts: 361.5,
+                    },
+                    PowerSample {
+                        at: SimInstant::from_secs(11),
+                        watts: 360.9,
+                    },
+                ],
+            },
+            Message::Ack {
+                acked_seq: 4,
+                measuring: false,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(round_trip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn several_frames_in_sequence() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            write_message(
+                &mut buf,
+                &Message::Ack {
+                    acked_seq: i,
+                    measuring: true,
+                },
+            )
+            .unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for i in 0..5u64 {
+            match read_message(&mut cur).unwrap() {
+                Message::Ack { acked_seq, .. } => assert_eq!(acked_seq, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(
+            read_message(&mut cur),
+            Err(ProtoError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        write_message(
+            &mut buf,
+            &Message::Hello {
+                unit_id: "x".into(),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_message(&mut Cursor::new(buf)),
+            Err(ProtoError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        assert!(matches!(
+            read_message(&mut Cursor::new(buf)),
+            Err(ProtoError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_body_is_malformed() {
+        let body = b"not json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(body);
+        assert!(matches!(
+            read_message(&mut Cursor::new(buf)),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+}

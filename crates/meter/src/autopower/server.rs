@@ -1,0 +1,238 @@
+//! The Autopower collection server.
+//!
+//! Accepts client-initiated TCP connections, stores uploaded samples per
+//! unit (deduplicating by sequence number), and piggybacks the desired
+//! measuring state on every acknowledgement — the remote-control path of
+//! the paper's web interface.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use fj_units::{SimInstant, TimeSeries};
+
+use super::protocol::{read_message, write_message, Message, ProtoError};
+
+/// One row of the operator status view — the data behind the web
+/// interface of Fig. 7 ("conveniently start/stop measurements or download
+/// the power data").
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitStatus {
+    /// Unit identifier.
+    pub unit_id: String,
+    /// Samples durably stored.
+    pub samples: usize,
+    /// Timestamp of the newest stored sample, if any.
+    pub last_sample_at: Option<SimInstant>,
+    /// Whether the unit is currently told to measure.
+    pub measuring: bool,
+}
+
+/// Per-unit storage: contiguous samples plus the desired measuring state.
+#[derive(Debug)]
+struct UnitStore {
+    samples: Vec<super::protocol::PowerSample>,
+    /// Highest contiguous sequence number stored (= samples.len() as u64).
+    acked_seq: u64,
+    measuring: bool,
+}
+
+impl Default for UnitStore {
+    fn default() -> Self {
+        Self {
+            samples: Vec::new(),
+            acked_seq: 0,
+            // Units measure by default: deployment is plug-and-play and
+            // "the power measurement start[s] automatically on boot" (§6.1).
+            measuring: true,
+        }
+    }
+}
+
+/// Shared server state.
+#[derive(Default)]
+struct Shared {
+    units: Mutex<HashMap<String, UnitStore>>,
+}
+
+/// A running Autopower server bound to a loopback port.
+///
+/// Connection workers run detached and terminate when their client
+/// disconnects; [`AutopowerServer::shutdown`] only stops the accept loop
+/// (clients keep their buffers and reconnect later — resilience is the
+/// client's job, §6.1).
+pub struct AutopowerServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AutopowerServer {
+    /// Binds to an ephemeral loopback port and starts accepting clients.
+    pub fn spawn() -> std::io::Result<AutopowerServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            // A short poll interval lets the loop observe the stop flag.
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        // Detached: exits when the client disconnects.
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, conn_shared);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(AutopowerServer {
+            shared,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sets whether `unit_id` should be measuring; delivered on its next
+    /// upload/hello round-trip.
+    pub fn set_measuring(&self, unit_id: &str, measuring: bool) {
+        let mut units = self.shared.units.lock();
+        units.entry(unit_id.to_owned()).or_default().measuring = measuring;
+    }
+
+    /// All samples stored for a unit, as a time series (watts).
+    pub fn samples(&self, unit_id: &str) -> TimeSeries {
+        let units = self.shared.units.lock();
+        match units.get(unit_id) {
+            Some(store) => store.samples.iter().map(|s| (s.at, s.watts)).collect(),
+            None => TimeSeries::new(),
+        }
+    }
+
+    /// Number of samples stored for a unit.
+    pub fn sample_count(&self, unit_id: &str) -> usize {
+        self.shared
+            .units
+            .lock()
+            .get(unit_id)
+            .map_or(0, |s| s.samples.len())
+    }
+
+    /// Known unit ids, sorted.
+    pub fn units(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.shared.units.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Operator status view over all units (sorted by unit id) — what the
+    /// Autopower web interface renders.
+    pub fn status(&self) -> Vec<UnitStatus> {
+        let units = self.shared.units.lock();
+        let mut rows: Vec<UnitStatus> = units
+            .iter()
+            .map(|(unit_id, store)| UnitStatus {
+                unit_id: unit_id.clone(),
+                samples: store.samples.len(),
+                last_sample_at: store.samples.last().map(|s| s.at),
+                measuring: store.measuring,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.unit_id.cmp(&b.unit_id));
+        rows
+    }
+
+    /// Stops accepting new connections and waits for the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AutopowerServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoError> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // First frame must identify the unit.
+    let unit_id = match read_message(&mut reader)? {
+        Message::Hello { unit_id } => unit_id,
+        _ => return Ok(()), // protocol violation; drop silently
+    };
+    {
+        let mut units = shared.units.lock();
+        let store = units.entry(unit_id.clone()).or_default();
+        write_message(
+            &mut writer,
+            &Message::Welcome {
+                measuring: store.measuring,
+                acked_seq: store.acked_seq,
+            },
+        )?;
+    }
+
+    loop {
+        match read_message(&mut reader) {
+            Ok(Message::Upload { first_seq, samples }) => {
+                let mut units = shared.units.lock();
+                let store = units.entry(unit_id.clone()).or_default();
+                // Deduplicate: accept only the part beyond what we have.
+                let have = store.acked_seq;
+                if first_seq <= have {
+                    let skip = (have - first_seq) as usize;
+                    for s in samples.iter().skip(skip) {
+                        store.samples.push(*s);
+                    }
+                    store.acked_seq = have.max(first_seq + samples.len() as u64);
+                }
+                // Uploads from the future (a gap) are not acceptable; the
+                // ack tells the client where to resume.
+                let reply = Message::Ack {
+                    acked_seq: store.acked_seq,
+                    measuring: store.measuring,
+                };
+                drop(units);
+                write_message(&mut writer, &reply)?;
+            }
+            Ok(_) => { /* ignore unexpected message types */ }
+            Err(ProtoError::UnexpectedEof) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! External power measurement: the MCP39F511N meter and **Autopower**.
+//!
+//! The paper's ground truth comes from outside the router: a Microchip
+//! MCP39F511N power meter (±0.5 % accuracy, two C13 channels) read by a
+//! Raspberry Pi running the Autopower client, which streams measurements
+//! to a central server over a client-initiated connection (so it works
+//! behind NAT), buffering locally across outages (§6.1).
+//!
+//! This crate reproduces both layers:
+//!
+//! * [`Mcp39F511N`] — a simulated meter: samples a router's wall power
+//!   with the datasheet's ±0.5 % accuracy;
+//! * [`autopower`] — a real TCP client/server pair on loopback with a
+//!   length-prefixed JSON protocol, local buffering, batched uploads,
+//!   acknowledgements, and reconnect-with-retained-data semantics.
+//!
+//! Simulated time, real networking: samples carry [`fj_units::SimInstant`]
+//! timestamps, but the bytes genuinely travel through the OS socket layer.
+
+pub mod autopower;
+pub mod mcp39f511n;
+
+pub use autopower::client::AutopowerClient;
+pub use autopower::protocol::{read_message, write_message, Message, PowerSample, ProtoError};
+pub use autopower::server::{AutopowerServer, UnitStatus};
+pub use mcp39f511n::{Mcp39F511N, MeterChannel};

@@ -1,0 +1,176 @@
+//! Simulated Microchip MCP39F511N power meter.
+//!
+//! The real device measures AC power on two C13 pass-through channels with
+//! a specified accuracy of ±0.5 % (validated against a high-end meter in
+//! the paper). The simulation reads a [`SimulatedRouter`]'s wall power and
+//! perturbs it with zero-mean noise scaled so that ~99.7 % of samples fall
+//! within the ±0.5 % band (σ = 0.5 % / 3).
+
+use serde::{Deserialize, Serialize};
+
+use fj_router_sim::SimulatedRouter;
+use fj_units::{SimDuration, SimInstant, TimeSeries, Watts};
+
+/// Which of the meter's two C13 channels a reading comes from. In an
+/// Autopower unit, channel A monitors the router PSU and channel B powers
+/// the Raspberry Pi itself (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeterChannel {
+    /// Channel A — the device under measurement.
+    A,
+    /// Channel B — typically the measurement unit's own supply.
+    B,
+}
+
+/// A simulated MCP39F511N.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mcp39F511N {
+    /// Relative accuracy bound (datasheet: 0.005 = ±0.5 %).
+    pub accuracy: f64,
+    /// Sampling period — the study streams at 0.5 s resolution.
+    pub sample_period: SimDuration,
+    seed: u64,
+}
+
+impl Mcp39F511N {
+    /// A meter with datasheet accuracy (±0.5 %) and 0.5 s sampling; the
+    /// crate rounds the period up to 1 s, the resolution of
+    /// [`SimInstant`], which is also what the analyses aggregate to.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            accuracy: 0.005,
+            sample_period: SimDuration::from_secs(1),
+            seed,
+        }
+    }
+
+    /// A meter with custom accuracy (for the ablation sweeping meter
+    /// quality against model error).
+    pub fn with_accuracy(seed: u64, accuracy: f64) -> Self {
+        Self {
+            accuracy,
+            sample_period: SimDuration::from_secs(1),
+            seed,
+        }
+    }
+
+    /// One reading of a true power value, indexed (deterministically) by
+    /// time and channel.
+    pub fn read(&self, true_power: Watts, at: SimInstant, channel: MeterChannel) -> Watts {
+        let idx = (at.as_secs() as u64).wrapping_mul(2)
+            ^ match channel {
+                MeterChannel::A => 0,
+                MeterChannel::B => 0x8000_0000_0000_0000,
+            };
+        // σ = bound/3 ⇒ ~99.7 % of readings within the datasheet bound.
+        let noise = 1.0 + (self.accuracy / 3.0) * gauss(self.seed, idx);
+        true_power * noise
+    }
+
+    /// Reads the router's wall power once, on channel A, at its own clock.
+    pub fn read_router(&self, router: &SimulatedRouter) -> Watts {
+        self.read(router.wall_power(), router.now(), MeterChannel::A)
+    }
+
+    /// Measures a router for `duration`, advancing the router's clock and
+    /// returning one sample per period as a [`TimeSeries`] of watts.
+    ///
+    /// This is the workhorse of the lab experiments: configure the DUT,
+    /// then `measure_for` long enough to average the noise away.
+    pub fn measure_for(
+        &self,
+        router: &mut SimulatedRouter,
+        duration: SimDuration,
+    ) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        let end = router.now() + duration;
+        while router.now() < end {
+            out.push(router.now(), self.read_router(router).as_f64());
+            router.tick(self.sample_period);
+        }
+        out
+    }
+}
+
+fn gauss(seed: u64, index: u64) -> f64 {
+    let h = |i: u64| {
+        let mut z = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(0x94D0_49BB_1331_11EB);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (h(index.wrapping_mul(3)) + h(index.wrapping_mul(3) + 1) + h(index.wrapping_mul(3) + 2)
+        - 1.5)
+        / 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_router_sim::RouterSpec;
+
+    #[test]
+    fn readings_within_accuracy_bound() {
+        let meter = Mcp39F511N::new(11);
+        let truth = Watts::new(400.0);
+        for i in 0..2_000 {
+            let r = meter.read(truth, SimInstant::from_secs(i), MeterChannel::A);
+            let rel = (r.as_f64() - 400.0).abs() / 400.0;
+            assert!(rel <= 0.005, "sample {i} off by {rel}");
+        }
+    }
+
+    #[test]
+    fn channels_independent() {
+        let meter = Mcp39F511N::new(11);
+        let t = SimInstant::from_secs(5);
+        let a = meter.read(Watts::new(100.0), t, MeterChannel::A);
+        let b = meter.read(Watts::new(100.0), t, MeterChannel::B);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_average_converges_to_truth() {
+        let meter = Mcp39F511N::new(5);
+        let spec = RouterSpec::builtin("Wedge100BF-32X").unwrap();
+        let mut router = fj_router_sim::SimulatedRouter::new(spec, 1);
+        let truth = router.wall_power().as_f64();
+        let ts = meter.measure_for(&mut router, SimDuration::from_mins(10));
+        assert_eq!(ts.len(), 600);
+        let mean = ts.mean().unwrap();
+        assert!(
+            (mean - truth).abs() / truth < 0.0005,
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn custom_accuracy_scales_noise() {
+        let rough = Mcp39F511N::with_accuracy(7, 0.05);
+        let fine = Mcp39F511N::with_accuracy(7, 0.001);
+        let spread = |m: &Mcp39F511N| {
+            (0..500)
+                .map(|i| {
+                    (m.read(Watts::new(100.0), SimInstant::from_secs(i), MeterChannel::A)
+                        .as_f64()
+                        - 100.0)
+                        .abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        assert!(spread(&rough) > spread(&fine) * 10.0);
+    }
+
+    #[test]
+    fn measure_advances_router_clock() {
+        let meter = Mcp39F511N::new(2);
+        let spec = RouterSpec::builtin("VSP-4900").unwrap();
+        let mut router = fj_router_sim::SimulatedRouter::new(spec, 1);
+        meter.measure_for(&mut router, SimDuration::from_secs(30));
+        assert_eq!(router.now(), SimInstant::from_secs(30));
+    }
+}

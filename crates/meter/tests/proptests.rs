@@ -1,0 +1,78 @@
+//! Property-based tests for the Autopower wire protocol and the meter's
+//! accuracy envelope.
+
+use std::io::Cursor;
+
+use fj_meter::{read_message, write_message, Mcp39F511N, Message, MeterChannel, PowerSample};
+use fj_units::{SimInstant, Watts};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = PowerSample> {
+    (any::<i32>(), 0.0f64..1e5).prop_map(|(t, watts)| PowerSample {
+        at: SimInstant::from_secs(t as i64),
+        watts,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        "[a-z0-9-]{1,32}".prop_map(|unit_id| Message::Hello { unit_id }),
+        (any::<bool>(), any::<u64>()).prop_map(|(measuring, acked_seq)| Message::Welcome {
+            measuring,
+            acked_seq
+        }),
+        (any::<u64>(), prop::collection::vec(arb_sample(), 0..64)).prop_map(
+            |(first_seq, samples)| Message::Upload { first_seq, samples }
+        ),
+        (any::<u64>(), any::<bool>()).prop_map(|(acked_seq, measuring)| Message::Ack {
+            acked_seq,
+            measuring
+        }),
+    ]
+}
+
+proptest! {
+    /// Every protocol message round-trips through the framing.
+    #[test]
+    fn message_round_trip(msg in arb_message()) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).expect("writes");
+        let back = read_message(&mut Cursor::new(buf)).expect("reads");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Back-to-back frames decode in order without bleeding into each
+    /// other.
+    #[test]
+    fn frames_are_self_delimiting(msgs in prop::collection::vec(arb_message(), 1..8)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_message(&mut buf, m).expect("writes");
+        }
+        let mut cur = Cursor::new(buf);
+        for m in &msgs {
+            let back = read_message(&mut cur).expect("reads");
+            prop_assert_eq!(&back, m);
+        }
+    }
+
+    /// The reader never panics on arbitrary garbage.
+    #[test]
+    fn reader_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_message(&mut Cursor::new(bytes));
+    }
+
+    /// Meter readings always honour the configured accuracy bound.
+    #[test]
+    fn meter_within_accuracy(
+        seed in any::<u64>(),
+        truth in 1.0f64..5_000.0,
+        accuracy in 0.0005f64..0.1,
+        t in 0i64..100_000,
+    ) {
+        let meter = Mcp39F511N::with_accuracy(seed, accuracy);
+        let reading = meter.read(Watts::new(truth), SimInstant::from_secs(t), MeterChannel::A);
+        let rel = (reading.as_f64() - truth).abs() / truth;
+        prop_assert!(rel <= accuracy + 1e-12, "rel {rel} vs bound {accuracy}");
+    }
+}

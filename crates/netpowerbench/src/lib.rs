@@ -1,0 +1,46 @@
+//! **NetPowerBench** — deriving router power models in the lab (§5).
+//!
+//! The methodology runs five experiment types against a device under test
+//! (DUT) whose ports are cabled in pairs:
+//!
+//! | Experiment | DUT state | Yields |
+//! |---|---|---|
+//! | `Base`  | no transceivers, no config        | `P_base` (Eq. 7) |
+//! | `Idle`  | transceivers in, all ports down   | `P_trx,in` (Eq. 8) |
+//! | `Port`  | one port per pair enabled         | `P_port` via regression over N (Eq. 9) |
+//! | `Trx`   | both ports up, links trained      | `P_trx,up` via regression over N (Eq. 10) |
+//! | `Snake` | RFC 8239 snake at swept (r, L)    | `E_bit`, `E_pkt`, `P_offset` (Eqs. 11–18) |
+//!
+//! The two-step `E_bit`/`E_pkt` separation: for each packet size `L`,
+//! power is linear in the bit rate with slope `α_L` (Eq. 16); then
+//! `α_L · 8(L + L_header)` is linear in `L` with slope `8·E_bit` and
+//! intercept `8·E_bit·L_header + E_pkt` (Eq. 17).
+//!
+//! The DUT here is a [`fj_router_sim::SimulatedRouter`] measured through a
+//! [`fj_meter::Mcp39F511N`]; the derivation sees *only* noisy wall power,
+//! never the ground-truth parameters — recovering them (validated in
+//! [`validate`]) is the point.
+//!
+//! ```no_run
+//! use fj_netpowerbench::{DerivationConfig, Derivation};
+//! use fj_core::{Speed, TransceiverType};
+//!
+//! let config = DerivationConfig::quick("8201-32FH",
+//!     TransceiverType::PassiveDac, Speed::G100).unwrap();
+//! let derived = Derivation::run(&config, 42).unwrap();
+//! println!("{}", derived.report());
+//! ```
+
+pub mod config;
+pub mod derive;
+pub mod linecard;
+pub mod experiments;
+pub mod notebook;
+pub mod validate;
+
+pub use config::DerivationConfig;
+pub use derive::{BenchError, Derivation, DerivedModel};
+pub use experiments::{ExperimentKind, ExperimentRecord, LabBench};
+pub use linecard::{derive_linecard, DerivedLinecard, LinecardDerivationConfig};
+pub use notebook::render_notebook;
+pub use validate::{compare_to_reference, ParamErrors};

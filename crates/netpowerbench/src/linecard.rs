@@ -1,0 +1,200 @@
+//! Deriving `P_linecard` for modular chassis — the §4.3 extension,
+//! "measured similarly as `P_trx`".
+//!
+//! Three experiment types, mirroring the fixed-chassis recipes:
+//!
+//! | Experiment | chassis state | yields |
+//! |---|---|---|
+//! | `Bare`        | no cards                       | chassis `P_base` |
+//! | `Inserted(n)` | `n` cards seated, shut down    | `P_inserted` via regression over n |
+//! | `Active(n)`   | `n` cards seated and activated | `P_active` via regression over n |
+//!
+//! As with `P_port` (§5.2), the per-card terms come from regressions over
+//! the card count rather than single differences, which both validates
+//! linearity and avoids accumulating point errors.
+
+use serde::{Deserialize, Serialize};
+
+use fj_core::LinecardParams;
+use fj_meter::{Mcp39F511N, MeterChannel};
+use fj_router_sim::{ModularRouter, SimError};
+use fj_units::{linear_regression, SimDuration, Watts};
+
+use crate::derive::BenchError;
+
+/// Configuration for a linecard derivation session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinecardDerivationConfig {
+    /// Card type to characterise.
+    pub card_type: String,
+    /// How many cards to sweep up to (bounded by the chassis slots).
+    pub max_cards: usize,
+    /// Measurement duration per point.
+    pub point_duration: SimDuration,
+}
+
+impl LinecardDerivationConfig {
+    /// A practical default: sweep up to 6 cards, 10 minutes per point.
+    pub fn new(card_type: impl Into<String>) -> Self {
+        Self {
+            card_type: card_type.into(),
+            max_cards: 6,
+            point_duration: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// A derived linecard model with fit diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DerivedLinecard {
+    /// Card type characterised.
+    pub card_type: String,
+    /// Chassis base power measured bare.
+    pub chassis_base: Watts,
+    /// The derived per-card terms.
+    pub params: LinecardParams,
+    /// R² of the inserted-count regression.
+    pub inserted_r2: f64,
+    /// R² of the active-count regression.
+    pub active_r2: f64,
+}
+
+/// Runs the three-experiment recipe against a modular DUT.
+pub fn derive_linecard(
+    router: &mut ModularRouter,
+    config: &LinecardDerivationConfig,
+    seed: u64,
+) -> Result<DerivedLinecard, BenchError> {
+    let meter = Mcp39F511N::new(seed ^ 0x4C43); // "LC"
+    let max = config.max_cards.min(router.slot_count());
+    if max < 2 {
+        return Err(BenchError::Unphysical(
+            "need at least two slots to regress over card count".to_owned(),
+        ));
+    }
+
+    let measure = |router: &mut ModularRouter| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        let end = router.now() + config.point_duration;
+        while router.now() < end {
+            sum += meter
+                .read(router.wall_power(), router.now(), MeterChannel::A)
+                .as_f64();
+            router.tick(SimDuration::from_secs(1));
+            n += 1;
+        }
+        sum / n as f64
+    };
+
+    let clear = |router: &mut ModularRouter| -> Result<(), SimError> {
+        for s in 0..router.slot_count() {
+            if router.slot(s)?.card().is_some() {
+                router.remove_card(s)?;
+            }
+        }
+        Ok(())
+    };
+
+    // Bare chassis.
+    clear(router).map_err(BenchError::Sim)?;
+    let p_base = measure(router);
+
+    // Inserted(n): cards seated, shut.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for n in 0..=max {
+        clear(router).map_err(BenchError::Sim)?;
+        for s in 0..n {
+            router
+                .insert_card(s, &config.card_type)
+                .map_err(BenchError::Sim)?;
+        }
+        xs.push(n as f64);
+        ys.push(measure(router));
+    }
+    let inserted_fit = linear_regression(&xs, &ys)?;
+
+    // Active(n): cards seated and activated.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for n in 0..=max {
+        clear(router).map_err(BenchError::Sim)?;
+        for s in 0..n {
+            router
+                .insert_card(s, &config.card_type)
+                .map_err(BenchError::Sim)?;
+            router.activate_card(s).map_err(BenchError::Sim)?;
+        }
+        xs.push(n as f64);
+        ys.push(measure(router));
+    }
+    let active_fit = linear_regression(&xs, &ys)?;
+
+    clear(router).map_err(BenchError::Sim)?;
+    Ok(DerivedLinecard {
+        card_type: config.card_type.clone(),
+        chassis_base: Watts::new(p_base),
+        params: LinecardParams {
+            p_inserted: Watts::new(inserted_fit.slope),
+            p_active: Watts::new(active_fit.slope - inserted_fit.slope),
+        },
+        inserted_r2: inserted_fit.r_squared,
+        active_r2: active_fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_recovers_card_parameters() {
+        // Ground truth: A9K-24X10GE at 120 W inserted + 180 W active.
+        let mut router = ModularRouter::asr9010_like(0.0);
+        let config = LinecardDerivationConfig::new("A9K-24X10GE");
+        let derived = derive_linecard(&mut router, &config, 5).expect("derivation");
+
+        assert!((derived.chassis_base.as_f64() - 350.0).abs() < 0.5);
+        assert!(
+            (derived.params.p_inserted.as_f64() - 120.0).abs() < 1.0,
+            "P_inserted {}",
+            derived.params.p_inserted
+        );
+        assert!(
+            (derived.params.p_active.as_f64() - 180.0).abs() < 1.5,
+            "P_active {}",
+            derived.params.p_active
+        );
+        assert!(derived.inserted_r2 > 0.999);
+        assert!(derived.active_r2 > 0.999);
+    }
+
+    #[test]
+    fn derivation_with_poor_psus_scales_consistently() {
+        // With a 10 pp-worse PSU shelf, the *wall-referenced* card powers
+        // come out larger — the derivation faithfully reports what the
+        // wall sees, as the paper's fixed-chassis models do.
+        let mut router = ModularRouter::asr9010_like(-0.10);
+        let config = LinecardDerivationConfig::new("A9K-24X10GE");
+        let derived = derive_linecard(&mut router, &config, 5).expect("derivation");
+        assert!(derived.params.p_inserted.as_f64() > 120.0);
+    }
+
+    #[test]
+    fn unknown_card_type_is_an_error() {
+        let mut router = ModularRouter::asr9010_like(0.0);
+        let config = LinecardDerivationConfig::new("bogus");
+        assert!(derive_linecard(&mut router, &config, 5).is_err());
+    }
+
+    #[test]
+    fn derivation_leaves_chassis_bare() {
+        let mut router = ModularRouter::asr9010_like(0.0);
+        let config = LinecardDerivationConfig::new("A9K-8X100GE");
+        derive_linecard(&mut router, &config, 5).expect("derivation");
+        for s in 0..router.slot_count() {
+            assert!(router.slot(s).unwrap().card().is_none());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Rendering a lab session's experiment log as a markdown notebook —
+//! the raw record a real measurement campaign archives alongside its
+//! derived models (the paper publishes exactly this kind of artifact).
+
+use crate::experiments::{ExperimentKind, ExperimentRecord};
+
+/// Renders the experiment log as a markdown table with a header
+/// describing the session.
+pub fn render_notebook(
+    router_model: &str,
+    class: &str,
+    log: &[ExperimentRecord],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Lab session — {router_model} ({class})\n\n\
+         {} measurement points.\n\n\
+         | # | experiment | configuration | mean W | samples |\n\
+         |---|---|---|---|---|\n",
+        log.len()
+    ));
+    for (i, record) in log.iter().enumerate() {
+        let (name, config) = describe(&record.kind);
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {} |\n",
+            i + 1,
+            name,
+            config,
+            record.mean_w,
+            record.samples
+        ));
+    }
+    out
+}
+
+fn describe(kind: &ExperimentKind) -> (&'static str, String) {
+    match kind {
+        ExperimentKind::Base => ("Base", "bare chassis".to_owned()),
+        ExperimentKind::Idle => ("Idle", "all transceivers in, ports down".to_owned()),
+        ExperimentKind::Port { n } => ("Port", format!("{n} ports enabled")),
+        ExperimentKind::Trx { n } => ("Trx", format!("{n} pairs up")),
+        ExperimentKind::Snake { rate_gbps, packet_size } => (
+            "Snake",
+            format!("{rate_gbps:.1} Gbps, {packet_size:.0} B packets"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DerivationConfig;
+    use crate::experiments::LabBench;
+    use fj_core::{Speed, TransceiverType};
+    use fj_units::{Bytes, DataRate, SimDuration};
+
+    #[test]
+    fn notebook_renders_full_session() {
+        let cfg = DerivationConfig::new(
+            "VSP-4900",
+            TransceiverType::T,
+            Speed::G10,
+            2,
+            SimDuration::from_mins(1),
+        )
+        .unwrap();
+        let mut bench = LabBench::new(cfg, 3).unwrap();
+        bench.run_base().unwrap();
+        bench.run_idle().unwrap();
+        bench.run_port(1).unwrap();
+        bench.run_trx(2).unwrap();
+        bench
+            .run_snake(DataRate::from_gbps(5.0), Bytes::new(512.0))
+            .unwrap();
+
+        let md = render_notebook("VSP-4900", "SFP+/T/10G", &bench.log);
+        assert!(md.contains("# Lab session — VSP-4900"));
+        assert!(md.contains("5 measurement points"));
+        assert!(md.contains("| Base |"));
+        assert!(md.contains("| Idle |"));
+        assert!(md.contains("1 ports enabled"));
+        assert!(md.contains("2 pairs up"));
+        assert!(md.contains("5.0 Gbps, 512 B packets"));
+        // One markdown row per point plus 3 header lines + blank counts.
+        assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 5 + 1);
+    }
+
+    #[test]
+    fn empty_log_renders_header_only() {
+        let md = render_notebook("X", "Y/Z/1G", &[]);
+        assert!(md.contains("0 measurement points"));
+    }
+}

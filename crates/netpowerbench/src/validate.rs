@@ -1,0 +1,103 @@
+//! Comparing a derived model against a reference (ground truth or a
+//! published table).
+
+use serde::{Deserialize, Serialize};
+
+use fj_core::{InterfaceClass, PowerModel};
+
+/// Absolute errors between derived and reference parameters, in the
+/// units of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamErrors {
+    /// |ΔP_base| in watts.
+    pub p_base_w: f64,
+    /// |ΔP_port| in watts.
+    pub p_port_w: f64,
+    /// |ΔP_trx,in| in watts.
+    pub p_trx_in_w: f64,
+    /// |ΔP_trx,up| in watts.
+    pub p_trx_up_w: f64,
+    /// |ΔE_bit| in picojoules.
+    pub e_bit_pj: f64,
+    /// |ΔE_pkt| in nanojoules.
+    pub e_pkt_nj: f64,
+    /// |ΔP_offset| in watts.
+    pub p_offset_w: f64,
+}
+
+impl ParamErrors {
+    /// True when every static watt-term error is below `w` and both
+    /// energy-term errors are below `e_pj`/`e_nj` respectively.
+    pub fn within(&self, w: f64, e_pj: f64, e_nj: f64) -> bool {
+        self.p_base_w <= w
+            && self.p_port_w <= w
+            && self.p_trx_in_w <= w
+            && self.p_trx_up_w <= w
+            && self.p_offset_w <= w
+            && self.e_bit_pj <= e_pj
+            && self.e_pkt_nj <= e_nj
+    }
+}
+
+/// Compares one class of a derived model to the same class of a
+/// reference model. Returns `None` when either side lacks the class.
+pub fn compare_to_reference(
+    derived: &PowerModel,
+    reference: &PowerModel,
+    class: InterfaceClass,
+) -> Option<ParamErrors> {
+    let d = derived.lookup(class)?;
+    let r = reference.lookup(class)?;
+    Some(ParamErrors {
+        p_base_w: (derived.p_base - reference.p_base).abs().as_f64(),
+        p_port_w: (d.p_port - r.p_port).abs().as_f64(),
+        p_trx_in_w: (d.p_trx_in - r.p_trx_in).abs().as_f64(),
+        p_trx_up_w: (d.p_trx_up - r.p_trx_up).abs().as_f64(),
+        e_bit_pj: (d.e_bit.as_picojoules() - r.e_bit.as_picojoules()).abs(),
+        e_pkt_nj: (d.e_pkt.as_nanojoules() - r.e_pkt.as_nanojoules()).abs(),
+        p_offset_w: (d.p_offset - r.p_offset).abs().as_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_core::{InterfaceParams, PortType, Speed, TransceiverType};
+    use fj_units::Watts;
+
+    fn class() -> InterfaceClass {
+        InterfaceClass::new(PortType::Qsfp, TransceiverType::PassiveDac, Speed::G100)
+    }
+
+    fn model(p_base: f64, p_port: f64) -> PowerModel {
+        PowerModel::new("m", Watts::new(p_base)).with_class(
+            class(),
+            InterfaceParams::from_table(p_port, 0.35, 0.21, 3.0, 13.0, -0.04),
+        )
+    }
+
+    #[test]
+    fn identical_models_have_zero_error() {
+        let e = compare_to_reference(&model(253.0, 0.94), &model(253.0, 0.94), class())
+            .unwrap();
+        assert_eq!(e.p_base_w, 0.0);
+        assert_eq!(e.p_port_w, 0.0);
+        assert!(e.within(1e-9, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn differences_are_absolute() {
+        let e = compare_to_reference(&model(250.0, 1.00), &model(253.0, 0.94), class())
+            .unwrap();
+        assert!((e.p_base_w - 3.0).abs() < 1e-9);
+        assert!((e.p_port_w - 0.06).abs() < 1e-9);
+        assert!(!e.within(0.01, 1.0, 1.0));
+        assert!(e.within(3.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn missing_class_is_none() {
+        let other = InterfaceClass::new(PortType::Sfp, TransceiverType::T, Speed::G1);
+        assert!(compare_to_reference(&model(1.0, 1.0), &model(1.0, 1.0), other).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! The strongest property in the workspace: for *randomly generated*
+//! ground-truth routers, the full §5 derivation pipeline recovers the
+//! programmed parameters from noisy wall-power measurements alone.
+
+use fj_core::{InterfaceClass, InterfaceParams, PortType, PowerModel, Speed, TransceiverType};
+use fj_netpowerbench::{compare_to_reference, Derivation, DerivationConfig};
+use fj_router_sim::{PortSlot, PowerSensorModel, RouterSpec};
+use fj_units::{SimDuration, Watts};
+use proptest::prelude::*;
+
+/// A random but physically plausible ground truth.
+fn arb_truth() -> impl Strategy<Value = (RouterSpec, InterfaceClass)> {
+    (
+        20.0f64..500.0,  // P_base
+        0.0f64..2.5,     // P_port
+        0.0f64..12.0,    // P_trx,in
+        0.0f64..1.0,     // P_trx,up
+        1.0f64..40.0,    // E_bit pJ
+        2.0f64..80.0,    // E_pkt nJ
+        0.0f64..0.5,     // P_offset
+    )
+        .prop_map(|(base, p_port, tin, tup, ebit, epkt, off)| {
+            let class = InterfaceClass::new(
+                PortType::Qsfp28,
+                TransceiverType::Lr4,
+                Speed::G100,
+            );
+            let truth = PowerModel::new("synthetic", Watts::new(base)).with_class(
+                class,
+                InterfaceParams::from_table(p_port, tin, tup, ebit, epkt, off),
+            );
+            let spec = RouterSpec {
+                model: "synthetic".to_owned(),
+                truth,
+                ports: (0..8)
+                    .map(|_| PortSlot::new(PortType::Qsfp28, vec![Speed::G100]))
+                    .collect(),
+                psu_slots: 2,
+                psu_capacity_w: 1100.0,
+                sensor: PowerSensorModel::NotReported,
+                psu_eff_offset_mean: 0.0,
+                psu_eff_offset_std: 0.0,
+            };
+            (spec, class)
+        })
+}
+
+proptest! {
+    // Each case runs a full (quick) lab session; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Derivation recovers arbitrary programmed parameters within the
+    /// noise envelope of a short session (2 pairs, 3-minute points).
+    #[test]
+    fn derivation_recovers_random_truth((spec, class) in arb_truth(), seed in 0u64..1000) {
+        let config = DerivationConfig {
+            spec: spec.clone(),
+            transceiver: class.transceiver,
+            speed: class.speed,
+            pairs: 2,
+            point_duration: SimDuration::from_mins(3),
+            sweep: fj_traffic::RateSweep::for_line_rate(class.speed.rate()),
+        };
+        let derived = Derivation::run(&config, seed).expect("derivation succeeds");
+        let reference = &spec.truth;
+        let errors = compare_to_reference(&derived.model, reference, class)
+            .expect("same class");
+        // Tolerances scale with the short session: watt-terms to ~0.15 W,
+        // energy terms to a few units of their natural scale.
+        prop_assert!(errors.p_base_w < 0.6, "P_base err {}", errors.p_base_w);
+        prop_assert!(errors.p_port_w < 0.15, "P_port err {}", errors.p_port_w);
+        prop_assert!(errors.p_trx_in_w < 0.15, "P_trx_in err {}", errors.p_trx_in_w);
+        prop_assert!(errors.p_trx_up_w < 0.25, "P_trx_up err {}", errors.p_trx_up_w);
+        prop_assert!(errors.e_bit_pj < 3.0, "E_bit err {}", errors.e_bit_pj);
+        prop_assert!(errors.e_pkt_nj < 12.0, "E_pkt err {}", errors.e_pkt_nj);
+        prop_assert!(errors.p_offset_w < 0.3, "P_offset err {}", errors.p_offset_w);
+    }
+}

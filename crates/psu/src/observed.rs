@@ -1,0 +1,186 @@
+//! The PSU snapshot data model (§9.2).
+//!
+//! The paper's PSU analysis rests on a one-time export of `(P_in, P_out)`
+//! sensor readings per PSU plus the PSU capacities from the hardware
+//! inventory. Some routers report `P_out > P_in` — physically impossible —
+//! so efficiency is capped at 100 % exactly as the paper does.
+
+use serde::{Deserialize, Serialize};
+
+/// One PSU's snapshot: identity, capacity, and the two power readings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsuObservation {
+    /// Router the PSU belongs to (anonymised name, as in the dataset).
+    pub router: String,
+    /// Router hardware model, for the per-model views of Fig. 6.
+    pub router_model: String,
+    /// PSU slot index within the router (0, 1, …).
+    pub slot: usize,
+    /// Nameplate capacity in watts (from the hardware inventory).
+    pub capacity_w: f64,
+    /// Wall power flowing into the PSU (what SNMP traces also carry).
+    pub p_in_w: f64,
+    /// DC power delivered by the PSU (only in the sensor snapshot).
+    pub p_out_w: f64,
+}
+
+impl PsuObservation {
+    /// Measured conversion efficiency, capped at 1.0 (the paper: "In those
+    /// cases, we cap the efficiency at 100 %"). Returns `None` when the
+    /// reading is unusable (non-positive input power).
+    pub fn efficiency(&self) -> Option<f64> {
+        if self.p_in_w <= 0.0 || !self.p_in_w.is_finite() || !self.p_out_w.is_finite() {
+            return None;
+        }
+        Some((self.p_out_w / self.p_in_w).min(1.0))
+    }
+
+    /// Load fraction `P_out / capacity`, or `None` for zero capacity.
+    pub fn load(&self) -> Option<f64> {
+        if self.capacity_w <= 0.0 {
+            return None;
+        }
+        Some(self.p_out_w / self.capacity_w)
+    }
+
+    /// True when the sensors misreport (`P_out > P_in`).
+    pub fn sensors_inconsistent(&self) -> bool {
+        self.p_out_w > self.p_in_w
+    }
+}
+
+/// A fleet-wide snapshot of PSU observations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetPsuData {
+    /// All PSU observations, order irrelevant.
+    pub observations: Vec<PsuObservation>,
+}
+
+impl FleetPsuData {
+    /// Wraps a list of observations.
+    pub fn new(observations: Vec<PsuObservation>) -> Self {
+        Self { observations }
+    }
+
+    /// Total wall (input) power across the fleet's PSUs.
+    pub fn total_input_power_w(&self) -> f64 {
+        self.observations.iter().map(|o| o.p_in_w).sum()
+    }
+
+    /// Observations with usable efficiency readings.
+    pub fn usable(&self) -> impl Iterator<Item = &PsuObservation> {
+        self.observations.iter().filter(|o| o.efficiency().is_some())
+    }
+
+    /// Distinct router names in the snapshot.
+    pub fn routers(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.observations.iter().map(|o| o.router.as_str()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Observations grouped per router (sorted by router name).
+    pub fn by_router(&self) -> Vec<(&str, Vec<&PsuObservation>)> {
+        let mut out: Vec<(&str, Vec<&PsuObservation>)> = Vec::new();
+        for name in self.routers() {
+            let group = self
+                .observations
+                .iter()
+                .filter(|o| o.router == name)
+                .collect();
+            out.push((name, group));
+        }
+        out
+    }
+
+    /// `(load, efficiency)` scatter points per router model — the data of
+    /// Fig. 6. Models are returned sorted by name; the `""` key collects
+    /// nothing (models are always set by constructors here).
+    pub fn scatter_by_model(&self) -> Vec<(String, Vec<(f64, f64)>)> {
+        let mut models: Vec<&str> = self
+            .observations
+            .iter()
+            .map(|o| o.router_model.as_str())
+            .collect();
+        models.sort();
+        models.dedup();
+        models
+            .into_iter()
+            .map(|m| {
+                let pts = self
+                    .observations
+                    .iter()
+                    .filter(|o| o.router_model == m)
+                    .filter_map(|o| Some((o.load()?, o.efficiency()?)))
+                    .collect();
+                (m.to_owned(), pts)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(p_in: f64, p_out: f64, cap: f64) -> PsuObservation {
+        PsuObservation {
+            router: "r1".into(),
+            router_model: "NCS-55A1-24H".into(),
+            slot: 0,
+            capacity_w: cap,
+            p_in_w: p_in,
+            p_out_w: p_out,
+        }
+    }
+
+    #[test]
+    fn efficiency_normal_case() {
+        let o = obs(100.0, 85.0, 1000.0);
+        assert!((o.efficiency().unwrap() - 0.85).abs() < 1e-12);
+        assert!((o.load().unwrap() - 0.085).abs() < 1e-12);
+        assert!(!o.sensors_inconsistent());
+    }
+
+    #[test]
+    fn efficiency_capped_at_one() {
+        // The physically-impossible P_out > P_in case from the dataset.
+        let o = obs(100.0, 110.0, 1000.0);
+        assert_eq!(o.efficiency(), Some(1.0));
+        assert!(o.sensors_inconsistent());
+    }
+
+    #[test]
+    fn unusable_readings() {
+        assert_eq!(obs(0.0, 10.0, 100.0).efficiency(), None);
+        assert_eq!(obs(-5.0, 10.0, 100.0).efficiency(), None);
+        assert_eq!(obs(f64::NAN, 10.0, 100.0).efficiency(), None);
+        assert_eq!(obs(100.0, 80.0, 0.0).load(), None);
+    }
+
+    #[test]
+    fn fleet_aggregation() {
+        let mut a = obs(100.0, 80.0, 1000.0);
+        a.router = "r1".into();
+        let mut b = obs(200.0, 150.0, 1000.0);
+        b.router = "r2".into();
+        b.router_model = "8201-32FH".into();
+        let fleet = FleetPsuData::new(vec![a, b]);
+        assert_eq!(fleet.total_input_power_w(), 300.0);
+        assert_eq!(fleet.routers(), vec!["r1", "r2"]);
+        assert_eq!(fleet.by_router().len(), 2);
+        let scatter = fleet.scatter_by_model();
+        assert_eq!(scatter.len(), 2);
+        assert_eq!(scatter[0].0, "8201-32FH");
+        assert_eq!(scatter[0].1.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let fleet = FleetPsuData::new(vec![obs(100.0, 80.0, 600.0)]);
+        let json = serde_json::to_string(&fleet).unwrap();
+        let back: FleetPsuData = serde_json::from_str(&json).unwrap();
+        assert_eq!(fleet, back);
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal console ("CLI") on top of [`SimulatedRouter`].
+//!
+//! The paper's orchestrator configures the DUT over its console interface
+//! (§5.1, Fig. 3). NetPowerBench drives the simulator through typed
+//! methods, but this text layer exists so scripted experiment recipes can
+//! be replayed verbatim and so examples read like a lab session.
+//!
+//! Supported commands:
+//!
+//! ```text
+//! interface <i> up | down
+//! interface <i> speed <SPEED>
+//! plug <i> <TRANSCEIVER> <SPEED>
+//! unplug <i>
+//! cable <a> <b>
+//! psu <slot> standby on | off
+//! show power
+//! show interface <i>
+//! show psu
+//! show version
+//! ```
+
+use std::fmt;
+
+use crate::error::SimError;
+use crate::router::SimulatedRouter;
+
+/// Reply from a successfully executed console command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsoleReply(pub String);
+
+impl fmt::Display for ConsoleReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl SimulatedRouter {
+    /// Parses and executes one console command line.
+    pub fn console(&mut self, line: &str) -> Result<ConsoleReply, SimError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let bad = || SimError::BadCommand(line.to_owned());
+        let parse_idx = |s: &str| s.parse::<usize>().map_err(|_| bad());
+
+        match tokens.as_slice() {
+            ["interface", i, "up"] => {
+                self.set_admin(parse_idx(i)?, true)?;
+                Ok(ConsoleReply(format!("interface {i} admin up")))
+            }
+            ["interface", i, "down"] => {
+                self.set_admin(parse_idx(i)?, false)?;
+                Ok(ConsoleReply(format!("interface {i} admin down")))
+            }
+            ["interface", i, "speed", sp] => {
+                let speed = sp.parse().map_err(|_| bad())?;
+                self.set_speed(parse_idx(i)?, speed)?;
+                Ok(ConsoleReply(format!("interface {i} speed {speed}")))
+            }
+            ["plug", i, trx, sp] => {
+                let t = trx.parse().map_err(|_| bad())?;
+                let speed = sp.parse().map_err(|_| bad())?;
+                self.plug(parse_idx(i)?, t, speed)?;
+                Ok(ConsoleReply(format!("plugged {t} at {speed} into {i}")))
+            }
+            ["unplug", i] => {
+                let t = self.unplug(parse_idx(i)?)?;
+                Ok(ConsoleReply(format!("removed {t} from {i}")))
+            }
+            ["cable", a, b] => {
+                self.cable(parse_idx(a)?, parse_idx(b)?)?;
+                Ok(ConsoleReply(format!("cabled {a} <-> {b}")))
+            }
+            ["show", "power"] => {
+                let w = self.wall_power();
+                Ok(ConsoleReply(format!("{:.1}", w)))
+            }
+            ["show", "interface", i] => {
+                let idx = parse_idx(i)?;
+                let st = self.interface(idx)?;
+                let trx = st
+                    .transceiver
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "empty".to_owned());
+                Ok(ConsoleReply(format!(
+                    "interface {idx}: {trx} {} admin {} oper {}",
+                    st.speed,
+                    if st.admin_up { "up" } else { "down" },
+                    if st.oper_up { "up" } else { "down" },
+                )))
+            }
+            ["psu", slot, "standby", state] => {
+                let standby = match *state {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err(bad()),
+                };
+                let idx = parse_idx(slot)?;
+                self.set_psu_hot_standby(idx, standby)?;
+                Ok(ConsoleReply(format!(
+                    "psu {idx} standby {}",
+                    if standby { "on" } else { "off" }
+                )))
+            }
+            ["show", "psu"] => {
+                let mut lines = Vec::new();
+                for slot in 0..self.psu_count() {
+                    let psu = self.psu(slot)?;
+                    lines.push(format!(
+                        "psu {slot}: {} cap {:.0} W{}",
+                        if psu.enabled { "online" } else { "offline" },
+                        psu.capacity_w,
+                        if psu.hot_standby { " (hot standby)" } else { "" },
+                    ));
+                }
+                Ok(ConsoleReply(lines.join("\n")))
+            }
+            ["show", "version"] => Ok(ConsoleReply(self.os_version().to_owned())),
+            _ => Err(bad()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RouterSpec;
+
+    fn router() -> SimulatedRouter {
+        SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 1)
+    }
+
+    #[test]
+    fn full_session() {
+        let mut r = router();
+        r.console("plug 0 DAC 100G").unwrap();
+        r.console("plug 1 DAC 100G").unwrap();
+        r.console("cable 0 1").unwrap();
+        r.console("interface 0 up").unwrap();
+        r.console("interface 1 up").unwrap();
+        let reply = r.console("show interface 0").unwrap();
+        assert!(reply.to_string().contains("oper up"), "{reply}");
+        let power = r.console("show power").unwrap();
+        assert!(power.to_string().ends_with('W'));
+    }
+
+    #[test]
+    fn bad_commands_rejected() {
+        let mut r = router();
+        for cmd in [
+            "",
+            "interface up",
+            "interface zero up",
+            "plug 0 DAC",
+            "warp 9",
+            "show",
+        ] {
+            assert!(
+                matches!(r.console(cmd), Err(SimError::BadCommand(_))),
+                "{cmd:?} should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_errors_propagate() {
+        let mut r = router();
+        assert!(matches!(
+            r.console("unplug 0"),
+            Err(SimError::CageEmpty(0))
+        ));
+        assert!(matches!(
+            r.console("interface 999 up"),
+            Err(SimError::NoSuchInterface(999))
+        ));
+    }
+
+    #[test]
+    fn show_version() {
+        let mut r = router();
+        assert_eq!(r.console("show version").unwrap().0, "1.0.0");
+    }
+
+    #[test]
+    fn psu_standby_via_console() {
+        let mut r = router();
+        let before = r.wall_power();
+        r.console("psu 1 standby on").unwrap();
+        assert!(r.psu(1).unwrap().hot_standby);
+        assert_ne!(r.wall_power(), before);
+        let listing = r.console("show psu").unwrap().0;
+        assert!(listing.contains("hot standby"), "{listing}");
+        r.console("psu 1 standby off").unwrap();
+        assert!(!r.psu(1).unwrap().hot_standby);
+        assert!(r.console("psu 1 standby maybe").is_err());
+        assert!(matches!(
+            r.console("psu 9 standby on"),
+            Err(SimError::NoSuchPsu(9))
+        ));
+    }
+}

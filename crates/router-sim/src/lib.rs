@@ -1,0 +1,52 @@
+//! Device-under-test simulator: routers with ground-truth power behaviour.
+//!
+//! The paper's modeling pipeline (§5) assumes physical access to routers;
+//! this crate replaces the hardware with a faithful simulation. A
+//! [`SimulatedRouter`] owns:
+//!
+//! * a **ground-truth power model** — the published parameters of Tables 2
+//!   and 6 — that the simulator evaluates but never exposes directly;
+//! * **interfaces** with cages, pluggable transceivers, admin state, link
+//!   partners (internal cabling or an external peer), and traffic
+//!   counters;
+//! * **PSUs** with per-unit conversion-efficiency curves (PFE600 shape
+//!   plus a unit-specific offset) and the three sensor pathologies
+//!   observed in §6.2: accurate-but-offset, pseudo-constant, or absent;
+//! * **events**: OS updates that bump fan power (+45 W in Fig. 8),
+//!   transceiver (un)plugging, PSU re-plugging that shifts the sensor.
+//!
+//! The only power observable from outside is **wall power** — what a
+//! physical power meter would see: the DC demand pushed through each PSU's
+//! efficiency curve. NetPowerBench must re-derive the model from that, the
+//! same inference problem the paper solves on real hardware.
+//!
+//! ```
+//! use fj_router_sim::{RouterSpec, SimulatedRouter};
+//! use fj_core::{Speed, TransceiverType};
+//!
+//! let spec = RouterSpec::builtin("8201-32FH").unwrap();
+//! let mut router = SimulatedRouter::new(spec, 42);
+//! let wall = router.wall_power().as_f64();
+//! assert!((wall - 253.0).abs() < 15.0); // near base, unit PSU spread aside
+//!
+//! router.plug(0, TransceiverType::PassiveDac, Speed::G100).unwrap();
+//! router.plug(1, TransceiverType::PassiveDac, Speed::G100).unwrap();
+//! router.cable(0, 1).unwrap();
+//! router.set_admin(0, true).unwrap();
+//! router.set_admin(1, true).unwrap();
+//! assert!(router.interface(0).unwrap().oper_up);
+//! ```
+
+pub mod console;
+pub mod error;
+pub mod modular;
+pub mod router;
+pub mod sensor;
+pub mod spec;
+
+pub use console::ConsoleReply;
+pub use error::SimError;
+pub use modular::ModularRouter;
+pub use router::{InterfaceState, LinkEnd, PsuState, SimulatedRouter};
+pub use sensor::PowerSensorModel;
+pub use spec::{PortSlot, RouterSpec};

@@ -1,0 +1,148 @@
+//! PSU power-sensor pathologies (§6.2, Fig. 4).
+//!
+//! The paper's central finding on internal measurements is that they
+//! "cannot be universally trusted": the 8201-32FH reports a trace whose
+//! *shape* is right but sits 15–20 W off; the NCS-55A1-24H reports a
+//! pseudo-constant value with sharp unexplained jumps (one of which — a
+//! 7 W drop — coincided with nothing but a power cycle); and the
+//! N540X-8Z16G-SYS-A reports nothing at all.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::Watts;
+
+/// How a router's firmware reports a PSU's input power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerSensorModel {
+    /// Precise but not accurate: `reported = true + offset` plus small
+    /// noise. The Fig. 4a behaviour (offset ≈ +15–20 W per router,
+    /// i.e. per-PSU share of that).
+    AccurateWithOffset {
+        /// Constant additive error in watts (per PSU).
+        offset_w: f64,
+    },
+    /// Pseudo-constant: the sensor latches a value and only updates when
+    /// the true power moves more than `quantum_w` away from the latched
+    /// value, producing long flats with sharp jumps (Fig. 4b). A power
+    /// cycle re-latches from scratch with a fresh calibration error.
+    PseudoConstant {
+        /// Hysteresis width in watts.
+        quantum_w: f64,
+        /// Calibration error re-drawn on every power cycle, in watts.
+        recalibration_spread_w: f64,
+    },
+    /// The router simply does not export PSU power (Fig. 4c).
+    NotReported,
+}
+
+impl PowerSensorModel {
+    /// True when the router exports any PSU power value at all.
+    pub fn reports(&self) -> bool {
+        !matches!(self, PowerSensorModel::NotReported)
+    }
+}
+
+/// Runtime state of one PSU's sensor (latched values, calibration error).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SensorState {
+    /// Currently latched value for pseudo-constant sensors.
+    pub latched_w: Option<f64>,
+    /// Current calibration error (re-drawn on power cycles).
+    pub calibration_w: f64,
+}
+
+impl SensorState {
+    /// Computes the reported value for `true_w` under `model`, updating
+    /// latched state. `noise` is a small zero-mean perturbation supplied
+    /// by the caller (so the sensor itself stays deterministic).
+    pub fn report(
+        &mut self,
+        model: &PowerSensorModel,
+        true_w: Watts,
+        noise_w: f64,
+    ) -> Option<Watts> {
+        match model {
+            PowerSensorModel::AccurateWithOffset { offset_w } => {
+                Some(Watts::new(true_w.as_f64() + offset_w + noise_w))
+            }
+            PowerSensorModel::PseudoConstant { quantum_w, .. } => {
+                let with_cal = true_w.as_f64() + self.calibration_w;
+                let latched = match self.latched_w {
+                    Some(l) if (with_cal - l).abs() <= *quantum_w => l,
+                    _ => {
+                        self.latched_w = Some(with_cal);
+                        with_cal
+                    }
+                };
+                Some(Watts::new(latched))
+            }
+            PowerSensorModel::NotReported => None,
+        }
+    }
+
+    /// Simulates a power cycle: clears the latch and installs a new
+    /// calibration error (caller supplies the draw).
+    pub fn power_cycle(&mut self, new_calibration_w: f64) {
+        self.latched_w = None;
+        self.calibration_w = new_calibration_w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_with_offset_tracks_shape() {
+        let model = PowerSensorModel::AccurateWithOffset { offset_w: 17.0 };
+        let mut st = SensorState::default();
+        let a = st.report(&model, Watts::new(350.0), 0.0).unwrap();
+        let b = st.report(&model, Watts::new(360.0), 0.0).unwrap();
+        assert_eq!(a.as_f64(), 367.0);
+        assert_eq!((b - a).as_f64(), 10.0); // shape preserved
+    }
+
+    #[test]
+    fn pseudo_constant_latches() {
+        let model = PowerSensorModel::PseudoConstant {
+            quantum_w: 5.0,
+            recalibration_spread_w: 4.0,
+        };
+        let mut st = SensorState::default();
+        let a = st.report(&model, Watts::new(400.0), 0.0).unwrap();
+        // Small wiggles do not move the reading.
+        let b = st.report(&model, Watts::new(403.0), 0.0).unwrap();
+        let c = st.report(&model, Watts::new(398.0), 0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // A large move re-latches.
+        let d = st.report(&model, Watts::new(410.0), 0.0).unwrap();
+        assert_eq!(d.as_f64(), 410.0);
+    }
+
+    #[test]
+    fn power_cycle_shifts_pseudo_constant_reading() {
+        // The Sept 25 event in Fig. 4b: re-plugging the PSU changed the
+        // reported value by 7 W while nothing else changed.
+        let model = PowerSensorModel::PseudoConstant {
+            quantum_w: 5.0,
+            recalibration_spread_w: 4.0,
+        };
+        let mut st = SensorState::default();
+        let before = st.report(&model, Watts::new(400.0), 0.0).unwrap();
+        st.power_cycle(-7.0);
+        let after = st.report(&model, Watts::new(400.0), 0.0).unwrap();
+        assert_eq!((after - before).as_f64(), -7.0);
+    }
+
+    #[test]
+    fn not_reported_returns_none() {
+        let mut st = SensorState::default();
+        assert_eq!(
+            st.report(&PowerSensorModel::NotReported, Watts::new(48.0), 0.0),
+            None
+        );
+        assert!(!PowerSensorModel::NotReported.reports());
+        assert!(PowerSensorModel::AccurateWithOffset { offset_w: 0.0 }.reports());
+    }
+}

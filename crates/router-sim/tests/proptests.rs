@@ -1,0 +1,124 @@
+//! Property-based tests for the router simulator's physical invariants.
+
+use fj_core::{InterfaceLoad, Speed, TransceiverType};
+use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_units::{Bytes, DataRate, SimDuration};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = String> {
+    prop::sample::select(RouterSpec::builtin_names())
+}
+
+/// Plugs the first `n` ports with whatever class the truth model prices.
+fn populate(router: &mut SimulatedRouter, n: usize) -> Vec<usize> {
+    let spec = router.spec().clone();
+    let mut plugged = Vec::new();
+    for i in 0..n.min(spec.port_count()) {
+        let port = spec.ports[i].port;
+        let candidate = spec
+            .truth
+            .classes()
+            .iter()
+            .map(|cp| cp.class)
+            .find(|c| c.port == port && spec.ports[i].speeds.contains(&c.speed));
+        if let Some(class) = candidate {
+            if router.plug(i, class.transceiver, class.speed).is_ok() {
+                plugged.push(i);
+            }
+        }
+    }
+    plugged
+}
+
+proptest! {
+    /// Wall power is strictly positive and finite for any built-in model
+    /// and any seed.
+    #[test]
+    fn wall_power_positive_finite(model in arb_model(), seed in 0u64..1000) {
+        let router = SimulatedRouter::new(RouterSpec::builtin(&model).unwrap(), seed);
+        let w = router.wall_power().as_f64();
+        prop_assert!(w.is_finite());
+        prop_assert!(w > 0.0);
+        prop_assert!(w < 5_000.0, "{model}: {w}");
+    }
+
+    /// Plugging modules never reduces nominal power; unplugging restores
+    /// the exact original value.
+    #[test]
+    fn plug_unplug_round_trip(model in arb_model(), seed in 0u64..100, n in 1usize..8) {
+        let mut router = SimulatedRouter::new(RouterSpec::builtin(&model).unwrap(), seed);
+        let before = router.nominal_power();
+        let plugged = populate(&mut router, n);
+        prop_assume!(!plugged.is_empty());
+        prop_assert!(router.nominal_power().as_f64() >= before.as_f64() - 1e-9);
+        for i in &plugged {
+            router.unplug(*i).unwrap();
+        }
+        prop_assert!((router.nominal_power() - before).abs().as_f64() < 1e-9);
+    }
+
+    /// Enabling an interface (admin up with live peer) never lowers
+    /// nominal power when all parameters are non-negative for the class;
+    /// for published models with slightly negative P_trx,up the drop is
+    /// bounded by that parameter.
+    #[test]
+    fn admin_up_power_change_bounded(model in arb_model(), seed in 0u64..50) {
+        let mut router = SimulatedRouter::new(RouterSpec::builtin(&model).unwrap(), seed);
+        let plugged = populate(&mut router, 2);
+        prop_assume!(!plugged.is_empty());
+        let i = plugged[0];
+        router.set_external_peer(i, true).unwrap();
+        let before = router.nominal_power().as_f64();
+        router.set_admin(i, true).unwrap();
+        let after = router.nominal_power().as_f64();
+        // P_port + P_trx,up ≥ -0.5 W across every published class.
+        prop_assert!(after >= before - 0.5, "{model}: {before} -> {after}");
+    }
+
+    /// Counters accumulate proportionally to elapsed time.
+    #[test]
+    fn counters_linear_in_time(seed in 0u64..50, gbps in 0.1f64..100.0, secs in 1i64..10_000) {
+        let mut router =
+            SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), seed);
+        router.plug(0, TransceiverType::PassiveDac, Speed::G100).unwrap();
+        router.set_external_peer(0, true).unwrap();
+        router.set_admin(0, true).unwrap();
+        router
+            .set_load(0, InterfaceLoad::from_rate(DataRate::from_gbps(gbps), Bytes::new(1000.0)))
+            .unwrap();
+        router.tick(SimDuration::from_secs(secs));
+        let octets = router.interface(0).unwrap().octets;
+        let expected = gbps * 1e9 / 8.0 * secs as f64;
+        prop_assert!(
+            (octets as f64 - expected).abs() <= secs as f64, // ≤1 B/s rounding
+            "octets {octets} expected {expected}"
+        );
+    }
+
+    /// PSU sensor snapshots always produce positive readings with a
+    /// plausible implied efficiency.
+    #[test]
+    fn snapshot_plausible(model in arb_model(), seed in 0u64..100) {
+        let router = SimulatedRouter::new(RouterSpec::builtin(&model).unwrap(), seed);
+        for slot in 0..router.psu_count() {
+            if let Some((p_in, p_out)) = router.psu_snapshot(slot).unwrap() {
+                prop_assert!(p_in > 0.0);
+                prop_assert!(p_out > 0.0);
+                let eff = p_out / p_in;
+                prop_assert!(eff > 0.3 && eff < 1.15, "{model} slot {slot}: eff {eff}");
+            }
+        }
+    }
+
+    /// Hot standby round-trips: enabling and disabling restores the
+    /// original wall power exactly.
+    #[test]
+    fn hot_standby_round_trip(model in arb_model(), seed in 0u64..50) {
+        let mut router = SimulatedRouter::new(RouterSpec::builtin(&model).unwrap(), seed);
+        prop_assume!(router.psu_count() >= 2);
+        let before = router.wall_power();
+        router.set_psu_hot_standby(1, true).unwrap();
+        router.set_psu_hot_standby(1, false).unwrap();
+        prop_assert!((router.wall_power() - before).abs().as_f64() < 1e-9);
+    }
+}

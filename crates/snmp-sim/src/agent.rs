@@ -1,0 +1,145 @@
+//! The per-router SNMP agent: answers GET / GET-NEXT over UDP.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use fj_router_sim::SimulatedRouter;
+
+use crate::codec::{Pdu, PduType};
+use crate::mib;
+
+/// A running agent bound to a loopback UDP port, serving the MIB view of
+/// one shared simulated router.
+pub struct SnmpAgent {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SnmpAgent {
+    /// Spawns an agent for `router` on an ephemeral loopback port.
+    ///
+    /// The router is shared: the simulation driver keeps mutating it (time
+    /// ticks, load changes) while the agent snapshots it per request —
+    /// just like real firmware answering SNMP against live counters.
+    pub fn spawn(router: Arc<Mutex<SimulatedRouter>>) -> std::io::Result<SnmpAgent> {
+        Self::spawn_with_drop_rate(router, 0)
+    }
+
+    /// Fault-injecting variant: silently drops every `drop_every`-th
+    /// request (0 = never). UDP collection in the field loses datagrams;
+    /// the poller's retry logic must absorb that, and tests exercise it
+    /// through this hook.
+    pub fn spawn_with_drop_rate(
+        router: Arc<Mutex<SimulatedRouter>>,
+        drop_every: u32,
+    ) -> std::io::Result<SnmpAgent> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(std::time::Duration::from_millis(5)))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+
+        let thread = std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            let mut request_counter: u32 = 0;
+            while !thread_stop.load(Ordering::Relaxed) {
+                let (len, peer) = match socket.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                request_counter = request_counter.wrapping_add(1);
+                if drop_every > 0 && request_counter % drop_every == 0 {
+                    continue; // injected datagram loss
+                }
+                let reply = match Pdu::decode(&buf[..len]) {
+                    Ok(request) => {
+                        let tree = mib::snapshot(&mut router.lock());
+                        answer(&request, &tree)
+                    }
+                    Err(_) => continue, // undecodable datagrams are dropped
+                };
+                let _ = socket.send_to(&reply.encode(), peer);
+            }
+        });
+
+        Ok(SnmpAgent {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The agent's UDP address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the agent thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SnmpAgent {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn answer(request: &Pdu, tree: &mib::MibTree) -> Pdu {
+    match request.pdu_type {
+        PduType::Get => match tree.get(&request.oid) {
+            Some(v) => Pdu {
+                request_id: request.request_id,
+                pdu_type: PduType::Response,
+                error_status: 0,
+                oid: request.oid.clone(),
+                value: Some(v.clone()),
+            },
+            None => no_such(request),
+        },
+        PduType::GetNext => match tree.get_next(&request.oid) {
+            Some((oid, v)) => Pdu {
+                request_id: request.request_id,
+                pdu_type: PduType::Response,
+                error_status: 0,
+                oid: oid.clone(),
+                value: Some(v.clone()),
+            },
+            None => no_such(request),
+        },
+        PduType::Response => Pdu {
+            // Responses sent to an agent are malformed requests.
+            error_status: 2,
+            ..no_such(request)
+        },
+    }
+}
+
+fn no_such(request: &Pdu) -> Pdu {
+    Pdu {
+        request_id: request.request_id,
+        pdu_type: PduType::Response,
+        error_status: 1,
+        oid: request.oid.clone(),
+        value: None,
+    }
+}

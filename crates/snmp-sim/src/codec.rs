@@ -1,0 +1,262 @@
+//! Compact binary codec for the UDP request/response transport.
+//!
+//! Real SNMP uses BER-encoded ASN.1; this codec keeps the same PDU
+//! semantics (request id, GET / GET-NEXT, OID, typed value, error status)
+//! with a simpler encoding:
+//!
+//! ```text
+//! u32  request id
+//! u8   pdu type        (0 get, 1 get-next, 2 response)
+//! u8   error status    (0 ok, 1 no-such-object, 2 malformed)
+//! u16  oid arc count   followed by that many u32 arcs
+//! u8   value tag       (0 none, 1 counter64, 2 gauge, 3 integer, 4 string)
+//!      value bytes     (u64 | f64 | i64 | u16-prefixed UTF-8)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::mib::MibValue;
+use crate::oid::Oid;
+
+/// PDU kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PduType {
+    /// Exact-match read.
+    Get,
+    /// First object after the given OID.
+    GetNext,
+    /// Agent's reply.
+    Response,
+}
+
+/// Errors decoding a PDU or performing a poll.
+#[derive(Debug)]
+pub enum SnmpError {
+    /// Datagram too short or structurally invalid.
+    Truncated,
+    /// Unknown PDU type or value tag.
+    BadTag(u8),
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The agent answered "no such object".
+    NoSuchObject(Oid),
+    /// No response within the timeout (after retries).
+    Timeout,
+    /// Response did not match the request id.
+    RequestIdMismatch,
+}
+
+impl std::fmt::Display for SnmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnmpError::Truncated => write!(f, "truncated datagram"),
+            SnmpError::BadTag(t) => write!(f, "unknown tag {t}"),
+            SnmpError::Io(e) => write!(f, "socket error: {e}"),
+            SnmpError::NoSuchObject(oid) => write!(f, "no such object {oid}"),
+            SnmpError::Timeout => write!(f, "request timed out"),
+            SnmpError::RequestIdMismatch => write!(f, "response id mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SnmpError {}
+
+impl From<std::io::Error> for SnmpError {
+    fn from(e: std::io::Error) -> Self {
+        SnmpError::Io(e)
+    }
+}
+
+/// A protocol data unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pdu {
+    /// Correlates responses with requests.
+    pub request_id: u32,
+    /// Kind of PDU.
+    pub pdu_type: PduType,
+    /// 0 = ok, 1 = no-such-object, 2 = malformed request.
+    pub error_status: u8,
+    /// Subject OID (response: the OID the value belongs to, which for
+    /// GET-NEXT differs from the requested one).
+    pub oid: Oid,
+    /// Value payload (responses only).
+    pub value: Option<MibValue>,
+}
+
+impl Pdu {
+    /// A GET request.
+    pub fn get(request_id: u32, oid: Oid) -> Self {
+        Pdu {
+            request_id,
+            pdu_type: PduType::Get,
+            error_status: 0,
+            oid,
+            value: None,
+        }
+    }
+
+    /// A GET-NEXT request.
+    pub fn get_next(request_id: u32, oid: Oid) -> Self {
+        Pdu {
+            request_id,
+            pdu_type: PduType::GetNext,
+            error_status: 0,
+            oid,
+            value: None,
+        }
+    }
+
+    /// Encodes to a datagram payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u32(self.request_id);
+        b.put_u8(match self.pdu_type {
+            PduType::Get => 0,
+            PduType::GetNext => 1,
+            PduType::Response => 2,
+        });
+        b.put_u8(self.error_status);
+        let arcs = self.oid.arcs();
+        b.put_u16(arcs.len() as u16);
+        for &arc in arcs {
+            b.put_u32(arc);
+        }
+        match &self.value {
+            None => b.put_u8(0),
+            Some(MibValue::Counter64(v)) => {
+                b.put_u8(1);
+                b.put_u64(*v);
+            }
+            Some(MibValue::Gauge(v)) => {
+                b.put_u8(2);
+                b.put_f64(*v);
+            }
+            Some(MibValue::Integer(v)) => {
+                b.put_u8(3);
+                b.put_i64(*v);
+            }
+            Some(MibValue::Str(s)) => {
+                b.put_u8(4);
+                b.put_u16(s.len() as u16);
+                b.put_slice(s.as_bytes());
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes a datagram payload.
+    pub fn decode(mut data: &[u8]) -> Result<Pdu, SnmpError> {
+        if data.remaining() < 8 {
+            return Err(SnmpError::Truncated);
+        }
+        let request_id = data.get_u32();
+        let pdu_type = match data.get_u8() {
+            0 => PduType::Get,
+            1 => PduType::GetNext,
+            2 => PduType::Response,
+            t => return Err(SnmpError::BadTag(t)),
+        };
+        let error_status = data.get_u8();
+        let n_arcs = data.get_u16() as usize;
+        if data.remaining() < n_arcs * 4 + 1 {
+            return Err(SnmpError::Truncated);
+        }
+        let arcs: Vec<u32> = (0..n_arcs).map(|_| data.get_u32()).collect();
+        let value = match data.get_u8() {
+            0 => None,
+            1 => {
+                if data.remaining() < 8 {
+                    return Err(SnmpError::Truncated);
+                }
+                Some(MibValue::Counter64(data.get_u64()))
+            }
+            2 => {
+                if data.remaining() < 8 {
+                    return Err(SnmpError::Truncated);
+                }
+                Some(MibValue::Gauge(data.get_f64()))
+            }
+            3 => {
+                if data.remaining() < 8 {
+                    return Err(SnmpError::Truncated);
+                }
+                Some(MibValue::Integer(data.get_i64()))
+            }
+            4 => {
+                if data.remaining() < 2 {
+                    return Err(SnmpError::Truncated);
+                }
+                let len = data.get_u16() as usize;
+                if data.remaining() < len {
+                    return Err(SnmpError::Truncated);
+                }
+                let s = String::from_utf8_lossy(&data.chunk()[..len]).into_owned();
+                data.advance(len);
+                Some(MibValue::Str(s))
+            }
+            t => return Err(SnmpError::BadTag(t)),
+        };
+        Ok(Pdu {
+            request_id,
+            pdu_type,
+            error_status,
+            oid: Oid::new(arcs),
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(pdu: Pdu) -> Pdu {
+        Pdu::decode(&pdu.encode()).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let oid: Oid = "1.3.6.1.2.1.31.1.1.1.6.3".parse().unwrap();
+        assert_eq!(round_trip(Pdu::get(7, oid.clone())), Pdu::get(7, oid.clone()));
+        assert_eq!(round_trip(Pdu::get_next(8, oid.clone())), Pdu::get_next(8, oid));
+    }
+
+    #[test]
+    fn responses_with_all_value_types() {
+        let oid: Oid = "1.2.3".parse().unwrap();
+        for value in [
+            MibValue::Counter64(u64::MAX),
+            MibValue::Gauge(361.25),
+            MibValue::Integer(-2),
+            MibValue::Str("NCS-55A1-24H OS 1.0.0".into()),
+        ] {
+            let pdu = Pdu {
+                request_id: 1,
+                pdu_type: PduType::Response,
+                error_status: 0,
+                oid: oid.clone(),
+                value: Some(value),
+            };
+            assert_eq!(round_trip(pdu.clone()), pdu);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let oid: Oid = "1.2.3".parse().unwrap();
+        let full = Pdu::get(1, oid).encode();
+        for cut in [0, 3, 7, full.len() - 1] {
+            assert!(
+                matches!(Pdu::decode(&full[..cut]), Err(SnmpError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut bytes = Pdu::get(1, "1.2".parse().unwrap()).encode().to_vec();
+        bytes[4] = 99; // pdu type
+        assert!(matches!(Pdu::decode(&bytes), Err(SnmpError::BadTag(99))));
+    }
+}

@@ -1,0 +1,31 @@
+//! SNMP-like telemetry plane.
+//!
+//! The Switch dataset consists of "PSU measurements and interface traffic
+//! counters collected via SNMP" at 5-minute resolution. This crate
+//! provides that collection path for simulated routers:
+//!
+//! * [`Oid`] — object identifiers with the standard dotted syntax;
+//! * [`MibTree`] — an ordered `OID → value` store with `get`/`get_next`
+//!   (the primitive behind SNMP walks);
+//! * [`mib`] — the concrete objects exported by a simulated router:
+//!   `ifHCInOctets`/`ifHCOutOctets`/packet counters per interface,
+//!   `entPhySensorValue`-style PSU input power, admin/oper status;
+//! * [`SnmpAgent`] / [`SnmpPoller`] — a real UDP request/response
+//!   transport with a compact binary codec, timeouts, and retries.
+//!
+//! The long-horizon fleet simulation reads [`mib::snapshot`] in-process —
+//! polling 107 routers for 10 months through the kernel would add nothing
+//! but wall-clock time — while the UDP path is exercised by tests and
+//! examples to validate the protocol machinery end to end.
+
+pub mod agent;
+pub mod codec;
+pub mod mib;
+pub mod oid;
+pub mod poller;
+
+pub use agent::SnmpAgent;
+pub use codec::{Pdu, PduType, SnmpError};
+pub use mib::{snapshot, MibTree, MibValue};
+pub use oid::Oid;
+pub use poller::SnmpPoller;

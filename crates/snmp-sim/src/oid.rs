@@ -1,0 +1,115 @@
+//! Object identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An SNMP object identifier: a sequence of arc numbers, e.g.
+/// `1.3.6.1.2.1.31.1.1.1.6.3`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Oid(Vec<u32>);
+
+impl Oid {
+    /// Builds an OID from its arcs.
+    pub fn new(arcs: impl Into<Vec<u32>>) -> Self {
+        Self(arcs.into())
+    }
+
+    /// The arcs.
+    pub fn arcs(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// This OID extended by one arc (e.g. appending an ifIndex).
+    pub fn child(&self, arc: u32) -> Oid {
+        let mut arcs = self.0.clone();
+        arcs.push(arc);
+        Oid(arcs)
+    }
+
+    /// Whether `self` is a prefix of `other` (inclusive: an OID prefixes
+    /// itself). Used for subtree walks.
+    pub fn is_prefix_of(&self, other: &Oid) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The last arc, if any — usually a table index.
+    pub fn last_arc(&self) -> Option<u32> {
+        self.0.last().copied()
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for arc in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{arc}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing an OID from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOidError(pub String);
+
+impl fmt::Display for ParseOidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid OID {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseOidError {}
+
+impl FromStr for Oid {
+    type Err = ParseOidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseOidError(s.to_owned()));
+        }
+        s.split('.')
+            .map(|part| part.parse::<u32>().map_err(|_| ParseOidError(s.to_owned())))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse() {
+        let oid = Oid::new(vec![1, 3, 6, 1, 2, 1]);
+        assert_eq!(oid.to_string(), "1.3.6.1.2.1");
+        assert_eq!("1.3.6.1.2.1".parse::<Oid>().unwrap(), oid);
+        assert!("".parse::<Oid>().is_err());
+        assert!("1.x.3".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Oid = "1.3.6".parse().unwrap();
+        let b: Oid = "1.3.6.1".parse().unwrap();
+        let c: Oid = "1.4".parse().unwrap();
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn prefix_and_child() {
+        let base: Oid = "1.3.6.1".parse().unwrap();
+        let leaf = base.child(42);
+        assert_eq!(leaf.to_string(), "1.3.6.1.42");
+        assert!(base.is_prefix_of(&leaf));
+        assert!(base.is_prefix_of(&base));
+        assert!(!leaf.is_prefix_of(&base));
+        assert_eq!(leaf.last_arc(), Some(42));
+    }
+}

@@ -1,0 +1,117 @@
+//! The SNMP poller: issues GET / GET-NEXT requests with timeout + retry.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use crate::codec::{Pdu, PduType, SnmpError};
+use crate::mib::MibValue;
+use crate::oid::Oid;
+
+/// A simple synchronous poller. One instance per collection task; request
+/// ids increment per request so stray late datagrams are rejected.
+pub struct SnmpPoller {
+    socket: UdpSocket,
+    next_request_id: u32,
+    /// Per-attempt receive timeout.
+    pub timeout: Duration,
+    /// Number of attempts before giving up (paper-style collection is
+    /// resilient to a lost datagram or two).
+    pub retries: u32,
+}
+
+impl SnmpPoller {
+    /// Creates a poller bound to an ephemeral local port.
+    pub fn new() -> std::io::Result<SnmpPoller> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        Ok(SnmpPoller {
+            socket,
+            next_request_id: 1,
+            timeout: Duration::from_millis(200),
+            retries: 3,
+        })
+    }
+
+    /// GET: the value at exactly `oid`.
+    pub fn get(&mut self, agent: SocketAddr, oid: &Oid) -> Result<MibValue, SnmpError> {
+        let request = Pdu::get(self.take_id(), oid.clone());
+        let response = self.round_trip(agent, &request)?;
+        match (response.error_status, response.value) {
+            (0, Some(v)) => Ok(v),
+            _ => Err(SnmpError::NoSuchObject(oid.clone())),
+        }
+    }
+
+    /// GET-NEXT: the first `(oid, value)` after `oid`.
+    pub fn get_next(
+        &mut self,
+        agent: SocketAddr,
+        oid: &Oid,
+    ) -> Result<(Oid, MibValue), SnmpError> {
+        let request = Pdu::get_next(self.take_id(), oid.clone());
+        let response = self.round_trip(agent, &request)?;
+        match (response.error_status, response.value) {
+            (0, Some(v)) => Ok((response.oid, v)),
+            _ => Err(SnmpError::NoSuchObject(oid.clone())),
+        }
+    }
+
+    /// Walks the whole subtree under `prefix`, like `snmpwalk`.
+    pub fn walk(
+        &mut self,
+        agent: SocketAddr,
+        prefix: &Oid,
+    ) -> Result<Vec<(Oid, MibValue)>, SnmpError> {
+        let mut out = Vec::new();
+        let mut cursor = prefix.clone();
+        loop {
+            match self.get_next(agent, &cursor) {
+                Ok((oid, value)) => {
+                    if !prefix.is_prefix_of(&oid) {
+                        break; // walked past the subtree
+                    }
+                    cursor = oid.clone();
+                    out.push((oid, value));
+                }
+                Err(SnmpError::NoSuchObject(_)) => break, // end of MIB
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    fn take_id(&mut self) -> u32 {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1);
+        id
+    }
+
+    fn round_trip(&self, agent: SocketAddr, request: &Pdu) -> Result<Pdu, SnmpError> {
+        self.socket.set_read_timeout(Some(self.timeout))?;
+        let payload = request.encode();
+        let mut buf = [0u8; 2048];
+        for _attempt in 0..self.retries.max(1) {
+            self.socket.send_to(&payload, agent)?;
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, _)) => {
+                    let pdu = Pdu::decode(&buf[..len])?;
+                    if pdu.request_id != request.request_id
+                        || pdu.pdu_type != PduType::Response
+                    {
+                        // Stray datagram from an earlier timeout; ignore
+                        // and keep waiting within this attempt budget.
+                        continue;
+                    }
+                    return Ok(pdu);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(SnmpError::Io(e)),
+            }
+        }
+        Err(SnmpError::Timeout)
+    }
+}

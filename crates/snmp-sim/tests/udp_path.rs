@@ -1,0 +1,166 @@
+//! End-to-end test of the UDP telemetry path: simulated router → agent →
+//! poller, the way the Switch collection polls production routers.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fj_core::{InterfaceLoad, Speed, TransceiverType};
+use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_snmp::mib::{oids, total_psu_power};
+use fj_snmp::{MibValue, SnmpAgent, SnmpError, SnmpPoller};
+use fj_units::{Bytes, DataRate, SimDuration};
+
+fn lab_router() -> SimulatedRouter {
+    let mut r = SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 5);
+    r.plug(0, TransceiverType::PassiveDac, Speed::G100).unwrap();
+    r.plug(1, TransceiverType::PassiveDac, Speed::G100).unwrap();
+    r.cable(0, 1).unwrap();
+    r.set_admin(0, true).unwrap();
+    r.set_admin(1, true).unwrap();
+    r
+}
+
+#[test]
+fn poll_counters_over_udp() {
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn(Arc::clone(&router)).unwrap();
+    let mut poller = SnmpPoller::new().unwrap();
+
+    // Drive traffic while the agent is live.
+    {
+        let mut r = router.lock();
+        r.set_load(
+            0,
+            InterfaceLoad::from_rate(DataRate::from_gbps(8.0), Bytes::new(1000.0)),
+        )
+        .unwrap();
+        r.tick(SimDuration::from_secs(60));
+    }
+
+    let v = poller
+        .get(agent.addr(), &oids::if_hc_in_octets().child(1))
+        .unwrap();
+    match v {
+        MibValue::Counter64(octets) => {
+            // 8 Gbps for 60 s = 60 GB total, half attributed to "in".
+            assert_eq!(octets, 30 * 1_000_000_000);
+        }
+        other => panic!("unexpected value {other:?}"),
+    }
+
+    // Admin status of an unconfigured port is down (2).
+    let admin = poller
+        .get(agent.addr(), &oids::if_admin_status().child(9))
+        .unwrap();
+    assert_eq!(admin, MibValue::Integer(2));
+
+    agent.shutdown();
+}
+
+#[test]
+fn walk_psu_sensors_over_udp() {
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn(Arc::clone(&router)).unwrap();
+    let mut poller = SnmpPoller::new().unwrap();
+
+    let rows = poller.walk(agent.addr(), &oids::psu_in_power()).unwrap();
+    assert_eq!(rows.len(), 2, "two PSUs report power");
+    let total: f64 = rows.iter().filter_map(|(_, v)| v.as_f64()).sum();
+    let wall = router.lock().wall_power().as_f64();
+    // The 8201's sensors read ~8.5 W high per PSU (Fig. 4a pathology).
+    assert!((total - wall - 17.0).abs() < 5.0, "total {total} wall {wall}");
+
+    // Cross-check against the in-process snapshot path.
+    let tree = fj_snmp::snapshot(&mut router.lock());
+    let in_process = total_psu_power(&tree).unwrap();
+    assert!((in_process - total).abs() < 3.0);
+
+    agent.shutdown();
+}
+
+#[test]
+fn missing_object_reports_no_such() {
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn(router).unwrap();
+    let mut poller = SnmpPoller::new().unwrap();
+    let bogus: fj_snmp::Oid = "9.9.9.9".parse().unwrap();
+    match poller.get(agent.addr(), &bogus) {
+        Err(SnmpError::NoSuchObject(oid)) => assert_eq!(oid, bogus),
+        other => panic!("unexpected {other:?}"),
+    }
+    agent.shutdown();
+}
+
+#[test]
+fn non_reporting_router_has_no_psu_rows() {
+    let router = Arc::new(Mutex::new(SimulatedRouter::new(
+        RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(),
+        1,
+    )));
+    let agent = SnmpAgent::spawn(router).unwrap();
+    let mut poller = SnmpPoller::new().unwrap();
+    let rows = poller.walk(agent.addr(), &oids::psu_in_power()).unwrap();
+    assert!(rows.is_empty());
+    agent.shutdown();
+}
+
+#[test]
+fn timeout_against_dead_agent() {
+    let mut poller = SnmpPoller::new().unwrap();
+    poller.timeout = std::time::Duration::from_millis(30);
+    poller.retries = 2;
+    // An unused loopback port: nothing answers.
+    let dead = "127.0.0.1:9".parse().unwrap();
+    match poller.get(dead, &"1.2.3".parse().unwrap()) {
+        Err(SnmpError::Timeout) | Err(SnmpError::Io(_)) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn walk_full_interface_table() {
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn(router).unwrap();
+    let mut poller = SnmpPoller::new().unwrap();
+    let rows = poller
+        .walk(agent.addr(), &oids::if_oper_status())
+        .unwrap();
+    assert_eq!(rows.len(), 32, "one row per interface");
+    let up = rows
+        .iter()
+        .filter(|(_, v)| *v == MibValue::Integer(1))
+        .count();
+    assert_eq!(up, 2);
+    agent.shutdown();
+}
+
+#[test]
+fn poller_retries_through_datagram_loss() {
+    // The agent drops every 2nd request; the poller's retry budget (3)
+    // still completes a full interface-table walk.
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn_with_drop_rate(router, 2).unwrap();
+    let mut poller = SnmpPoller::new().unwrap();
+    poller.timeout = std::time::Duration::from_millis(50);
+    poller.retries = 3;
+    let rows = poller
+        .walk(agent.addr(), &oids::if_oper_status())
+        .expect("retries absorb 50% loss");
+    assert_eq!(rows.len(), 32);
+    agent.shutdown();
+}
+
+#[test]
+fn poller_gives_up_under_total_loss() {
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn_with_drop_rate(router, 1).unwrap(); // drop all
+    let mut poller = SnmpPoller::new().unwrap();
+    poller.timeout = std::time::Duration::from_millis(20);
+    poller.retries = 2;
+    match poller.get(agent.addr(), &oids::sys_descr()) {
+        Err(SnmpError::Timeout) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    agent.shutdown();
+}

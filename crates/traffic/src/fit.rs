@@ -1,0 +1,183 @@
+//! Fitting a [`LoadPattern`] to a measured utilisation trace.
+//!
+//! The Network Power Zoo stores traffic traces; turning a trace back into
+//! a generative pattern makes it replayable in the simulator (and lets an
+//! operator summarise a link as "1.3 % mean, 55 % daily swing, −40 %
+//! weekends"). The fit is classical harmonic regression: project the
+//! trace onto the first daily harmonic (anchored at the pattern's 15:00
+//! peak), estimate the weekend ratio from day-of-week means, and take the
+//! residual spread as jitter.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{SimInstant, TimeSeries};
+
+use crate::pattern::LoadPattern;
+
+/// Result of fitting a daily/weekly model to a utilisation trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternFit {
+    /// Weekday mean utilisation.
+    pub mean_utilization: f64,
+    /// Relative first-harmonic amplitude (the pattern's `diurnal_amplitude`).
+    pub diurnal_amplitude: f64,
+    /// Weekend-to-weekday ratio.
+    pub weekend_factor: f64,
+    /// Relative residual standard deviation after removing the harmonic
+    /// and weekly structure.
+    pub residual_rel_std: f64,
+}
+
+impl PatternFit {
+    /// Instantiates a generative pattern from the fit (wander folded into
+    /// jitter; a fresh seed gives an independent but statistically
+    /// matching replica).
+    pub fn to_pattern(&self, seed: u64) -> LoadPattern {
+        LoadPattern {
+            mean_utilization: self.mean_utilization,
+            diurnal_amplitude: self.diurnal_amplitude,
+            weekend_factor: self.weekend_factor,
+            wander_amplitude: 0.0,
+            jitter: self.residual_rel_std,
+            seed,
+        }
+    }
+}
+
+/// Fits the pattern model to a utilisation trace (values are fractions of
+/// capacity). Returns `None` for traces too short to separate weekday
+/// structure (< 2 days of samples) or with a non-positive mean.
+pub fn fit_pattern(trace: &TimeSeries) -> Option<PatternFit> {
+    if trace.is_empty() {
+        return None;
+    }
+    let span = trace.end()? - trace.start()?;
+    if span.as_days() < 2 {
+        return None;
+    }
+
+    let weekday: Vec<(SimInstant, f64)> =
+        trace.iter().filter(|(t, _)| t.day_of_week() < 5).collect();
+    let weekend: Vec<f64> = trace
+        .iter()
+        .filter(|(t, _)| t.day_of_week() >= 5)
+        .map(|(_, v)| v)
+        .collect();
+    if weekday.is_empty() {
+        return None;
+    }
+
+    let mean: f64 = weekday.iter().map(|(_, v)| v).sum::<f64>() / weekday.len() as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+
+    // First daily harmonic, phase-locked to the generator's 15:00 peak:
+    // u(t) ≈ mean · (1 + a·cos(φ(t))), so a = 2·⟨u·cos⟩ / mean.
+    let mut num = 0.0;
+    for (t, v) in &weekday {
+        let phase = (t.hour_of_day() - 15.0) / 24.0 * std::f64::consts::TAU;
+        num += v * phase.cos();
+    }
+    let amplitude = (2.0 * num / weekday.len() as f64 / mean).clamp(0.0, 1.0);
+
+    let weekend_factor = if weekend.is_empty() {
+        1.0
+    } else {
+        (weekend.iter().sum::<f64>() / weekend.len() as f64 / mean).clamp(0.0, 2.0)
+    };
+
+    // Residuals against the fitted structure.
+    let mut ss = 0.0;
+    let mut n = 0usize;
+    for (t, v) in trace.iter() {
+        let phase = (t.hour_of_day() - 15.0) / 24.0 * std::f64::consts::TAU;
+        let weekly = if t.day_of_week() >= 5 { weekend_factor } else { 1.0 };
+        let model = mean * weekly * (1.0 + amplitude * phase.cos());
+        ss += (v - model).powi(2);
+        n += 1;
+    }
+    let residual_rel_std = (ss / n as f64).sqrt() / mean;
+
+    Some(PatternFit {
+        mean_utilization: mean,
+        diurnal_amplitude: amplitude,
+        weekend_factor,
+        residual_rel_std,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_units::SimDuration;
+
+    fn sample_pattern(p: &LoadPattern, days: i64) -> TimeSeries {
+        TimeSeries::tabulate(
+            SimInstant::EPOCH,
+            SimInstant::from_days(days),
+            SimDuration::from_mins(15),
+            |t| p.utilization(t),
+        )
+    }
+
+    #[test]
+    fn fit_recovers_generator_parameters() {
+        let truth = LoadPattern {
+            mean_utilization: 0.02,
+            diurnal_amplitude: 0.5,
+            weekend_factor: 0.6,
+            wander_amplitude: 0.0,
+            jitter: 0.0,
+            seed: 3,
+        };
+        let fit = fit_pattern(&sample_pattern(&truth, 28)).expect("fits");
+        assert!(
+            (fit.mean_utilization - 0.02).abs() < 0.002,
+            "mean {}",
+            fit.mean_utilization
+        );
+        assert!(
+            (fit.diurnal_amplitude - 0.5).abs() < 0.05,
+            "amplitude {}",
+            fit.diurnal_amplitude
+        );
+        assert!(
+            (fit.weekend_factor - 0.6).abs() < 0.05,
+            "weekend {}",
+            fit.weekend_factor
+        );
+        assert!(fit.residual_rel_std < 0.05, "clean trace, tiny residual");
+    }
+
+    #[test]
+    fn fit_tolerates_jitter_and_wander() {
+        let truth = LoadPattern::isp_default(9);
+        let fit = fit_pattern(&sample_pattern(&truth, 28)).expect("fits");
+        assert!((fit.mean_utilization - truth.mean_utilization).abs() < 0.004);
+        assert!((fit.diurnal_amplitude - truth.diurnal_amplitude).abs() < 0.15);
+        assert!(fit.residual_rel_std > 0.0);
+    }
+
+    #[test]
+    fn round_trip_through_generated_pattern() {
+        // Fit a trace, regenerate from the fit, re-fit: parameters stable.
+        let truth = LoadPattern::isp_default(4);
+        let fit1 = fit_pattern(&sample_pattern(&truth, 28)).expect("fits");
+        let replica = fit1.to_pattern(99);
+        let fit2 = fit_pattern(&sample_pattern(&replica, 28)).expect("fits");
+        assert!((fit1.mean_utilization - fit2.mean_utilization).abs() < 0.003);
+        assert!((fit1.diurnal_amplitude - fit2.diurnal_amplitude).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_traces_rejected() {
+        assert!(fit_pattern(&TimeSeries::new()).is_none());
+        // One day only: too short.
+        let short = sample_pattern(&LoadPattern::isp_default(1), 1);
+        assert!(fit_pattern(&short).is_none());
+        // All-zero trace has no positive mean.
+        let zero = sample_pattern(&LoadPattern::idle(), 7);
+        assert!(fit_pattern(&zero).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Stateless deterministic noise.
+//!
+//! Long-horizon traces (10 months at 5-minute resolution, per interface,
+//! times hundreds of interfaces) are far too large to pre-generate and
+//! store. Instead, every noisy signal in the simulator derives its
+//! randomness from `hash_noise(seed, index)` — a SplitMix64-based hash —
+//! so any sample can be computed on demand and is identical across runs.
+
+/// Uniform pseudo-random value in `[0, 1)` derived from `(seed, index)`.
+///
+/// Based on SplitMix64's finalizer, which passes standard statistical
+/// test batteries; adjacent indices produce uncorrelated outputs.
+pub fn hash_noise(seed: u64, index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Use the top 53 bits for a uniform double in [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard-normal-ish value from `(seed, index)` via the sum of three
+/// uniforms (Irwin–Hall, rescaled). Cheap, smooth-tailed enough for
+/// measurement jitter; not for tail-sensitive statistics.
+pub fn hash_gauss(seed: u64, index: u64) -> f64 {
+    let u1 = hash_noise(seed, index.wrapping_mul(3));
+    let u2 = hash_noise(seed, index.wrapping_mul(3).wrapping_add(1));
+    let u3 = hash_noise(seed, index.wrapping_mul(3).wrapping_add(2));
+    // Irwin-Hall(3): mean 1.5, variance 3/12 = 0.25 → std 0.5.
+    (u1 + u2 + u3 - 1.5) / 0.5
+}
+
+/// Smooth noise: linear interpolation between hash values anchored every
+/// `period` index units. `x` may be any non-negative position.
+pub fn smooth_noise(seed: u64, x: f64, period: f64) -> f64 {
+    assert!(period > 0.0, "period must be positive");
+    let grid = x / period;
+    let i = grid.floor();
+    let frac = grid - i;
+    let a = hash_noise(seed, i as u64);
+    let b = hash_noise(seed, i as u64 + 1);
+    a * (1.0 - frac) + b * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_noise(42, 7), hash_noise(42, 7));
+        assert_ne!(hash_noise(42, 7), hash_noise(42, 8));
+        assert_ne!(hash_noise(42, 7), hash_noise(43, 7));
+    }
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let n = 10_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let v = hash_noise(1, i);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let n = 20_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for i in 0..n {
+            let v = hash_gauss(2, i);
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gauss_bounded() {
+        // Irwin-Hall(3) rescaled is bounded to [-3, 3].
+        for i in 0..5_000 {
+            let v = hash_gauss(3, i);
+            assert!((-3.0..=3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn smooth_noise_is_continuous() {
+        let seed = 9;
+        let period = 3600.0;
+        // Adjacent samples 1 unit apart differ by at most 1/period of the
+        // anchor delta, i.e. are very close.
+        let mut prev = smooth_noise(seed, 0.0, period);
+        for i in 1..10_000u64 {
+            let v = smooth_noise(seed, i as f64, period);
+            assert!((v - prev).abs() < 2.0 / period + 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn smooth_noise_hits_anchors() {
+        let seed = 5;
+        assert!((smooth_noise(seed, 7200.0, 3600.0) - hash_noise(seed, 2)).abs() < 1e-12);
+    }
+}

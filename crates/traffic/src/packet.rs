@@ -1,0 +1,107 @@
+//! Packet size profiles.
+//!
+//! The model's `E_bit`/`E_pkt` split (Eqs. 12–17) revolves around the
+//! relationship between bit rate and packet rate, i.e. the packet size.
+//! Lab sweeps use fixed sizes; production traffic is approximated by a
+//! mean wire size drawn from an IMIX-like mixture.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{Bytes, DataRate, PacketRate};
+
+/// Layer-2 framing overhead added on the wire beyond the IP packet: the
+/// paper's `L_header` in Eq. 12 (Ethernet header + FCS + preamble + IPG
+/// are variously included; we use the 18-byte header+FCS convention and
+/// treat `L` as the layer-3 packet size).
+pub const ETHERNET_OVERHEAD_BYTES: f64 = 18.0;
+
+/// A packet size profile: either a fixed size (lab) or a mixture (WAN).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PacketProfile {
+    /// Every packet has the same layer-3 size in bytes.
+    Fixed(f64),
+    /// A weighted mixture of layer-3 sizes: `(size_bytes, weight)`.
+    /// Weights need not sum to one; they are normalised.
+    Mix(Vec<(f64, f64)>),
+}
+
+impl PacketProfile {
+    /// The classic "simple IMIX": 58 % × 40 B, 33 % × 576 B, 9 % × 1500 B
+    /// (by packet count).
+    pub fn imix() -> Self {
+        PacketProfile::Mix(vec![(40.0, 0.58), (576.0, 0.33), (1500.0, 0.09)])
+    }
+
+    /// Mean layer-3 packet size in bytes (by packet count).
+    pub fn mean_size(&self) -> Bytes {
+        match self {
+            PacketProfile::Fixed(s) => Bytes::new(*s),
+            PacketProfile::Mix(parts) => {
+                let wsum: f64 = parts.iter().map(|(_, w)| w).sum();
+                assert!(wsum > 0.0, "mixture weights must sum to a positive value");
+                let m = parts.iter().map(|(s, w)| s * w).sum::<f64>() / wsum;
+                Bytes::new(m)
+            }
+        }
+    }
+
+    /// Mean *wire* size: layer-3 size plus framing overhead. This is the
+    /// `L + L_header` of Eq. 12.
+    pub fn mean_wire_size(&self) -> Bytes {
+        // For a mixture, the pkt-rate-weighted wire size adds the constant
+        // overhead to the mean L (E[L + h] = E[L] + h).
+        Bytes::new(self.mean_size().as_f64() + ETHERNET_OVERHEAD_BYTES)
+    }
+
+    /// Packet rate implied by a bit rate under this profile.
+    ///
+    /// Note: for mixtures this uses the mean wire size, which is exact for
+    /// the packet rate only when sizes are uniform; the approximation error
+    /// is the usual harmonic-vs-arithmetic mean gap and is irrelevant at
+    /// the power scales involved (§7: traffic power is tiny).
+    pub fn packet_rate(&self, bit_rate: DataRate) -> PacketRate {
+        bit_rate.packets_at(self.mean_wire_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_profile_sizes() {
+        let p = PacketProfile::Fixed(1500.0);
+        assert_eq!(p.mean_size(), Bytes::new(1500.0));
+        assert_eq!(p.mean_wire_size(), Bytes::new(1518.0));
+    }
+
+    #[test]
+    fn imix_mean_matches_hand_calculation() {
+        let p = PacketProfile::imix();
+        // 0.58*40 + 0.33*576 + 0.09*1500 = 23.2 + 190.08 + 135 = 348.28.
+        assert!((p.mean_size().as_f64() - 348.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_normalises_weights() {
+        let a = PacketProfile::Mix(vec![(100.0, 1.0), (300.0, 1.0)]);
+        let b = PacketProfile::Mix(vec![(100.0, 5.0), (300.0, 5.0)]);
+        assert_eq!(a.mean_size(), b.mean_size());
+        assert_eq!(a.mean_size(), Bytes::new(200.0));
+    }
+
+    #[test]
+    fn packet_rate_scales_with_rate() {
+        let p = PacketProfile::Fixed(1482.0); // wire 1500 B
+        let r1 = p.packet_rate(DataRate::from_gbps(1.2));
+        let r2 = p.packet_rate(DataRate::from_gbps(2.4));
+        assert!((r2.as_f64() - 2.0 * r1.as_f64()).abs() < 1e-6);
+        assert!((r1.as_f64() - 1.2e9 / (8.0 * 1500.0)).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_mixture_panics() {
+        PacketProfile::Mix(vec![(100.0, 0.0)]).mean_size();
+    }
+}

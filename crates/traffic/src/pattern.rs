@@ -1,0 +1,187 @@
+//! Diurnal production-traffic model.
+//!
+//! Switch's network runs at ≈1.3 % mean utilisation with visible daily and
+//! weekly rhythms (Fig. 1). [`LoadPattern`] generates a deterministic,
+//! O(1)-samplable utilisation signal per interface: a diurnal sine peaking
+//! in the afternoon, a weekend dip, slow multi-day wander, and fast jitter.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{DataRate, SimInstant};
+
+use crate::noise::{hash_gauss, smooth_noise};
+
+/// Parameters of one interface's (or aggregate's) utilisation pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPattern {
+    /// Long-run mean utilisation as a fraction of capacity (e.g. 0.013).
+    pub mean_utilization: f64,
+    /// Relative amplitude of the daily swing (0 = flat, 1 = full swing
+    /// between 0 and 2× the mean).
+    pub diurnal_amplitude: f64,
+    /// Multiplier applied on Saturdays/Sundays (research networks dip).
+    pub weekend_factor: f64,
+    /// Relative amplitude of the multi-day smooth wander.
+    pub wander_amplitude: f64,
+    /// Relative standard deviation of fast (per-sample) jitter.
+    pub jitter: f64,
+    /// Seed making this pattern unique and reproducible.
+    pub seed: u64,
+}
+
+impl LoadPattern {
+    /// A pattern resembling the Switch aggregate: low mean, strong diurnal
+    /// swing, weekend dip.
+    pub fn isp_default(seed: u64) -> Self {
+        Self {
+            mean_utilization: 0.013,
+            diurnal_amplitude: 0.55,
+            weekend_factor: 0.6,
+            wander_amplitude: 0.15,
+            jitter: 0.05,
+            seed,
+        }
+    }
+
+    /// A completely idle interface.
+    pub fn idle() -> Self {
+        Self {
+            mean_utilization: 0.0,
+            diurnal_amplitude: 0.0,
+            weekend_factor: 1.0,
+            wander_amplitude: 0.0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Utilisation fraction at instant `t`, clamped into `[0, 0.95]`.
+    pub fn utilization(&self, t: SimInstant) -> f64 {
+        if self.mean_utilization <= 0.0 {
+            return 0.0;
+        }
+        // Diurnal: peak at 15:00, trough at 03:00.
+        let phase = (t.hour_of_day() - 15.0) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 1.0 + self.diurnal_amplitude * phase.cos();
+        // Weekend dip (epoch is a Monday; days 5 and 6 are the weekend).
+        let weekly = if t.day_of_week() >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
+        // Multi-day wander: smooth noise with a 3-day period, centred.
+        let wander = 1.0
+            + self.wander_amplitude
+                * (smooth_noise(self.seed, t.as_secs() as f64, 3.0 * 86_400.0) - 0.5)
+                * 2.0;
+        // Fast jitter on a 5-minute grid so SNMP polls see it.
+        let jitter = 1.0
+            + self.jitter * hash_gauss(self.seed ^ 0xA5A5, (t.as_secs() / 300) as u64);
+
+        (self.mean_utilization * diurnal * weekly * wander * jitter).clamp(0.0, 0.95)
+    }
+
+    /// Bit rate at instant `t` for an interface of the given capacity
+    /// (both directions summed, like the model's `r_i`).
+    pub fn rate(&self, t: SimInstant, capacity: DataRate) -> DataRate {
+        capacity * self.utilization(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_units::SimDuration;
+
+    #[test]
+    fn idle_pattern_is_zero() {
+        let p = LoadPattern::idle();
+        for d in 0..7 {
+            assert_eq!(p.utilization(SimInstant::from_days(d)), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = LoadPattern::isp_default(7);
+        let t = SimInstant::from_days(12) + SimDuration::from_hours(9);
+        assert_eq!(p.utilization(t), p.utilization(t));
+        let q = LoadPattern::isp_default(8);
+        assert_ne!(p.utilization(t), q.utilization(t));
+    }
+
+    #[test]
+    fn afternoon_beats_night() {
+        let p = LoadPattern {
+            jitter: 0.0,
+            wander_amplitude: 0.0,
+            ..LoadPattern::isp_default(1)
+        };
+        let day = 2; // a Wednesday
+        let afternoon =
+            p.utilization(SimInstant::from_days(day) + SimDuration::from_hours(15));
+        let night = p.utilization(SimInstant::from_days(day) + SimDuration::from_hours(3));
+        assert!(afternoon > night * 2.0, "afternoon {afternoon} night {night}");
+    }
+
+    #[test]
+    fn weekend_dips() {
+        let p = LoadPattern {
+            jitter: 0.0,
+            wander_amplitude: 0.0,
+            ..LoadPattern::isp_default(1)
+        };
+        let hour = SimDuration::from_hours(12);
+        let friday = p.utilization(SimInstant::from_days(4) + hour);
+        let saturday = p.utilization(SimInstant::from_days(5) + hour);
+        assert!((saturday / friday - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_close_to_target() {
+        let p = LoadPattern::isp_default(3);
+        let mut sum = 0.0;
+        let mut n = 0;
+        let mut t = SimInstant::EPOCH;
+        let end = SimInstant::from_days(28);
+        while t < end {
+            sum += p.utilization(t);
+            n += 1;
+            t += SimDuration::from_mins(30);
+        }
+        let mean = sum / n as f64;
+        // Weekend factor pulls the mean below the nominal 1.3 % slightly.
+        assert!(mean > 0.008 && mean < 0.016, "mean {mean}");
+    }
+
+    #[test]
+    fn clamped_to_capacity_fraction() {
+        let p = LoadPattern {
+            mean_utilization: 0.9,
+            diurnal_amplitude: 1.0,
+            ..LoadPattern::isp_default(4)
+        };
+        let mut t = SimInstant::EPOCH;
+        let end = SimInstant::from_days(3);
+        while t < end {
+            let u = p.utilization(t);
+            assert!((0.0..=0.95).contains(&u));
+            t += SimDuration::from_mins(17);
+        }
+    }
+
+    #[test]
+    fn rate_scales_with_capacity() {
+        let p = LoadPattern {
+            jitter: 0.0,
+            wander_amplitude: 0.0,
+            diurnal_amplitude: 0.0,
+            weekend_factor: 1.0,
+            mean_utilization: 0.013,
+            seed: 0,
+        };
+        let t = SimInstant::from_days(1);
+        let r = p.rate(t, DataRate::from_gbps(100.0));
+        assert!((r.as_gbps() - 1.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! RFC 8239 layer-2 snake tests (§5.1).
+//!
+//! In a snake test the orchestrator injects one traffic stream that is
+//! looped through every DUT interface via per-port VLANs and external
+//! cabling, then returned: every interface forwards the full offered load
+//! exactly once. One cheap traffic source thus exercises all ports — the
+//! trick that lets an Intel NUC with a 100G NIC stand in for a chassis
+//! traffic generator.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{Bytes, DataRate, PacketRate};
+
+use crate::packet::PacketProfile;
+
+/// Configuration of a snake across `2 * pairs` interfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnakeTest {
+    /// Number of externally-cabled interface pairs in the snake.
+    pub pairs: usize,
+    /// Offered bit rate of the injected stream.
+    pub offered_rate: DataRate,
+    /// Layer-3 packet size of the stream.
+    pub packet_size: Bytes,
+}
+
+impl SnakeTest {
+    /// Creates a snake over `pairs` interface pairs.
+    pub fn new(pairs: usize, offered_rate: DataRate, packet_size: Bytes) -> Self {
+        Self {
+            pairs,
+            offered_rate,
+            packet_size,
+        }
+    }
+
+    /// Number of interfaces traversed by the stream.
+    pub fn interfaces(&self) -> usize {
+        self.pairs * 2
+    }
+
+    /// Bit rate carried by each interface (rx + tx summed): the snake
+    /// passes the stream through every interface once in each direction
+    /// of its VLAN hop, so each interface sees the offered rate once.
+    pub fn per_interface_rate(&self) -> DataRate {
+        self.offered_rate
+    }
+
+    /// Packet rate per interface implied by the configured size.
+    pub fn per_interface_packet_rate(&self) -> PacketRate {
+        PacketProfile::Fixed(self.packet_size.as_f64())
+            .packet_rate(self.per_interface_rate())
+    }
+
+    /// Total bits forwarded per second by the DUT across all interfaces —
+    /// the quantity the dynamic model charges `E_bit` for.
+    pub fn total_forwarded_rate(&self) -> DataRate {
+        self.per_interface_rate() * self.interfaces() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_count() {
+        let s = SnakeTest::new(12, DataRate::from_gbps(100.0), Bytes::new(1500.0));
+        assert_eq!(s.interfaces(), 24);
+    }
+
+    #[test]
+    fn per_interface_rate_equals_offered() {
+        let s = SnakeTest::new(4, DataRate::from_gbps(40.0), Bytes::new(512.0));
+        assert_eq!(s.per_interface_rate(), DataRate::from_gbps(40.0));
+    }
+
+    #[test]
+    fn total_scales_with_interfaces() {
+        let s = SnakeTest::new(4, DataRate::from_gbps(10.0), Bytes::new(512.0));
+        assert!((s.total_forwarded_rate().as_gbps() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_rate_uses_wire_size() {
+        let s = SnakeTest::new(1, DataRate::from_gbps(1.2), Bytes::new(1482.0));
+        // wire size 1500 B → 100 kpps at 1.2 Gbps.
+        assert!((s.per_interface_packet_rate().as_f64() - 1e5).abs() < 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Lab rate sweeps (§5.1–5.2).
+//!
+//! NetPowerBench measures `P_Snake` at many `(bit rate, packet size)`
+//! combinations: regressions over the rate give the per-size slope `α_L`
+//! (Eq. 16), and a second regression over the size separates `E_bit` from
+//! `E_pkt` (Eq. 17). [`RateSweep`] enumerates those combinations the way
+//! the paper's tooling does: iPerf3 UDP for sub-2.5 Gbps points,
+//! `ib_send_bw` from 2.5 to 100 Gbps.
+
+use serde::{Deserialize, Serialize};
+
+use fj_units::{Bytes, DataRate};
+
+/// Which traffic generator produces a sweep point (affects nothing in the
+/// simulation, but is carried through for fidelity with the lab setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorTool {
+    /// iPerf3 in UDP mode — the paper uses it for the smaller bit rates.
+    Iperf3Udp,
+    /// InfiniBand `ib_send_bw` — used from 2.5 up to 100 Gbps.
+    IbSendBw,
+}
+
+/// One measurement point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered bit rate.
+    pub rate: DataRate,
+    /// Layer-3 packet size.
+    pub packet_size: Bytes,
+    /// Generator that would produce this point in the lab.
+    pub tool: GeneratorTool,
+}
+
+/// A grid of `(rate, size)` combinations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSweep {
+    /// Offered rates, ascending.
+    pub rates: Vec<DataRate>,
+    /// Layer-3 packet sizes, ascending.
+    pub packet_sizes: Vec<Bytes>,
+}
+
+impl RateSweep {
+    /// The default sweep used to model a port of `line_rate` capacity:
+    /// ten rates log-spaced from 1 % to 95 % of line rate, and four packet
+    /// sizes spanning 64 B to 1500 B.
+    pub fn for_line_rate(line_rate: DataRate) -> Self {
+        let lo = line_rate.as_f64() * 0.01;
+        let hi = line_rate.as_f64() * 0.95;
+        let n = 10;
+        let rates = (0..n)
+            .map(|i| {
+                let f = i as f64 / (n - 1) as f64;
+                DataRate::new(lo * (hi / lo).powf(f))
+            })
+            .collect();
+        Self {
+            rates,
+            packet_sizes: vec![
+                Bytes::new(64.0),
+                Bytes::new(256.0),
+                Bytes::new(768.0),
+                Bytes::new(1500.0),
+            ],
+        }
+    }
+
+    /// All points of the grid, sizes outermost (the paper fixes `L` and
+    /// sweeps `r`, then moves to the next `L`).
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(self.rates.len() * self.packet_sizes.len());
+        for &size in &self.packet_sizes {
+            for &rate in &self.rates {
+                out.push(SweepPoint {
+                    rate,
+                    packet_size: size,
+                    tool: tool_for(rate),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The generator the lab would use for a given rate (§5.1).
+fn tool_for(rate: DataRate) -> GeneratorTool {
+    if rate.as_gbps() < 2.5 {
+        GeneratorTool::Iperf3Udp
+    } else {
+        GeneratorTool::IbSendBw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_covers_line_rate_range() {
+        let s = RateSweep::for_line_rate(DataRate::from_gbps(100.0));
+        assert_eq!(s.rates.len(), 10);
+        assert!((s.rates[0].as_gbps() - 1.0).abs() < 1e-9);
+        assert!((s.rates[9].as_gbps() - 95.0).abs() < 1e-9);
+        assert!(s.rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tool_split_at_2g5() {
+        let s = RateSweep::for_line_rate(DataRate::from_gbps(100.0));
+        for p in s.points() {
+            if p.rate.as_gbps() < 2.5 {
+                assert_eq!(p.tool, GeneratorTool::Iperf3Udp);
+            } else {
+                assert_eq!(p.tool, GeneratorTool::IbSendBw);
+            }
+        }
+    }
+
+    #[test]
+    fn points_grid_size_and_order() {
+        let s = RateSweep::for_line_rate(DataRate::from_gbps(10.0));
+        let pts = s.points();
+        assert_eq!(pts.len(), 40);
+        // First block is all 64 B, rates ascending.
+        assert!(pts[..10].iter().all(|p| p.packet_size == Bytes::new(64.0)));
+        assert!(pts[..10].windows(2).all(|w| w[0].rate < w[1].rate));
+    }
+
+    #[test]
+    fn sweep_for_1g_still_has_iperf_points() {
+        let s = RateSweep::for_line_rate(DataRate::from_gbps(1.0));
+        assert!(s.points().iter().all(|p| p.tool == GeneratorTool::Iperf3Udp));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for traffic generation and pattern fitting.
+
+use fj_traffic::{fit_pattern, LoadPattern, PacketProfile, SnakeTest};
+use fj_units::{Bytes, DataRate, SimDuration, SimInstant, TimeSeries};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = LoadPattern> {
+    (
+        0.001f64..0.2,
+        0.0f64..0.9,
+        0.3f64..1.0,
+        0.0f64..0.3,
+        0.0f64..0.15,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(mean, diurnal, weekend, wander, jitter, seed)| LoadPattern {
+                mean_utilization: mean,
+                diurnal_amplitude: diurnal,
+                weekend_factor: weekend,
+                wander_amplitude: wander,
+                jitter,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    /// Utilisation is always within [0, 0.95], at any instant, for any
+    /// parameterisation.
+    #[test]
+    fn utilization_always_bounded(pattern in arb_pattern(), secs in -10_000_000i64..10_000_000) {
+        let u = pattern.utilization(SimInstant::from_secs(secs));
+        prop_assert!((0.0..=0.95).contains(&u), "u = {u}");
+    }
+
+    /// The same (pattern, instant) always yields the same value.
+    #[test]
+    fn utilization_deterministic(pattern in arb_pattern(), secs in 0i64..10_000_000) {
+        let t = SimInstant::from_secs(secs);
+        prop_assert_eq!(pattern.utilization(t), pattern.utilization(t));
+    }
+
+    /// Rate scales linearly with capacity.
+    #[test]
+    fn rate_linear_in_capacity(pattern in arb_pattern(), secs in 0i64..1_000_000, gbps in 1.0f64..400.0) {
+        let t = SimInstant::from_secs(secs);
+        let r1 = pattern.rate(t, DataRate::from_gbps(gbps)).as_f64();
+        let r2 = pattern.rate(t, DataRate::from_gbps(2.0 * gbps)).as_f64();
+        prop_assert!((r2 - 2.0 * r1).abs() < 1e-6 * r1.max(1.0));
+    }
+
+    /// Packet rate from a mixture is always positive for positive rates
+    /// and scales linearly.
+    #[test]
+    fn packet_profile_scales(sizes in prop::collection::vec((40.0f64..9000.0, 0.01f64..10.0), 1..6), gbps in 0.001f64..400.0) {
+        let profile = PacketProfile::Mix(sizes);
+        let p1 = profile.packet_rate(DataRate::from_gbps(gbps)).as_f64();
+        let p2 = profile.packet_rate(DataRate::from_gbps(2.0 * gbps)).as_f64();
+        prop_assert!(p1 > 0.0);
+        prop_assert!((p2 - 2.0 * p1).abs() < 1e-6 * p1);
+    }
+
+    /// Snake totals: per-interface rate equals offered, total equals
+    /// offered × interfaces.
+    #[test]
+    fn snake_conservation(pairs in 1usize..32, gbps in 0.1f64..400.0, size in 64.0f64..9000.0) {
+        let snake = SnakeTest::new(pairs, DataRate::from_gbps(gbps), Bytes::new(size));
+        prop_assert_eq!(snake.interfaces(), pairs * 2);
+        let per = snake.per_interface_rate().as_f64();
+        let total = snake.total_forwarded_rate().as_f64();
+        prop_assert!((total - per * (pairs * 2) as f64).abs() < 1e-3);
+    }
+
+    /// Fitting a clean generated trace recovers the mean within 20 % and
+    /// produces parameters inside their domains.
+    #[test]
+    fn fit_recovers_sane_parameters(pattern in arb_pattern()) {
+        prop_assume!(pattern.mean_utilization >= 0.005);
+        let trace = TimeSeries::tabulate(
+            SimInstant::EPOCH,
+            SimInstant::from_days(14),
+            SimDuration::from_mins(30),
+            |t| pattern.utilization(t),
+        );
+        if let Some(fit) = fit_pattern(&trace) {
+            prop_assert!(fit.mean_utilization > 0.0);
+            prop_assert!((0.0..=1.0).contains(&fit.diurnal_amplitude));
+            prop_assert!((0.0..=2.0).contains(&fit.weekend_factor));
+            // Mean within 25 % (clamping at 0.95 and weekend asymmetry
+            // distort extreme parameterisations).
+            let rel = (fit.mean_utilization - pattern.mean_utilization).abs()
+                / pattern.mean_utilization;
+            prop_assert!(rel < 0.25, "mean rel err {rel}");
+        }
+    }
+}

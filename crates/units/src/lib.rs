@@ -1,0 +1,33 @@
+//! Physical quantities, time handling, time series, and statistics used by
+//! every other crate in the Fantastic Joules workspace.
+//!
+//! The paper manipulates a small set of physical dimensions — power (W),
+//! energy (J, pJ, nJ), data rate (bit/s), packet rate (pkt/s) — and a lot of
+//! timestamped traces. Using dedicated newtypes instead of bare `f64`
+//! prevents the classic unit mix-ups (mW vs W, bits vs bytes) that plague
+//! power-measurement code, while staying `Copy` and zero-cost.
+//!
+//! # Quick example
+//!
+//! ```
+//! use fj_units::{Watts, DataRate, EnergyPerBit};
+//!
+//! let e_bit = EnergyPerBit::from_picojoules(5.0);
+//! let rate = DataRate::from_gbps(100.0);
+//! let p: Watts = e_bit * rate; // 5 pJ/bit * 100 Gbit/s = 0.5 W
+//! assert!((p.as_f64() - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod parse;
+pub mod quantity;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use parse::{parse_data_rate, parse_energy_per_bit, parse_energy_per_packet, parse_watts, ParseQuantityError};
+pub use quantity::{
+    Bytes, DataRate, EnergyPerBit, EnergyPerPacket, Joules, PacketRate, Watts,
+};
+pub use series::{Sample, TimeSeries};
+pub use stats::{correlation, linear_regression, mean, median, percentile, std_dev, LinearFit, StatsError};
+pub use time::{SimDuration, SimInstant};

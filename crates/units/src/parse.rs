@@ -1,0 +1,148 @@
+//! Parsing human-written quantities — "358 W", "1.3 Tbps", "22 pJ".
+//!
+//! Community contributions to the Network Power Zoo arrive as text
+//! (spreadsheets, datasheet snippets, emails from NOC engineers); this
+//! module turns the common spellings into typed quantities instead of
+//! letting every ingestion script reinvent the unit table.
+
+use std::fmt;
+
+use crate::quantity::{DataRate, EnergyPerBit, EnergyPerPacket, Watts};
+
+/// Error parsing a quantity from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    /// The offending input.
+    pub input: String,
+    /// What was expected.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?} as {}", self.input, self.expected)
+    }
+}
+
+impl std::error::Error for ParseQuantityError {}
+
+fn split_number_unit(s: &str) -> Option<(f64, &str)> {
+    let trimmed = s.trim();
+    let unit_start = trimmed
+        .find(|c: char| c.is_ascii_alphabetic() || c == 'µ')
+        .unwrap_or(trimmed.len());
+    let number: f64 = trimmed[..unit_start].trim().parse().ok()?;
+    Some((number, trimmed[unit_start..].trim()))
+}
+
+/// Parses power: `"358 W"`, `"21.5 kW"`, `"450mW"`.
+pub fn parse_watts(s: &str) -> Result<Watts, ParseQuantityError> {
+    let err = || ParseQuantityError {
+        input: s.to_owned(),
+        expected: "power (W, kW, mW)",
+    };
+    let (n, unit) = split_number_unit(s).ok_or_else(err)?;
+    let scale = match unit {
+        "W" | "w" | "watt" | "watts" => 1.0,
+        "kW" | "kw" => 1e3,
+        "MW" => 1e6,
+        "mW" | "mw" => 1e-3,
+        _ => return Err(err()),
+    };
+    Ok(Watts::new(n * scale))
+}
+
+/// Parses a data rate: `"1.3 Tbps"`, `"100 Gbit/s"`, `"250 Mbps"`.
+pub fn parse_data_rate(s: &str) -> Result<DataRate, ParseQuantityError> {
+    let err = || ParseQuantityError {
+        input: s.to_owned(),
+        expected: "data rate (bps, Kbps, Mbps, Gbps, Tbps)",
+    };
+    let (n, unit) = split_number_unit(s).ok_or_else(err)?;
+    let normalized = unit.replace("bit/s", "bps");
+    let scale = match normalized.as_str() {
+        "bps" => 1.0,
+        "Kbps" | "kbps" => 1e3,
+        "Mbps" | "mbps" => 1e6,
+        "Gbps" | "gbps" => 1e9,
+        "Tbps" | "tbps" => 1e12,
+        _ => return Err(err()),
+    };
+    Ok(DataRate::new(n * scale))
+}
+
+/// Parses per-bit energy: `"22 pJ"`, `"0.005 nJ"` (per bit implied).
+pub fn parse_energy_per_bit(s: &str) -> Result<EnergyPerBit, ParseQuantityError> {
+    let err = || ParseQuantityError {
+        input: s.to_owned(),
+        expected: "energy per bit (pJ, nJ)",
+    };
+    let (n, unit) = split_number_unit(s).ok_or_else(err)?;
+    let scale = match unit {
+        "pJ" | "pj" | "pJ/bit" => 1e-12,
+        "nJ" | "nj" | "nJ/bit" => 1e-9,
+        "J" | "J/bit" => 1.0,
+        _ => return Err(err()),
+    };
+    Ok(EnergyPerBit::new(n * scale))
+}
+
+/// Parses per-packet energy: `"58 nJ"`, `"0.19 µJ"`.
+pub fn parse_energy_per_packet(s: &str) -> Result<EnergyPerPacket, ParseQuantityError> {
+    let err = || ParseQuantityError {
+        input: s.to_owned(),
+        expected: "energy per packet (nJ, µJ)",
+    };
+    let (n, unit) = split_number_unit(s).ok_or_else(err)?;
+    let scale = match unit {
+        "nJ" | "nj" | "nJ/pkt" => 1e-9,
+        "µJ" | "uJ" | "µJ/pkt" => 1e-6,
+        "J" | "J/pkt" => 1.0,
+        _ => return Err(err()),
+    };
+    Ok(EnergyPerPacket::new(n * scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_spellings() {
+        assert_eq!(parse_watts("358 W").unwrap(), Watts::new(358.0));
+        assert_eq!(parse_watts("21.5kW").unwrap(), Watts::new(21_500.0));
+        assert_eq!(parse_watts("450mW").unwrap(), Watts::new(0.45));
+        assert_eq!(parse_watts("  600 watts ").unwrap(), Watts::new(600.0));
+        assert!(parse_watts("358").is_err(), "unit required");
+        assert!(parse_watts("358 V").is_err());
+        assert!(parse_watts("lots W").is_err());
+    }
+
+    #[test]
+    fn data_rate_spellings() {
+        assert!((parse_data_rate("1.3 Tbps").unwrap().as_tbps() - 1.3).abs() < 1e-12);
+        assert!((parse_data_rate("100 Gbit/s").unwrap().as_gbps() - 100.0).abs() < 1e-9);
+        assert!((parse_data_rate("250 Mbps").unwrap().as_gbps() - 0.25).abs() < 1e-12);
+        assert!(parse_data_rate("100 GB/s").is_err(), "bytes are not bits");
+    }
+
+    #[test]
+    fn energy_spellings() {
+        assert!((parse_energy_per_bit("22 pJ").unwrap().as_picojoules() - 22.0).abs() < 1e-9);
+        assert!((parse_energy_per_bit("0.005 nJ").unwrap().as_picojoules() - 5.0).abs() < 1e-9);
+        assert!(
+            (parse_energy_per_packet("58 nJ").unwrap().as_nanojoules() - 58.0).abs() < 1e-9
+        );
+        assert!(
+            (parse_energy_per_packet("0.19 µJ").unwrap().as_nanojoules() - 190.0).abs() < 1e-9
+        );
+        assert!(parse_energy_per_bit("22 kWh").is_err());
+    }
+
+    #[test]
+    fn error_display_names_input() {
+        let e = parse_watts("banana").unwrap_err();
+        assert!(e.to_string().contains("banana"));
+        assert!(e.to_string().contains("power"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Newtype wrappers for the physical quantities of router power analysis.
+//!
+//! All quantities store an `f64` in SI base units (watts, joules, bits per
+//! second, packets per second, bytes). Constructors and accessors exist for
+//! the scaled units the paper uses (pJ/bit, nJ/pkt, Gbps, …).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw value expressed in the base unit.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in the base unit.
+            pub const fn as_f64(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+quantity!(
+    /// Data rate in bits per second (physical-layer rate, both directions
+    /// summed where the paper does so).
+    DataRate,
+    "bit/s"
+);
+
+quantity!(
+    /// Packet rate in packets per second.
+    PacketRate,
+    "pkt/s"
+);
+
+quantity!(
+    /// A byte count (packet or payload sizes).
+    Bytes,
+    "B"
+);
+
+quantity!(
+    /// Energy cost per forwarded bit (the model's `E_bit`), stored in J/bit.
+    EnergyPerBit,
+    "J/bit"
+);
+
+quantity!(
+    /// Energy cost per processed packet (the model's `E_pkt`), stored in J/pkt.
+    EnergyPerPacket,
+    "J/pkt"
+);
+
+impl Watts {
+    /// Constructs from kilowatts.
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Self(kw * 1e3)
+    }
+
+    /// Returns the value in kilowatts.
+    pub fn as_kilowatts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Energy dissipated when this power is drawn for `duration`.
+    pub fn over(self, duration: crate::time::SimDuration) -> Joules {
+        Joules::new(self.0 * duration.as_secs_f64())
+    }
+}
+
+impl Joules {
+    /// Constructs from picojoules (the natural scale of `E_bit`).
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Constructs from nanojoules (the natural scale of `E_pkt`).
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Constructs from kilowatt-hours.
+    pub fn from_kwh(kwh: f64) -> Self {
+        Self(kwh * 3.6e6)
+    }
+
+    /// Returns the value in kilowatt-hours.
+    pub fn as_kwh(self) -> f64 {
+        self.0 / 3.6e6
+    }
+}
+
+impl DataRate {
+    /// Constructs from megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self(mbps * 1e6)
+    }
+
+    /// Constructs from gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self(gbps * 1e9)
+    }
+
+    /// Constructs from terabits per second.
+    pub fn from_tbps(tbps: f64) -> Self {
+        Self(tbps * 1e12)
+    }
+
+    /// Returns the value in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Returns the value in terabits per second.
+    pub fn as_tbps(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    /// Packet rate obtained when carrying this bit rate with packets of
+    /// `wire_size` bytes each (Eq. 12 of the paper with `L + L_header`
+    /// already folded into `wire_size`).
+    pub fn packets_at(self, wire_size: Bytes) -> PacketRate {
+        if wire_size.as_f64() <= 0.0 {
+            return PacketRate::ZERO;
+        }
+        PacketRate::new(self.0 / (8.0 * wire_size.as_f64()))
+    }
+}
+
+impl EnergyPerBit {
+    /// Constructs from picojoules per bit.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Returns the value in picojoules per bit.
+    pub fn as_picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl EnergyPerPacket {
+    /// Constructs from nanojoules per packet.
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Returns the value in nanojoules per packet.
+    pub fn as_nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Mul<DataRate> for EnergyPerBit {
+    type Output = Watts;
+    /// `E_bit * r` — the bit-forwarding share of dynamic power.
+    fn mul(self, rate: DataRate) -> Watts {
+        Watts::new(self.0 * rate.0)
+    }
+}
+
+impl Mul<EnergyPerBit> for DataRate {
+    type Output = Watts;
+    fn mul(self, e: EnergyPerBit) -> Watts {
+        e * self
+    }
+}
+
+impl Mul<PacketRate> for EnergyPerPacket {
+    type Output = Watts;
+    /// `E_pkt * p` — the header-processing share of dynamic power.
+    fn mul(self, rate: PacketRate) -> Watts {
+        Watts::new(self.0 * rate.0)
+    }
+}
+
+impl Mul<EnergyPerPacket> for PacketRate {
+    type Output = Watts;
+    fn mul(self, e: EnergyPerPacket) -> Watts {
+        e * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn watts_arithmetic() {
+        let a = Watts::new(300.0);
+        let b = Watts::new(58.5);
+        assert_eq!((a + b).as_f64(), 358.5);
+        assert_eq!((a - b).as_f64(), 241.5);
+        assert_eq!((a * 2.0).as_f64(), 600.0);
+        assert_eq!((a / 2.0).as_f64(), 150.0);
+        assert_eq!(a / b, 300.0 / 58.5);
+    }
+
+    #[test]
+    fn watts_sum_and_neg() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.5), Watts::new(3.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_f64(), 7.0);
+        assert_eq!((-total).as_f64(), -7.0);
+    }
+
+    #[test]
+    fn kilowatt_round_trip() {
+        let p = Watts::from_kilowatts(21.5);
+        assert_eq!(p.as_f64(), 21_500.0);
+        assert!((p.as_kilowatts() - 21.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales() {
+        assert!((Joules::from_picojoules(5.0).as_f64() - 5e-12).abs() < 1e-24);
+        assert!((Joules::from_nanojoules(15.0).as_f64() - 15e-9).abs() < 1e-20);
+        assert!((Joules::from_kwh(1.0).as_f64() - 3.6e6).abs() < 1e-6);
+        assert!((Joules::from_kwh(2.0).as_kwh() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_rate_scales() {
+        assert_eq!(DataRate::from_gbps(100.0).as_f64(), 1e11);
+        assert_eq!(DataRate::from_tbps(1.3).as_gbps(), 1300.0);
+        assert!((DataRate::from_mbps(250.0).as_gbps() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packet_rate_from_bit_rate() {
+        // 100 Gbps of 1250-byte frames = 10 Mpps.
+        let p = DataRate::from_gbps(100.0).packets_at(Bytes::new(1250.0));
+        assert!((p.as_f64() - 1e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn packet_rate_zero_size_is_zero() {
+        let p = DataRate::from_gbps(10.0).packets_at(Bytes::ZERO);
+        assert_eq!(p, PacketRate::ZERO);
+    }
+
+    #[test]
+    fn dynamic_power_terms() {
+        // Paper §7: 5 pJ/bit and 15 nJ/pkt at 100 Gbps with 1500 B packets
+        // costs about 0.6 W (bit term 0.5 W + packet term ~0.12 W).
+        let e_bit = EnergyPerBit::from_picojoules(5.0);
+        let e_pkt = EnergyPerPacket::from_nanojoules(15.0);
+        let r = DataRate::from_gbps(100.0);
+        let p = r.packets_at(Bytes::new(1500.0 + 20.0));
+        let total = e_bit * r + e_pkt * p;
+        assert!(total.as_f64() > 0.55 && total.as_f64() < 0.75, "{total}");
+    }
+
+    #[test]
+    fn power_over_duration() {
+        let e = Watts::new(100.0).over(SimDuration::from_secs(3600));
+        assert!((e.as_kwh() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.1}", Watts::new(358.04)), "358.0 W");
+        assert_eq!(format!("{}", Bytes::new(64.0)), "64 B");
+    }
+
+    #[test]
+    fn clamp_min_max_abs() {
+        let w = Watts::new(-3.0);
+        assert_eq!(w.abs().as_f64(), 3.0);
+        assert_eq!(w.max(Watts::ZERO), Watts::ZERO);
+        assert_eq!(w.min(Watts::ZERO), w);
+        assert_eq!(
+            Watts::new(7.0).clamp(Watts::ZERO, Watts::new(5.0)),
+            Watts::new(5.0)
+        );
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&Watts::new(42.5)).unwrap();
+        assert_eq!(json, "42.5");
+        let back: Watts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Watts::new(42.5));
+    }
+}

@@ -1,0 +1,435 @@
+//! Timestamped series of scalar measurements.
+//!
+//! Every trace in the study — PSU readings, Autopower measurements, model
+//! predictions, traffic counters — is a [`TimeSeries`]: samples sorted by
+//! [`SimInstant`]. The type offers the handful of operations the analyses
+//! need: windowed averaging (the 30-minute smoothing of Fig. 4), pointwise
+//! combination, summary statistics, and slicing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{self, StatsError};
+use crate::time::{SimDuration, SimInstant};
+
+/// A single timestamped measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the value was observed.
+    pub at: SimInstant,
+    /// The observed value (unit is the series' convention).
+    pub value: f64,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(at: SimInstant, value: f64) -> Self {
+        Self { at, value }
+    }
+}
+
+/// A time-ordered sequence of samples.
+///
+/// Invariant: samples are sorted by timestamp (ties allowed, kept in
+/// insertion order). `push` enforces monotonicity cheaply; use
+/// [`TimeSeries::from_samples`] to sort arbitrary input.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from unsorted samples; sorts by timestamp (stable).
+    pub fn from_samples(mut samples: Vec<Sample>) -> Self {
+        samples.sort_by_key(|s| s.at);
+        Self { samples }
+    }
+
+    /// Builds a series by evaluating `f` at each instant of a regular grid
+    /// (`start` inclusive, `end` exclusive).
+    pub fn tabulate(
+        start: SimInstant,
+        end: SimInstant,
+        step: SimDuration,
+        mut f: impl FnMut(SimInstant) -> f64,
+    ) -> Self {
+        let samples = crate::time::instants(start, end, step)
+            .map(|t| Sample::new(t, f(t)))
+            .collect();
+        Self { samples }
+    }
+
+    /// Appends a sample; panics if it would violate time ordering.
+    pub fn push(&mut self, at: SimInstant, value: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                at >= last.at,
+                "sample at {at} pushed after {}; use from_samples for unsorted data",
+                last.at
+            );
+        }
+        self.samples.push(Sample { at, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Read-only view of the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterator over `(instant, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimInstant, f64)> + '_ {
+        self.samples.iter().map(|s| (s.at, s.value))
+    }
+
+    /// The values only, losing timestamps.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.value).collect()
+    }
+
+    /// First sample timestamp, if any.
+    pub fn start(&self) -> Option<SimInstant> {
+        self.samples.first().map(|s| s.at)
+    }
+
+    /// Last sample timestamp, if any.
+    pub fn end(&self) -> Option<SimInstant> {
+        self.samples.last().map(|s| s.at)
+    }
+
+    /// Sub-series with `from <= t < to`.
+    pub fn slice(&self, from: SimInstant, to: SimInstant) -> TimeSeries {
+        let samples = self
+            .samples
+            .iter()
+            .filter(|s| s.at >= from && s.at < to)
+            .copied()
+            .collect();
+        Self { samples }
+    }
+
+    /// Value at or immediately before `t` (step interpolation), if any
+    /// sample is at or before `t`.
+    pub fn value_at(&self, t: SimInstant) -> Option<f64> {
+        match self.samples.binary_search_by_key(&t, |s| s.at) {
+            Ok(idx) => Some(self.samples[idx].value),
+            Err(0) => None,
+            Err(idx) => Some(self.samples[idx - 1].value),
+        }
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> Result<f64, StatsError> {
+        stats::mean(&self.values())
+    }
+
+    /// Median of all values.
+    pub fn median(&self) -> Result<f64, StatsError> {
+        stats::median(&self.values())
+    }
+
+    /// Minimum value, if non-empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.min(v)))
+        })
+    }
+
+    /// Maximum value, if non-empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Downsamples by averaging all samples falling in each window of
+    /// `window` seconds; the output sample carries the window start time.
+    ///
+    /// This is the 30-minute smoothing used for Fig. 4.
+    pub fn window_mean(&self, window: SimDuration) -> TimeSeries {
+        assert!(window.is_positive(), "window must be positive");
+        let mut out = TimeSeries::new();
+        let mut current_window: Option<SimInstant> = None;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for s in &self.samples {
+            let w = s.at.align_down(window);
+            match current_window {
+                Some(cw) if cw == w => {
+                    sum += s.value;
+                    count += 1;
+                }
+                Some(cw) => {
+                    out.push(cw, sum / count as f64);
+                    current_window = Some(w);
+                    sum = s.value;
+                    count = 1;
+                }
+                None => {
+                    current_window = Some(w);
+                    sum = s.value;
+                    count = 1;
+                }
+            }
+        }
+        if let (Some(cw), true) = (current_window, count > 0) {
+            out.push(cw, sum / count as f64);
+        }
+        out
+    }
+
+    /// Pointwise combination of two series on the union of their
+    /// timestamps, using step interpolation for the missing side.
+    /// Timestamps before either series starts are skipped.
+    pub fn combine(&self, other: &TimeSeries, f: impl Fn(f64, f64) -> f64) -> TimeSeries {
+        let mut stamps: Vec<SimInstant> = self
+            .samples
+            .iter()
+            .chain(other.samples.iter())
+            .map(|s| s.at)
+            .collect();
+        stamps.sort();
+        stamps.dedup();
+        let samples = stamps
+            .into_iter()
+            .filter_map(|t| {
+                let a = self.value_at(t)?;
+                let b = other.value_at(t)?;
+                Some(Sample::new(t, f(a, b)))
+            })
+            .collect();
+        TimeSeries { samples }
+    }
+
+    /// Adds two series pointwise (union of timestamps, step interpolation).
+    pub fn add(&self, other: &TimeSeries) -> TimeSeries {
+        self.combine(other, |a, b| a + b)
+    }
+
+    /// Subtracts `other` pointwise.
+    pub fn sub(&self, other: &TimeSeries) -> TimeSeries {
+        self.combine(other, |a, b| a - b)
+    }
+
+    /// Applies `f` to every value, keeping timestamps.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            samples: self
+                .samples
+                .iter()
+                .map(|s| Sample::new(s.at, f(s.value)))
+                .collect(),
+        }
+    }
+
+    /// Sums many series pointwise; returns an empty series for no input.
+    pub fn sum_all<'a>(series: impl IntoIterator<Item = &'a TimeSeries>) -> TimeSeries {
+        let mut it = series.into_iter();
+        let Some(first) = it.next() else {
+            return TimeSeries::new();
+        };
+        it.fold(first.clone(), |acc, s| acc.add(s))
+    }
+
+    /// Mean absolute difference against another series over shared
+    /// timestamps — used to quantify model-vs-measurement offsets.
+    pub fn mean_abs_diff(&self, other: &TimeSeries) -> Result<f64, StatsError> {
+        let diff = self.sub(other);
+        stats::mean(&diff.values().iter().map(|v| v.abs()).collect::<Vec<_>>())
+    }
+
+    /// Mean signed difference (`self − other`) over shared timestamps —
+    /// positive when `self` runs above `other`.
+    pub fn mean_diff(&self, other: &TimeSeries) -> Result<f64, StatsError> {
+        self.sub(other).mean()
+    }
+
+    /// Step-function integral up to `until`: each sample's value holds
+    /// until the next sample (or `until`). Returns value·seconds; for a
+    /// series of watts this is joules.
+    pub fn step_integral(&self, until: SimInstant) -> f64 {
+        let mut total = 0.0;
+        for pair in self.samples.windows(2) {
+            let hold_end = pair[1].at.min(until);
+            if hold_end > pair[0].at {
+                total += pair[0].value * (hold_end - pair[0].at).as_secs_f64();
+            }
+        }
+        if let Some(last) = self.samples.last() {
+            if until > last.at {
+                total += last.value * (until - last.at).as_secs_f64();
+            }
+        }
+        total
+    }
+
+    /// Energy in kilowatt-hours for a series of watt samples, up to
+    /// `until` (the Fig. 1 "what does the network cost per week" view).
+    pub fn energy_kwh(&self, until: SimInstant) -> f64 {
+        self.step_integral(until) / 3.6e6
+    }
+}
+
+impl FromIterator<(SimInstant, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimInstant, f64)>>(iter: I) -> Self {
+        Self::from_samples(iter.into_iter().map(|(t, v)| Sample::new(t, v)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> SimInstant {
+        SimInstant::from_secs(s)
+    }
+
+    fn series(pairs: &[(i64, f64)]) -> TimeSeries {
+        pairs.iter().map(|&(s, v)| (t(s), v)).collect()
+    }
+
+    #[test]
+    fn push_keeps_order_and_len() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(t(0), 1.0);
+        ts.push(t(5), 2.0);
+        ts.push(t(5), 3.0); // ties allowed
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.start(), Some(t(0)));
+        assert_eq!(ts.end(), Some(t(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed after")]
+    fn push_out_of_order_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(10), 1.0);
+        ts.push(t(5), 2.0);
+    }
+
+    #[test]
+    fn from_samples_sorts() {
+        let ts = series(&[(10, 2.0), (0, 1.0), (5, 1.5)]);
+        let stamps: Vec<i64> = ts.iter().map(|(at, _)| at.as_secs()).collect();
+        assert_eq!(stamps, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn tabulate_evaluates_grid() {
+        let ts = TimeSeries::tabulate(t(0), t(30), SimDuration::from_secs(10), |at| {
+            at.as_secs() as f64 * 2.0
+        });
+        assert_eq!(ts.values(), vec![0.0, 20.0, 40.0]);
+    }
+
+    #[test]
+    fn value_at_step_interpolation() {
+        let ts = series(&[(0, 1.0), (10, 2.0)]);
+        assert_eq!(ts.value_at(t(-1)), None);
+        assert_eq!(ts.value_at(t(0)), Some(1.0));
+        assert_eq!(ts.value_at(t(9)), Some(1.0));
+        assert_eq!(ts.value_at(t(10)), Some(2.0));
+        assert_eq!(ts.value_at(t(999)), Some(2.0));
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let ts = series(&[(0, 1.0), (5, 2.0), (10, 3.0)]);
+        let s = ts.slice(t(0), t(10));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn window_mean_averages_buckets() {
+        let ts = series(&[(0, 1.0), (10, 3.0), (60, 10.0), (70, 20.0), (130, 7.0)]);
+        let w = ts.window_mean(SimDuration::from_secs(60));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.values(), vec![2.0, 15.0, 7.0]);
+        assert_eq!(w.samples()[1].at, t(60));
+    }
+
+    #[test]
+    fn combine_uses_union_of_stamps() {
+        let a = series(&[(0, 1.0), (10, 2.0)]);
+        let b = series(&[(0, 10.0), (5, 20.0)]);
+        let sum = a.add(&b);
+        let got: Vec<(i64, f64)> = sum.iter().map(|(at, v)| (at.as_secs(), v)).collect();
+        assert_eq!(got, vec![(0, 11.0), (5, 21.0), (10, 22.0)]);
+    }
+
+    #[test]
+    fn sub_and_mean_diff() {
+        let a = series(&[(0, 10.0), (10, 12.0)]);
+        let b = series(&[(0, 7.0), (10, 11.0)]);
+        assert_eq!(a.sub(&b).values(), vec![3.0, 1.0]);
+        assert_eq!(a.mean_diff(&b).unwrap(), 2.0);
+        assert_eq!(a.mean_abs_diff(&b).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let a = series(&[(0, 1.0), (10, 2.0)]);
+        assert_eq!(a.map(|v| v * 10.0).values(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn sum_all_of_three() {
+        let a = series(&[(0, 1.0)]);
+        let b = series(&[(0, 2.0)]);
+        let c = series(&[(0, 3.0)]);
+        assert_eq!(TimeSeries::sum_all([&a, &b, &c]).values(), vec![6.0]);
+        assert!(TimeSeries::sum_all(std::iter::empty::<&TimeSeries>()).is_empty());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let a = series(&[(0, 1.0), (1, 2.0), (2, 6.0)]);
+        assert_eq!(a.mean().unwrap(), 3.0);
+        assert_eq!(a.median().unwrap(), 2.0);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(6.0));
+        assert!(TimeSeries::new().mean().is_err());
+        assert_eq!(TimeSeries::new().min(), None);
+    }
+
+    #[test]
+    fn step_integral_holds_values() {
+        // 100 W for 10 s, then 200 W for 5 s = 2000 Ws.
+        let ts = series(&[(0, 100.0), (10, 200.0)]);
+        assert_eq!(ts.step_integral(t(15)), 100.0 * 10.0 + 200.0 * 5.0);
+        // Truncation mid-hold.
+        assert_eq!(ts.step_integral(t(5)), 500.0);
+        // `until` before the first sample integrates nothing.
+        assert_eq!(ts.step_integral(t(0)), 0.0);
+        assert_eq!(TimeSeries::new().step_integral(t(100)), 0.0);
+    }
+
+    #[test]
+    fn energy_kwh_conversion() {
+        // 1 kW held for one hour = 1 kWh.
+        let ts = series(&[(0, 1000.0)]);
+        assert!((ts.energy_kwh(t(3600)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = series(&[(0, 1.5), (60, 2.5)]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,279 @@
+//! Small, dependency-free statistics toolkit.
+//!
+//! The modeling methodology of the paper (§5.2) is built on ordinary
+//! least-squares linear regression — over the number of active interface
+//! pairs `N`, over the bit rate `r`, and over the packet size `L`. This
+//! module provides exactly that, plus the robust summary statistics
+//! (median, percentiles) used throughout the trace analyses.
+
+use std::fmt;
+
+/// Errors from statistics routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty.
+    Empty,
+    /// A regression needs at least two distinct x values.
+    DegenerateRegression,
+    /// An input contained NaN or infinity.
+    NonFinite,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "empty input"),
+            StatsError::DegenerateRegression => {
+                write!(f, "regression requires at least two distinct x values")
+            }
+            StatsError::NonFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Arithmetic mean. Returns an error on empty or non-finite input.
+pub fn mean(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator); zero for a single value.
+pub fn std_dev(values: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(values)?;
+    if values.len() < 2 {
+        return Ok(0.0);
+    }
+    let ss: f64 = values.iter().map(|v| (v - m).powi(2)).sum();
+    Ok((ss / (values.len() as f64 - 1.0)).sqrt())
+}
+
+/// Median via sorting a copy. Averages the two middle values for even n.
+pub fn median(values: &[f64]) -> Result<f64, StatsError> {
+    percentile(values, 50.0)
+}
+
+/// Percentile in `[0, 100]` with linear interpolation between order
+/// statistics (the common "linear" / type-7 definition).
+pub fn percentile(values: &[f64], pct: f64) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if values.iter().any(|v| !v.is_finite()) || !pct.is_finite() {
+        return Err(StatsError::NonFinite);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = pct / 100.0 * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns an error on empty/mismatched/non-finite input; returns 0.0
+/// when either side is constant (no linear association measurable).
+pub fn correlation(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::DegenerateRegression);
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    let syy: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Result of an ordinary least-squares fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 when y is constant and
+    /// perfectly predicted).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted y value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least-squares regression of `y` on `x`.
+///
+/// Requires equal-length, finite inputs with at least two distinct x
+/// values. This is the workhorse of NetPowerBench's parameter derivation.
+pub fn linear_regression(x: &[f64], y: &[f64]) -> Result<LinearFit, StatsError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::DegenerateRegression);
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|xi| (xi - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return Err(StatsError::DegenerateRegression);
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+
+    let ss_tot: f64 = y.iter().map(|yi| (yi - my).powi(2)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(xi, yi)| (yi - (slope * xi + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: x.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(mean(&[]), Err(StatsError::Empty));
+        assert_eq!(mean(&[f64::NAN]), Err(StatsError::NonFinite));
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[5.0]).unwrap(), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&v, 100.0).unwrap(), 50.0);
+        assert_eq!(percentile(&v, 25.0).unwrap(), 20.0);
+        assert_eq!(percentile(&v, 10.0).unwrap(), 14.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let v = [1.0, 2.0];
+        assert_eq!(percentile(&v, -5.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 150.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn regression_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_regression(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.predict(10.0), 21.0);
+    }
+
+    #[test]
+    fn regression_noisy_line_r2_below_one() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = linear_regression(&x, &y).unwrap();
+        assert!(fit.slope > 0.9 && fit.slope < 1.1);
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn regression_degenerate_cases() {
+        assert_eq!(
+            linear_regression(&[1.0, 1.0], &[2.0, 3.0]),
+            Err(StatsError::DegenerateRegression)
+        );
+        assert_eq!(linear_regression(&[], &[]), Err(StatsError::Empty));
+        assert_eq!(
+            linear_regression(&[1.0], &[2.0, 3.0]),
+            Err(StatsError::DegenerateRegression)
+        );
+    }
+
+    #[test]
+    fn regression_constant_y_has_r2_one() {
+        let fit = linear_regression(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn correlation_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(correlation(&x, &flat).unwrap(), 0.0);
+        assert!(correlation(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn correlation_bounded() {
+        let x = [0.3, -1.2, 2.4, 0.0, 5.5];
+        let y = [1.0, 0.4, -2.0, 3.3, 0.1];
+        let r = correlation(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(StatsError::Empty.to_string(), "empty input");
+        assert!(StatsError::DegenerateRegression.to_string().contains("distinct"));
+    }
+}

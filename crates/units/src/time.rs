@@ -1,0 +1,275 @@
+//! Deterministic simulation time.
+//!
+//! All traces in this workspace are indexed by [`SimInstant`], a signed
+//! number of seconds relative to an arbitrary simulation epoch. Wall-clock
+//! time is never consulted, which keeps every experiment reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, as whole seconds since the simulation epoch.
+///
+/// Seconds-level resolution is enough for everything the paper does: the
+/// fastest sampling in the study is the 0.5 s Autopower meter, which we
+/// model as two samples per second aggregated to 1 s before analysis.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimInstant(i64);
+
+/// A span of simulated time in whole seconds. May be negative when produced
+/// by subtracting instants, though most APIs expect non-negative spans.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(i64);
+
+impl SimInstant {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: Self = Self(0);
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Creates an instant a whole number of days after the epoch.
+    pub const fn from_days(days: i64) -> Self {
+        Self(days * 86_400)
+    }
+
+    /// Whole days since the epoch (floor division, so day 0 covers the
+    /// first 24 hours).
+    pub const fn day(self) -> i64 {
+        self.0.div_euclid(86_400)
+    }
+
+    /// Seconds into the current day, in `[0, 86_400)`.
+    pub const fn second_of_day(self) -> i64 {
+        self.0.rem_euclid(86_400)
+    }
+
+    /// Hour of day as a fraction, in `[0, 24)`.
+    pub fn hour_of_day(self) -> f64 {
+        self.second_of_day() as f64 / 3_600.0
+    }
+
+    /// Day of week in `[0, 7)`, with the epoch defined to fall on a Monday.
+    pub const fn day_of_week(self) -> i64 {
+        self.day().rem_euclid(7)
+    }
+
+    /// Rounds down to a multiple of `step` seconds since the epoch.
+    pub fn align_down(self, step: SimDuration) -> Self {
+        assert!(step.0 > 0, "alignment step must be positive");
+        Self(self.0.div_euclid(step.0) * step.0)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a span of whole minutes.
+    pub const fn from_mins(mins: i64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a span of whole hours.
+    pub const fn from_hours(hours: i64) -> Self {
+        Self(hours * 3_600)
+    }
+
+    /// Creates a span of whole days.
+    pub const fn from_days(days: i64) -> Self {
+        Self(days * 86_400)
+    }
+
+    /// The span in whole seconds.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// The span in seconds as a float (for energy integration).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The span in whole days (floor).
+    pub const fn as_days(self) -> i64 {
+        self.0.div_euclid(86_400)
+    }
+
+    /// True when the span is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn sub(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimInstant {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for SimInstant {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day();
+        let s = self.second_of_day();
+        write!(f, "d{}+{:02}:{:02}:{:02}", day, s / 3600, (s % 3600) / 60, s % 60)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// Iterator over instants `start, start+step, …` strictly before `end`.
+pub fn instants(
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
+) -> impl Iterator<Item = SimInstant> {
+    assert!(step.is_positive(), "step must be positive");
+    let mut t = start;
+    std::iter::from_fn(move || {
+        if t < end {
+            let out = t;
+            t += step;
+            Some(out)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = SimInstant::from_secs(100);
+        assert_eq!(t + SimDuration::from_secs(20), SimInstant::from_secs(120));
+        assert_eq!(t - SimDuration::from_secs(20), SimInstant::from_secs(80));
+        assert_eq!(
+            SimInstant::from_secs(120) - t,
+            SimDuration::from_secs(20)
+        );
+    }
+
+    #[test]
+    fn day_decomposition() {
+        let t = SimInstant::from_days(3) + SimDuration::from_hours(6);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.second_of_day(), 6 * 3600);
+        assert!((t.hour_of_day() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_instants_decompose_correctly() {
+        let t = SimInstant::from_secs(-1);
+        assert_eq!(t.day(), -1);
+        assert_eq!(t.second_of_day(), 86_399);
+    }
+
+    #[test]
+    fn day_of_week_wraps() {
+        assert_eq!(SimInstant::from_days(0).day_of_week(), 0);
+        assert_eq!(SimInstant::from_days(6).day_of_week(), 6);
+        assert_eq!(SimInstant::from_days(7).day_of_week(), 0);
+        assert_eq!(SimInstant::from_days(9).day_of_week(), 2);
+    }
+
+    #[test]
+    fn align_down_to_five_minutes() {
+        let t = SimInstant::from_secs(5 * 60 + 137);
+        assert_eq!(
+            t.align_down(SimDuration::from_mins(5)),
+            SimInstant::from_secs(300)
+        );
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_mins(5).as_secs(), 300);
+        assert_eq!(SimDuration::from_hours(2).as_secs(), 7200);
+        assert_eq!(SimDuration::from_days(10).as_days(), 10);
+    }
+
+    #[test]
+    fn instants_iterator_covers_half_open_range() {
+        let v: Vec<_> = instants(
+            SimInstant::EPOCH,
+            SimInstant::from_secs(10),
+            SimDuration::from_secs(3),
+        )
+        .map(|t| t.as_secs())
+        .collect();
+        assert_eq!(v, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimInstant::from_days(2) + SimDuration::from_secs(3_725);
+        assert_eq!(t.to_string(), "d2+01:02:05");
+        assert_eq!(SimDuration::from_secs(42).to_string(), "42s");
+    }
+}

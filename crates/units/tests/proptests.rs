@@ -1,0 +1,115 @@
+//! Property-based tests for the statistics and time-series primitives.
+
+use fj_units::{linear_regression, median, percentile, Sample, SimDuration, SimInstant, TimeSeries};
+use proptest::prelude::*;
+
+fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    /// The median lies between the minimum and maximum of the data.
+    #[test]
+    fn median_is_bounded(values in finite_values(64)) {
+        let m = median(&values).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    /// Percentiles are monotonically non-decreasing in the requested level.
+    #[test]
+    fn percentiles_monotone(values in finite_values(64), a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pl = percentile(&values, lo).unwrap();
+        let ph = percentile(&values, hi).unwrap();
+        prop_assert!(pl <= ph + 1e-9);
+    }
+
+    /// Regression on an exact line recovers its parameters.
+    #[test]
+    fn regression_recovers_exact_line(
+        slope in -100.0f64..100.0,
+        intercept in -1000.0f64..1000.0,
+        xs in prop::collection::btree_set(-10_000i64..10_000, 2..32),
+    ) {
+        let x: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| slope * xi + intercept).collect();
+        let fit = linear_regression(&x, &y).unwrap();
+        let scale = slope.abs().max(1.0);
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * scale,
+            "slope {} vs {}", fit.slope, slope);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-4 * scale.max(intercept.abs().max(1.0)));
+    }
+
+    /// R² always lands in [0, 1].
+    #[test]
+    fn r_squared_in_unit_interval(
+        pts in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..64)
+    ) {
+        let x: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        if let Ok(fit) = linear_regression(&x, &y) {
+            prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+        }
+    }
+
+    /// from_samples always yields a time-sorted series, whatever the input order.
+    #[test]
+    fn from_samples_sorts(stamps in prop::collection::vec(-1_000_000i64..1_000_000, 0..64)) {
+        let samples: Vec<Sample> = stamps
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Sample::new(SimInstant::from_secs(s), i as f64))
+            .collect();
+        let ts = TimeSeries::from_samples(samples);
+        let got: Vec<i64> = ts.iter().map(|(t, _)| t.as_secs()).collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        prop_assert_eq!(got, sorted);
+    }
+
+    /// Window-averaging never leaves the [min, max] envelope of the input
+    /// and never produces more samples than the input had.
+    #[test]
+    fn window_mean_bounded(
+        pairs in prop::collection::vec((0i64..100_000, -1e3f64..1e3), 1..128),
+        window in 1i64..10_000,
+    ) {
+        let ts = TimeSeries::from_samples(
+            pairs.iter().map(|&(t, v)| Sample::new(SimInstant::from_secs(t), v)).collect(),
+        );
+        let w = ts.window_mean(SimDuration::from_secs(window));
+        prop_assert!(w.len() <= ts.len());
+        let (lo, hi) = (ts.min().unwrap(), ts.max().unwrap());
+        for (_, v) in w.iter() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// a.add(b).sub(b) returns to a on a's own timestamps when both series
+    /// cover the full range (same stamps).
+    #[test]
+    fn add_sub_round_trip(
+        stamps in prop::collection::btree_set(0i64..10_000, 1..32),
+        offset in -1e3f64..1e3,
+    ) {
+        let a: TimeSeries = stamps.iter().map(|&s| (SimInstant::from_secs(s), s as f64)).collect();
+        let b: TimeSeries = stamps.iter().map(|&s| (SimInstant::from_secs(s), offset)).collect();
+        let round = a.add(&b).sub(&b);
+        for ((_, x), (_, y)) in a.iter().zip(round.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Alignment rounds down and is idempotent.
+    #[test]
+    fn align_down_idempotent(t in -1_000_000i64..1_000_000, step in 1i64..100_000) {
+        let inst = SimInstant::from_secs(t);
+        let step = SimDuration::from_secs(step);
+        let a = inst.align_down(step);
+        prop_assert!(a <= inst);
+        prop_assert!(inst - a < step);
+        prop_assert_eq!(a.align_down(step), a);
+    }
+}

@@ -1,0 +1,142 @@
+//! Zoo record types.
+
+use serde::{Deserialize, Serialize};
+
+use fj_core::PowerModel;
+use fj_units::TimeSeries;
+
+/// Who contributed a record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contributor {
+    /// Organisation or person identifier.
+    pub name: String,
+}
+
+impl Contributor {
+    /// Creates a contributor tag.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+/// Vendor-stated power figures for one router model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasheetEntry {
+    /// Vendor name.
+    pub vendor: String,
+    /// Router model.
+    pub router_model: String,
+    /// Stated typical power (W), when stated.
+    pub typical_power_w: Option<f64>,
+    /// Stated maximum power (W), when stated.
+    pub max_power_w: Option<f64>,
+    /// Maximum switching bandwidth (Gbps), when known.
+    pub max_bandwidth_gbps: Option<f64>,
+    /// Release year, when known.
+    pub release_year: Option<u32>,
+    /// Who contributed the record.
+    pub contributor: Contributor,
+}
+
+/// A derived power model with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// The model itself (self-describing: carries the router model name).
+    pub model: PowerModel,
+    /// Free-text methodology note (e.g. "NetPowerBench v0.1, 12 pairs").
+    pub methodology: String,
+    /// Who contributed the record.
+    pub contributor: Contributor,
+}
+
+/// What produced a measurement trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Firmware-reported PSU power over SNMP.
+    Snmp,
+    /// External wall-power measurement (Autopower unit).
+    Autopower,
+    /// Power-model prediction.
+    ModelPrediction,
+    /// Interface traffic (bit/s).
+    Traffic,
+}
+
+/// A measurement trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Router hardware model.
+    pub router_model: String,
+    /// Anonymised router name.
+    pub router_name: String,
+    /// Provenance.
+    pub kind: TraceKind,
+    /// Who contributed the record.
+    pub contributor: Contributor,
+    /// The samples (unit depends on `kind`: W or bit/s).
+    pub series: TimeSeries,
+}
+
+/// One PSU snapshot row (§9.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsuEntry {
+    /// Router name.
+    pub router_name: String,
+    /// Router hardware model.
+    pub router_model: String,
+    /// PSU slot.
+    pub slot: usize,
+    /// Nameplate capacity (W).
+    pub capacity_w: f64,
+    /// Input power (W).
+    pub p_in_w: f64,
+    /// Output power (W).
+    pub p_out_w: f64,
+    /// Who contributed the record.
+    pub contributor: Contributor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj_units::Watts;
+
+    #[test]
+    fn entries_serde_round_trip() {
+        let e = DatasheetEntry {
+            vendor: "Cisco".into(),
+            router_model: "NCS-55A1-24H".into(),
+            typical_power_w: Some(600.0),
+            max_power_w: None,
+            max_bandwidth_gbps: Some(2400.0),
+            release_year: Some(2017),
+            contributor: Contributor::new("test"),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<DatasheetEntry>(&json).unwrap(), e);
+
+        let m = ModelEntry {
+            model: PowerModel::new("X", Watts::new(100.0)),
+            methodology: "NetPowerBench".into(),
+            contributor: Contributor::new("test"),
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<ModelEntry>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn trace_kind_variants_distinct_in_json() {
+        let kinds = [
+            TraceKind::Snmp,
+            TraceKind::Autopower,
+            TraceKind::ModelPrediction,
+            TraceKind::Traffic,
+        ];
+        let jsons: Vec<String> = kinds
+            .iter()
+            .map(|k| serde_json::to_string(k).unwrap())
+            .collect();
+        let unique: std::collections::BTreeSet<&String> = jsons.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! **Network Power Zoo** — a public database aggregating all types of
+//! network power data, "open for the community to use and contribute to".
+//!
+//! The zoo stores four record kinds, mirroring the paper's four data
+//! sources:
+//!
+//! * [`DatasheetEntry`] — vendor-stated power figures per router model;
+//! * [`ModelEntry`] — derived power models (the NetPowerBench output);
+//! * [`TraceEntry`] — measurement traces (SNMP, Autopower, or model
+//!   predictions), with explicit provenance;
+//! * [`PsuEntry`] — PSU `(P_in, P_out, capacity)` snapshots.
+//!
+//! Everything serialises to a single JSON document ([`Zoo::to_json`] /
+//! [`Zoo::from_json`]) so a zoo can be published, merged, and queried.
+//!
+//! ```
+//! use fj_zoo::{Zoo, Contributor, TraceEntry, TraceKind};
+//! use fj_units::TimeSeries;
+//!
+//! let mut zoo = Zoo::new();
+//! zoo.add_trace(TraceEntry {
+//!     router_model: "8201-32FH".into(),
+//!     router_name: "pop03-r1".into(),
+//!     kind: TraceKind::Autopower,
+//!     contributor: Contributor::new("nsg-ethz"),
+//!     series: TimeSeries::new(),
+//! });
+//! let json = zoo.to_json().unwrap();
+//! let back = Zoo::from_json(&json).unwrap();
+//! assert_eq!(back.traces().len(), 1);
+//! ```
+
+pub mod entry;
+pub mod store;
+
+pub use entry::{Contributor, DatasheetEntry, ModelEntry, PsuEntry, TraceEntry, TraceKind};
+pub use store::{Zoo, ZooError, ZooSummary};

@@ -1,0 +1,305 @@
+//! The zoo store: collections, queries, merge, JSON round-trip.
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::{DatasheetEntry, ModelEntry, PsuEntry, TraceEntry, TraceKind};
+
+/// Errors from zoo persistence.
+#[derive(Debug)]
+pub enum ZooError {
+    /// JSON (de)serialisation failed.
+    Json(serde_json::Error),
+    /// Filesystem access failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ZooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZooError::Json(e) => write!(f, "zoo JSON error: {e}"),
+            ZooError::Io(e) => write!(f, "zoo I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZooError {}
+
+/// Aggregate statistics over a zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZooSummary {
+    /// Datasheet records.
+    pub datasheets: usize,
+    /// Power-model records.
+    pub models: usize,
+    /// Trace records.
+    pub traces: usize,
+    /// PSU snapshot rows.
+    pub psus: usize,
+    /// Total samples across all traces.
+    pub trace_samples: usize,
+    /// Distinct router hardware models covered.
+    pub distinct_router_models: usize,
+    /// Distinct contributors.
+    pub distinct_contributors: usize,
+}
+
+/// The aggregated database.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Zoo {
+    datasheets: Vec<DatasheetEntry>,
+    models: Vec<ModelEntry>,
+    traces: Vec<TraceEntry>,
+    psus: Vec<PsuEntry>,
+}
+
+impl Zoo {
+    /// An empty zoo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a datasheet record.
+    pub fn add_datasheet(&mut self, entry: DatasheetEntry) {
+        self.datasheets.push(entry);
+    }
+
+    /// Adds a power model.
+    pub fn add_model(&mut self, entry: ModelEntry) {
+        self.models.push(entry);
+    }
+
+    /// Adds a trace.
+    pub fn add_trace(&mut self, entry: TraceEntry) {
+        self.traces.push(entry);
+    }
+
+    /// Adds a PSU snapshot row.
+    pub fn add_psu(&mut self, entry: PsuEntry) {
+        self.psus.push(entry);
+    }
+
+    /// All datasheets.
+    pub fn datasheets(&self) -> &[DatasheetEntry] {
+        &self.datasheets
+    }
+
+    /// All models.
+    pub fn models(&self) -> &[ModelEntry] {
+        &self.models
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[TraceEntry] {
+        &self.traces
+    }
+
+    /// All PSU rows.
+    pub fn psus(&self) -> &[PsuEntry] {
+        &self.psus
+    }
+
+    /// Total record count.
+    pub fn len(&self) -> usize {
+        self.datasheets.len() + self.models.len() + self.traces.len() + self.psus.len()
+    }
+
+    /// Whether the zoo holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Datasheets for a router model.
+    pub fn datasheets_for(&self, router_model: &str) -> Vec<&DatasheetEntry> {
+        self.datasheets
+            .iter()
+            .filter(|d| d.router_model == router_model)
+            .collect()
+    }
+
+    /// Models for a router model.
+    pub fn models_for(&self, router_model: &str) -> Vec<&ModelEntry> {
+        self.models
+            .iter()
+            .filter(|m| m.model.router_model == router_model)
+            .collect()
+    }
+
+    /// Traces of a given kind for a router name.
+    pub fn traces_for(&self, router_name: &str, kind: TraceKind) -> Vec<&TraceEntry> {
+        self.traces
+            .iter()
+            .filter(|t| t.router_name == router_name && t.kind == kind)
+            .collect()
+    }
+
+    /// A one-screen summary of the repository's contents.
+    pub fn summary(&self) -> ZooSummary {
+        let mut models: Vec<&str> = self
+            .datasheets
+            .iter()
+            .map(|d| d.router_model.as_str())
+            .chain(self.models.iter().map(|m| m.model.router_model.as_str()))
+            .chain(self.traces.iter().map(|t| t.router_model.as_str()))
+            .chain(self.psus.iter().map(|p| p.router_model.as_str()))
+            .collect();
+        models.sort();
+        models.dedup();
+        let mut contributors: Vec<&str> = self
+            .datasheets
+            .iter()
+            .map(|d| d.contributor.name.as_str())
+            .chain(self.models.iter().map(|m| m.contributor.name.as_str()))
+            .chain(self.traces.iter().map(|t| t.contributor.name.as_str()))
+            .chain(self.psus.iter().map(|p| p.contributor.name.as_str()))
+            .collect();
+        contributors.sort();
+        contributors.dedup();
+        ZooSummary {
+            datasheets: self.datasheets.len(),
+            models: self.models.len(),
+            traces: self.traces.len(),
+            psus: self.psus.len(),
+            trace_samples: self.traces.iter().map(|t| t.series.len()).sum(),
+            distinct_router_models: models.len(),
+            distinct_contributors: contributors.len(),
+        }
+    }
+
+    /// Absorbs all records of another zoo (community contribution flow).
+    pub fn merge(&mut self, other: Zoo) {
+        self.datasheets.extend(other.datasheets);
+        self.models.extend(other.models);
+        self.traces.extend(other.traces);
+        self.psus.extend(other.psus);
+    }
+
+    /// Serialises the whole zoo to pretty JSON.
+    pub fn to_json(&self) -> Result<String, ZooError> {
+        serde_json::to_string_pretty(self).map_err(ZooError::Json)
+    }
+
+    /// Parses a zoo from JSON.
+    pub fn from_json(json: &str) -> Result<Zoo, ZooError> {
+        serde_json::from_str(json).map_err(ZooError::Json)
+    }
+
+    /// Writes the zoo to a file.
+    pub fn save(&self, path: &Path) -> Result<(), ZooError> {
+        std::fs::write(path, self.to_json()?).map_err(ZooError::Io)
+    }
+
+    /// Loads a zoo from a file.
+    pub fn load(path: &Path) -> Result<Zoo, ZooError> {
+        let text = std::fs::read_to_string(path).map_err(ZooError::Io)?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Contributor;
+    use fj_core::PowerModel;
+    use fj_units::{SimInstant, TimeSeries, Watts};
+
+    fn sample_zoo() -> Zoo {
+        let mut zoo = Zoo::new();
+        zoo.add_datasheet(DatasheetEntry {
+            vendor: "Cisco".into(),
+            router_model: "8201-32FH".into(),
+            typical_power_w: Some(288.0),
+            max_power_w: Some(950.0),
+            max_bandwidth_gbps: Some(12800.0),
+            release_year: Some(2021),
+            contributor: Contributor::new("nsg"),
+        });
+        zoo.add_model(ModelEntry {
+            model: PowerModel::new("8201-32FH", Watts::new(253.0)),
+            methodology: "NetPowerBench".into(),
+            contributor: Contributor::new("nsg"),
+        });
+        let mut series = TimeSeries::new();
+        series.push(SimInstant::from_secs(0), 361.0);
+        series.push(SimInstant::from_secs(300), 362.5);
+        zoo.add_trace(TraceEntry {
+            router_model: "8201-32FH".into(),
+            router_name: "pop03-r1".into(),
+            kind: TraceKind::Autopower,
+            contributor: Contributor::new("nsg"),
+            series,
+        });
+        zoo.add_psu(PsuEntry {
+            router_name: "pop03-r1".into(),
+            router_model: "8201-32FH".into(),
+            slot: 0,
+            capacity_w: 2000.0,
+            p_in_w: 190.0,
+            p_out_w: 145.0,
+            contributor: Contributor::new("nsg"),
+        });
+        zoo
+    }
+
+    #[test]
+    fn counts_and_queries() {
+        let zoo = sample_zoo();
+        assert_eq!(zoo.len(), 4);
+        assert!(!zoo.is_empty());
+        assert_eq!(zoo.datasheets_for("8201-32FH").len(), 1);
+        assert_eq!(zoo.datasheets_for("other").len(), 0);
+        assert_eq!(zoo.models_for("8201-32FH").len(), 1);
+        assert_eq!(zoo.traces_for("pop03-r1", TraceKind::Autopower).len(), 1);
+        assert_eq!(zoo.traces_for("pop03-r1", TraceKind::Snmp).len(), 0);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let zoo = sample_zoo();
+        let s = zoo.summary();
+        assert_eq!(s.datasheets, 1);
+        assert_eq!(s.models, 1);
+        assert_eq!(s.traces, 1);
+        assert_eq!(s.psus, 1);
+        assert_eq!(s.trace_samples, 2);
+        assert_eq!(s.distinct_router_models, 1);
+        assert_eq!(s.distinct_contributors, 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let zoo = sample_zoo();
+        let json = zoo.to_json().unwrap();
+        let back = Zoo::from_json(&json).unwrap();
+        assert_eq!(zoo, back);
+    }
+
+    #[test]
+    fn merge_combines_collections() {
+        let mut a = sample_zoo();
+        let b = sample_zoo();
+        a.merge(b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let zoo = sample_zoo();
+        let dir = std::env::temp_dir().join("fj-zoo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("zoo.json");
+        zoo.save(&path).unwrap();
+        let back = Zoo::load(&path).unwrap();
+        assert_eq!(zoo, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        assert!(matches!(Zoo::from_json("{"), Err(ZooError::Json(_))));
+        let missing = Path::new("/nonexistent/zoo.json");
+        assert!(matches!(Zoo::load(missing), Err(ZooError::Io(_))));
+    }
+}

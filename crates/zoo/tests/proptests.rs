@@ -1,0 +1,122 @@
+//! Property-based tests for the Network Power Zoo's persistence and
+//! merge semantics.
+
+use fj_core::PowerModel;
+use fj_units::{SimInstant, TimeSeries, Watts};
+use fj_zoo::{Contributor, DatasheetEntry, ModelEntry, PsuEntry, TraceEntry, TraceKind, Zoo};
+use proptest::prelude::*;
+
+fn arb_series() -> impl Strategy<Value = TimeSeries> {
+    prop::collection::vec((0i64..100_000, 0.0f64..5_000.0), 0..32).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(t, v)| (SimInstant::from_secs(t), v))
+            .collect()
+    })
+}
+
+fn arb_zoo() -> impl Strategy<Value = Zoo> {
+    (
+        prop::collection::vec(
+            ("[A-Z0-9-]{2,12}", prop::option::of(10.0f64..2_000.0)),
+            0..6,
+        ),
+        prop::collection::vec(("[A-Z0-9-]{2,12}", 1.0f64..500.0), 0..6),
+        prop::collection::vec(
+            ("[a-z0-9-]{2,12}", 0usize..4, arb_series()),
+            0..6,
+        ),
+        prop::collection::vec((0usize..2, 10.0f64..500.0, 10.0f64..500.0), 0..6),
+    )
+        .prop_map(|(sheets, models, traces, psus)| {
+            let who = Contributor::new("prop");
+            let mut zoo = Zoo::new();
+            for (model, typical) in sheets {
+                zoo.add_datasheet(DatasheetEntry {
+                    vendor: "Cisco".into(),
+                    router_model: model,
+                    typical_power_w: typical,
+                    max_power_w: None,
+                    max_bandwidth_gbps: Some(100.0),
+                    release_year: Some(2020),
+                    contributor: who.clone(),
+                });
+            }
+            for (model, base) in models {
+                zoo.add_model(ModelEntry {
+                    model: PowerModel::new(model, Watts::new(base)),
+                    methodology: "prop".into(),
+                    contributor: who.clone(),
+                });
+            }
+            for (name, kind, series) in traces {
+                zoo.add_trace(TraceEntry {
+                    router_model: "M".into(),
+                    router_name: name,
+                    kind: match kind {
+                        0 => TraceKind::Snmp,
+                        1 => TraceKind::Autopower,
+                        2 => TraceKind::ModelPrediction,
+                        _ => TraceKind::Traffic,
+                    },
+                    contributor: who.clone(),
+                    series,
+                });
+            }
+            for (slot, p_in, p_out) in psus {
+                zoo.add_psu(PsuEntry {
+                    router_name: "r".into(),
+                    router_model: "M".into(),
+                    slot,
+                    capacity_w: 1100.0,
+                    p_in_w: p_in,
+                    p_out_w: p_out,
+                    contributor: who.clone(),
+                });
+            }
+            zoo
+        })
+}
+
+proptest! {
+    /// Any zoo survives a JSON round trip unchanged.
+    #[test]
+    fn json_round_trip(zoo in arb_zoo()) {
+        let json = zoo.to_json().expect("serialises");
+        let back = Zoo::from_json(&json).expect("parses");
+        prop_assert_eq!(back, zoo);
+    }
+
+    /// Merging preserves every record: |a ∪ b| = |a| + |b|, and summary
+    /// counts stay consistent with the collections.
+    #[test]
+    fn merge_preserves_counts(a in arb_zoo(), b in arb_zoo()) {
+        let total = a.len() + b.len();
+        let mut merged = a.clone();
+        merged.merge(b);
+        prop_assert_eq!(merged.len(), total);
+        let s = merged.summary();
+        prop_assert_eq!(
+            s.datasheets + s.models + s.traces + s.psus,
+            merged.len()
+        );
+        prop_assert_eq!(
+            s.trace_samples,
+            merged.traces().iter().map(|t| t.series.len()).sum::<usize>()
+        );
+    }
+
+    /// Queries return exactly the matching records.
+    #[test]
+    fn queries_are_exact(zoo in arb_zoo()) {
+        for entry in zoo.datasheets() {
+            let hits = zoo.datasheets_for(&entry.router_model);
+            prop_assert!(hits.iter().any(|h| *h == entry));
+            prop_assert!(hits.iter().all(|h| h.router_model == entry.router_model));
+        }
+        for entry in zoo.traces() {
+            let hits = zoo.traces_for(&entry.router_name, entry.kind);
+            prop_assert!(hits.iter().any(|h| *h == entry));
+        }
+    }
+}

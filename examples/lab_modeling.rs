@@ -1,0 +1,55 @@
+//! Lab session: derive a router power model from scratch with
+//! NetPowerBench — the §5 methodology end to end.
+//!
+//! The derivation talks to the device only through the (noisy) power
+//! meter; the printed comparison shows how well the Base/Idle/Port/Trx/
+//! Snake experiments plus regressions recover the programmed truth.
+//!
+//! ```text
+//! cargo run --release --example lab_modeling
+//! ```
+
+use fantastic_joules::core::{builtin_registry, Speed, TransceiverType};
+use fantastic_joules::netpowerbench::{compare_to_reference, Derivation, DerivationConfig};
+
+fn main() {
+    let config = DerivationConfig::quick(
+        "Wedge100BF-32X",
+        TransceiverType::PassiveDac,
+        Speed::G100,
+    )
+    .expect("built-in model");
+
+    println!(
+        "deriving a power model for the {} ({} pairs, {} per point)…\n",
+        config.spec.model,
+        config.pairs,
+        config.point_duration
+    );
+    let derived = Derivation::run(&config, 7).expect("derivation succeeds");
+    println!("{}\n", derived.report());
+
+    // Compare against the published Table 6 row.
+    let reference = builtin_registry();
+    let reference = reference.get("Wedge100BF-32X").expect("published");
+    let errors = compare_to_reference(&derived.model, reference, derived.class)
+        .expect("same class");
+    println!("absolute errors vs the published model:");
+    println!("  P_base   {:>8.3} W", errors.p_base_w);
+    println!("  P_port   {:>8.3} W", errors.p_port_w);
+    println!("  P_trx,in {:>8.3} W", errors.p_trx_in_w);
+    println!("  P_trx,up {:>8.3} W", errors.p_trx_up_w);
+    println!("  E_bit    {:>8.2} pJ", errors.e_bit_pj);
+    println!("  E_pkt    {:>8.2} nJ", errors.e_pkt_nj);
+    println!("  P_offset {:>8.3} W", errors.p_offset_w);
+
+    let good = errors.within(0.1, 1.5, 6.0);
+    println!(
+        "\n{}",
+        if good {
+            "the lab recovered the published parameters (within meter noise)"
+        } else {
+            "derivation drifted beyond the expected noise envelope"
+        }
+    );
+}

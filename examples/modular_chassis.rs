@@ -1,0 +1,71 @@
+//! The §4.3 extension in action: model and characterise a *modular*
+//! router — the case the paper's fixed-chassis model explicitly leaves as
+//! future work.
+//!
+//! ```text
+//! cargo run --release --example modular_chassis
+//! ```
+
+use fantastic_joules::core::SlotState;
+use fantastic_joules::netpowerbench::{derive_linecard, LinecardDerivationConfig};
+use fantastic_joules::router_sim::ModularRouter;
+
+fn main() {
+    // An ASR-9010-like chassis: 8 slots, two known card types.
+    let mut chassis = ModularRouter::asr9010_like(0.0);
+    println!(
+        "bare chassis: {:.0} ({} slots)",
+        chassis.wall_power(),
+        chassis.slot_count()
+    );
+
+    // Populate it the way an operator would.
+    chassis.insert_card(0, "A9K-24X10GE").expect("free slot");
+    chassis.activate_card(0).expect("seated");
+    chassis.insert_card(1, "A9K-8X100GE").expect("free slot");
+    chassis.activate_card(1).expect("seated");
+    chassis.insert_card(7, "A9K-24X10GE").expect("free slot"); // seated spare
+    println!("2 active cards + 1 seated spare: {:.0}", chassis.wall_power());
+
+    // "Down ≠ off" applies to linecards too: shutting a card down keeps
+    // its standby electronics burning.
+    chassis.deactivate_card(1).expect("active");
+    println!("after shutting the 100G card:   {:.0}", chassis.wall_power());
+    println!(
+        "  (the card still draws its inserted power — pull it to save the rest)"
+    );
+    chassis.remove_card(1).expect("seated");
+    println!("after pulling it:               {:.0}", chassis.wall_power());
+
+    // Characterise a card type from scratch, lab-style.
+    println!("\nderiving the 24x10GE card's parameters (Bare/Inserted/Active)…");
+    let config = LinecardDerivationConfig::new("A9K-24X10GE");
+    // The derivation resets the chassis; run it on a fresh unit.
+    let mut dut = ModularRouter::asr9010_like(0.0);
+    let derived = derive_linecard(&mut dut, &config, 7).expect("derivation");
+    println!(
+        "  chassis base {:.1}, P_inserted {:.1}, P_active {:.1} (R² {:.4}/{:.4})",
+        derived.chassis_base,
+        derived.params.p_inserted,
+        derived.params.p_active,
+        derived.inserted_r2,
+        derived.active_r2
+    );
+    let truth = dut.truth().lookup_card("A9K-24X10GE").expect("registered");
+    println!(
+        "  ground truth:            P_inserted {:.1}, P_active {:.1}",
+        truth.p_inserted, truth.p_active
+    );
+
+    // Slot states are first-class — inspect the final inventory.
+    println!("\nfinal inventory of the operator chassis:");
+    for s in 0..chassis.slot_count() {
+        let state = chassis.slot(s).expect("valid slot");
+        let text = match state {
+            SlotState::Empty => "—".to_owned(),
+            SlotState::Inserted(card) => format!("{card} (standby)"),
+            SlotState::Active(card) => format!("{card} (active)"),
+        };
+        println!("  slot {s}: {text}");
+    }
+}

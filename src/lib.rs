@@ -1,0 +1,28 @@
+//! Facade crate re-exporting the whole Fantastic Joules workspace.
+//!
+//! Each member crate is usable on its own (`fj-core`, `fj-isp`, …); this
+//! crate provides one roof for the examples and integration tests.
+//!
+//! ```
+//! use fantastic_joules::core::builtin_registry;
+//! use fantastic_joules::units::parse_watts;
+//!
+//! // The published models and the unit toolkit, through one import.
+//! let registry = builtin_registry();
+//! assert_eq!(registry.len(), 8);
+//! let typical = parse_watts("600 W").unwrap();
+//! assert!(typical > registry.get("NCS-55A1-24H").unwrap().p_base);
+//! ```
+
+pub use fj_core as core;
+pub use fj_datasheets as datasheets;
+pub use fj_hypnos as hypnos;
+pub use fj_isp as isp;
+pub use fj_meter as meter;
+pub use fj_netpowerbench as netpowerbench;
+pub use fj_psu as psu;
+pub use fj_router_sim as router_sim;
+pub use fj_snmp as snmp;
+pub use fj_traffic as traffic;
+pub use fj_units as units;
+pub use fj_zoo as zoo;
