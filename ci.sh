@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate — the same sequence the workflow runs. Everything is
+# vendored in-repo, so the whole script works offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+if [[ "${CI_SOAK:-0}" == "1" ]]; then
+    echo "==> chaos soak (full)"
+    cargo test -p fj-faults --test chaos_soak -q -- --ignored
+fi
+
+echo "==> ok"

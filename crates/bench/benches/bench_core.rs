@@ -19,9 +19,7 @@ fn bench_predict(c: &mut Criterion) {
     let class = InterfaceClass::new(PortType::Qsfp, TransceiverType::PassiveDac, Speed::G100);
     let configs: Vec<InterfaceConfig> = (0..32).map(|_| InterfaceConfig::up(class)).collect();
     let loads: Vec<InterfaceLoad> = (0..32)
-        .map(|i| {
-            InterfaceLoad::from_rate(DataRate::from_gbps(i as f64), Bytes::new(1518.0))
-        })
+        .map(|i| InterfaceLoad::from_rate(DataRate::from_gbps(i as f64), Bytes::new(1518.0)))
         .collect();
 
     c.bench_function("model_predict_32_interfaces", |b| {
@@ -34,9 +32,7 @@ fn bench_predict(c: &mut Criterion) {
     });
 
     c.bench_function("model_static_power_32_interfaces", |b| {
-        b.iter(|| {
-            black_box(model.static_power(black_box(&configs)).expect("covered"))
-        })
+        b.iter(|| black_box(model.static_power(black_box(&configs)).expect("covered")))
     });
 }
 

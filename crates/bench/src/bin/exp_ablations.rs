@@ -12,10 +12,7 @@
 //! 5. **Snake width** — parameter precision vs the number of cabled pairs.
 
 use fj_bench::{banner, table::*, EXPERIMENT_SEED};
-use fj_core::{
-    builtin_registry, InterfaceClass, InterfaceLoad, PortType, Speed,
-    TransceiverType,
-};
+use fj_core::{builtin_registry, InterfaceClass, InterfaceLoad, PortType, Speed, TransceiverType};
 use fj_netpowerbench::{Derivation, DerivationConfig, LabBench};
 use fj_units::{Bytes, DataRate, SimDuration};
 
@@ -53,7 +50,11 @@ fn ablation_regression_vs_single_point() {
     // Regression (the shipped pipeline).
     let derived = Derivation::run(&config(4, 8), EXPERIMENT_SEED).expect("derivation");
     let reg = derived.params().p_port.as_f64();
-    t.row(&["regression over N".into(), fmt(reg, 4), fmt((reg - TRUE_P_PORT).abs(), 4)]);
+    t.row(&[
+        "regression over N".into(),
+        fmt(reg, 4),
+        fmt((reg - TRUE_P_PORT).abs(), 4),
+    ]);
 
     // Single point: P_port = P_Port(1) − P_Idle (error accumulation).
     let mut bench = LabBench::new(config(4, 8), EXPERIMENT_SEED).expect("bench");

@@ -40,7 +40,10 @@ fn actuate_hot_standby(fleet: &mut Fleet) -> usize {
 }
 
 fn main() {
-    banner("Extension", "combined actuated savings: sleeping + hot standby");
+    banner(
+        "Extension",
+        "combined actuated savings: sleeping + hot standby",
+    );
     let before = baseline().total_wall_power_w();
 
     let mut sleep_only = baseline();
@@ -87,8 +90,7 @@ fn main() {
     );
     println!(
         "shape: {}",
-        if both_w > sleep_w && both_w > standby_w && both_w <= sleep_w + standby_w + 20.0
-        {
+        if both_w > sleep_w && both_w > standby_w && both_w <= sleep_w + standby_w + 20.0 {
             "ok — combined beats each alone, bounded by the sum"
         } else {
             "drift"

@@ -44,19 +44,12 @@ fn main() {
         "realised saving (%)".into(),
         fmt(100.0 * realised / before, 1),
     ]);
-    t.row(&[
-        "§9.3.4 estimate (W)".into(),
-        fmt(estimate.saved_w, 0),
-    ]);
-    t.row(&[
-        "§9.3.4 estimate (%)".into(),
-        fmt(estimate.percent(), 1),
-    ]);
+    t.row(&["§9.3.4 estimate (W)".into(), fmt(estimate.saved_w, 0)]);
+    t.row(&["§9.3.4 estimate (%)".into(), fmt(estimate.percent(), 1)]);
 
     println!(
         "\nshape: {}",
-        if realised > 0.0 && (realised - estimate.saved_w).abs() < estimate.saved_w.max(1.0)
-        {
+        if realised > 0.0 && (realised - estimate.saved_w).abs() < estimate.saved_w.max(1.0) {
             "ok — actuated savings confirm the estimator, minus 2 W/unit housekeeping"
         } else {
             "drift"

@@ -20,8 +20,7 @@ fn main() {
     let step = SimDuration::from_mins(5);
     eprintln!("simulating 305 days at 5-minute polls; this takes a few minutes…");
 
-    let traces =
-        trace::collect(&mut fleet, start, end, step, vec![], &[]).expect("collection");
+    let traces = trace::collect(&mut fleet, start, end, step, vec![], &[]).expect("collection");
 
     let t = TablePrinter::new(&[10, 12, 12, 12]);
     t.header(&["month", "mean kW", "MWh", "traffic Tb"]);

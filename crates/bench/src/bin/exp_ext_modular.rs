@@ -20,19 +20,11 @@ fn main() {
     );
 
     let t = TablePrinter::new(&[16, 14, 12, 12, 12, 7]);
-    t.header(&[
-        "card type",
-        "term",
-        "truth W",
-        "derived W",
-        "R²",
-        "shape",
-    ]);
+    t.header(&["card type", "term", "truth W", "derived W", "R²", "shape"]);
     for card in ["A9K-24X10GE", "A9K-8X100GE"] {
         let truth = *router.truth().lookup_card(card).expect("registered");
         let config = LinecardDerivationConfig::new(card);
-        let derived =
-            derive_linecard(&mut router, &config, EXPERIMENT_SEED).expect("derivation");
+        let derived = derive_linecard(&mut router, &config, EXPERIMENT_SEED).expect("derivation");
         t.row(&[
             card.into(),
             "P_inserted".into(),

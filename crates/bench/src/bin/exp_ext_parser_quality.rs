@@ -13,7 +13,10 @@ use fj_datasheets::{
 };
 
 fn main() {
-    banner("Extension", "datasheet parser quality and its downstream impact");
+    banner(
+        "Extension",
+        "datasheet parser quality and its downstream impact",
+    );
     let truth = generate_corpus(&CorpusConfig::default());
 
     let t = TablePrinter::new(&[16, 10, 10, 10, 12, 12]);

@@ -24,12 +24,8 @@ fn main() {
     let mut zoo = Zoo::new();
     let mut labs = Vec::new();
     for (lab, seed) in [("lab-zrh", 101u64), ("lab-ams", 202), ("lab-par", 303)] {
-        let mut config = DerivationConfig::quick(
-            "Wedge100BF-32X",
-            class.transceiver,
-            class.speed,
-        )
-        .expect("builtin");
+        let mut config = DerivationConfig::quick("Wedge100BF-32X", class.transceiver, class.speed)
+            .expect("builtin");
         config.point_duration = fj_units::SimDuration::from_mins(2);
         let derived = Derivation::run(&config, seed).expect("derivation");
         zoo.add_model(ModelEntry {
@@ -50,7 +46,13 @@ fn main() {
     let consensus = average_models(&refs).expect("same router model");
 
     let t = TablePrinter::new(&[12, 12, 12, 12, 12]);
-    t.header(&["source", "P_base err", "P_port err", "E_bit err", "E_pkt err"]);
+    t.header(&[
+        "source",
+        "P_base err",
+        "P_port err",
+        "E_bit err",
+        "E_pkt err",
+    ]);
     let mut individual_port_errs = Vec::new();
     for (lab, model) in &labs {
         let e = compare_to_reference(model, truth, class).expect("same class");

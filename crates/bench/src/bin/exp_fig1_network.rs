@@ -32,8 +32,8 @@ fn main() {
         },
     ];
 
-    let traces = trace::collect(&mut fleet, start, end, step, events, &[])
-        .expect("trace collection");
+    let traces =
+        trace::collect(&mut fleet, start, end, step, events, &[]).expect("trace collection");
 
     // Weekly summary rows.
     let t = TablePrinter::new(&[8, 12, 12, 12, 12]);
@@ -44,7 +44,9 @@ fn main() {
         let hi = SimInstant::from_days((week + 1) * 7);
         let p = traces.total_reported.slice(lo, hi);
         let tr = traces.total_traffic.slice(lo, hi);
-        let (Ok(pm), Ok(tm)) = (p.mean(), tr.mean()) else { continue };
+        let (Ok(pm), Ok(tm)) = (p.mean(), tr.mean()) else {
+            continue;
+        };
         let swing = (tr.max().unwrap_or(0.0) - tr.min().unwrap_or(0.0)) / capacity;
         t.row(&[
             format!("{}", week + 1),

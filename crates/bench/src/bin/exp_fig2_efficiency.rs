@@ -11,7 +11,10 @@ use fj_datasheets::{
 };
 
 fn main() {
-    banner("Fig. 2", "power-efficiency trends: ASIC vs router datasheets");
+    banner(
+        "Fig. 2",
+        "power-efficiency trends: ASIC vs router datasheets",
+    );
 
     // Fig. 2a: the ASIC anchor points.
     println!("\nFig. 2a — Broadcom switching-ASIC efficiency (redrawn):");

@@ -17,13 +17,18 @@ use fj_isp::{trace, EventKind, ScheduledEvent};
 use fj_units::{correlation, SimDuration, SimInstant, TimeSeries};
 
 fn main() {
-    banner("Fig. 4", "PSU vs Autopower vs model, three instrumented routers");
+    banner(
+        "Fig. 4",
+        "PSU vs Autopower vs model, three instrumented routers",
+    );
     let mut fleet = standard_fleet();
     let (start, end, step) = standard_window();
 
     let r8201 = fleet.find_model("8201-32FH").expect("8201 in fleet");
     let rncs = fleet.find_model("NCS-55A1-24H").expect("NCS in fleet");
-    let rn540 = fleet.find_model("N540X-8Z16G-SYS-A").expect("N540X in fleet");
+    let rn540 = fleet
+        .find_model("N540X-8Z16G-SYS-A")
+        .expect("N540X in fleet");
     let instrumented = [r8201, rncs, rn540];
 
     // The 8201's QSFP-DD cages sit at ports 28–31; give it the 400G FR4
@@ -96,9 +101,17 @@ fn main() {
         };
         t.row(&[
             rt.model.clone(),
-            if psu_off.is_nan() { "n/a".into() } else { fmt(psu_off, 1) },
+            if psu_off.is_nan() {
+                "n/a".into()
+            } else {
+                fmt(psu_off, 1)
+            },
             fmt(model_off, 1),
-            if psu_corr.is_nan() { "n/a".into() } else { fmt(psu_corr, 3) },
+            if psu_corr.is_nan() {
+                "n/a".into()
+            } else {
+                fmt(psu_corr, 3)
+            },
             fmt(model_corr, 3),
         ]);
     }
@@ -145,11 +158,18 @@ fn main() {
         "  days 44–47 flap:   wall drop {:.1} W, model drop {:.1} W (paper: model drops MORE) {}",
         -flap_wall,
         -flap_model,
-        if -flap_model > -flap_wall + 0.5 { "ok" } else { "drift" }
+        if -flap_model > -flap_wall + 0.5 {
+            "ok"
+        } else {
+            "drift"
+        }
     );
 
     let ncs = &traces.routers[rncs];
-    let psu_jump = step_size(&ncs.psu_reported.window_mean(window), SimInstant::from_days(17));
+    let psu_jump = step_size(
+        &ncs.psu_reported.window_mean(window),
+        SimInstant::from_days(17),
+    );
     let wall_jump = step_size(&ncs.wall.window_mean(window), SimInstant::from_days(17));
     println!(
         "  day 17 PSU cycle (NCS): reported jump {psu_jump:+.1} W vs wall change {wall_jump:+.1} W\n\
@@ -182,7 +202,10 @@ fn window_delta(series: &TimeSeries, day_a: i64, day_b: i64) -> f64 {
         .mean()
         .unwrap_or(f64::NAN);
     let before = series
-        .slice(SimInstant::from_days(day_a - 3), SimInstant::from_days(day_a))
+        .slice(
+            SimInstant::from_days(day_a - 3),
+            SimInstant::from_days(day_a),
+        )
         .mean()
         .unwrap_or(f64::NAN);
     inside - before

@@ -41,7 +41,11 @@ fn main() {
     for level in EightyPlus::ALL {
         println!(
             "  {level:<9} {}",
-            if level.certifies(&curve) { "pass" } else { "fail" }
+            if level.certifies(&curve) {
+                "pass"
+            } else {
+                "fail"
+            }
         );
     }
     println!(

@@ -25,8 +25,7 @@ fn main() {
             EXPERIMENT_SEED + i as u64,
         );
         let meter = Mcp39F511N::new(EXPERIMENT_SEED + i as u64);
-        let mut client =
-            AutopowerClient::new(format!("autopower-pop{i:02}"), server.addr());
+        let mut client = AutopowerClient::new(format!("autopower-pop{i:02}"), server.addr());
         // Six hours of samples at 5-minute aggregation, then upload.
         for _ in 0..72 {
             client.push_sample(PowerSample {
@@ -59,7 +58,12 @@ fn main() {
                 .last_sample_at
                 .map(|t| t.to_string())
                 .unwrap_or_else(|| "—".into()),
-            if status.measuring { "measuring" } else { "paused" }.into(),
+            if status.measuring {
+                "measuring"
+            } else {
+                "paused"
+            }
+            .into(),
         ]);
     }
 

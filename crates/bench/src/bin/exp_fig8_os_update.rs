@@ -27,7 +27,11 @@ fn main() {
     }
     for i in 10..20 {
         router
-            .plug(i, fj_core::TransceiverType::PassiveDac, fj_core::Speed::G100)
+            .plug(
+                i,
+                fj_core::TransceiverType::PassiveDac,
+                fj_core::Speed::G100,
+            )
             .expect("free cage");
     }
     for i in 28..32 {
@@ -56,7 +60,10 @@ fn main() {
         .mean()
         .expect("non-empty");
     let after = series
-        .slice(update_at + SimDuration::from_hours(1), SimInstant::from_days(21))
+        .slice(
+            update_at + SimDuration::from_hours(1),
+            SimInstant::from_days(21),
+        )
         .mean()
         .expect("non-empty");
     let step_w = after - before;

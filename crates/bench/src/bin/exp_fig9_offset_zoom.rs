@@ -21,7 +21,9 @@ fn main() {
 
     let r8201 = fleet.find_model("8201-32FH").expect("8201 in fleet");
     let rncs = fleet.find_model("NCS-55A1-24H").expect("NCS in fleet");
-    let rn540 = fleet.find_model("N540X-8Z16G-SYS-A").expect("N540X in fleet");
+    let rn540 = fleet
+        .find_model("N540X-8Z16G-SYS-A")
+        .expect("N540X in fleet");
     let instrumented = [r8201, rncs, rn540];
     let traces = trace::collect(&mut fleet, start, end, step, vec![], &instrumented)
         .expect("trace collection");

@@ -20,7 +20,11 @@ fn main() {
     t.row(&[
         "total network power (kW)".into(),
         fmt(insights.total_power_w / 1e3, 1),
-        format!("{:.1}–{:.1}", paper::FIG1_TOTAL_KW.0, paper::FIG1_TOTAL_KW.1),
+        format!(
+            "{:.1}–{:.1}",
+            paper::FIG1_TOTAL_KW.0,
+            paper::FIG1_TOTAL_KW.1
+        ),
         shape(21.75, insights.total_power_w / 1e3, 0.12, 0.0).into(),
     ]);
     t.row(&[

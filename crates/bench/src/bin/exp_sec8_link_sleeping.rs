@@ -26,7 +26,9 @@ fn main() {
         low_sum += savings.low_w;
         high_sum += savings.high_w;
         fraction_sum += outcome.sleep_fraction();
-        fleet.advance(SimDuration::from_hours(1)).expect("fleet advances");
+        fleet
+            .advance(SimDuration::from_hours(1))
+            .expect("fleet advances");
     }
     let low = low_sum / rounds as f64;
     let high = high_sum / rounds as f64;
@@ -86,7 +88,10 @@ fn main() {
         .into(),
     ]);
 
-    println!("\nmean sleep fraction: {:.0} % of internal links", 100.0 * fraction);
+    println!(
+        "\nmean sleep fraction: {:.0} % of internal links",
+        100.0 * fraction
+    );
     println!(
         "headline: savings land near the *low* end (P_trx,in keeps burning\n\
          when ports go down) and only internal links are in reach — both\n\

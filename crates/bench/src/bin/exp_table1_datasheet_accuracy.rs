@@ -80,6 +80,10 @@ fn main() {
     });
     println!(
         "\nheadline: 8000-series underestimates, everything else overestimates — {}",
-        if signs_match { "reproduced" } else { "NOT reproduced" }
+        if signs_match {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -16,7 +16,9 @@ fn main() {
     );
 
     let t = TablePrinter::new(&[26, 10, 10, 10, 10, 7]);
-    t.header(&["measure", "saved W", "saved %", "paper W", "paper %", "shape"]);
+    t.header(&[
+        "measure", "saved W", "saved %", "paper W", "paper %", "shape",
+    ]);
 
     // §9.3.2: raise every PSU to at least each 80 Plus level.
     for (level, (name, paper_pct, paper_w)) in EightyPlus::ALL.iter().zip(paper::TABLE3_UPLIFT) {
@@ -44,9 +46,7 @@ fn main() {
     ]);
 
     // §9.3.5: both measures together.
-    for (level, (name, paper_pct, paper_w)) in
-        EightyPlus::ALL.iter().zip(paper::TABLE3_COMBINED)
-    {
+    for (level, (name, paper_pct, paper_w)) in EightyPlus::ALL.iter().zip(paper::TABLE3_COMBINED) {
         let s = combined_savings(&data, *level);
         t.row(&[
             format!("one ≥{name} PSU"),

@@ -10,14 +10,7 @@ fn main() {
     let averages = builtin_registry().port_type_averages();
 
     let t = TablePrinter::new(&[10, 12, 12, 12, 12, 7]);
-    t.header(&[
-        "port",
-        "P_port W",
-        "paper",
-        "P_trx,up W",
-        "paper",
-        "shape",
-    ]);
+    t.header(&["port", "P_port W", "paper", "P_trx,up W", "paper", "shape"]);
     for (name, paper_port, paper_trx_up) in paper::TABLE5 {
         let port: fj_core::PortType = name.parse().expect("known port type");
         let Some((p_port, p_trx_up)) = averages.get(&port) else {

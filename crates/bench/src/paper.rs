@@ -228,7 +228,11 @@ mod tests {
         let reg = fj_core::builtin_registry();
         for row in TABLE2.iter().chain(TABLE6.iter()) {
             let model = reg.get(row.router).expect(row.router);
-            assert!((model.p_base.as_f64() - row.p_base).abs() < 1e-9, "{}", row.router);
+            assert!(
+                (model.p_base.as_f64() - row.p_base).abs() < 1e-9,
+                "{}",
+                row.router
+            );
             let class: fj_core::InterfaceClass = row.class.parse().expect("class parses");
             let p = model.lookup(class).expect("class registered");
             assert!((p.p_port.as_f64() - row.p_port).abs() < 1e-9);

@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn fmt_and_pct() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(3.21159, 2), "3.21");
         assert_eq!(pct(40.33), "+40.3 %");
         assert_eq!(pct(-24.0), "-24.0 %");
     }

@@ -28,8 +28,7 @@ pub fn average_models(models: &[&PowerModel]) -> Result<PowerModel, ModelError> 
         )));
     }
 
-    let p_base =
-        models.iter().map(|m| m.p_base.as_f64()).sum::<f64>() / models.len() as f64;
+    let p_base = models.iter().map(|m| m.p_base.as_f64()).sum::<f64>() / models.len() as f64;
     let mut out = PowerModel::new(name.clone(), Watts::new(p_base));
 
     // Union of classes, in first-seen order.
@@ -46,9 +45,8 @@ pub fn average_models(models: &[&PowerModel]) -> Result<PowerModel, ModelError> 
         let sources: Vec<&InterfaceParams> =
             models.iter().filter_map(|m| m.lookup(class)).collect();
         let n = sources.len() as f64;
-        let avg = |f: &dyn Fn(&InterfaceParams) -> f64| {
-            sources.iter().map(|p| f(p)).sum::<f64>() / n
-        };
+        let avg =
+            |f: &dyn Fn(&InterfaceParams) -> f64| sources.iter().map(|p| f(p)).sum::<f64>() / n;
         out.add_class(
             class,
             InterfaceParams {

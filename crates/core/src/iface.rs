@@ -10,9 +10,7 @@ use fj_units::{Bytes, DataRate, PacketRate};
 
 /// Physical port cage type. These are the port types appearing in the
 /// paper's model tables (Tables 2, 5, 6).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PortType {
     /// 1G small form-factor pluggable cage.
     Sfp,
@@ -72,9 +70,7 @@ impl FromStr for PortType {
 }
 
 /// Pluggable transceiver module family.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TransceiverType {
     /// Passive direct-attach copper cable; draws almost nothing when idle.
     PassiveDac,
@@ -142,9 +138,7 @@ impl FromStr for TransceiverType {
 }
 
 /// Configured line rate of an interface.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Speed {
     /// 100 Mbit/s.
     M100,
@@ -256,9 +250,7 @@ impl std::error::Error for ParseIfaceError {}
 ///
 /// Each distinct class has its own six model parameters (§4.2: "Each
 /// combination results in a different interface power profile").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InterfaceClass {
     /// Port cage type.
     pub port: PortType,

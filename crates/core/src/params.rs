@@ -292,9 +292,7 @@ mod tests {
     fn unknown_class_is_an_error() {
         let m = model_8201();
         let other = InterfaceClass::new(PortType::Sfp, TransceiverType::T, Speed::G1);
-        let err = m
-            .static_power(&[InterfaceConfig::up(other)])
-            .unwrap_err();
+        let err = m.static_power(&[InterfaceConfig::up(other)]).unwrap_err();
         assert_eq!(err, ModelError::UnknownClass(other));
         assert!(err.to_string().contains("SFP/T/1G"));
     }

@@ -37,9 +37,21 @@ impl InterfaceBreakdown {
             params.p_offset
         };
         Self {
-            port: if cfg.admin_up { params.p_port } else { Watts::ZERO },
-            trx_in: if cfg.plugged { params.p_trx_in } else { Watts::ZERO },
-            trx_up: if cfg.oper_up { params.p_trx_up } else { Watts::ZERO },
+            port: if cfg.admin_up {
+                params.p_port
+            } else {
+                Watts::ZERO
+            },
+            trx_in: if cfg.plugged {
+                params.p_trx_in
+            } else {
+                Watts::ZERO
+            },
+            trx_up: if cfg.oper_up {
+                params.p_trx_up
+            } else {
+                Watts::ZERO
+            },
             traffic,
             offset,
         }

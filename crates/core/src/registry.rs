@@ -104,16 +104,34 @@ pub fn builtin_registry() -> ModelRegistry {
     [
         // Table 2 (a): Cisco NCS-55A1-24H.
         PowerModel::new("NCS-55A1-24H", Watts::new(320.0))
-            .with_class(class(Qsfp28, PassiveDac, G100), t(0.32, 0.02, 0.19, 22.0, 58.0, 0.37))
-            .with_class(class(Qsfp28, PassiveDac, G50), t(0.18, 0.02, 0.16, 21.0, 57.0, 0.34))
-            .with_class(class(Qsfp28, PassiveDac, G25), t(0.10, 0.02, 0.08, 21.0, 55.0, 0.21)),
+            .with_class(
+                class(Qsfp28, PassiveDac, G100),
+                t(0.32, 0.02, 0.19, 22.0, 58.0, 0.37),
+            )
+            .with_class(
+                class(Qsfp28, PassiveDac, G50),
+                t(0.18, 0.02, 0.16, 21.0, 57.0, 0.34),
+            )
+            .with_class(
+                class(Qsfp28, PassiveDac, G25),
+                t(0.10, 0.02, 0.08, 21.0, 55.0, 0.21),
+            ),
         // Table 2 (b): Cisco Nexus 9336C-FX2.
         PowerModel::new("Nexus9336-FX2", Watts::new(285.0))
-            .with_class(class(Qsfp28, Lr, G100), t(1.9, 2.79, -0.06, 8.0, 24.0, -0.43))
-            .with_class(class(Qsfp28, PassiveDac, G100), t(1.13, 0.09, -0.02, 8.0, 26.0, 0.07)),
+            .with_class(
+                class(Qsfp28, Lr, G100),
+                t(1.9, 2.79, -0.06, 8.0, 24.0, -0.43),
+            )
+            .with_class(
+                class(Qsfp28, PassiveDac, G100),
+                t(1.13, 0.09, -0.02, 8.0, 26.0, 0.07),
+            ),
         // Table 2 (c): Cisco 8201-32FH.
         PowerModel::new("8201-32FH", Watts::new(253.0))
-            .with_class(class(Qsfp, PassiveDac, G100), t(0.94, 0.35, 0.21, 3.0, 13.0, -0.04))
+            .with_class(
+                class(Qsfp, PassiveDac, G100),
+                t(0.94, 0.35, 0.21, 3.0, 13.0, -0.04),
+            )
             // The deployed 8201 in Fig. 4a also carries 400G FR4 optics;
             // §6.2 prices the module at ≈12 W (datasheet) + ≈1 W of P_port.
             .with_class(class(QsfpDd, Fr4, G400), t(1.0, 10.0, 2.0, 2.5, 11.0, 0.05)),
@@ -123,13 +141,28 @@ pub fn builtin_registry() -> ModelRegistry {
             .with_class(class(Sfp, T, G1), t(-0.0, 3.41, 0.0, 37.0, -48.0, 0.01)),
         // Table 6 (a): EdgeCore Wedge 100BF-32X.
         PowerModel::new("Wedge100BF-32X", Watts::new(108.0))
-            .with_class(class(Qsfp28, PassiveDac, G100), t(0.88, 0.0, 0.69, 1.7, 7.2, 0.0))
-            .with_class(class(Qsfp28, PassiveDac, G50), t(0.21, 0.0, 0.31, 2.5, 5.6, 0.05))
-            .with_class(class(Qsfp28, PassiveDac, G25), t(0.21, 0.0, 0.10, 2.7, 4.7, 0.06)),
+            .with_class(
+                class(Qsfp28, PassiveDac, G100),
+                t(0.88, 0.0, 0.69, 1.7, 7.2, 0.0),
+            )
+            .with_class(
+                class(Qsfp28, PassiveDac, G50),
+                t(0.21, 0.0, 0.31, 2.5, 5.6, 0.05),
+            )
+            .with_class(
+                class(Qsfp28, PassiveDac, G25),
+                t(0.21, 0.0, 0.10, 2.7, 4.7, 0.06),
+            ),
         // Table 6 (b): Cisco Nexus 93108TC-FX3P.
         PowerModel::new("Nexus93108TC-FX3P", Watts::new(147.0))
-            .with_class(class(Qsfp28, PassiveDac, G100), t(0.17, 0.11, 0.23, 5.4, 21.2, 0.0))
-            .with_class(class(Qsfp28, PassiveDac, G40), t(0.07, 0.11, 0.16, 6.5, 17.4, 0.03))
+            .with_class(
+                class(Qsfp28, PassiveDac, G100),
+                t(0.17, 0.11, 0.23, 5.4, 21.2, 0.0),
+            )
+            .with_class(
+                class(Qsfp28, PassiveDac, G40),
+                t(0.07, 0.11, 0.16, 6.5, 17.4, 0.03),
+            )
             .with_class(class(Rj45, T, G10), t(2.06, 0.11, 0.0, 6.7, 16.9, -0.03))
             .with_class(class(Rj45, T, G1), t(0.93, 0.11, 0.0, 33.8, 18.2, -0.03)),
         // Table 6 (c): Extreme Switch VSP-4900.
@@ -206,7 +239,10 @@ mod tests {
             fj_units::Bytes::new(1520.0),
         )];
         let dyn_p = m.dynamic_power(&cfg, &load).unwrap();
-        assert!(dyn_p.abs().as_f64() < 0.2, "traffic power should be tiny: {dyn_p}");
+        assert!(
+            dyn_p.abs().as_f64() < 0.2,
+            "traffic power should be tiny: {dyn_p}"
+        );
     }
 
     #[test]

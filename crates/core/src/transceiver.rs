@@ -69,9 +69,7 @@ mod tests {
     #[test]
     fn passive_dac_is_cheap() {
         for s in Speed::ALL {
-            assert!(
-                transceiver_nominal_power(TransceiverType::PassiveDac, s).as_f64() <= 0.1
-            );
+            assert!(transceiver_nominal_power(TransceiverType::PassiveDac, s).as_f64() <= 0.1);
         }
     }
 

@@ -37,10 +37,7 @@ pub fn broadcom_asic_trend() -> Vec<TrendPoint> {
 /// paper's method (§3.3.1): typical power, else max power, per 100 Gbps;
 /// only models with > 100 Gbps capacity; outliers above `outlier_cutoff`
 /// (the paper: ≈300 W/100G) are excluded from the plot.
-pub fn efficiency_trend(
-    records: &[ExtractedRecord],
-    outlier_cutoff: f64,
-) -> Vec<TrendPoint> {
+pub fn efficiency_trend(records: &[ExtractedRecord], outlier_cutoff: f64) -> Vec<TrendPoint> {
     let mut points: Vec<TrendPoint> = records
         .iter()
         .filter_map(|r| {
@@ -59,7 +56,11 @@ pub fn efficiency_trend(
             })
         })
         .collect();
-    points.sort_by(|a, b| (a.year, a.w_per_100g).partial_cmp(&(b.year, b.w_per_100g)).expect("finite"));
+    points.sort_by(|a, b| {
+        (a.year, a.w_per_100g)
+            .partial_cmp(&(b.year, b.w_per_100g))
+            .expect("finite")
+    });
     points
 }
 
@@ -72,7 +73,9 @@ pub fn trend_strength(points: &[TrendPoint]) -> f64 {
     }
     let x: Vec<f64> = points.iter().map(|p| p.year as f64).collect();
     let y: Vec<f64> = points.iter().map(|p| p.w_per_100g).collect();
-    linear_regression(&x, &y).map(|f| f.r_squared).unwrap_or(0.0)
+    linear_regression(&x, &y)
+        .map(|f| f.r_squared)
+        .unwrap_or(0.0)
 }
 
 /// One row of Table 1: datasheet "typical" vs deployed median.
@@ -180,8 +183,14 @@ mod tests {
     fn trend_strength_degenerate_cases() {
         assert_eq!(trend_strength(&[]), 0.0);
         let two = [
-            TrendPoint { year: 2010, w_per_100g: 1.0 },
-            TrendPoint { year: 2011, w_per_100g: 2.0 },
+            TrendPoint {
+                year: 2010,
+                w_per_100g: 1.0,
+            },
+            TrendPoint {
+                year: 2011,
+                w_per_100g: 2.0,
+            },
         ];
         assert_eq!(trend_strength(&two), 0.0);
     }

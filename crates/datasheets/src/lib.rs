@@ -31,7 +31,9 @@ pub mod parse;
 pub mod record;
 pub mod render;
 
-pub use analysis::{broadcom_asic_trend, datasheet_accuracy_table, efficiency_trend, DatasheetAccuracy, TrendPoint};
+pub use analysis::{
+    broadcom_asic_trend, datasheet_accuracy_table, efficiency_trend, DatasheetAccuracy, TrendPoint,
+};
 pub use corpus::{generate_corpus, CorpusConfig};
 pub use netbox::{build_library, DeviceType};
 pub use parse::{extract, ExtractionQuality, ParserConfig};

@@ -55,9 +55,7 @@ impl DeviceType {
         if let (Some(n), Some(cap)) = (self.psu_count, self.psu_capacity_w) {
             out.push_str("power-ports:\n");
             for i in 0..n {
-                out.push_str(&format!(
-                    "  - name: PSU{i}\n    maximum_draw: {cap:.0}\n"
-                ));
+                out.push_str(&format!("  - name: PSU{i}\n    maximum_draw: {cap:.0}\n"));
             }
         }
         out
@@ -150,13 +148,15 @@ mod tests {
 
     #[test]
     fn malformed_yaml_rejected() {
-        assert!(DeviceType::from_yaml("model: X\n").is_none(), "no manufacturer");
+        assert!(
+            DeviceType::from_yaml("model: X\n").is_none(),
+            "no manufacturer"
+        );
         assert!(DeviceType::from_yaml("").is_none());
         // No PSU section is fine — NetBox doesn't always record power.
-        let dt = DeviceType::from_yaml(
-            "manufacturer: Cisco\nmodel: X\ncomments: datasheet http://x\n",
-        )
-        .expect("parses");
+        let dt =
+            DeviceType::from_yaml("manufacturer: Cisco\nmodel: X\ncomments: datasheet http://x\n")
+                .expect("parses");
         assert_eq!(dt.psu_count, None);
     }
 }

@@ -35,7 +35,7 @@ impl Default for ParserConfig {
             hallucination_rate: 0.04,
             hallucination_spread: 0.3,
             miss_rate: 0.03,
-            seed: 0x6770_74,
+            seed: 0x0067_7074,
         }
     }
 }
@@ -111,8 +111,16 @@ fn typical_labels(vendor: Vendor) -> &'static [&'static str] {
 fn max_labels(vendor: Vendor) -> &'static [&'static str] {
     match vendor {
         Vendor::Cisco => &["worst-case envelope of", "maximum draw of", "Maximum power"],
-        Vendor::Juniper => &["worst-case envelope of", "maximum draw of", "Power draw (maximum)"],
-        Vendor::Arista => &["worst-case envelope of", "maximum draw of", "Max. power consumption"],
+        Vendor::Juniper => &[
+            "worst-case envelope of",
+            "maximum draw of",
+            "Power draw (maximum)",
+        ],
+        Vendor::Arista => &[
+            "worst-case envelope of",
+            "maximum draw of",
+            "Max. power consumption",
+        ],
     }
 }
 
@@ -120,7 +128,9 @@ fn max_labels(vendor: Vendor) -> &'static [&'static str] {
 /// within a few tokens (so PSU capacities are not confused with draw).
 fn find_power(text: &str, labels: &[&str]) -> Option<f64> {
     for label in labels {
-        let Some(pos) = text.find(label) else { continue };
+        let Some(pos) = text.find(label) else {
+            continue;
+        };
         let tail = &text[pos + label.len()..];
         if let Some(v) = first_number_before_watt(tail) {
             return Some(v);
@@ -178,11 +188,7 @@ fn find_bandwidth(text: &str) -> Option<f64> {
         let mut total = 0.0;
         for part in line.split('+') {
             if let Some(x_pos) = part.find(" x ") {
-                let count: f64 = part[..x_pos]
-                    .split_whitespace()
-                    .last()?
-                    .parse()
-                    .ok()?;
+                let count: f64 = part[..x_pos].split_whitespace().last()?.parse().ok()?;
                 let speed_txt = &part[x_pos + 3..];
                 let speed = if speed_txt.starts_with("100GE") {
                     100.0
@@ -235,10 +241,7 @@ pub struct ExtractionQuality {
 
 impl ExtractionQuality {
     /// Evaluates an extraction run against the truth corpus.
-    pub fn evaluate(
-        truth: &[DatasheetRecord],
-        extracted: &[ExtractedRecord],
-    ) -> ExtractionQuality {
+    pub fn evaluate(truth: &[DatasheetRecord], extracted: &[ExtractedRecord]) -> ExtractionQuality {
         let mut q = ExtractionQuality {
             typical_exact: 0,
             typical_wrong: 0,
@@ -255,8 +258,7 @@ impl ExtractionQuality {
                     None => q.typical_missed += 1,
                 }
             }
-            if let (Some(bw), Some(got)) = (Some(t.max_bandwidth_gbps), e.max_bandwidth_gbps)
-            {
+            if let (Some(bw), Some(got)) = (Some(t.max_bandwidth_gbps), e.max_bandwidth_gbps) {
                 if (got - bw).abs() / bw < 0.01 {
                     q.bandwidth_ok += 1;
                 }

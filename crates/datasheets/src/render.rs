@@ -54,13 +54,12 @@ fn render_table_style(r: &DatasheetRecord) -> String {
         "| Switching capacity      | {:.0} Gbps |\n",
         r.max_bandwidth_gbps
     ));
-    match r.typical_power_w {
-        Some(w) => out.push_str(&format!(
+    if let Some(w) = r.typical_power_w {
+        out.push_str(&format!(
             "| {:23} | {:.0} W (at 25C) |\n",
             typical_label(r.vendor),
             w
-        )),
-        None => {}
+        ));
     }
     match r.max_power_w {
         Some(w) => out.push_str(&format!("| {:23} | {:.0} W |\n", max_label(r.vendor), w)),
@@ -108,7 +107,10 @@ fn render_ports_style(r: &DatasheetRecord) -> String {
     let tens = (rest / 10.0).floor() as u64;
     rest -= tens as f64 * 10.0;
     let ones = rest.round() as u64;
-    let mut out = format!("{} {}\n\nInterfaces: {} x 100GE QSFP28", r.vendor, r.model, hundreds);
+    let mut out = format!(
+        "{} {}\n\nInterfaces: {} x 100GE QSFP28",
+        r.vendor, r.model, hundreds
+    );
     if tens > 0 {
         out.push_str(&format!(" + {tens} x 10GE SFP+"));
     }
@@ -116,9 +118,8 @@ fn render_ports_style(r: &DatasheetRecord) -> String {
         out.push_str(&format!(" + {ones} x 1GE SFP"));
     }
     out.push('\n');
-    match r.typical_power_w {
-        Some(w) => out.push_str(&format!("{}: {w:.0}W\n", typical_label(r.vendor))),
-        None => {}
+    if let Some(w) = r.typical_power_w {
+        out.push_str(&format!("{}: {w:.0}W\n", typical_label(r.vendor)));
     }
     match r.max_power_w {
         Some(w) => out.push_str(&format!("{}: {w:.0}W\n", max_label(r.vendor))),

@@ -1,0 +1,163 @@
+//! Exponential backoff with deterministic jitter.
+
+use std::time::Duration;
+
+/// An exponential backoff schedule with multiplicative growth, a cap,
+/// and deterministic jitter (so retry storms desynchronise across
+/// targets without making tests flaky).
+///
+/// Call [`Backoff::next_delay`] after each failure; call
+/// [`Backoff::reset`] after a success. [`Backoff::in_backoff`] lets a
+/// caller short-circuit work while a previously issued delay has not
+/// yet elapsed (tracked via a caller-supplied monotonic clock value —
+/// the type stays clock-agnostic for testability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    multiplier: f64,
+    /// Jitter fraction in [0, 1]: each delay is scaled by a factor in
+    /// `[1 - jitter, 1]`.
+    jitter: f64,
+    seed: u64,
+    attempt: u32,
+    /// Deadline before which the caller should not retry, as an offset
+    /// on the caller's clock. `None` until the first failure.
+    until: Option<Duration>,
+}
+
+impl Backoff {
+    /// A schedule growing from `base` to `max` by 2× per failure, with
+    /// 25 % jitter.
+    pub fn new(base: Duration, max: Duration) -> Self {
+        Self {
+            base,
+            max,
+            multiplier: 2.0,
+            jitter: 0.25,
+            seed: 0,
+            attempt: 0,
+            until: None,
+        }
+    }
+
+    /// Overrides the growth factor (must be ≥ 1).
+    pub fn with_multiplier(mut self, multiplier: f64) -> Self {
+        assert!(multiplier >= 1.0, "backoff multiplier {multiplier} < 1");
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Overrides the jitter fraction (0 disables jitter).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "jitter {jitter} outside [0, 1]"
+        );
+        self.jitter = jitter;
+        self
+    }
+
+    /// Seeds the jitter stream so distinct targets desynchronise.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Failures recorded since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Records a failure at caller-clock time `now` and returns how long
+    /// to wait before the next try.
+    pub fn next_delay(&mut self, now: Duration) -> Duration {
+        let exp = self
+            .base
+            .mul_f64(self.multiplier.powi(self.attempt as i32))
+            .min(self.max);
+        self.attempt = self.attempt.saturating_add(1);
+        // Deterministic jitter factor in [1 - jitter, 1].
+        let mut h = self.seed ^ (self.attempt as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let delay = exp.mul_f64(1.0 - self.jitter * unit);
+        self.until = Some(now + delay);
+        delay
+    }
+
+    /// True while a delay issued by [`next_delay`](Self::next_delay) has
+    /// not yet elapsed at caller-clock time `now`.
+    pub fn in_backoff(&self, now: Duration) -> bool {
+        self.until.is_some_and(|t| now < t)
+    }
+
+    /// Clears the schedule after a success.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+        self.until = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn grows_exponentially_to_cap() {
+        let mut b = Backoff::new(10 * MS, 100 * MS).with_jitter(0.0);
+        let now = Duration::ZERO;
+        assert_eq!(b.next_delay(now), 10 * MS);
+        assert_eq!(b.next_delay(now), 20 * MS);
+        assert_eq!(b.next_delay(now), 40 * MS);
+        assert_eq!(b.next_delay(now), 80 * MS);
+        assert_eq!(b.next_delay(now), 100 * MS, "capped");
+        assert_eq!(b.next_delay(now), 100 * MS, "stays capped");
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_is_deterministic() {
+        let mut a = Backoff::new(100 * MS, Duration::from_secs(10)).with_seed(7);
+        let mut b = Backoff::new(100 * MS, Duration::from_secs(10)).with_seed(7);
+        for i in 0..6 {
+            let exp = (100 * MS)
+                .mul_f64(2f64.powi(i))
+                .min(Duration::from_secs(10));
+            let da = a.next_delay(Duration::ZERO);
+            let db = b.next_delay(Duration::ZERO);
+            assert_eq!(da, db, "same seed, same stream");
+            assert!(da <= exp && da >= exp.mul_f64(0.75), "attempt {i}: {da:?}");
+        }
+    }
+
+    #[test]
+    fn seeds_desynchronise_targets() {
+        let mut a = Backoff::new(100 * MS, Duration::from_secs(10)).with_seed(1);
+        let mut b = Backoff::new(100 * MS, Duration::from_secs(10)).with_seed(2);
+        let da: Vec<_> = (0..4).map(|_| a.next_delay(Duration::ZERO)).collect();
+        let db: Vec<_> = (0..4).map(|_| b.next_delay(Duration::ZERO)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn in_backoff_window_and_reset() {
+        let mut b = Backoff::new(10 * MS, 100 * MS).with_jitter(0.0);
+        assert!(!b.in_backoff(Duration::ZERO), "fresh schedule is idle");
+        let d = b.next_delay(Duration::from_millis(5));
+        assert_eq!(d, 10 * MS);
+        assert!(b.in_backoff(Duration::from_millis(5)));
+        assert!(b.in_backoff(Duration::from_millis(14)));
+        assert!(!b.in_backoff(Duration::from_millis(15)), "window elapsed");
+        b.next_delay(Duration::from_millis(20));
+        assert_eq!(b.attempts(), 2);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(
+            !b.in_backoff(Duration::from_millis(21)),
+            "reset clears window"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-target health tracking: healthy → degraded → quarantined.
+
+use std::time::Duration;
+
+/// The three-state health ladder a poll target moves along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Responding normally; polled at full rate.
+    Healthy,
+    /// Some consecutive failures; still polled, but suspect.
+    Degraded,
+    /// Too many consecutive failures; only recovery probes are sent.
+    Quarantined,
+}
+
+impl HealthState {
+    /// Short label for logs and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Health bookkeeping for one poll target.
+///
+/// Transitions:
+/// - `degrade_after` consecutive failures: Healthy → Degraded.
+/// - `quarantine_after` consecutive failures: Degraded → Quarantined.
+/// - Any success: back to Healthy (and counters cleared).
+///
+/// While quarantined, [`TargetHealth::should_attempt`] gates polls down
+/// to one recovery probe per `probe_interval`; in the other states it
+/// always allows the poll. The type is clock-agnostic: callers pass a
+/// monotonic offset (`Duration` since their own epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetHealth {
+    degrade_after: u32,
+    quarantine_after: u32,
+    probe_interval: Duration,
+    consecutive_failures: u32,
+    total_failures: u64,
+    total_successes: u64,
+    state: HealthState,
+    last_probe: Option<Duration>,
+}
+
+impl TargetHealth {
+    /// Default thresholds: degrade after 3, quarantine after 8
+    /// consecutive failures, one recovery probe per 5 s.
+    pub fn new() -> Self {
+        Self::with_thresholds(3, 8, Duration::from_secs(5))
+    }
+
+    /// Custom thresholds. `quarantine_after` must exceed `degrade_after`.
+    pub fn with_thresholds(
+        degrade_after: u32,
+        quarantine_after: u32,
+        probe_interval: Duration,
+    ) -> Self {
+        assert!(
+            quarantine_after > degrade_after && degrade_after > 0,
+            "need 0 < degrade_after ({degrade_after}) < quarantine_after ({quarantine_after})"
+        );
+        Self {
+            degrade_after,
+            quarantine_after,
+            probe_interval,
+            consecutive_failures: 0,
+            total_failures: 0,
+            total_successes: 0,
+            state: HealthState::Healthy,
+            last_probe: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Lifetime failure count.
+    pub fn total_failures(&self) -> u64 {
+        self.total_failures
+    }
+
+    /// Lifetime success count.
+    pub fn total_successes(&self) -> u64 {
+        self.total_successes
+    }
+
+    /// Records a successful poll: any state snaps back to Healthy.
+    pub fn record_success(&mut self) {
+        self.total_successes += 1;
+        self.consecutive_failures = 0;
+        self.state = HealthState::Healthy;
+        self.last_probe = None;
+    }
+
+    /// Records a failed poll and returns the (possibly new) state.
+    pub fn record_failure(&mut self) -> HealthState {
+        self.total_failures += 1;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.state = if self.consecutive_failures >= self.quarantine_after {
+            HealthState::Quarantined
+        } else if self.consecutive_failures >= self.degrade_after {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        self.state
+    }
+
+    /// Whether a poll should be attempted at caller-clock time `now`.
+    ///
+    /// Healthy and degraded targets are always polled. Quarantined
+    /// targets get one recovery probe per `probe_interval`; calling this
+    /// when it returns `true` claims the probe slot.
+    pub fn should_attempt(&mut self, now: Duration) -> bool {
+        if self.state != HealthState::Quarantined {
+            return true;
+        }
+        match self.last_probe {
+            Some(last) if now < last + self.probe_interval => false,
+            _ => {
+                self.last_probe = Some(now);
+                true
+            }
+        }
+    }
+}
+
+impl Default for TargetHealth {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_down_and_recovery() {
+        let mut h = TargetHealth::with_thresholds(2, 4, Duration::from_secs(1));
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.record_failure(), HealthState::Healthy);
+        assert_eq!(h.record_failure(), HealthState::Degraded);
+        assert_eq!(h.record_failure(), HealthState::Degraded);
+        assert_eq!(h.record_failure(), HealthState::Quarantined);
+        assert_eq!(h.consecutive_failures(), 4);
+        h.record_success();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.consecutive_failures(), 0);
+        assert_eq!(h.total_failures(), 4);
+        assert_eq!(h.total_successes(), 1);
+    }
+
+    #[test]
+    fn quarantine_rate_limits_probes() {
+        let mut h = TargetHealth::with_thresholds(1, 2, Duration::from_secs(5));
+        h.record_failure();
+        h.record_failure();
+        assert_eq!(h.state(), HealthState::Quarantined);
+        let t = Duration::from_secs;
+        assert!(h.should_attempt(t(10)), "first probe allowed");
+        assert!(!h.should_attempt(t(11)), "inside probe interval");
+        assert!(!h.should_attempt(t(14)));
+        assert!(h.should_attempt(t(15)), "interval elapsed");
+        assert!(!h.should_attempt(t(16)));
+    }
+
+    #[test]
+    fn healthy_and_degraded_always_attempt() {
+        let mut h = TargetHealth::with_thresholds(1, 3, Duration::from_secs(60));
+        assert!(h.should_attempt(Duration::ZERO));
+        h.record_failure();
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert!(h.should_attempt(Duration::ZERO));
+        assert!(
+            h.should_attempt(Duration::ZERO),
+            "no rate limit outside quarantine"
+        );
+    }
+
+    #[test]
+    fn success_after_probe_restores_full_polling() {
+        let mut h = TargetHealth::with_thresholds(1, 2, Duration::from_secs(5));
+        h.record_failure();
+        h.record_failure();
+        assert!(h.should_attempt(Duration::from_secs(1)));
+        h.record_success();
+        // Fully healthy again: consecutive probes allowed immediately.
+        assert!(h.should_attempt(Duration::from_secs(1)));
+        assert!(h.should_attempt(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(HealthState::Healthy.label(), "healthy");
+        assert_eq!(HealthState::Degraded.label(), "degraded");
+        assert_eq!(HealthState::Quarantined.label(), "quarantined");
+    }
+}

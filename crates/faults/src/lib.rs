@@ -1,0 +1,26 @@
+//! Deterministic fault injection for the measurement plane.
+//!
+//! Both network substrates (the SNMP UDP simulator and the Autopower TCP
+//! meter protocol) consume a [`FaultPlan`]: a seeded, *stateless* oracle
+//! that decides per `(stream, event-index)` whether a datagram/frame is
+//! dropped, delayed, duplicated, corrupted, or the connection torn down.
+//! Because every decision is a pure hash of `(seed, stream, index,
+//! channel)`, the injected fault sequence is reproducible regardless of
+//! thread interleaving — and a test can *predict* exactly which events a
+//! hostile plan will eat ([`FaultPlan::expected_drops`]) and assert that
+//! nothing else went missing.
+//!
+//! The client-side counterparts live here too: [`Backoff`] (exponential
+//! with deterministic jitter) and [`TargetHealth`] (healthy → degraded →
+//! quarantined, with recovery probes), plus the [`crc32`] checksum the
+//! Autopower framing uses to surface corruption as a typed error.
+
+pub mod backoff;
+pub mod crc;
+pub mod health;
+pub mod plan;
+
+pub use backoff::Backoff;
+pub use crc::crc32;
+pub use health::{HealthState, TargetHealth};
+pub use plan::{CrashSchedule, FaultDecision, FaultPlan};

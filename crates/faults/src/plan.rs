@@ -1,0 +1,372 @@
+//! The seeded fault-plan oracle.
+
+use std::time::Duration;
+
+/// Splits a 64-bit state into a well-mixed successor (SplitMix64 core).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64; // FNV-1a
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Independent decision channels: each fault kind draws from its own
+/// hash stream so enabling one never perturbs another.
+#[derive(Debug, Clone, Copy)]
+enum Channel {
+    Drop = 1,
+    Delay = 2,
+    Duplicate = 3,
+    Corrupt = 4,
+    Disconnect = 5,
+}
+
+/// Periodic crash/restart windows for a server: up for `up`, then down
+/// for `down`, repeating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// How long the server stays up in each cycle.
+    pub up: Duration,
+    /// How long the server stays down (crashed) in each cycle.
+    pub down: Duration,
+}
+
+impl CrashSchedule {
+    /// True when `elapsed` since server start falls inside a down window.
+    pub fn is_down(&self, elapsed: Duration) -> bool {
+        let cycle = self.up + self.down;
+        if cycle.is_zero() {
+            return false;
+        }
+        let into = Duration::from_nanos((elapsed.as_nanos() % cycle.as_nanos()) as u64);
+        into >= self.up
+    }
+
+    /// Index of the up/down cycle containing `elapsed` (0-based).
+    pub fn cycle(&self, elapsed: Duration) -> u64 {
+        let cycle = self.up + self.down;
+        if cycle.is_zero() {
+            return 0;
+        }
+        (elapsed.as_nanos() / cycle.as_nanos()) as u64
+    }
+}
+
+/// What the plan decreed for one `(stream, index)` event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Swallow the event entirely.
+    pub drop: bool,
+    /// Deliver the event late by this much.
+    pub delay: Option<Duration>,
+    /// Deliver the event twice.
+    pub duplicate: bool,
+    /// Flip bytes in the payload before delivery.
+    pub corrupt: bool,
+    /// Tear the connection down after this event (stream transports).
+    pub disconnect: bool,
+}
+
+impl FaultDecision {
+    /// A decision that injects nothing.
+    pub const CLEAN: FaultDecision = FaultDecision {
+        drop: false,
+        delay: None,
+        duplicate: false,
+        corrupt: false,
+        disconnect: false,
+    };
+}
+
+/// A seeded, deterministic fault plan.
+///
+/// All rates are probabilities in `[0, 1]`. The plan is cheap to clone
+/// and `Sync`; decisions require no interior state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_rate: f64,
+    delay_rate: f64,
+    max_delay: Duration,
+    duplicate_rate: f64,
+    corrupt_rate: f64,
+    disconnect_rate: f64,
+    crash: Option<CrashSchedule>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing, with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: Duration::ZERO,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+            disconnect_rate: 0.0,
+            crash: None,
+        }
+    }
+
+    /// A plan that never injects anything (seed irrelevant).
+    pub fn clean() -> Self {
+        Self::new(0)
+    }
+
+    /// Drops events with probability `rate`.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = check_rate(rate);
+        self
+    }
+
+    /// Delays events with probability `rate`, up to `max_delay`.
+    pub fn with_delay(mut self, rate: f64, max_delay: Duration) -> Self {
+        self.delay_rate = check_rate(rate);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Duplicates events with probability `rate`.
+    pub fn with_duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate_rate = check_rate(rate);
+        self
+    }
+
+    /// Corrupts event payloads with probability `rate`.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = check_rate(rate);
+        self
+    }
+
+    /// Tears down stream connections after an event with probability
+    /// `rate`.
+    pub fn with_disconnect_rate(mut self, rate: f64) -> Self {
+        self.disconnect_rate = check_rate(rate);
+        self
+    }
+
+    /// Adds periodic server crash/restart windows.
+    pub fn with_crash_schedule(mut self, schedule: CrashSchedule) -> Self {
+        self.crash = Some(schedule);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The crash schedule, when one is configured.
+    pub fn crash_schedule(&self) -> Option<CrashSchedule> {
+        self.crash
+    }
+
+    /// A uniform draw in `[0, 1)` for one (stream, index, channel) cell.
+    fn draw(&self, stream: u64, index: u64, channel: Channel) -> f64 {
+        let mut h = splitmix64(self.seed ^ stream);
+        h = splitmix64(h ^ index.wrapping_mul(0x2545f4914f6cdd1d));
+        h = splitmix64(h ^ channel as u64);
+        // 53 high bits → f64 in [0, 1).
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The full decision for event `index` on `stream`.
+    pub fn decide(&self, stream: &str, index: u64) -> FaultDecision {
+        let s = hash_str(stream);
+        let delay =
+            if self.delay_rate > 0.0 && self.draw(s, index, Channel::Delay) < self.delay_rate {
+                let frac = self.draw(s, index.wrapping_add(1), Channel::Delay);
+                Some(self.max_delay.mul_f64(frac))
+            } else {
+                None
+            };
+        FaultDecision {
+            drop: self.drop_rate > 0.0 && self.draw(s, index, Channel::Drop) < self.drop_rate,
+            delay,
+            duplicate: self.duplicate_rate > 0.0
+                && self.draw(s, index, Channel::Duplicate) < self.duplicate_rate,
+            corrupt: self.corrupt_rate > 0.0
+                && self.draw(s, index, Channel::Corrupt) < self.corrupt_rate,
+            disconnect: self.disconnect_rate > 0.0
+                && self.draw(s, index, Channel::Disconnect) < self.disconnect_rate,
+        }
+    }
+
+    /// Convenience: should event `index` on `stream` be dropped?
+    pub fn should_drop(&self, stream: &str, index: u64) -> bool {
+        self.decide(stream, index).drop
+    }
+
+    /// The exact indices in `0..count` this plan will drop on `stream` —
+    /// the prediction the chaos soak checks observed gaps against.
+    pub fn expected_drops(&self, stream: &str, count: u64) -> Vec<u64> {
+        (0..count)
+            .filter(|&i| self.should_drop(stream, i))
+            .collect()
+    }
+
+    /// Deterministically corrupts `payload` in place for event `index`
+    /// (a handful of byte flips at hash-chosen offsets). Never leaves the
+    /// payload identical to the input for non-empty payloads.
+    pub fn corrupt_bytes(&self, stream: &str, index: u64, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let s = hash_str(stream);
+        let flips = 1 + (splitmix64(self.seed ^ s ^ index) % 3) as usize;
+        for k in 0..flips {
+            let h = splitmix64(self.seed ^ s ^ index ^ (k as u64) << 32);
+            let pos = (h as usize) % payload.len();
+            // XOR with a non-zero mask always changes the byte.
+            let mask = ((h >> 17) as u8) | 1;
+            payload[pos] ^= mask;
+        }
+    }
+
+    /// True when the server governed by this plan is inside a crash
+    /// window `elapsed` after start.
+    pub fn server_down(&self, elapsed: Duration) -> bool {
+        self.crash.map(|c| c.is_down(elapsed)).unwrap_or(false)
+    }
+}
+
+fn check_rate(rate: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "fault rate {rate} outside [0, 1]"
+    );
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_injects_nothing() {
+        let plan = FaultPlan::clean();
+        for i in 0..1000 {
+            assert_eq!(plan.decide("router-1", i), FaultDecision::CLEAN);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::new(42)
+            .with_drop_rate(0.3)
+            .with_corrupt_rate(0.1);
+        let b = a.clone();
+        for i in 0..500 {
+            assert_eq!(a.decide("r", i), b.decide("r", i));
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let plan = FaultPlan::new(7).with_drop_rate(0.5);
+        let a: Vec<bool> = (0..256).map(|i| plan.should_drop("alpha", i)).collect();
+        let b: Vec<bool> = (0..256).map(|i| plan.should_drop("beta", i)).collect();
+        assert_ne!(a, b, "different streams must see different fault patterns");
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honoured() {
+        let plan = FaultPlan::new(99).with_drop_rate(0.2);
+        let drops = plan.expected_drops("r", 10_000).len();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_one_always_fires() {
+        let never = FaultPlan::new(5);
+        let always = FaultPlan::new(5).with_drop_rate(1.0);
+        for i in 0..100 {
+            assert!(!never.should_drop("r", i));
+            assert!(always.should_drop("r", i));
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        // Same seed, drop-only vs corrupt-only: the corrupt pattern must
+        // not mirror the drop pattern.
+        let plan = FaultPlan::new(11)
+            .with_drop_rate(0.3)
+            .with_corrupt_rate(0.3);
+        let drops: Vec<bool> = (0..512).map(|i| plan.decide("r", i).drop).collect();
+        let corrupts: Vec<bool> = (0..512).map(|i| plan.decide("r", i).corrupt).collect();
+        assert_ne!(drops, corrupts);
+    }
+
+    #[test]
+    fn expected_drops_match_decide() {
+        let plan = FaultPlan::new(3).with_drop_rate(0.25);
+        let predicted = plan.expected_drops("r", 200);
+        for i in 0..200 {
+            assert_eq!(predicted.contains(&i), plan.should_drop("r", i));
+        }
+    }
+
+    #[test]
+    fn corruption_always_changes_payload() {
+        let plan = FaultPlan::new(8).with_corrupt_rate(1.0);
+        for i in 0..200 {
+            let original = vec![0xABu8; 16];
+            let mut corrupted = original.clone();
+            plan.corrupt_bytes("r", i, &mut corrupted);
+            assert_ne!(corrupted, original, "event {i} unchanged");
+        }
+        // Empty payloads are left alone (nothing to flip).
+        let mut empty: Vec<u8> = vec![];
+        plan.corrupt_bytes("r", 0, &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn delay_bounded_by_max() {
+        let plan = FaultPlan::new(21).with_delay(1.0, Duration::from_millis(50));
+        for i in 0..200 {
+            let d = plan.decide("r", i).delay.expect("rate 1.0 always delays");
+            assert!(d <= Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn crash_schedule_windows() {
+        let sched = CrashSchedule {
+            up: Duration::from_millis(100),
+            down: Duration::from_millis(30),
+        };
+        assert!(!sched.is_down(Duration::from_millis(0)));
+        assert!(!sched.is_down(Duration::from_millis(99)));
+        assert!(sched.is_down(Duration::from_millis(100)));
+        assert!(sched.is_down(Duration::from_millis(129)));
+        assert!(!sched.is_down(Duration::from_millis(130)));
+        assert_eq!(sched.cycle(Duration::from_millis(0)), 0);
+        assert_eq!(sched.cycle(Duration::from_millis(129)), 0);
+        assert_eq!(sched.cycle(Duration::from_millis(131)), 1);
+        assert_eq!(sched.cycle(Duration::from_millis(260)), 2);
+
+        let plan = FaultPlan::new(1).with_crash_schedule(sched);
+        assert!(plan.server_down(Duration::from_millis(110)));
+        assert!(!plan.server_down(Duration::from_millis(10)));
+        assert!(!FaultPlan::clean().server_down(Duration::from_millis(110)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rate_rejected() {
+        let _ = FaultPlan::new(0).with_drop_rate(1.5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Chaos soak: both measurement planes under a hostile fault plan.
+//!
+//! A multi-router fleet is polled over real UDP while every agent drops,
+//! corrupts, duplicates, and delays datagrams; simultaneously Autopower
+//! units upload to a collection server that corrupts frames, severs
+//! connections, and periodically crashes outright. The soak asserts the
+//! degradation contract end to end:
+//!
+//! * **zero acknowledged samples lost** — every sample pushed into an
+//!   Autopower client is eventually stored by the server, exactly once;
+//! * **missed polls are explicit gaps** — every SNMP poll round ends as
+//!   either a sample or a gap marker, never a fabricated zero;
+//! * **aggregates stay comparable** — the fleet power mean over observed
+//!   intervals lands within 1% of the fault-free baseline.
+//!
+//! The default test is a short smoke run; `chaos_soak_full` turns the
+//! screws (more routers, more rounds) and is `#[ignore]`d for CI's sake —
+//! run it with `cargo test -p fj-faults -- --ignored`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use fj_core::{InterfaceLoad, Speed, TransceiverType};
+use fj_faults::{CrashSchedule, FaultPlan};
+use fj_meter::autopower::protocol::PowerSample;
+use fj_meter::{AutopowerClient, AutopowerServer};
+use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_snmp::mib::oids;
+use fj_snmp::{SnmpAgent, SnmpError, SnmpPoller};
+use fj_units::{Bytes, DataRate, SimDuration, SimInstant, TimeSeries};
+
+/// One router with both a clean and a faulty agent over the same state:
+/// polling the clean twin gives the exact fault-free baseline for the
+/// same instant, so the aggregate comparison is free of model noise.
+struct SoakRouter {
+    router: Arc<Mutex<SimulatedRouter>>,
+    clean: SnmpAgent,
+    faulty: SnmpAgent,
+}
+
+fn spawn_fleet(n: usize, plan: &FaultPlan) -> Vec<SoakRouter> {
+    (0..n)
+        .map(|i| {
+            let mut r = SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 5);
+            r.plug(0, TransceiverType::PassiveDac, Speed::G100).unwrap();
+            r.plug(1, TransceiverType::PassiveDac, Speed::G100).unwrap();
+            r.cable(0, 1).unwrap();
+            r.set_admin(0, true).unwrap();
+            r.set_admin(1, true).unwrap();
+            let router = Arc::new(Mutex::new(r));
+            let clean = SnmpAgent::spawn(Arc::clone(&router)).unwrap();
+            let faulty = SnmpAgent::spawn_with_faults(
+                Arc::clone(&router),
+                plan.clone(),
+                format!("soak-agent-{i}"),
+            )
+            .unwrap();
+            SoakRouter {
+                router,
+                clean,
+                faulty,
+            }
+        })
+        .collect()
+}
+
+/// Total PSU input power by walking the faulted UDP path. Any failure —
+/// timeout after retries, suppression by backoff/health — means the poll
+/// round produced no observation.
+fn poll_power(poller: &mut SnmpPoller, agent: &SnmpAgent) -> Result<f64, SnmpError> {
+    let rows = poller.walk(agent.addr(), &oids::psu_in_power())?;
+    Ok(rows.iter().filter_map(|(_, v)| v.as_f64()).sum())
+}
+
+fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
+    // ≥10% datagram loss on the UDP plane, plus corruption, duplication,
+    // and delay. Each agent sees an independent stream of the same plan.
+    let udp_plan = FaultPlan::new(seed)
+        .with_drop_rate(0.15)
+        .with_corrupt_rate(0.10)
+        .with_duplicate_rate(0.05)
+        .with_delay(0.05, Duration::from_millis(2));
+    // The collection server corrupts frames, severs connections, and
+    // crashes for 60 ms out of every 360 ms.
+    let tcp_plan = FaultPlan::new(seed ^ 0xC0FFEE)
+        .with_corrupt_rate(0.08)
+        .with_disconnect_rate(0.04)
+        .with_crash_schedule(CrashSchedule {
+            up: Duration::from_millis(300),
+            down: Duration::from_millis(60),
+        });
+
+    let fleet = spawn_fleet(n_routers, &udp_plan);
+    let server = AutopowerServer::spawn_with_faults(tcp_plan, "soak-server").unwrap();
+
+    // Two instrumented routers carry Autopower units (the paper deployed
+    // three across the ISP; the ratio is what matters).
+    let n_units = 2.min(n_routers);
+    let mut units: Vec<AutopowerClient> = (0..n_units)
+        .map(|i| {
+            let mut c = AutopowerClient::new(format!("soak-unit-{i}"), server.addr());
+            // A dropped Ack must cost milliseconds, not the 2 s default.
+            c.read_timeout = Duration::from_millis(150);
+            c
+        })
+        .collect();
+
+    let mut poller = SnmpPoller::new().unwrap();
+    poller.timeout = Duration::from_millis(25);
+    poller.retries = 2;
+
+    let mut faulty_total = TimeSeries::new();
+    let mut baseline_total = TimeSeries::new();
+    let mut per_router: Vec<TimeSeries> = (0..n_routers).map(|_| TimeSeries::new()).collect();
+    let mut pushed_watts: f64 = 0.0;
+
+    for round in 0..rounds {
+        let t = SimInstant::from_secs(round);
+        // Drive a slowly varying load so the aggregate comparison is not
+        // trivially constant (power moves a little with traffic).
+        let gbps = 4.0 + 3.0 * ((round as f64) / 20.0).sin();
+        for sr in &fleet {
+            let mut r = sr.router.lock();
+            r.set_load(
+                0,
+                InterfaceLoad::from_rate(DataRate::from_gbps(gbps), Bytes::new(1000.0)),
+            )
+            .unwrap();
+            r.tick(SimDuration::from_secs(1));
+        }
+
+        // Poll every router through both twins.
+        let mut round_total = 0.0;
+        let mut round_missed = false;
+        let mut clean_total = 0.0;
+        for (i, sr) in fleet.iter().enumerate() {
+            clean_total += poll_power(&mut poller, &sr.clean).expect("clean twin never fails");
+            match poll_power(&mut poller, &sr.faulty) {
+                Ok(w) => {
+                    per_router[i].push(t, w);
+                    round_total += w;
+                }
+                Err(_) => {
+                    // Timeout or suppression: an explicit gap, no zeros.
+                    per_router[i].push_gap(t);
+                    round_missed = true;
+                }
+            }
+        }
+        baseline_total.push(t, clean_total);
+        if round_missed {
+            faulty_total.push_gap(t);
+        } else {
+            faulty_total.push(t, round_total);
+        }
+
+        // Autopower units sample the wall and try to upload; failures
+        // leave the samples buffered for a later retransmission.
+        for (u, client) in units.iter_mut().enumerate() {
+            let watts = fleet[u].router.lock().wall_power().as_f64();
+            client.push_sample(PowerSample { at: t, watts });
+            pushed_watts += watts;
+            let _ = client.flush();
+        }
+    }
+
+    // Drain: keep retrying through crash windows until every buffered
+    // sample is acknowledged. Bounded so a regression fails, not hangs.
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(30);
+    for client in &mut units {
+        while client.buffered() > 0 {
+            assert!(
+                std::time::Instant::now() < drain_deadline,
+                "{}: {} samples still buffered at drain deadline",
+                client.unit_id(),
+                client.buffered()
+            );
+            let _ = client.flush();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // --- Contract 1: zero acknowledged samples lost. ---
+    let mut stored_watts = 0.0;
+    for client in &units {
+        let id = client.unit_id();
+        assert_eq!(client.overflowed(), 0, "{id}: no buffer overflow");
+        assert_eq!(
+            server.sample_count(id),
+            rounds as usize,
+            "{id}: every pushed sample stored exactly once"
+        );
+        assert_eq!(server.lost_count(id), 0, "{id}: nothing declared lost");
+        let series = server.samples(id);
+        assert_eq!(series.gap_count(), 0, "{id}: stored record has no holes");
+        stored_watts += series.values().iter().sum::<f64>();
+    }
+    let rel = (stored_watts - pushed_watts).abs() / pushed_watts;
+    assert!(rel < 1e-9, "stored values match pushed values: {rel}");
+
+    // --- Contract 2: every missed poll is an explicit gap. ---
+    let mut missed = 0usize;
+    for (i, series) in per_router.iter().enumerate() {
+        assert_eq!(
+            series.len() + series.gap_count(),
+            rounds as usize,
+            "router {i}: every round is a sample or a gap"
+        );
+        assert!(
+            series.values().iter().all(|&v| v > 0.0),
+            "router {i}: no fabricated zeros"
+        );
+        missed += series.gap_count();
+    }
+    assert!(missed > 0, "the plan injected at least one missed poll");
+
+    // --- Contract 3: aggregates within 1% over observed intervals. ---
+    let until = SimInstant::from_secs(rounds);
+    let faulty_mean = faulty_total
+        .mean_power_observed(until)
+        .expect("some rounds fully observed");
+    let baseline_mean = baseline_total.mean_power_observed(until).unwrap();
+    let rel = (faulty_mean - baseline_mean).abs() / baseline_mean;
+    assert!(
+        rel < 0.01,
+        "observed-interval fleet mean within 1%: \
+         faulty {faulty_mean:.2} W vs baseline {baseline_mean:.2} W ({rel:.4})"
+    );
+
+    for sr in fleet {
+        sr.clean.shutdown();
+        sr.faulty.shutdown();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn chaos_soak_smoke() {
+    run_soak(4, 60, 0x50AC_0001);
+}
+
+#[test]
+#[ignore = "long soak; run with -- --ignored"]
+fn chaos_soak_full() {
+    run_soak(8, 400, 0x50AC_FFFF);
+}

@@ -269,7 +269,10 @@ mod tests {
         for &link_id in &out.slept {
             let (a, b) = fleet.links[link_id];
             for side in [a, b] {
-                let st = fleet.routers[side.router].sim.interface(side.iface).unwrap();
+                let st = fleet.routers[side.router]
+                    .sim
+                    .interface(side.iface)
+                    .unwrap();
                 assert!(!st.admin_up, "slept link is admin-down");
                 assert!(st.transceiver.is_some(), "module remains plugged");
             }

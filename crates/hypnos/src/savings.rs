@@ -59,7 +59,11 @@ pub fn sleeping_savings(outcome: &HypnosOutcome) -> SavingsRange {
 
 fn price_end_low(p_port: &BTreeMap<PortType, Watts>, obs: &LinkObservation, a: bool) -> f64 {
     let class = if a { obs.class_a } else { obs.class_b };
-    p_port.get(&class.port).copied().unwrap_or(Watts::ZERO).as_f64()
+    p_port
+        .get(&class.port)
+        .copied()
+        .unwrap_or(Watts::ZERO)
+        .as_f64()
 }
 
 fn price_end_high(p_port: &BTreeMap<PortType, Watts>, obs: &LinkObservation, a: bool) -> f64 {
@@ -111,7 +115,12 @@ mod tests {
     #[test]
     fn port_averages_cover_common_types() {
         let table = port_type_p_port();
-        for p in [PortType::Sfp, PortType::SfpPlus, PortType::Qsfp28, PortType::Rj45] {
+        for p in [
+            PortType::Sfp,
+            PortType::SfpPlus,
+            PortType::Qsfp28,
+            PortType::Rj45,
+        ] {
             assert!(table.contains_key(&p), "missing {p}");
         }
         // QSFP28's average P_port lands near Table 5's 0.53 W.

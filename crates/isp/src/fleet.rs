@@ -163,6 +163,8 @@ impl Fleet {
 
     /// Index of the first router of the given hardware model, if any.
     pub fn find_model(&self, model: &str) -> Option<usize> {
-        self.routers.iter().position(|r| r.sim.spec().model == model)
+        self.routers
+            .iter()
+            .position(|r| r.sim.spec().model == model)
     }
 }

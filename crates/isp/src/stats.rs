@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn traffic_power_is_tiny() {
         let mut fleet = full_fleet();
-        fleet.advance(fj_units::SimDuration::from_hours(14)).unwrap();
+        fleet
+            .advance(fj_units::SimDuration::from_hours(14))
+            .unwrap();
         let insights = FleetInsights::compute(&fleet);
         // Paper: ≈0.02 % of total power. Allow an order of magnitude.
         assert!(
@@ -203,13 +205,12 @@ mod tests {
         // none are in the switch-like mix).
         assert_eq!(snap.observations.len(), fleet.routers.len() * 2);
         // Loads are low — the §9.3.1 observation.
-        let loads: Vec<f64> = snap
-            .observations
-            .iter()
-            .filter_map(|o| o.load())
-            .collect();
+        let loads: Vec<f64> = snap.observations.iter().filter_map(|o| o.load()).collect();
         let mean_load = loads.iter().sum::<f64>() / loads.len() as f64;
-        assert!((0.03..0.30).contains(&mean_load), "mean PSU load {mean_load}");
+        assert!(
+            (0.03..0.30).contains(&mean_load),
+            "mean PSU load {mean_load}"
+        );
     }
 
     #[test]

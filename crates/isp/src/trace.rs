@@ -1,6 +1,13 @@
 //! Long-horizon trace collection — the synthetic counterpart of the
 //! 10-month SNMP dataset and the 2-month Autopower co-deployment.
+//!
+//! Collection can run under a [`FaultPlan`]: each recorded tick is one
+//! "poll" per router, and the plan's drop channel decides which polls
+//! fail. A failed poll is recorded as an explicit gap on the affected
+//! series — never as a fabricated zero — so gap-aware statistics keep
+//! fleet aggregates comparable between faulty and fault-free runs.
 
+use fj_faults::FaultPlan;
 use fj_router_sim::SimError;
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
@@ -42,6 +49,9 @@ pub struct FleetTrace {
     pub total_reported: TimeSeries,
     /// Total traffic (bit/s), internal links counted once.
     pub total_traffic: TimeSeries,
+    /// Polls that failed under the fault plan and were recorded as gaps
+    /// (SNMP and wall-meter reads combined). Zero for a clean collection.
+    pub missed_polls: u64,
 }
 
 impl FleetTrace {
@@ -62,8 +72,34 @@ pub fn collect(
     start: SimInstant,
     end: SimInstant,
     step: SimDuration,
+    events: Vec<ScheduledEvent>,
+    instrumented: &[usize],
+) -> Result<FleetTrace, SimError> {
+    collect_with_faults(
+        fleet,
+        start,
+        end,
+        step,
+        events,
+        instrumented,
+        &FaultPlan::clean(),
+    )
+}
+
+/// [`collect`] under a fault plan: the plan's drop channel, drawn per
+/// router per tick (streams `"snmp/{router}"` and `"wall/{router}"`),
+/// decides which polls fail. Failed polls become gap markers on the
+/// per-router series, and any tick with at least one failed SNMP poll
+/// turns the fleet-total sample into a gap — the total is unknowable
+/// when a contributor is missing.
+pub fn collect_with_faults(
+    fleet: &mut Fleet,
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
     mut events: Vec<ScheduledEvent>,
     instrumented: &[usize],
+    poll_faults: &FaultPlan,
 ) -> Result<FleetTrace, SimError> {
     assert!(step.is_positive(), "poll period must be positive");
     sort_events(&mut events);
@@ -89,6 +125,19 @@ pub fn collect(
         ..Default::default()
     };
 
+    // Per-router fault-plan streams: one decision per router per tick.
+    let snmp_streams: Vec<String> = fleet
+        .routers
+        .iter()
+        .map(|r| format!("snmp/{}", r.name))
+        .collect();
+    let wall_streams: Vec<String> = fleet
+        .routers
+        .iter()
+        .map(|r| format!("wall/{}", r.name))
+        .collect();
+    let mut poll_index: u64 = 0;
+
     // Prime predictor counters so the first recorded sample has a delta.
     for (i, r) in fleet.routers.iter().enumerate() {
         let _ = predictor.predict_router(i, r, step);
@@ -106,6 +155,7 @@ pub fn collect(
         // Record.
         let mut total_wall = 0.0;
         let mut total_reported = 0.0;
+        let mut reported_unknown = false;
         for (i, router) in fleet.routers.iter_mut().enumerate() {
             let rt = &mut trace.routers[i];
             let wall = router.sim.wall_power().as_f64();
@@ -120,8 +170,16 @@ pub fn collect(
                 }
             }
             if reports {
-                rt.psu_reported.push(t, reported);
-                total_reported += reported;
+                if poll_faults.should_drop(&snmp_streams[i], poll_index) {
+                    // Missed poll: an explicit gap, never a zero. With a
+                    // contributor unknown, the fleet total is unknown too.
+                    rt.psu_reported.push_gap(t);
+                    trace.missed_polls += 1;
+                    reported_unknown = true;
+                } else {
+                    rt.psu_reported.push(t, reported);
+                    total_reported += reported;
+                }
             } else {
                 // Non-reporting models are invisible to the SNMP total —
                 // substitute their wall draw so Fig. 1 stays comparable
@@ -131,7 +189,12 @@ pub fn collect(
             }
 
             if instrumented.contains(&i) {
-                rt.wall.push(t, wall);
+                if poll_faults.should_drop(&wall_streams[i], poll_index) {
+                    rt.wall.push_gap(t);
+                    trace.missed_polls += 1;
+                } else {
+                    rt.wall.push(t, wall);
+                }
             }
 
             let traffic: f64 = router
@@ -150,13 +213,16 @@ pub fn collect(
         }
 
         trace.total_wall.push(t, total_wall);
-        trace.total_reported.push(t, total_reported);
-        trace
-            .total_traffic
-            .push(t, fleet.total_traffic().as_f64());
+        if reported_unknown {
+            trace.total_reported.push_gap(t);
+        } else {
+            trace.total_reported.push(t, total_reported);
+        }
+        trace.total_traffic.push(t, fleet.total_traffic().as_f64());
 
         fleet.advance(step)?;
         t += step;
+        poll_index += 1;
     }
 
     Ok(trace)
@@ -256,11 +322,78 @@ mod tests {
     }
 
     #[test]
+    fn failed_polls_become_gaps_not_zeros() {
+        let mut fleet = build_fleet(&FleetConfig::small(11));
+        let plan = FaultPlan::new(0x90115).with_drop_rate(0.2);
+        let trace = collect_with_faults(
+            &mut fleet,
+            SimInstant::EPOCH,
+            SimInstant::from_days(1),
+            SimDuration::from_mins(5),
+            vec![],
+            &[0],
+            &plan,
+        )
+        .unwrap();
+        let ticks = 24 * 12 - 1;
+
+        assert!(trace.missed_polls > 0, "plan injected failures");
+        // Every reporting router's tick is either a sample or a gap.
+        let mut router_gaps = 0;
+        for rt in &trace.routers {
+            if rt.psu_reported.is_empty() && !rt.psu_reported.has_gaps() {
+                continue; // non-reporting model
+            }
+            assert_eq!(rt.psu_reported.len() + rt.psu_reported.gap_count(), ticks);
+            router_gaps += rt.psu_reported.gap_count();
+        }
+        assert!(router_gaps > 0, "some SNMP polls failed");
+        // No fabricated zeros anywhere.
+        for rt in &trace.routers {
+            assert!(rt.psu_reported.values().iter().all(|&v| v > 0.0));
+        }
+        // A missing contributor makes the fleet total a gap for that tick.
+        assert_eq!(
+            trace.total_reported.len() + trace.total_reported.gap_count(),
+            ticks
+        );
+        assert!(trace.total_reported.has_gaps());
+        // Wall meter on the instrumented router also degrades to gaps.
+        let wall = &trace.routers[0].wall;
+        assert_eq!(wall.len() + wall.gap_count(), ticks);
+
+        // Aggregates over observed intervals stay comparable to a clean
+        // collection: random misses shrink the denominator, they do not
+        // drag the average down.
+        let mut clean_fleet = build_fleet(&FleetConfig::small(11));
+        let clean = collect(
+            &mut clean_fleet,
+            SimInstant::EPOCH,
+            SimInstant::from_days(1),
+            SimDuration::from_mins(5),
+            vec![],
+            &[0],
+        )
+        .unwrap();
+        let until = SimInstant::from_days(1);
+        let faulty_mean = trace.total_reported.mean_power_observed(until).unwrap();
+        let clean_mean = clean.total_reported.mean_power_observed(until).unwrap();
+        let rel = (faulty_mean - clean_mean).abs() / clean_mean;
+        assert!(
+            rel < 0.01,
+            "observed-interval mean within 1%: faulty {faulty_mean:.1} vs clean {clean_mean:.1}"
+        );
+    }
+
+    #[test]
     fn traffic_total_positive_and_diurnal() {
         let (_, trace) = day_trace(vec![]);
         let night = trace
             .total_traffic
-            .slice(SimInstant::from_secs(2 * 3600), SimInstant::from_secs(4 * 3600))
+            .slice(
+                SimInstant::from_secs(2 * 3600),
+                SimInstant::from_secs(4 * 3600),
+            )
             .mean()
             .unwrap();
         let afternoon = trace

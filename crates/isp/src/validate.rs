@@ -44,8 +44,7 @@ impl SourceComparison {
             return None;
         }
         let offset_w = joined_s.mean_diff(&joined_r).ok()?;
-        let shape_correlation =
-            correlation(&joined_s.values(), &joined_r.values()).ok()?;
+        let shape_correlation = correlation(&joined_s.values(), &joined_r.values()).ok()?;
         let residuals: Vec<f64> = joined_s
             .sub(&joined_r)
             .values()
@@ -92,9 +91,8 @@ mod tests {
         // The Fig. 4a PSU behaviour: same shape, +17 W.
         let reference = wavy(360.0, 5.0, 600);
         let source = reference.map(|v| v + 17.0);
-        let cmp =
-            SourceComparison::compute(&source, &reference, SimDuration::from_mins(30))
-                .expect("overlap");
+        let cmp = SourceComparison::compute(&source, &reference, SimDuration::from_mins(30))
+            .expect("overlap");
         assert!((cmp.offset_w - 17.0).abs() < 1e-9);
         assert!(cmp.shape_correlation > 0.999);
         assert!(cmp.residual_std_w < 1e-9);
@@ -108,19 +106,21 @@ mod tests {
         // The Fig. 4b behaviour: a pseudo-constant that ignores the shape.
         let reference = wavy(400.0, 5.0, 600);
         let source = wavy(405.0, 0.0, 600);
-        let cmp =
-            SourceComparison::compute(&source, &reference, SimDuration::from_mins(30))
-                .expect("overlap");
-        assert!(cmp.shape_correlation.abs() < 0.2, "{}", cmp.shape_correlation);
+        let cmp = SourceComparison::compute(&source, &reference, SimDuration::from_mins(30))
+            .expect("overlap");
+        assert!(
+            cmp.shape_correlation.abs() < 0.2,
+            "{}",
+            cmp.shape_correlation
+        );
         assert!(!cmp.is_precise(0.9));
     }
 
     #[test]
     fn perfect_source_is_both() {
         let reference = wavy(100.0, 2.0, 600);
-        let cmp =
-            SourceComparison::compute(&reference, &reference, SimDuration::from_mins(30))
-                .expect("overlap");
+        let cmp = SourceComparison::compute(&reference, &reference, SimDuration::from_mins(30))
+            .expect("overlap");
         assert_eq!(cmp.offset_w, 0.0);
         assert!(cmp.is_precise(0.999) && cmp.is_accurate(0.1));
     }
@@ -136,8 +136,6 @@ mod tests {
         .is_none());
         // Tiny overlap.
         let short = wavy(100.0, 2.0, 1);
-        assert!(
-            SourceComparison::compute(&short, &short, SimDuration::from_mins(30)).is_none()
-        );
+        assert!(SourceComparison::compute(&short, &short, SimDuration::from_mins(30)).is_none());
     }
 }

@@ -1,29 +1,60 @@
 //! The Autopower client: local buffering, batched uploads, reconnects.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use fj_faults::Backoff;
 
 use super::protocol::{read_message, write_message, Message, PowerSample, ProtoError};
+
+/// What [`AutopowerClient::push_sample`] does when the local buffer is
+/// full. Either way the loss is *explicit*: the dropped-sample counter
+/// advances and, for [`DropOldest`](OverflowPolicy::DropOldest), the
+/// sequence numbers skip the evicted range so the server-side record
+/// shows a gap instead of silently re-numbered data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Evict the oldest unacknowledged sample to make room (keep the
+    /// freshest data — the default; a long outage degrades history, not
+    /// liveness).
+    DropOldest,
+    /// Refuse the new sample (keep the oldest contiguous history).
+    DropNewest,
+}
 
 /// An Autopower measurement unit's upload logic.
 ///
 /// Samples are appended with [`AutopowerClient::push_sample`] — that never
-/// fails and never blocks on the network. [`AutopowerClient::flush`]
+/// fails and never blocks on the network; once the bounded buffer is full
+/// the configured [`OverflowPolicy`] applies. [`AutopowerClient::flush`]
 /// uploads everything not yet acknowledged; on failure the samples stay
-/// buffered and a later flush (possibly after the server comes back)
-/// retransmits them. The server deduplicates by sequence number, so a
-/// flush that died after the server stored the batch but before the ack
-/// arrived does not duplicate data.
+/// buffered, a reconnect backoff window opens, and flushes inside the
+/// window short-circuit with [`ProtoError::Backoff`] instead of dialing a
+/// server that was just observed dead. The server deduplicates by
+/// sequence number, so a flush that died after the server stored the
+/// batch but before the ack arrived does not duplicate data.
 pub struct AutopowerClient {
     unit_id: String,
-    server: SocketAddr,
+    pub(crate) server: SocketAddr,
     /// All samples not yet acknowledged; `base_seq` is the sequence number
     /// of `buffer[0]`.
-    buffer: Vec<PowerSample>,
+    buffer: VecDeque<PowerSample>,
     base_seq: u64,
+    /// Maximum samples held locally.
+    max_buffered: usize,
+    overflow_policy: OverflowPolicy,
+    /// Samples evicted (or refused) because the buffer was full.
+    overflowed: u64,
     /// Whether the server last told us to measure.
     measuring: bool,
     conn: Option<Connection>,
+    /// Socket read timeout: a server that crashes mid-round-trip must not
+    /// hang the flush loop forever.
+    pub read_timeout: Duration,
+    backoff: Backoff,
+    epoch: Instant,
 }
 
 struct Connection {
@@ -31,18 +62,49 @@ struct Connection {
     writer: BufWriter<TcpStream>,
 }
 
+/// Default bound on locally buffered samples. At the paper's 2-second
+/// Autopower sampling cadence this is over a week of outage.
+pub const DEFAULT_MAX_BUFFERED: usize = 400_000;
+
 impl AutopowerClient {
     /// Creates a client for `unit_id` that will dial `server`. No
     /// connection is made until the first flush (or [`AutopowerClient::connect`]).
     pub fn new(unit_id: impl Into<String>, server: SocketAddr) -> Self {
+        let unit_id = unit_id.into();
+        let seed = unit_id.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         Self {
-            unit_id: unit_id.into(),
+            unit_id,
             server,
-            buffer: Vec::new(),
+            buffer: VecDeque::new(),
             base_seq: 0,
+            max_buffered: DEFAULT_MAX_BUFFERED,
+            overflow_policy: OverflowPolicy::DropOldest,
+            overflowed: 0,
             measuring: true,
             conn: None,
+            read_timeout: Duration::from_secs(2),
+            // Reconnect schedule: 50 ms doubling to 5 s, jittered per
+            // unit so a fleet doesn't stampede a restarting server.
+            backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(5))
+                .with_seed(seed),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Overrides the buffer bound and overflow policy.
+    pub fn with_buffer_limit(mut self, max: usize, policy: OverflowPolicy) -> Self {
+        assert!(max > 0, "buffer limit must be positive");
+        self.max_buffered = max;
+        self.overflow_policy = policy;
+        self
+    }
+
+    /// Overrides the reconnect backoff schedule.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
     }
 
     /// The unit identifier.
@@ -61,10 +123,44 @@ impl AutopowerClient {
         self.buffer.len()
     }
 
+    /// Samples lost to buffer overflow since creation.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Whether the next flush would short-circuit on the reconnect
+    /// backoff window.
+    pub fn in_backoff(&self) -> bool {
+        self.backoff.in_backoff(self.epoch.elapsed())
+    }
+
+    /// Retargets the client at a different server address (e.g. the
+    /// collection endpoint moved) and clears the backoff window: the new
+    /// address has not failed yet.
+    pub fn set_server(&mut self, server: SocketAddr) {
+        self.server = server;
+        self.conn = None;
+        self.backoff.reset();
+    }
+
     /// Records a measurement locally. Infallible by design: measurement
-    /// must survive network and server outages (§6.1).
+    /// must survive network and server outages (§6.1). When the bounded
+    /// buffer is full the [`OverflowPolicy`] decides which sample is
+    /// sacrificed, and [`AutopowerClient::overflowed`] counts the loss.
     pub fn push_sample(&mut self, sample: PowerSample) {
-        self.buffer.push(sample);
+        if self.buffer.len() >= self.max_buffered {
+            self.overflowed += 1;
+            match self.overflow_policy {
+                OverflowPolicy::DropOldest => {
+                    self.buffer.pop_front();
+                    // The evicted sample's sequence number is consumed:
+                    // the server will see a gap, never wrong data.
+                    self.base_seq += 1;
+                }
+                OverflowPolicy::DropNewest => return,
+            }
+        }
+        self.buffer.push_back(sample);
     }
 
     /// Establishes (or re-establishes) the connection and performs the
@@ -72,6 +168,7 @@ impl AutopowerClient {
     pub fn connect(&mut self) -> Result<(), ProtoError> {
         let stream = TcpStream::connect(self.server)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
         let mut conn = Connection {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -97,15 +194,27 @@ impl AutopowerClient {
     }
 
     /// Uploads all buffered samples and waits for the acknowledgement.
-    /// On any error the connection is dropped and the buffer kept; a
-    /// later call reconnects and retransmits.
+    ///
+    /// On any error the connection is dropped, the buffer kept, and a
+    /// backoff window opened; calls inside the window return
+    /// [`ProtoError::Backoff`] immediately without dialing the server
+    /// (checking costs nothing; a full dial-and-timeout per sample push
+    /// cadence would). A later call past the window reconnects and
+    /// retransmits.
     pub fn flush(&mut self) -> Result<(), ProtoError> {
         if self.buffer.is_empty() {
             return Ok(());
         }
+        if self.conn.is_none() && self.in_backoff() {
+            return Err(ProtoError::Backoff);
+        }
         let result = self.try_flush();
-        if result.is_err() {
-            self.conn = None; // force reconnect next time
+        match &result {
+            Ok(()) => self.backoff.reset(),
+            Err(_) => {
+                self.conn = None; // force reconnect next time
+                self.backoff.next_delay(self.epoch.elapsed());
+            }
         }
         result
     }
@@ -119,7 +228,7 @@ impl AutopowerClient {
         }
         let msg = Message::Upload {
             first_seq: self.base_seq,
-            samples: self.buffer.clone(),
+            samples: self.buffer.iter().copied().collect(),
         };
         let conn = self.conn.as_mut().expect("connected above");
         write_message(&mut conn.writer, &msg)?;
@@ -200,15 +309,88 @@ mod tests {
         }
         assert!(client.flush().is_err());
         assert_eq!(client.buffered(), 50, "failed flush must keep data");
+        assert!(client.in_backoff(), "failure opens a backoff window");
 
         // Server appears; retarget and retry (in reality the address is
-        // fixed and the server process returns — same code path).
+        // fixed and the server process returns — same code path, and
+        // set_server clears the backoff window for the fresh address).
         let server = AutopowerServer::spawn().unwrap();
-        client.server = server.addr();
+        client.set_server(server.addr());
         client.flush().unwrap();
         assert_eq!(client.buffered(), 0);
         assert_eq!(server.sample_count("unit-3"), 50);
         server.shutdown();
+    }
+
+    #[test]
+    fn flush_short_circuits_during_backoff() {
+        let dead_addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut client = AutopowerClient::new("unit-bo", dead_addr);
+        client.push_sample(sample(0, 1.0));
+        assert!(client.flush().is_err());
+        assert!(client.in_backoff());
+
+        // Inside the window: no dialing, immediate typed error.
+        let t0 = Instant::now();
+        match client.flush() {
+            Err(ProtoError::Backoff) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(20),
+            "backoff flush dialed the network: {:?}",
+            t0.elapsed()
+        );
+
+        // Past the window: a real (failing) attempt happens again and the
+        // window grows.
+        while client.in_backoff() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        match client.flush() {
+            Err(ProtoError::Io(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(client.buffered(), 1);
+    }
+
+    #[test]
+    fn bounded_buffer_drop_oldest_leaves_gap() {
+        let dead_addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut client = AutopowerClient::new("unit-of", dead_addr)
+            .with_buffer_limit(10, OverflowPolicy::DropOldest);
+        for i in 0..25 {
+            client.push_sample(sample(i, i as f64));
+        }
+        assert_eq!(client.buffered(), 10, "bounded");
+        assert_eq!(client.overflowed(), 15);
+        // The freshest samples won; their sequence numbers skipped ahead.
+        assert_eq!(client.base_seq, 15);
+        assert_eq!(client.buffer.front().unwrap().watts, 15.0);
+
+        // The server's record starts at the gap, never renumbered.
+        let server = AutopowerServer::spawn().unwrap();
+        client.set_server(server.addr());
+        client.flush().unwrap();
+        assert_eq!(server.sample_count("unit-of"), 10);
+        assert_eq!(server.lost_count("unit-of"), 15);
+        // The loss is visible as an explicit gap on the stored series.
+        assert_eq!(server.samples("unit-of").gap_count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bounded_buffer_drop_newest_keeps_history() {
+        let dead_addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut client = AutopowerClient::new("unit-on", dead_addr)
+            .with_buffer_limit(10, OverflowPolicy::DropNewest);
+        for i in 0..25 {
+            client.push_sample(sample(i, i as f64));
+        }
+        assert_eq!(client.buffered(), 10);
+        assert_eq!(client.overflowed(), 15);
+        assert_eq!(client.base_seq, 0, "oldest history intact");
+        assert_eq!(client.buffer.back().unwrap().watts, 9.0);
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! unit (deduplicating by sequence number), and piggybacks the desired
 //! measuring state on every acknowledgement — the remote-control path of
 //! the paper's web interface.
+//!
+//! For chaos testing the server can run under a [`FaultPlan`]: inbound
+//! frames are dropped or corrupted per the plan's decisions, connections
+//! torn down mid-stream, and periodic crash/restart windows make the
+//! whole server unreachable — while clients' buffering, backoff, and
+//! retransmission keep the acknowledged record lossless.
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -11,12 +17,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use fj_units::{SimInstant, TimeSeries};
+use fj_faults::FaultPlan;
+use fj_units::{SimDuration, SimInstant, TimeSeries};
 
-use super::protocol::{read_message, write_message, Message, ProtoError};
+use super::protocol::{decode_frame, read_frame, write_message, Message, ProtoError};
 
 /// One row of the operator status view — the data behind the web
 /// interface of Fig. 7 ("conveniently start/stop measurements or download
@@ -31,14 +39,23 @@ pub struct UnitStatus {
     pub last_sample_at: Option<SimInstant>,
     /// Whether the unit is currently told to measure.
     pub measuring: bool,
+    /// Samples the unit declared irrecoverably lost (buffer overflow on
+    /// the client): sequence numbers acknowledged without data.
+    pub lost_samples: u64,
 }
 
 /// Per-unit storage: contiguous samples plus the desired measuring state.
 #[derive(Debug)]
 struct UnitStore {
     samples: Vec<super::protocol::PowerSample>,
-    /// Highest contiguous sequence number stored (= samples.len() as u64).
+    /// Highest contiguous acknowledged sequence number (= samples stored
+    /// + samples declared lost).
     acked_seq: u64,
+    /// Sequence numbers acknowledged without data (client overflow).
+    lost_samples: u64,
+    /// Gap markers for the lost stretches, surfaced on the
+    /// [`AutopowerServer::samples`] time series.
+    gap_marks: Vec<SimInstant>,
     measuring: bool,
 }
 
@@ -47,6 +64,8 @@ impl Default for UnitStore {
         Self {
             samples: Vec::new(),
             acked_seq: 0,
+            lost_samples: 0,
+            gap_marks: Vec::new(),
             // Units measure by default: deployment is plug-and-play and
             // "the power measurement start[s] automatically on boot" (§6.1).
             measuring: true,
@@ -58,6 +77,22 @@ impl Default for UnitStore {
 #[derive(Default)]
 struct Shared {
     units: Mutex<HashMap<String, UnitStore>>,
+}
+
+/// Fault-injection context shared by all connection workers.
+struct FaultCtx {
+    plan: FaultPlan,
+    /// Fault-plan stream prefix; each connection derives its stream as
+    /// `"{prefix}/{connection_index}"`.
+    stream_prefix: String,
+    started: Instant,
+}
+
+impl FaultCtx {
+    /// Whether the server is inside a scheduled crash window.
+    fn down(&self) -> bool {
+        self.plan.server_down(self.started.elapsed())
+    }
 }
 
 /// A running Autopower server bound to a loopback port.
@@ -76,10 +111,26 @@ pub struct AutopowerServer {
 impl AutopowerServer {
     /// Binds to an ephemeral loopback port and starts accepting clients.
     pub fn spawn() -> std::io::Result<AutopowerServer> {
+        Self::spawn_with_faults(FaultPlan::clean(), "autopower-server")
+    }
+
+    /// Fault-injecting variant: inbound frames and connections suffer
+    /// `plan`'s decisions, and its crash schedule (if any) periodically
+    /// takes the whole server down — connections are severed and new
+    /// ones rejected until the window passes.
+    pub fn spawn_with_faults(
+        plan: FaultPlan,
+        stream_prefix: impl Into<String>,
+    ) -> std::io::Result<AutopowerServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let faults = Arc::new(FaultCtx {
+            plan,
+            stream_prefix: stream_prefix.into(),
+            started: Instant::now(),
+        });
 
         let accept_shared = Arc::clone(&shared);
         let accept_stop = Arc::clone(&stop);
@@ -88,17 +139,37 @@ impl AutopowerServer {
             listener
                 .set_nonblocking(true)
                 .expect("nonblocking listener");
+            let mut connection_index: u64 = 0;
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if faults.down() {
+                            // Crashed: sever immediately. (A truly dead
+                            // process would refuse the SYN; closing the
+                            // accepted socket is the closest loopback
+                            // equivalent and exercises the same client
+                            // paths.)
+                            drop(stream);
+                            continue;
+                        }
                         let conn_shared = Arc::clone(&accept_shared);
+                        let conn_faults = Arc::clone(&faults);
+                        let conn_stop = Arc::clone(&accept_stop);
+                        let index = connection_index;
+                        connection_index += 1;
                         // Detached: exits when the client disconnects.
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, conn_shared);
+                            let _ = serve_connection(
+                                stream,
+                                conn_shared,
+                                conn_faults,
+                                conn_stop,
+                                index,
+                            );
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        std::thread::sleep(Duration::from_millis(2));
                     }
                     Err(_) => break,
                 }
@@ -125,11 +196,20 @@ impl AutopowerServer {
         units.entry(unit_id.to_owned()).or_default().measuring = measuring;
     }
 
-    /// All samples stored for a unit, as a time series (watts).
+    /// All samples stored for a unit, as a time series (watts). Stretches
+    /// the client declared lost (buffer overflow) appear as explicit gap
+    /// markers, so downstream energy statistics skip them instead of
+    /// holding a stale value across the hole.
     pub fn samples(&self, unit_id: &str) -> TimeSeries {
         let units = self.shared.units.lock();
         match units.get(unit_id) {
-            Some(store) => store.samples.iter().map(|s| (s.at, s.watts)).collect(),
+            Some(store) => {
+                let mut ts: TimeSeries = store.samples.iter().map(|s| (s.at, s.watts)).collect();
+                for &g in &store.gap_marks {
+                    ts.push_gap(g);
+                }
+                ts
+            }
             None => TimeSeries::new(),
         }
     }
@@ -141,6 +221,15 @@ impl AutopowerServer {
             .lock()
             .get(unit_id)
             .map_or(0, |s| s.samples.len())
+    }
+
+    /// Samples `unit_id` declared irrecoverably lost (client overflow).
+    pub fn lost_count(&self, unit_id: &str) -> u64 {
+        self.shared
+            .units
+            .lock()
+            .get(unit_id)
+            .map_or(0, |s| s.lost_samples)
     }
 
     /// Known unit ids, sorted.
@@ -161,6 +250,7 @@ impl AutopowerServer {
                 samples: store.samples.len(),
                 last_sample_at: store.samples.last().map(|s| s.at),
                 measuring: store.measuring,
+                lost_samples: store.lost_samples,
             })
             .collect();
         rows.sort_by(|a, b| a.unit_id.cmp(&b.unit_id));
@@ -185,13 +275,64 @@ impl Drop for AutopowerServer {
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoError> {
+fn serve_connection(
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    faults: Arc<FaultCtx>,
+    stop: Arc<AtomicBool>,
+    connection_index: u64,
+) -> Result<(), ProtoError> {
     stream.set_nodelay(true)?;
+    // A bounded read timeout lets the worker observe crash windows and
+    // server shutdown instead of blocking in read forever.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let fault_stream = format!("{}/{}", faults.stream_prefix, connection_index);
+    let mut frame_index: u64 = 0;
+
+    // Reads one frame, honouring timeouts (to poll the crash window) and
+    // per-frame fault decisions.
+    let mut next_message = |reader: &mut BufReader<TcpStream>| -> Result<Message, ProtoError> {
+        loop {
+            if faults.down() || stop.load(Ordering::Relaxed) {
+                // Crashed (or shutting down): sever mid-stream.
+                return Err(ProtoError::UnexpectedEof);
+            }
+            let mut frame = match read_frame(reader) {
+                Ok(f) => f,
+                Err(ProtoError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue; // idle poll tick
+                }
+                Err(e) => return Err(e),
+            };
+            let decision = faults.plan.decide(&fault_stream, frame_index);
+            frame_index += 1;
+            if decision.drop {
+                continue; // frame eaten in flight; client will time out
+            }
+            if let Some(d) = decision.delay {
+                std::thread::sleep(d);
+            }
+            if decision.corrupt {
+                faults
+                    .plan
+                    .corrupt_bytes(&fault_stream, frame_index - 1, &mut frame.body);
+            }
+            if decision.disconnect {
+                return Err(ProtoError::UnexpectedEof);
+            }
+            // A corrupted frame surfaces as BadCrc here; the caller drops
+            // the connection, the client retransmits after backoff.
+            return decode_frame(&frame);
+        }
+    };
 
     // First frame must identify the unit.
-    let unit_id = match read_message(&mut reader)? {
+    let unit_id = match next_message(&mut reader)? {
         Message::Hello { unit_id } => unit_id,
         _ => return Ok(()), // protocol violation; drop silently
     };
@@ -208,21 +349,38 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoE
     }
 
     loop {
-        match read_message(&mut reader) {
+        match next_message(&mut reader) {
             Ok(Message::Upload { first_seq, samples }) => {
                 let mut units = shared.units.lock();
                 let store = units.entry(unit_id.clone()).or_default();
-                // Deduplicate: accept only the part beyond what we have.
                 let have = store.acked_seq;
                 if first_seq <= have {
+                    // Overlap: accept only the part beyond what we have.
                     let skip = (have - first_seq) as usize;
                     for s in samples.iter().skip(skip) {
                         store.samples.push(*s);
                     }
                     store.acked_seq = have.max(first_seq + samples.len() as u64);
+                } else {
+                    // The client skipped ahead: sequence numbers
+                    // [have, first_seq) were lost to buffer overflow and
+                    // will never arrive. Record the loss explicitly and
+                    // accept the new data — refusing it would deadlock
+                    // the unit forever. The gap mark ends the last
+                    // sample's hold right after it, keeping the lost
+                    // stretch out of energy integrals.
+                    store.lost_samples += first_seq - have;
+                    let mark = match (store.samples.last(), samples.first()) {
+                        (Some(prev), _) => prev.at + SimDuration::from_secs(1),
+                        (None, Some(first)) => first.at,
+                        (None, None) => SimInstant::EPOCH,
+                    };
+                    if store.gap_marks.last().is_none_or(|&g| mark >= g) {
+                        store.gap_marks.push(mark);
+                    }
+                    store.samples.extend(samples.iter().copied());
+                    store.acked_seq = first_seq + samples.len() as u64;
                 }
-                // Uploads from the future (a gap) are not acceptable; the
-                // ack tells the client where to resume.
                 let reply = Message::Ack {
                     acked_seq: store.acked_seq,
                     measuring: store.measuring,

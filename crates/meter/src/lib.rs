@@ -20,7 +20,7 @@
 pub mod autopower;
 pub mod mcp39f511n;
 
-pub use autopower::client::AutopowerClient;
+pub use autopower::client::{AutopowerClient, OverflowPolicy};
 pub use autopower::protocol::{read_message, write_message, Message, PowerSample, ProtoError};
 pub use autopower::server::{AutopowerServer, UnitStatus};
 pub use mcp39f511n::{Mcp39F511N, MeterChannel};

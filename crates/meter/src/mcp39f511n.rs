@@ -77,11 +77,7 @@ impl Mcp39F511N {
     ///
     /// This is the workhorse of the lab experiments: configure the DUT,
     /// then `measure_for` long enough to average the noise away.
-    pub fn measure_for(
-        &self,
-        router: &mut SimulatedRouter,
-        duration: SimDuration,
-    ) -> TimeSeries {
+    pub fn measure_for(&self, router: &mut SimulatedRouter, duration: SimDuration) -> TimeSeries {
         let mut out = TimeSeries::new();
         let end = router.now() + duration;
         while router.now() < end {
@@ -103,8 +99,7 @@ fn gauss(seed: u64, index: u64) -> f64 {
         z ^= z >> 31;
         (z >> 11) as f64 / (1u64 << 53) as f64
     };
-    (h(index.wrapping_mul(3)) + h(index.wrapping_mul(3) + 1) + h(index.wrapping_mul(3) + 2)
-        - 1.5)
+    (h(index.wrapping_mul(3)) + h(index.wrapping_mul(3) + 1) + h(index.wrapping_mul(3) + 2) - 1.5)
         / 0.5
 }
 

@@ -21,9 +21,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             measuring,
             acked_seq
         }),
-        (any::<u64>(), prop::collection::vec(arb_sample(), 0..64)).prop_map(
-            |(first_seq, samples)| Message::Upload { first_seq, samples }
-        ),
+        (any::<u64>(), prop::collection::vec(arb_sample(), 0..64))
+            .prop_map(|(first_seq, samples)| Message::Upload { first_seq, samples }),
         (any::<u64>(), any::<bool>()).prop_map(|(acked_seq, measuring)| Message::Ack {
             acked_seq,
             measuring
@@ -60,6 +59,50 @@ proptest! {
     #[test]
     fn reader_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = read_message(&mut Cursor::new(bytes));
+    }
+
+    /// Arbitrary (length, crc) headers over a short real payload never
+    /// panic and never allocate the stated length up front: a hostile
+    /// 4 GiB-minus-one length costs only the bytes actually present.
+    #[test]
+    fn reader_survives_hostile_headers(
+        len in any::<u32>(),
+        crc in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut buf = Vec::with_capacity(8 + payload.len());
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(&crc.to_be_bytes());
+        buf.extend_from_slice(&payload);
+        // Must return promptly — truncated, oversized, CRC-mismatched,
+        // or (rarely) malformed — without ballooning memory.
+        let _ = read_message(&mut Cursor::new(buf));
+    }
+
+    /// Truncating a valid frame anywhere yields an error, never a panic
+    /// or a silently wrong message.
+    #[test]
+    fn truncated_valid_frames_fail_cleanly(msg in arb_message(), cut_fraction in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).expect("writes");
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < buf.len());
+        prop_assert!(read_message(&mut Cursor::new(&buf[..cut])).is_err());
+    }
+
+    /// Any body byte flipped in flight surfaces as BadCrc — corruption
+    /// can never masquerade as data.
+    #[test]
+    fn body_corruption_is_bad_crc(msg in arb_message(), pos in any::<usize>(), mask in 1u8..=255) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).expect("writes");
+        prop_assume!(buf.len() > 8);
+        let body_pos = 8 + pos % (buf.len() - 8);
+        buf[body_pos] ^= mask;
+        prop_assert!(matches!(
+            read_message(&mut Cursor::new(buf)),
+            Err(fj_meter::ProtoError::BadCrc { .. })
+        ));
     }
 
     /// Meter readings always honour the configured accuracy bound.

@@ -88,29 +88,23 @@ mod tests {
 
     #[test]
     fn quick_config_zeroes_psu_variability() {
-        let c = DerivationConfig::quick(
-            "8201-32FH",
-            TransceiverType::PassiveDac,
-            Speed::G100,
-        )
-        .unwrap();
+        let c =
+            DerivationConfig::quick("8201-32FH", TransceiverType::PassiveDac, Speed::G100).unwrap();
         assert_eq!(c.spec.psu_eff_offset_std, 0.0, "unit spread zeroed");
         // The model-typical mean is kept: the lab unit is representative.
         assert_eq!(
             c.spec.psu_eff_offset_mean,
-            RouterSpec::builtin("8201-32FH").unwrap().psu_eff_offset_mean
+            RouterSpec::builtin("8201-32FH")
+                .unwrap()
+                .psu_eff_offset_mean
         );
         assert_eq!(c.interfaces(), 8);
     }
 
     #[test]
     fn thorough_uses_more_pairs() {
-        let c = DerivationConfig::thorough(
-            "8201-32FH",
-            TransceiverType::PassiveDac,
-            Speed::G100,
-        )
-        .unwrap();
+        let c = DerivationConfig::thorough("8201-32FH", TransceiverType::PassiveDac, Speed::G100)
+            .unwrap();
         assert!(c.pairs > 4);
         assert!(c.interfaces() <= c.spec.port_count());
     }

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use fj_core::{InterfaceClass, InterfaceParams, PowerModel};
 use fj_router_sim::SimError;
 use fj_traffic::ETHERNET_OVERHEAD_BYTES;
-use fj_units::{
-    linear_regression, EnergyPerBit, EnergyPerPacket, StatsError, Watts,
-};
+use fj_units::{linear_regression, EnergyPerBit, EnergyPerPacket, StatsError, Watts};
 
 use crate::config::DerivationConfig;
 use crate::experiments::LabBench;
@@ -195,11 +193,8 @@ impl Derivation {
         if !p_base.is_finite() || p_base <= 0.0 {
             return Err(BenchError::Unphysical(format!("P_base = {p_base}")));
         }
-        let class = InterfaceClass::new(
-            config.spec.ports[0].port,
-            config.transceiver,
-            config.speed,
-        );
+        let class =
+            InterfaceClass::new(config.spec.ports[0].port, config.transceiver, config.speed);
         let params = InterfaceParams {
             p_port: Watts::new(p_port),
             p_trx_in: Watts::new(p_trx_in),
@@ -248,7 +243,11 @@ mod tests {
         let p = derived.params();
 
         assert!((derived.model.p_base.as_f64() - 253.0).abs() < 0.5);
-        assert!((p.p_port.as_f64() - 0.94).abs() < 0.08, "P_port {}", p.p_port);
+        assert!(
+            (p.p_port.as_f64() - 0.94).abs() < 0.08,
+            "P_port {}",
+            p.p_port
+        );
         assert!(
             (p.p_trx_in.as_f64() - 0.35).abs() < 0.08,
             "P_trx_in {}",

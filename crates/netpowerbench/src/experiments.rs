@@ -80,7 +80,7 @@ impl LabBench {
         accuracy: f64,
     ) -> Result<Self, SimError> {
         let router = SimulatedRouter::new(config.spec.clone(), seed);
-        let meter = Mcp39F511N::with_accuracy(seed ^ 0x4D45_5445_52, accuracy); // "METER"
+        let meter = Mcp39F511N::with_accuracy(seed ^ 0x004D_4554_4552, accuracy); // "METER"
         Ok(Self {
             router,
             meter,
@@ -253,7 +253,11 @@ mod tests {
         let mut bench = quick_bench();
         let base = bench.run_base().unwrap();
         let idle = bench.run_idle().unwrap();
-        assert!(((idle - base) - 4.0 * 0.35).abs() < 0.15, "delta {}", idle - base);
+        assert!(
+            ((idle - base) - 4.0 * 0.35).abs() < 0.15,
+            "delta {}",
+            idle - base
+        );
     }
 
     #[test]

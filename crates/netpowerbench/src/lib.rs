@@ -33,8 +33,8 @@
 
 pub mod config;
 pub mod derive;
-pub mod linecard;
 pub mod experiments;
+pub mod linecard;
 pub mod notebook;
 pub mod validate;
 

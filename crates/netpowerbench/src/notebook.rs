@@ -6,11 +6,7 @@ use crate::experiments::{ExperimentKind, ExperimentRecord};
 
 /// Renders the experiment log as a markdown table with a header
 /// describing the session.
-pub fn render_notebook(
-    router_model: &str,
-    class: &str,
-    log: &[ExperimentRecord],
-) -> String {
+pub fn render_notebook(router_model: &str, class: &str, log: &[ExperimentRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# Lab session — {router_model} ({class})\n\n\
@@ -39,7 +35,10 @@ fn describe(kind: &ExperimentKind) -> (&'static str, String) {
         ExperimentKind::Idle => ("Idle", "all transceivers in, ports down".to_owned()),
         ExperimentKind::Port { n } => ("Port", format!("{n} ports enabled")),
         ExperimentKind::Trx { n } => ("Trx", format!("{n} pairs up")),
-        ExperimentKind::Snake { rate_gbps, packet_size } => (
+        ExperimentKind::Snake {
+            rate_gbps,
+            packet_size,
+        } => (
             "Snake",
             format!("{rate_gbps:.1} Gbps, {packet_size:.0} B packets"),
         ),

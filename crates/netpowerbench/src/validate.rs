@@ -78,8 +78,7 @@ mod tests {
 
     #[test]
     fn identical_models_have_zero_error() {
-        let e = compare_to_reference(&model(253.0, 0.94), &model(253.0, 0.94), class())
-            .unwrap();
+        let e = compare_to_reference(&model(253.0, 0.94), &model(253.0, 0.94), class()).unwrap();
         assert_eq!(e.p_base_w, 0.0);
         assert_eq!(e.p_port_w, 0.0);
         assert!(e.within(1e-9, 1e-9, 1e-9));
@@ -87,8 +86,7 @@ mod tests {
 
     #[test]
     fn differences_are_absolute() {
-        let e = compare_to_reference(&model(250.0, 1.00), &model(253.0, 0.94), class())
-            .unwrap();
+        let e = compare_to_reference(&model(250.0, 1.00), &model(253.0, 0.94), class()).unwrap();
         assert!((e.p_base_w - 3.0).abs() < 1e-9);
         assert!((e.p_port_w - 0.06).abs() < 1e-9);
         assert!(!e.within(0.01, 1.0, 1.0));

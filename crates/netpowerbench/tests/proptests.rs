@@ -11,20 +11,16 @@ use proptest::prelude::*;
 /// A random but physically plausible ground truth.
 fn arb_truth() -> impl Strategy<Value = (RouterSpec, InterfaceClass)> {
     (
-        20.0f64..500.0,  // P_base
-        0.0f64..2.5,     // P_port
-        0.0f64..12.0,    // P_trx,in
-        0.0f64..1.0,     // P_trx,up
-        1.0f64..40.0,    // E_bit pJ
-        2.0f64..80.0,    // E_pkt nJ
-        0.0f64..0.5,     // P_offset
+        20.0f64..500.0, // P_base
+        0.0f64..2.5,    // P_port
+        0.0f64..12.0,   // P_trx,in
+        0.0f64..1.0,    // P_trx,up
+        1.0f64..40.0,   // E_bit pJ
+        2.0f64..80.0,   // E_pkt nJ
+        0.0f64..0.5,    // P_offset
     )
         .prop_map(|(base, p_port, tin, tup, ebit, epkt, off)| {
-            let class = InterfaceClass::new(
-                PortType::Qsfp28,
-                TransceiverType::Lr4,
-                Speed::G100,
-            );
+            let class = InterfaceClass::new(PortType::Qsfp28, TransceiverType::Lr4, Speed::G100);
             let truth = PowerModel::new("synthetic", Watts::new(base)).with_class(
                 class,
                 InterfaceParams::from_table(p_port, tin, tup, ebit, epkt, off),

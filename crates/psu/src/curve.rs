@@ -169,9 +169,7 @@ mod tests {
         let shifted = c.with_offset(off);
         assert!((shifted.efficiency_at(0.15) - 0.80).abs() < 1e-9);
         // The whole curve moved by the same amount (where unclamped).
-        assert!(
-            (shifted.efficiency_at(0.5) - (c.efficiency_at(0.5) + off)).abs() < 1e-9
-        );
+        assert!((shifted.efficiency_at(0.5) - (c.efficiency_at(0.5) + off)).abs() < 1e-9);
     }
 
     #[test]

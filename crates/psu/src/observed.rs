@@ -69,12 +69,18 @@ impl FleetPsuData {
 
     /// Observations with usable efficiency readings.
     pub fn usable(&self) -> impl Iterator<Item = &PsuObservation> {
-        self.observations.iter().filter(|o| o.efficiency().is_some())
+        self.observations
+            .iter()
+            .filter(|o| o.efficiency().is_some())
     }
 
     /// Distinct router names in the snapshot.
     pub fn routers(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.observations.iter().map(|o| o.router.as_str()).collect();
+        let mut v: Vec<&str> = self
+            .observations
+            .iter()
+            .map(|o| o.router.as_str())
+            .collect();
         v.sort();
         v.dedup();
         v

@@ -89,10 +89,7 @@ pub fn right_sizing_savings(fleet: &FleetPsuData, k: f64) -> RightSizingReport {
     for &option in &CAPACITY_OPTIONS {
         let mut saved = 0.0;
         for (_, psus) in fleet.by_router() {
-            let l_max = psus
-                .iter()
-                .map(|o| o.p_out_w)
-                .fold(0.0f64, f64::max);
+            let l_max = psus.iter().map(|o| o.p_out_w).fold(0.0f64, f64::max);
             let c = CAPACITY_OPTIONS
                 .iter()
                 .copied()
@@ -138,14 +135,14 @@ fn single_psu_inner(fleet: &FleetPsuData, level: Option<EightyPlus>) -> SavingsR
     let std_curve = level.map(|l| l.certified_curve());
     let mut saved = 0.0;
     for (_, psus) in fleet.by_router() {
-        let usable: Vec<_> = psus.iter().filter_map(|o| Some((*o, own_curve(o)?))).collect();
+        let usable: Vec<_> = psus
+            .iter()
+            .filter_map(|o| Some((*o, own_curve(o)?)))
+            .collect();
         if usable.is_empty() {
             continue;
         }
-        let old_in: f64 = usable
-            .iter()
-            .map(|(o, (_, eff, _))| o.p_out_w / eff)
-            .sum();
+        let old_in: f64 = usable.iter().map(|(o, (_, eff, _))| o.p_out_w / eff).sum();
         let total_out: f64 = usable.iter().map(|(o, _)| o.p_out_w).sum();
         if total_out <= 0.0 {
             continue;

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::curve::{pfe600_curve, EfficiencyCurve};
 
 /// 80 Plus certification levels used in the paper's Tables 3.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EightyPlus {
     /// ≥82/85/82 % at 20/50/100 % load.
     Bronze,
@@ -47,9 +45,7 @@ impl EightyPlus {
             EightyPlus::Silver => &[(0.20, 0.85), (0.50, 0.88), (1.00, 0.85)],
             EightyPlus::Gold => &[(0.20, 0.87), (0.50, 0.90), (1.00, 0.87)],
             EightyPlus::Platinum => &[(0.20, 0.90), (0.50, 0.92), (1.00, 0.89)],
-            EightyPlus::Titanium => {
-                &[(0.10, 0.90), (0.20, 0.92), (0.50, 0.94), (1.00, 0.90)]
-            }
+            EightyPlus::Titanium => &[(0.10, 0.90), (0.20, 0.92), (0.50, 0.94), (1.00, 0.90)],
         }
     }
 

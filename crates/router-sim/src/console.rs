@@ -109,7 +109,11 @@ impl SimulatedRouter {
                         "psu {slot}: {} cap {:.0} W{}",
                         if psu.enabled { "online" } else { "offline" },
                         psu.capacity_w,
-                        if psu.hot_standby { " (hot standby)" } else { "" },
+                        if psu.hot_standby {
+                            " (hot standby)"
+                        } else {
+                            ""
+                        },
                     ));
                 }
                 Ok(ConsoleReply(lines.join("\n")))
@@ -164,10 +168,7 @@ mod tests {
     #[test]
     fn domain_errors_propagate() {
         let mut r = router();
-        assert!(matches!(
-            r.console("unplug 0"),
-            Err(SimError::CageEmpty(0))
-        ));
+        assert!(matches!(r.console("unplug 0"), Err(SimError::CageEmpty(0))));
         assert!(matches!(
             r.console("interface 999 up"),
             Err(SimError::NoSuchInterface(999))

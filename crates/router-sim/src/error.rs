@@ -47,7 +47,10 @@ impl fmt::Display for SimError {
             SimError::UnknownModel(m) => write!(f, "unknown router model {m:?}"),
             SimError::BadCommand(c) => write!(f, "cannot parse console command {c:?}"),
             SimError::LastPsu(i) => {
-                write!(f, "PSU {i} is the last active supply; refusing to disable it")
+                write!(
+                    f,
+                    "PSU {i} is the last active supply; refusing to disable it"
+                )
             }
             SimError::NoSuchSlot(s) => write!(f, "no linecard slot {s}"),
             SimError::SlotOccupied(s) => write!(f, "linecard slot {s} is occupied"),

@@ -51,8 +51,10 @@ impl ModularRouter {
     /// An ASR-9010-like reference chassis: 8 slots, 350 W bare, two
     /// published card types.
     pub fn asr9010_like(psu_eff_offset: f64) -> Self {
-        use fj_core::{InterfaceClass, InterfaceParams, LinecardParams, PortType, PowerModel,
-                      Speed, TransceiverType};
+        use fj_core::{
+            InterfaceClass, InterfaceParams, LinecardParams, PortType, PowerModel, Speed,
+            TransceiverType,
+        };
         let class = InterfaceClass::new(PortType::SfpPlus, TransceiverType::Lr, Speed::G10);
         let base = PowerModel::new("ASR-9010", Watts::new(350.0)).with_class(
             class,
@@ -165,9 +167,7 @@ impl ModularRouter {
         let load = share / self.psu_capacity_w;
         let base = pfe600_curve();
         let typical = base.efficiency_at(load);
-        let actual = base
-            .with_offset(self.psu_eff_offset)
-            .efficiency_at(load);
+        let actual = base.with_offset(self.psu_eff_offset).efficiency_at(load);
         Watts::new(dc / (actual / typical))
     }
 }
@@ -203,10 +203,19 @@ mod tests {
     #[test]
     fn slot_errors() {
         let mut r = chassis();
-        assert!(matches!(r.insert_card(99, "A9K-24X10GE"), Err(SimError::NoSuchSlot(99))));
-        assert!(matches!(r.insert_card(0, "bogus"), Err(SimError::UnknownModel(_))));
+        assert!(matches!(
+            r.insert_card(99, "A9K-24X10GE"),
+            Err(SimError::NoSuchSlot(99))
+        ));
+        assert!(matches!(
+            r.insert_card(0, "bogus"),
+            Err(SimError::UnknownModel(_))
+        ));
         r.insert_card(0, "A9K-24X10GE").unwrap();
-        assert!(matches!(r.insert_card(0, "A9K-8X100GE"), Err(SimError::SlotOccupied(0))));
+        assert!(matches!(
+            r.insert_card(0, "A9K-8X100GE"),
+            Err(SimError::SlotOccupied(0))
+        ));
         assert!(matches!(r.activate_card(1), Err(SimError::SlotEmpty(1))));
         assert!(matches!(r.remove_card(1), Err(SimError::SlotEmpty(1))));
     }

@@ -242,11 +242,7 @@ impl SimulatedRouter {
 
     /// Reconfigures the line rate of interface `i`.
     pub fn set_speed(&mut self, i: usize, speed: Speed) -> Result<(), SimError> {
-        let port = self
-            .spec
-            .ports
-            .get(i)
-            .ok_or(SimError::NoSuchInterface(i))?;
+        let port = self.spec.ports.get(i).ok_or(SimError::NoSuchInterface(i))?;
         if !port.speeds.contains(&speed) {
             return Err(SimError::UnsupportedSpeed { iface: i, speed });
         }
@@ -408,15 +404,18 @@ impl SimulatedRouter {
         let mut loads = Vec::new();
         for (i, st) in self.interfaces.iter().enumerate() {
             let Some(trx) = st.transceiver else { continue };
-            let class =
-                fj_core::InterfaceClass::new(self.spec.ports[i].port, trx, st.speed);
+            let class = fj_core::InterfaceClass::new(self.spec.ports[i].port, trx, st.speed);
             cfgs.push(InterfaceConfig {
                 class,
                 plugged: true,
                 admin_up: st.admin_up,
                 oper_up: st.oper_up,
             });
-            loads.push(if st.oper_up { st.load } else { InterfaceLoad::IDLE });
+            loads.push(if st.oper_up {
+                st.load
+            } else {
+                InterfaceLoad::IDLE
+            });
         }
         (cfgs, loads)
     }
@@ -520,7 +519,11 @@ impl SimulatedRouter {
                     .filter(|p| p.enabled && p.hot_standby)
                     .count() as f64)
             / carriers as f64;
-        let noise = 0.2 * gauss(self.seed ^ 0x5E45_0000, (self.now.as_secs() as u64) ^ (slot as u64) << 48);
+        let noise = 0.2
+            * gauss(
+                self.seed ^ 0x5E45_0000,
+                (self.now.as_secs() as u64) ^ (slot as u64) << 48,
+            );
         let sensor_model = self.spec.sensor;
         let psu = &mut self.psus[slot];
         Ok(psu
@@ -550,8 +553,7 @@ impl SimulatedRouter {
             .iter()
             .filter(|p| p.enabled && p.hot_standby)
             .count();
-        let p_in = (self.wall_power().as_f64()
-            - HOT_STANDBY_HOUSEKEEPING_W * standby as f64)
+        let p_in = (self.wall_power().as_f64() - HOT_STANDBY_HOUSEKEEPING_W * standby as f64)
             / carriers as f64;
         let load = p_in / psu.capacity_w;
         let actual_eff = pfe600_curve()
@@ -577,12 +579,10 @@ impl SimulatedRouter {
     fn recompute_links(&mut self) {
         let n = self.interfaces.len();
         let mut up = vec![false; n];
-        for i in 0..n {
-            up[i] = match self.interfaces[i].link {
+        for (i, slot) in up.iter_mut().enumerate() {
+            *slot = match self.interfaces[i].link {
                 LinkEnd::None => false,
-                LinkEnd::Internal(j) => {
-                    j < n && self.link_ready(i) && self.link_ready(j)
-                }
+                LinkEnd::Internal(j) => j < n && self.link_ready(i) && self.link_ready(j),
                 LinkEnd::External { peer_up } => peer_up && self.link_ready(i),
             };
         }
@@ -742,12 +742,12 @@ mod tests {
         let p = r.psu_reported_power(0).unwrap().unwrap();
         // AccurateWithOffset(+8.5): report ≈ share + 8.5.
         let share = r.wall_power().as_f64() / 2.0;
-        assert!((p.as_f64() - share - 8.5).abs() < 1.5, "p {p} share {share}");
-
-        let mut n = SimulatedRouter::new(
-            RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(),
-            3,
+        assert!(
+            (p.as_f64() - share - 8.5).abs() < 1.5,
+            "p {p} share {share}"
         );
+
+        let mut n = SimulatedRouter::new(RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(), 3);
         assert_eq!(n.psu_reported_power(0).unwrap(), None);
     }
 
@@ -792,7 +792,10 @@ mod tests {
         // One PSU at double load sits higher on the efficiency curve →
         // less waste → lower wall power (the §9.3.4 effect).
         assert!(one < two, "one {one} two {two}");
-        assert!(matches!(r.set_psu_enabled(0, false), Err(SimError::LastPsu(0))));
+        assert!(matches!(
+            r.set_psu_enabled(0, false),
+            Err(SimError::LastPsu(0))
+        ));
     }
 
     #[test]
@@ -800,8 +803,8 @@ mod tests {
         let a = router("ASR-920-24SZ-M").wall_power();
         let b = router("ASR-920-24SZ-M").wall_power();
         assert_eq!(a, b);
-        let c = SimulatedRouter::new(RouterSpec::builtin("ASR-920-24SZ-M").unwrap(), 8)
-            .wall_power();
+        let c =
+            SimulatedRouter::new(RouterSpec::builtin("ASR-920-24SZ-M").unwrap(), 8).wall_power();
         assert_ne!(a, c, "different seed, different PSU units");
     }
 
@@ -809,7 +812,10 @@ mod tests {
     fn cable_errors() {
         let mut r = router("8201-32FH");
         assert!(matches!(r.cable(0, 0), Err(SimError::SelfLoop(0))));
-        assert!(matches!(r.cable(0, 999), Err(SimError::NoSuchInterface(999))));
+        assert!(matches!(
+            r.cable(0, 999),
+            Err(SimError::NoSuchInterface(999))
+        ));
         r.cable(0, 1).unwrap();
         r.uncable(0).unwrap();
         assert_eq!(r.interface(1).unwrap().link, LinkEnd::None);
@@ -835,10 +841,7 @@ mod hot_standby_tests {
         // gain must beat the 2 W housekeeping cost (§9.4's premise).
         assert!(standby < balanced, "standby {standby} balanced {balanced}");
         // The standby PSU is still online (reported as a live sensor).
-        assert_eq!(
-            r.psu_reported_power(1).unwrap().unwrap().as_f64(),
-            2.0
-        );
+        assert_eq!(r.psu_reported_power(1).unwrap().unwrap().as_f64(), 2.0);
     }
 
     #[test]

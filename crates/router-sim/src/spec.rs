@@ -98,8 +98,11 @@ pub fn truth_registry() -> ModelRegistry {
     let sfp_plus_classes = |mut m: PowerModel| {
         m.add_class(cls(SfpPlus, Lr, G10), t(0.55, 0.9, 0.3, 25.0, 30.0, 0.05))
             .expect("fresh model");
-        m.add_class(cls(SfpPlus, PassiveDac, G10), t(0.55, 0.05, 0.1, 24.0, 29.0, 0.04))
-            .expect("fresh model");
+        m.add_class(
+            cls(SfpPlus, PassiveDac, G10),
+            t(0.55, 0.05, 0.1, 24.0, 29.0, 0.04),
+        )
+        .expect("fresh model");
         m.add_class(cls(SfpPlus, Lr, G1), t(0.20, 0.7, 0.1, 34.0, 25.0, 0.02))
             .expect("fresh model");
         m
@@ -108,15 +111,24 @@ pub fn truth_registry() -> ModelRegistry {
     let qsfp28_classes = |mut m: PowerModel| {
         m.add_class(cls(Qsfp28, Lr4, G100), t(0.35, 3.3, 0.25, 21.0, 55.0, 0.35))
             .expect("fresh model");
-        m.add_class(cls(Qsfp28, PassiveDac, G100), t(0.32, 0.02, 0.19, 22.0, 58.0, 0.37))
-            .expect("fresh model");
+        m.add_class(
+            cls(Qsfp28, PassiveDac, G100),
+            t(0.32, 0.02, 0.19, 22.0, 58.0, 0.37),
+        )
+        .expect("fresh model");
         m
     };
 
     // ASR-920-24SZ-M: small access router, Table 1 median 73 W.
-    reg.insert(sfp_plus_classes(PowerModel::new("ASR-920-24SZ-M", Watts::new(60.0))));
+    reg.insert(sfp_plus_classes(PowerModel::new(
+        "ASR-920-24SZ-M",
+        Watts::new(60.0),
+    )));
     // ASR-9001: older aggregation router, median 335 W.
-    reg.insert(sfp_plus_classes(PowerModel::new("ASR-9001", Watts::new(318.0))));
+    reg.insert(sfp_plus_classes(PowerModel::new(
+        "ASR-9001",
+        Watts::new(318.0),
+    )));
     // NCS-55A1-24Q6H-SS: median 285 W.
     reg.insert(qsfp28_classes(sfp_plus_classes(PowerModel::new(
         "NCS-55A1-24Q6H-SS",
@@ -135,7 +147,10 @@ pub fn truth_registry() -> ModelRegistry {
     // 8201-24H8FH: median 296 W; same silicon family as the 8201-32FH.
     let mut m8201_24 = PowerModel::new("8201-24H8FH", Watts::new(210.0));
     m8201_24
-        .add_class(cls(Qsfp28, PassiveDac, G100), t(0.94, 0.35, 0.21, 3.0, 13.0, -0.04))
+        .add_class(
+            cls(Qsfp28, PassiveDac, G100),
+            t(0.94, 0.35, 0.21, 3.0, 13.0, -0.04),
+        )
         .expect("fresh model");
     m8201_24
         .add_class(cls(Qsfp28, Lr4, G100), t(0.94, 3.6, 0.25, 3.0, 13.0, -0.02))
@@ -187,7 +202,9 @@ fn spec(
 }
 
 fn n_ports(n: usize, port: PortType, speeds: &[Speed]) -> Vec<PortSlot> {
-    (0..n).map(|_| PortSlot::new(port, speeds.to_vec())).collect()
+    (0..n)
+        .map(|_| PortSlot::new(port, speeds.to_vec()))
+        .collect()
 }
 
 /// All built-in router specs — the eight lab-modeled devices plus the
@@ -431,10 +448,7 @@ mod tests {
         let reg = truth_registry();
         assert!(reg.len() >= 14);
         // Published models unchanged at their base power.
-        assert_eq!(
-            reg.get("NCS-55A1-24H").unwrap().p_base,
-            Watts::new(320.0)
-        );
+        assert_eq!(reg.get("NCS-55A1-24H").unwrap().p_base, Watts::new(320.0));
         // Synthetic fleet models exist.
         assert!(reg.get("ASR-920-24SZ-M").is_some());
         assert!(reg.get("ASR-9001").is_some());

@@ -1,22 +1,52 @@
 //! The per-router SNMP agent: answers GET / GET-NEXT over UDP.
 
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use fj_faults::FaultPlan;
 use fj_router_sim::SimulatedRouter;
 
 use crate::codec::{Pdu, PduType};
 use crate::mib;
+
+/// How an agent is spawned: receive timeout and fault plan.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Per-iteration receive timeout. The agent used to busy-poll at
+    /// 5 ms, which at fleet scale (107 agents) burns CPU while idle;
+    /// shutdown now uses a wakeup datagram instead of a tight timeout,
+    /// so this can be generous.
+    pub read_timeout: Duration,
+    /// Fault plan applied to inbound requests; [`FaultPlan::clean`] for
+    /// a well-behaved agent.
+    pub faults: FaultPlan,
+    /// Fault-plan stream name this agent draws decisions from. Give each
+    /// agent in a fleet a distinct stream so their fault patterns are
+    /// independent — and predictable via [`FaultPlan::expected_drops`].
+    pub stream: String,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_millis(250),
+            faults: FaultPlan::clean(),
+            stream: "snmp-agent".to_owned(),
+        }
+    }
+}
 
 /// A running agent bound to a loopback UDP port, serving the MIB view of
 /// one shared simulated router.
 pub struct SnmpAgent {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    requests_seen: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -27,26 +57,46 @@ impl SnmpAgent {
     /// ticks, load changes) while the agent snapshots it per request —
     /// just like real firmware answering SNMP against live counters.
     pub fn spawn(router: Arc<Mutex<SimulatedRouter>>) -> std::io::Result<SnmpAgent> {
-        Self::spawn_with_drop_rate(router, 0)
+        Self::spawn_with_config(router, AgentConfig::default())
     }
 
-    /// Fault-injecting variant: silently drops every `drop_every`-th
-    /// request (0 = never). UDP collection in the field loses datagrams;
-    /// the poller's retry logic must absorb that, and tests exercise it
-    /// through this hook.
-    pub fn spawn_with_drop_rate(
+    /// Fault-injecting variant: requests are dropped, delayed, duplicated
+    /// or corrupted per `plan`'s decisions on `stream`. UDP collection in
+    /// the field loses datagrams; the poller's retry logic must absorb
+    /// that, and tests exercise it through this hook.
+    pub fn spawn_with_faults(
         router: Arc<Mutex<SimulatedRouter>>,
-        drop_every: u32,
+        plan: FaultPlan,
+        stream: impl Into<String>,
+    ) -> std::io::Result<SnmpAgent> {
+        Self::spawn_with_config(
+            router,
+            AgentConfig {
+                faults: plan,
+                stream: stream.into(),
+                ..AgentConfig::default()
+            },
+        )
+    }
+
+    /// Full-control variant.
+    pub fn spawn_with_config(
+        router: Arc<Mutex<SimulatedRouter>>,
+        config: AgentConfig,
     ) -> std::io::Result<SnmpAgent> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         let addr = socket.local_addr()?;
-        socket.set_read_timeout(Some(std::time::Duration::from_millis(5)))?;
+        socket.set_read_timeout(Some(config.read_timeout))?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let requests_seen = Arc::new(AtomicU64::new(0));
+        let thread_seen = Arc::clone(&requests_seen);
 
         let thread = std::thread::spawn(move || {
             let mut buf = [0u8; 2048];
-            let mut request_counter: u32 = 0;
+            // Event index for the fault plan: one per received datagram,
+            // starting at 0 so `expected_drops(stream, n)` lines up.
+            let mut request_index: u64 = 0;
             while !thread_stop.load(Ordering::Relaxed) {
                 let (len, peer) = match socket.recv_from(&mut buf) {
                     Ok(x) => x,
@@ -58,8 +108,16 @@ impl SnmpAgent {
                     }
                     Err(_) => break,
                 };
-                request_counter = request_counter.wrapping_add(1);
-                if drop_every > 0 && request_counter % drop_every == 0 {
+                if len == 0 {
+                    // Zero-byte wakeup datagram from shutdown.
+                    continue;
+                }
+                let index = request_index;
+                request_index += 1;
+                thread_seen.store(request_index, Ordering::Relaxed);
+
+                let decision = config.faults.decide(&config.stream, index);
+                if decision.drop {
                     continue; // injected datagram loss
                 }
                 let reply = match Pdu::decode(&buf[..len]) {
@@ -69,13 +127,26 @@ impl SnmpAgent {
                     }
                     Err(_) => continue, // undecodable datagrams are dropped
                 };
-                let _ = socket.send_to(&reply.encode(), peer);
+                if let Some(d) = decision.delay {
+                    std::thread::sleep(d);
+                }
+                let mut wire = reply.encode().to_vec();
+                if decision.corrupt {
+                    config
+                        .faults
+                        .corrupt_bytes(&config.stream, index, &mut wire);
+                }
+                let _ = socket.send_to(&wire, peer);
+                if decision.duplicate {
+                    let _ = socket.send_to(&wire, peer);
+                }
             }
         });
 
         Ok(SnmpAgent {
             addr,
             stop,
+            requests_seen,
             thread: Some(thread),
         })
     }
@@ -85,6 +156,13 @@ impl SnmpAgent {
         self.addr
     }
 
+    /// Datagrams received so far (including ones the fault plan ate) —
+    /// lets tests line observed gaps up against
+    /// [`FaultPlan::expected_drops`].
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen.load(Ordering::Relaxed)
+    }
+
     /// Stops the agent thread.
     pub fn shutdown(mut self) {
         self.stop_inner();
@@ -92,6 +170,11 @@ impl SnmpAgent {
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Wake the receive loop immediately rather than waiting out the
+        // read timeout: a zero-byte datagram to ourselves.
+        if let Ok(waker) = UdpSocket::bind(("127.0.0.1", 0)) {
+            let _ = waker.send_to(&[], self.addr);
+        }
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

@@ -11,9 +11,15 @@
 //! u16  oid arc count   followed by that many u32 arcs
 //! u8   value tag       (0 none, 1 counter64, 2 gauge, 3 integer, 4 string)
 //!      value bytes     (u64 | f64 | i64 | u16-prefixed UTF-8)
+//! u32  CRC-32 over everything above
 //! ```
+//!
+//! The CRC trailer means in-flight corruption (injected by a fault plan,
+//! or real bit rot that slipped past the UDP checksum) surfaces as a
+//! typed [`SnmpError::BadChecksum`] instead of a garbage sample.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fj_faults::crc32;
 
 use crate::mib::MibValue;
 use crate::oid::Oid;
@@ -44,6 +50,11 @@ pub enum SnmpError {
     Timeout,
     /// Response did not match the request id.
     RequestIdMismatch,
+    /// Poll short-circuited: the target is in a failure backoff window
+    /// or quarantined (awaiting its next recovery probe slot).
+    TargetSuppressed,
+    /// CRC trailer mismatch: the datagram was corrupted in flight.
+    BadChecksum,
 }
 
 impl std::fmt::Display for SnmpError {
@@ -55,6 +66,10 @@ impl std::fmt::Display for SnmpError {
             SnmpError::NoSuchObject(oid) => write!(f, "no such object {oid}"),
             SnmpError::Timeout => write!(f, "request timed out"),
             SnmpError::RequestIdMismatch => write!(f, "response id mismatch"),
+            SnmpError::TargetSuppressed => {
+                write!(f, "target suppressed (backoff or quarantine)")
+            }
+            SnmpError::BadChecksum => write!(f, "datagram failed CRC check"),
         }
     }
 }
@@ -141,11 +156,26 @@ impl Pdu {
                 b.put_slice(s.as_bytes());
             }
         }
+        let crc = crc32(&b);
+        b.put_u32(crc);
         b.freeze()
     }
 
-    /// Decodes a datagram payload.
-    pub fn decode(mut data: &[u8]) -> Result<Pdu, SnmpError> {
+    /// Decodes a datagram payload, verifying the CRC trailer.
+    pub fn decode(data: &[u8]) -> Result<Pdu, SnmpError> {
+        if data.len() < 4 {
+            return Err(SnmpError::Truncated);
+        }
+        let (body, trailer) = data.split_at(data.len() - 4);
+        let stated = u32::from_be_bytes(trailer.try_into().expect("4 bytes"));
+        if crc32(body) != stated {
+            return Err(SnmpError::BadChecksum);
+        }
+        Self::decode_body(body)
+    }
+
+    /// Decodes the PDU body (everything before the CRC trailer).
+    fn decode_body(mut data: &[u8]) -> Result<Pdu, SnmpError> {
         if data.remaining() < 8 {
             return Err(SnmpError::Truncated);
         }
@@ -217,8 +247,14 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let oid: Oid = "1.3.6.1.2.1.31.1.1.1.6.3".parse().unwrap();
-        assert_eq!(round_trip(Pdu::get(7, oid.clone())), Pdu::get(7, oid.clone()));
-        assert_eq!(round_trip(Pdu::get_next(8, oid.clone())), Pdu::get_next(8, oid));
+        assert_eq!(
+            round_trip(Pdu::get(7, oid.clone())),
+            Pdu::get(7, oid.clone())
+        );
+        assert_eq!(
+            round_trip(Pdu::get_next(8, oid.clone())),
+            Pdu::get_next(8, oid)
+        );
     }
 
     #[test]
@@ -246,17 +282,47 @@ mod tests {
         let oid: Oid = "1.2.3".parse().unwrap();
         let full = Pdu::get(1, oid).encode();
         for cut in [0, 3, 7, full.len() - 1] {
+            // Short cuts fail the length check; longer ones fail the CRC
+            // (the last 4 bytes no longer match the remaining body).
             assert!(
-                matches!(Pdu::decode(&full[..cut]), Err(SnmpError::Truncated)),
+                matches!(
+                    Pdu::decode(&full[..cut]),
+                    Err(SnmpError::Truncated) | Err(SnmpError::BadChecksum)
+                ),
                 "cut at {cut}"
             );
         }
     }
 
+    /// Re-seals a mutated body with a fresh CRC trailer so structural
+    /// errors are reachable past the checksum.
+    fn reseal(body: &[u8]) -> Vec<u8> {
+        let mut out = body.to_vec();
+        out.extend_from_slice(&crc32(body).to_be_bytes());
+        out
+    }
+
     #[test]
     fn bad_tags_rejected() {
-        let mut bytes = Pdu::get(1, "1.2".parse().unwrap()).encode().to_vec();
-        bytes[4] = 99; // pdu type
-        assert!(matches!(Pdu::decode(&bytes), Err(SnmpError::BadTag(99))));
+        let sealed = Pdu::get(1, "1.2".parse().unwrap()).encode();
+        let mut body = sealed[..sealed.len() - 4].to_vec();
+        body[4] = 99; // pdu type
+        assert!(matches!(
+            Pdu::decode(&reseal(&body)),
+            Err(SnmpError::BadTag(99))
+        ));
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let wire = Pdu::get(7, "1.3.6.1".parse().unwrap()).encode().to_vec();
+        for byte in 0..wire.len() {
+            let mut flipped = wire.clone();
+            flipped[byte] ^= 0x10;
+            assert!(
+                matches!(Pdu::decode(&flipped), Err(SnmpError::BadChecksum)),
+                "flip at byte {byte} undetected"
+            );
+        }
     }
 }

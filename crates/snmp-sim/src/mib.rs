@@ -270,8 +270,7 @@ mod tests {
     use fj_units::{Bytes, DataRate, SimDuration};
 
     fn lab_router() -> SimulatedRouter {
-        let mut r =
-            SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 3);
+        let mut r = SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 3);
         r.plug(0, TransceiverType::PassiveDac, Speed::G100).unwrap();
         r.plug(1, TransceiverType::PassiveDac, Speed::G100).unwrap();
         r.cable(0, 1).unwrap();
@@ -325,8 +324,7 @@ mod tests {
 
     #[test]
     fn psu_power_missing_on_non_reporting_model() {
-        let mut r =
-            SimulatedRouter::new(RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(), 3);
+        let mut r = SimulatedRouter::new(RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(), 3);
         let tree = snapshot(&mut r);
         assert_eq!(total_psu_power(&tree), None);
     }
@@ -351,8 +349,7 @@ mod tests {
             assert!((0.4..=1.0).contains(&eff), "PSU {idx}: eff {eff}");
         }
         // A non-reporting router exposes neither column.
-        let mut n =
-            SimulatedRouter::new(RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(), 3);
+        let mut n = SimulatedRouter::new(RouterSpec::builtin("N540X-8Z16G-SYS-A").unwrap(), 3);
         assert!(psu_efficiencies(&snapshot(&mut n)).is_empty());
     }
 

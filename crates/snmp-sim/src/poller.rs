@@ -1,14 +1,36 @@
-//! The SNMP poller: issues GET / GET-NEXT requests with timeout + retry.
+//! The SNMP poller: issues GET / GET-NEXT requests with timeout + retry,
+//! exponential backoff between retries, and per-target health tracking.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use fj_faults::{Backoff, HealthState, TargetHealth};
 
 use crate::codec::{Pdu, PduType, SnmpError};
 use crate::mib::MibValue;
 use crate::oid::Oid;
 
+/// Per-target bookkeeping: the health ladder plus a backoff schedule that
+/// spaces out whole poll rounds against a failing target.
+struct TargetState {
+    health: TargetHealth,
+    backoff: Backoff,
+}
+
 /// A simple synchronous poller. One instance per collection task; request
 /// ids increment per request so stray late datagrams are rejected.
+///
+/// Failure handling is layered:
+///
+/// * within one request, up to [`retries`](Self::retries) attempts with an
+///   exponentially growing, jittered pause between them;
+/// * across requests, each target carries a [`TargetHealth`] ladder
+///   (healthy → degraded → quarantined) and a [`Backoff`] window. While a
+///   target is backing off, polls short-circuit with
+///   [`SnmpError::TargetSuppressed`] instead of burning a full timeout ×
+///   retry budget per call; quarantined targets admit only periodic
+///   recovery probes.
 pub struct SnmpPoller {
     socket: UdpSocket,
     next_request_id: u32,
@@ -17,6 +39,10 @@ pub struct SnmpPoller {
     /// Number of attempts before giving up (paper-style collection is
     /// resilient to a lost datagram or two).
     pub retries: u32,
+    /// Base pause between retry attempts (doubles per attempt, jittered).
+    pub retry_pause: Duration,
+    epoch: Instant,
+    targets: HashMap<SocketAddr, TargetState>,
 }
 
 impl SnmpPoller {
@@ -28,7 +54,25 @@ impl SnmpPoller {
             next_request_id: 1,
             timeout: Duration::from_millis(200),
             retries: 3,
+            retry_pause: Duration::from_millis(2),
+            epoch: Instant::now(),
+            targets: HashMap::new(),
         })
+    }
+
+    /// Current health of `agent` (targets never polled are healthy).
+    pub fn health(&self, agent: SocketAddr) -> HealthState {
+        self.targets
+            .get(&agent)
+            .map_or(HealthState::Healthy, |t| t.health.state())
+    }
+
+    /// Whether `agent` is currently inside a failure backoff window.
+    pub fn in_backoff(&self, agent: SocketAddr) -> bool {
+        let now = self.epoch.elapsed();
+        self.targets
+            .get(&agent)
+            .is_some_and(|t| t.backoff.in_backoff(now))
     }
 
     /// GET: the value at exactly `oid`.
@@ -42,11 +86,7 @@ impl SnmpPoller {
     }
 
     /// GET-NEXT: the first `(oid, value)` after `oid`.
-    pub fn get_next(
-        &mut self,
-        agent: SocketAddr,
-        oid: &Oid,
-    ) -> Result<(Oid, MibValue), SnmpError> {
+    pub fn get_next(&mut self, agent: SocketAddr, oid: &Oid) -> Result<(Oid, MibValue), SnmpError> {
         let request = Pdu::get_next(self.take_id(), oid.clone());
         let response = self.round_trip(agent, &request)?;
         match (response.error_status, response.value) {
@@ -85,33 +125,99 @@ impl SnmpPoller {
         id
     }
 
-    fn round_trip(&self, agent: SocketAddr, request: &Pdu) -> Result<Pdu, SnmpError> {
-        self.socket.set_read_timeout(Some(self.timeout))?;
+    fn target(&mut self, agent: SocketAddr) -> &mut TargetState {
+        let seed = hash_addr(agent);
+        self.targets.entry(agent).or_insert_with(|| TargetState {
+            health: TargetHealth::new(),
+            backoff: Backoff::new(Duration::from_millis(20), Duration::from_secs(2))
+                .with_seed(seed),
+        })
+    }
+
+    fn round_trip(&mut self, agent: SocketAddr, request: &Pdu) -> Result<Pdu, SnmpError> {
+        let now = self.epoch.elapsed();
+        {
+            let state = self.target(agent);
+            if state.backoff.in_backoff(now) || !state.health.should_attempt(now) {
+                return Err(SnmpError::TargetSuppressed);
+            }
+        }
+        let result = self.round_trip_inner(agent, request);
+        let now = self.epoch.elapsed();
+        let state = self.target(agent);
+        match &result {
+            Ok(_) => {
+                state.health.record_success();
+                state.backoff.reset();
+            }
+            // Only transport-level failures count against the target;
+            // "no such object" is a healthy, well-formed answer.
+            Err(SnmpError::Timeout) | Err(SnmpError::Io(_)) => {
+                state.health.record_failure();
+                state.backoff.next_delay(now);
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn round_trip_inner(&mut self, agent: SocketAddr, request: &Pdu) -> Result<Pdu, SnmpError> {
         let payload = request.encode();
         let mut buf = [0u8; 2048];
-        for _attempt in 0..self.retries.max(1) {
+        // Pause between attempts, deterministic-jittered per poller.
+        let mut pause =
+            Backoff::new(self.retry_pause, self.timeout).with_seed(self.next_request_id as u64);
+        for attempt in 0..self.retries.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(pause.next_delay(Duration::ZERO));
+            }
             self.socket.send_to(&payload, agent)?;
-            match self.socket.recv_from(&mut buf) {
-                Ok((len, _)) => {
-                    let pdu = Pdu::decode(&buf[..len])?;
-                    if pdu.request_id != request.request_id
-                        || pdu.pdu_type != PduType::Response
-                    {
-                        // Stray datagram from an earlier timeout; ignore
-                        // and keep waiting within this attempt budget.
-                        continue;
+            // One attempt = one send plus draining datagrams until the
+            // timeout elapses. Stray or corrupted datagrams do not burn
+            // the attempt — only silence does.
+            let deadline = Instant::now() + self.timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break; // next attempt
+                }
+                self.socket.set_read_timeout(Some(remaining))?;
+                match self.socket.recv_from(&mut buf) {
+                    Ok((len, _)) => {
+                        let pdu = match Pdu::decode(&buf[..len]) {
+                            Ok(p) => p,
+                            // A corrupted datagram is as good as a lost
+                            // one: keep waiting within this attempt.
+                            Err(_) => continue,
+                        };
+                        if pdu.request_id != request.request_id || pdu.pdu_type != PduType::Response
+                        {
+                            // Stray datagram from an earlier timeout or a
+                            // duplicated reply; skip it.
+                            continue;
+                        }
+                        return Ok(pdu);
                     }
-                    return Ok(pdu);
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break; // attempt timed out
+                    }
+                    Err(e) => return Err(SnmpError::Io(e)),
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
-                Err(e) => return Err(SnmpError::Io(e)),
             }
         }
         Err(SnmpError::Timeout)
     }
+}
+
+fn hash_addr(addr: SocketAddr) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let s = addr.to_string();
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }

@@ -64,6 +64,17 @@ proptest! {
         prop_assert!(Pdu::decode(&bytes[..cut]).is_err());
     }
 
+    /// Any single byte flipped anywhere in a datagram — body or CRC
+    /// trailer — yields an error: the checksum leaves corruption no place
+    /// to hide.
+    #[test]
+    fn corruption_always_detected(pdu in arb_pdu(), pos in any::<usize>(), mask in 1u8..=255) {
+        let mut bytes = pdu.encode().to_vec();
+        let n = bytes.len();
+        bytes[pos % n] ^= mask;
+        prop_assert!(Pdu::decode(&bytes).is_err());
+    }
+
     /// OID display/parse round-trips.
     #[test]
     fn oid_round_trip(oid in arb_oid()) {

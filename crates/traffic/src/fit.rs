@@ -92,7 +92,11 @@ pub fn fit_pattern(trace: &TimeSeries) -> Option<PatternFit> {
     let mut n = 0usize;
     for (t, v) in trace.iter() {
         let phase = (t.hour_of_day() - 15.0) / 24.0 * std::f64::consts::TAU;
-        let weekly = if t.day_of_week() >= 5 { weekend_factor } else { 1.0 };
+        let weekly = if t.day_of_week() >= 5 {
+            weekend_factor
+        } else {
+            1.0
+        };
         let model = mean * weekly * (1.0 + amplitude * phase.cos());
         ss += (v - model).powi(2);
         n += 1;

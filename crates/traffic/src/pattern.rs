@@ -75,8 +75,7 @@ impl LoadPattern {
                 * (smooth_noise(self.seed, t.as_secs() as f64, 3.0 * 86_400.0) - 0.5)
                 * 2.0;
         // Fast jitter on a 5-minute grid so SNMP polls see it.
-        let jitter = 1.0
-            + self.jitter * hash_gauss(self.seed ^ 0xA5A5, (t.as_secs() / 300) as u64);
+        let jitter = 1.0 + self.jitter * hash_gauss(self.seed ^ 0xA5A5, (t.as_secs() / 300) as u64);
 
         (self.mean_utilization * diurnal * weekly * wander * jitter).clamp(0.0, 0.95)
     }
@@ -118,10 +117,12 @@ mod tests {
             ..LoadPattern::isp_default(1)
         };
         let day = 2; // a Wednesday
-        let afternoon =
-            p.utilization(SimInstant::from_days(day) + SimDuration::from_hours(15));
+        let afternoon = p.utilization(SimInstant::from_days(day) + SimDuration::from_hours(15));
         let night = p.utilization(SimInstant::from_days(day) + SimDuration::from_hours(3));
-        assert!(afternoon > night * 2.0, "afternoon {afternoon} night {night}");
+        assert!(
+            afternoon > night * 2.0,
+            "afternoon {afternoon} night {night}"
+        );
     }
 
     #[test]

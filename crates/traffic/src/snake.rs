@@ -48,8 +48,7 @@ impl SnakeTest {
 
     /// Packet rate per interface implied by the configured size.
     pub fn per_interface_packet_rate(&self) -> PacketRate {
-        PacketProfile::Fixed(self.packet_size.as_f64())
-            .packet_rate(self.per_interface_rate())
+        PacketProfile::Fixed(self.packet_size.as_f64()).packet_rate(self.per_interface_rate())
     }
 
     /// Total bits forwarded per second by the DUT across all interfaces —

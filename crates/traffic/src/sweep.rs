@@ -130,6 +130,9 @@ mod tests {
     #[test]
     fn sweep_for_1g_still_has_iperf_points() {
         let s = RateSweep::for_line_rate(DataRate::from_gbps(1.0));
-        assert!(s.points().iter().all(|p| p.tool == GeneratorTool::Iperf3Udp));
+        assert!(s
+            .points()
+            .iter()
+            .all(|p| p.tool == GeneratorTool::Iperf3Udp));
     }
 }

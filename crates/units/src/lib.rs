@@ -24,10 +24,12 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use parse::{parse_data_rate, parse_energy_per_bit, parse_energy_per_packet, parse_watts, ParseQuantityError};
-pub use quantity::{
-    Bytes, DataRate, EnergyPerBit, EnergyPerPacket, Joules, PacketRate, Watts,
+pub use parse::{
+    parse_data_rate, parse_energy_per_bit, parse_energy_per_packet, parse_watts, ParseQuantityError,
 };
+pub use quantity::{Bytes, DataRate, EnergyPerBit, EnergyPerPacket, Joules, PacketRate, Watts};
 pub use series::{Sample, TimeSeries};
-pub use stats::{correlation, linear_regression, mean, median, percentile, std_dev, LinearFit, StatsError};
+pub use stats::{
+    correlation, linear_regression, mean, median, percentile, std_dev, LinearFit, StatsError,
+};
 pub use time::{SimDuration, SimInstant};

@@ -130,12 +130,8 @@ mod tests {
     fn energy_spellings() {
         assert!((parse_energy_per_bit("22 pJ").unwrap().as_picojoules() - 22.0).abs() < 1e-9);
         assert!((parse_energy_per_bit("0.005 nJ").unwrap().as_picojoules() - 5.0).abs() < 1e-9);
-        assert!(
-            (parse_energy_per_packet("58 nJ").unwrap().as_nanojoules() - 58.0).abs() < 1e-9
-        );
-        assert!(
-            (parse_energy_per_packet("0.19 µJ").unwrap().as_nanojoules() - 190.0).abs() < 1e-9
-        );
+        assert!((parse_energy_per_packet("58 nJ").unwrap().as_nanojoules() - 58.0).abs() < 1e-9);
+        assert!((parse_energy_per_packet("0.19 µJ").unwrap().as_nanojoules() - 190.0).abs() < 1e-9);
         assert!(parse_energy_per_bit("22 kWh").is_err());
     }
 

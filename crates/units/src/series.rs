@@ -5,6 +5,19 @@
 //! [`SimInstant`]. The type offers the handful of operations the analyses
 //! need: windowed averaging (the 30-minute smoothing of Fig. 4), pointwise
 //! combination, summary statistics, and slicing.
+//!
+//! # Gaps
+//!
+//! A series can also carry explicit *gap markers*: instants at which an
+//! observation was expected but never arrived (a failed SNMP poll, a
+//! crashed collection server). A gap at instant `g` ends the step-hold of
+//! the sample before `g`; the stretch from `g` to the next sample is
+//! *unobserved*, not zero. Statistics are gap-tolerant by construction —
+//! [`TimeSeries::mean`]/[`TimeSeries::median`]/[`TimeSeries::percentile`]
+//! run over observed samples only, and [`TimeSeries::step_integral`] /
+//! [`TimeSeries::energy_kwh`] integrate only over observed hold
+//! intervals. Fabricating zeros for missed polls would bias every energy
+//! figure low; gaps keep the record honest.
 
 use serde::{Deserialize, Serialize};
 
@@ -27,14 +40,20 @@ impl Sample {
     }
 }
 
-/// A time-ordered sequence of samples.
+/// A time-ordered sequence of samples, plus optional gap markers for
+/// observations that were expected but never arrived.
 ///
-/// Invariant: samples are sorted by timestamp (ties allowed, kept in
-/// insertion order). `push` enforces monotonicity cheaply; use
-/// [`TimeSeries::from_samples`] to sort arbitrary input.
+/// Invariants: samples are sorted by timestamp (ties allowed, kept in
+/// insertion order) and gap markers are sorted. `push`/`push_gap` enforce
+/// monotonicity cheaply; use [`TimeSeries::from_samples`] to sort
+/// arbitrary input.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeSeries {
     samples: Vec<Sample>,
+    /// Instants where an expected observation is missing. Sorted. A gap
+    /// at the exact timestamp of a sample is inert (the observation
+    /// exists); gaps strictly between samples break the step-hold.
+    gaps: Vec<SimInstant>,
 }
 
 impl TimeSeries {
@@ -46,7 +65,10 @@ impl TimeSeries {
     /// Creates a series from unsorted samples; sorts by timestamp (stable).
     pub fn from_samples(mut samples: Vec<Sample>) -> Self {
         samples.sort_by_key(|s| s.at);
-        Self { samples }
+        Self {
+            samples,
+            gaps: Vec::new(),
+        }
     }
 
     /// Builds a series by evaluating `f` at each instant of a regular grid
@@ -60,7 +82,10 @@ impl TimeSeries {
         let samples = crate::time::instants(start, end, step)
             .map(|t| Sample::new(t, f(t)))
             .collect();
-        Self { samples }
+        Self {
+            samples,
+            gaps: Vec::new(),
+        }
     }
 
     /// Appends a sample; panics if it would violate time ordering.
@@ -73,6 +98,35 @@ impl TimeSeries {
             );
         }
         self.samples.push(Sample { at, value });
+    }
+
+    /// Records that the observation expected at `at` never arrived. The
+    /// step-hold of the sample before `at` ends there; the interval up to
+    /// the next sample is unobserved. Panics if `at` precedes an earlier
+    /// gap marker.
+    pub fn push_gap(&mut self, at: SimInstant) {
+        if let Some(&last) = self.gaps.last() {
+            assert!(
+                at >= last,
+                "gap at {at} pushed after {last}; gaps must be time-ordered"
+            );
+        }
+        self.gaps.push(at);
+    }
+
+    /// Read-only view of the gap markers (sorted).
+    pub fn gaps(&self) -> &[SimInstant] {
+        &self.gaps
+    }
+
+    /// Number of gap markers.
+    pub fn gap_count(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// True when at least one observation is marked missing.
+    pub fn has_gaps(&self) -> bool {
+        !self.gaps.is_empty()
     }
 
     /// Number of samples.
@@ -110,7 +164,7 @@ impl TimeSeries {
         self.samples.last().map(|s| s.at)
     }
 
-    /// Sub-series with `from <= t < to`.
+    /// Sub-series with `from <= t < to`; gap markers in range carry over.
     pub fn slice(&self, from: SimInstant, to: SimInstant) -> TimeSeries {
         let samples = self
             .samples
@@ -118,17 +172,35 @@ impl TimeSeries {
             .filter(|s| s.at >= from && s.at < to)
             .copied()
             .collect();
-        Self { samples }
+        let gaps = self
+            .gaps
+            .iter()
+            .filter(|&&g| g >= from && g < to)
+            .copied()
+            .collect();
+        Self { samples, gaps }
     }
 
     /// Value at or immediately before `t` (step interpolation), if any
-    /// sample is at or before `t`.
+    /// sample is at or before `t` and no gap marker interrupts the hold:
+    /// a gap in `(sample.at, t]` means the value at `t` is unknown.
     pub fn value_at(&self, t: SimInstant) -> Option<f64> {
-        match self.samples.binary_search_by_key(&t, |s| s.at) {
-            Ok(idx) => Some(self.samples[idx].value),
-            Err(0) => None,
-            Err(idx) => Some(self.samples[idx - 1].value),
+        let held = match self.samples.binary_search_by_key(&t, |s| s.at) {
+            // An observation exactly at `t` is always known.
+            Ok(idx) => return Some(self.samples[idx].value),
+            Err(0) => return None,
+            Err(idx) => self.samples[idx - 1],
+        };
+        match self.first_gap_after(held.at) {
+            Some(g) if g <= t => None,
+            _ => Some(held.value),
         }
+    }
+
+    /// First gap marker strictly after `at`, if any.
+    fn first_gap_after(&self, at: SimInstant) -> Option<SimInstant> {
+        let idx = self.gaps.partition_point(|&g| g <= at);
+        self.gaps.get(idx).copied()
     }
 
     /// Mean of all values.
@@ -141,18 +213,27 @@ impl TimeSeries {
         stats::median(&self.values())
     }
 
+    /// Percentile (linear interpolation) of all values. Like every
+    /// statistic here it runs over observed samples only — gaps
+    /// contribute nothing rather than fabricated zeros.
+    pub fn percentile(&self, pct: f64) -> Result<f64, StatsError> {
+        stats::percentile(&self.values(), pct)
+    }
+
     /// Minimum value, if non-empty.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum value, if non-empty.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Downsamples by averaging all samples falling in each window of
@@ -211,7 +292,12 @@ impl TimeSeries {
                 Some(Sample::new(t, f(a, b)))
             })
             .collect();
-        TimeSeries { samples }
+        // Either side's gaps make the combination unknown there too.
+        let mut gaps: Vec<SimInstant> =
+            self.gaps.iter().chain(other.gaps.iter()).copied().collect();
+        gaps.sort();
+        gaps.dedup();
+        TimeSeries { samples, gaps }
     }
 
     /// Adds two series pointwise (union of timestamps, step interpolation).
@@ -224,7 +310,7 @@ impl TimeSeries {
         self.combine(other, |a, b| a - b)
     }
 
-    /// Applies `f` to every value, keeping timestamps.
+    /// Applies `f` to every value, keeping timestamps and gap markers.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
         TimeSeries {
             samples: self
@@ -232,6 +318,7 @@ impl TimeSeries {
                 .iter()
                 .map(|s| Sample::new(s.at, f(s.value)))
                 .collect(),
+            gaps: self.gaps.clone(),
         }
     }
 
@@ -258,26 +345,57 @@ impl TimeSeries {
     }
 
     /// Step-function integral up to `until`: each sample's value holds
-    /// until the next sample (or `until`). Returns value·seconds; for a
-    /// series of watts this is joules.
+    /// until the next sample, the next gap marker, or `until`, whichever
+    /// comes first. Unobserved stretches (gap to next sample) contribute
+    /// nothing. Returns value·seconds; for a series of watts this is
+    /// joules. Without gaps this is the plain assume-hold integral.
     pub fn step_integral(&self, until: SimInstant) -> f64 {
+        self.integral_and_observed(until).0
+    }
+
+    /// Seconds of observed hold time up to `until` — the denominator for
+    /// gap-aware averages. Equals `until - start` for a gap-free series.
+    pub fn observed_secs(&self, until: SimInstant) -> f64 {
+        self.integral_and_observed(until).1
+    }
+
+    /// Time-weighted mean over observed intervals only: the integral
+    /// divided by the observed duration. `None` when nothing was
+    /// observed before `until`. For a fleet power series this is the
+    /// figure that stays comparable between a faulty and a fault-free
+    /// collection run — missed polls shrink the denominator instead of
+    /// dragging the average toward zero.
+    pub fn mean_power_observed(&self, until: SimInstant) -> Option<f64> {
+        let (total, observed) = self.integral_and_observed(until);
+        (observed > 0.0).then(|| total / observed)
+    }
+
+    /// Shared walk behind the integral family: returns
+    /// `(value·seconds, observed seconds)` up to `until`.
+    fn integral_and_observed(&self, until: SimInstant) -> (f64, f64) {
         let mut total = 0.0;
-        for pair in self.samples.windows(2) {
-            let hold_end = pair[1].at.min(until);
-            if hold_end > pair[0].at {
-                total += pair[0].value * (hold_end - pair[0].at).as_secs_f64();
+        let mut observed = 0.0;
+        for (i, s) in self.samples.iter().enumerate() {
+            let mut hold_end = match self.samples.get(i + 1) {
+                Some(next) => next.at.min(until),
+                None => until,
+            };
+            // A gap strictly inside the hold ends observation there.
+            if let Some(g) = self.first_gap_after(s.at) {
+                hold_end = hold_end.min(g);
+            }
+            if hold_end > s.at {
+                let dt = (hold_end - s.at).as_secs_f64();
+                total += s.value * dt;
+                observed += dt;
             }
         }
-        if let Some(last) = self.samples.last() {
-            if until > last.at {
-                total += last.value * (until - last.at).as_secs_f64();
-            }
-        }
-        total
+        (total, observed)
     }
 
     /// Energy in kilowatt-hours for a series of watt samples, up to
     /// `until` (the Fig. 1 "what does the network cost per week" view).
+    /// Gap-aware: only observed hold intervals are integrated.
     pub fn energy_kwh(&self, until: SimInstant) -> f64 {
         self.step_integral(until) / 3.6e6
     }
@@ -431,5 +549,116 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: TimeSeries = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn serde_round_trip_with_gaps() {
+        let mut a = series(&[(0, 1.5), (60, 2.5)]);
+        a.push_gap(t(30));
+        let json = serde_json::to_string(&a).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(back.gaps(), &[t(30)]);
+    }
+
+    #[test]
+    fn gaps_break_step_interpolation() {
+        let mut ts = series(&[(0, 1.0), (10, 2.0)]);
+        ts.push_gap(t(4));
+        assert_eq!(ts.value_at(t(3)), Some(1.0));
+        assert_eq!(ts.value_at(t(4)), None);
+        assert_eq!(ts.value_at(t(9)), None);
+        // The next observation restores knowledge.
+        assert_eq!(ts.value_at(t(10)), Some(2.0));
+        assert_eq!(ts.value_at(t(99)), Some(2.0));
+    }
+
+    #[test]
+    fn gap_at_sample_instant_is_inert() {
+        let mut ts = series(&[(0, 1.0), (10, 2.0)]);
+        ts.push_gap(t(10));
+        assert_eq!(ts.value_at(t(10)), Some(2.0));
+        assert_eq!(ts.value_at(t(15)), Some(2.0));
+        // The hold from t=0 runs its full course: the gap coincides with
+        // the next observation, leaving no unobserved stretch before it.
+        assert_eq!(ts.step_integral(t(10)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gaps must be time-ordered")]
+    fn push_gap_out_of_order_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push_gap(t(10));
+        ts.push_gap(t(5));
+    }
+
+    #[test]
+    fn step_integral_excludes_unobserved_intervals() {
+        // 100 W observed for 6 s, unknown for 4 s, 200 W for 5 s.
+        let mut ts = series(&[(0, 100.0), (10, 200.0)]);
+        ts.push_gap(t(6));
+        assert_eq!(ts.step_integral(t(15)), 100.0 * 6.0 + 200.0 * 5.0);
+        assert_eq!(ts.observed_secs(t(15)), 11.0);
+        let mean = ts.mean_power_observed(t(15)).unwrap();
+        assert!((mean - 1600.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_after_last_sample_truncates_tail_hold() {
+        let mut ts = series(&[(0, 100.0)]);
+        ts.push_gap(t(10));
+        assert_eq!(ts.step_integral(t(20)), 1000.0);
+        assert_eq!(ts.observed_secs(t(20)), 10.0);
+        assert_eq!(ts.mean_power_observed(t(20)), Some(100.0));
+        assert_eq!(TimeSeries::new().mean_power_observed(t(20)), None);
+    }
+
+    #[test]
+    fn slice_and_combine_carry_gaps() {
+        let mut a = series(&[(0, 1.0), (20, 2.0)]);
+        a.push_gap(t(5));
+        a.push_gap(t(15));
+        let s = a.slice(t(10), t(30));
+        assert_eq!(s.gaps(), &[t(15)]);
+
+        let b = series(&[(0, 10.0), (20, 20.0)]);
+        let sum = a.add(&b);
+        assert_eq!(sum.gaps(), &[t(5), t(15)]);
+        // Stamps falling inside a gap of either input are skipped; both
+        // endpoints are observed on both sides.
+        assert_eq!(sum.values(), vec![11.0, 22.0]);
+
+        let mapped = a.map(|v| v * 2.0);
+        assert_eq!(mapped.gaps(), a.gaps());
+    }
+
+    #[test]
+    fn observed_mean_is_fault_tolerant() {
+        // A flat 100 W signal polled 10 times; polls 3 and 7 fail. The
+        // observed-interval mean must still be exactly 100 W — a naive
+        // zeros-for-misses record would report 80 W.
+        let mut faulty = TimeSeries::new();
+        let mut clean = TimeSeries::new();
+        for i in 0..10 {
+            clean.push(t(i * 10), 100.0);
+            if i == 3 || i == 7 {
+                faulty.push_gap(t(i * 10));
+            } else {
+                faulty.push(t(i * 10), 100.0);
+            }
+        }
+        let until = t(100);
+        assert_eq!(clean.mean_power_observed(until), Some(100.0));
+        assert_eq!(faulty.mean_power_observed(until), Some(100.0));
+        assert_eq!(faulty.observed_secs(until), 80.0);
+    }
+
+    #[test]
+    fn percentile_over_observed_values() {
+        let a = series(&[(0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0), (4, 50.0)]);
+        assert_eq!(a.percentile(0.0).unwrap(), 10.0);
+        assert_eq!(a.percentile(50.0).unwrap(), 30.0);
+        assert_eq!(a.percentile(100.0).unwrap(), 50.0);
+        assert!(TimeSeries::new().percentile(50.0).is_err());
     }
 }

@@ -274,6 +274,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(StatsError::Empty.to_string(), "empty input");
-        assert!(StatsError::DegenerateRegression.to_string().contains("distinct"));
+        assert!(StatsError::DegenerateRegression
+            .to_string()
+            .contains("distinct"));
     }
 }

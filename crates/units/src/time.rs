@@ -171,7 +171,14 @@ impl fmt::Display for SimInstant {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let day = self.day();
         let s = self.second_of_day();
-        write!(f, "d{}+{:02}:{:02}:{:02}", day, s / 3600, (s % 3600) / 60, s % 60)
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            day,
+            s / 3600,
+            (s % 3600) / 60,
+            s % 60
+        )
     }
 }
 
@@ -209,10 +216,7 @@ mod tests {
         let t = SimInstant::from_secs(100);
         assert_eq!(t + SimDuration::from_secs(20), SimInstant::from_secs(120));
         assert_eq!(t - SimDuration::from_secs(20), SimInstant::from_secs(80));
-        assert_eq!(
-            SimInstant::from_secs(120) - t,
-            SimDuration::from_secs(20)
-        );
+        assert_eq!(SimInstant::from_secs(120) - t, SimDuration::from_secs(20));
     }
 
     #[test]

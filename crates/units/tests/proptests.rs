@@ -1,6 +1,8 @@
 //! Property-based tests for the statistics and time-series primitives.
 
-use fj_units::{linear_regression, median, percentile, Sample, SimDuration, SimInstant, TimeSeries};
+use fj_units::{
+    linear_regression, median, percentile, Sample, SimDuration, SimInstant, TimeSeries,
+};
 use proptest::prelude::*;
 
 fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -22,10 +22,7 @@ fn arb_zoo() -> impl Strategy<Value = Zoo> {
             0..6,
         ),
         prop::collection::vec(("[A-Z0-9-]{2,12}", 1.0f64..500.0), 0..6),
-        prop::collection::vec(
-            ("[a-z0-9-]{2,12}", 0usize..4, arb_series()),
-            0..6,
-        ),
+        prop::collection::vec(("[a-z0-9-]{2,12}", 0usize..4, arb_series()), 0..6),
         prop::collection::vec((0usize..2, 10.0f64..500.0, 10.0f64..500.0), 0..6),
     )
         .prop_map(|(sheets, models, traces, psus)| {
@@ -111,12 +108,12 @@ proptest! {
     fn queries_are_exact(zoo in arb_zoo()) {
         for entry in zoo.datasheets() {
             let hits = zoo.datasheets_for(&entry.router_model);
-            prop_assert!(hits.iter().any(|h| *h == entry));
+            prop_assert!(hits.contains(&entry));
             prop_assert!(hits.iter().all(|h| h.router_model == entry.router_model));
         }
         for entry in zoo.traces() {
             let hits = zoo.traces_for(&entry.router_name, entry.kind);
-            prop_assert!(hits.iter().any(|h| *h == entry));
+            prop_assert!(hits.contains(&entry));
         }
     }
 }

@@ -27,7 +27,10 @@ fn main() {
         .position(|r| r.sim.spec().model == "8201-32FH")
         .expect("fleet has an 8201");
     let name = fleet.routers[target].name.clone();
-    println!("instrumenting {name} ({})", fleet.routers[target].sim.spec().model);
+    println!(
+        "instrumenting {name} ({})",
+        fleet.routers[target].sim.spec().model
+    );
 
     let router = Arc::new(Mutex::new(fleet.routers[target].sim.clone()));
 

@@ -13,18 +13,13 @@ use fantastic_joules::core::{builtin_registry, Speed, TransceiverType};
 use fantastic_joules::netpowerbench::{compare_to_reference, Derivation, DerivationConfig};
 
 fn main() {
-    let config = DerivationConfig::quick(
-        "Wedge100BF-32X",
-        TransceiverType::PassiveDac,
-        Speed::G100,
-    )
-    .expect("built-in model");
+    let config =
+        DerivationConfig::quick("Wedge100BF-32X", TransceiverType::PassiveDac, Speed::G100)
+            .expect("built-in model");
 
     println!(
         "deriving a power model for the {} ({} pairs, {} per point)…\n",
-        config.spec.model,
-        config.pairs,
-        config.point_duration
+        config.spec.model, config.pairs, config.point_duration
     );
     let derived = Derivation::run(&config, 7).expect("derivation succeeds");
     println!("{}\n", derived.report());
@@ -32,8 +27,8 @@ fn main() {
     // Compare against the published Table 6 row.
     let reference = builtin_registry();
     let reference = reference.get("Wedge100BF-32X").expect("published");
-    let errors = compare_to_reference(&derived.model, reference, derived.class)
-        .expect("same class");
+    let errors =
+        compare_to_reference(&derived.model, reference, derived.class).expect("same class");
     println!("absolute errors vs the published model:");
     println!("  P_base   {:>8.3} W", errors.p_base_w);
     println!("  P_port   {:>8.3} W", errors.p_port_w);

@@ -25,17 +25,24 @@ fn main() {
     chassis.insert_card(1, "A9K-8X100GE").expect("free slot");
     chassis.activate_card(1).expect("seated");
     chassis.insert_card(7, "A9K-24X10GE").expect("free slot"); // seated spare
-    println!("2 active cards + 1 seated spare: {:.0}", chassis.wall_power());
+    println!(
+        "2 active cards + 1 seated spare: {:.0}",
+        chassis.wall_power()
+    );
 
     // "Down ≠ off" applies to linecards too: shutting a card down keeps
     // its standby electronics burning.
     chassis.deactivate_card(1).expect("active");
-    println!("after shutting the 100G card:   {:.0}", chassis.wall_power());
     println!(
-        "  (the card still draws its inserted power — pull it to save the rest)"
+        "after shutting the 100G card:   {:.0}",
+        chassis.wall_power()
     );
+    println!("  (the card still draws its inserted power — pull it to save the rest)");
     chassis.remove_card(1).expect("seated");
-    println!("after pulling it:               {:.0}", chassis.wall_power());
+    println!(
+        "after pulling it:               {:.0}",
+        chassis.wall_power()
+    );
 
     // Characterise a card type from scratch, lab-style.
     println!("\nderiving the 24x10GE card's parameters (Bare/Inserted/Active)…");

@@ -43,7 +43,10 @@ fn main() {
 
     // 3. Serialise and reload — the repository round trip.
     let json = zoo.to_json().expect("serialises");
-    println!("\nzoo JSON size: {:.1} MiB", json.len() as f64 / (1024.0 * 1024.0));
+    println!(
+        "\nzoo JSON size: {:.1} MiB",
+        json.len() as f64 / (1024.0 * 1024.0)
+    );
     let reloaded = Zoo::from_json(&json).expect("parses");
     assert_eq!(reloaded.len(), zoo.len());
 
@@ -57,7 +60,10 @@ fn main() {
         Some(fit) => {
             println!("\nfitted pattern for {router_name}:");
             println!("  mean utilisation  {:6.2} %", 100.0 * fit.mean_utilization);
-            println!("  diurnal amplitude {:6.1} %", 100.0 * fit.diurnal_amplitude);
+            println!(
+                "  diurnal amplitude {:6.1} %",
+                100.0 * fit.diurnal_amplitude
+            );
             println!("  weekend factor    {:6.2}", fit.weekend_factor);
             println!("  residual σ (rel)  {:6.2}", fit.residual_rel_std);
             let replica = fit.to_pattern(7);

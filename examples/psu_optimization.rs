@@ -37,7 +37,11 @@ fn main() {
     println!("§9.3.2 — upgrade every PSU to an 80 Plus level:");
     for level in EightyPlus::ALL {
         let s = uplift_savings(&data, level);
-        println!("  ≥{level:<9} saves {:>6.0} W ({:.1} %)", s.saved_w, s.percent());
+        println!(
+            "  ≥{level:<9} saves {:>6.0} W ({:.1} %)",
+            s.saved_w,
+            s.percent()
+        );
     }
 
     let single = single_psu_savings(&data);

@@ -52,7 +52,12 @@ fn main() {
 
     // --- 3. Drive it through the console, like a lab session -------------
     println!("\nconsole session:");
-    for cmd in ["show power", "interface 0 down", "show power", "show interface 0"] {
+    for cmd in [
+        "show power",
+        "interface 0 down",
+        "show power",
+        "show interface 0",
+    ] {
         let reply = router.console(cmd).expect("valid command");
         println!("  dut# {cmd:<18} -> {reply}");
     }

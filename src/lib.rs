@@ -16,6 +16,7 @@
 
 pub use fj_core as core;
 pub use fj_datasheets as datasheets;
+pub use fj_faults as faults;
 pub use fj_hypnos as hypnos;
 pub use fj_isp as isp;
 pub use fj_meter as meter;

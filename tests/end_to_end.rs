@@ -80,7 +80,10 @@ fn link_sleeping_savings_in_paper_band() {
     let outcome = algorithm::decide(&algorithm::observe_links(&fleet), &HypnosConfig::default());
     let savings = sleeping_savings(&outcome);
     let (lo, hi) = savings.as_percent_of(fleet.total_wall_power_w());
-    assert!(lo > 0.05 && hi < 3.5, "savings {lo:.2}–{hi:.2} % out of band");
+    assert!(
+        lo > 0.05 && hi < 3.5,
+        "savings {lo:.2}–{hi:.2} % out of band"
+    );
     assert!(hi > lo);
 }
 

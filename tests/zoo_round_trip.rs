@@ -13,8 +13,8 @@ fn build_publish_and_reload_a_zoo() {
     let who = Contributor::new("fantastic-joules-ci");
 
     // 1. A derived model.
-    let config = DerivationConfig::quick("VSP-4900", TransceiverType::T, Speed::G10)
-        .expect("builtin");
+    let config =
+        DerivationConfig::quick("VSP-4900", TransceiverType::T, Speed::G10).expect("builtin");
     let derived = Derivation::run(&config, 11).expect("derivation");
     zoo.add_model(ModelEntry {
         model: derived.model.clone(),

@@ -1,0 +1,165 @@
+//! Vendored micro-benchmark harness for the offline workspace.
+//!
+//! Provides the criterion entry points the bench targets use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`) with simple wall-clock
+//! timing and a text report. No statistics, plots, or baselines. When
+//! invoked with `--test` (as `cargo test --benches` does), each benchmark
+//! runs a single iteration so the target merely smoke-tests.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark samples for (after a short warm-up).
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Hint for batched iteration; only the variants used in-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many iterations together.
+    SmallInput,
+    /// Large per-iteration inputs: keep batches small to bound memory.
+    LargeInput,
+    /// One fresh input per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Self { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            smoke_test: self.smoke_test,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.iters > 0 {
+            let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+            println!(
+                "bench: {name:<40} {:>12.1} ns/iter ({} iters)",
+                per_iter, bencher.iters
+            );
+        } else {
+            println!("bench: {name:<40} (no iterations)");
+        }
+        self
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    smoke_test: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.record(1, start.elapsed());
+            return;
+        }
+        // Warm-up, untimed.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < SAMPLE_BUDGET && iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.record(iters, start.elapsed());
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_test {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.record(1, start.elapsed());
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < SAMPLE_BUDGET && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.record(iters, elapsed);
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        self.iters += iters;
+        self.elapsed += elapsed;
+    }
+}
+
+/// Defines a benchmark group function runnable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_iterations() {
+        let mut c = Criterion { smoke_test: true };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::TestRng;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of values from `element`, sized within `size`. Rejects
+/// the case when the element domain cannot fill the minimum size.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..target * 10 + 50 {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng)?);
+        }
+        if set.len() < self.size.min {
+            return Err(Rejection("duplicate-heavy set element domain".into()));
+        }
+        Ok(set)
+    }
+}
+
+/// A `BTreeMap` with keys from `key` and values from `value`, sized
+/// within `size` (distinct keys).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        let target = self.size.pick(rng);
+        let mut map = BTreeMap::new();
+        for _ in 0..target * 10 + 50 {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.key.generate(rng)?, self.value.generate(rng)?);
+        }
+        if map.len() < self.size.min {
+            return Err(Rejection("duplicate-heavy map key domain".into()));
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_honoured() {
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        let s = vec(0u8..=255, 3..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((3..7).contains(&v.len()));
+        }
+        let fixed = vec(0u8..=255, 5);
+        assert_eq!(fixed.generate(&mut rng).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn sets_and_maps_get_distinct_keys() {
+        let mut rng = TestRng::for_case("collection::tests", 1);
+        let s = btree_set(0u32..1_000_000, 4..10);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng).unwrap();
+            assert!((4..10).contains(&set.len()));
+        }
+        let m = btree_map(0u32..1_000_000, 0u8..=255, 2..5);
+        for _ in 0..50 {
+            let map = m.generate(&mut rng).unwrap();
+            assert!((2..5).contains(&map.len()));
+        }
+    }
+}

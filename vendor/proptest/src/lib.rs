@@ -1,0 +1,252 @@
+//! Vendored property-testing harness for the offline workspace.
+//!
+//! Implements the slice of proptest's API this workspace uses: the
+//! [`proptest!`] macro, `prop_assert*`/`prop_assume!`, range / tuple /
+//! regex-string strategies, `prop::collection`, `prop::sample::select`,
+//! `prop::option::of`, and the `prop_map`/`prop_flat_map`/`prop_filter`
+//! combinators. Cases are generated from a deterministic per-test seed;
+//! there is no shrinking — a failure reports the case number and the
+//! assertion message instead of a minimised input.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+
+/// `prop::` namespace mirroring the upstream layout.
+pub mod prop {
+    pub use crate::{collection, option, sample};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic per-case RNG handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for one (test, case) pair: stable across runs so failures
+    /// reproduce by case number.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut hash = 0xcbf29ce484222325u64; // FNV-1a
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        let seed = hash ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}
+
+/// Why a test case did not count: an assumption/filter rejected it, or an
+/// assertion failed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Case discarded (`prop_assume!` or a filter); try another input.
+    Reject(String),
+    /// Property violated; the run fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Defines property tests. Accepts an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let __max_rejections: u64 = __config.cases as u64 * 64 + 256;
+            let mut __rejections: u64 = 0;
+            let mut __accepted: u32 = 0;
+            let mut __case: u64 = 0;
+            while __accepted < __config.cases {
+                assert!(
+                    __rejections <= __max_rejections,
+                    "proptest {__name}: too many rejected cases ({__rejections})",
+                );
+                let mut __rng = $crate::TestRng::for_case(__name, __case);
+                __case += 1;
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut __rng)
+                    {
+                        ::std::result::Result::Ok(v) => v,
+                        ::std::result::Result::Err(_) => {
+                            __rejections += 1;
+                            continue;
+                        }
+                    };
+                )+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        __rejections += 1;
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed (case {}): {}", __name, __case - 1, msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `{}` with the stringified condition as an argument, not as the
+        // format string itself: conditions may contain literal braces
+        // (struct patterns in `matches!`, etc.).
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r,
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

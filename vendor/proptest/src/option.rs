@@ -1,0 +1,49 @@
+//! `prop::option`: optional values.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::TestRng;
+use rand::Rng;
+
+/// `None` half the time, `Some` of the inner strategy otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        if rng.random_bool(0.5) {
+            Ok(Some(self.inner.generate(rng)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_occur() {
+        let mut rng = TestRng::for_case("option::tests", 0);
+        let s = of(0u8..10);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match s.generate(&mut rng).unwrap() {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 20 && none > 20);
+    }
+}

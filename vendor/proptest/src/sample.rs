@@ -1,0 +1,40 @@
+//! `prop::sample`: choosing among concrete values.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::TestRng;
+use rand::Rng;
+
+/// A strategy picking uniformly from `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.options[rng.random_range(0..self.options.len())].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_options() {
+        let mut rng = TestRng::for_case("sample::tests", 0);
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

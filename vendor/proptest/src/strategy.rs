@@ -1,0 +1,469 @@
+//! The [`Strategy`] trait, combinators, and primitive strategies.
+
+use crate::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A case was discarded during generation (filter miss, empty domain).
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// How often a filter may miss before the whole case is rejected.
+const FILTER_ATTEMPTS: usize = 64;
+
+/// Generates values of `Value` from an RNG.
+///
+/// Combinators carry `where Self: Sized` so the trait stays
+/// object-safe for [`BoxedStrategy`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or rejects the case.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a second strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(pub Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.source.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        (self.f)(self.source.generate(rng)?).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        for _ in 0..FILTER_ATTEMPTS {
+            let v = self.source.generate(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(self.whence.clone()))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A strategy drawing uniformly from `options`.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// The full-domain strategy for `T`: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                if self.start >= self.end {
+                    return Err(Rejection(format!("empty range {:?}", self)));
+                }
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                if self.start() > self.end() {
+                    return Err(Rejection(format!("empty range {:?}", self)));
+                }
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---------------------------------------------------------------------
+// Tuples and vectors of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+);
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-style string strategies
+// ---------------------------------------------------------------------
+
+/// A `&str` is a strategy generating strings matching it as a (small
+/// subset of a) regex: literal characters, `[...]` classes with ranges,
+/// and `{n}` / `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        let atoms = parse_pattern(self).map_err(Rejection)?;
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.random_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.chars[rng.random_range(0..atom.chars.len())]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Atom>, String> {
+    let cs: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        let chars = match cs[i] {
+            '[' => {
+                let close = cs[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| format!("unclosed class in {pattern:?}"))?;
+                let class = &cs[i + 1..i + 1 + close];
+                i += close + 2;
+                parse_class(class)?
+            }
+            '\\' => {
+                i += 1;
+                let c = *cs
+                    .get(i)
+                    .ok_or_else(|| format!("dangling escape in {pattern:?}"))?;
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if chars.is_empty() {
+            return Err(format!("empty character class in {pattern:?}"));
+        }
+        let (min, max) = if cs.get(i) == Some(&'{') {
+            let close = cs[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| format!("unclosed quantifier in {pattern:?}"))?;
+            let body: String = cs[i + 1..i + 1 + close].iter().collect();
+            i += close + 2;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse()
+                        .map_err(|e| format!("bad quantifier: {e}"))?,
+                    hi.trim()
+                        .parse()
+                        .map_err(|e| format!("bad quantifier: {e}"))?,
+                ),
+                None => {
+                    let n = body
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad quantifier: {e}"))?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return Err(format!("inverted quantifier in {pattern:?}"));
+        }
+        atoms.push(Atom { chars, min, max });
+    }
+    Ok(atoms)
+}
+
+fn parse_class(class: &[char]) -> Result<Vec<char>, String> {
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return Err(format!("inverted range {lo}-{hi}"));
+            }
+            for code in lo as u32..=hi as u32 {
+                if let Some(c) = char::from_u32(code) {
+                    chars.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    Ok(chars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (5u32..10).generate(&mut r).unwrap();
+            assert!((5..10).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut r).unwrap();
+            assert!((0.25..0.75).contains(&f));
+        }
+        assert!((5u32..5).generate(&mut r).is_err());
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut r = rng();
+        let s = (0u32..10)
+            .prop_map(|v| v * 2)
+            .prop_filter("even and small", |v| *v < 10)
+            .prop_flat_map(|v| v..v + 1);
+        for _ in 0..100 {
+            let v = s.generate(&mut r).unwrap();
+            assert!(v < 10 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn regex_patterns_match_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[A-Z0-9]{2,6}-[A-Z0-9]{2,8}".generate(&mut r).unwrap();
+            let parts: Vec<&str> = s.splitn(2, '-').collect();
+            assert_eq!(parts.len(), 2, "{s}");
+            assert!((2..=6).contains(&parts[0].len()), "{s}");
+            assert!((2..=8).contains(&parts[1].len()), "{s}");
+            let printable = "[ -~]{0,64}".generate(&mut r).unwrap();
+            assert!(printable.len() <= 64);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+            let dash = "[a-z0-9-]{1,32}".generate(&mut r).unwrap();
+            assert!(dash
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn tuples_and_vecs_generate_elementwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u8..10, 10u8..20, 20u8..30).generate(&mut r).unwrap();
+        assert!(a < 10 && (10..20).contains(&b) && (20..30).contains(&c));
+        let strategies = vec![0u8..1, 1u8..2, 2u8..3];
+        let vs = strategies.generate(&mut r).unwrap();
+        assert_eq!(vs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut r = rng();
+        let s = OneOf::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut r).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Vendored, dependency-free subset of `rand_distr`.
+//!
+//! `Uniform`, `Normal` (Box–Muller), and `LogNormal` over `f64` — the
+//! distributions the datasheet corpus generator draws from.
+
+use rand::{RngCore, RngExt};
+use std::fmt;
+
+/// Parameter errors from distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A parameter was NaN, infinite, or out of the legal domain.
+    BadParameter,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that generate samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// A uniform distribution on `[low, high)`.
+    pub fn new(low: f64, high: f64) -> Result<Self, Error> {
+        if !(low.is_finite() && high.is_finite()) || low >= high {
+            return Err(Error::BadParameter);
+        }
+        Ok(Self { low, high })
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.random_range(self.low..self.high)
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !(mean.is_finite() && std_dev.is_finite()) || std_dev < 0.0 {
+            return Err(Error::BadParameter);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// One standard-normal variate via Box–Muller.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln never sees zero.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// A log-normal whose logarithm has mean `mu` and std dev `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 20_000.0 - 3.0).abs() < 0.05);
+        assert!(Uniform::new(4.0, 4.0).is_err());
+        assert!(Uniform::new(f64::NAN, 5.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_median() {
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let below = (0..n)
+            .filter(|_| d.sample(&mut rng) < std::f64::consts::E)
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median fraction {frac}");
+    }
+}

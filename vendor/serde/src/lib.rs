@@ -1,0 +1,532 @@
+//! Vendored serde facade built on an explicit value model.
+//!
+//! The real serde streams through `Serializer`/`Deserializer` traits; this
+//! offline stand-in routes everything through [`Value`], a JSON-shaped
+//! tree. The derive macros (re-exported from `serde_derive`) generate
+//! `to_value`/`from_value` implementations, and the vendored `serde_json`
+//! renders/parses [`Value`] as JSON text. Semantics follow serde's JSON
+//! conventions: structs are maps, newtype structs are transparent, enums
+//! are externally tagged, and maps with non-string keys serialize as
+//! arrays of `[key, value]` pairs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The data model every serializable type lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (fits in `i64`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key-ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An arbitrary error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y, found Z" helper.
+    pub fn expected(what: &str, context: &str, found: &Value) -> Self {
+        Self {
+            msg: format!("expected {what} for {context}, found {}", found.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// The value-model representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the value model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Owned variant used by generated code (`Deserialize` for `T` given
+/// `Value`); identical to [`Deserialize::from_value`].
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, DeError> {
+    T::from_value(v)
+}
+
+const NULL: Value = Value::Null;
+
+/// Field lookup for derived structs: returns `Null` for a missing key so
+/// `Option` fields tolerate omission while required fields report a
+/// useful error when they try to parse `null`.
+pub fn field<'v>(entries: &'v [(String, Value)], name: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("unsigned value overflows signed target"))?,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => *f as i64,
+                    other => return Err(DeError::expected("integer", stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(
+                    format!("{n} out of range for {}", stringify!($t)),
+                ))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("negative value for unsigned target"))?,
+                    Value::UInt(n) => *n,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.9e19 => *f as u64,
+                    other => return Err(DeError::expected("integer", stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(
+                    format!("{n} out of range for {}", stringify!($t)),
+                ))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", "f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            // A missing field is presented as Null; treat it as empty so
+            // schema evolution (added collection fields) stays loadable.
+            Value::Null => Ok(Vec::new()),
+            other => Err(DeError::expected("array", "Vec", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:literal)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple", v))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {} elements, found {}", $len, items.len(),
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4),
+);
+
+/// Serializes map entries: a string-keyed map becomes a JSON object,
+/// anything else an array of `[key, value]` pairs.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)> + Clone,
+{
+    let all_string_keys = entries
+        .clone()
+        .all(|(k, _)| matches!(k.to_value(), Value::Str(_)));
+    if all_string_keys {
+        Value::Map(
+            entries
+                .map(|(k, v)| {
+                    let Value::Str(key) = k.to_value() else {
+                        unreachable!("checked above");
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+/// Parses entries written by [`map_to_value`].
+fn map_from_value<K, V>(v: &Value) -> Result<Vec<(K, V)>, DeError>
+where
+    K: Deserialize,
+    V: Deserialize,
+{
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&Value::Str(k.clone()))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect(),
+        Value::Array(pairs) => pairs
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("[key, value] pair", "map entry", pair))?;
+                if items.len() != 2 {
+                    return Err(DeError::custom("map entry pair must have 2 elements"));
+                }
+                Ok((K::from_value(&items[0])?, V::from_value(&items[1])?))
+            })
+            .collect(),
+        Value::Null => Ok(Vec::new()),
+        other => Err(DeError::expected("map", "map", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let back = T::from_value(&v.to_value()).expect("round trip parses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(true);
+        round_trip(-42i64);
+        round_trip(u64::MAX);
+        round_trip(3.25f64);
+        round_trip("hello".to_string());
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![1i32, 2, 3]);
+        round_trip((1u8, "x".to_string()));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(f64::from_value(&Value::Int(5)).unwrap(), 5.0);
+        assert_eq!(i64::from_value(&Value::Float(5.0)).unwrap(), 5);
+        assert!(i64::from_value(&Value::Float(5.5)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn string_keyed_map_is_object() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        assert!(matches!(m.to_value(), Value::Map(_)));
+        round_trip(m);
+    }
+
+    #[test]
+    fn non_string_keyed_map_is_pair_array() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        assert!(matches!(m.to_value(), Value::Array(_)));
+        round_trip(m);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let entries = vec![("present".to_string(), Value::Int(1))];
+        assert_eq!(field(&entries, "present"), &Value::Int(1));
+        assert_eq!(field(&entries, "absent"), &Value::Null);
+        assert_eq!(
+            Option::<u32>::from_value(field(&entries, "absent")).unwrap(),
+            None
+        );
+    }
+}
