@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> telemetry smoke"
+cargo run -q -p fj-bench --bin telemetry_smoke
+
 if [[ "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> chaos soak (full)"
     cargo test -p fj-faults --test chaos_soak -q -- --ignored

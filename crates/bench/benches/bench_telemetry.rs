@@ -1,0 +1,51 @@
+//! Performance of the telemetry snapshot path.
+//!
+//! The metric registry is written on every poll of every router; the
+//! snapshot renderers run whenever an experiment or operator dumps state.
+//! The acceptance bar: rendering a registry holding a 10 000-sample
+//! histogram — Prometheus text or JSON — stays under a millisecond, so
+//! periodic scraping never competes with collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fj_telemetry::render::{to_json_value, to_prometheus_text};
+use fj_telemetry::{EventLog, Histogram, Registry};
+
+fn populated_registry() -> (Registry, EventLog) {
+    let registry = Registry::new();
+    let hist = registry.histogram("poll_duration_seconds", &[]);
+    // 10k latency-like samples spanning several decades.
+    for i in 0..10_000u32 {
+        hist.observe(1e-4 * (1.0 + f64::from(i % 997)));
+    }
+    for unit in ["zrh", "gva", "bsl"] {
+        registry.counter("polls_total", &[("site", unit)]).add(1234);
+        registry.gauge("health", &[("site", unit)]).set(1.0);
+    }
+    (registry, EventLog::new(64))
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let h = Histogram::new();
+    let mut i = 0u64;
+    c.bench_function("histogram_observe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            h.observe(black_box(1e-3 * (1 + i % 1000) as f64));
+        })
+    });
+}
+
+fn bench_render(c: &mut Criterion) {
+    let (registry, events) = populated_registry();
+    c.bench_function("render_prometheus_10k_histogram", |b| {
+        b.iter(|| black_box(to_prometheus_text(&registry.snapshot())))
+    });
+    c.bench_function("render_json_10k_histogram", |b| {
+        b.iter(|| black_box(to_json_value(&registry.snapshot(), &events)))
+    });
+}
+
+criterion_group!(benches, bench_observe, bench_render);
+criterion_main!(benches);

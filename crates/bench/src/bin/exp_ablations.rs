@@ -33,7 +33,7 @@ fn config(pairs: usize, minutes: i64) -> DerivationConfig {
 }
 
 fn main() {
-    banner("Ablations", "NetPowerBench design choices, quantified");
+    let _run = banner("Ablations", "NetPowerBench design choices, quantified");
     ablation_regression_vs_single_point();
     ablation_two_step_vs_joint();
     ablation_p_offset();

@@ -40,7 +40,7 @@ fn actuate_hot_standby(fleet: &mut Fleet) -> usize {
 }
 
 fn main() {
-    banner(
+    let _run = banner(
         "Extension",
         "combined actuated savings: sleeping + hot standby",
     );

@@ -12,7 +12,7 @@ use fj_snmp::mib::{psu_efficiencies, snapshot};
 use fj_units::SimDuration;
 
 fn main() {
-    banner("Extension", "continuous PSU-efficiency tracking (GREEN)");
+    let _run = banner("Extension", "continuous PSU-efficiency tracking (GREEN)");
     let mut fleet = standard_fleet();
 
     // Track one good router (NCS) and one poor one (8201) for 48 hours.

@@ -13,7 +13,7 @@ use fj_isp::stats::psu_snapshot;
 use fj_psu::single_psu_savings;
 
 fn main() {
-    banner("Extension", "fleet-wide hot-standby PSU what-if, actuated");
+    let _run = banner("Extension", "fleet-wide hot-standby PSU what-if, actuated");
 
     // Estimate first (the §9.3.4 method on the sensor snapshot).
     let fleet = standard_fleet();

@@ -13,12 +13,19 @@ use fj_isp::trace;
 use fj_units::{SimDuration, SimInstant};
 
 fn main() {
-    banner("Extension", "10-month horizon with energy accounting");
+    let _run = banner("Extension", "10-month horizon with energy accounting");
     let mut fleet = standard_fleet();
     let start = SimInstant::EPOCH;
     let end = SimInstant::from_days(305);
     let step = SimDuration::from_mins(5);
-    eprintln!("simulating 305 days at 5-minute polls; this takes a few minutes…");
+    // Progress note goes through the event log (banner arms stderr echo),
+    // so it is captured in the snapshot alongside the collection metrics.
+    fj_telemetry::global().event(
+        fj_telemetry::Level::Info,
+        "bench.long_horizon",
+        "simulating 305 days at 5-minute polls; this takes a few minutes…",
+        &[("days", "305".to_owned())],
+    );
 
     let traces = trace::collect(&mut fleet, start, end, step, vec![], &[]).expect("collection");
 

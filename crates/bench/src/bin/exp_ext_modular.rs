@@ -10,7 +10,7 @@ use fj_netpowerbench::{derive_linecard, LinecardDerivationConfig};
 use fj_router_sim::ModularRouter;
 
 fn main() {
-    banner("Extension", "P_linecard derivation on a modular chassis");
+    let _run = banner("Extension", "P_linecard derivation on a modular chassis");
 
     let mut router = ModularRouter::asr9010_like(0.0);
     println!(

@@ -13,7 +13,7 @@ use fj_datasheets::{
 };
 
 fn main() {
-    banner(
+    let _run = banner(
         "Extension",
         "datasheet parser quality and its downstream impact",
     );

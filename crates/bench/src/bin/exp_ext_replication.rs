@@ -14,7 +14,7 @@ use fj_netpowerbench::{compare_to_reference, Derivation, DerivationConfig};
 use fj_zoo::{Contributor, ModelEntry, Zoo};
 
 fn main() {
-    banner("Extension", "three-lab replication + consensus averaging");
+    let _run = banner("Extension", "three-lab replication + consensus averaging");
     let class: InterfaceClass = "QSFP28/Passive DAC/100G".parse().expect("parses");
     let registry = builtin_registry();
     let truth = registry.get("Wedge100BF-32X").expect("published");

@@ -10,7 +10,7 @@ use fj_isp::{trace, EventKind, ScheduledEvent};
 use fj_units::{correlation, SimInstant, Watts};
 
 fn main() {
-    banner("Fig. 1", "network-wide power and traffic over eight weeks");
+    let _run = banner("Fig. 1", "network-wide power and traffic over eight weeks");
     let mut fleet = standard_fleet();
     let (start, end, step) = standard_window();
 

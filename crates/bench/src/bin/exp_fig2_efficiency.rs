@@ -11,7 +11,7 @@ use fj_datasheets::{
 };
 
 fn main() {
-    banner(
+    let _run = banner(
         "Fig. 2",
         "power-efficiency trends: ASIC vs router datasheets",
     );

@@ -17,7 +17,7 @@ use fj_isp::{trace, EventKind, ScheduledEvent};
 use fj_units::{correlation, SimDuration, SimInstant, TimeSeries};
 
 fn main() {
-    banner(
+    let _run = banner(
         "Fig. 4",
         "PSU vs Autopower vs model, three instrumented routers",
     );

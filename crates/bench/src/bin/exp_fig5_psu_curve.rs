@@ -9,7 +9,7 @@ use fj_bench::{banner, table::TablePrinter};
 use fj_psu::{pfe600_curve, EightyPlus};
 
 fn main() {
-    banner("Fig. 5", "PFE600 efficiency curve + 80 Plus set points");
+    let _run = banner("Fig. 5", "PFE600 efficiency curve + 80 Plus set points");
 
     let curve = pfe600_curve();
     println!("\nPFE600-12-054xA efficiency vs load:");

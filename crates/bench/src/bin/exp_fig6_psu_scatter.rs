@@ -9,7 +9,7 @@ use fj_isp::stats::psu_snapshot;
 use fj_units::{mean, median, percentile};
 
 fn main() {
-    banner("Fig. 6", "PSU efficiency snapshot by router model");
+    let _run = banner("Fig. 6", "PSU efficiency snapshot by router model");
     let fleet = standard_fleet();
     let snapshot = psu_snapshot(&fleet);
 

@@ -11,7 +11,7 @@ use fj_router_sim::{RouterSpec, SimulatedRouter};
 use fj_units::SimDuration;
 
 fn main() {
-    banner("Fig. 7", "Autopower operator status board (live TCP)");
+    let _run = banner("Fig. 7", "Autopower operator status board (live TCP)");
     let server = AutopowerServer::spawn().expect("bind loopback");
 
     // Three instrumented routers, as in the deployment.

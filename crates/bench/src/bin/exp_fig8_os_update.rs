@@ -11,7 +11,7 @@ use fj_router_sim::{RouterSpec, SimulatedRouter};
 use fj_units::{SimDuration, SimInstant, TimeSeries, Watts};
 
 fn main() {
-    banner("Fig. 8", "OS update → fan speed → +45 W");
+    let _run = banner("Fig. 8", "OS update → fan speed → +45 W");
 
     // A deployed 8201 with a realistic complement of interfaces, metered
     // externally for four weeks; the update lands mid-trace.

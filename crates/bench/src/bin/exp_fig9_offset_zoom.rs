@@ -11,7 +11,7 @@ use fj_isp::trace;
 use fj_units::{SimDuration, SimInstant};
 
 fn main() {
-    banner("Fig. 9", "offset-corrected model precision");
+    let _run = banner("Fig. 9", "offset-corrected model precision");
     let mut fleet = standard_fleet();
     let (start, end, step) = (
         SimInstant::EPOCH,

@@ -7,7 +7,7 @@ use fj_isp::FleetInsights;
 use fj_units::{Bytes, DataRate, EnergyPerBit, EnergyPerPacket};
 
 fn main() {
-    banner("§7", "insights on router power");
+    let _run = banner("§7", "insights on router power");
     let mut fleet = standard_fleet();
     // Mid-afternoon on a weekday: representative traffic.
     fleet

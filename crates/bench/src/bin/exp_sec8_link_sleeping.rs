@@ -12,7 +12,7 @@ use fj_isp::FleetInsights;
 use fj_units::SimDuration;
 
 fn main() {
-    banner("§8", "link-sleeping savings (Hypnos, one month, hourly)");
+    let _run = banner("§8", "link-sleeping savings (Hypnos, one month, hourly)");
     let mut fleet = standard_fleet();
     let config = HypnosConfig::default();
 

@@ -12,7 +12,7 @@ use fj_isp::trace;
 use fj_units::median;
 
 fn main() {
-    banner("Table 1", "datasheet accuracy against deployed medians");
+    let _run = banner("Table 1", "datasheet accuracy against deployed medians");
     let mut fleet = standard_fleet();
     let (start, end, step) = short_window();
     let traces =

@@ -8,6 +8,6 @@
 use fj_bench::{banner, derive_report::run_rows, paper};
 
 fn main() {
-    banner("Table 2", "derived power models (body-text devices)");
+    let _run = banner("Table 2", "derived power models (body-text devices)");
     run_rows(&paper::TABLE2);
 }

@@ -6,7 +6,7 @@ use fj_isp::stats::psu_snapshot;
 use fj_psu::{combined_savings, single_psu_savings, uplift_savings, EightyPlus};
 
 fn main() {
-    banner("Table 3", "PSU efficiency what-ifs");
+    let _run = banner("Table 3", "PSU efficiency what-ifs");
     let fleet = standard_fleet();
     let data = psu_snapshot(&fleet);
     println!(

@@ -10,7 +10,7 @@ use fj_isp::stats::psu_snapshot;
 use fj_psu::right_sizing_savings;
 
 fn main() {
-    banner("Table 4", "PSU capacity right-sizing");
+    let _run = banner("Table 4", "PSU capacity right-sizing");
     let fleet = standard_fleet();
     let data = psu_snapshot(&fleet);
 

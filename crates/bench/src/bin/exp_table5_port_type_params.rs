@@ -6,7 +6,7 @@ use fj_bench::{banner, paper, table::*};
 use fj_core::builtin_registry;
 
 fn main() {
-    banner("Table 5", "per-port-type parameter averages for §8");
+    let _run = banner("Table 5", "per-port-type parameter averages for §8");
     let averages = builtin_registry().port_type_averages();
 
     let t = TablePrinter::new(&[10, 12, 12, 12, 12, 7]);

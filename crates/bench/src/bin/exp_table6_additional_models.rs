@@ -5,6 +5,6 @@
 use fj_bench::{banner, derive_report::run_rows, paper};
 
 fn main() {
-    banner("Table 6", "derived power models (appendix devices)");
+    let _run = banner("Table 6", "derived power models (appendix devices)");
     run_rows(&paper::TABLE6);
 }

@@ -1,0 +1,190 @@
+//! CI telemetry smoke: a compact chaos run over both measurement planes,
+//! snapshotted and then re-parsed the way an external consumer would.
+//!
+//! The binary is self-contained (it does not depend on test ordering): it
+//! drives a faulty SNMP agent, a corrupting Autopower server, and a dead
+//! poll target through the health ladder, writes the snapshot to
+//! `target/telemetry/chaos_soak.json`, parses it back, and asserts the
+//! observability contract — polls counted, gaps counted, corruption
+//! visible, a quarantine recorded. Exits non-zero on any violation, so
+//! `ci.sh` can gate on it.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use fj_core::{Speed, TransceiverType};
+use fj_faults::{FaultPlan, HealthState};
+use fj_meter::autopower::protocol::PowerSample;
+use fj_meter::{AutopowerClient, AutopowerServer};
+use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_snmp::agent::AgentConfig;
+use fj_snmp::mib::oids;
+use fj_snmp::{SnmpAgent, SnmpPoller};
+use fj_telemetry::{Level, Telemetry};
+use fj_units::SimInstant;
+
+const ROUNDS: i64 = 120;
+
+fn run_scenario() -> Arc<Telemetry> {
+    let telemetry = Telemetry::with_capacity(8192);
+
+    // UDP plane: one router behind an agent that drops and corrupts.
+    let mut r = SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 5);
+    r.plug(0, TransceiverType::PassiveDac, Speed::G100).unwrap();
+    r.plug(1, TransceiverType::PassiveDac, Speed::G100).unwrap();
+    r.cable(0, 1).unwrap();
+    let router = Arc::new(Mutex::new(r));
+    let agent = SnmpAgent::spawn_with_config(
+        Arc::clone(&router),
+        AgentConfig {
+            faults: FaultPlan::new(0x7E1E_0001)
+                .with_drop_rate(0.2)
+                .with_corrupt_rate(0.15),
+            stream: "smoke-agent".to_owned(),
+            telemetry: Arc::clone(&telemetry),
+            ..AgentConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut poller = SnmpPoller::with_telemetry(Arc::clone(&telemetry)).unwrap();
+    poller.timeout = Duration::from_millis(15);
+    poller.retries = 2;
+    let gaps = telemetry
+        .registry()
+        .counter("gaps_total", &[("source", "snmp")]);
+    for round in 0..ROUNDS {
+        let t = SimInstant::from_secs(round);
+        telemetry.set_now(t);
+        // Wait out any failure backoff so each round genuinely polls —
+        // suppressed rounds would record gaps without exercising the
+        // wire (and its CRC checks) at all.
+        while poller.in_backoff(agent.addr()) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if poller.walk(agent.addr(), &oids::psu_in_power()).is_err() {
+            gaps.inc();
+            telemetry.event(
+                Level::Warn,
+                "smoke.collect",
+                "poll round missed, gap recorded",
+                &[("series", "snmp".to_owned())],
+            );
+        }
+    }
+
+    // TCP plane: an Autopower pair under frame corruption.
+    let server = AutopowerServer::spawn_with(
+        FaultPlan::new(0x7E1E_0002).with_corrupt_rate(0.2),
+        "smoke-server",
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let mut client =
+        AutopowerClient::with_telemetry("smoke-unit", server.addr(), Arc::clone(&telemetry));
+    client.read_timeout = Duration::from_millis(100);
+    for round in 0..40 {
+        client.push_sample(PowerSample {
+            at: SimInstant::from_secs(round),
+            watts: 400.0,
+        });
+        let _ = client.flush();
+    }
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while client.buffered() > 0 && std::time::Instant::now() < drain_deadline {
+        let _ = client.flush();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Health ladder: a dead target descends to quarantine.
+    poller.set_health_thresholds(2, 4, Duration::from_millis(50));
+    poller.timeout = Duration::from_millis(5);
+    poller.retries = 1;
+    let dead: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+    let attempt_deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while poller.health_state(dead) != HealthState::Quarantined {
+        assert!(
+            std::time::Instant::now() < attempt_deadline,
+            "dead target never quarantined"
+        );
+        while poller.in_backoff(dead) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let _ = poller.get(dead, &oids::psu_in_power());
+    }
+
+    agent.shutdown();
+    server.shutdown();
+    telemetry
+}
+
+/// Sum of a counter over all label sets, read back from the parsed JSON.
+fn counter_sum(metrics: &[serde::Value], name: &str) -> u64 {
+    metrics
+        .iter()
+        .filter_map(|m| m.as_map())
+        .filter(|m| serde::field(m, "name").as_str() == Some(name))
+        .filter_map(|m| match serde::field(m, "value") {
+            serde::Value::Int(v) => Some(*v as u64),
+            serde::Value::UInt(v) => Some(*v),
+            _ => None,
+        })
+        .sum()
+}
+
+fn main() -> ExitCode {
+    let telemetry = run_scenario();
+    let path = fj_bench::telemetry_dir().join("chaos_soak.json");
+    telemetry.write_snapshot(&path).expect("snapshot written");
+
+    // Re-parse from disk: the contract is on the artifact, not on the
+    // in-memory registry.
+    let raw = std::fs::read_to_string(&path).expect("snapshot readable");
+    let parsed: serde::Value = serde_json::from_str(&raw).expect("snapshot is valid JSON");
+    let root = parsed.as_map().expect("snapshot is a JSON object");
+    let metrics = serde::field(root, "metrics")
+        .as_array()
+        .expect("snapshot has a metrics array");
+    let events = serde::field(root, "events")
+        .as_map()
+        .expect("snapshot has an events object");
+
+    let mut failures = Vec::new();
+    let mut check = |label: &str, ok: bool| {
+        println!("  {} {label}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures.push(label.to_owned());
+        }
+    };
+    let polls = counter_sum(metrics, "snmp_polls_total");
+    let gaps = counter_sum(metrics, "gaps_total");
+    let corruption = counter_sum(metrics, "snmp_crc_failures_total")
+        + counter_sum(metrics, "autopower_frames_corrupted_total");
+    let quarantines = counter_sum(metrics, "snmp_health_transitions_total");
+    let entries = serde::field(events, "entries")
+        .as_array()
+        .map_or(0, |e| e.len());
+    println!("telemetry smoke: {}", path.display());
+    check(&format!("snmp_polls_total > 0 (= {polls})"), polls > 0);
+    check(&format!("gaps_total > 0 (= {gaps})"), gaps > 0);
+    check(
+        &format!("crc failures + corrupted frames > 0 (= {corruption})"),
+        corruption > 0,
+    );
+    check(
+        &format!("health transitions recorded (= {quarantines})"),
+        quarantines >= 2, // at least degraded + quarantined
+    );
+    check(&format!("event log non-empty (= {entries})"), entries > 0);
+
+    if failures.is_empty() {
+        println!("telemetry smoke OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("telemetry smoke FAILED: {}", failures.join("; "));
+        ExitCode::FAILURE
+    }
+}

@@ -15,7 +15,11 @@ pub mod derive_report;
 pub mod paper;
 pub mod table;
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use fj_isp::{build_fleet, Fleet, FleetConfig};
+use fj_telemetry::{Level, MetricValue, Telemetry};
 use fj_units::{SimDuration, SimInstant};
 
 /// The standard seed used by every experiment, so all printed numbers are
@@ -48,12 +52,78 @@ pub fn short_window() -> (SimInstant, SimInstant, SimDuration) {
     )
 }
 
-/// Prints the standard experiment banner.
-pub fn banner(id: &str, title: &str) {
+/// Where experiment binaries drop their telemetry snapshots
+/// (`target/telemetry/<binary>.json`).
+pub fn telemetry_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/telemetry"
+    ))
+}
+
+/// Prints the standard experiment banner and arms the telemetry summary:
+/// the returned guard, dropped at the end of `main`, prints a metric
+/// summary table and writes the process-wide snapshot to
+/// [`telemetry_dir`]`/<binary>.json`. Info-and-up events echo to stderr
+/// while the experiment runs, so progress notes stay out of the
+/// machine-readable stdout tables.
+#[must_use = "bind to a variable (`let _run = banner(...)`) so the telemetry summary prints at exit"]
+pub fn banner(id: &str, title: &str) -> ExperimentRun {
     println!("==============================================================");
     println!("{id} — {title}");
     println!("seed {EXPERIMENT_SEED}; all numbers deterministic");
     println!("==============================================================");
+    let telemetry = Arc::clone(fj_telemetry::global());
+    telemetry.events().set_stderr_echo(Some(Level::Info));
+    ExperimentRun { telemetry }
+}
+
+/// Guard returned by [`banner`]; see there.
+pub struct ExperimentRun {
+    telemetry: Arc<Telemetry>,
+}
+
+impl Drop for ExperimentRun {
+    fn drop(&mut self) {
+        let metrics = self.telemetry.registry().snapshot();
+        if metrics.is_empty() && self.telemetry.events().is_empty() {
+            return; // nothing instrumented ran; keep the output clean
+        }
+        println!(
+            "\n--- telemetry ({} series, {} events) ---",
+            metrics.len(),
+            self.telemetry.events().len()
+        );
+        for m in &metrics {
+            let labels = if m.labels.is_empty() {
+                String::new()
+            } else {
+                let inner: Vec<String> =
+                    m.labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+                format!("{{{}}}", inner.join(","))
+            };
+            match &m.value {
+                MetricValue::Counter(c) => println!("  {}{labels} {c}", m.name),
+                MetricValue::Gauge(g) => println!("  {}{labels} {g}", m.name),
+                MetricValue::Histogram(h) => println!(
+                    "  {}{labels} count={} mean={:.6} p99={:.6}",
+                    m.name,
+                    h.count,
+                    h.mean().unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0),
+                ),
+            }
+        }
+        let slug = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "experiment".to_owned());
+        let path = telemetry_dir().join(format!("{slug}.json"));
+        match self.telemetry.write_snapshot(&path) {
+            Ok(()) => println!("telemetry snapshot: {}", path.display()),
+            Err(e) => eprintln!("telemetry snapshot failed: {e}"),
+        }
+    }
 }
 
 #[cfg(test)]

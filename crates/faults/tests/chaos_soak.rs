@@ -23,12 +23,14 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use fj_core::{InterfaceLoad, Speed, TransceiverType};
-use fj_faults::{CrashSchedule, FaultPlan};
+use fj_faults::{CrashSchedule, FaultPlan, HealthState};
 use fj_meter::autopower::protocol::PowerSample;
 use fj_meter::{AutopowerClient, AutopowerServer};
 use fj_router_sim::{RouterSpec, SimulatedRouter};
+use fj_snmp::agent::AgentConfig;
 use fj_snmp::mib::oids;
 use fj_snmp::{SnmpAgent, SnmpError, SnmpPoller};
+use fj_telemetry::{Level, Telemetry};
 use fj_units::{Bytes, DataRate, SimDuration, SimInstant, TimeSeries};
 
 /// One router with both a clean and a faulty agent over the same state:
@@ -40,7 +42,7 @@ struct SoakRouter {
     faulty: SnmpAgent,
 }
 
-fn spawn_fleet(n: usize, plan: &FaultPlan) -> Vec<SoakRouter> {
+fn spawn_fleet(n: usize, plan: &FaultPlan, telemetry: &Arc<Telemetry>) -> Vec<SoakRouter> {
     (0..n)
         .map(|i| {
             let mut r = SimulatedRouter::new(RouterSpec::builtin("8201-32FH").unwrap(), 5);
@@ -50,11 +52,22 @@ fn spawn_fleet(n: usize, plan: &FaultPlan) -> Vec<SoakRouter> {
             r.set_admin(0, true).unwrap();
             r.set_admin(1, true).unwrap();
             let router = Arc::new(Mutex::new(r));
-            let clean = SnmpAgent::spawn(Arc::clone(&router)).unwrap();
-            let faulty = SnmpAgent::spawn_with_faults(
+            let clean = SnmpAgent::spawn_with_config(
                 Arc::clone(&router),
-                plan.clone(),
-                format!("soak-agent-{i}"),
+                AgentConfig {
+                    telemetry: Arc::clone(telemetry),
+                    ..AgentConfig::default()
+                },
+            )
+            .unwrap();
+            let faulty = SnmpAgent::spawn_with_config(
+                Arc::clone(&router),
+                AgentConfig {
+                    faults: plan.clone(),
+                    stream: format!("soak-agent-{i}"),
+                    telemetry: Arc::clone(telemetry),
+                    ..AgentConfig::default()
+                },
             )
             .unwrap();
             SoakRouter {
@@ -92,24 +105,37 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
             down: Duration::from_millis(60),
         });
 
-    let fleet = spawn_fleet(n_routers, &udp_plan);
-    let server = AutopowerServer::spawn_with_faults(tcp_plan, "soak-server").unwrap();
+    // One isolated telemetry bundle observes both planes; the snapshot is
+    // written at the end for the CI smoke step to parse.
+    let telemetry = Telemetry::with_capacity(16384);
+
+    let fleet = spawn_fleet(n_routers, &udp_plan, &telemetry);
+    let server =
+        AutopowerServer::spawn_with(tcp_plan, "soak-server", Arc::clone(&telemetry)).unwrap();
 
     // Two instrumented routers carry Autopower units (the paper deployed
     // three across the ISP; the ratio is what matters).
     let n_units = 2.min(n_routers);
     let mut units: Vec<AutopowerClient> = (0..n_units)
         .map(|i| {
-            let mut c = AutopowerClient::new(format!("soak-unit-{i}"), server.addr());
+            let mut c = AutopowerClient::with_telemetry(
+                format!("soak-unit-{i}"),
+                server.addr(),
+                Arc::clone(&telemetry),
+            );
             // A dropped Ack must cost milliseconds, not the 2 s default.
             c.read_timeout = Duration::from_millis(150);
             c
         })
         .collect();
 
-    let mut poller = SnmpPoller::new().unwrap();
+    let mut poller = SnmpPoller::with_telemetry(Arc::clone(&telemetry)).unwrap();
     poller.timeout = Duration::from_millis(25);
     poller.retries = 2;
+
+    let registry = telemetry.registry();
+    let snmp_gaps = registry.counter("gaps_total", &[("source", "snmp")]);
+    let total_gaps = registry.counter("gaps_total", &[("source", "fleet_total")]);
 
     let mut faulty_total = TimeSeries::new();
     let mut baseline_total = TimeSeries::new();
@@ -118,6 +144,9 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
 
     for round in 0..rounds {
         let t = SimInstant::from_secs(round);
+        // Stamp the sim clock so this round's events — gap causes
+        // included — carry `t` and can be joined to the gap markers.
+        telemetry.set_now(t);
         // Drive a slowly varying load so the aggregate comparison is not
         // trivially constant (power moves a little with traffic).
         let gbps = 4.0 + 3.0 * ((round as f64) / 20.0).sin();
@@ -146,12 +175,26 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
                     // Timeout or suppression: an explicit gap, no zeros.
                     per_router[i].push_gap(t);
                     round_missed = true;
+                    snmp_gaps.inc();
+                    telemetry.event(
+                        Level::Warn,
+                        "soak.collect",
+                        "poll round missed, gap recorded",
+                        &[("router", i.to_string()), ("series", "snmp".to_owned())],
+                    );
                 }
             }
         }
         baseline_total.push(t, clean_total);
         if round_missed {
             faulty_total.push_gap(t);
+            total_gaps.inc();
+            telemetry.event(
+                Level::Warn,
+                "soak.collect",
+                "fleet total unknowable, gap recorded",
+                &[("series", "fleet_total".to_owned())],
+            );
         } else {
             faulty_total.push(t, round_total);
         }
@@ -227,6 +270,100 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
         rel < 0.01,
         "observed-interval fleet mean within 1%: \
          faulty {faulty_mean:.2} W vs baseline {baseline_mean:.2} W ({rel:.4})"
+    );
+
+    // --- Contract 4: the pipeline watched itself. ---
+    // Corruption was observed somewhere: CRC failures on the UDP plane
+    // and/or corrupted frames on the TCP plane (both plans inject it).
+    assert!(registry.counter_total("snmp_polls_total") > 0);
+    assert!(registry.counter_total("gaps_total") > 0);
+    assert!(
+        registry.counter_total("snmp_crc_failures_total")
+            + registry.counter_total("autopower_frames_corrupted_total")
+            > 0,
+        "corruption visible on at least one plane"
+    );
+    // Every gap marker recorded above joins to a cause event by (ts,
+    // router) — losing the cause would make the gaps unexplainable.
+    for (i, series) in per_router.iter().enumerate() {
+        for &g in series.gaps() {
+            let causes = telemetry.events().events_where(|e| {
+                e.ts == g
+                    && e.target == "soak.collect"
+                    && e.field("router").is_some_and(|r| r == i.to_string())
+            });
+            assert_eq!(
+                causes.len(),
+                1,
+                "router {i}: gap at {g:?} has a cause event"
+            );
+        }
+    }
+    for &g in faulty_total.gaps() {
+        let causes = telemetry.events().events_where(|e| {
+            e.ts == g
+                && e.target == "soak.collect"
+                && e.field("series").is_some_and(|s| s == "fleet_total")
+        });
+        assert_eq!(
+            causes.len(),
+            1,
+            "fleet total: gap at {g:?} has a cause event"
+        );
+    }
+
+    // --- Contract 5: a dead target walks the whole health ladder. ---
+    // Deterministic: a poller with tight thresholds aimed at a dead
+    // address fails every poll, so 2 consecutive failures degrade it and
+    // 4 quarantine it. Backoff windows are waited out (suppressed polls
+    // do not advance the ladder).
+    poller.set_health_thresholds(2, 4, Duration::from_millis(50));
+    let dead: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+    poller.timeout = Duration::from_millis(5);
+    poller.retries = 1;
+    let mut seen = vec![poller.health_state(dead)];
+    while poller.health_state(dead) != HealthState::Quarantined {
+        while poller.in_backoff(dead) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let _ = poller.get(dead, &oids::psu_in_power());
+        let state = poller.health_state(dead);
+        if *seen.last().unwrap() != state {
+            seen.push(state);
+        }
+        assert!(
+            telemetry.registry().counter_total("snmp_polls_total") < 100_000,
+            "ladder never converged"
+        );
+    }
+    assert_eq!(
+        seen,
+        vec![
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Quarantined
+        ],
+        "the ladder descends one rung at a time"
+    );
+    assert!(
+        registry
+            .counter("snmp_health_transitions_total", &[("to", "quarantined")])
+            .get()
+            >= 1
+    );
+
+    // --- The snapshot the CI smoke step parses. ---
+    let snap_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/telemetry/chaos_soak.json"
+    );
+    telemetry.write_snapshot(snap_path).unwrap();
+    let raw = std::fs::read_to_string(snap_path).unwrap();
+    let parsed: serde::Value = serde_json::from_str(&raw).expect("snapshot is valid JSON");
+    let entries = parsed.as_map().expect("snapshot is a JSON object");
+    assert!(
+        serde::field(entries, "metrics").as_array().is_some(),
+        "snapshot carries a metrics array"
     );
 
     for sr in fleet {

@@ -7,13 +7,26 @@
 //! series — never as a fabricated zero — so gap-aware statistics keep
 //! fleet aggregates comparable between faulty and fault-free runs.
 
-use fj_faults::FaultPlan;
+use std::sync::Arc;
+
+use fj_faults::{FaultPlan, HealthState, TargetHealth};
 use fj_router_sim::SimError;
+use fj_telemetry::{Level, SpanTimer, Telemetry};
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
 use crate::events::{sort_events, ScheduledEvent};
 use crate::fleet::Fleet;
 use crate::predict::ModelPredictor;
+
+/// Numeric encoding of the health ladder for the per-router gauge
+/// (`fleet_router_health`): 0 healthy, 1 degraded, 2 quarantined.
+fn health_level(s: HealthState) -> f64 {
+    match s {
+        HealthState::Healthy => 0.0,
+        HealthState::Degraded => 1.0,
+        HealthState::Quarantined => 2.0,
+    }
+}
 
 /// Collected series for one router.
 #[derive(Debug, Clone, Default)]
@@ -97,9 +110,37 @@ pub fn collect_with_faults(
     start: SimInstant,
     end: SimInstant,
     step: SimDuration,
+    events: Vec<ScheduledEvent>,
+    instrumented: &[usize],
+    poll_faults: &FaultPlan,
+) -> Result<FleetTrace, SimError> {
+    collect_with_telemetry(
+        fleet,
+        start,
+        end,
+        step,
+        events,
+        instrumented,
+        poll_faults,
+        fj_telemetry::global(),
+    )
+}
+
+/// [`collect_with_faults`] reporting into an explicit [`Telemetry`]
+/// bundle: per-round span timing, `gaps_total` counters by source, a
+/// per-router health ladder (gauge `fleet_router_health`), and a Warn
+/// cause event — stamped with the round's sim time — for every gap
+/// marker pushed onto a series.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_with_telemetry(
+    fleet: &mut Fleet,
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
     mut events: Vec<ScheduledEvent>,
     instrumented: &[usize],
     poll_faults: &FaultPlan,
+    telemetry: &Arc<Telemetry>,
 ) -> Result<FleetTrace, SimError> {
     assert!(step.is_positive(), "poll period must be positive");
     sort_events(&mut events);
@@ -138,6 +179,26 @@ pub fn collect_with_faults(
         .collect();
     let mut poll_index: u64 = 0;
 
+    // Metric handles resolved once; the poll loop then costs one atomic
+    // op per update.
+    let registry = telemetry.registry();
+    let rounds_metric = registry.counter("fleet_poll_rounds_total", &[]);
+    let snmp_gaps = registry.counter("gaps_total", &[("source", "snmp")]);
+    let wall_gaps = registry.counter("gaps_total", &[("source", "wall")]);
+    let total_gaps = registry.counter("gaps_total", &[("source", "fleet_total")]);
+    let quarantines = registry.counter("fleet_routers_quarantined_total", &[]);
+    let round_duration = registry.histogram("fleet_poll_round_duration_seconds", &[]);
+    // Per-router health ladder driven by SNMP poll outcomes: 3
+    // consecutive missed polls degrade a router, 8 quarantine it. The
+    // probe interval is irrelevant here — collection polls every tick
+    // regardless; the ladder only feeds observability.
+    let mut health: Vec<TargetHealth> = fleet.routers.iter().map(|_| TargetHealth::new()).collect();
+    let health_gauges: Vec<_> = fleet
+        .routers
+        .iter()
+        .map(|r| registry.gauge("fleet_router_health", &[("router", &r.name)]))
+        .collect();
+
     // Prime predictor counters so the first recorded sample has a delta.
     for (i, r) in fleet.routers.iter().enumerate() {
         let _ = predictor.predict_router(i, r, step);
@@ -146,6 +207,13 @@ pub fn collect_with_faults(
 
     let mut t = start + step;
     while t < end {
+        // Stamp the sim clock first: every event emitted this round —
+        // gap causes included — carries the round's timestamp, so gap
+        // markers on the trace join to their cause events by `ts`.
+        telemetry.set_now(t);
+        rounds_metric.inc();
+        let round_span = SpanTimer::wall(round_duration.clone());
+
         // Fire due events.
         while next_event < events.len() && events[next_event].at <= t {
             events[next_event].apply(fleet)?;
@@ -176,9 +244,49 @@ pub fn collect_with_faults(
                     rt.psu_reported.push_gap(t);
                     trace.missed_polls += 1;
                     reported_unknown = true;
+                    snmp_gaps.inc();
+                    telemetry.event(
+                        Level::Warn,
+                        "fleet.collect",
+                        "snmp poll dropped, gap recorded",
+                        &[("router", rt.name.clone()), ("series", "snmp".to_owned())],
+                    );
+                    let before = health[i].state();
+                    let after = health[i].record_failure();
+                    if after != before {
+                        health_gauges[i].set(health_level(after));
+                        if after == HealthState::Quarantined {
+                            quarantines.inc();
+                        }
+                        telemetry.event(
+                            Level::Warn,
+                            "fleet.collect",
+                            "router health transition",
+                            &[
+                                ("router", rt.name.clone()),
+                                ("from", before.label().to_owned()),
+                                ("to", after.label().to_owned()),
+                            ],
+                        );
+                    }
                 } else {
                     rt.psu_reported.push(t, reported);
                     total_reported += reported;
+                    let before = health[i].state();
+                    health[i].record_success();
+                    if before != HealthState::Healthy {
+                        health_gauges[i].set(0.0);
+                        telemetry.event(
+                            Level::Info,
+                            "fleet.collect",
+                            "router health transition",
+                            &[
+                                ("router", rt.name.clone()),
+                                ("from", before.label().to_owned()),
+                                ("to", "healthy".to_owned()),
+                            ],
+                        );
+                    }
                 }
             } else {
                 // Non-reporting models are invisible to the SNMP total —
@@ -192,6 +300,13 @@ pub fn collect_with_faults(
                 if poll_faults.should_drop(&wall_streams[i], poll_index) {
                     rt.wall.push_gap(t);
                     trace.missed_polls += 1;
+                    wall_gaps.inc();
+                    telemetry.event(
+                        Level::Warn,
+                        "fleet.collect",
+                        "wall-meter read dropped, gap recorded",
+                        &[("router", rt.name.clone()), ("series", "wall".to_owned())],
+                    );
                 } else {
                     rt.wall.push(t, wall);
                 }
@@ -215,12 +330,20 @@ pub fn collect_with_faults(
         trace.total_wall.push(t, total_wall);
         if reported_unknown {
             trace.total_reported.push_gap(t);
+            total_gaps.inc();
+            telemetry.event(
+                Level::Warn,
+                "fleet.collect",
+                "fleet total unknowable, gap recorded",
+                &[("series", "fleet_total".to_owned())],
+            );
         } else {
             trace.total_reported.push(t, total_reported);
         }
         trace.total_traffic.push(t, fleet.total_traffic().as_f64());
 
         fleet.advance(step)?;
+        round_span.finish();
         t += step;
         poll_index += 1;
     }
@@ -382,6 +505,64 @@ mod tests {
         assert!(
             rel < 0.01,
             "observed-interval mean within 1%: faulty {faulty_mean:.1} vs clean {clean_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn every_gap_marker_has_a_cause_event() {
+        let telemetry = Telemetry::with_capacity(16384);
+        let mut fleet = build_fleet(&FleetConfig::small(11));
+        let plan = FaultPlan::new(0x6A9_0002).with_drop_rate(0.2);
+        let trace = collect_with_telemetry(
+            &mut fleet,
+            SimInstant::EPOCH,
+            SimInstant::from_days(1),
+            SimDuration::from_mins(5),
+            vec![],
+            &[0],
+            &plan,
+            &telemetry,
+        )
+        .unwrap();
+        assert!(trace.missed_polls > 0, "plan injected failures");
+        assert!(
+            telemetry.events().evicted() == 0,
+            "ring must hold all events"
+        );
+
+        let has_cause = |at: SimInstant, series: &str, router: Option<&str>| {
+            telemetry
+                .events()
+                .events_where(|e| {
+                    e.ts == at
+                        && e.target == "fleet.collect"
+                        && e.field("series").is_some_and(|s| s == series)
+                        && router.is_none_or(|r| e.field("router").is_some_and(|f| f == r))
+                })
+                .len()
+                == 1
+        };
+        for rt in &trace.routers {
+            for &g in rt.psu_reported.gaps() {
+                assert!(has_cause(g, "snmp", Some(&rt.name)), "{} @ {g:?}", rt.name);
+            }
+            for &g in rt.wall.gaps() {
+                assert!(has_cause(g, "wall", Some(&rt.name)), "{} @ {g:?}", rt.name);
+            }
+        }
+        for &g in trace.total_reported.gaps() {
+            assert!(has_cause(g, "fleet_total", None), "total @ {g:?}");
+        }
+
+        // The gaps_total counter agrees with the trace's own count
+        // (fleet-total gaps are derived, not missed polls).
+        let reg = telemetry.registry();
+        let counted = reg.counter("gaps_total", &[("source", "snmp")]).get()
+            + reg.counter("gaps_total", &[("source", "wall")]).get();
+        assert_eq!(counted, trace.missed_polls);
+        assert!(
+            reg.counter_total("gaps_total") > counted,
+            "total gaps counted too"
         );
     }
 

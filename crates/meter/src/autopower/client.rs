@@ -3,11 +3,42 @@
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fj_faults::Backoff;
+use fj_telemetry::{Counter, Gauge, Histogram, Level, SpanTimer, Telemetry};
 
 use super::protocol::{read_message, write_message, Message, PowerSample, ProtoError};
+
+/// Metric handles resolved once at construction so the sample/flush hot
+/// paths cost a single atomic op each, not a registry lookup.
+struct ClientMetrics {
+    samples_pushed: Counter,
+    overflow_dropped: Counter,
+    flushes: Counter,
+    flush_failures: Counter,
+    backoff_suppressed: Counter,
+    reconnects: Counter,
+    buffer_occupancy: Gauge,
+    flush_duration: Histogram,
+}
+
+impl ClientMetrics {
+    fn new(telemetry: &Telemetry, unit_id: &str) -> Self {
+        let r = telemetry.registry();
+        Self {
+            samples_pushed: r.counter("autopower_samples_pushed_total", &[]),
+            overflow_dropped: r.counter("autopower_overflow_dropped_total", &[]),
+            flushes: r.counter("autopower_flushes_total", &[]),
+            flush_failures: r.counter("autopower_flush_failures_total", &[]),
+            backoff_suppressed: r.counter("autopower_backoff_suppressed_total", &[]),
+            reconnects: r.counter("autopower_reconnects_total", &[]),
+            buffer_occupancy: r.gauge("autopower_buffer_occupancy", &[("unit", unit_id)]),
+            flush_duration: r.histogram("autopower_flush_duration_seconds", &[]),
+        }
+    }
+}
 
 /// What [`AutopowerClient::push_sample`] does when the local buffer is
 /// full. Either way the loss is *explicit*: the dropped-sample counter
@@ -55,6 +86,11 @@ pub struct AutopowerClient {
     pub read_timeout: Duration,
     backoff: Backoff,
     epoch: Instant,
+    telemetry: Arc<Telemetry>,
+    metrics: ClientMetrics,
+    /// Whether a connection has ever been established — distinguishes
+    /// first dials from reconnects in the telemetry.
+    ever_connected: bool,
 }
 
 struct Connection {
@@ -70,10 +106,22 @@ impl AutopowerClient {
     /// Creates a client for `unit_id` that will dial `server`. No
     /// connection is made until the first flush (or [`AutopowerClient::connect`]).
     pub fn new(unit_id: impl Into<String>, server: SocketAddr) -> Self {
+        Self::with_telemetry(unit_id, server, Arc::clone(fj_telemetry::global()))
+    }
+
+    /// Like [`AutopowerClient::new`] but reporting into an explicit
+    /// [`Telemetry`] bundle instead of the process-wide one (tests and
+    /// soaks isolate their metrics this way).
+    pub fn with_telemetry(
+        unit_id: impl Into<String>,
+        server: SocketAddr,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         let unit_id = unit_id.into();
         let seed = unit_id.bytes().fold(0xcbf29ce484222325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x100000001b3)
         });
+        let metrics = ClientMetrics::new(&telemetry, &unit_id);
         Self {
             unit_id,
             server,
@@ -90,6 +138,9 @@ impl AutopowerClient {
             backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(5))
                 .with_seed(seed),
             epoch: Instant::now(),
+            telemetry,
+            metrics,
+            ever_connected: false,
         }
     }
 
@@ -148,8 +199,24 @@ impl AutopowerClient {
     /// buffer is full the [`OverflowPolicy`] decides which sample is
     /// sacrificed, and [`AutopowerClient::overflowed`] counts the loss.
     pub fn push_sample(&mut self, sample: PowerSample) {
+        self.metrics.samples_pushed.inc();
         if self.buffer.len() >= self.max_buffered {
+            if self.overflowed == 0 {
+                // One Warn per overflow episode start; the counter carries
+                // the magnitude so the log is not flooded sample-by-sample.
+                self.telemetry.event(
+                    Level::Warn,
+                    "autopower.client",
+                    "buffer overflow began, dropping samples",
+                    &[
+                        ("unit", self.unit_id.clone()),
+                        ("policy", format!("{:?}", self.overflow_policy)),
+                        ("capacity", self.max_buffered.to_string()),
+                    ],
+                );
+            }
             self.overflowed += 1;
+            self.metrics.overflow_dropped.inc();
             match self.overflow_policy {
                 OverflowPolicy::DropOldest => {
                     self.buffer.pop_front();
@@ -157,10 +224,14 @@ impl AutopowerClient {
                     // the server will see a gap, never wrong data.
                     self.base_seq += 1;
                 }
-                OverflowPolicy::DropNewest => return,
+                OverflowPolicy::DropNewest => {
+                    self.metrics.buffer_occupancy.set(self.buffer.len() as f64);
+                    return;
+                }
             }
         }
         self.buffer.push_back(sample);
+        self.metrics.buffer_occupancy.set(self.buffer.len() as f64);
     }
 
     /// Establishes (or re-establishes) the connection and performs the
@@ -190,6 +261,19 @@ impl AutopowerClient {
             _ => return Err(ProtoError::UnexpectedEof),
         }
         self.conn = Some(conn);
+        if self.ever_connected {
+            self.metrics.reconnects.inc();
+            self.telemetry.event(
+                Level::Info,
+                "autopower.client",
+                "reconnected to collection server",
+                &[
+                    ("unit", self.unit_id.clone()),
+                    ("server", self.server.to_string()),
+                ],
+            );
+        }
+        self.ever_connected = true;
         Ok(())
     }
 
@@ -206,14 +290,32 @@ impl AutopowerClient {
             return Ok(());
         }
         if self.conn.is_none() && self.in_backoff() {
+            self.metrics.backoff_suppressed.inc();
             return Err(ProtoError::Backoff);
         }
+        self.metrics.flushes.inc();
+        let span = SpanTimer::wall(self.metrics.flush_duration.clone());
         let result = self.try_flush();
+        span.finish();
         match &result {
-            Ok(()) => self.backoff.reset(),
-            Err(_) => {
+            Ok(()) => {
+                self.backoff.reset();
+                self.metrics.buffer_occupancy.set(self.buffer.len() as f64);
+            }
+            Err(e) => {
                 self.conn = None; // force reconnect next time
                 self.backoff.next_delay(self.epoch.elapsed());
+                self.metrics.flush_failures.inc();
+                self.telemetry.event(
+                    Level::Info,
+                    "autopower.client",
+                    "flush failed, samples kept buffered",
+                    &[
+                        ("unit", self.unit_id.clone()),
+                        ("error", format!("{e:?}")),
+                        ("buffered", self.buffer.len().to_string()),
+                    ],
+                );
             }
         }
         result

@@ -22,9 +22,39 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use fj_faults::FaultPlan;
+use fj_telemetry::{Counter, Level, Telemetry};
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
 use super::protocol::{decode_frame, read_frame, write_message, Message, ProtoError};
+
+/// Server-side metric handles, resolved once at spawn and shared by every
+/// connection worker.
+struct ServerMetrics {
+    connections: Counter,
+    crash_rejects: Counter,
+    frames: Counter,
+    frames_corrupted: Counter,
+    frames_dropped: Counter,
+    disconnects: Counter,
+    samples_stored: Counter,
+    samples_lost: Counter,
+}
+
+impl ServerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        Self {
+            connections: r.counter("autopower_connections_total", &[]),
+            crash_rejects: r.counter("autopower_crash_rejects_total", &[]),
+            frames: r.counter("autopower_frames_total", &[]),
+            frames_corrupted: r.counter("autopower_frames_corrupted_total", &[]),
+            frames_dropped: r.counter("autopower_frames_dropped_total", &[]),
+            disconnects: r.counter("autopower_disconnects_total", &[]),
+            samples_stored: r.counter("autopower_samples_stored_total", &[]),
+            samples_lost: r.counter("autopower_samples_lost_total", &[]),
+        }
+    }
+}
 
 /// One row of the operator status view — the data behind the web
 /// interface of Fig. 7 ("conveniently start/stop measurements or download
@@ -122,6 +152,16 @@ impl AutopowerServer {
         plan: FaultPlan,
         stream_prefix: impl Into<String>,
     ) -> std::io::Result<AutopowerServer> {
+        Self::spawn_with(plan, stream_prefix, Arc::clone(fj_telemetry::global()))
+    }
+
+    /// Full-control variant: like [`AutopowerServer::spawn_with_faults`]
+    /// but reporting into an explicit [`Telemetry`] bundle.
+    pub fn spawn_with(
+        plan: FaultPlan,
+        stream_prefix: impl Into<String>,
+        telemetry: Arc<Telemetry>,
+    ) -> std::io::Result<AutopowerServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared::default());
@@ -131,6 +171,7 @@ impl AutopowerServer {
             stream_prefix: stream_prefix.into(),
             started: Instant::now(),
         });
+        let metrics = Arc::new(ServerMetrics::new(&telemetry));
 
         let accept_shared = Arc::clone(&shared);
         let accept_stop = Arc::clone(&stop);
@@ -149,12 +190,16 @@ impl AutopowerServer {
                             // accepted socket is the closest loopback
                             // equivalent and exercises the same client
                             // paths.)
+                            metrics.crash_rejects.inc();
                             drop(stream);
                             continue;
                         }
+                        metrics.connections.inc();
                         let conn_shared = Arc::clone(&accept_shared);
                         let conn_faults = Arc::clone(&faults);
                         let conn_stop = Arc::clone(&accept_stop);
+                        let conn_metrics = Arc::clone(&metrics);
+                        let conn_telemetry = Arc::clone(&telemetry);
                         let index = connection_index;
                         connection_index += 1;
                         // Detached: exits when the client disconnects.
@@ -165,6 +210,8 @@ impl AutopowerServer {
                                 conn_faults,
                                 conn_stop,
                                 index,
+                                conn_metrics,
+                                conn_telemetry,
                             );
                         });
                     }
@@ -281,6 +328,8 @@ fn serve_connection(
     faults: Arc<FaultCtx>,
     stop: Arc<AtomicBool>,
     connection_index: u64,
+    metrics: Arc<ServerMetrics>,
+    telemetry: Arc<Telemetry>,
 ) -> Result<(), ProtoError> {
     stream.set_nodelay(true)?;
     // A bounded read timeout lets the worker observe crash windows and
@@ -309,9 +358,11 @@ fn serve_connection(
                 }
                 Err(e) => return Err(e),
             };
+            metrics.frames.inc();
             let decision = faults.plan.decide(&fault_stream, frame_index);
             frame_index += 1;
             if decision.drop {
+                metrics.frames_dropped.inc();
                 continue; // frame eaten in flight; client will time out
             }
             if let Some(d) = decision.delay {
@@ -323,11 +374,16 @@ fn serve_connection(
                     .corrupt_bytes(&fault_stream, frame_index - 1, &mut frame.body);
             }
             if decision.disconnect {
+                metrics.disconnects.inc();
                 return Err(ProtoError::UnexpectedEof);
             }
             // A corrupted frame surfaces as BadCrc here; the caller drops
             // the connection, the client retransmits after backoff.
-            return decode_frame(&frame);
+            let decoded = decode_frame(&frame);
+            if matches!(decoded, Err(ProtoError::BadCrc { .. })) {
+                metrics.frames_corrupted.inc();
+            }
+            return decoded;
         }
     };
 
@@ -359,6 +415,7 @@ fn serve_connection(
                     let skip = (have - first_seq) as usize;
                     for s in samples.iter().skip(skip) {
                         store.samples.push(*s);
+                        metrics.samples_stored.inc();
                     }
                     store.acked_seq = have.max(first_seq + samples.len() as u64);
                 } else {
@@ -369,7 +426,19 @@ fn serve_connection(
                     // the unit forever. The gap mark ends the last
                     // sample's hold right after it, keeping the lost
                     // stretch out of energy integrals.
-                    store.lost_samples += first_seq - have;
+                    let lost = first_seq - have;
+                    store.lost_samples += lost;
+                    metrics.samples_lost.add(lost);
+                    telemetry.event(
+                        Level::Warn,
+                        "autopower.server",
+                        "unit skipped ahead, recording gap",
+                        &[
+                            ("unit", unit_id.clone()),
+                            ("lost_samples", lost.to_string()),
+                            ("first_seq", first_seq.to_string()),
+                        ],
+                    );
                     let mark = match (store.samples.last(), samples.first()) {
                         (Some(prev), _) => prev.at + SimDuration::from_secs(1),
                         (None, Some(first)) => first.at,
@@ -379,6 +448,7 @@ fn serve_connection(
                         store.gap_marks.push(mark);
                     }
                     store.samples.extend(samples.iter().copied());
+                    metrics.samples_stored.add(samples.len() as u64);
                     store.acked_seq = first_seq + samples.len() as u64;
                 }
                 let reply = Message::Ack {

@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 
 use fj_faults::FaultPlan;
 use fj_router_sim::SimulatedRouter;
+use fj_telemetry::Telemetry;
 
 use crate::codec::{Pdu, PduType};
 use crate::mib;
@@ -29,6 +30,8 @@ pub struct AgentConfig {
     /// agent in a fleet a distinct stream so their fault patterns are
     /// independent — and predictable via [`FaultPlan::expected_drops`].
     pub stream: String,
+    /// Telemetry bundle the agent reports `snmp_agent_*` counters into.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for AgentConfig {
@@ -37,6 +40,7 @@ impl Default for AgentConfig {
             read_timeout: Duration::from_millis(250),
             faults: FaultPlan::clean(),
             stream: "snmp-agent".to_owned(),
+            telemetry: Arc::clone(fj_telemetry::global()),
         }
     }
 }
@@ -91,6 +95,10 @@ impl SnmpAgent {
         let thread_stop = Arc::clone(&stop);
         let requests_seen = Arc::new(AtomicU64::new(0));
         let thread_seen = Arc::clone(&requests_seen);
+        let registry = config.telemetry.registry();
+        let requests_metric = registry.counter("snmp_agent_requests_total", &[]);
+        let dropped_metric = registry.counter("snmp_agent_dropped_total", &[]);
+        let corrupted_metric = registry.counter("snmp_agent_corrupted_total", &[]);
 
         let thread = std::thread::spawn(move || {
             let mut buf = [0u8; 2048];
@@ -115,9 +123,11 @@ impl SnmpAgent {
                 let index = request_index;
                 request_index += 1;
                 thread_seen.store(request_index, Ordering::Relaxed);
+                requests_metric.inc();
 
                 let decision = config.faults.decide(&config.stream, index);
                 if decision.drop {
+                    dropped_metric.inc();
                     continue; // injected datagram loss
                 }
                 let reply = match Pdu::decode(&buf[..len]) {
@@ -132,6 +142,7 @@ impl SnmpAgent {
                 }
                 let mut wire = reply.encode().to_vec();
                 if decision.corrupt {
+                    corrupted_metric.inc();
                     config
                         .faults
                         .corrupt_bytes(&config.stream, index, &mut wire);

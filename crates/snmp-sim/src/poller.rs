@@ -3,9 +3,11 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fj_faults::{Backoff, HealthState, TargetHealth};
+use fj_telemetry::{Counter, Histogram, Level, SpanTimer, Telemetry};
 
 use crate::codec::{Pdu, PduType, SnmpError};
 use crate::mib::MibValue;
@@ -16,6 +18,36 @@ use crate::oid::Oid;
 struct TargetState {
     health: TargetHealth,
     backoff: Backoff,
+}
+
+/// Metric handles cached at construction: the per-request hot path must
+/// not pay registry lookups (see `fj-telemetry` docs). Metric name
+/// catalogue lives in DESIGN.md § Observability.
+struct PollerMetrics {
+    polls: Counter,
+    successes: Counter,
+    timeouts: Counter,
+    suppressed: Counter,
+    retries: Counter,
+    crc_failures: Counter,
+    backoff_delay: Histogram,
+    poll_duration: Histogram,
+}
+
+impl PollerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        Self {
+            polls: r.counter("snmp_polls_total", &[]),
+            successes: r.counter("snmp_polls_succeeded_total", &[]),
+            timeouts: r.counter("snmp_poll_timeouts_total", &[]),
+            suppressed: r.counter("snmp_polls_suppressed_total", &[]),
+            retries: r.counter("snmp_poll_retries_total", &[]),
+            crc_failures: r.counter("snmp_crc_failures_total", &[]),
+            backoff_delay: r.histogram("snmp_backoff_delay_seconds", &[]),
+            poll_duration: r.histogram("snmp_poll_duration_seconds", &[]),
+        }
+    }
 }
 
 /// A simple synchronous poller. One instance per collection task; request
@@ -31,6 +63,10 @@ struct TargetState {
 ///   [`SnmpError::TargetSuppressed`] instead of burning a full timeout ×
 ///   retry budget per call; quarantined targets admit only periodic
 ///   recovery probes.
+///
+/// Every request feeds the `snmp_*` metric family, health transitions
+/// emit `snmp.poller` events, and the per-target `snmp_target_health`
+/// gauge mirrors the ladder (0 = healthy, 1 = degraded, 2 = quarantined).
 pub struct SnmpPoller {
     socket: UdpSocket,
     next_request_id: u32,
@@ -43,12 +79,23 @@ pub struct SnmpPoller {
     pub retry_pause: Duration,
     epoch: Instant,
     targets: HashMap<SocketAddr, TargetState>,
+    health_thresholds: (u32, u32, Duration),
+    telemetry: Arc<Telemetry>,
+    metrics: PollerMetrics,
 }
 
 impl SnmpPoller {
-    /// Creates a poller bound to an ephemeral local port.
+    /// Creates a poller bound to an ephemeral local port, reporting into
+    /// the global telemetry bundle.
     pub fn new() -> std::io::Result<SnmpPoller> {
+        Self::with_telemetry(Arc::clone(fj_telemetry::global()))
+    }
+
+    /// Creates a poller reporting into an explicit telemetry bundle
+    /// (isolated tests, soaks with their own snapshot).
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> std::io::Result<SnmpPoller> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let metrics = PollerMetrics::new(&telemetry);
         Ok(SnmpPoller {
             socket,
             next_request_id: 1,
@@ -57,14 +104,34 @@ impl SnmpPoller {
             retry_pause: Duration::from_millis(2),
             epoch: Instant::now(),
             targets: HashMap::new(),
+            health_thresholds: (3, 8, Duration::from_secs(5)),
+            telemetry,
+            metrics,
         })
     }
 
+    /// Overrides the health-ladder thresholds applied to targets first
+    /// seen after this call: degrade / quarantine after that many
+    /// consecutive failures, one recovery probe per `probe_interval`.
+    pub fn set_health_thresholds(
+        &mut self,
+        degrade_after: u32,
+        quarantine_after: u32,
+        probe_interval: Duration,
+    ) {
+        self.health_thresholds = (degrade_after, quarantine_after, probe_interval);
+    }
+
     /// Current health of `agent` (targets never polled are healthy).
-    pub fn health(&self, agent: SocketAddr) -> HealthState {
+    pub fn health_state(&self, agent: SocketAddr) -> HealthState {
         self.targets
             .get(&agent)
             .map_or(HealthState::Healthy, |t| t.health.state())
+    }
+
+    /// Alias of [`SnmpPoller::health_state`], kept for existing callers.
+    pub fn health(&self, agent: SocketAddr) -> HealthState {
+        self.health_state(agent)
     }
 
     /// Whether `agent` is currently inside a failure backoff window.
@@ -127,36 +194,105 @@ impl SnmpPoller {
 
     fn target(&mut self, agent: SocketAddr) -> &mut TargetState {
         let seed = hash_addr(agent);
+        let (degrade, quarantine, probe) = self.health_thresholds;
         self.targets.entry(agent).or_insert_with(|| TargetState {
-            health: TargetHealth::new(),
+            health: TargetHealth::with_thresholds(degrade, quarantine, probe),
             backoff: Backoff::new(Duration::from_millis(20), Duration::from_secs(2))
                 .with_seed(seed),
         })
     }
 
+    /// Mirrors a health transition into the gauge, the transition
+    /// counter, and the event log. Cold path: only runs on state change.
+    fn record_transition(&self, agent: SocketAddr, from: HealthState, to: HealthState) {
+        let target = agent.to_string();
+        let registry = self.telemetry.registry();
+        registry
+            .gauge("snmp_target_health", &[("target", &target)])
+            .set(health_level(to));
+        registry
+            .counter("snmp_health_transitions_total", &[("to", to.label())])
+            .inc();
+        let level = if to == HealthState::Healthy {
+            Level::Info
+        } else {
+            Level::Warn
+        };
+        self.telemetry.event(
+            level,
+            "snmp.poller",
+            format!("target {} → {}", from.label(), to.label()),
+            &[
+                ("target", target),
+                ("from", from.label().to_owned()),
+                ("to", to.label().to_owned()),
+            ],
+        );
+    }
+
     fn round_trip(&mut self, agent: SocketAddr, request: &Pdu) -> Result<Pdu, SnmpError> {
+        self.metrics.polls.inc();
         let now = self.epoch.elapsed();
-        {
+        let suppressed = {
             let state = self.target(agent);
-            if state.backoff.in_backoff(now) || !state.health.should_attempt(now) {
-                return Err(SnmpError::TargetSuppressed);
-            }
+            state.backoff.in_backoff(now) || !state.health.should_attempt(now)
+        };
+        if suppressed {
+            self.metrics.suppressed.inc();
+            self.telemetry.event(
+                Level::Debug,
+                "snmp.poller",
+                "poll suppressed",
+                &[("target", agent.to_string())],
+            );
+            return Err(SnmpError::TargetSuppressed);
         }
+        let span = SpanTimer::wall(self.metrics.poll_duration.clone());
         let result = self.round_trip_inner(agent, request);
+        span.finish();
         let now = self.epoch.elapsed();
-        let state = self.target(agent);
-        match &result {
-            Ok(_) => {
-                state.health.record_success();
-                state.backoff.reset();
+        // Update the health ladder first, then mirror the outcome into
+        // metrics/events (the target entry borrow must end before that).
+        let (before, after, backoff_delay) = {
+            let state = self.target(agent);
+            let before = state.health.state();
+            match &result {
+                Ok(_) => {
+                    state.health.record_success();
+                    state.backoff.reset();
+                    (before, Some(HealthState::Healthy), None)
+                }
+                // Only transport-level failures count against the target;
+                // "no such object" is a healthy, well-formed answer.
+                Err(SnmpError::Timeout) | Err(SnmpError::Io(_)) => {
+                    let after = state.health.record_failure();
+                    let delay = state.backoff.next_delay(now);
+                    (before, Some(after), Some(delay))
+                }
+                Err(_) => (before, None, None),
             }
-            // Only transport-level failures count against the target;
-            // "no such object" is a healthy, well-formed answer.
-            Err(SnmpError::Timeout) | Err(SnmpError::Io(_)) => {
-                state.health.record_failure();
-                state.backoff.next_delay(now);
+        };
+        match (&result, backoff_delay) {
+            (Ok(_), _) => self.metrics.successes.inc(),
+            (Err(_), Some(delay)) => {
+                self.metrics.timeouts.inc();
+                self.metrics.backoff_delay.observe(delay.as_secs_f64());
+                self.telemetry.event(
+                    Level::Info,
+                    "snmp.poller",
+                    "poll failed",
+                    &[
+                        ("target", agent.to_string()),
+                        ("backoff_ms", delay.as_millis().to_string()),
+                    ],
+                );
             }
-            Err(_) => {}
+            (Err(_), None) => {}
+        }
+        if let Some(after) = after {
+            if after != before {
+                self.record_transition(agent, before, after);
+            }
         }
         result
     }
@@ -169,6 +305,7 @@ impl SnmpPoller {
             Backoff::new(self.retry_pause, self.timeout).with_seed(self.next_request_id as u64);
         for attempt in 0..self.retries.max(1) {
             if attempt > 0 {
+                self.metrics.retries.inc();
                 std::thread::sleep(pause.next_delay(Duration::ZERO));
             }
             self.socket.send_to(&payload, agent)?;
@@ -188,7 +325,10 @@ impl SnmpPoller {
                             Ok(p) => p,
                             // A corrupted datagram is as good as a lost
                             // one: keep waiting within this attempt.
-                            Err(_) => continue,
+                            Err(_) => {
+                                self.metrics.crc_failures.inc();
+                                continue;
+                            }
                         };
                         if pdu.request_id != request.request_id || pdu.pdu_type != PduType::Response
                         {
@@ -209,6 +349,15 @@ impl SnmpPoller {
             }
         }
         Err(SnmpError::Timeout)
+    }
+}
+
+/// Gauge encoding of the health ladder.
+fn health_level(state: HealthState) -> f64 {
+    match state {
+        HealthState::Healthy => 0.0,
+        HealthState::Degraded => 1.0,
+        HealthState::Quarantined => 2.0,
     }
 }
 

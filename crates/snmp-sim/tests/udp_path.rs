@@ -349,3 +349,109 @@ fn process_cpu() -> std::time::Duration {
     let ticks_per_sec = 100u64; // USER_HZ on all mainstream Linux configs
     std::time::Duration::from_millis((utime + stime) * 1000 / ticks_per_sec)
 }
+
+#[test]
+fn health_transition_sequence_matches_seeded_plan() {
+    // The fault plan is deterministic per (stream, index), so the exact
+    // ladder walk — including recoveries — is predictable offline: replay
+    // the plan's drop pattern through a reference `TargetHealth` and
+    // demand the poller's transition events tell the same story.
+    use fj_faults::TargetHealth;
+    use fj_telemetry::Telemetry;
+
+    let plan = FaultPlan::new(0xA11_AD5E).with_drop_rate(0.6);
+    const POLLS: u64 = 30;
+    let (degrade_after, quarantine_after) = (2, 4);
+
+    let dropped = plan.expected_drops("ladder", POLLS);
+    let mut reference = TargetHealth::with_thresholds(
+        degrade_after,
+        quarantine_after,
+        std::time::Duration::from_millis(30),
+    );
+    let mut expected = Vec::new();
+    for i in 0..POLLS {
+        let before = reference.state();
+        let after = if dropped.contains(&i) {
+            reference.record_failure()
+        } else {
+            reference.record_success();
+            HealthState::Healthy
+        };
+        if after != before {
+            expected.push((before.label(), after.label()));
+        }
+    }
+    assert!(
+        expected.iter().any(|&(_, to)| to == "degraded"),
+        "seed must exercise a downward transition: {expected:?}"
+    );
+    assert!(
+        expected.iter().any(|&(_, to)| to == "healthy"),
+        "seed must exercise a recovery: {expected:?}"
+    );
+
+    let router = Arc::new(Mutex::new(lab_router()));
+    let agent = SnmpAgent::spawn_with_faults(router, plan, "ladder").unwrap();
+    let telemetry = Telemetry::new();
+    let mut poller = SnmpPoller::with_telemetry(Arc::clone(&telemetry)).unwrap();
+    poller.set_health_thresholds(
+        degrade_after,
+        quarantine_after,
+        std::time::Duration::from_millis(30),
+    );
+    poller.timeout = std::time::Duration::from_millis(30);
+    poller.retries = 1;
+    let oid = oids::sys_descr();
+
+    let mut sent = 0u64;
+    while sent < POLLS {
+        while poller.in_backoff(agent.addr()) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        match poller.get(agent.addr(), &oid) {
+            // Quarantine gating: wait for the next recovery-probe slot.
+            Err(SnmpError::TargetSuppressed) => {
+                std::thread::sleep(std::time::Duration::from_millis(5))
+            }
+            _ => sent += 1,
+        }
+    }
+    assert_eq!(agent.requests_seen(), POLLS);
+
+    // The event log replays the reference ladder exactly, in order.
+    let observed: Vec<(String, String)> = telemetry
+        .events()
+        .events_where(|e| e.target == "snmp.poller" && e.field("from").is_some())
+        .iter()
+        .map(|e| {
+            (
+                e.field("from").unwrap().to_owned(),
+                e.field("to").unwrap().to_owned(),
+            )
+        })
+        .collect();
+    let expected_owned: Vec<(String, String)> = expected
+        .iter()
+        .map(|&(f, t)| (f.to_owned(), t.to_owned()))
+        .collect();
+    assert_eq!(observed, expected_owned);
+
+    // Accessor and gauge agree on the final rung.
+    let final_state = poller.health_state(agent.addr());
+    assert_eq!(reference.state(), final_state);
+    let level = telemetry
+        .registry()
+        .gauge(
+            "snmp_target_health",
+            &[("target", &agent.addr().to_string())],
+        )
+        .get();
+    let expected_level = match final_state {
+        HealthState::Healthy => 0.0,
+        HealthState::Degraded => 1.0,
+        HealthState::Quarantined => 2.0,
+    };
+    assert_eq!(level, expected_level);
+    agent.shutdown();
+}

@@ -1,0 +1,306 @@
+//! The structured event log: leveled, bounded, queryable.
+//!
+//! Every `eprintln!`-style site in the measurement plane goes through
+//! here instead. Events carry a simulation timestamp (stamped by the
+//! owning [`Telemetry`](crate::Telemetry) from its sim clock), a level, a
+//! dotted target (`"snmp.poller"`), a message, and key/value fields. The
+//! log is a bounded ring: old events are evicted, never blocking the
+//! emitter, and the eviction count is itself observable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
+use fj_units::SimInstant;
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// High-volume diagnostics (per-datagram decisions).
+    Debug = 0,
+    /// Lifecycle landmarks (connect, recover, progress).
+    Info = 1,
+    /// Degradation the operator should know about (gaps, overflow).
+    Warn = 2,
+    /// Broken invariants.
+    Error = 3,
+}
+
+impl Level {
+    /// Short lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (gap-free per log, ordering key).
+    pub seq: u64,
+    /// Simulation timestamp at emission.
+    pub ts: SimInstant,
+    /// Severity.
+    pub level: Level,
+    /// Dotted component path, e.g. `"autopower.server"`.
+    pub target: String,
+    /// Human-readable summary.
+    pub message: String,
+    /// Structured key/value context.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// The value of a field, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    evicted: u64,
+    filtered: u64,
+    emitted_by_level: [u64; 4],
+}
+
+/// A bounded, leveled ring of [`Event`]s.
+pub struct EventLog {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    min_level: AtomicU8,
+    /// Echo events at/above this level to stderr (255 = off). Binaries
+    /// turn this on for progress lines; tests leave it off so `cargo
+    /// test -q` output stays clean.
+    echo_level: AtomicU8,
+}
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+impl EventLog {
+    /// An empty log retaining the last `capacity` events at/above
+    /// [`Level::Info`].
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring needs capacity");
+        Self {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                evicted: 0,
+                filtered: 0,
+                emitted_by_level: [0; 4],
+            }),
+            capacity,
+            min_level: AtomicU8::new(Level::Info as u8),
+            echo_level: AtomicU8::new(u8::MAX),
+        }
+    }
+
+    /// The retention threshold: events below it are counted but not kept.
+    pub fn min_level(&self) -> Level {
+        Level::from_u8(self.min_level.load(Ordering::Relaxed))
+    }
+
+    /// Sets the retention threshold.
+    pub fn set_min_level(&self, level: Level) {
+        self.min_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Mirrors events at/above `level` to stderr (`None` disables — the
+    /// default, so library and test output stays clean).
+    pub fn set_stderr_echo(&self, level: Option<Level>) {
+        self.echo_level
+            .store(level.map_or(u8::MAX, |l| l as u8), Ordering::Relaxed);
+    }
+
+    /// Appends an event. `ts` is the emitter's sim clock reading.
+    pub fn emit(
+        &self,
+        ts: SimInstant,
+        level: Level,
+        target: &str,
+        message: impl Into<String>,
+        fields: &[(&str, String)],
+    ) {
+        let echo = self.echo_level.load(Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        ring.emitted_by_level[level as u8 as usize] += 1;
+        if (level as u8) < self.min_level.load(Ordering::Relaxed) {
+            ring.filtered += 1;
+            return;
+        }
+        let event = Event {
+            seq: ring.next_seq,
+            ts,
+            level,
+            target: target.to_owned(),
+            message: message.into(),
+            fields: fields
+                .iter()
+                .map(|&(k, ref v)| (k.to_owned(), v.clone()))
+                .collect(),
+        };
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.evicted += 1;
+        }
+        if level as u8 >= echo {
+            let fields: Vec<String> = event
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            eprintln!(
+                "[{} t={}s {}] {} {}",
+                event.level.label(),
+                event.ts.as_secs(),
+                event.target,
+                event.message,
+                fields.join(" "),
+            );
+        }
+        ring.events.push_back(event);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().events.iter().cloned().collect()
+    }
+
+    /// Retained events matching a predicate, oldest first.
+    pub fn events_where(&self, mut pred: impl FnMut(&Event) -> bool) -> Vec<Event> {
+        self.ring
+            .lock()
+            .events
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring bound since creation.
+    pub fn evicted(&self) -> u64 {
+        self.ring.lock().evicted
+    }
+
+    /// Events counted but dropped by the level filter.
+    pub fn filtered(&self) -> u64 {
+        self.ring.lock().filtered
+    }
+
+    /// Lifetime emission count per level (including filtered/evicted).
+    pub fn emitted_by_level(&self) -> [(Level, u64); 4] {
+        let ring = self.ring.lock();
+        [
+            (Level::Debug, ring.emitted_by_level[0]),
+            (Level::Info, ring.emitted_by_level[1]),
+            (Level::Warn, ring.emitted_by_level[2]),
+            (Level::Error, ring.emitted_by_level[3]),
+        ]
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log3() -> EventLog {
+        EventLog::new(3)
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = log3();
+        for i in 0..5 {
+            log.emit(
+                SimInstant::from_secs(i),
+                Level::Info,
+                "t",
+                format!("e{i}"),
+                &[],
+            );
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].message, "e2");
+        assert_eq!(events[2].message, "e4");
+        assert_eq!(log.evicted(), 2);
+        // Sequence numbers survive eviction.
+        assert_eq!(events[0].seq, 2);
+    }
+
+    #[test]
+    fn level_filter_counts_but_drops() {
+        let log = log3();
+        log.emit(SimInstant::EPOCH, Level::Debug, "t", "noise", &[]);
+        log.emit(SimInstant::EPOCH, Level::Warn, "t", "signal", &[]);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.filtered(), 1);
+        assert_eq!(log.emitted_by_level()[0], (Level::Debug, 1));
+
+        log.set_min_level(Level::Debug);
+        log.emit(SimInstant::EPOCH, Level::Debug, "t", "kept now", &[]);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn fields_are_queryable() {
+        let log = log3();
+        log.emit(
+            SimInstant::from_secs(9),
+            Level::Warn,
+            "snmp.poller",
+            "quarantined",
+            &[("target", "127.0.0.1:1".to_owned())],
+        );
+        let matches = log.events_where(|e| e.field("target") == Some("127.0.0.1:1"));
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].ts, SimInstant::from_secs(9));
+        assert_eq!(matches[0].field("absent"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.label(), "warn");
+    }
+}

@@ -1,0 +1,285 @@
+//! Log-linear-bucket histograms.
+//!
+//! Buckets cover the positive reals with a fixed relative width: each
+//! power-of-two decade is split into [`LINEAR_DIVISIONS`] equal linear
+//! sub-buckets, so any bucket's upper bound is at most ~12.5 % above its
+//! lower bound. Values ≤ 0 land in a dedicated underflow bucket. The
+//! scheme needs no a-priori range, supports lossless merging, and bounds
+//! the error of every quantile estimate by one bucket's width.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Linear sub-buckets per power-of-two decade. 8 gives a worst-case
+/// relative bucket width of 1/8 = 12.5 %.
+pub const LINEAR_DIVISIONS: u32 = 8;
+
+/// Smallest / largest binary exponents tracked exactly; values beyond are
+/// clamped into the edge decades (f64 exponents far exceed anything a
+/// latency or power value can produce).
+const MIN_EXP: i32 = -64;
+const MAX_EXP: i32 = 63;
+
+/// Bucket id of the underflow bucket (values ≤ 0).
+const UNDERFLOW: u32 = 0;
+
+/// Maps a value to its bucket id. Total and order-preserving: bigger
+/// values never map to smaller ids.
+fn bucket_of(v: f64) -> u32 {
+    if v <= 0.0 || v.is_nan() {
+        return UNDERFLOW;
+    }
+    let exp = (v.log2().floor() as i32).clamp(MIN_EXP, MAX_EXP);
+    let base = (exp as f64).exp2();
+    // Position inside [2^e, 2^(e+1)), in LINEAR_DIVISIONS steps.
+    let sub = (((v / base) - 1.0) * LINEAR_DIVISIONS as f64) as u32;
+    let sub = sub.min(LINEAR_DIVISIONS - 1);
+    1 + ((exp - MIN_EXP) as u32) * LINEAR_DIVISIONS + sub
+}
+
+/// Inclusive-lower / exclusive-upper bounds of a bucket id.
+fn bucket_bounds(id: u32) -> (f64, f64) {
+    if id == UNDERFLOW {
+        return (f64::NEG_INFINITY, 0.0);
+    }
+    let id = id - 1;
+    let exp = MIN_EXP + (id / LINEAR_DIVISIONS) as i32;
+    let sub = id % LINEAR_DIVISIONS;
+    let base = (exp as f64).exp2();
+    let width = base / LINEAR_DIVISIONS as f64;
+    let lo = base + sub as f64 * width;
+    (lo, lo + width)
+}
+
+/// The mutable state behind a [`Histogram`] handle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct HistState {
+    /// Sparse `bucket id → count`, kept sorted by id.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistState {
+    fn observe(&mut self, v: f64) {
+        let id = bucket_of(v);
+        match self.buckets.binary_search_by_key(&id, |&(b, _)| b) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (id, 1)),
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn merge(&mut self, other: &HistState) {
+        for &(id, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&id, |&(b, _)| b) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (id, n)),
+            }
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A concurrency-safe histogram handle. Cloning shares the same state.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    state: Arc<Mutex<HistState>>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: f64) {
+        self.state.lock().observe(v);
+    }
+
+    /// Records a wall-clock duration in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        // Clone first: merging a histogram into itself must not deadlock.
+        let theirs = other.state.lock().clone();
+        self.state.lock().merge(&theirs);
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.state.lock();
+        HistogramSnapshot {
+            buckets: s.buckets.clone(),
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram, cheap to query repeatedly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<(u32, u64)>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (meaningless when `count == 0`).
+    pub min: f64,
+    /// Largest recorded value (meaningless when `count == 0`).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`, `None` when empty.
+    ///
+    /// The estimate is the upper bound of the bucket holding the rank-`q`
+    /// sample, clamped to the observed `[min, max]` — so it never
+    /// underestimates the true quantile and overestimates it by at most
+    /// one bucket's relative width (≤ 12.5 % for positive values).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q·n), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(id, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                let (_, hi) = bucket_bounds(id);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Bounds of the bucket a value falls into — exposed so tests can
+    /// assert the quantile error contract.
+    pub fn bucket_bounds_of(v: f64) -> (f64, f64) {
+        bucket_bounds(bucket_of(v))
+    }
+
+    /// Number of non-empty buckets.
+    pub fn populated_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        let vals = [1e-12, 0.003, 0.5, 1.0, 1.1, 7.0, 1e6];
+        let mut prev = 0;
+        for &v in &vals {
+            let id = bucket_of(v);
+            assert!(id >= prev, "monotone ids");
+            prev = id;
+            let (lo, hi) = bucket_bounds(id);
+            assert!(lo <= v && v < hi, "{v} in [{lo}, {hi})");
+            assert!(hi / lo <= 1.0 + 1.0 / LINEAR_DIVISIONS as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nonpositive_values_use_underflow_bucket() {
+        assert_eq!(bucket_of(0.0), UNDERFLOW);
+        assert_eq!(bucket_of(-3.5), UNDERFLOW);
+        assert_eq!(bucket_of(f64::NAN), UNDERFLOW);
+        let h = Histogram::new();
+        h.observe(-1.0);
+        h.observe(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, -1.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_truth() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let s = h.snapshot();
+        for (q, truth) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = s.quantile(q).unwrap();
+            assert!(est >= truth, "q{q}: {est} ≥ {truth}");
+            assert!(est <= truth * 1.13, "q{q}: {est} ≤ {truth}·1.13");
+        }
+        let q0 = s.quantile(0.0).unwrap();
+        assert!((1.0..=1.13).contains(&q0), "{q0}");
+        assert_eq!(s.quantile(1.0).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn merge_preserves_count_and_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for i in 0..100 {
+            a.observe(i as f64 * 0.25);
+            b.observe(1000.0 + i as f64);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        a.merge_from(&b);
+        let m = a.snapshot();
+        assert_eq!(m.count, sa.count + sb.count);
+        assert!((m.sum - (sa.sum + sb.sum)).abs() < 1e-9);
+        assert_eq!(m.min, sa.min.min(sb.min));
+        assert_eq!(m.max, sa.max.max(sb.max));
+    }
+
+    #[test]
+    fn self_merge_does_not_deadlock() {
+        let a = Histogram::new();
+        a.observe(1.0);
+        let alias = a.clone();
+        a.merge_from(&alias);
+        assert_eq!(a.snapshot().count, 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! `fj-telemetry` — structured events, metrics, and span timing for the
+//! measurement plane.
+//!
+//! PR 1 made the measurement pipeline lossy *by design* — drops, backoff,
+//! quarantine, gap markers. This crate makes the losses observable. The
+//! paper's central diagnostic move (§5–§6) is comparing data sources that
+//! disagree; doing that honestly requires watching the pipeline itself,
+//! or collection artifacts silently become wrong energy numbers.
+//!
+//! Three primitives, zero external dependencies:
+//!
+//! * **metrics** — [`Counter`], [`Gauge`], and log-linear-bucket
+//!   [`Histogram`]s with labels, registered in a [`Registry`] that
+//!   renders a Prometheus-style text snapshot and a JSON snapshot;
+//! * **events** — a leveled, bounded-ring [`EventLog`] of structured
+//!   [`Event`]s, replacing every `eprintln!`-style site;
+//! * **spans** — a [`SpanTimer`] producing per-stage latency histograms,
+//!   wall-clock for real network paths and sim-clock for simulation
+//!   paths (no `std::time::Instant` ever feeds simulated behaviour).
+//!
+//! A [`Telemetry`] bundle ties the three together with a settable sim
+//! clock: sim drivers call [`Telemetry::set_now`] each tick, so every
+//! event carries the simulation timestamp of its cause and gap markers
+//! can be joined against their cause events exactly. Components default
+//! to the process-wide [`global`] bundle; tests that need isolation pass
+//! their own via each component's `with_telemetry` hook.
+
+pub mod events;
+pub mod histogram;
+pub mod metrics;
+pub mod render;
+pub mod span;
+
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use fj_units::SimInstant;
+
+pub use events::{Event, EventLog, Level};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
+pub use span::SpanTimer;
+
+/// Metrics, events, and the sim clock they are stamped with.
+pub struct Telemetry {
+    registry: Registry,
+    events: EventLog,
+    now_secs: AtomicI64,
+}
+
+impl Telemetry {
+    /// A fresh, isolated bundle (default ring capacity, Info retention).
+    pub fn new() -> Arc<Telemetry> {
+        Self::with_capacity(events::DEFAULT_CAPACITY)
+    }
+
+    /// A fresh bundle retaining up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            registry: Registry::new(),
+            events: EventLog::new(capacity),
+            now_secs: AtomicI64::new(0),
+        })
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Sets the sim clock used to stamp subsequent events. Sim drivers
+    /// call this once per tick; real-time paths inherit whatever the
+    /// surrounding driver set (EPOCH by default).
+    pub fn set_now(&self, t: SimInstant) {
+        self.now_secs.store(t.as_secs(), Ordering::Relaxed);
+    }
+
+    /// The current sim-clock reading.
+    pub fn now(&self) -> SimInstant {
+        SimInstant::from_secs(self.now_secs.load(Ordering::Relaxed))
+    }
+
+    /// Emits an event stamped with the current sim clock.
+    pub fn event(
+        &self,
+        level: Level,
+        target: &str,
+        message: impl Into<String>,
+        fields: &[(&str, String)],
+    ) {
+        self.events.emit(self.now(), level, target, message, fields);
+    }
+
+    /// Prometheus-style text rendering of the current metric state.
+    pub fn render_prometheus(&self) -> String {
+        render::to_prometheus_text(&self.registry.snapshot())
+    }
+
+    /// Pretty-printed JSON snapshot of metrics and retained events.
+    pub fn snapshot_json(&self) -> String {
+        let value = render::to_json_value(&self.registry.snapshot(), &self.events);
+        serde_json::to_string_pretty(&value).expect("snapshot value serializes")
+    }
+
+    /// Writes the JSON snapshot to `path`, creating parent directories.
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.snapshot_json())
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("metrics", &self.registry.snapshot().len())
+            .field("events", &self.events.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+/// The process-wide default bundle. Components fall back to it when not
+/// given an explicit [`Telemetry`]; experiment binaries snapshot it at
+/// exit.
+pub fn global() -> &'static Arc<Telemetry> {
+    static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_the_sim_clock() {
+        let t = Telemetry::new();
+        t.set_now(SimInstant::from_secs(300));
+        t.event(Level::Warn, "test", "gap", &[]);
+        let events = t.events().events();
+        assert_eq!(events[0].ts, SimInstant::from_secs(300));
+        assert_eq!(t.now(), SimInstant::from_secs(300));
+    }
+
+    #[test]
+    fn snapshot_json_contains_registered_series() {
+        let t = Telemetry::new();
+        t.registry().counter("polls_total", &[]).add(3);
+        let json = t.snapshot_json();
+        assert!(json.contains("polls_total"));
+        let back: serde::Value = serde_json::from_str(&json).unwrap();
+        assert!(back.as_map().is_some());
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let a = global();
+        a.registry().counter("global_smoke_total", &[]).inc();
+        assert_eq!(global().registry().counter_total("global_smoke_total"), 1);
+    }
+
+    #[test]
+    fn write_snapshot_creates_directories() {
+        let t = Telemetry::new();
+        t.registry().gauge("g", &[]).set(1.0);
+        let dir = std::env::temp_dir().join("fj-telemetry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("snap.json");
+        t.write_snapshot(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,264 @@
+//! Counters, gauges, and the metric registry.
+//!
+//! Handles are cheap `Arc` clones; the hot path (incrementing a counter)
+//! is one atomic op. Registration is get-or-create keyed on
+//! `(name, sorted labels)`, so two call sites asking for the same series
+//! share state. Instrumented components look their handles up once at
+//! construction and keep them — per-observation registry lookups allocate
+//! and are for cold paths (e.g. a health transition) only.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not in any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an arbitrary settable `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A detached gauge (not in any registry), initially 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta. Not atomic against concurrent
+    /// `add`s — gauges here track slowly changing levels, not hot sums.
+    pub fn add(&self, delta: f64) {
+        self.set(self.get() + delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Identity of one metric series: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One rendered metric in a [`RegistrySnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Snapshot value of one metric series.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view over every registered series, sorted by key.
+pub type RegistrySnapshot = Vec<MetricSnapshot>;
+
+/// The metric registry: get-or-create handles by `(name, labels)`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter for `(name, labels)`, created on first use.
+    ///
+    /// Panics if the series is already registered as a different type —
+    /// that is a programming error worth failing loudly on.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {}", kind(other)),
+        }
+    }
+
+    /// The gauge for `(name, labels)`, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {}", kind(other)),
+        }
+    }
+
+    /// The histogram for `(name, labels)`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {}", kind(other)),
+        }
+    }
+
+    /// Sum of a counter over all label sets with this name. Zero when the
+    /// name is unknown — reading a metric must never fail.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Point-in-time copy of every series, sorted by name then labels.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.metrics
+            .lock()
+            .iter()
+            .map(|(k, m)| MetricSnapshot {
+                name: k.name.clone(),
+                labels: k.labels.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+}
+
+fn kind(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let r = Registry::new();
+        let a = r.counter("polls_total", &[("target", "x")]);
+        let b = r.counter("polls_total", &[("target", "x")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Different label set → different series.
+        let c = r.counter("polls_total", &[("target", "y")]);
+        assert_eq!(c.get(), 0);
+        assert_eq!(r.counter_total("polls_total"), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.gauge("g", &[("a", "1"), ("b", "2")]);
+        let b = r.gauge("g", &[("b", "2"), ("a", "1")]);
+        a.set(5.0);
+        assert_eq!(b.get(), 5.0);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x", &[]);
+        r.gauge("x", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).inc();
+        r.gauge("a_level", &[]).set(1.5);
+        r.histogram("c_seconds", &[]).observe(0.25);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a_level", "b_total", "c_seconds"]);
+    }
+}

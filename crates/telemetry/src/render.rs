@@ -1,0 +1,268 @@
+//! Snapshot rendering: Prometheus-style text and JSON.
+//!
+//! Both renderers work from immutable snapshots, so holding them costs
+//! the emitters nothing. Histograms render Prometheus-summary style
+//! (`quantile` labels plus `_sum`/`_count`), which keeps the text
+//! exposition compact regardless of how many log-linear buckets are
+//! populated.
+
+use std::fmt::Write as _;
+
+use serde::Value;
+
+use crate::events::{Event, EventLog};
+use crate::metrics::{MetricSnapshot, MetricValue, RegistrySnapshot};
+
+/// Quantiles rendered for every histogram.
+pub const RENDERED_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Escapes a label value for the Prometheus text format: backslash,
+/// double quote, and newline get backslash-escaped.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label_value`], for tests and scrape checking.
+pub fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // keep gauges visibly floats ("3.0")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition format.
+pub fn to_prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for m in snapshot {
+        if last_name != Some(m.name.as_str()) {
+            let kind = match m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", m.name);
+            last_name = Some(m.name.as_str());
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", m.name, label_block(&m.labels, None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    m.name,
+                    label_block(&m.labels, None),
+                    fmt_f64(*v)
+                );
+            }
+            MetricValue::Histogram(h) => {
+                for q in RENDERED_QUANTILES {
+                    let val = h.quantile(q).unwrap_or(f64::NAN);
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        label_block(&m.labels, Some(("quantile", &q.to_string()))),
+                        fmt_f64(val)
+                    );
+                }
+                let block = label_block(&m.labels, None);
+                let _ = writeln!(out, "{}_sum{} {}", m.name, block, fmt_f64(h.sum));
+                let _ = writeln!(out, "{}_count{} {}", m.name, block, h.count);
+            }
+        }
+    }
+    out
+}
+
+fn metric_value(m: &MetricSnapshot) -> Value {
+    let labels = Value::Map(
+        m.labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect(),
+    );
+    let mut entries = vec![
+        ("name".to_owned(), Value::Str(m.name.clone())),
+        ("labels".to_owned(), labels),
+    ];
+    match &m.value {
+        MetricValue::Counter(v) => {
+            entries.push(("type".to_owned(), Value::Str("counter".into())));
+            entries.push(("value".to_owned(), Value::UInt(*v)));
+        }
+        MetricValue::Gauge(v) => {
+            entries.push(("type".to_owned(), Value::Str("gauge".into())));
+            entries.push(("value".to_owned(), Value::Float(*v)));
+        }
+        MetricValue::Histogram(h) => {
+            entries.push(("type".to_owned(), Value::Str("histogram".into())));
+            entries.push(("count".to_owned(), Value::UInt(h.count)));
+            entries.push(("sum".to_owned(), Value::Float(h.sum)));
+            if h.count > 0 {
+                entries.push(("min".to_owned(), Value::Float(h.min)));
+                entries.push(("max".to_owned(), Value::Float(h.max)));
+                for q in RENDERED_QUANTILES {
+                    let key = format!("p{}", (q * 100.0).round() as u32);
+                    entries.push((key, Value::Float(h.quantile(q).unwrap())));
+                }
+            }
+        }
+    }
+    Value::Map(entries)
+}
+
+fn event_value(e: &Event) -> Value {
+    Value::Map(vec![
+        ("seq".to_owned(), Value::UInt(e.seq)),
+        ("ts_secs".to_owned(), Value::Int(e.ts.as_secs())),
+        ("level".to_owned(), Value::Str(e.level.label().to_owned())),
+        ("target".to_owned(), Value::Str(e.target.clone())),
+        ("message".to_owned(), Value::Str(e.message.clone())),
+        (
+            "fields".to_owned(),
+            Value::Map(
+                e.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds the JSON value model for a full telemetry snapshot.
+pub fn to_json_value(metrics: &RegistrySnapshot, events: &EventLog) -> Value {
+    let by_level = Value::Map(
+        events
+            .emitted_by_level()
+            .iter()
+            .map(|&(level, n)| (level.label().to_owned(), Value::UInt(n)))
+            .collect(),
+    );
+    let entries: Vec<Value> = events.events().iter().map(event_value).collect();
+    Value::Map(vec![
+        (
+            "metrics".to_owned(),
+            Value::Array(metrics.iter().map(metric_value).collect()),
+        ),
+        (
+            "events".to_owned(),
+            Value::Map(vec![
+                ("emitted_by_level".to_owned(), by_level),
+                ("evicted".to_owned(), Value::UInt(events.evicted())),
+                ("filtered".to_owned(), Value::UInt(events.filtered())),
+                (
+                    "min_level".to_owned(),
+                    Value::Str(events.min_level().label().to_owned()),
+                ),
+                ("entries".to_owned(), Value::Array(entries)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use fj_units::SimInstant;
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "a\"b", "back\\slash", "line\nbreak", "\\\"\n"] {
+            assert_eq!(unescape_label_value(&escape_label_value(s)), s);
+        }
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = Registry::new();
+        r.counter("polls_total", &[("target", "a\"b")]).add(7);
+        r.gauge("health", &[]).set(2.0);
+        r.histogram("latency_seconds", &[]).observe(0.5);
+        let text = to_prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE polls_total counter"));
+        assert!(text.contains("polls_total{target=\"a\\\"b\"} 7"));
+        assert!(text.contains("health 2.0"));
+        assert!(text.contains("# TYPE latency_seconds summary"));
+        assert!(text.contains("latency_seconds_count 1"));
+        assert!(text.contains("quantile=\"0.5\""));
+    }
+
+    #[test]
+    fn json_value_parses_back() {
+        let r = Registry::new();
+        r.counter("c_total", &[]).inc();
+        r.histogram("h_seconds", &[]).observe(1.5);
+        let log = EventLog::default();
+        log.emit(
+            SimInstant::from_secs(3),
+            crate::Level::Warn,
+            "t",
+            "m",
+            &[("k", "v".to_owned())],
+        );
+        let value = to_json_value(&r.snapshot(), &log);
+        let text = serde_json::to_string_pretty(&value).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let metrics = serde::field(back.as_map().unwrap(), "metrics")
+            .as_array()
+            .unwrap();
+        assert_eq!(metrics.len(), 2);
+        let events = serde::field(back.as_map().unwrap(), "events");
+        let entries = serde::field(events.as_map().unwrap(), "entries")
+            .as_array()
+            .unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+}

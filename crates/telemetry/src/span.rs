@@ -1,0 +1,122 @@
+//! Span timing: per-stage latency fed into histograms.
+//!
+//! Two clock domains, chosen by the caller:
+//!
+//! * **wall** spans measure host compute/IO latency with
+//!   [`std::time::Instant`] — for real network paths (UDP round-trips,
+//!   TCP flushes) and for "how long did this poll round take to compute";
+//! * **sim** spans measure simulated elapsed time with
+//!   [`SimInstant`] — for sim paths, which must never consult the wall
+//!   clock for simulation-visible behaviour.
+//!
+//! A span records into its histogram exactly once, on `finish`; dropping
+//! an unfinished span records nothing (a timed-out stage that never
+//! completed should surface as a counter, not a bogus latency).
+
+use std::time::Instant;
+
+use fj_units::SimInstant;
+
+use crate::histogram::Histogram;
+
+/// An in-flight timed stage. Construct via [`SpanTimer::wall`] or
+/// [`SpanTimer::sim`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Histogram,
+    start: Start,
+}
+
+#[derive(Debug)]
+enum Start {
+    Wall(Instant),
+    Sim(SimInstant),
+}
+
+impl SpanTimer {
+    /// Starts a wall-clock span; `finish` records elapsed seconds.
+    pub fn wall(hist: Histogram) -> Self {
+        Self {
+            hist,
+            start: Start::Wall(Instant::now()),
+        }
+    }
+
+    /// Starts a sim-clock span at `start`; finish with
+    /// [`SpanTimer::finish_at`].
+    pub fn sim(hist: Histogram, start: SimInstant) -> Self {
+        Self {
+            hist,
+            start: Start::Sim(start),
+        }
+    }
+
+    /// Ends a wall span, recording and returning elapsed seconds.
+    ///
+    /// Panics on a sim span — mixing clock domains is a bug.
+    pub fn finish(self) -> f64 {
+        match self.start {
+            Start::Wall(t0) => {
+                let secs = t0.elapsed().as_secs_f64();
+                self.hist.observe(secs);
+                secs
+            }
+            Start::Sim(_) => panic!("sim span finished with wall clock; use finish_at"),
+        }
+    }
+
+    /// Ends a sim span at sim time `now`, recording and returning elapsed
+    /// simulated seconds.
+    ///
+    /// Panics on a wall span — mixing clock domains is a bug.
+    pub fn finish_at(self, now: SimInstant) -> f64 {
+        match self.start {
+            Start::Sim(t0) => {
+                let secs = (now - t0).as_secs_f64();
+                self.hist.observe(secs);
+                secs
+            }
+            Start::Wall(_) => panic!("wall span finished with sim clock; use finish"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_span_records_positive_seconds() {
+        let h = Histogram::new();
+        let span = SpanTimer::wall(h.clone());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let secs = span.finish();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(secs >= 0.002, "{secs}");
+        assert_eq!(snap.sum, secs);
+    }
+
+    #[test]
+    fn sim_span_records_sim_seconds() {
+        let h = Histogram::new();
+        let span = SpanTimer::sim(h.clone(), SimInstant::from_secs(100));
+        let secs = span.finish_at(SimInstant::from_secs(400));
+        assert_eq!(secs, 300.0);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn dropped_span_records_nothing() {
+        let h = Histogram::new();
+        drop(SpanTimer::wall(h.clone()));
+        drop(SpanTimer::sim(h.clone(), SimInstant::EPOCH));
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock")]
+    fn mixed_clock_domains_panic() {
+        SpanTimer::wall(Histogram::new()).finish_at(SimInstant::EPOCH);
+    }
+}
