@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fj-lint (domain rules: determinism, dimensional safety, panic-freedom)"
+cargo run -q -p fj-lint
+
 echo "==> cargo test"
 cargo test --workspace -q
 

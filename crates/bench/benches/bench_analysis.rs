@@ -13,7 +13,7 @@ use fj_units::SimDuration;
 fn bench_fleet(c: &mut Criterion) {
     let fleet = build_fleet(&FleetConfig::small(7));
     c.bench_function("fleet_small_build", |b| {
-        b.iter(|| black_box(build_fleet(&FleetConfig::small(7))))
+        b.iter(|| black_box(build_fleet(&FleetConfig::small(7))));
     });
     c.bench_function("fleet_small_advance_5min", |b| {
         b.iter_batched(
@@ -23,14 +23,14 @@ fn bench_fleet(c: &mut Criterion) {
                 black_box(f.now())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     let full = build_fleet(&FleetConfig::switch_like(7));
     c.bench_function("fleet_107_total_wall_power", |b| {
-        b.iter(|| black_box(full.total_wall_power_w()))
+        b.iter(|| black_box(full.total_wall_power_w()));
     });
     c.bench_function("fleet_107_insights", |b| {
-        b.iter(|| black_box(FleetInsights::compute(black_box(&full))))
+        b.iter(|| black_box(FleetInsights::compute(black_box(&full))));
     });
 }
 
@@ -39,11 +39,11 @@ fn bench_hypnos(c: &mut Criterion) {
     let observations = algorithm::observe_links(&fleet);
     let config = HypnosConfig::default();
     c.bench_function("hypnos_decide_full_fleet", |b| {
-        b.iter(|| black_box(algorithm::decide(black_box(&observations), &config)))
+        b.iter(|| black_box(algorithm::decide(black_box(&observations), &config)));
     });
     let outcome = algorithm::decide(&observations, &config);
     c.bench_function("hypnos_price_sleep_set", |b| {
-        b.iter(|| black_box(sleeping_savings(black_box(&outcome))))
+        b.iter(|| black_box(sleeping_savings(black_box(&outcome))));
     });
 }
 
@@ -51,10 +51,10 @@ fn bench_psu(c: &mut Criterion) {
     let fleet = build_fleet(&FleetConfig::switch_like(7));
     let data = psu_snapshot(&fleet);
     c.bench_function("psu_uplift_titanium_214_psus", |b| {
-        b.iter(|| black_box(uplift_savings(black_box(&data), EightyPlus::Titanium)))
+        b.iter(|| black_box(uplift_savings(black_box(&data), EightyPlus::Titanium)));
     });
     c.bench_function("psu_right_sizing_214_psus", |b| {
-        b.iter(|| black_box(right_sizing_savings(black_box(&data), 2.0)))
+        b.iter(|| black_box(right_sizing_savings(black_box(&data), 2.0)));
     });
 }
 

@@ -28,11 +28,11 @@ fn bench_predict(c: &mut Criterion) {
                 .predict(black_box(&configs), black_box(&loads))
                 .expect("classes covered");
             black_box(breakdown.total())
-        })
+        });
     });
 
     c.bench_function("model_static_power_32_interfaces", |b| {
-        b.iter(|| black_box(model.static_power(black_box(&configs)).expect("covered")))
+        b.iter(|| black_box(model.static_power(black_box(&configs)).expect("covered")));
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_regression(c: &mut Criterion) {
     let x: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
     let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0 + (v * 0.1).sin()).collect();
     c.bench_function("linear_regression_1000_points", |b| {
-        b.iter(|| black_box(linear_regression(black_box(&x), black_box(&y)).expect("fits")))
+        b.iter(|| black_box(linear_regression(black_box(&x), black_box(&y)).expect("fits")));
     });
 }
 
@@ -57,12 +57,12 @@ fn bench_time_series(c: &mut Criterion) {
             || ts.clone(),
             |series| black_box(series.window_mean(SimDuration::from_mins(30))),
             BatchSize::LargeInput,
-        )
+        );
     });
 
     let other = ts.map(|v| v + 10.0);
     c.bench_function("series_pointwise_sub_86400", |b| {
-        b.iter(|| black_box(ts.sub(black_box(&other))))
+        b.iter(|| black_box(ts.sub(black_box(&other))));
     });
 }
 

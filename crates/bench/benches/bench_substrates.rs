@@ -25,7 +25,7 @@ fn deployed_router() -> SimulatedRouter {
 fn bench_router(c: &mut Criterion) {
     let router = deployed_router();
     c.bench_function("router_wall_power", |b| {
-        b.iter(|| black_box(router.wall_power()))
+        b.iter(|| black_box(router.wall_power()));
     });
 
     c.bench_function("router_tick_5min", |b| {
@@ -36,7 +36,7 @@ fn bench_router(c: &mut Criterion) {
                 black_box(r.now())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -46,12 +46,12 @@ fn bench_snmp(c: &mut Criterion) {
     let encoded = pdu.encode();
     c.bench_function("snmp_pdu_encode", |b| b.iter(|| black_box(pdu.encode())));
     c.bench_function("snmp_pdu_decode", |b| {
-        b.iter(|| black_box(Pdu::decode(black_box(&encoded)).expect("valid")))
+        b.iter(|| black_box(Pdu::decode(black_box(&encoded)).expect("valid")));
     });
 
     let mut router = deployed_router();
     c.bench_function("mib_snapshot_32_interfaces", |b| {
-        b.iter(|| black_box(mib::snapshot(black_box(&mut router))))
+        b.iter(|| black_box(mib::snapshot(black_box(&mut router))));
     });
 }
 
@@ -59,7 +59,7 @@ fn bench_meter(c: &mut Criterion) {
     let meter = Mcp39F511N::new(5);
     let mut router = deployed_router();
     c.bench_function("meter_measure_one_minute", |b| {
-        b.iter(|| black_box(meter.measure_for(black_box(&mut router), SimDuration::from_mins(1))))
+        b.iter(|| black_box(meter.measure_for(black_box(&mut router), SimDuration::from_mins(1))));
     });
 }
 
@@ -67,10 +67,10 @@ fn bench_datasheets(c: &mut Criterion) {
     let corpus = generate_corpus(&CorpusConfig::default());
     let parser = ParserConfig::default();
     c.bench_function("datasheet_extract_one", |b| {
-        b.iter(|| black_box(extract(black_box(&corpus[0]), &parser)))
+        b.iter(|| black_box(extract(black_box(&corpus[0]), &parser)));
     });
     c.bench_function("corpus_generate_779", |b| {
-        b.iter(|| black_box(generate_corpus(&CorpusConfig::default())))
+        b.iter(|| black_box(generate_corpus(&CorpusConfig::default())));
     });
 }
 

@@ -33,17 +33,17 @@ fn bench_observe(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             h.observe(black_box(1e-3 * (1 + i % 1000) as f64));
-        })
+        });
     });
 }
 
 fn bench_render(c: &mut Criterion) {
     let (registry, events) = populated_registry();
     c.bench_function("render_prometheus_10k_histogram", |b| {
-        b.iter(|| black_box(to_prometheus_text(&registry.snapshot())))
+        b.iter(|| black_box(to_prometheus_text(&registry.snapshot())));
     });
     c.bench_function("render_json_10k_histogram", |b| {
-        b.iter(|| black_box(to_json_value(&registry.snapshot(), &events)))
+        b.iter(|| black_box(to_json_value(&registry.snapshot(), &events)));
     });
 }
 

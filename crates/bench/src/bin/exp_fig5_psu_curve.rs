@@ -31,8 +31,7 @@ fn main() {
                 .set_points()
                 .iter()
                 .find(|(l, _)| (*l - load).abs() < 1e-9)
-                .map(|(_, e)| format!("{:.0}", e * 100.0))
-                .unwrap_or_else(|| "—".to_owned())
+                .map_or_else(|| "—".to_owned(), |(_, e)| format!("{:.0}", e * 100.0))
         };
         t.row(&[level.to_string(), at(0.10), at(0.20), at(0.50), at(1.00)]);
     }

@@ -56,8 +56,7 @@ fn main() {
             status.samples.to_string(),
             status
                 .last_sample_at
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "—".into()),
+                .map_or_else(|| "—".into(), |t| t.to_string()),
             if status.measuring {
                 "measuring"
             } else {

@@ -1,6 +1,11 @@
 //! Shared paper-vs-derived reporting for the Table 2 and Table 6
 //! regenerators.
 
+// fj-lint: allow-file(FJ02) — experiment regenerator over compiled-in
+// paper rows: a row that fails to parse or derive means the embedded
+// table data is wrong, and the regeneration must abort loudly rather
+// than print a table with silently missing rows.
+
 use fj_core::InterfaceClass;
 use fj_netpowerbench::{Derivation, DerivationConfig};
 

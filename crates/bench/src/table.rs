@@ -17,7 +17,7 @@ impl TablePrinter {
     pub fn row(&self, cells: &[String]) {
         let mut line = String::new();
         for (i, width) in self.widths.iter().enumerate() {
-            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            let cell = cells.get(i).map_or("", String::as_str);
             line.push_str(&format!("{cell:>width$}  "));
         }
         println!("{}", line.trim_end());

@@ -33,6 +33,10 @@ pub struct InterfaceParams {
 impl InterfaceParams {
     /// Convenience constructor from the units used in the paper's tables:
     /// watts, watts, watts, picojoules/bit, nanojoules/packet, watts.
+    // fj-lint: allow(FJ03) — this constructor is the table-ingestion seam:
+    // the paper's Tables 2/6 are raw numbers in fixed units, and turning
+    // them into fj-units newtypes is precisely this function's job. The
+    // `_w`/`_pj`/`_nj` suffixes carry the unit contract at every call site.
     pub fn from_table(
         p_port_w: f64,
         p_trx_in_w: f64,
@@ -125,6 +129,8 @@ impl PowerModel {
     /// for the embedded tables where duplicates are a programming error.
     pub fn with_class(mut self, class: InterfaceClass, params: InterfaceParams) -> Self {
         self.add_class(class, params)
+            // fj-lint: allow(FJ02) — documented builder contract: duplicate
+            // classes in an embedded table are a data bug to fail loudly on.
             .expect("duplicate class in builder");
         self
     }

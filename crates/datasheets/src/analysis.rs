@@ -57,9 +57,9 @@ pub fn efficiency_trend(records: &[ExtractedRecord], outlier_cutoff: f64) -> Vec
         })
         .collect();
     points.sort_by(|a, b| {
-        (a.year, a.w_per_100g)
-            .partial_cmp(&(b.year, b.w_per_100g))
-            .expect("finite")
+        a.year
+            .cmp(&b.year)
+            .then(a.w_per_100g.total_cmp(&b.w_per_100g))
     });
     points
 }
@@ -73,9 +73,7 @@ pub fn trend_strength(points: &[TrendPoint]) -> f64 {
     }
     let x: Vec<f64> = points.iter().map(|p| p.year as f64).collect();
     let y: Vec<f64> = points.iter().map(|p| p.w_per_100g).collect();
-    linear_regression(&x, &y)
-        .map(|f| f.r_squared)
-        .unwrap_or(0.0)
+    linear_regression(&x, &y).map_or(0.0, |f| f.r_squared)
 }
 
 /// One row of Table 1: datasheet "typical" vs deployed median.
@@ -110,11 +108,7 @@ pub fn datasheet_accuracy_table(
             datasheet_w,
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.overestimation_pct()
-            .partial_cmp(&a.overestimation_pct())
-            .expect("finite")
-    });
+    out.sort_by(|a, b| b.overestimation_pct().total_cmp(&a.overestimation_pct()));
     out
 }
 

@@ -109,8 +109,10 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<DatasheetRecord> {
     let catalog = series_catalog();
     let mut records = Vec::with_capacity(config.total_models);
 
+    // fj-lint: allow(FJ02) — distribution parameters are compile-time
+    // constants; construction cannot fail at runtime.
     let bw_spread = LogNormal::new(0.0, 0.5).expect("valid lognormal");
-    let overhead_w = Uniform::new(40.0, 250.0).expect("valid uniform");
+    let overhead_w = Uniform::new(40.0, 250.0).expect("valid uniform"); // fj-lint: allow(FJ02) — constant parameters
     let system_factor = Uniform::new(0.8, 2.2).expect("valid uniform");
 
     for i in 0..config.total_models {

@@ -236,7 +236,7 @@ impl FaultPlan {
     /// True when the server governed by this plan is inside a crash
     /// window `elapsed` after start.
     pub fn server_down(&self, elapsed: Duration) -> bool {
-        self.crash.map(|c| c.is_down(elapsed)).unwrap_or(false)
+        self.crash.is_some_and(|c| c.is_down(elapsed))
     }
 }
 

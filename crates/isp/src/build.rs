@@ -1,5 +1,11 @@
 //! Fleet construction: hardware placement, cabling, traffic assignment.
 
+// fj-lint: allow-file(FJ02) — synthetic-fleet builder over compiled-in
+// router specs: every `expect` documents a by-construction invariant
+// (planned interfaces exist, picked classes are pluggable on the chosen
+// port). An inconsistency is a bug in this module; a half-built fleet
+// would silently skew every downstream study, so fail loudly instead.
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

@@ -81,8 +81,7 @@ impl Fleet {
     pub fn now(&self) -> SimInstant {
         self.routers
             .first()
-            .map(|r| r.sim.now())
-            .unwrap_or(SimInstant::EPOCH)
+            .map_or(SimInstant::EPOCH, |r| r.sim.now())
     }
 
     /// Advances the fleet by `dt`: refreshes every active interface's

@@ -1,5 +1,10 @@
 //! Fleet-level insight statistics (§7–§8 numerators and denominators).
 
+// fj-lint: allow-file(FJ02) — introspection over the builder's own plan:
+// every `expect` names a lookup the fleet builder guarantees (planned
+// interfaces exist and are priced, PSU slots are in range). Skipping a
+// missing entry would silently under-count fleet power.
+
 use serde::{Deserialize, Serialize};
 
 use fj_psu::{FleetPsuData, PsuObservation};

@@ -1,0 +1,117 @@
+//! Findings: the lint driver's output, deterministic and machine-readable.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`FJ01` … `FJ06`, or `FJ00` for pragma misuse).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Sorts findings into the canonical (file, line, col, rule) order so
+/// output is byte-stable across runs and platforms.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Renders the compiler-style human report, one line per finding.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}: {}",
+            f.file, f.line, f.col, f.rule, f.message
+        );
+    }
+    out
+}
+
+/// Renders the JSON findings document written under `target/lint/`.
+/// Hand-rolled so the lint driver stays dependency-free.
+pub fn render_json(findings: &[Finding], files_scanned: usize, suppressions: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"suppressions\": {suppressions},");
+    let _ = writeln!(out, "  \"finding_count\": {},", findings.len());
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}{}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.message),
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_sorted_and_escaped() {
+        let mut fs = vec![
+            Finding {
+                rule: "FJ02",
+                file: "b.rs".into(),
+                line: 1,
+                col: 1,
+                message: "say \"no\"".into(),
+            },
+            Finding {
+                rule: "FJ01",
+                file: "a.rs".into(),
+                line: 9,
+                col: 2,
+                message: "x".into(),
+            },
+        ];
+        sort(&mut fs);
+        assert_eq!(fs[0].file, "a.rs");
+        let json = render_json(&fs, 2, 0);
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"finding_count\": 2"));
+        let text = render_text(&fs);
+        assert!(text.starts_with("a.rs:9:2: FJ01: x"));
+    }
+}

@@ -1,0 +1,486 @@
+//! A small Rust span lexer: classifies every byte of a source file as
+//! code, comment, or literal so lint rules fire on code, not grep noise.
+//!
+//! This is deliberately not a full tokenizer. The only job is to answer
+//! "is this byte inside a string / char literal / comment?" correctly,
+//! which requires real handling of the constructs that break naive
+//! scanners: escapes in string and char literals, raw strings with an
+//! arbitrary number of `#`s, byte and raw-byte strings, *nested* block
+//! comments, doc comments, raw identifiers (`r#fn` is not a raw string),
+//! and the lifetime-vs-char-literal ambiguity (`'a` vs `'a'`).
+
+/// Classification of one contiguous span of source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Plain code (including whitespace and lifetimes).
+    Code,
+    /// `// ...` to end of line (not a doc comment).
+    LineComment,
+    /// `/// ...`, `//! ...`, `/** ... */`, `/*! ... */`.
+    DocComment,
+    /// `/* ... */`, nesting honoured.
+    BlockComment,
+    /// `"..."` or `b"..."`, escapes honoured.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br##"..."##`, any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+}
+
+/// One classified span; `start..end` are byte offsets into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Span classification.
+    pub kind: SpanKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Lexes `src` into a complete, non-overlapping, in-order span cover.
+/// Every byte of the input belongs to exactly one span.
+pub fn lex(src: &str) -> Vec<Span> {
+    Lexer::new(src).run()
+}
+
+/// Returns a copy of `src` where every byte not belonging to a span kind
+/// accepted by `keep` is blanked with a space (newlines survive so line
+/// numbers stay true). Searching the result finds only wanted spans,
+/// at their original byte offsets.
+pub fn mask(src: &str, spans: &[Span], keep: impl Fn(SpanKind) -> bool) -> String {
+    let mut out = String::with_capacity(src.len());
+    for span in spans {
+        let chunk = &src[span.start..span.end];
+        if keep(span.kind) {
+            out.push_str(chunk);
+        } else {
+            // One space per *byte* (not per char), so every original byte
+            // offset stays valid in the masked copy.
+            for b in chunk.bytes() {
+                out.push(if b == b'\n' { '\n' } else { ' ' });
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: the source with everything except code blanked.
+pub fn code_only(src: &str, spans: &[Span]) -> String {
+    mask(src, spans, |k| k == SpanKind::Code)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    spans: Vec<Span>,
+    /// Start of the current pending Code span, if any.
+    code_start: Option<usize>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            spans: Vec::new(),
+            code_start: None,
+        }
+    }
+
+    fn run(mut self) -> Vec<Span> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'r' | b'b' => self.raw_or_byte(),
+                b'\'' => self.char_or_lifetime(),
+                _ => self.advance_code(1),
+            }
+        }
+        self.flush_code(self.pos);
+        self.spans
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// True if the previous byte continues an identifier — in that case a
+    /// leading `r`/`b` is part of that identifier, not a literal prefix.
+    fn prev_is_ident(&self) -> bool {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.src.get(i))
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+    }
+
+    fn advance_code(&mut self, n: usize) {
+        if self.code_start.is_none() {
+            self.code_start = Some(self.pos);
+        }
+        self.pos += n;
+    }
+
+    fn flush_code(&mut self, end: usize) {
+        if let Some(start) = self.code_start.take() {
+            if end > start {
+                self.spans.push(Span {
+                    kind: SpanKind::Code,
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: SpanKind, start: usize, end: usize) {
+        self.flush_code(start);
+        self.spans.push(Span { kind, start, end });
+        self.pos = end;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let mut end = start;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        // `///` and `//!` are doc comments; `////…` is rustdoc's escape
+        // hatch back to a plain comment, matched here too.
+        let text = &self.src[start..end];
+        let kind = if (text.starts_with(b"///") && !text.starts_with(b"////"))
+            || text.starts_with(b"//!")
+        {
+            SpanKind::DocComment
+        } else {
+            SpanKind::LineComment
+        };
+        self.emit(kind, start, end);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let text = &self.src[start..];
+        // `/**/` and `/***/`-style degenerates are plain comments; only a
+        // `/**` or `/*!` opener with actual content is a doc comment.
+        let kind = if (text.starts_with(b"/**")
+            && text.get(3).is_some_and(|&b| b != b'*' && b != b'/'))
+            || text.starts_with(b"/*!")
+        {
+            SpanKind::DocComment
+        } else {
+            SpanKind::BlockComment
+        };
+        let mut depth = 0usize;
+        let mut i = start;
+        while i < self.src.len() {
+            if self.src[i..].starts_with(b"/*") {
+                depth += 1;
+                i += 2;
+            } else if self.src[i..].starts_with(b"*/") {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.emit(kind, start, i.min(self.src.len()));
+    }
+
+    /// Handles the `r"`, `r#"`, `br"`, `b"`, and `b'` literal prefixes;
+    /// anything else starting with `r`/`b` (identifiers, raw identifiers
+    /// like `r#fn`) is consumed as code.
+    fn raw_or_byte(&mut self) {
+        if self.prev_is_ident() {
+            self.advance_code(1);
+            return;
+        }
+        let start = self.pos;
+        let mut i = self.pos;
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        let after_b = i;
+        if self.src.get(i) == Some(&b'r') {
+            i += 1;
+            let mut hashes = 0;
+            while self.src.get(i) == Some(&b'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if self.src.get(i) == Some(&b'"') {
+                let end = self.raw_str_end(i + 1, hashes);
+                self.emit(SpanKind::RawStr, start, end);
+                return;
+            }
+            // `r#ident` raw identifier, or plain `r` — code.
+            self.advance_code(1);
+            return;
+        }
+        match self.src.get(after_b) {
+            // b"..." byte string.
+            Some(&b'"') if after_b > start => self.string(start),
+            // b'x' byte char.
+            Some(&b'\'') if after_b > start => self.char_from(start, after_b),
+            _ => self.advance_code(1),
+        }
+    }
+
+    fn raw_str_end(&self, body_start: usize, hashes: usize) -> usize {
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        let mut i = body_start;
+        while i < self.src.len() {
+            if self.src[i..].starts_with(&closer) {
+                return i + closer.len();
+            }
+            i += 1;
+        }
+        self.src.len()
+    }
+
+    /// A `"`-delimited (possibly `b`-prefixed) string starting at `start`;
+    /// the opening quote is the last byte of the prefix region.
+    fn string(&mut self, start: usize) {
+        let quote = self.src[start..]
+            .iter()
+            .position(|&b| b == b'"')
+            .map_or(start, |off| start + off);
+        let mut i = quote + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.emit(SpanKind::Str, start, i.min(self.src.len()));
+    }
+
+    fn char_or_lifetime(&mut self) {
+        self.char_from(self.pos, self.pos);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) starting at the
+    /// quote at `quote_pos`; `start` covers an optional `b` prefix.
+    fn char_from(&mut self, start: usize, quote_pos: usize) {
+        let i = quote_pos + 1;
+        match self.src.get(i) {
+            Some(&b'\\') => {
+                // Escape: definitely a char literal; scan to closing quote.
+                let mut j = i + 2;
+                while j < self.src.len() && self.src[j] != b'\'' {
+                    j += 1;
+                }
+                self.pos = start;
+                self.emit(SpanKind::Char, start, (j + 1).min(self.src.len()));
+            }
+            Some(&b) if b != b'\'' => {
+                // One char (possibly multi-byte UTF-8), then look for the
+                // closing quote: `'a'` is a char, `'a` is a lifetime.
+                let close = i + utf8_len(b);
+                if self.src.get(close) == Some(&b'\'') {
+                    self.pos = start;
+                    self.emit(SpanKind::Char, start, close + 1);
+                } else {
+                    // `'ident` — a lifetime; the quote is code.
+                    self.pos = start;
+                    self.advance_code(1);
+                }
+            }
+            _ => {
+                // `''` or trailing `'`: treat as code to stay total.
+                self.pos = start;
+                self.advance_code(1);
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated item bodies in `code` (which must
+/// be a code-only mask so comments and strings cannot fake an attribute).
+/// Used to keep library-code rules out of inline test modules.
+pub fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(off) = find_attr(&bytes[i..]) {
+        let attr_start = i + off;
+        // Find the opening brace of the gated item and match it.
+        let mut j = attr_start;
+        let mut depth = 0usize;
+        let mut body_start = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    depth += 1;
+                    if body_start.is_none() {
+                        body_start = Some(j);
+                    }
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 && body_start.is_some() {
+                        out.push((attr_start, j + 1));
+                        break;
+                    }
+                }
+                b';' if body_start.is_none() => break, // `mod tests;` form
+                _ => {}
+            }
+            j += 1;
+        }
+        i = match out.last() {
+            Some(&(_, end)) if end > attr_start => end,
+            _ => attr_start + 1,
+        };
+    }
+    out
+}
+
+/// Finds the next `#[cfg(test)]` attribute, tolerating interior
+/// whitespace (as rustfmt never splits these, plain search first).
+fn find_attr(hay: &[u8]) -> Option<usize> {
+    let needle = b"#[cfg(test)]";
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(SpanKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|s| (s.kind, src[s.start..s.end].to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn covers_every_byte_in_order() {
+        let src = r##"fn main() { let s = "a\"b"; /* c /* d */ e */ let r = r#"raw"#; } // tail"##;
+        let spans = lex(src);
+        let mut pos = 0;
+        for s in &spans {
+            assert_eq!(s.start, pos, "gap before {s:?}");
+            pos = s.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_span() {
+        let src = "a /* x /* y */ z */ b";
+        let spans = kinds(src);
+        assert_eq!(spans[1].0, SpanKind::BlockComment);
+        assert_eq!(spans[1].1, "/* x /* y */ z */");
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let src = r###"let s = r##"has "quote" and # inside"##; done()"###;
+        let spans = kinds(src);
+        let raw = spans.iter().find(|(k, _)| *k == SpanKind::RawStr).unwrap();
+        assert!(raw.1.contains("quote"));
+        assert!(code_only(src, &lex(src)).contains("done()"));
+        assert!(!code_only(src, &lex(src)).contains("quote"));
+    }
+
+    #[test]
+    fn raw_identifier_is_code() {
+        let src = "let r#fn = 1; let x = r#\"raw\"#;";
+        let masked = code_only(src, &lex(src));
+        assert!(masked.contains("r#fn"));
+        assert!(!masked.contains("raw"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let masked = code_only(src, &lex(src));
+        assert!(masked.contains("<'a>"), "lifetime stays code");
+        assert!(!masked.contains("'x'"), "char literal masked");
+        assert!(!masked.contains("\\n"), "escaped char masked");
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let r = br#\"rb\"#;";
+        let ks: Vec<SpanKind> = lex(src)
+            .into_iter()
+            .filter(|s| s.kind != SpanKind::Code)
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(ks, vec![SpanKind::Str, SpanKind::Char, SpanKind::RawStr]);
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        let src = "/// doc\n//! inner\n// plain\n/** blockdoc */\n/*! bang */\n/* plain */";
+        let ks: Vec<SpanKind> = lex(src)
+            .into_iter()
+            .filter(|s| s.kind != SpanKind::Code)
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(
+            ks,
+            vec![
+                SpanKind::DocComment,
+                SpanKind::DocComment,
+                SpanKind::LineComment,
+                SpanKind::DocComment,
+                SpanKind::DocComment,
+                SpanKind::BlockComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_in_comment_and_comment_in_string() {
+        let src = "// has \"quote\"\nlet s = \"has // slash\"; code()";
+        let masked = code_only(src, &lex(src));
+        assert!(!masked.contains("quote"));
+        assert!(!masked.contains("slash"));
+        assert!(masked.contains("code()"));
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let code = code_only(src, &lex(src));
+        let regions = test_regions(&code);
+        assert_eq!(regions.len(), 1);
+        let (s, e) = regions[0];
+        assert!(code[s..e].contains("unwrap"));
+        assert!(!code[s..e].contains("tail"));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"unterminated", "/* open", "r#\"open", "'", "b'"] {
+            let spans = lex(src);
+            assert_eq!(spans.last().map(|s| s.end), Some(src.len()), "{src}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! `fj-lint` — a domain-aware static-analysis pass for this workspace.
+//!
+//! Clippy checks Rust; `fj-lint` checks *this reproduction's* invariants,
+//! the ones the compiler cannot see:
+//!
+//! * **FJ01 determinism** — sim-visible behaviour is a function of seeds
+//!   and the sim clock, never the wall clock;
+//! * **FJ02 panic-freedom** — the measurement plane degrades, it does not
+//!   crash;
+//! * **FJ03 dimensional safety** — power math crosses public seams as
+//!   `fj-units` newtypes, not bare `f64`s;
+//! * **FJ04 telemetry contract** — metric names follow the convention and
+//!   match DESIGN.md's catalogue in both directions;
+//! * **FJ05 swallowed errors** — no silently discarded I/O `Result`s;
+//! * **FJ06 lock discipline** — no guard held across a telemetry
+//!   re-entry point;
+//! * **FJ00 suppression hygiene** — every allow pragma justifies itself.
+//!
+//! Zero dependencies: a small real lexer (`lexer`) keeps rules off
+//! comment/string noise, a workspace walker (`workspace`) classifies
+//! files from Cargo layout, and suppressions (`suppress`) are inline,
+//! per-rule, and mandatory-justification. The driver binary exits
+//! non-zero on findings and writes a deterministic JSON report under
+//! `target/lint/` for CI artifacts.
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod workspace;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use findings::Finding;
+use rules::FileCtx;
+use workspace::FileClass;
+
+/// Outcome of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving (unsuppressed) findings, sorted.
+    pub findings: Vec<Finding>,
+    /// Non-vendor files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by justified pragmas.
+    pub suppressed: usize,
+}
+
+/// Lints the workspace rooted at `root`.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let files = workspace::collect(root)?;
+    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+
+    let mut raw_findings = Vec::new();
+    let mut registrations = Vec::new();
+    let mut pragma_map = Vec::new(); // (rel, pragmas)
+    let mut all_source = String::new();
+    let mut files_scanned = 0usize;
+
+    for file in &files {
+        if file.class == FileClass::Vendor {
+            continue;
+        }
+        files_scanned += 1;
+        all_source.push_str(&file.text);
+        let spans = lexer::lex(&file.text);
+        let code = lexer::code_only(&file.text, &spans);
+        let test_regions = lexer::test_regions(&code);
+        let ctx = FileCtx {
+            rel: &file.rel,
+            class: file.class,
+            src: &file.text,
+            spans: &spans,
+            code: &code,
+            test_regions: &test_regions,
+        };
+        rules::check_file(&ctx, &mut raw_findings);
+        registrations.extend(rules::fj04::collect(&ctx));
+
+        let pragmas = suppress::parse(&file.text, &spans);
+        for pragma in &pragmas {
+            if !pragma.justified {
+                raw_findings.push(Finding {
+                    rule: "FJ00",
+                    file: file.rel.clone(),
+                    line: pragma.line,
+                    col: 1,
+                    message: format!(
+                        "allow pragma for {} has no justification; add one after an \
+                         `—` separator",
+                        pragma.rules.join(", ")
+                    ),
+                });
+            }
+        }
+        pragma_map.push((file.rel.clone(), pragmas));
+    }
+
+    rules::fj04::check_catalogue(&registrations, &design, &all_source, &mut raw_findings);
+
+    // Apply suppressions (FJ00 itself is never suppressible: a pragma
+    // cannot excuse its own lack of justification).
+    let mut suppressed = 0usize;
+    let mut surviving = Vec::new();
+    for finding in raw_findings {
+        let pragmas = pragma_map
+            .iter()
+            .find(|(rel, _)| *rel == finding.file)
+            .map_or(&[][..], |(_, p)| p.as_slice());
+        if finding.rule != "FJ00" && suppress::suppressed(pragmas, finding.rule, finding.line) {
+            suppressed += 1;
+        } else {
+            surviving.push(finding);
+        }
+    }
+    findings::sort(&mut surviving);
+    Ok(Report {
+        findings: surviving,
+        files_scanned,
+        suppressed,
+    })
+}
+
+/// Renders the `--rules` catalogue listing.
+pub fn render_catalogue() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("fj-lint rule catalogue\n\n");
+    for rule in rules::catalogue() {
+        let _ = writeln!(out, "{}  {}  [{}]", rule.id, rule.name, rule.applies_to);
+        let _ = writeln!(
+            out,
+            "      {}",
+            rule.rationale
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    out.push_str(
+        "\nsuppression: `// fj-lint: allow(FJxx) — justification` (covers its comment \
+         block + the next line)\n\
+         file scope:  `// fj-lint: allow-file(FJxx) — justification`\n",
+    );
+    out
+}

@@ -1,0 +1,80 @@
+//! The `fj-lint` driver: lint the workspace, print a compiler-style
+//! report, write the JSON findings artifact, exit non-zero on findings.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root_override: Option<PathBuf> = None;
+    let mut json_override: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rules" => {
+                print!("{}", fj_lint::render_catalogue());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => root_override = args.next().map(PathBuf::from),
+            "--json" => json_override = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "fj-lint — domain static analysis for the fantastic-joules workspace\n\n\
+                     usage: fj-lint [--rules] [--root <dir>] [--json <file>]\n\n\
+                     --rules   print the rule catalogue and exit\n\
+                     --root    workspace root (default: discovered from cwd)\n\
+                     --json    findings file (default: <root>/target/lint/findings.json)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fj-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root_override.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| fj_lint::workspace::find_root(&cwd))
+    }) else {
+        eprintln!("fj-lint: no workspace root found above the current directory");
+        return ExitCode::from(2);
+    };
+
+    let report = match fj_lint::lint_root(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fj-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let json_path = json_override.unwrap_or_else(|| root.join("target/lint/findings.json"));
+    let json =
+        fj_lint::findings::render_json(&report.findings, report.files_scanned, report.suppressed);
+    if let Some(parent) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("fj-lint: creating {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, json) {
+        eprintln!("fj-lint: writing {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    print!("{}", fj_lint::findings::render_text(&report.findings));
+    eprintln!(
+        "fj-lint: {} file(s) scanned, {} finding(s), {} suppression(s) honoured → {}",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed,
+        json_path.display()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,42 @@
+//! FJ01 — determinism: no raw wall-clock or ambient-entropy calls.
+//!
+//! Simulation-visible behaviour must be a pure function of seeds and the
+//! sim clock (PR 1's fault plans and the chaos soak replay byte-for-byte
+//! because of this). Wall time is allowed only behind the explicit
+//! abstractions (`SpanTimer::wall`, `WallEpoch`) whose implementations
+//! carry a justified allow pragma — everything else must either take a
+//! clock/seed or justify itself in place.
+
+use super::{find_all, FileCtx};
+use crate::findings::Finding;
+use crate::workspace::FileClass;
+
+const NEEDLES: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// Scans library and binary code for wall-clock / entropy calls.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library | FileClass::Bin) {
+        return;
+    }
+    for needle in NEEDLES {
+        for pos in find_all(ctx.code, needle) {
+            if ctx.in_test(pos) {
+                continue;
+            }
+            out.push(ctx.finding(
+                "FJ01",
+                pos,
+                format!(
+                    "`{needle}` outside the wall-clock allowlist; take a SimInstant/seed, \
+                     use SpanTimer/WallEpoch, or justify with an allow pragma"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! FJ02 — panic-freedom: library code must not contain the panic family.
+//!
+//! The ROADMAP's north star is a measurement plane that degrades
+//! gracefully at production scale; a poller that `unwrap()`s a socket
+//! error takes the whole collection round down with it. Tests (both
+//! `tests/` trees and inline `#[cfg(test)]` modules) are exempt —
+//! panicking is how tests fail. Invariant-backed `expect`s survive with
+//! an allow pragma naming the invariant.
+
+use super::{find_all, FileCtx};
+use crate::findings::Finding;
+use crate::workspace::FileClass;
+
+const NEEDLES: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Scans library code for panic-family calls.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    for needle in NEEDLES {
+        for pos in find_all(ctx.code, needle) {
+            if ctx.in_test(pos) {
+                continue;
+            }
+            let what = needle.trim_start_matches('.').trim_end_matches('(');
+            out.push(ctx.finding(
+                "FJ02",
+                pos,
+                format!(
+                    "`{what}` in library code; propagate a Result, degrade gracefully, \
+                     or document the invariant with an allow pragma"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! FJ03 — dimensional safety: public power math takes fj-units newtypes.
+//!
+//! The dimensional-confusion failure mode (watts vs kilowatts vs joules
+//! slipping through a bare `f64`) is exactly what `fj-units` exists to
+//! prevent — but only if the public seams of the power-model crates
+//! actually use the newtypes. This rule parses `pub fn` signatures in
+//! `fj-core`, `fj-psu`, and `fj-meter` and flags `f64` parameters whose
+//! *names* admit a physical quantity (`watts`, `p_out_w`, `rate_gbps`,
+//! …). Dimensionless fractions (load, efficiency, `k`) pass freely.
+
+use super::FileCtx;
+use crate::findings::Finding;
+use crate::workspace::FileClass;
+
+/// Crates whose public API is held to the newtype contract.
+const SCOPED_MEMBERS: &[&str] = &["core", "psu", "meter"];
+
+/// Exact names and suffixes that imply a physical quantity.
+const EXACT: &[&str] = &[
+    "w", "kw", "j", "kj", "wh", "kwh", "bps", "mbps", "gbps", "tbps", "pps", "hz", "watts",
+    "joules", "volts", "amps",
+];
+const SUFFIXES: &[&str] = &[
+    "_w", "_kw", "_j", "_kj", "_wh", "_kwh", "_bps", "_mbps", "_gbps", "_tbps", "_pps", "_hz",
+    "_watts", "_joules", "_volts", "_amps",
+];
+const SUBSTRINGS: &[&str] = &["watt", "joule"];
+
+/// Whether a parameter name implies a physical quantity.
+pub fn is_quantity_name(name: &str) -> bool {
+    let name = name.trim_start_matches('_');
+    let lower = name.to_ascii_lowercase();
+    EXACT.contains(&lower.as_str())
+        || SUFFIXES.iter().any(|s| lower.ends_with(s))
+        || SUBSTRINGS.iter().any(|s| lower.contains(s))
+}
+
+/// Scans `pub fn` signatures for quantity-named `f64` parameters.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    if !ctx.member().is_some_and(|m| SCOPED_MEMBERS.contains(&m)) {
+        return;
+    }
+    for (fn_pos, params) in public_fn_params(ctx.code) {
+        if ctx.in_test(fn_pos) {
+            continue;
+        }
+        for (name, ty) in params {
+            if ty == "f64" && is_quantity_name(&name) {
+                out.push(ctx.finding(
+                    "FJ03",
+                    fn_pos,
+                    format!(
+                        "public fn parameter `{name}: f64` implies a physical quantity; \
+                         take an fj-units newtype (Watts, Joules, DataRate, …) instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Yields `(byte offset of "fn", [(param name, param type)])` for every
+/// `pub`-ish function in a code-only mask. A deliberate approximation:
+/// it follows real signatures well enough for this workspace and is
+/// covered by fixture tests; it does not try to be a Rust parser.
+pub fn public_fn_params(code: &str) -> Vec<(usize, Vec<(String, String)>)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for pos in super::find_all(code, "fn ") {
+        // Token boundary: "fn" must not be the tail of an identifier.
+        if pos > 0 && (bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_') {
+            continue;
+        }
+        if !preceded_by_pub(code, pos) {
+            continue;
+        }
+        let Some(open) = param_list_open(code, pos + 3) else {
+            continue;
+        };
+        let Some(close) = matching_paren(code, open) else {
+            continue;
+        };
+        let params = split_params(&code[open + 1..close])
+            .into_iter()
+            .filter_map(|p| {
+                let (name, ty) = p.split_once(':')?;
+                let name = name.trim().trim_start_matches("mut ").trim().to_owned();
+                let ty = ty.trim().to_owned();
+                (!name.is_empty()).then_some((name, ty))
+            })
+            .collect();
+        out.push((pos, params));
+    }
+    out
+}
+
+/// Whether the tokens before `fn` include a `pub` visibility marker
+/// (with only `const` / `unsafe` / `async` / `extern "C"` / `pub(...)`
+/// qualifiers in between).
+fn preceded_by_pub(code: &str, fn_pos: usize) -> bool {
+    let before = &code[..fn_pos];
+    let tail: String = before
+        .chars()
+        .rev()
+        .take(64)
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let mut saw_pub = false;
+    for token in tail.split_whitespace().rev() {
+        match token {
+            "const" | "unsafe" | "async" | "extern" | "\"C\"" => continue,
+            t if t == "pub" || t.starts_with("pub(") => {
+                saw_pub = true;
+                break;
+            }
+            _ => break,
+        }
+    }
+    saw_pub
+}
+
+/// Finds the `(` that opens the parameter list, skipping the fn name and
+/// any generic parameter block (angle brackets, `->` tolerated inside).
+fn param_list_open(code: &str, mut i: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    // Skip whitespace + fn name.
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'<') {
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => depth += 1,
+                b'>' if i > 0 && bytes[i - 1] == b'-' => {} // `->` in Fn bounds
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+    }
+    (bytes.get(i) == Some(&b'(')).then_some(i)
+}
+
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a parameter list on top-level commas (nested `()`, `<>`, `[]`
+/// do not split).
+fn split_params(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let bytes = list.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b'>' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(list[start..i].to_owned());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < list.len() {
+        out.push(list[start..].to_owned());
+    }
+    out
+}

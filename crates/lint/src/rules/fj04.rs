@@ -1,0 +1,179 @@
+//! FJ04 — telemetry contract: metric names follow the convention and the
+//! DESIGN.md catalogue is complete in both directions.
+//!
+//! The observability layer (PR 2) is only trustworthy if a reader can go
+//! from a dashboard name to its documented meaning and back. This rule
+//! extracts every literal metric name passed to `Registry::counter` /
+//! `gauge` / `histogram` in library code, checks the naming convention
+//! (snake_case; counters end `_total`, duration histograms `_seconds`),
+//! and cross-checks the set against the table in DESIGN.md's
+//! "Metric catalogue" section.
+
+use super::{find_all, FileCtx};
+use crate::findings::Finding;
+use crate::lexer::SpanKind;
+use crate::workspace::FileClass;
+
+/// A literal metric registration found in code.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// The metric name literal.
+    pub name: String,
+    /// `counter` / `gauge` / `histogram`.
+    pub kind: &'static str,
+    /// File and line of the registration.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+const KINDS: &[(&str, &str)] = &[
+    (".counter(", "counter"),
+    (".gauge(", "gauge"),
+    (".histogram(", "histogram"),
+];
+
+/// Per-file half: naming-convention findings. Use [`collect`] for the
+/// registrations themselves (the driver cross-checks them globally).
+pub fn check_names(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for reg in collect(ctx) {
+        let mut problems = Vec::new();
+        if !is_snake_case(&reg.name) {
+            problems.push("not snake_case".to_owned());
+        }
+        if reg.kind == "counter" && !reg.name.ends_with("_total") {
+            problems.push("counter must end `_total`".to_owned());
+        }
+        if reg.kind == "histogram" && !reg.name.ends_with("_seconds") {
+            problems.push("duration histogram must end `_seconds`".to_owned());
+        }
+        for problem in problems {
+            out.push(Finding {
+                rule: "FJ04",
+                file: reg.file.clone(),
+                line: reg.line,
+                col: 1,
+                message: format!("metric `{}` ({}): {problem}", reg.name, reg.kind),
+            });
+        }
+    }
+}
+
+/// Extracts literal metric registrations from a library file, outside
+/// inline test modules. Dynamic names (non-literal first arguments) are
+/// skipped — they cannot be checked statically.
+pub fn collect(ctx: &FileCtx<'_>) -> Vec<Registration> {
+    let mut out = Vec::new();
+    if ctx.class != FileClass::Library {
+        return out;
+    }
+    for &(needle, kind) in KINDS {
+        for pos in find_all(ctx.code, needle) {
+            if ctx.in_test(pos) {
+                continue;
+            }
+            let arg_start = pos + needle.len();
+            // The first argument must be a string literal: the next
+            // non-whitespace bytes of *code* must be blank up to a Str
+            // span that starts right there.
+            let Some(lit) = ctx.spans.iter().find(|s| {
+                s.kind == SpanKind::Str
+                    && s.start >= arg_start
+                    && ctx.code[arg_start..s.start].trim().is_empty()
+                    && s.start - arg_start < 120
+            }) else {
+                continue;
+            };
+            let name = ctx.src[lit.start + 1..lit.end - 1].to_owned();
+            out.push(Registration {
+                name,
+                kind,
+                file: ctx.rel.to_owned(),
+                line: crate::suppress::line_of(ctx.src, pos),
+            });
+        }
+    }
+    out
+}
+
+/// Cross-checks collected registrations against the DESIGN.md catalogue:
+/// code names missing from the catalogue, and catalogue names never
+/// registered anywhere in the tree (the caller supplies `all_source`, a
+/// concatenation of every non-vendor file, so names used only from tests
+/// or experiment binaries still count as alive).
+pub fn check_catalogue(
+    registrations: &[Registration],
+    design: &str,
+    all_source: &str,
+    out: &mut Vec<Finding>,
+) {
+    let catalogued = catalogue_names(design);
+    for reg in registrations {
+        if !catalogued.iter().any(|(n, _)| n == &reg.name) {
+            out.push(Finding {
+                rule: "FJ04",
+                file: reg.file.clone(),
+                line: reg.line,
+                col: 1,
+                message: format!(
+                    "metric `{}` is not in DESIGN.md's metric catalogue; document it",
+                    reg.name
+                ),
+            });
+        }
+    }
+    for (name, line) in &catalogued {
+        if !all_source.contains(&format!("\"{name}\"")) {
+            out.push(Finding {
+                rule: "FJ04",
+                file: "DESIGN.md".to_owned(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "catalogued metric `{name}` is registered nowhere in the tree; \
+                     remove it or restore the series"
+                ),
+            });
+        }
+    }
+}
+
+/// Parses the backticked metric names out of DESIGN.md's
+/// "Metric catalogue" section, with their line numbers. Label blocks
+/// (`{target}`) are stripped — the catalogue documents series names.
+pub fn catalogue_names(design: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in design.lines().enumerate() {
+        if line.starts_with("###") {
+            in_section = line.contains("Metric catalogue");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let Some(len) = rest[open + 1..].find('`') else {
+                break;
+            };
+            let token = &rest[open + 1..open + 1 + len];
+            let name = token.split('{').next().unwrap_or(token).trim();
+            if !name.is_empty()
+                && is_snake_case(name)
+                && !out.iter().any(|(n, _): &(String, usize)| n == name)
+            {
+                out.push((name.to_owned(), idx + 1));
+            }
+            rest = &rest[open + 1 + len + 1..];
+        }
+    }
+    out
+}
+
+/// `[a-z][a-z0-9_]*`
+pub fn is_snake_case(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}

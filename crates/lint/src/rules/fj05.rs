@@ -1,0 +1,68 @@
+//! FJ05 — swallowed errors: `let _ =` on a Result-returning I/O call.
+//!
+//! PR 1's whole point is that data loss must be *explicit* — counted,
+//! logged, gap-marked. `let _ = socket.send_to(...)` throws the error on
+//! the floor with none of that. The rule flags `let _ =` statements whose
+//! right-hand side contains a known fallible-I/O call; discards that are
+//! genuinely fine (best-effort wakeups, join-on-shutdown) say so with a
+//! justified allow pragma.
+
+use super::{find_all, FileCtx};
+use crate::findings::Finding;
+use crate::workspace::FileClass;
+
+/// Method/function calls whose `Result` must not be silently discarded.
+const IO_NEEDLES: &[&str] = &[
+    ".send_to(",
+    ".send(",
+    ".recv(",
+    ".recv_from(",
+    ".flush(",
+    ".write_all(",
+    ".read_exact(",
+    ".set_read_timeout(",
+    ".join()",
+    "remove_dir_all(",
+    "remove_file(",
+    "create_dir",
+];
+
+/// Scans library and binary code for `let _ = <io call>` statements.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library | FileClass::Bin) {
+        return;
+    }
+    for pos in find_all(ctx.code, "let _ =") {
+        if ctx.in_test(pos) {
+            continue;
+        }
+        let stmt_end = statement_end(ctx.code, pos + "let _ =".len());
+        let stmt = &ctx.code[pos..stmt_end];
+        if let Some(needle) = IO_NEEDLES.iter().find(|n| stmt.contains(*n)) {
+            let what = needle.trim_matches(|c| c == '.' || c == '(' || c == ')');
+            out.push(ctx.finding(
+                "FJ05",
+                pos,
+                format!(
+                    "`let _ =` swallows the Result of `{what}`; handle the error, \
+                     count the loss, or justify the discard with an allow pragma"
+                ),
+            ));
+        }
+    }
+}
+
+/// Byte offset of the `;` ending the statement starting at `from`
+/// (nesting-aware), or the end of the file.
+fn statement_end(code: &str, from: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, b) in code.bytes().enumerate().skip(from) {
+        match b {
+            b'(' | b'{' | b'[' => depth += 1,
+            b')' | b'}' | b']' => depth -= 1,
+            b';' if depth <= 0 => return i + 1,
+            _ => {}
+        }
+    }
+    code.len()
+}

@@ -1,0 +1,153 @@
+//! The domain rule set.
+//!
+//! Every rule consumes a [`FileCtx`] — the file's raw text, its span
+//! cover from the lexer, a code-only mask, and the `#[cfg(test)]` region
+//! map — and emits [`Finding`]s. Rules never look at comment or literal
+//! bytes unless that is their explicit job (FJ04 reads metric-name string
+//! literals), so a `panic!` in a doc example or a `"Instant::now"` in a
+//! message cannot trip them.
+
+pub mod fj01;
+pub mod fj02;
+pub mod fj03;
+pub mod fj04;
+pub mod fj05;
+pub mod fj06;
+
+use crate::findings::Finding;
+use crate::suppress::{col_of, line_of};
+use crate::workspace::FileClass;
+
+/// Per-file context handed to every rule.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Layout-derived role.
+    pub class: FileClass,
+    /// Raw source text.
+    pub src: &'a str,
+    /// Lexer span cover of `src`.
+    pub spans: &'a [crate::lexer::Span],
+    /// Code-only mask of `src` (same length, literals/comments blanked).
+    pub code: &'a str,
+    /// Byte ranges of `#[cfg(test)]` item bodies within `code`.
+    pub test_regions: &'a [(usize, usize)],
+}
+
+impl FileCtx<'_> {
+    /// Whether byte offset `pos` falls inside an inline test module.
+    pub fn in_test(&self, pos: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+
+    /// Builds a finding at byte offset `pos`.
+    pub fn finding(&self, rule: &'static str, pos: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.rel.to_owned(),
+            line: line_of(self.src, pos),
+            col: col_of(self.src, pos),
+            message,
+        }
+    }
+
+    /// The `crates/<name>` member this file belongs to, if any.
+    pub fn member(&self) -> Option<&str> {
+        self.rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+    }
+}
+
+/// Static description of one rule, printed by `fj-lint --rules` and
+/// mirrored in DESIGN.md's catalogue (a test keeps the two in sync).
+pub struct RuleMeta {
+    /// Rule id, `FJ00` … `FJ06`.
+    pub id: &'static str,
+    /// One-line name.
+    pub name: &'static str,
+    /// Why the rule exists, in terms of the reproduction's invariants.
+    pub rationale: &'static str,
+    /// Which file classes the rule scans.
+    pub applies_to: &'static str,
+}
+
+/// The rule catalogue, in id order.
+pub fn catalogue() -> Vec<RuleMeta> {
+    vec![
+        RuleMeta {
+            id: "FJ00",
+            name: "suppression hygiene",
+            rationale: "every `fj-lint: allow(...)` pragma must carry a justification; \
+                        an exception that cannot explain itself is a finding",
+            applies_to: "lib, bin, test",
+        },
+        RuleMeta {
+            id: "FJ01",
+            name: "determinism",
+            rationale: "no raw `Instant::now` / `SystemTime::now` / `thread_rng` outside \
+                        the wall-clock abstractions; sim paths must take a clock or seed \
+                        so fault plans and chaos soaks replay deterministically",
+            applies_to: "lib, bin",
+        },
+        RuleMeta {
+            id: "FJ02",
+            name: "panic-freedom",
+            rationale: "no `unwrap`/`expect`/`panic!` family in library code; the \
+                        measurement plane degrades gracefully instead of crashing",
+            applies_to: "lib",
+        },
+        RuleMeta {
+            id: "FJ03",
+            name: "dimensional safety",
+            rationale: "public functions in fj-core / fj-psu / fj-meter must not take \
+                        bare `f64` parameters whose names imply a physical quantity; \
+                        power math flows through fj-units newtypes",
+            applies_to: "lib (fj-core, fj-psu, fj-meter)",
+        },
+        RuleMeta {
+            id: "FJ04",
+            name: "telemetry contract",
+            rationale: "every metric name registered in library code follows the naming \
+                        convention (snake_case; counters `_total`, duration histograms \
+                        `_seconds`) and appears in DESIGN.md's catalogue, and vice versa",
+            applies_to: "lib",
+        },
+        RuleMeta {
+            id: "FJ05",
+            name: "swallowed errors",
+            rationale: "`let _ =` on a Result-returning I/O call hides data loss; \
+                        handle it, count it, or justify the discard",
+            applies_to: "lib, bin",
+        },
+        RuleMeta {
+            id: "FJ06",
+            name: "lock discipline",
+            rationale: "no lock guard held across a call that can re-enter the \
+                        telemetry registry (or emit events); the registry's own mutex \
+                        makes that a deadlock-in-waiting",
+            applies_to: "lib, bin",
+        },
+    ]
+}
+
+/// Runs every per-file rule against `ctx`.
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    fj01::check(ctx, out);
+    fj02::check(ctx, out);
+    fj03::check(ctx, out);
+    fj04::check_names(ctx, out);
+    fj05::check(ctx, out);
+    fj06::check(ctx, out);
+}
+
+/// All byte offsets where `needle` occurs in `hay`.
+pub(crate) fn find_all<'a>(hay: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        let off = hay[from..].find(needle)?;
+        let pos = from + off;
+        from = pos + needle.len().max(1);
+        Some(pos)
+    })
+}

@@ -1,0 +1,198 @@
+//! Inline suppression pragmas.
+//!
+//! Two forms, both parsed out of ordinary line comments:
+//!
+//! * `// fj-lint: allow(FJ02) — justification` — suppresses the named
+//!   rule(s) on the comment's own line(s) and the line below (so the
+//!   pragma can trail the offending statement or sit above it, and a
+//!   long justification may wrap onto further `//` lines);
+//! * `// fj-lint: allow-file(FJ02) — justification` — suppresses the
+//!   named rule(s) for the whole file; for files whose entire character
+//!   justifies a rule exception (e.g. a static builtin-data module whose
+//!   `expect`s document impossible-failure invariants).
+//!
+//! A pragma **must** carry a justification after the rule list — the
+//! separator may be `—`, `--`, `-`, or `:`. A bare `allow(...)` with no
+//! reason is itself reported (FJ00): the point of the mechanism is that
+//! every exception explains itself in-tree, next to the code it excuses.
+
+use crate::lexer::{Span, SpanKind};
+
+/// One parsed pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Rule ids named in the pragma (upper-cased).
+    pub rules: Vec<String>,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Last line of the pragma's contiguous `//` comment block — the
+    /// justification may wrap; the block plus one code line is covered.
+    pub end_line: usize,
+    /// Whether this is the file-scoped form.
+    pub file_scope: bool,
+    /// Whether a non-empty justification followed the rule list.
+    pub justified: bool,
+}
+
+/// Extracts every `fj-lint:` pragma from the file's line comments.
+pub fn parse(src: &str, spans: &[Span]) -> Vec<Pragma> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for span in spans {
+        if span.kind != SpanKind::LineComment {
+            continue;
+        }
+        let text = &src[span.start..span.end];
+        let Some(rest) = text
+            .trim_start_matches('/')
+            .trim_start()
+            .strip_prefix("fj-lint:")
+        else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_scope, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => continue,
+            },
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_ascii_uppercase())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':'])
+            .trim();
+        let line = line_of(src, span.start);
+        // The justification may wrap onto following plain `//` lines;
+        // the pragma's coverage extends through that comment block.
+        let mut end_line = line;
+        while end_line < lines.len() {
+            let next = lines[end_line].trim_start();
+            if next.starts_with("//") && !next.starts_with("///") && !next.starts_with("//!") {
+                end_line += 1;
+            } else {
+                break;
+            }
+        }
+        out.push(Pragma {
+            rules,
+            line,
+            end_line,
+            file_scope,
+            justified: !tail.is_empty(),
+        });
+    }
+    out
+}
+
+/// Whether `rule` is suppressed at `line` by any of `pragmas`.
+/// Unjustified pragmas still suppress — they are separately reported as
+/// FJ00, which keeps a finding from being double-reported while the
+/// pragma itself is the thing to fix.
+pub fn suppressed(pragmas: &[Pragma], rule: &str, line: usize) -> bool {
+    pragmas.iter().any(|p| {
+        p.rules.iter().any(|r| r == rule)
+            && (p.file_scope || (p.line..=p.end_line + 1).contains(&line))
+    })
+}
+
+/// 1-based line number of byte offset `pos`.
+pub fn line_of(src: &str, pos: usize) -> usize {
+    src.as_bytes()[..pos]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// 1-based column number of byte offset `pos`.
+pub fn col_of(src: &str, pos: usize) -> usize {
+    let bytes = &src.as_bytes()[..pos];
+    let line_start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    pos - line_start + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Vec<Pragma> {
+        parse(src, &lex(src))
+    }
+
+    #[test]
+    fn trailing_pragma_with_justification() {
+        let src = "x.unwrap(); // fj-lint: allow(FJ02) — invariant: set above\n";
+        let p = parse_src(src);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rules, vec!["FJ02"]);
+        assert!(p[0].justified);
+        assert!(!p[0].file_scope);
+        assert!(suppressed(&p, "FJ02", 1));
+        assert!(suppressed(&p, "FJ02", 2), "covers the next line too");
+        assert!(!suppressed(&p, "FJ02", 3));
+        assert!(!suppressed(&p, "FJ01", 1));
+    }
+
+    #[test]
+    fn unjustified_pragma_detected() {
+        for src in [
+            "// fj-lint: allow(FJ01)\n",
+            "// fj-lint: allow(FJ01) —   \n",
+            "// fj-lint: allow(FJ01) -\n",
+        ] {
+            let p = parse_src(src);
+            assert_eq!(p.len(), 1, "{src}");
+            assert!(!p[0].justified, "{src}");
+        }
+    }
+
+    #[test]
+    fn multiple_rules_and_separators() {
+        let src = "// fj-lint: allow(FJ01, fj05) -- wall-clock CI deadline\n";
+        let p = parse_src(src);
+        assert_eq!(p[0].rules, vec!["FJ01", "FJ05"]);
+        assert!(p[0].justified);
+    }
+
+    #[test]
+    fn wrapped_justification_extends_coverage() {
+        let src = "// fj-lint: allow(FJ02) — a justification long enough\n\
+                   // to wrap onto a second comment line\n\
+                   x.unwrap();\ny();\n";
+        let p = parse_src(src);
+        assert_eq!(p.len(), 1);
+        assert_eq!((p[0].line, p[0].end_line), (1, 2));
+        assert!(suppressed(&p, "FJ02", 3), "line after the comment block");
+        assert!(!suppressed(&p, "FJ02", 4));
+    }
+
+    #[test]
+    fn file_scope_pragma() {
+        let src = "// fj-lint: allow-file(FJ02) — static data; expects are invariants\nfn f() {}\n";
+        let p = parse_src(src);
+        assert!(p[0].file_scope);
+        assert!(suppressed(&p, "FJ02", 500));
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let src = "let s = \"// fj-lint: allow(FJ02) — nope\";\n";
+        assert!(parse_src(src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_is_not_a_pragma_site() {
+        let src = "/// fj-lint: allow(FJ02) — docs describing the pragma\nfn f() {}\n";
+        assert!(parse_src(src).is_empty());
+    }
+}

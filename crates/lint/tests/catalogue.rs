@@ -1,0 +1,79 @@
+//! Drift tests: the `--rules` listing, the in-code rule catalogue, and
+//! DESIGN.md's "Static analysis" section must all name the same rules.
+
+use std::fs;
+use std::path::Path;
+
+/// DESIGN.md's "Static analysis" section (up to the next `## ` heading).
+fn design_section() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the root");
+    let design = fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    let start = design
+        .find("## Static analysis")
+        .expect("DESIGN.md has a Static analysis section");
+    let body = &design[start + 2..];
+    let end = body.find("\n## ").map_or(body.len(), |e| e);
+    design[start..start + 2 + end].to_owned()
+}
+
+#[test]
+fn rules_flag_lists_every_rule() {
+    let listing = fj_lint::render_catalogue();
+    for rule in fj_lint::rules::catalogue() {
+        assert!(
+            listing.contains(rule.id),
+            "--rules output is missing {}",
+            rule.id
+        );
+        assert!(
+            listing.contains(rule.name),
+            "--rules output is missing the name of {} ({})",
+            rule.id,
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn design_md_catalogue_matches_the_code() {
+    let section = design_section();
+    for rule in fj_lint::rules::catalogue() {
+        assert!(
+            section.contains(&format!("`{}`", rule.id)),
+            "DESIGN.md Static analysis section is missing {}",
+            rule.id
+        );
+        assert!(
+            section.contains(rule.name),
+            "DESIGN.md names {} differently from the code ({})",
+            rule.id,
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn design_md_names_no_phantom_rules() {
+    let section = design_section();
+    let known: Vec<&str> = fj_lint::rules::catalogue().iter().map(|r| r.id).collect();
+    for (i, _) in section.match_indices("FJ0") {
+        let id = &section[i..(i + 4).min(section.len())];
+        assert!(
+            id.len() == 4 && known.contains(&id),
+            "DESIGN.md mentions unknown rule id `{id}`"
+        );
+    }
+}
+
+#[test]
+fn rule_ids_are_unique_and_ordered() {
+    let catalogue = fj_lint::rules::catalogue();
+    let ids: Vec<&str> = catalogue.iter().map(|r| r.id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ids, sorted, "catalogue must be unique and in id order");
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the span lexer.
+//!
+//! The lexer's contract is structural: every byte of any input belongs to
+//! exactly one span, in order, and masking preserves byte offsets and
+//! newlines. On top of that, fragments assembled from known constructs
+//! (strings, raw strings, chars, comments, nested blocks) must land in
+//! the right class — a needle planted in a comment must never survive
+//! into the code mask, and a needle planted in code always must.
+
+use fj_lint::lexer::{self, SpanKind};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// A source fragment paired with whether its payload is code.
+#[derive(Debug, Clone)]
+struct Fragment {
+    text: String,
+    is_code: bool,
+}
+
+/// Payload planted in non-code fragments; must never reach the code mask.
+const HIDDEN: &str = "Instant::now";
+/// Payload planted in code fragments; must always reach the code mask.
+const VISIBLE: &str = "visible_marker";
+
+fn fragment() -> impl Strategy<Value = Fragment> {
+    prop_oneof![
+        // Plain code around the visible marker.
+        Just(Fragment {
+            text: format!("let {VISIBLE} = 1;\n"),
+            is_code: true
+        }),
+        // A lifetime is code, not an unterminated char literal.
+        Just(Fragment {
+            text: format!("fn f<'a>(x: &'a u8) {{ {VISIBLE}(); }}\n"),
+            is_code: true
+        }),
+        // Raw identifier: `r#fn` must not open a raw string.
+        Just(Fragment {
+            text: format!("let r#fn = {VISIBLE};\n"),
+            is_code: true
+        }),
+        Just(Fragment {
+            text: format!("// {HIDDEN} in a line comment\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("/// {HIDDEN} in a doc comment\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("/* {HIDDEN} /* nested {HIDDEN} */ tail */\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("let s = \"{HIDDEN} \\\" escaped\";\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("let s = r#\"{HIDDEN} \"quoted\" inside\"#;\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("let s = br##\"{HIDDEN} \"# deeper\"##;\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: "let c = '\\'';\n".to_owned(),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: "let b = b'x';\n".to_owned(),
+            is_code: false
+        }),
+    ]
+}
+
+/// Bytes that stress every lexer state machine at once.
+fn hostile_chars() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            '"', '\'', '/', '*', '#', 'r', 'b', '\\', '\n', 'a', '_', ' ', '!', '{',
+        ]),
+        0..200,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Asserts the span cover invariant: complete, non-overlapping, in order.
+fn assert_cover(src: &str, spans: &[lexer::Span]) -> Result<(), TestCaseError> {
+    let mut at = 0usize;
+    for span in spans {
+        prop_assert_eq!(span.start, at, "gap or overlap before span {:?}", span);
+        prop_assert!(span.end > span.start, "empty span {:?}", span);
+        at = span.end;
+    }
+    prop_assert_eq!(at, src.len(), "cover stops short of the input");
+    Ok(())
+}
+
+proptest! {
+    /// Any interleaving of known constructs lexes to a full cover, and
+    /// the code mask keeps exactly the code-fragment payloads.
+    #[test]
+    fn fragments_classify_correctly(frags in prop::collection::vec(fragment(), 0..24)) {
+        let src: String = frags.iter().map(|f| f.text.as_str()).collect();
+        let spans = lexer::lex(&src);
+        assert_cover(&src, &spans)?;
+
+        let code = lexer::code_only(&src, &spans);
+        prop_assert_eq!(code.len(), src.len());
+        prop_assert!(
+            !code.contains(HIDDEN),
+            "a literal/comment payload leaked into the code mask"
+        );
+        let expected = frags.iter().filter(|f| f.is_code).count();
+        let seen = code.matches(VISIBLE).count();
+        prop_assert_eq!(seen, expected, "code payloads lost or duplicated");
+    }
+
+    /// The cover and mask invariants hold on hostile byte soup too —
+    /// unterminated literals and dangling prefixes must not panic or
+    /// break offsets.
+    #[test]
+    fn arbitrary_soup_never_breaks_the_cover(src in hostile_chars()) {
+        let spans = lexer::lex(&src);
+        assert_cover(&src, &spans)?;
+
+        let masked = lexer::mask(&src, &spans, |k| k == SpanKind::Code);
+        prop_assert_eq!(masked.len(), src.len(), "mask changed the byte length");
+        for (i, b) in src.bytes().enumerate() {
+            let m = masked.as_bytes()[i];
+            if b == b'\n' {
+                prop_assert_eq!(m, b'\n', "newline blanked at offset {}", i);
+            } else {
+                prop_assert!(m != b'\n', "newline invented at offset {}", i);
+            }
+        }
+    }
+
+    /// Masking with every kind kept reproduces the input byte-for-byte.
+    #[test]
+    fn keep_everything_is_identity(frags in prop::collection::vec(fragment(), 0..24)) {
+        let src: String = frags.iter().map(|f| f.text.as_str()).collect();
+        let spans = lexer::lex(&src);
+        prop_assert_eq!(lexer::mask(&src, &spans, |_| true), src);
+    }
+}

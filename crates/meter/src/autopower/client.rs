@@ -4,10 +4,10 @@ use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use fj_faults::Backoff;
-use fj_telemetry::{Counter, Gauge, Histogram, Level, SpanTimer, Telemetry};
+use fj_telemetry::{Counter, Gauge, Histogram, Level, SpanTimer, Telemetry, WallEpoch};
 
 use super::protocol::{read_message, write_message, Message, PowerSample, ProtoError};
 
@@ -85,7 +85,7 @@ pub struct AutopowerClient {
     /// hang the flush loop forever.
     pub read_timeout: Duration,
     backoff: Backoff,
-    epoch: Instant,
+    epoch: WallEpoch,
     telemetry: Arc<Telemetry>,
     metrics: ClientMetrics,
     /// Whether a connection has ever been established — distinguishes
@@ -137,7 +137,7 @@ impl AutopowerClient {
             // unit so a fleet doesn't stampede a restarting server.
             backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(5))
                 .with_seed(seed),
-            epoch: Instant::now(),
+            epoch: WallEpoch::now(),
             telemetry,
             metrics,
             ever_connected: false,
@@ -332,7 +332,11 @@ impl AutopowerClient {
             first_seq: self.base_seq,
             samples: self.buffer.iter().copied().collect(),
         };
-        let conn = self.conn.as_mut().expect("connected above");
+        // connect() filled self.conn just above; if it somehow did not,
+        // report the flush as failed rather than crash the unit.
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(ProtoError::UnexpectedEof);
+        };
         write_message(&mut conn.writer, &msg)?;
         match read_message(&mut conn.reader)? {
             Message::Ack {
@@ -361,6 +365,7 @@ mod tests {
     use super::*;
     use crate::autopower::server::AutopowerServer;
     use fj_units::SimInstant;
+    use std::time::Instant;
 
     fn sample(t: i64, w: f64) -> PowerSample {
         PowerSample {

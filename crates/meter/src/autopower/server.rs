@@ -17,12 +17,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use fj_faults::FaultPlan;
-use fj_telemetry::{Counter, Level, Telemetry};
+use fj_telemetry::{Counter, Level, Telemetry, WallEpoch};
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
 use super::protocol::{decode_frame, read_frame, write_message, Message, ProtoError};
@@ -115,7 +115,7 @@ struct FaultCtx {
     /// Fault-plan stream prefix; each connection derives its stream as
     /// `"{prefix}/{connection_index}"`.
     stream_prefix: String,
-    started: Instant,
+    started: WallEpoch,
 }
 
 impl FaultCtx {
@@ -169,17 +169,25 @@ impl AutopowerServer {
         let faults = Arc::new(FaultCtx {
             plan,
             stream_prefix: stream_prefix.into(),
-            started: Instant::now(),
+            started: WallEpoch::now(),
         });
         let metrics = Arc::new(ServerMetrics::new(&telemetry));
 
         let accept_shared = Arc::clone(&shared);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
-            // A short poll interval lets the loop observe the stop flag.
-            listener
-                .set_nonblocking(true)
-                .expect("nonblocking listener");
+            // A short poll interval lets the loop observe the stop flag. If
+            // the socket cannot go nonblocking the accept loop could hang
+            // past shutdown; refuse to serve instead of crashing the host.
+            if let Err(e) = listener.set_nonblocking(true) {
+                telemetry.event(
+                    Level::Error,
+                    "autopower.server",
+                    "accept loop disabled: set_nonblocking failed",
+                    &[("error", e.to_string())],
+                );
+                return;
+            }
             let mut connection_index: u64 = 0;
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
@@ -308,6 +316,8 @@ impl AutopowerServer {
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
+            // fj-lint: allow(FJ05) — join on shutdown: a panicked accept
+            // loop already reported itself; shutdown must stay infallible.
             let _ = t.join();
         }
     }
@@ -317,6 +327,7 @@ impl Drop for AutopowerServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
+            // fj-lint: allow(FJ05) — as in shutdown(); Drop must not panic.
             let _ = t.join();
         }
     }
@@ -388,9 +399,8 @@ fn serve_connection(
     };
 
     // First frame must identify the unit.
-    let unit_id = match next_message(&mut reader)? {
-        Message::Hello { unit_id } => unit_id,
-        _ => return Ok(()), // protocol violation; drop silently
+    let Message::Hello { unit_id } = next_message(&mut reader)? else {
+        return Ok(()); // protocol violation; drop silently
     };
     {
         let mut units = shared.units.lock();
@@ -410,6 +420,10 @@ fn serve_connection(
                 let mut units = shared.units.lock();
                 let store = units.entry(unit_id.clone()).or_default();
                 let have = store.acked_seq;
+                // Gap details to report once the store lock is released —
+                // the event log serializes on its own mutex and must never
+                // be entered while a unit-store guard is held.
+                let mut gap_lost = None;
                 if first_seq <= have {
                     // Overlap: accept only the part beyond what we have.
                     let skip = (have - first_seq) as usize;
@@ -429,16 +443,7 @@ fn serve_connection(
                     let lost = first_seq - have;
                     store.lost_samples += lost;
                     metrics.samples_lost.add(lost);
-                    telemetry.event(
-                        Level::Warn,
-                        "autopower.server",
-                        "unit skipped ahead, recording gap",
-                        &[
-                            ("unit", unit_id.clone()),
-                            ("lost_samples", lost.to_string()),
-                            ("first_seq", first_seq.to_string()),
-                        ],
-                    );
+                    gap_lost = Some(lost);
                     let mark = match (store.samples.last(), samples.first()) {
                         (Some(prev), _) => prev.at + SimDuration::from_secs(1),
                         (None, Some(first)) => first.at,
@@ -456,6 +461,18 @@ fn serve_connection(
                     measuring: store.measuring,
                 };
                 drop(units);
+                if let Some(lost) = gap_lost {
+                    telemetry.event(
+                        Level::Warn,
+                        "autopower.server",
+                        "unit skipped ahead, recording gap",
+                        &[
+                            ("unit", unit_id.clone()),
+                            ("lost_samples", lost.to_string()),
+                            ("first_seq", first_seq.to_string()),
+                        ],
+                    );
+                }
                 write_message(&mut writer, &reply)?;
             }
             Ok(_) => { /* ignore unexpected message types */ }

@@ -74,6 +74,8 @@ pub struct DerivedModel {
 impl DerivedModel {
     /// The derived parameters of the characterised class.
     pub fn params(&self) -> &InterfaceParams {
+        // fj-lint: allow(FJ02) — `run` populates exactly this class before
+        // constructing the DerivedModel; absence is a programming error.
         self.model.lookup(self.class).expect("class was derived")
     }
 
@@ -206,6 +208,8 @@ impl Derivation {
         let mut model = PowerModel::new(config.spec.model.clone(), Watts::new(p_base));
         model
             .add_class(class, params)
+            // fj-lint: allow(FJ02) — the model was created empty on the
+            // previous line; one insertion cannot hit a duplicate.
             .expect("single class cannot collide");
 
         Ok(DerivedModel {

@@ -102,6 +102,9 @@ impl LabBench {
             .meter
             .measure_for(&mut self.router, self.config.point_duration);
         self.clock = self.router.now();
+        // fj-lint: allow(FJ02) — measure_for with a positive point duration
+        // always yields samples; an empty window is a harness bug, and a
+        // NaN fallback would silently poison the regression downstream.
         let mean = ts.mean().expect("non-empty measurement window");
         self.log.push(ExperimentRecord {
             kind,

@@ -1,5 +1,6 @@
 //! Piecewise-linear PSU efficiency curves.
 
+use fj_units::Watts;
 use serde::{Deserialize, Serialize};
 
 /// Efficiency as a piecewise-linear function of load fraction.
@@ -43,9 +44,6 @@ impl EfficiencyCurve {
         if load <= pts[0].0 {
             return pts[0].1;
         }
-        if load >= pts[pts.len() - 1].0 {
-            return pts[pts.len() - 1].1;
-        }
         for w in pts.windows(2) {
             let (l0, e0) = w[0];
             let (l1, e1) = w[1];
@@ -54,7 +52,8 @@ impl EfficiencyCurve {
                 return e0 + f * (e1 - e0);
             }
         }
-        unreachable!("load within range must fall in a segment")
+        // Past the last anchor (including NaN loads): flat extrapolation.
+        pts[pts.len() - 1].1
     }
 
     /// A copy of this curve with a constant efficiency offset — the paper's
@@ -73,13 +72,13 @@ impl EfficiencyCurve {
         efficiency - self.raw_at(load)
     }
 
-    /// Input power needed to deliver `p_out_w` from a PSU of `capacity_w`.
-    pub fn input_power(&self, p_out_w: f64, capacity_w: f64) -> f64 {
-        if p_out_w <= 0.0 {
-            return 0.0;
+    /// Input power needed to deliver `p_out` from a PSU of `capacity`.
+    pub fn input_power(&self, p_out: Watts, capacity: Watts) -> Watts {
+        if p_out <= Watts::ZERO {
+            return Watts::ZERO;
         }
-        let load = p_out_w / capacity_w;
-        p_out_w / self.efficiency_at(load)
+        let load = p_out / capacity;
+        Watts::new(p_out.as_f64() / self.efficiency_at(load))
     }
 
     /// The anchors, for plotting (Fig. 5).
@@ -176,9 +175,9 @@ mod tests {
     fn input_power_inverts_efficiency() {
         let c = pfe600_curve();
         // 60 W delivered from a 600 W PSU → 10 % load → eff 0.875.
-        let p_in = c.input_power(60.0, 600.0);
-        assert!((p_in - 60.0 / 0.875).abs() < 1e-9);
-        assert_eq!(c.input_power(0.0, 600.0), 0.0);
+        let p_in = c.input_power(Watts::new(60.0), Watts::new(600.0));
+        assert!((p_in.as_f64() - 60.0 / 0.875).abs() < 1e-9);
+        assert_eq!(c.input_power(Watts::ZERO, Watts::new(600.0)), Watts::ZERO);
     }
 
     #[test]

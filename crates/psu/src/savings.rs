@@ -94,7 +94,7 @@ pub fn right_sizing_savings(fleet: &FleetPsuData, k: f64) -> RightSizingReport {
                 .iter()
                 .copied()
                 .find(|&cap| cap >= k * l_max)
-                .unwrap_or(*CAPACITY_OPTIONS.last().expect("options non-empty"));
+                .unwrap_or(CAPACITY_OPTIONS[CAPACITY_OPTIONS.len() - 1]);
             let new_cap = c.max(option);
             for obs in psus {
                 let Some((curve, eff, _)) = own_curve(obs) else {

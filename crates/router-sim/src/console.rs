@@ -72,15 +72,14 @@ impl SimulatedRouter {
             }
             ["show", "power"] => {
                 let w = self.wall_power();
-                Ok(ConsoleReply(format!("{:.1}", w)))
+                Ok(ConsoleReply(format!("{w:.1}")))
             }
             ["show", "interface", i] => {
                 let idx = parse_idx(i)?;
                 let st = self.interface(idx)?;
                 let trx = st
                     .transceiver
-                    .map(|t| t.to_string())
-                    .unwrap_or_else(|| "empty".to_owned());
+                    .map_or_else(|| "empty".to_owned(), |t| t.to_string());
                 Ok(ConsoleReply(format!(
                     "interface {idx}: {trx} {} admin {} oper {}",
                     st.speed,

@@ -69,6 +69,8 @@ impl ModularRouter {
                     p_active: Watts::new(180.0),
                 },
             )
+            // fj-lint: allow(FJ02) — compiled-in demo chassis: a duplicate
+            // card type in this literal data is a programming error.
             .expect("fresh model");
         truth
             .add_card_type(
@@ -78,6 +80,8 @@ impl ModularRouter {
                     p_active: Watts::new(400.0),
                 },
             )
+            // fj-lint: allow(FJ02) — same compiled-in data contract as the
+            // first card type above.
             .expect("fresh model");
         Self::new(truth, 8, 4, 2000.0, psu_eff_offset)
     }
@@ -161,6 +165,8 @@ impl ModularRouter {
         let dc = self
             .truth
             .predict(&self.slots, &[], &[])
+            // fj-lint: allow(FJ02) — insert() refuses unregistered card
+            // types, so the slots can only reference priced cards.
             .expect("slots only hold registered card types")
             .as_f64();
         let share = dc / self.psu_count as f64;

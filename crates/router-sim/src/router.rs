@@ -112,6 +112,8 @@ impl SimulatedRouter {
             .iter()
             .map(|slot| InterfaceState {
                 transceiver: None,
+                // fj-lint: allow(FJ02) — every builtin PortSlot declares at
+                // least one speed; an empty list is a spec-data bug.
                 speed: *slot.speeds.last().expect("slot has speeds"),
                 admin_up: false,
                 link: LinkEnd::None,
@@ -428,6 +430,8 @@ impl SimulatedRouter {
             .spec
             .truth
             .predict(&cfgs, &loads)
+            // fj-lint: allow(FJ02) — plug() rejects classes the truth model
+            // does not price, so prediction over plugged state cannot miss.
             .expect("plug() guarantees every class is priced")
             .total();
         p + self.extra_power

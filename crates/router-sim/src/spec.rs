@@ -7,6 +7,11 @@
 //! statistical spread of PSU unit-to-unit efficiency (the paper's §9.3.1
 //! observation that efficiency varies wildly even within one model).
 
+// fj-lint: allow-file(FJ02) — static registry of compiled-in model tables:
+// every `expect`/`panic!` fires only if the embedded data contradicts
+// itself (duplicate class, missing builtin), which is a compile-time data
+// bug the test suite catches, not a runtime condition to degrade through.
+
 use serde::{Deserialize, Serialize};
 
 use fj_core::{

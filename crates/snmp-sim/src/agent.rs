@@ -147,9 +147,13 @@ impl SnmpAgent {
                         .faults
                         .corrupt_bytes(&config.stream, index, &mut wire);
                 }
+                // fj-lint: allow(FJ05) — to the poller, a response the
+                // agent failed to send is indistinguishable from network
+                // loss, and its retry/backoff/gap accounting already
+                // covers that case; there is nothing for the agent to do.
                 let _ = socket.send_to(&wire, peer);
                 if decision.duplicate {
-                    let _ = socket.send_to(&wire, peer);
+                    let _ = socket.send_to(&wire, peer); // fj-lint: allow(FJ05) — best-effort duplicate, as above
                 }
             }
         });
@@ -184,9 +188,13 @@ impl SnmpAgent {
         // Wake the receive loop immediately rather than waiting out the
         // read timeout: a zero-byte datagram to ourselves.
         if let Ok(waker) = UdpSocket::bind(("127.0.0.1", 0)) {
+            // fj-lint: allow(FJ05) — best-effort wakeup; if it is lost the
+            // receive loop still exits at its next read timeout.
             let _ = waker.send_to(&[], self.addr);
         }
         if let Some(t) = self.thread.take() {
+            // fj-lint: allow(FJ05) — join on shutdown: a panicked agent
+            // thread has already printed its panic, and shutdown must not.
             let _ = t.join();
         }
     }

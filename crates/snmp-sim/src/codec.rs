@@ -167,7 +167,10 @@ impl Pdu {
             return Err(SnmpError::Truncated);
         }
         let (body, trailer) = data.split_at(data.len() - 4);
-        let stated = u32::from_be_bytes(trailer.try_into().expect("4 bytes"));
+        let stated = match trailer.try_into() {
+            Ok(bytes) => u32::from_be_bytes(bytes),
+            Err(_) => return Err(SnmpError::Truncated),
+        };
         if crc32(body) != stated {
             return Err(SnmpError::BadChecksum);
         }

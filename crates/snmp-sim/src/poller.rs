@@ -4,10 +4,10 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use fj_faults::{Backoff, HealthState, TargetHealth};
-use fj_telemetry::{Counter, Histogram, Level, SpanTimer, Telemetry};
+use fj_telemetry::{Counter, Histogram, Level, SpanTimer, Telemetry, WallDeadline, WallEpoch};
 
 use crate::codec::{Pdu, PduType, SnmpError};
 use crate::mib::MibValue;
@@ -77,7 +77,7 @@ pub struct SnmpPoller {
     pub retries: u32,
     /// Base pause between retry attempts (doubles per attempt, jittered).
     pub retry_pause: Duration,
-    epoch: Instant,
+    epoch: WallEpoch,
     targets: HashMap<SocketAddr, TargetState>,
     health_thresholds: (u32, u32, Duration),
     telemetry: Arc<Telemetry>,
@@ -102,7 +102,7 @@ impl SnmpPoller {
             timeout: Duration::from_millis(200),
             retries: 3,
             retry_pause: Duration::from_millis(2),
-            epoch: Instant::now(),
+            epoch: WallEpoch::now(),
             targets: HashMap::new(),
             health_thresholds: (3, 8, Duration::from_secs(5)),
             telemetry,
@@ -312,23 +312,20 @@ impl SnmpPoller {
             // One attempt = one send plus draining datagrams until the
             // timeout elapses. Stray or corrupted datagrams do not burn
             // the attempt — only silence does.
-            let deadline = Instant::now() + self.timeout;
+            let deadline = WallDeadline::after(self.timeout);
             loop {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+                let remaining = deadline.remaining();
                 if remaining.is_zero() {
                     break; // next attempt
                 }
                 self.socket.set_read_timeout(Some(remaining))?;
                 match self.socket.recv_from(&mut buf) {
                     Ok((len, _)) => {
-                        let pdu = match Pdu::decode(&buf[..len]) {
-                            Ok(p) => p,
+                        let Ok(pdu) = Pdu::decode(&buf[..len]) else {
                             // A corrupted datagram is as good as a lost
                             // one: keep waiting within this attempt.
-                            Err(_) => {
-                                self.metrics.crc_failures.inc();
-                                continue;
-                            }
+                            self.metrics.crc_failures.inc();
+                            continue;
                         };
                         if pdu.request_id != request.request_id || pdu.pdu_type != PduType::Response
                         {

@@ -412,7 +412,7 @@ fn health_transition_sequence_matches_seeded_plan() {
         match poller.get(agent.addr(), &oid) {
             // Quarantine gating: wait for the next recovery-probe slot.
             Err(SnmpError::TargetSuppressed) => {
-                std::thread::sleep(std::time::Duration::from_millis(5))
+                std::thread::sleep(std::time::Duration::from_millis(5));
             }
             _ => sent += 1,
         }

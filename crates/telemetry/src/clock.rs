@@ -1,0 +1,100 @@
+//! Wall-clock measurement seams — the one sanctioned home for
+//! `Instant::now`.
+//!
+//! The determinism rule (FJ01) bans raw `Instant::now()` across the
+//! measurement plane: simulation-visible behaviour must be a function of
+//! seeds and the sim clock only. Real network paths still need wall
+//! time — reconnect backoff aging, poll timeouts, CI drain deadlines —
+//! so those reads live here, behind two tiny audited types. Anything
+//! that takes a [`WallEpoch`] or [`WallDeadline`] is visibly on the
+//! wall-clock side of the fence, and a raw `Instant::now()` anywhere
+//! else in the workspace is a lint finding.
+// fj-lint: allow-file(FJ01) — this module *is* the wall-clock seam the
+// rule points everything else at; the raw reads below are its entire job.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock reference point: "when this component started".
+///
+/// Components that age things against real time (backoff schedules,
+/// fault windows) hold one of these and ask for [`WallEpoch::elapsed`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallEpoch {
+    start: Instant,
+}
+
+impl WallEpoch {
+    /// Captures the current wall-clock instant as an epoch.
+    pub fn now() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since the epoch was captured.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// A deadline `d` after this epoch (not after "now").
+    pub fn deadline_after(&self, d: Duration) -> WallDeadline {
+        WallDeadline { at: self.start + d }
+    }
+}
+
+/// A wall-clock deadline for bounding real I/O waits.
+#[derive(Debug, Clone, Copy)]
+pub struct WallDeadline {
+    at: Instant,
+}
+
+impl WallDeadline {
+    /// A deadline `d` from the current wall-clock instant.
+    pub fn after(d: Duration) -> Self {
+        Self {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// Wall time left until the deadline; zero once it has passed.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_elapsed_is_monotone() {
+        let epoch = WallEpoch::now();
+        let a = epoch.elapsed();
+        let b = epoch.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn deadline_counts_down_and_expires() {
+        let d = WallDeadline::after(Duration::from_millis(10));
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn epoch_relative_deadline_is_anchored_to_the_epoch() {
+        let epoch = WallEpoch::now();
+        std::thread::sleep(Duration::from_millis(5));
+        // Anchored to the epoch, not to "now": already mostly consumed.
+        let d = epoch.deadline_after(Duration::from_millis(6));
+        assert!(d.remaining() <= Duration::from_millis(6));
+    }
+}

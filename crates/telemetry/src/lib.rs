@@ -25,6 +25,7 @@
 //! to the process-wide [`global`] bundle; tests that need isolation pass
 //! their own via each component's `with_telemetry` hook.
 
+pub mod clock;
 pub mod events;
 pub mod histogram;
 pub mod metrics;
@@ -37,6 +38,7 @@ use std::sync::{Arc, OnceLock};
 
 use fj_units::SimInstant;
 
+pub use clock::{WallDeadline, WallEpoch};
 pub use events::{Event, EventLog, Level};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
@@ -105,7 +107,8 @@ impl Telemetry {
     /// Pretty-printed JSON snapshot of metrics and retained events.
     pub fn snapshot_json(&self) -> String {
         let value = render::to_json_value(&self.registry.snapshot(), &self.events);
-        serde_json::to_string_pretty(&value).expect("snapshot value serializes")
+        serde_json::to_string_pretty(&value)
+            .unwrap_or_else(|e| format!("{{\"error\":\"snapshot serialization failed: {e}\"}}"))
     }
 
     /// Writes the JSON snapshot to `path`, creating parent directories.

@@ -145,6 +145,9 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
+            // fj-lint: allow(FJ02) — a type conflict on a metric name is a
+            // programming error (documented above); failing loudly beats
+            // silently recording into the wrong series.
             other => panic!("metric {name} already registered as {}", kind(other)),
         }
     }
@@ -158,6 +161,8 @@ impl Registry {
             .or_insert_with(|| Metric::Gauge(Gauge::new()))
         {
             Metric::Gauge(g) => g.clone(),
+            // fj-lint: allow(FJ02) — same loud type-conflict contract as
+            // `Registry::counter`.
             other => panic!("metric {name} already registered as {}", kind(other)),
         }
     }
@@ -171,6 +176,8 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Histogram::new()))
         {
             Metric::Histogram(h) => h.clone(),
+            // fj-lint: allow(FJ02) — same loud type-conflict contract as
+            // `Registry::counter`.
             other => panic!("metric {name} already registered as {}", kind(other)),
         }
     }

@@ -153,7 +153,9 @@ fn metric_value(m: &MetricSnapshot) -> Value {
                 entries.push(("max".to_owned(), Value::Float(h.max)));
                 for q in RENDERED_QUANTILES {
                     let key = format!("p{}", (q * 100.0).round() as u32);
-                    entries.push((key, Value::Float(h.quantile(q).unwrap())));
+                    if let Some(v) = h.quantile(q) {
+                        entries.push((key, Value::Float(v)));
+                    }
                 }
             }
         }

@@ -38,6 +38,8 @@ impl SpanTimer {
     pub fn wall(hist: Histogram) -> Self {
         Self {
             hist,
+            // fj-lint: allow(FJ01) — this constructor is the sanctioned
+            // wall-clock span entry point; sim paths use `SpanTimer::sim`.
             start: Start::Wall(Instant::now()),
         }
     }
@@ -61,6 +63,8 @@ impl SpanTimer {
                 self.hist.observe(secs);
                 secs
             }
+            // fj-lint: allow(FJ02) — mixing clock domains is a programming
+            // error, not a runtime condition; it must fail loudly.
             Start::Sim(_) => panic!("sim span finished with wall clock; use finish_at"),
         }
     }
@@ -76,6 +80,8 @@ impl SpanTimer {
                 self.hist.observe(secs);
                 secs
             }
+            // fj-lint: allow(FJ02) — mixing clock domains is a programming
+            // error, not a runtime condition; it must fail loudly.
             Start::Wall(_) => panic!("wall span finished with sim clock; use finish"),
         }
     }

@@ -69,7 +69,7 @@ pub fn percentile(values: &[f64], pct: f64) -> Result<f64, StatsError> {
         return Err(StatsError::NonFinite);
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let pct = pct.clamp(0.0, 100.0);
     let rank = pct / 100.0 * (sorted.len() as f64 - 1.0);
     let lo = rank.floor() as usize;

@@ -79,6 +79,8 @@ fn main() {
 
     // Retransmit through crash windows until the server holds everything.
     while client.buffered() > 0 {
+        // fj-lint: allow(FJ05) — retransmission retry; a failed flush keeps
+        // the samples buffered and the loop condition is the error handling.
         let _ = client.flush();
         std::thread::sleep(Duration::from_millis(10));
     }
