@@ -19,6 +19,9 @@ cargo test --workspace -q
 echo "==> telemetry smoke"
 cargo run -q -p fj-bench --bin telemetry_smoke
 
+echo "==> fleet throughput smoke (asserts shard-count determinism)"
+cargo run -q --release -p fj-bench --bin bench_fleet -- --smoke --json
+
 if [[ "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> chaos soak (full)"
     cargo test -p fj-faults --test chaos_soak -q -- --ignored

@@ -4,7 +4,7 @@ use fj_core::InterfaceClass;
 use fj_router_sim::SimError;
 use fj_units::{SimInstant, Watts};
 
-use crate::fleet::Fleet;
+use crate::fleet::{Fleet, FleetRouter};
 
 /// What happens.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +81,25 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The fleet index of the (single) router this event touches. Every
+    /// event kind is local to one router — the property that lets the
+    /// sharded collection engine hand each router its own event stream
+    /// and fire them without cross-shard coordination.
+    pub fn router(&self) -> usize {
+        match self {
+            EventKind::UnplugTransceiver { router, .. }
+            | EventKind::PlugAndEnable { router, .. }
+            | EventKind::AdminDown { router, .. }
+            | EventKind::AdminUp { router, .. }
+            | EventKind::PowerCyclePsu { router, .. }
+            | EventKind::OsUpdate { router, .. }
+            | EventKind::PsuFailure { router, .. }
+            | EventKind::PowerStep { router, .. } => *router,
+        }
+    }
+}
+
 /// An event and when it fires.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledEvent {
@@ -93,61 +112,54 @@ pub struct ScheduledEvent {
 impl ScheduledEvent {
     /// Applies the event to the fleet.
     pub fn apply(&self, fleet: &mut Fleet) -> Result<(), SimError> {
+        self.apply_to_router(&mut fleet.routers[self.kind.router()])
+    }
+
+    /// Applies the event directly to the router it targets — `router`
+    /// must be the fleet entry at index [`EventKind::router`]. This is
+    /// the per-shard decomposition seam: a worker owning a slice of the
+    /// fleet fires its routers' events without seeing the rest.
+    pub fn apply_to_router(&self, router: &mut FleetRouter) -> Result<(), SimError> {
         match &self.kind {
-            EventKind::UnplugTransceiver { router, iface } => {
-                fleet.routers[*router].sim.unplug(*iface)?;
+            EventKind::UnplugTransceiver { iface, .. } => {
+                router.sim.unplug(*iface)?;
                 // The inventory no longer lists the module either.
-                fleet.routers[*router].plan.retain(|p| p.index != *iface);
+                router.plan.retain(|p| p.index != *iface);
                 Ok(())
             }
             EventKind::PlugAndEnable {
-                router,
+                router: router_idx,
                 iface,
                 class,
             } => {
-                let r = &mut fleet.routers[*router];
-                r.sim.plug(*iface, class.transceiver, class.speed)?;
-                r.sim.set_external_peer(*iface, true)?;
-                r.sim.set_admin(*iface, true)?;
-                r.plan.push(crate::fleet::PlannedInterface {
+                router.sim.plug(*iface, class.transceiver, class.speed)?;
+                router.sim.set_external_peer(*iface, true)?;
+                router.sim.set_admin(*iface, true)?;
+                router.plan.push(crate::fleet::PlannedInterface {
                     index: *iface,
                     class: *class,
                     external: true,
                     link_id: None,
                     pattern: fj_traffic::LoadPattern::isp_default(
-                        (*router as u64) << 32 | *iface as u64,
+                        (*router_idx as u64) << 32 | *iface as u64,
                     ),
                     spare: false,
                 });
                 Ok(())
             }
-            EventKind::AdminDown { router, iface } => {
-                fleet.routers[*router].sim.set_admin(*iface, false)
-            }
-            EventKind::AdminUp { router, iface } => {
-                fleet.routers[*router].sim.set_admin(*iface, true)
-            }
-            EventKind::PowerCyclePsu { router, slot } => {
-                fleet.routers[*router].sim.power_cycle_psu(*slot)
-            }
-            EventKind::PsuFailure { router, slot } => {
-                fleet.routers[*router].sim.set_psu_enabled(*slot, false)
-            }
-            EventKind::OsUpdate {
-                router,
-                version,
-                delta,
-            } => {
-                fleet.routers[*router]
-                    .sim
-                    .os_update(version.clone(), *delta);
+            EventKind::AdminDown { iface, .. } => router.sim.set_admin(*iface, false),
+            EventKind::AdminUp { iface, .. } => router.sim.set_admin(*iface, true),
+            EventKind::PowerCyclePsu { slot, .. } => router.sim.power_cycle_psu(*slot),
+            EventKind::PsuFailure { slot, .. } => router.sim.set_psu_enabled(*slot, false),
+            EventKind::OsUpdate { version, delta, .. } => {
+                router.sim.os_update(version.clone(), *delta);
                 Ok(())
             }
-            EventKind::PowerStep { router, delta } => {
+            EventKind::PowerStep { delta, .. } => {
                 // Reuse the unmodeled-draw mechanism without touching the
                 // version string.
-                let version = fleet.routers[*router].sim.os_version().to_owned();
-                fleet.routers[*router].sim.os_update(version, *delta);
+                let version = router.sim.os_version().to_owned();
+                router.sim.os_update(version, *delta);
                 Ok(())
             }
         }

@@ -55,6 +55,32 @@ impl FleetRouter {
         self.plan.iter().filter(|p| !p.spare)
     }
 
+    /// Advances this router alone by `dt`: refreshes every active
+    /// interface's offered load from its pattern at `now`, then ticks the
+    /// simulator. The per-router unit of [`Fleet::advance`] — routers
+    /// share no simulation state, so shards step them independently and
+    /// the result is identical for any shard count.
+    pub fn step(
+        &mut self,
+        now: SimInstant,
+        packets: &PacketProfile,
+        dt: SimDuration,
+    ) -> Result<(), SimError> {
+        for p in &self.plan {
+            if p.spare {
+                continue;
+            }
+            let rate = p.pattern.rate(now, p.class.speed.rate());
+            let load = InterfaceLoad {
+                bit_rate: rate,
+                pkt_rate: packets.packet_rate(rate),
+            };
+            self.sim.set_load(p.index, load)?;
+        }
+        self.sim.tick(dt);
+        Ok(())
+    }
+
     /// Total capacity over active interfaces.
     pub fn capacity(&self) -> DataRate {
         DataRate::new(
@@ -86,24 +112,25 @@ impl Fleet {
 
     /// Advances the fleet by `dt`: refreshes every active interface's
     /// offered load from its pattern at the *current* instant, then ticks
-    /// every router.
+    /// every router. Routers are stepped shard-parallel with the default
+    /// shard count ([`fj_par::shard_count`]); ticking is per-router pure,
+    /// so the fleet state afterwards is identical for any shard count.
     pub fn advance(&mut self, dt: SimDuration) -> Result<(), SimError> {
+        self.advance_with_shards(dt, fj_par::shard_count())
+    }
+
+    /// [`Fleet::advance`] with an explicit shard count (1 = inline on the
+    /// calling thread). Results are bit-identical whatever `shards` is.
+    pub fn advance_with_shards(&mut self, dt: SimDuration, shards: usize) -> Result<(), SimError> {
         let now = self.now();
-        for router in &mut self.routers {
-            for p in &router.plan {
-                if p.spare {
-                    continue;
-                }
-                let rate = p.pattern.rate(now, p.class.speed.rate());
-                let load = InterfaceLoad {
-                    bit_rate: rate,
-                    pkt_rate: self.packets.packet_rate(rate),
-                };
-                router.sim.set_load(p.index, load)?;
-            }
-            router.sim.tick(dt);
-        }
-        Ok(())
+        let Fleet {
+            routers, packets, ..
+        } = self;
+        let packets: &PacketProfile = packets;
+        let results =
+            fj_par::shard_map_mut(routers, shards, |_, router| router.step(now, packets, dt));
+        // First error in fleet order, as the sequential loop reported.
+        results.into_iter().collect()
     }
 
     /// Total wall power right now — what the sum of external meters on
@@ -165,5 +192,21 @@ impl Fleet {
         self.routers
             .iter()
             .position(|r| r.sim.spec().model == model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sharded engine hands routers to scoped worker threads; this
+    /// stops compiling if any simulator component regresses to a
+    /// non-`Send`/`Sync` type (`Rc`, raw pointers, thread-bound handles).
+    #[test]
+    fn fleet_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlannedInterface>();
+        assert_send_sync::<FleetRouter>();
+        assert_send_sync::<Fleet>();
     }
 }

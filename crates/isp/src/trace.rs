@@ -6,16 +6,41 @@
 //! fail. A failed poll is recorded as an explicit gap on the affected
 //! series — never as a fabricated zero — so gap-aware statistics keep
 //! fleet aggregates comparable between faulty and fault-free runs.
+//!
+//! # Sharded execution
+//!
+//! Collection is a two-phase engine built on [`fj_par`]:
+//!
+//! 1. **Simulate** — routers are split into contiguous index shards; each
+//!    scoped worker runs its routers through the *entire* horizon
+//!    (events, polls, fault draws, health ladder, prediction) with no
+//!    cross-shard synchronisation. This is sound because every input is
+//!    already per-router keyed: fault draws address stream
+//!    `"snmp/{router}"` (and `"wall/{router}"`) at `poll_index`, i.e. the
+//!    `(round, router)` cell of a pure oracle; scheduled events each
+//!    target exactly one router ([`crate::events::EventKind::router`]);
+//!    and the simulators share no state.
+//! 2. **Merge** — the main thread replays the per-router round records in
+//!    strict `(round, router-index)` order: fleet totals accumulate in
+//!    fleet order, and telemetry (gap cause events, health transitions,
+//!    counters, gauges) is emitted in exactly the sequence the old
+//!    sequential loop produced.
+//!
+//! The contract (tested in `tests/determinism.rs`): traces, gap markers,
+//! telemetry events, and counters are **bit-identical for every shard
+//! count**. Threads decide only wall-clock speed, never results — the
+//! FJ01 determinism rule extended to parallel execution.
 
 use std::sync::Arc;
 
 use fj_faults::{FaultPlan, HealthState, TargetHealth};
 use fj_router_sim::SimError;
 use fj_telemetry::{Level, SpanTimer, Telemetry};
+use fj_traffic::PacketProfile;
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
 use crate::events::{sort_events, ScheduledEvent};
-use crate::fleet::Fleet;
+use crate::fleet::{Fleet, FleetRouter};
 use crate::predict::ModelPredictor;
 
 /// Numeric encoding of the health ladder for the per-router gauge
@@ -29,7 +54,7 @@ fn health_level(s: HealthState) -> f64 {
 }
 
 /// Collected series for one router.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RouterTrace {
     /// Router name.
     pub name: String,
@@ -49,7 +74,7 @@ pub struct RouterTrace {
 }
 
 /// Fleet-wide series plus per-router detail.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetTrace {
     /// Poll period used.
     pub step: SimDuration,
@@ -130,9 +155,235 @@ pub fn collect_with_faults(
 /// bundle: per-round span timing, `gaps_total` counters by source, a
 /// per-router health ladder (gauge `fleet_router_health`), and a Warn
 /// cause event — stamped with the round's sim time — for every gap
-/// marker pushed onto a series.
+/// marker pushed onto a series. Runs shard-parallel with the default
+/// shard count ([`fj_par::shard_count`], overridable via `FJ_SHARDS`);
+/// see [`collect_sharded`] for the determinism contract.
 #[allow(clippy::too_many_arguments)]
 pub fn collect_with_telemetry(
+    fleet: &mut Fleet,
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
+    events: Vec<ScheduledEvent>,
+    instrumented: &[usize],
+    poll_faults: &FaultPlan,
+    telemetry: &Arc<Telemetry>,
+) -> Result<FleetTrace, SimError> {
+    collect_sharded(
+        fleet,
+        start,
+        end,
+        step,
+        events,
+        instrumented,
+        poll_faults,
+        telemetry,
+        fj_par::shard_count(),
+    )
+}
+
+/// What one router's SNMP poll yielded in one round.
+#[derive(Debug, Clone, Copy)]
+enum SnmpPoll {
+    /// Firmware reported; the sample was recorded.
+    Value(f64),
+    /// A reporting router's poll was dropped by the fault plan: a gap on
+    /// its series, and the fleet total is unknowable this round.
+    Gap,
+    /// The model exposes no PSU input sensor (Fig. 4c); its wall draw
+    /// substitutes in the fleet total (documented deviation).
+    NonReporting,
+}
+
+/// What the external wall meter read in one round.
+#[derive(Debug, Clone, Copy)]
+enum WallRead {
+    /// No Autopower unit on this router.
+    NotInstrumented,
+    /// Read recorded (the value is the round's wall power).
+    Value,
+    /// Read dropped by the fault plan: a gap on the wall series.
+    Gap,
+}
+
+/// Everything one router contributed to one poll round, recorded by the
+/// shard worker and replayed by the deterministic merge.
+#[derive(Debug, Clone, Copy)]
+struct RoundRecord {
+    /// Wall power (W) at poll time — feeds `total_wall` and substitutes
+    /// for non-reporting routers in `total_reported`.
+    wall: f64,
+    /// SNMP poll outcome.
+    snmp: SnmpPoll,
+    /// Wall-meter outcome.
+    wall_read: WallRead,
+    /// Contribution to the fleet traffic total, with the Fig. 1
+    /// convention applied per interface (external full, internal half).
+    traffic_contrib: f64,
+    /// Health-ladder transition caused by this round's poll outcome, if
+    /// any: `(before, after)`.
+    transition: Option<(HealthState, HealthState)>,
+}
+
+/// A shard worker's output for one router: the per-router trace plus the
+/// per-round records the merge replays in fleet order.
+struct RouterRun {
+    trace: RouterTrace,
+    rounds: Vec<RoundRecord>,
+}
+
+/// Read-only inputs shared by every shard worker.
+struct RunContext<'a> {
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
+    packets: &'a PacketProfile,
+    /// All scheduled events, time-sorted; workers filter by router.
+    events: &'a [ScheduledEvent],
+    instrumented: &'a [usize],
+    poll_faults: &'a FaultPlan,
+}
+
+/// Simulates one router over the whole horizon: fires its events, polls
+/// it every `step` under the fault plan, steps its health ladder, and
+/// runs the §6.2 predictor. Pure per-router — the only inputs are the
+/// router itself and per-router keyed oracles — so shards can run any
+/// subset in any order and produce identical records.
+fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> RouterRunResult {
+    router.sim.set_time(ctx.start);
+    let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
+    // Health ladder driven by SNMP poll outcomes: 3 consecutive missed
+    // polls degrade a router, 8 quarantine it. The probe interval is
+    // irrelevant here — collection polls every tick regardless; the
+    // ladder only feeds observability.
+    let mut health = TargetHealth::new();
+    let snmp_stream = format!("snmp/{}", router.name);
+    let wall_stream = format!("wall/{}", router.name);
+    let instrumented = ctx.instrumented.contains(&index);
+    let my_events: Vec<&ScheduledEvent> = ctx
+        .events
+        .iter()
+        .filter(|e| e.kind.router() == index)
+        .collect();
+    let mut next_event = 0usize;
+
+    let mut run = RouterRun {
+        trace: RouterTrace {
+            name: router.name.clone(),
+            model: router.sim.spec().model.clone(),
+            ..Default::default()
+        },
+        rounds: Vec::new(),
+    };
+
+    // Prime predictor counters so the first recorded sample has a delta.
+    let _ = predictor.predict_router(index, router, ctx.step);
+    router.step(ctx.start, ctx.packets, ctx.step)?;
+
+    let mut t = ctx.start + ctx.step;
+    let mut poll_index: u64 = 0;
+    while t < ctx.end {
+        // Fire this router's due events.
+        while next_event < my_events.len() && my_events[next_event].at <= t {
+            my_events[next_event].apply_to_router(router)?;
+            next_event += 1;
+        }
+
+        let rt = &mut run.trace;
+        let wall = router.sim.wall_power().as_f64();
+
+        let mut reported = 0.0;
+        let mut reports = false;
+        for slot in 0..router.sim.psu_count() {
+            if let Ok(Some(p)) = router.sim.psu_reported_power(slot) {
+                reported += p.as_f64();
+                reports = true;
+            }
+        }
+        let mut transition = None;
+        let snmp = if reports {
+            if ctx.poll_faults.should_drop(&snmp_stream, poll_index) {
+                // Missed poll: an explicit gap, never a zero.
+                rt.psu_reported.push_gap(t);
+                let before = health.state();
+                let after = health.record_failure();
+                if after != before {
+                    transition = Some((before, after));
+                }
+                SnmpPoll::Gap
+            } else {
+                rt.psu_reported.push(t, reported);
+                let before = health.state();
+                health.record_success();
+                if before != HealthState::Healthy {
+                    transition = Some((before, HealthState::Healthy));
+                }
+                SnmpPoll::Value(reported)
+            }
+        } else {
+            SnmpPoll::NonReporting
+        };
+
+        let wall_read = if instrumented {
+            if ctx.poll_faults.should_drop(&wall_stream, poll_index) {
+                rt.wall.push_gap(t);
+                WallRead::Gap
+            } else {
+                rt.wall.push(t, wall);
+                WallRead::Value
+            }
+        } else {
+            WallRead::NotInstrumented
+        };
+
+        // One pattern evaluation feeds both the router's own traffic
+        // series (full rate) and its share of the fleet total (internal
+        // links halved — they appear at both ends).
+        let mut traffic = 0.0;
+        let mut traffic_contrib = 0.0;
+        for p in router.plan.iter().filter(|p| !p.spare) {
+            let r = p.pattern.rate(t, p.class.speed.rate()).as_f64();
+            traffic += r;
+            traffic_contrib += if p.external { r } else { r / 2.0 };
+        }
+        rt.traffic.push(t, traffic);
+
+        if let Some(p) = predictor.predict_router(index, router, ctx.step) {
+            rt.predicted.push(t, p.as_f64());
+        }
+
+        run.rounds.push(RoundRecord {
+            wall,
+            snmp,
+            wall_read,
+            traffic_contrib,
+            transition,
+        });
+
+        router.step(t, ctx.packets, ctx.step)?;
+        t += ctx.step;
+        poll_index += 1;
+    }
+
+    Ok(run)
+}
+
+type RouterRunResult = Result<RouterRun, SimError>;
+
+/// [`collect_with_telemetry`] with an explicit shard count — the
+/// deterministic sharded engine.
+///
+/// Phase 1 splits the fleet into `shards` contiguous index ranges and
+/// runs [`run_router`] for every router on scoped workers (`shards <= 1`
+/// runs inline). Phase 2 merges on the calling thread in strict
+/// `(round, router-index)` order: fleet totals sum in fleet order (so
+/// floating-point association never depends on the shard count) and all
+/// telemetry — gap cause events, health transitions, gauges, counters —
+/// is emitted exactly as the sequential loop would have. Traces, gap
+/// markers, telemetry events, and counters are bit-identical for every
+/// `shards` value; only wall-clock time changes.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_sharded(
     fleet: &mut Fleet,
     start: SimInstant,
     end: SimInstant,
@@ -141,46 +392,44 @@ pub fn collect_with_telemetry(
     instrumented: &[usize],
     poll_faults: &FaultPlan,
     telemetry: &Arc<Telemetry>,
+    shards: usize,
 ) -> Result<FleetTrace, SimError> {
     assert!(step.is_positive(), "poll period must be positive");
     sort_events(&mut events);
-    let mut next_event = 0usize;
-
-    // Align every router's clock to the trace start.
-    for r in &mut fleet.routers {
-        r.sim.set_time(start);
+    let router_count = fleet.routers.len();
+    for e in &events {
+        assert!(
+            e.kind.router() < router_count,
+            "event at {} targets router {} of a {router_count}-router fleet",
+            e.at,
+            e.kind.router()
+        );
     }
 
-    let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
-    let mut trace = FleetTrace {
+    // Phase 1: simulate. Workers own disjoint router chunks; every other
+    // input is shared read-only.
+    let Fleet {
+        routers, packets, ..
+    } = fleet;
+    let ctx = RunContext {
+        start,
+        end,
         step,
-        routers: fleet
-            .routers
-            .iter()
-            .map(|r| RouterTrace {
-                name: r.name.clone(),
-                model: r.sim.spec().model.clone(),
-                ..Default::default()
-            })
-            .collect(),
-        ..Default::default()
+        packets,
+        events: &events,
+        instrumented,
+        poll_faults,
     };
+    let results: Vec<RouterRunResult> =
+        fj_par::shard_map_mut(routers, shards, |i, router| run_router(&ctx, i, router));
+    let mut runs = Vec::with_capacity(router_count);
+    for r in results {
+        // First error in fleet order, matching the sequential loop.
+        runs.push(r?);
+    }
 
-    // Per-router fault-plan streams: one decision per router per tick.
-    let snmp_streams: Vec<String> = fleet
-        .routers
-        .iter()
-        .map(|r| format!("snmp/{}", r.name))
-        .collect();
-    let wall_streams: Vec<String> = fleet
-        .routers
-        .iter()
-        .map(|r| format!("wall/{}", r.name))
-        .collect();
-    let mut poll_index: u64 = 0;
-
-    // Metric handles resolved once; the poll loop then costs one atomic
-    // op per update.
+    // Phase 2: deterministic merge. Metric handles resolved once; the
+    // replay then costs one atomic op per update.
     let registry = telemetry.registry();
     let rounds_metric = registry.counter("fleet_poll_rounds_total", &[]);
     let snmp_gaps = registry.counter("gaps_total", &[("source", "snmp")]);
@@ -188,25 +437,29 @@ pub fn collect_with_telemetry(
     let total_gaps = registry.counter("gaps_total", &[("source", "fleet_total")]);
     let quarantines = registry.counter("fleet_routers_quarantined_total", &[]);
     let round_duration = registry.histogram("fleet_poll_round_duration_seconds", &[]);
-    // Per-router health ladder driven by SNMP poll outcomes: 3
-    // consecutive missed polls degrade a router, 8 quarantine it. The
-    // probe interval is irrelevant here — collection polls every tick
-    // regardless; the ladder only feeds observability.
-    let mut health: Vec<TargetHealth> = fleet.routers.iter().map(|_| TargetHealth::new()).collect();
-    let health_gauges: Vec<_> = fleet
-        .routers
+    let health_gauges: Vec<_> = runs
         .iter()
-        .map(|r| registry.gauge("fleet_router_health", &[("router", &r.name)]))
+        .map(|r| registry.gauge("fleet_router_health", &[("router", &r.trace.name)]))
         .collect();
 
-    // Prime predictor counters so the first recorded sample has a delta.
-    for (i, r) in fleet.routers.iter().enumerate() {
-        let _ = predictor.predict_router(i, r, step);
+    let mut trace = FleetTrace {
+        step,
+        ..Default::default()
+    };
+    // Round count derives from the horizon, not from the workers, so an
+    // empty fleet still records (empty) totals every round.
+    let mut rounds = 0usize;
+    {
+        let mut tt = start + step;
+        while tt < end {
+            rounds += 1;
+            tt += step;
+        }
     }
-    fleet.advance(step)?;
+    debug_assert!(runs.iter().all(|r| r.rounds.len() == rounds));
 
     let mut t = start + step;
-    while t < end {
+    for round in 0..rounds {
         // Stamp the sim clock first: every event emitted this round —
         // gap causes included — carries the round's timestamp, so gap
         // markers on the trace join to their cause events by `ts`.
@@ -214,34 +467,36 @@ pub fn collect_with_telemetry(
         rounds_metric.inc();
         let round_span = SpanTimer::wall(round_duration.clone());
 
-        // Fire due events.
-        while next_event < events.len() && events[next_event].at <= t {
-            events[next_event].apply(fleet)?;
-            next_event += 1;
-        }
-
-        // Record.
         let mut total_wall = 0.0;
         let mut total_reported = 0.0;
+        let mut total_traffic = 0.0;
         let mut reported_unknown = false;
-        for (i, router) in fleet.routers.iter_mut().enumerate() {
-            let rt = &mut trace.routers[i];
-            let wall = router.sim.wall_power().as_f64();
-            total_wall += wall;
+        for (i, run) in runs.iter().enumerate() {
+            let rec = &run.rounds[round];
+            let name = &run.trace.name;
+            total_wall += rec.wall;
+            total_traffic += rec.traffic_contrib;
 
-            let mut reported = 0.0;
-            let mut reports = false;
-            for slot in 0..router.sim.psu_count() {
-                if let Ok(Some(p)) = router.sim.psu_reported_power(slot) {
-                    reported += p.as_f64();
-                    reports = true;
+            match rec.snmp {
+                SnmpPoll::Value(v) => {
+                    total_reported += v;
+                    if let Some((before, _)) = rec.transition {
+                        health_gauges[i].set(0.0);
+                        telemetry.event(
+                            Level::Info,
+                            "fleet.collect",
+                            "router health transition",
+                            &[
+                                ("router", name.clone()),
+                                ("from", before.label().to_owned()),
+                                ("to", "healthy".to_owned()),
+                            ],
+                        );
+                    }
                 }
-            }
-            if reports {
-                if poll_faults.should_drop(&snmp_streams[i], poll_index) {
-                    // Missed poll: an explicit gap, never a zero. With a
-                    // contributor unknown, the fleet total is unknown too.
-                    rt.psu_reported.push_gap(t);
+                SnmpPoll::Gap => {
+                    // With a contributor unknown, the fleet total is
+                    // unknown too.
                     trace.missed_polls += 1;
                     reported_unknown = true;
                     snmp_gaps.inc();
@@ -249,11 +504,9 @@ pub fn collect_with_telemetry(
                         Level::Warn,
                         "fleet.collect",
                         "snmp poll dropped, gap recorded",
-                        &[("router", rt.name.clone()), ("series", "snmp".to_owned())],
+                        &[("router", name.clone()), ("series", "snmp".to_owned())],
                     );
-                    let before = health[i].state();
-                    let after = health[i].record_failure();
-                    if after != before {
+                    if let Some((before, after)) = rec.transition {
                         health_gauges[i].set(health_level(after));
                         if after == HealthState::Quarantined {
                             quarantines.inc();
@@ -263,67 +516,28 @@ pub fn collect_with_telemetry(
                             "fleet.collect",
                             "router health transition",
                             &[
-                                ("router", rt.name.clone()),
+                                ("router", name.clone()),
                                 ("from", before.label().to_owned()),
                                 ("to", after.label().to_owned()),
                             ],
                         );
                     }
-                } else {
-                    rt.psu_reported.push(t, reported);
-                    total_reported += reported;
-                    let before = health[i].state();
-                    health[i].record_success();
-                    if before != HealthState::Healthy {
-                        health_gauges[i].set(0.0);
-                        telemetry.event(
-                            Level::Info,
-                            "fleet.collect",
-                            "router health transition",
-                            &[
-                                ("router", rt.name.clone()),
-                                ("from", before.label().to_owned()),
-                                ("to", "healthy".to_owned()),
-                            ],
-                        );
-                    }
                 }
-            } else {
-                // Non-reporting models are invisible to the SNMP total —
-                // substitute their wall draw so Fig. 1 stays comparable
-                // (documented deviation; the paper's total simply lacks
-                // those routers).
-                total_reported += wall;
+                SnmpPoll::NonReporting => total_reported += rec.wall,
             }
 
-            if instrumented.contains(&i) {
-                if poll_faults.should_drop(&wall_streams[i], poll_index) {
-                    rt.wall.push_gap(t);
+            match rec.wall_read {
+                WallRead::Gap => {
                     trace.missed_polls += 1;
                     wall_gaps.inc();
                     telemetry.event(
                         Level::Warn,
                         "fleet.collect",
                         "wall-meter read dropped, gap recorded",
-                        &[("router", rt.name.clone()), ("series", "wall".to_owned())],
+                        &[("router", name.clone()), ("series", "wall".to_owned())],
                     );
-                } else {
-                    rt.wall.push(t, wall);
                 }
-            }
-
-            let traffic: f64 = router
-                .plan
-                .iter()
-                .filter(|p| !p.spare)
-                .map(|p| p.pattern.rate(t, p.class.speed.rate()).as_f64())
-                .sum();
-            rt.traffic.push(t, traffic);
-        }
-
-        for (i, router) in fleet.routers.iter().enumerate() {
-            if let Some(p) = predictor.predict_router(i, router, step) {
-                trace.routers[i].predicted.push(t, p.as_f64());
+                WallRead::Value | WallRead::NotInstrumented => {}
             }
         }
 
@@ -340,14 +554,13 @@ pub fn collect_with_telemetry(
         } else {
             trace.total_reported.push(t, total_reported);
         }
-        trace.total_traffic.push(t, fleet.total_traffic().as_f64());
+        trace.total_traffic.push(t, total_traffic);
 
-        fleet.advance(step)?;
         round_span.finish();
         t += step;
-        poll_index += 1;
     }
 
+    trace.routers = runs.into_iter().map(|r| r.trace).collect();
     Ok(trace)
 }
 

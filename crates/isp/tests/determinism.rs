@@ -1,0 +1,114 @@
+//! The FJ01 determinism contract for the sharded collection engine
+//! (tier-1): the shard count must change wall-clock time and nothing
+//! else. Traces, gap markers, telemetry events, counters, and gauges are
+//! bit-identical whether the fleet runs on one worker or many.
+
+use std::sync::Arc;
+
+use fj_faults::FaultPlan;
+use fj_isp::trace::collect_sharded;
+use fj_isp::{build_fleet, EventKind, FleetConfig, FleetTrace, ScheduledEvent};
+use fj_telemetry::Telemetry;
+use fj_units::{SimDuration, SimInstant, Watts};
+
+/// A week of 5-minute polls over a small fleet with drops, Autopower
+/// meters, and mid-run events — every code path the engine has.
+fn run(shards: usize) -> (FleetTrace, Arc<Telemetry>) {
+    let mut fleet = build_fleet(&FleetConfig::small(11));
+    let n = fleet.routers.len();
+    assert!(n >= 5, "scenario expects a multi-router fleet");
+    let events = vec![
+        ScheduledEvent {
+            at: SimInstant::from_days(1),
+            kind: EventKind::AdminDown {
+                router: 1,
+                iface: fleet.routers[1].plan[0].index,
+            },
+        },
+        ScheduledEvent {
+            at: SimInstant::from_days(2),
+            kind: EventKind::OsUpdate {
+                router: n - 1,
+                version: "7.11.2".into(),
+                delta: Watts::new(45.0),
+            },
+        },
+        ScheduledEvent {
+            at: SimInstant::from_days(3),
+            kind: EventKind::AdminUp {
+                router: 1,
+                iface: fleet.routers[1].plan[0].index,
+            },
+        },
+        ScheduledEvent {
+            at: SimInstant::from_days(4),
+            kind: EventKind::PsuFailure { router: 2, slot: 1 },
+        },
+    ];
+    // 15 % drop rate is high enough to walk routers down the health
+    // ladder into quarantine and back within a week.
+    let plan = FaultPlan::new(0x6A9_0004).with_drop_rate(0.15);
+    let telemetry = Telemetry::with_capacity(1 << 16);
+    let trace = collect_sharded(
+        &mut fleet,
+        SimInstant::EPOCH,
+        SimInstant::from_days(7),
+        SimDuration::from_mins(5),
+        events,
+        &[0, 3],
+        &plan,
+        &telemetry,
+        shards,
+    )
+    .expect("collection succeeds");
+    (trace, telemetry)
+}
+
+/// The one nondeterministic metric: round span timing measures wall-clock
+/// seconds, so its histogram differs run to run by construction. Strip it
+/// before comparing snapshots.
+fn stable_prometheus(t: &Telemetry) -> String {
+    t.render_prometheus()
+        .lines()
+        .filter(|l| !l.contains("fleet_poll_round_duration_seconds"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn shard_count_never_changes_results() {
+    let (seq_trace, seq_tel) = run(1);
+
+    // The scenario actually exercised the interesting paths.
+    assert!(seq_trace.missed_polls > 0, "drops occurred");
+    assert!(
+        !seq_trace.total_reported.gaps().is_empty(),
+        "fleet total had unknowable rounds"
+    );
+    assert!(!seq_tel.events().events().is_empty(), "events were emitted");
+
+    for shards in [2, 3, 4, 8] {
+        let (par_trace, par_tel) = run(shards);
+        assert_eq!(
+            seq_trace, par_trace,
+            "{shards}-shard trace diverged from sequential"
+        );
+        assert_eq!(
+            seq_tel.events().events(),
+            par_tel.events().events(),
+            "{shards}-shard event log diverged from sequential"
+        );
+        assert_eq!(
+            stable_prometheus(&seq_tel),
+            stable_prometheus(&par_tel),
+            "{shards}-shard metric snapshot diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn shard_count_beyond_fleet_size_is_fine() {
+    let (seq_trace, _) = run(1);
+    let (par_trace, _) = run(1024);
+    assert_eq!(seq_trace, par_trace);
+}

@@ -1,0 +1,233 @@
+//! `fj-par` — deterministic sharded execution for fleet-scale workloads.
+//!
+//! The paper's dataset is 107 routers polled every 5 minutes for 10
+//! months; the reproduction's ambition (ROADMAP north star, the multi-AS
+//! scaling of Chen et al.) is thousands. Ticking and polling routers is
+//! embarrassingly parallel — each router owns its simulator, PSU sensors,
+//! and health ladder — but naive parallelism would wreck the FJ01
+//! determinism contract: results must be a pure function of seeds and the
+//! sim clock, never of thread scheduling.
+//!
+//! This crate provides the one audited concurrency seam of the workspace:
+//! a scoped worker pool built on [`std::thread::scope`] (structured
+//! concurrency — no detached threads, no `'static` bounds, no channels)
+//! whose combinators split an **indexed** workload into contiguous shards
+//! and reduce the per-item results in **stable index order**. Whatever
+//! the shard count, the returned vector is element-for-element identical
+//! to the sequential map; threads only decide *when* each item runs,
+//! never *what* the caller observes. Callers keep cross-item effects
+//! (telemetry, floating-point accumulation) out of the parallel closure
+//! and apply them during their own in-order reduction — see
+//! `fj_isp::trace` for the canonical pattern.
+//!
+//! Zero dependencies, no unsafe, no locks: workers either borrow disjoint
+//! `&mut` chunks (`shard_map_mut`) or share `&T` (`shard_map`), and the
+//! scope joins every worker before returning, propagating panics.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Environment variable overriding the default shard count.
+pub const SHARDS_ENV: &str = "FJ_SHARDS";
+
+/// Worker threads the host can run without oversubscription.
+pub fn available_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// The default shard count: `FJ_SHARDS` when set to a positive integer,
+/// otherwise [`available_shards`]. Because every sharded entry point is
+/// deterministic in its shard count, the override tunes throughput only —
+/// it can never change a result.
+pub fn shard_count() -> usize {
+    if let Ok(v) = std::env::var(SHARDS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    available_shards()
+}
+
+/// Clamps a requested shard count to `min(cores, requested)`, at least 1 —
+/// the worker count the pool actually spawns for host-sized defaults.
+pub fn clamp_shards(requested: usize) -> usize {
+    requested.clamp(1, available_shards().max(1))
+}
+
+/// Contiguous, balanced index ranges covering `0..len` with at most
+/// `shards` non-empty entries. Earlier ranges are never shorter than
+/// later ones; concatenated in order they enumerate `0..len` exactly.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Maps `f` over `items` with read access, splitting the index space
+/// across at most `shards` scoped workers, and returns the results in
+/// index order — bit-identical to `items.iter().enumerate().map(f)` for
+/// any shard count. `shards <= 1` (or a single item) runs inline on the
+/// calling thread with no pool at all.
+pub fn shard_map<T, R, F>(items: &[T], shards: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let ranges = shard_ranges(items.len(), shards);
+    if ranges.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || range.map(|i| f(i, &items[i])).collect::<Vec<R>>())
+            })
+            .collect();
+        // Stable index-order reduction: shards were carved low-to-high,
+        // so joining in spawn order concatenates back to 0..len.
+        handles.into_iter().flat_map(join_propagating).collect()
+    })
+}
+
+/// [`shard_map`] with exclusive access: workers borrow disjoint `&mut`
+/// chunks of `items`, so per-item mutation parallelises without locks.
+/// Results are returned in index order, identical for any shard count.
+pub fn shard_map_mut<T, R, F>(items: &mut [T], shards: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let ranges = shard_ranges(items.len(), shards);
+    if ranges.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, t)| f(range.start + k, t))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        handles.into_iter().flat_map(join_propagating).collect()
+    })
+}
+
+/// Joins a worker, re-raising its panic on the calling thread so a shard
+/// failure is indistinguishable from the same panic in a sequential run.
+fn join_propagating<R>(handle: std::thread::ScopedJoinHandle<'_, Vec<R>>) -> Vec<R> {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 8, 9, 107, 1000] {
+            for shards in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = shard_ranges(len, shards);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                let expect: Vec<usize> = (0..len).collect();
+                assert_eq!(flat, expect, "len {len} shards {shards}");
+                assert!(ranges.len() <= shards.max(1));
+                // Balanced: sizes differ by at most one, larger first.
+                let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                if let (Some(max), Some(min)) = (sizes.first(), sizes.last()) {
+                    assert!(max - min <= 1, "unbalanced {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_for_any_shard_count() {
+        let items: Vec<u64> = (0..501).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| i as u64 * v)
+            .collect();
+        for shards in [1, 2, 3, 4, 7, 16, 1000] {
+            let par = shard_map(&items, shards, |i, v| i as u64 * v);
+            assert_eq!(par, seq, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_in_order() {
+        let mut items: Vec<i64> = vec![0; 97];
+        let out = shard_map_mut(&mut items, 4, |i, v| {
+            *v = i as i64 * 2;
+            i as i64
+        });
+        assert_eq!(out, (0..97).collect::<Vec<i64>>());
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i as i64 * 2);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items = vec![(); 64];
+        let _ = shard_map(&items, 8, |_, ()| hits.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(shard_map(&empty, 4, |_, v| *v).is_empty());
+        assert_eq!(shard_map(&[9u8], 4, |i, v| (i, *v)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            shard_map(&items, 4, |_, v| {
+                assert!(*v != 17, "injected");
+                *v
+            })
+        });
+        assert!(result.is_err(), "panic in a shard must reach the caller");
+    }
+
+    #[test]
+    fn shard_count_is_positive() {
+        assert!(shard_count() >= 1);
+        assert!(available_shards() >= 1);
+        assert_eq!(clamp_shards(0), 1);
+        assert!(clamp_shards(usize::MAX) >= 1);
+    }
+}

@@ -612,6 +612,18 @@ mod tests {
         SimulatedRouter::new(RouterSpec::builtin(model).unwrap(), 7)
     }
 
+    /// Send audit for the sharded fleet engine (`fj-par`): routers cross
+    /// scoped worker threads, so the simulator and everything it embeds
+    /// must stay `Send + Sync`. A regression here (an `Rc`, a raw
+    /// pointer, a thread-bound handle) fails at compile time.
+    #[test]
+    fn simulated_router_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulatedRouter>();
+        assert_send_sync::<PsuState>();
+        assert_send_sync::<InterfaceState>();
+    }
+
     #[test]
     fn fresh_router_draws_roughly_base_power() {
         let r = router("8201-32FH");

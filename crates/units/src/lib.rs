@@ -28,8 +28,9 @@ pub use parse::{
     parse_data_rate, parse_energy_per_bit, parse_energy_per_packet, parse_watts, ParseQuantityError,
 };
 pub use quantity::{Bytes, DataRate, EnergyPerBit, EnergyPerPacket, Joules, PacketRate, Watts};
-pub use series::{Sample, TimeSeries};
+pub use series::{PrefixSums, Sample, TimeSeries};
 pub use stats::{
-    correlation, linear_regression, mean, median, percentile, std_dev, LinearFit, StatsError,
+    correlation, linear_regression, mean, median, percentile, std_dev, LinearFit, SortedView,
+    StatsError,
 };
 pub use time::{SimDuration, SimInstant};

@@ -165,20 +165,22 @@ impl TimeSeries {
     }
 
     /// Sub-series with `from <= t < to`; gap markers in range carry over.
+    ///
+    /// Samples and gaps are time-ordered by construction, so the range is
+    /// located by binary search (`partition_point`) and copied as one
+    /// contiguous block — O(log n + k) instead of an O(n) scan.
     pub fn slice(&self, from: SimInstant, to: SimInstant) -> TimeSeries {
-        let samples = self
-            .samples
-            .iter()
-            .filter(|s| s.at >= from && s.at < to)
-            .copied()
-            .collect();
-        let gaps = self
-            .gaps
-            .iter()
-            .filter(|&&g| g >= from && g < to)
-            .copied()
-            .collect();
-        Self { samples, gaps }
+        if to <= from {
+            return TimeSeries::new();
+        }
+        let s0 = self.samples.partition_point(|s| s.at < from);
+        let s1 = self.samples.partition_point(|s| s.at < to);
+        let g0 = self.gaps.partition_point(|&g| g < from);
+        let g1 = self.gaps.partition_point(|&g| g < to);
+        Self {
+            samples: self.samples[s0..s1].to_vec(),
+            gaps: self.gaps[g0..g1].to_vec(),
+        }
     }
 
     /// Value at or immediately before `t` (step interpolation), if any
@@ -239,37 +241,19 @@ impl TimeSeries {
     /// Downsamples by averaging all samples falling in each window of
     /// `window` seconds; the output sample carries the window start time.
     ///
-    /// This is the 30-minute smoothing used for Fig. 4.
+    /// This is the 30-minute smoothing used for Fig. 4. Implemented on
+    /// the Kahan-compensated [`PrefixSums`] kernel; smoothing the same
+    /// series at several widths should build [`TimeSeries::prefix_sums`]
+    /// once and query it repeatedly.
     pub fn window_mean(&self, window: SimDuration) -> TimeSeries {
-        assert!(window.is_positive(), "window must be positive");
-        let mut out = TimeSeries::new();
-        let mut current_window: Option<SimInstant> = None;
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for s in &self.samples {
-            let w = s.at.align_down(window);
-            match current_window {
-                Some(cw) if cw == w => {
-                    sum += s.value;
-                    count += 1;
-                }
-                Some(cw) => {
-                    out.push(cw, sum / count as f64);
-                    current_window = Some(w);
-                    sum = s.value;
-                    count = 1;
-                }
-                None => {
-                    current_window = Some(w);
-                    sum = s.value;
-                    count = 1;
-                }
-            }
-        }
-        if let (Some(cw), true) = (current_window, count > 0) {
-            out.push(cw, sum / count as f64);
-        }
-        out
+        self.prefix_sums().window_mean(window)
+    }
+
+    /// Builds the prefix-sum view of this series for amortized windowed
+    /// aggregation: O(n) once, then every window/range query costs only
+    /// the binary searches locating its endpoints.
+    pub fn prefix_sums(&self) -> PrefixSums<'_> {
+        PrefixSums::new(self)
     }
 
     /// Pointwise combination of two series on the union of their
@@ -372,16 +356,25 @@ impl TimeSeries {
 
     /// Shared walk behind the integral family: returns
     /// `(value·seconds, observed seconds)` up to `until`.
+    ///
+    /// Samples and gaps are both time-ordered, so a single merge walk
+    /// with a monotone gap cursor replaces the per-sample binary search:
+    /// O(n + g) total.
     fn integral_and_observed(&self, until: SimInstant) -> (f64, f64) {
         let mut total = 0.0;
         let mut observed = 0.0;
+        let mut gap_idx = 0usize;
         for (i, s) in self.samples.iter().enumerate() {
+            // Advance to the first gap strictly after this sample.
+            while gap_idx < self.gaps.len() && self.gaps[gap_idx] <= s.at {
+                gap_idx += 1;
+            }
             let mut hold_end = match self.samples.get(i + 1) {
                 Some(next) => next.at.min(until),
                 None => until,
             };
             // A gap strictly inside the hold ends observation there.
-            if let Some(g) = self.first_gap_after(s.at) {
+            if let Some(&g) = self.gaps.get(gap_idx) {
                 hold_end = hold_end.min(g);
             }
             if hold_end > s.at {
@@ -398,6 +391,98 @@ impl TimeSeries {
     /// Gap-aware: only observed hold intervals are integrated.
     pub fn energy_kwh(&self, until: SimInstant) -> f64 {
         self.step_integral(until) / 3.6e6
+    }
+
+    /// Sorts the values once into a [`stats::SortedView`] for repeated
+    /// quantile queries (median + p5 + p95 + … over the same series).
+    /// Errors on empty or non-finite values like
+    /// [`TimeSeries::percentile`].
+    pub fn sorted_view(&self) -> Result<stats::SortedView, StatsError> {
+        stats::SortedView::new(self.values())
+    }
+}
+
+/// Kahan-compensated prefix sums over a series' values — the amortized
+/// kernel behind [`TimeSeries::window_mean`].
+///
+/// `prefix[k]` holds the compensated sum of the first `k` values, so any
+/// contiguous run of samples aggregates in O(1) as a difference of two
+/// prefixes; window boundaries are located by binary search on the
+/// (already time-ordered) sample timestamps. Building costs O(n) once;
+/// each query afterwards is O(log n + buckets) instead of re-walking the
+/// whole series, which is what makes repeated smoothing passes (Fig. 4 at
+/// several widths, sweep analyses) cheap.
+#[derive(Debug, Clone)]
+pub struct PrefixSums<'a> {
+    series: &'a TimeSeries,
+    prefix: Vec<f64>,
+}
+
+impl<'a> PrefixSums<'a> {
+    /// Builds the prefix table with a Kahan-compensated accumulator, so
+    /// long series (months of 5-minute polls) don't accumulate naive
+    /// summation error before the per-bucket division.
+    pub fn new(series: &'a TimeSeries) -> Self {
+        let mut prefix = Vec::with_capacity(series.len() + 1);
+        prefix.push(0.0);
+        let mut sum = 0.0;
+        let mut comp = 0.0;
+        for s in &series.samples {
+            let y = s.value - comp;
+            let t = sum + y;
+            comp = (t - sum) - y;
+            sum = t;
+            prefix.push(sum);
+        }
+        Self { series, prefix }
+    }
+
+    /// The series this view indexes.
+    pub fn series(&self) -> &TimeSeries {
+        self.series
+    }
+
+    /// Sum of the values of samples `i..j` (sample indices).
+    pub fn range_sum(&self, i: usize, j: usize) -> f64 {
+        self.prefix[j] - self.prefix[i]
+    }
+
+    /// Mean of the values of samples `i..j`; `None` for an empty range.
+    pub fn range_mean(&self, i: usize, j: usize) -> Option<f64> {
+        (j > i).then(|| self.range_sum(i, j) / (j - i) as f64)
+    }
+
+    /// Mean of all samples with `from <= t < to`; `None` when the window
+    /// holds no samples. Endpoints located by binary search.
+    pub fn mean_between(&self, from: SimInstant, to: SimInstant) -> Option<f64> {
+        if to <= from {
+            return None;
+        }
+        let samples = self.series.samples();
+        let i = samples.partition_point(|s| s.at < from);
+        let j = samples.partition_point(|s| s.at < to);
+        self.range_mean(i, j)
+    }
+
+    /// The bucketed rolling mean: samples grouped by
+    /// `at.align_down(window)`, each bucket emitted at its window start
+    /// with the mean of its samples — the same output contract as
+    /// [`TimeSeries::window_mean`].
+    pub fn window_mean(&self, window: SimDuration) -> TimeSeries {
+        assert!(window.is_positive(), "window must be positive");
+        let samples = self.series.samples();
+        let mut out = TimeSeries::new();
+        let mut i = 0usize;
+        while i < samples.len() {
+            let w = samples[i].at.align_down(window);
+            let end = w + window;
+            // All bucket members are contiguous (samples are sorted):
+            // find the first sample past the window in the remainder.
+            let j = i + samples[i..].partition_point(|s| s.at < end);
+            out.push(w, self.range_sum(i, j) / (j - i) as f64);
+            i = j;
+        }
+        out
     }
 }
 

@@ -54,13 +54,21 @@ pub fn std_dev(values: &[f64]) -> Result<f64, StatsError> {
     Ok((ss / (values.len() as f64 - 1.0)).sqrt())
 }
 
-/// Median via sorting a copy. Averages the two middle values for even n.
+/// Median: the 50th percentile (averages the two middle values for even
+/// n). Selection-based like [`percentile`] — no full sort.
 pub fn median(values: &[f64]) -> Result<f64, StatsError> {
     percentile(values, 50.0)
 }
 
 /// Percentile in `[0, 100]` with linear interpolation between order
 /// statistics (the common "linear" / type-7 definition).
+///
+/// Implemented by quickselect (`select_nth_unstable_by`) on a scratch
+/// copy: expected O(n) instead of the O(n log n) full sort, with
+/// bit-identical results — the two order statistics the interpolation
+/// reads are exactly the values a `total_cmp` sort would place there.
+/// For many quantiles over the same data, sort once into a
+/// [`SortedView`] instead.
 pub fn percentile(values: &[f64], pct: f64) -> Result<f64, StatsError> {
     if values.is_empty() {
         return Err(StatsError::Empty);
@@ -68,14 +76,101 @@ pub fn percentile(values: &[f64], pct: f64) -> Result<f64, StatsError> {
     if values.iter().any(|v| !v.is_finite()) || !pct.is_finite() {
         return Err(StatsError::NonFinite);
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    let mut scratch = values.to_vec();
+    Ok(percentile_select(&mut scratch, pct))
+}
+
+/// Quickselect core behind [`percentile`]: reorders `buf` and returns the
+/// interpolated percentile. Caller guarantees non-empty finite input and
+/// finite `pct`.
+fn percentile_select(buf: &mut [f64], pct: f64) -> f64 {
+    let (lo, hi, frac) = percentile_rank(buf.len(), pct);
+    let (_, &mut lo_v, rest) = buf.select_nth_unstable_by(lo, f64::total_cmp);
+    let hi_v = if hi == lo {
+        lo_v
+    } else {
+        // hi == lo + 1, so the hi-th order statistic is the minimum of
+        // the partition right of lo — one more selection, not a sort.
+        let (_, &mut v, _) = rest.select_nth_unstable_by(0, f64::total_cmp);
+        v
+    };
+    lo_v * (1.0 - frac) + hi_v * frac
+}
+
+/// The (lo, hi, frac) order-statistic coordinates of the type-7
+/// percentile for a sample of size `n` (n >= 1).
+fn percentile_rank(n: usize, pct: f64) -> (usize, usize, f64) {
     let pct = pct.clamp(0.0, 100.0);
-    let rank = pct / 100.0 * (sorted.len() as f64 - 1.0);
+    let rank = pct / 100.0 * (n as f64 - 1.0);
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    (lo, hi, rank - lo as f64)
+}
+
+/// A sorted snapshot of a sample for repeated quantile queries.
+///
+/// [`percentile`] pays expected O(n) per call; an analysis asking for the
+/// median, p5, p95, and IQR of the same series four times over pays it
+/// four times. `SortedView` sorts once (`total_cmp`, the same total order)
+/// and answers each subsequent quantile in O(1), bit-identical to what
+/// [`percentile`]/[`median`] return on the original slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedView {
+    sorted: Vec<f64>,
+}
+
+impl SortedView {
+    /// Sorts `values` into a reusable view. Errors on empty or non-finite
+    /// input exactly like [`percentile`].
+    pub fn new(mut values: Vec<f64>) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite);
+        }
+        values.sort_by(f64::total_cmp);
+        Ok(Self { sorted: values })
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty input.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The values in ascending (`total_cmp`) order.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Percentile with type-7 interpolation; O(1) per query.
+    pub fn percentile(&self, pct: f64) -> Result<f64, StatsError> {
+        if !pct.is_finite() {
+            return Err(StatsError::NonFinite);
+        }
+        let (lo, hi, frac) = percentile_rank(self.sorted.len(), pct);
+        Ok(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Median; O(1).
+    pub fn median(&self) -> Result<f64, StatsError> {
+        self.percentile(50.0)
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
 }
 
 /// Pearson correlation coefficient between two equal-length samples.
@@ -269,6 +364,74 @@ mod tests {
         let y = [1.0, 0.4, -2.0, 3.3, 0.1];
         let r = correlation(&x, &y).unwrap();
         assert!((-1.0..=1.0).contains(&r));
+    }
+
+    /// The pre-quickselect reference: clone, full sort, interpolate.
+    fn percentile_by_sort(values: &[f64], pct: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = pct / 100.0 * (sorted.len() as f64 - 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+
+    #[test]
+    fn quickselect_matches_sort_percentile_bitwise() {
+        // Deterministic pseudo-random sample with duplicates and signed
+        // zeros — the cases where an unstable selection could plausibly
+        // diverge from a sort.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut values = Vec::new();
+        for _ in 0..4096 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e6;
+            values.push(v);
+            if x & 7 == 0 {
+                values.push(v); // force duplicates
+            }
+        }
+        values.push(0.0);
+        values.push(-0.0);
+        for pct in [0.0, 0.1, 5.0, 25.0, 50.0, 73.3, 95.0, 99.9, 100.0] {
+            let fast = percentile(&values, pct).unwrap();
+            let slow = percentile_by_sort(&values, pct);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "pct {pct}");
+        }
+    }
+
+    #[test]
+    fn sorted_view_matches_direct_percentile() {
+        let values = vec![5.0, 1.0, 9.0, 3.0, 3.0, -2.0, 7.5];
+        let view = SortedView::new(values.clone()).unwrap();
+        assert_eq!(view.len(), values.len());
+        assert!(!view.is_empty());
+        for pct in [0.0, 10.0, 33.0, 50.0, 66.6, 90.0, 100.0] {
+            assert_eq!(
+                view.percentile(pct).unwrap().to_bits(),
+                percentile(&values, pct).unwrap().to_bits(),
+                "pct {pct}"
+            );
+        }
+        assert_eq!(view.median().unwrap(), median(&values).unwrap());
+        assert_eq!(view.min(), -2.0);
+        assert_eq!(view.max(), 9.0);
+        assert_eq!(view.sorted().len(), values.len());
+    }
+
+    #[test]
+    fn sorted_view_rejects_bad_input() {
+        assert_eq!(SortedView::new(vec![]).unwrap_err(), StatsError::Empty);
+        assert_eq!(
+            SortedView::new(vec![1.0, f64::NAN]).unwrap_err(),
+            StatsError::NonFinite
+        );
+        let view = SortedView::new(vec![1.0]).unwrap();
+        assert_eq!(view.percentile(f64::NAN), Err(StatsError::NonFinite));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the statistics and time-series primitives.
 
 use fj_units::{
-    linear_regression, median, percentile, Sample, SimDuration, SimInstant, TimeSeries,
+    linear_regression, median, percentile, Sample, SimDuration, SimInstant, SortedView, TimeSeries,
 };
 use proptest::prelude::*;
 
@@ -9,7 +9,157 @@ fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 1..max_len)
 }
 
+/// The pre-PR-4 percentile: clone, full `total_cmp` sort, type-7
+/// interpolation. The quickselect kernel must reproduce it bit-for-bit.
+fn percentile_by_sort(values: &[f64], pct: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = pct / 100.0 * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The pre-PR-4 window mean: single pass, naive per-bucket accumulator.
+fn window_mean_naive(ts: &TimeSeries, window: SimDuration) -> TimeSeries {
+    let mut out = TimeSeries::new();
+    let mut current_window: Option<SimInstant> = None;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (at, value) in ts.iter() {
+        let w = at.align_down(window);
+        match current_window {
+            Some(cw) if cw == w => {
+                sum += value;
+                count += 1;
+            }
+            Some(cw) => {
+                out.push(cw, sum / count as f64);
+                current_window = Some(w);
+                sum = value;
+                count = 1;
+            }
+            None => {
+                current_window = Some(w);
+                sum = value;
+                count = 1;
+            }
+        }
+    }
+    if let (Some(cw), true) = (current_window, count > 0) {
+        out.push(cw, sum / count as f64);
+    }
+    out
+}
+
 proptest! {
+    /// Quickselect percentile ≡ sort percentile, bit for bit, on
+    /// arbitrary finite vectors and levels (including out-of-range
+    /// levels, which clamp).
+    #[test]
+    fn quickselect_equals_sort_percentile(
+        values in finite_values(256),
+        pct in -20.0f64..120.0,
+    ) {
+        let fast = percentile(&values, pct).unwrap();
+        let slow = percentile_by_sort(&values, pct);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+
+    /// A SortedView answers every quantile exactly like the one-shot
+    /// kernel on the unsorted data.
+    #[test]
+    fn sorted_view_equals_one_shot(
+        values in finite_values(128),
+        pcts in prop::collection::vec(0.0f64..100.0, 1..8),
+    ) {
+        let view = SortedView::new(values.clone()).unwrap();
+        for pct in pcts {
+            let direct = percentile(&values, pct).unwrap();
+            let cached = view.percentile(pct).unwrap();
+            prop_assert_eq!(direct.to_bits(), cached.to_bits());
+        }
+    }
+
+    /// Prefix-sum window mean stays within 1e-9 relative error of the
+    /// naive per-bucket accumulator, bucket for bucket.
+    #[test]
+    fn prefix_window_mean_matches_naive(
+        pairs in prop::collection::vec((0i64..1_000_000, -1e6f64..1e6), 1..256),
+        window in 1i64..100_000,
+    ) {
+        let ts = TimeSeries::from_samples(
+            pairs.iter().map(|&(t, v)| Sample::new(SimInstant::from_secs(t), v)).collect(),
+        );
+        let window = SimDuration::from_secs(window);
+        let fast = ts.window_mean(window);
+        let naive = window_mean_naive(&ts, window);
+        prop_assert_eq!(fast.len(), naive.len());
+        for ((ta, va), (tb, vb)) in fast.iter().zip(naive.iter()) {
+            prop_assert_eq!(ta, tb);
+            let scale = va.abs().max(vb.abs()).max(1.0);
+            prop_assert!((va - vb).abs() <= 1e-9 * scale,
+                "bucket {ta}: {va} vs {vb}");
+        }
+    }
+
+    /// Binary-search slice ≡ the linear filter it replaced, including
+    /// carried gap markers.
+    #[test]
+    fn slice_equals_linear_filter(
+        stamps in prop::collection::vec(0i64..10_000, 0..64),
+        gap_stamps in prop::collection::btree_set(0i64..10_000, 0..16),
+        from in 0i64..10_000,
+        to in 0i64..10_000,
+    ) {
+        let mut ts = TimeSeries::from_samples(
+            stamps.iter().map(|&s| Sample::new(SimInstant::from_secs(s), s as f64)).collect(),
+        );
+        for &g in &gap_stamps {
+            ts.push_gap(SimInstant::from_secs(g));
+        }
+        let (from, to) = (SimInstant::from_secs(from), SimInstant::from_secs(to));
+        let fast = ts.slice(from, to);
+        let expect_samples: Vec<(SimInstant, f64)> = ts
+            .iter()
+            .filter(|&(t, _)| t >= from && t < to)
+            .collect();
+        let expect_gaps: Vec<SimInstant> = ts
+            .gaps()
+            .iter()
+            .copied()
+            .filter(|&g| g >= from && g < to)
+            .collect();
+        prop_assert_eq!(fast.iter().collect::<Vec<_>>(), expect_samples);
+        prop_assert_eq!(fast.gaps().to_vec(), expect_gaps);
+    }
+
+    /// mean_between on the prefix view agrees with slicing then averaging.
+    #[test]
+    fn prefix_mean_between_matches_slice_mean(
+        stamps in prop::collection::btree_set(0i64..10_000, 1..64),
+        from in 0i64..10_000,
+        len in 1i64..10_000,
+    ) {
+        let ts: TimeSeries = stamps
+            .iter()
+            .map(|&s| (SimInstant::from_secs(s), (s % 977) as f64))
+            .collect();
+        let (from, to) = (SimInstant::from_secs(from), SimInstant::from_secs(from + len));
+        let view = ts.prefix_sums();
+        let fast = view.mean_between(from, to);
+        let slow = ts.slice(from, to).mean().ok();
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                prop_assert!((a - b).abs() <= 1e-9 * scale, "{a} vs {b}");
+            }
+            other => prop_assert!(false, "disagree on emptiness: {other:?}"),
+        }
+    }
     /// The median lies between the minimum and maximum of the data.
     #[test]
     fn median_is_bounded(values in finite_values(64)) {
