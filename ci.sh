@@ -20,7 +20,12 @@ echo "==> telemetry smoke"
 cargo run -q -p fj-bench --bin telemetry_smoke
 
 echo "==> fleet throughput smoke (asserts shard-count determinism)"
-cargo run -q --release -p fj-bench --bin bench_fleet -- --smoke --json
+cargo run -q --release -p fj-bench --bin bench_fleet -- --smoke --json \
+    --out target/telemetry/BENCH_fleet.json \
+    --trace target/telemetry/trace-fleet.json
+
+echo "==> perf gate (fresh smoke sweep vs committed BENCH_fleet.json)"
+cargo run -q --release -p fj-bench --bin bench_compare
 
 if [[ "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> chaos soak (full)"

@@ -1,0 +1,200 @@
+//! Perf-regression gate: diff a fresh `--smoke` fleet sweep against the
+//! committed `BENCH_fleet.json` baseline.
+//!
+//! Re-runs the smoke sweep (best-of-N to shave scheduler noise), matches
+//! its cells against the baseline on `(fleet, routers, days, shards)`,
+//! and fails when throughput fell below the tolerance floor. The floor
+//! is noise-calibrated: the spread between the N fresh runs loosens it,
+//! so a machine where back-to-back runs already differ by 30% does not
+//! flag a 30% "regression" — but the floor never drops below 5% of
+//! baseline, so a real order-of-magnitude slowdown always fails.
+//!
+//! Flags:
+//!
+//! * `--baseline PATH` — baseline report (default: `BENCH_fleet.json`
+//!   at the repository root);
+//! * `--tolerance F` — base floor as a fraction of baseline throughput
+//!   (default 0.5: fail below half the baseline rate);
+//! * `--runs N` — fresh smoke sweeps to take the best of (default 2).
+//!
+//! Exit codes: 0 pass, 1 perf regression, 2 usage / unreadable baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fj_bench::fleetbench::{compare, run_sweep, Report};
+use fj_bench::table::{fmt, TablePrinter};
+
+struct Args {
+    baseline: PathBuf,
+    tolerance: f64,
+    runs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: repo_root().join("BENCH_fleet.json"),
+        tolerance: 0.5,
+        runs: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline = PathBuf::from(p),
+                None => return Err("--baseline needs a path".to_owned()),
+            },
+            "--tolerance" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f > 0.0 && f <= 1.0 => args.tolerance = f,
+                _ => return Err("--tolerance needs a fraction in (0, 1]".to_owned()),
+            },
+            "--runs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => args.runs = n,
+                _ => return Err("--runs needs a positive integer".to_owned()),
+            },
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (known: --baseline PATH --tolerance F --runs N)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn load_baseline(path: &Path) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {} failed: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {} failed: {e}", path.display()))
+}
+
+/// Best-of-N merge: for each cell keep the highest observed throughput
+/// (the least-disturbed run), and report the worst relative spread seen
+/// across any cell — the machine's own noise level this invocation.
+fn best_of(reports: &[Report]) -> (Report, f64) {
+    let mut best = reports[0].clone();
+    let mut spread = 0.0f64;
+    for fresh in &reports[1..] {
+        for cfg in &fresh.sweep {
+            let Some(best_cfg) = best
+                .sweep
+                .iter_mut()
+                .find(|c| c.fleet == cfg.fleet && c.routers == cfg.routers && c.days == cfg.days)
+            else {
+                continue;
+            };
+            for run in &cfg.runs {
+                let Some(best_run) = best_cfg.runs.iter_mut().find(|r| r.shards == run.shards)
+                else {
+                    continue;
+                };
+                let (lo, hi) = (
+                    best_run
+                        .router_rounds_per_sec
+                        .min(run.router_rounds_per_sec),
+                    best_run
+                        .router_rounds_per_sec
+                        .max(run.router_rounds_per_sec),
+                );
+                if hi > 0.0 {
+                    spread = spread.max(1.0 - lo / hi);
+                }
+                if run.router_rounds_per_sec > best_run.router_rounds_per_sec {
+                    *best_run = run.clone();
+                }
+            }
+        }
+    }
+    (best, spread)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(&args.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("==============================================================");
+    println!("bench_compare — perf gate vs {}", args.baseline.display());
+    println!(
+        "{} fresh smoke run(s), base tolerance {:.0}% of baseline",
+        args.runs,
+        args.tolerance * 100.0
+    );
+    println!("==============================================================");
+
+    let mut fresh_runs = Vec::with_capacity(args.runs);
+    for _ in 0..args.runs {
+        match run_sweep(true, false) {
+            Ok(r) => fresh_runs.push(r),
+            Err(e) => {
+                eprintln!("bench_compare: fresh sweep failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (fresh, spread) = best_of(&fresh_runs);
+
+    // Noise calibration: if back-to-back fresh runs already spread by
+    // s, loosen the floor by the same factor — but never below 5% of
+    // baseline, so a genuine order-of-magnitude slowdown always fails.
+    let floor = (args.tolerance * (1.0 - spread)).max(0.05);
+    println!(
+        "observed run-to-run spread {:.1}% → effective floor {:.0}% of baseline\n",
+        spread * 100.0,
+        floor * 100.0
+    );
+
+    let cells = compare(&baseline, &fresh, floor);
+    if cells.is_empty() {
+        eprintln!(
+            "bench_compare: no cells of {} match the fresh smoke sweep; \
+             regenerate the baseline with `bench_fleet --smoke --json`",
+            args.baseline.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let t = TablePrinter::new(&[10, 8, 14, 14, 8, 8]);
+    t.header(&["fleet", "shards", "base rps", "fresh rps", "ratio", "gate"]);
+    let mut regressed = 0usize;
+    for c in &cells {
+        t.row(&[
+            c.fleet.clone(),
+            format!("{}", c.shards),
+            fmt(c.baseline_rate, 0),
+            fmt(c.fresh_rate, 0),
+            format!("{:.2}", c.ratio),
+            if c.regressed { "FAIL" } else { "ok" }.to_owned(),
+        ]);
+        regressed += usize::from(c.regressed);
+    }
+
+    if regressed > 0 {
+        eprintln!(
+            "\nbench_compare: {regressed} of {} cell(s) regressed below {:.0}% of baseline",
+            cells.len(),
+            floor * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nall {} cell(s) within tolerance — perf gate passes",
+        cells.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}

@@ -5,101 +5,96 @@
 //! speedup over the single-shard run. Every parallel trace is compared
 //! against the sequential one — the determinism contract means the
 //! numbers may *only* differ in wall-clock time, and this bench asserts
-//! it on every cell.
+//! it on every cell. The sweep itself lives in
+//! [`fj_bench::fleetbench`], shared with the `bench_compare` perf gate.
 //!
 //! Flags (hand-rolled, no CLI dependency):
 //!
 //! * `--smoke` — one tiny configuration at 1/2 shards, for CI;
-//! * `--json`  — also write `BENCH_fleet.json` at the repository root.
+//! * `--json` — also write the report JSON (see `--out`);
+//! * `--out PATH` — where `--json` writes (default: `BENCH_fleet.json`
+//!   at the repository root, the committed baseline the perf gate
+//!   diffs against);
+//! * `--trace PATH` — run one extra 4-shard traced smoke collection and
+//!   write its Perfetto `trace_event` JSON to PATH, printing the
+//!   self-time profile table.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fj_bench::table::*;
+use fj_bench::fleetbench::run_sweep;
 use fj_bench::EXPERIMENT_SEED;
 use fj_faults::FaultPlan;
 use fj_isp::trace::collect_sharded;
-use fj_isp::{build_fleet, FleetConfig, FleetTrace};
-use fj_telemetry::{Telemetry, WallEpoch};
+use fj_isp::{build_fleet, FleetConfig};
+use fj_telemetry::Telemetry;
 use fj_units::{SimDuration, SimInstant};
-use serde::Serialize;
-
-/// The `BENCH_fleet.json` document.
-#[derive(Serialize)]
-struct Report {
-    bench: &'static str,
-    seed: u64,
-    cores: usize,
-    smoke: bool,
-    sweep: Vec<ConfigReport>,
-}
-
-/// One sweep cell's results across shard counts.
-#[derive(Serialize)]
-struct ConfigReport {
-    fleet: &'static str,
-    routers: usize,
-    days: u64,
-    runs: Vec<RunReport>,
-}
-
-/// One timed run.
-#[derive(Serialize)]
-struct RunReport {
-    shards: usize,
-    secs: f64,
-    rounds: usize,
-    router_rounds_per_sec: f64,
-    speedup: f64,
-    identical: bool,
-}
 
 struct Args {
     json: bool,
     smoke: bool,
+    out: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         smoke: false,
+        out: None,
+        trace: None,
     };
-    for a in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => args.json = true,
             "--smoke" => args.smoke = true,
-            other => return Err(format!("unknown flag {other} (known: --json --smoke)")),
+            "--out" => match it.next() {
+                Some(p) => args.out = Some(PathBuf::from(p)),
+                None => return Err("--out needs a path".to_owned()),
+            },
+            "--trace" => match it.next() {
+                Some(p) => args.trace = Some(PathBuf::from(p)),
+                None => return Err("--trace needs a path".to_owned()),
+            },
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (known: --json --smoke --out PATH --trace PATH)"
+                ))
+            }
         }
     }
     Ok(args)
 }
 
-/// One sweep cell: a fleet size and a horizon.
-struct Config {
-    label: &'static str,
-    fleet: FleetConfig,
-    days: u64,
-}
-
-/// One timed run: a fresh fleet and a private telemetry bundle, so
-/// repeated runs never share counter state.
-fn run_once(cfg: &Config, shards: usize) -> (FleetTrace, f64) {
-    let mut fleet = build_fleet(&cfg.fleet);
+/// One instrumented 4-shard smoke collection with the causal tracer on,
+/// exported as Chrome `trace_event` JSON plus a printed self-time
+/// profile.
+fn write_trace(path: &Path) -> Result<(), String> {
+    let mut fleet = build_fleet(&FleetConfig::small(EXPERIMENT_SEED));
     let telemetry = Telemetry::with_capacity(1 << 10);
-    let epoch = WallEpoch::now();
-    let trace = collect_sharded(
+    collect_sharded(
         &mut fleet,
         SimInstant::EPOCH,
-        SimInstant::from_days(cfg.days as i64),
+        SimInstant::from_days(2),
         SimDuration::from_mins(5),
         vec![],
-        &[],
+        &[0, 3],
         &FaultPlan::clean(),
         &telemetry,
-        shards,
+        4,
     )
-    .expect("collection succeeds");
-    (trace, epoch.elapsed().as_secs_f64())
+    .map_err(|e| format!("traced collection failed: {e}"))?;
+    println!("\n--- self-time profile (4-shard traced smoke run) ---");
+    print!("{}", telemetry.tracer().render_profile());
+    telemetry
+        .write_trace(path)
+        .map_err(|e| format!("writing {} failed: {e}", path.display()))?;
+    println!(
+        "trace: {} (load in Perfetto / chrome://tracing)",
+        path.display()
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -111,33 +106,6 @@ fn main() -> ExitCode {
         }
     };
 
-    let (configs, shard_counts): (Vec<Config>, &[usize]) = if args.smoke {
-        (
-            vec![Config {
-                label: "small",
-                fleet: FleetConfig::small(EXPERIMENT_SEED),
-                days: 2,
-            }],
-            &[1, 2],
-        )
-    } else {
-        (
-            vec![
-                Config {
-                    label: "small",
-                    fleet: FleetConfig::small(EXPERIMENT_SEED),
-                    days: 28,
-                },
-                Config {
-                    label: "switch",
-                    fleet: FleetConfig::switch_like(EXPERIMENT_SEED),
-                    days: 28,
-                },
-            ],
-            &[1, 2, 4, 8],
-        )
-    };
-
     println!("==============================================================");
     println!("bench_fleet — sharded collection throughput");
     println!(
@@ -146,84 +114,42 @@ fn main() -> ExitCode {
     );
     println!("==============================================================");
 
-    let t = TablePrinter::new(&[10, 9, 7, 8, 10, 14, 9]);
-    t.header(&[
-        "fleet",
-        "routers",
-        "days",
-        "shards",
-        "secs",
-        "rounds/sec",
-        "speedup",
-    ]);
-
-    let mut report = Vec::new();
-    for cfg in &configs {
-        let routers = cfg.fleet.router_count();
-        let mut baseline: Option<(FleetTrace, f64)> = None;
-        let mut cells = Vec::new();
-        for &shards in shard_counts {
-            let (trace, secs) = run_once(cfg, shards);
-            let rounds = trace.total_wall.len();
-            let router_rounds = (rounds * routers) as f64;
-            let (speedup, identical) = match &baseline {
-                None => (1.0, true),
-                Some((seq, seq_secs)) => {
-                    assert_eq!(
-                        seq, &trace,
-                        "{}-shard trace diverged from sequential ({} × {}d)",
-                        shards, cfg.label, cfg.days
-                    );
-                    (seq_secs / secs, true)
-                }
-            };
-            t.row(&[
-                cfg.label.to_owned(),
-                format!("{routers}"),
-                format!("{}", cfg.days),
-                format!("{shards}"),
-                fmt(secs, 3),
-                fmt(router_rounds / secs, 0),
-                format!("{speedup:.2}x"),
-            ]);
-            cells.push(RunReport {
-                shards,
-                secs,
-                rounds,
-                router_rounds_per_sec: router_rounds / secs,
-                speedup,
-                identical,
-            });
-            if baseline.is_none() {
-                baseline = Some((trace, secs));
-            }
+    let report = match run_sweep(args.smoke, true) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_fleet: sweep failed: {e}");
+            return ExitCode::FAILURE;
         }
-        report.push(ConfigReport {
-            fleet: cfg.label,
-            routers,
-            days: cfg.days,
-            runs: cells,
-        });
-    }
+    };
 
     println!("\nall parallel traces bit-identical to sequential — determinism holds");
 
     if args.json {
-        let path = repo_root().join("BENCH_fleet.json");
-        let doc = Report {
-            bench: "bench_fleet",
-            seed: EXPERIMENT_SEED,
-            cores: fj_par::available_shards(),
-            smoke: args.smoke,
-            sweep: report,
-        };
-        let body = serde_json::to_string_pretty(&doc).expect("report serialises");
+        let path = args
+            .out
+            .unwrap_or_else(|| repo_root().join("BENCH_fleet.json"));
+        let body = serde_json::to_string_pretty(&report).expect("report serialises");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("bench_fleet: creating {} failed: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         match std::fs::write(&path, body + "\n") {
             Ok(()) => println!("report: {}", path.display()),
             Err(e) => {
                 eprintln!("bench_fleet: writing {} failed: {e}", path.display());
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    if let Some(trace_path) = &args.trace {
+        if let Err(e) = write_trace(trace_path) {
+            eprintln!("bench_fleet: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -1,0 +1,336 @@
+//! Shared fleet-bench harness: the shard-count sweep behind
+//! `bench_fleet`, the `BENCH_fleet.json` report shape, and the
+//! baseline diff behind `bench_compare` (the CI perf-regression gate).
+//!
+//! The sweep times [`fj_isp::trace::collect_sharded`] over a
+//! routers × horizon grid, reporting router-rounds per second and the
+//! speedup over the single-shard run, and asserts on every cell that the
+//! parallel trace is bit-identical to the sequential one (the
+//! determinism contract: numbers may only differ in wall-clock time).
+
+use fj_faults::FaultPlan;
+use fj_isp::trace::collect_sharded;
+use fj_isp::{build_fleet, FleetConfig, FleetTrace};
+use fj_router_sim::SimError;
+use fj_telemetry::{Telemetry, WallEpoch};
+use fj_units::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+use crate::table::{fmt, TablePrinter};
+use crate::EXPERIMENT_SEED;
+
+/// The `BENCH_fleet.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Always `"bench_fleet"`.
+    pub bench: String,
+    /// Seed the swept fleets were built from.
+    pub seed: u64,
+    /// Cores available where the report was produced.
+    pub cores: usize,
+    /// Whether this was the `--smoke` sweep.
+    pub smoke: bool,
+    /// One entry per fleet × horizon cell.
+    pub sweep: Vec<ConfigReport>,
+}
+
+/// One sweep cell's results across shard counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigReport {
+    /// Fleet label (`small` / `switch`).
+    pub fleet: String,
+    /// Router count of the fleet.
+    pub routers: usize,
+    /// Horizon in days.
+    pub days: u64,
+    /// One entry per shard count.
+    pub runs: Vec<RunReport>,
+}
+
+/// One timed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Wall-clock seconds for the whole collection.
+    pub secs: f64,
+    /// Poll rounds simulated.
+    pub rounds: usize,
+    /// Throughput: router-rounds per wall second.
+    pub router_rounds_per_sec: f64,
+    /// Speedup over the single-shard run of the same cell.
+    pub speedup: f64,
+    /// Whether the trace matched the sequential baseline (always true —
+    /// a divergence aborts the sweep — but recorded for the artifact).
+    pub identical: bool,
+}
+
+/// One sweep cell: a fleet size and a horizon.
+struct Config {
+    label: &'static str,
+    fleet: FleetConfig,
+    days: u64,
+}
+
+fn sweep_grid(smoke: bool) -> (Vec<Config>, &'static [usize]) {
+    if smoke {
+        (
+            vec![Config {
+                label: "small",
+                fleet: FleetConfig::small(EXPERIMENT_SEED),
+                days: 2,
+            }],
+            &[1, 2],
+        )
+    } else {
+        (
+            vec![
+                Config {
+                    label: "small",
+                    fleet: FleetConfig::small(EXPERIMENT_SEED),
+                    days: 28,
+                },
+                Config {
+                    label: "switch",
+                    fleet: FleetConfig::switch_like(EXPERIMENT_SEED),
+                    days: 28,
+                },
+            ],
+            &[1, 2, 4, 8],
+        )
+    }
+}
+
+/// One timed run: a fresh fleet and a private telemetry bundle, so
+/// repeated runs never share counter state.
+fn run_once(cfg: &Config, shards: usize) -> Result<(FleetTrace, f64), SimError> {
+    let mut fleet = build_fleet(&cfg.fleet);
+    let telemetry = Telemetry::with_capacity(1 << 10);
+    let epoch = WallEpoch::now();
+    let trace = collect_sharded(
+        &mut fleet,
+        SimInstant::EPOCH,
+        SimInstant::from_days(cfg.days as i64),
+        SimDuration::from_mins(5),
+        vec![],
+        &[],
+        &FaultPlan::clean(),
+        &telemetry,
+        shards,
+    )?;
+    Ok((trace, epoch.elapsed().as_secs_f64()))
+}
+
+/// Runs the full sweep (or the `--smoke` subset), printing a table as it
+/// goes when `print` is set, and returns the report document.
+pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
+    let (configs, shard_counts) = sweep_grid(smoke);
+    let t = TablePrinter::new(&[10, 9, 7, 8, 10, 14, 9]);
+    if print {
+        t.header(&[
+            "fleet",
+            "routers",
+            "days",
+            "shards",
+            "secs",
+            "rounds/sec",
+            "speedup",
+        ]);
+    }
+
+    let mut sweep = Vec::new();
+    for cfg in &configs {
+        let routers = cfg.fleet.router_count();
+        let mut baseline: Option<(FleetTrace, f64)> = None;
+        let mut cells = Vec::new();
+        for &shards in shard_counts {
+            let (trace, secs) = run_once(cfg, shards)?;
+            let rounds = trace.total_wall.len();
+            let router_rounds = (rounds * routers) as f64;
+            let speedup = match &baseline {
+                None => 1.0,
+                Some((seq, seq_secs)) => {
+                    assert_eq!(
+                        seq, &trace,
+                        "{}-shard trace diverged from sequential ({} × {}d)",
+                        shards, cfg.label, cfg.days
+                    );
+                    seq_secs / secs
+                }
+            };
+            if print {
+                t.row(&[
+                    cfg.label.to_owned(),
+                    format!("{routers}"),
+                    format!("{}", cfg.days),
+                    format!("{shards}"),
+                    fmt(secs, 3),
+                    fmt(router_rounds / secs, 0),
+                    format!("{speedup:.2}x"),
+                ]);
+            }
+            cells.push(RunReport {
+                shards,
+                secs,
+                rounds,
+                router_rounds_per_sec: router_rounds / secs,
+                speedup,
+                identical: true,
+            });
+            if baseline.is_none() {
+                baseline = Some((trace, secs));
+            }
+        }
+        sweep.push(ConfigReport {
+            fleet: cfg.label.to_owned(),
+            routers,
+            days: cfg.days,
+            runs: cells,
+        });
+    }
+
+    Ok(Report {
+        bench: "bench_fleet".to_owned(),
+        seed: EXPERIMENT_SEED,
+        cores: fj_par::available_shards(),
+        smoke,
+        sweep,
+    })
+}
+
+/// One cell of a baseline-vs-fresh throughput diff.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellComparison {
+    /// Fleet label of the matched cell.
+    pub fleet: String,
+    /// Router count of the matched cell.
+    pub routers: usize,
+    /// Horizon in days of the matched cell.
+    pub days: u64,
+    /// Shard count of the matched cell.
+    pub shards: usize,
+    /// Baseline throughput (router-rounds per second).
+    pub baseline_rate: f64,
+    /// Freshly measured throughput.
+    pub fresh_rate: f64,
+    /// `fresh / baseline` — below 1.0 means slower than baseline.
+    pub ratio: f64,
+    /// Whether `ratio` fell below the floor: a perf regression.
+    pub regressed: bool,
+}
+
+/// Diffs a fresh report against a committed baseline: every fresh cell
+/// that also exists in the baseline — matched on
+/// `(fleet, routers, days, shards)` — is compared on throughput, and
+/// flagged as regressed when `fresh < floor × baseline`. Cells present
+/// in only one report are skipped (the gate compares like with like, so
+/// a baseline recorded by the full sweep still gates a `--smoke` run's
+/// overlapping cells — and vice versa, where the overlap is empty, the
+/// returned list is too, which callers must treat as "gate did not
+/// run", not as a pass).
+pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellComparison> {
+    let mut out = Vec::new();
+    for fresh_cfg in &fresh.sweep {
+        let Some(base_cfg) = baseline.sweep.iter().find(|c| {
+            c.fleet == fresh_cfg.fleet && c.routers == fresh_cfg.routers && c.days == fresh_cfg.days
+        }) else {
+            continue;
+        };
+        for fresh_run in &fresh_cfg.runs {
+            let Some(base_run) = base_cfg.runs.iter().find(|r| r.shards == fresh_run.shards) else {
+                continue;
+            };
+            let (base_rate, fresh_rate) = (
+                base_run.router_rounds_per_sec,
+                fresh_run.router_rounds_per_sec,
+            );
+            let ratio = if base_rate > 0.0 {
+                fresh_rate / base_rate
+            } else {
+                1.0
+            };
+            out.push(CellComparison {
+                fleet: fresh_cfg.fleet.clone(),
+                routers: fresh_cfg.routers,
+                days: fresh_cfg.days,
+                shards: fresh_run.shards,
+                baseline_rate: base_rate,
+                fresh_rate,
+                ratio,
+                regressed: ratio < floor,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rates: &[(usize, f64)]) -> Report {
+        Report {
+            bench: "bench_fleet".to_owned(),
+            seed: EXPERIMENT_SEED,
+            cores: 4,
+            smoke: true,
+            sweep: vec![ConfigReport {
+                fleet: "small".to_owned(),
+                routers: 17,
+                days: 2,
+                runs: rates
+                    .iter()
+                    .map(|&(shards, rate)| RunReport {
+                        shards,
+                        secs: 1.0,
+                        rounds: 100,
+                        router_rounds_per_sec: rate,
+                        speedup: 1.0,
+                        identical: true,
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let doc = report(&[(1, 1000.0), (2, 1800.0)]);
+        let text = serde_json::to_string_pretty(&doc).expect("serialises");
+        let back: Report = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back.sweep.len(), 1);
+        assert_eq!(back.sweep[0].fleet, "small");
+        assert_eq!(back.sweep[0].runs[1].shards, 2);
+        assert!((back.sweep[0].runs[1].router_rounds_per_sec - 1800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_flags_only_cells_below_the_floor() {
+        let baseline = report(&[(1, 1000.0), (2, 2000.0)]);
+        let fresh = report(&[(1, 900.0), (2, 400.0)]);
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert_eq!(cells.len(), 2);
+        assert!(!cells[0].regressed, "0.9 of baseline clears a 0.5 floor");
+        assert!(cells[1].regressed, "0.2 of baseline violates a 0.5 floor");
+        assert!((cells[1].ratio - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_skips_unmatched_cells() {
+        let baseline = report(&[(1, 1000.0)]);
+        let fresh = report(&[(1, 1000.0), (8, 5000.0)]);
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert_eq!(cells.len(), 1, "8-shard cell has no baseline to gate on");
+        assert_eq!(cells[0].shards, 1);
+    }
+
+    #[test]
+    fn smoke_sweep_produces_the_expected_grid() {
+        let doc = run_sweep(true, false).expect("smoke sweep runs");
+        assert!(doc.smoke);
+        assert_eq!(doc.sweep.len(), 1);
+        let shards: Vec<usize> = doc.sweep[0].runs.iter().map(|r| r.shards).collect();
+        assert_eq!(shards, [1, 2]);
+        assert!(doc.sweep[0].runs.iter().all(|r| r.identical));
+    }
+}

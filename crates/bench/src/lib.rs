@@ -12,6 +12,7 @@
 //! ```
 
 pub mod derive_report;
+pub mod fleetbench;
 pub mod paper;
 pub mod table;
 
@@ -75,6 +76,9 @@ pub fn banner(id: &str, title: &str) -> ExperimentRun {
     println!("==============================================================");
     let telemetry = Arc::clone(fj_telemetry::global());
     telemetry.events().set_stderr_echo(Some(Level::Info));
+    // Crash context for free: the first health-ladder departure or shard
+    // panic in this run dumps spans + events + joins under telemetry_dir.
+    telemetry.arm_flight_recorder(id, telemetry_dir());
     ExperimentRun { telemetry }
 }
 
@@ -122,6 +126,9 @@ impl Drop for ExperimentRun {
         match self.telemetry.write_snapshot(&path) {
             Ok(()) => println!("telemetry snapshot: {}", path.display()),
             Err(e) => eprintln!("telemetry snapshot failed: {e}"),
+        }
+        if let Some(dump) = self.telemetry.flight_recorder_path() {
+            println!("flight recorder dump: {}", dump.display());
         }
     }
 }

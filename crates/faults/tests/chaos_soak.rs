@@ -318,6 +318,14 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
     // 4 quarantine it. Backoff windows are waited out (suppressed polls
     // do not advance the ladder).
     poller.set_health_thresholds(2, 4, Duration::from_millis(50));
+    // Arm the flight recorder: the first transition away from Healthy
+    // below must dump the recent span+event rings.
+    let flightrec_dir = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/telemetry/chaos-flightrec"
+    );
+    let _ = std::fs::remove_dir_all(flightrec_dir);
+    telemetry.arm_flight_recorder("chaos-soak", flightrec_dir);
     let dead: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
     poller.timeout = Duration::from_millis(5);
     poller.retries = 1;
@@ -350,6 +358,30 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
             .counter("snmp_health_transitions_total", &[("to", "quarantined")])
             .get()
             >= 1
+    );
+
+    // The first rung down (healthy → degraded) tripped the armed flight
+    // recorder exactly once; the dump is on disk and parses.
+    let dump_path = telemetry
+        .flight_recorder_path()
+        .expect("leaving Healthy trips the flight recorder");
+    assert_eq!(registry.counter_total("flightrec_dumps_total"), 1);
+    let dump_raw = std::fs::read_to_string(&dump_path).expect("dump readable");
+    let dump: serde::Value = serde_json::from_str(&dump_raw).expect("dump is valid JSON");
+    let dump_doc = dump.as_map().expect("dump is a JSON object");
+    let header = serde::field(dump_doc, "flightrec")
+        .as_map()
+        .expect("dump header");
+    assert_eq!(
+        serde::field(header, "reason").as_str(),
+        Some("snmp target health ladder left healthy")
+    );
+    assert!(
+        !serde::field(dump_doc, "spans")
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "dump captured the poll spans leading up to the failure"
     );
 
     // --- The snapshot the CI smoke step parses. ---

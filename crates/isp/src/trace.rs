@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use fj_faults::{FaultPlan, HealthState, TargetHealth};
 use fj_router_sim::SimError;
-use fj_telemetry::{Level, SpanTimer, Telemetry};
+use fj_telemetry::{Level, SpanBuffer, SpanTimer, StageSpan, Telemetry, WallEpoch};
 use fj_traffic::PacketProfile;
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
@@ -225,11 +225,21 @@ struct RoundRecord {
     transition: Option<(HealthState, HealthState)>,
 }
 
+/// Bound on each worker's span buffer: the newest ~1 300 rounds of a
+/// router's stage spans survive to the merge; older ones are evicted and
+/// *counted* (`spans_dropped_total`), with their wall time still folded
+/// into the per-stage profile totals.
+const SPAN_BUFFER_CAPACITY: usize = 4096;
+
 /// A shard worker's output for one router: the per-router trace plus the
 /// per-round records the merge replays in fleet order.
 struct RouterRun {
     trace: RouterTrace,
     rounds: Vec<RoundRecord>,
+    /// Stage spans recorded by the worker, keyed by round, adopted into
+    /// the causal trace in the same `(round, router-index)` merge order
+    /// as the records above.
+    spans: SpanBuffer,
 }
 
 /// Read-only inputs shared by every shard worker.
@@ -242,6 +252,9 @@ struct RunContext<'a> {
     events: &'a [ScheduledEvent],
     instrumented: &'a [usize],
     poll_faults: &'a FaultPlan,
+    /// The trace sink's wall-clock epoch, so worker span stamps and
+    /// merge span stamps share one time base.
+    epoch: WallEpoch,
 }
 
 /// Simulates one router over the whole horizon: fires its events, polls
@@ -274,6 +287,7 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
             ..Default::default()
         },
         rounds: Vec::new(),
+        spans: SpanBuffer::new(SPAN_BUFFER_CAPACITY),
     };
 
     // Prime predictor counters so the first recorded sample has a delta.
@@ -292,6 +306,10 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
         let rt = &mut run.trace;
         let wall = router.sim.wall_power().as_f64();
 
+        // The poll span covers the PSU sensor read plus the fault draw —
+        // the simulated counterpart of the poller's round trip. It is
+        // recorded only for reporting models (others never poll).
+        let poll_span = StageSpan::begin("snmp_poll", t, &ctx.epoch);
         let mut reported = 0.0;
         let mut reports = false;
         for slot in 0..router.sim.psu_count() {
@@ -323,7 +341,11 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
         } else {
             SnmpPoll::NonReporting
         };
+        if reports {
+            run.spans.push(poll_index, poll_span.finish(t, &ctx.epoch));
+        }
 
+        let frame_span = StageSpan::begin("autopower_frame", t, &ctx.epoch);
         let wall_read = if instrumented {
             if ctx.poll_faults.should_drop(&wall_stream, poll_index) {
                 rt.wall.push_gap(t);
@@ -335,6 +357,9 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
         } else {
             WallRead::NotInstrumented
         };
+        if instrumented {
+            run.spans.push(poll_index, frame_span.finish(t, &ctx.epoch));
+        }
 
         // One pattern evaluation feeds both the router's own traffic
         // series (full rate) and its share of the fleet total (internal
@@ -348,9 +373,12 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
         }
         rt.traffic.push(t, traffic);
 
+        let predict_span = StageSpan::begin("predict", t, &ctx.epoch);
         if let Some(p) = predictor.predict_router(index, router, ctx.step) {
             rt.predicted.push(t, p.as_f64());
         }
+        run.spans
+            .push(poll_index, predict_span.finish(t, &ctx.epoch));
 
         run.rounds.push(RoundRecord {
             wall,
@@ -360,7 +388,10 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
             transition,
         });
 
+        let step_span = StageSpan::begin("router_step", t, &ctx.epoch);
         router.step(t, ctx.packets, ctx.step)?;
+        run.spans
+            .push(poll_index, step_span.finish(t + ctx.step, &ctx.epoch));
         t += ctx.step;
         poll_index += 1;
     }
@@ -408,6 +439,9 @@ pub fn collect_sharded(
 
     // Phase 1: simulate. Workers own disjoint router chunks; every other
     // input is shared read-only.
+    let tracer = telemetry.tracer();
+    let root_span = tracer.begin_span("fleet_collect", None, start);
+    let sim_span = tracer.begin_span("fleet_simulate", Some(root_span), start);
     let Fleet {
         routers, packets, ..
     } = fleet;
@@ -419,13 +453,31 @@ pub fn collect_sharded(
         events: &events,
         instrumented,
         poll_faults,
+        epoch: tracer.epoch(),
     };
     let results: Vec<RouterRunResult> =
-        fj_par::shard_map_mut(routers, shards, |i, router| run_router(&ctx, i, router));
+        match fj_par::try_shard_map_mut(routers, shards, |i, router| run_router(&ctx, i, router)) {
+            Ok(results) => results,
+            Err(p) => {
+                // Crash context first, then the panic proceeds exactly as
+                // a sequential run's would.
+                let _ = telemetry.trip_flight_recorder(
+                    "shard worker panicked",
+                    &[("shard", p.shard.to_string())],
+                );
+                p.resume();
+            }
+        };
+    tracer.end_span(sim_span, end);
     let mut runs = Vec::with_capacity(router_count);
     for r in results {
         // First error in fleet order, matching the sequential loop.
         runs.push(r?);
+    }
+    // Fold each worker's complete stage totals (and span-drop counts)
+    // into the sink before replay, in fleet order.
+    for run in &runs {
+        tracer.absorb_worker(Some(sim_span), &run.spans);
     }
 
     // Phase 2: deterministic merge. Metric handles resolved once; the
@@ -458,6 +510,7 @@ pub fn collect_sharded(
     }
     debug_assert!(runs.iter().all(|r| r.rounds.len() == rounds));
 
+    let merge_span = tracer.begin_span("fleet_merge", Some(root_span), start);
     let mut t = start + step;
     for round in 0..rounds {
         // Stamp the sim clock first: every event emitted this round —
@@ -471,9 +524,18 @@ pub fn collect_sharded(
         let mut total_reported = 0.0;
         let mut total_traffic = 0.0;
         let mut reported_unknown = false;
-        for (i, run) in runs.iter().enumerate() {
-            let rec = &run.rounds[round];
+        for (i, run) in runs.iter_mut().enumerate() {
+            let rec = run.rounds[round];
             let name = &run.trace.name;
+            // Adopt this router's worker spans for the round *before*
+            // emitting its telemetry: sequential ids in strict
+            // `(round, router-index)` order — the trace stream is
+            // bit-identical at any shard count — and fault cause events
+            // always land after the span they join to.
+            let lane = u32::try_from(i + 1).unwrap_or(u32::MAX);
+            for span_rec in run.spans.drain_through(round as u64) {
+                tracer.adopt(Some(sim_span), lane, span_rec, Some(name));
+            }
             total_wall += rec.wall;
             total_traffic += rec.traffic_contrib;
 
@@ -521,6 +583,15 @@ pub fn collect_sharded(
                                 ("to", after.label().to_owned()),
                             ],
                         );
+                        if before == HealthState::Healthy {
+                            // Leaving Healthy is the dump trigger: the
+                            // recorder (if armed) captures the recent
+                            // span+event rings at the first failure.
+                            let _ = telemetry.trip_flight_recorder(
+                                "router health ladder left healthy",
+                                &[("router", name.clone()), ("to", after.label().to_owned())],
+                            );
+                        }
                     }
                 }
                 SnmpPoll::NonReporting => total_reported += rec.wall,
@@ -559,6 +630,8 @@ pub fn collect_sharded(
         round_span.finish();
         t += step;
     }
+    tracer.end_span(merge_span, end);
+    tracer.end_span(root_span, end);
 
     trace.routers = runs.into_iter().map(|r| r.trace).collect();
     Ok(trace)

@@ -75,6 +75,32 @@ fn stable_prometheus(t: &Telemetry) -> String {
         .join("\n")
 }
 
+/// The causal span stream projected onto its deterministic content. Wall
+/// stamps are the sanctioned nondeterminism (they measure real elapsed
+/// time); everything else — sequential ids, parents, names, lanes, sim
+/// stamps, fields, drop counts — must be bit-identical per shard count.
+fn stable_spans(t: &Telemetry) -> Vec<String> {
+    let mut out: Vec<String> = t
+        .tracer()
+        .spans()
+        .iter()
+        .map(|s| {
+            format!(
+                "{} parent={} name={} lane={} sim={}..{} fields={:?}",
+                s.id,
+                s.parent,
+                s.name,
+                s.lane,
+                s.sim_start.as_secs(),
+                s.sim_end.as_secs(),
+                s.fields
+            )
+        })
+        .collect();
+    out.push(format!("dropped={}", t.tracer().dropped()));
+    out
+}
+
 #[test]
 fn shard_count_never_changes_results() {
     let (seq_trace, seq_tel) = run(1);
@@ -86,6 +112,11 @@ fn shard_count_never_changes_results() {
         "fleet total had unknowable rounds"
     );
     assert!(!seq_tel.events().events().is_empty(), "events were emitted");
+
+    assert!(
+        !seq_tel.tracer().spans().is_empty(),
+        "causal spans were recorded"
+    );
 
     for shards in [2, 3, 4, 8] {
         let (par_trace, par_tel) = run(shards);
@@ -103,12 +134,18 @@ fn shard_count_never_changes_results() {
             stable_prometheus(&par_tel),
             "{shards}-shard metric snapshot diverged from sequential"
         );
+        assert_eq!(
+            stable_spans(&seq_tel),
+            stable_spans(&par_tel),
+            "{shards}-shard span stream diverged from sequential"
+        );
     }
 }
 
 #[test]
 fn shard_count_beyond_fleet_size_is_fine() {
-    let (seq_trace, _) = run(1);
-    let (par_trace, _) = run(1024);
+    let (seq_trace, seq_tel) = run(1);
+    let (par_trace, par_tel) = run(1024);
     assert_eq!(seq_trace, par_trace);
+    assert_eq!(stable_spans(&seq_tel), stable_spans(&par_tel));
 }

@@ -1,5 +1,6 @@
-//! FJ04 — telemetry contract: metric names follow the convention and the
-//! DESIGN.md catalogue is complete in both directions.
+//! FJ04 — telemetry contract: metric and span names follow the
+//! convention and the DESIGN.md catalogues are complete in both
+//! directions.
 //!
 //! The observability layer (PR 2) is only trustworthy if a reader can go
 //! from a dashboard name to its documented meaning and back. This rule
@@ -7,7 +8,10 @@
 //! `gauge` / `histogram` in library code, checks the naming convention
 //! (snake_case; counters end `_total`, duration histograms `_seconds`),
 //! and cross-checks the set against the table in DESIGN.md's
-//! "Metric catalogue" section.
+//! "Metric catalogue" section. Causal trace spans carry the same
+//! contract: every literal name passed to `TraceSink::begin_span` or
+//! `StageSpan::begin` must be snake_case and listed in DESIGN.md's
+//! "Span catalogue" section, and vice versa.
 
 use super::{find_all, FileCtx};
 use crate::findings::Finding;
@@ -31,6 +35,10 @@ const KINDS: &[(&str, &str)] = &[
     (".counter(", "counter"),
     (".gauge(", "gauge"),
     (".histogram(", "histogram"),
+    // Causal trace spans: merge-side sink spans and worker-side stage
+    // spans share one catalogued namespace.
+    (".begin_span(", "span"),
+    ("StageSpan::begin(", "span"),
 ];
 
 /// Per-file half: naming-convention findings. Use [`collect`] for the
@@ -48,12 +56,13 @@ pub fn check_names(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             problems.push("duration histogram must end `_seconds`".to_owned());
         }
         for problem in problems {
+            let noun = if reg.kind == "span" { "span" } else { "metric" };
             out.push(Finding {
                 rule: "FJ04",
                 file: reg.file.clone(),
                 line: reg.line,
                 col: 1,
-                message: format!("metric `{}` ({}): {problem}", reg.name, reg.kind),
+                message: format!("{noun} `{}` ({}): {problem}", reg.name, reg.kind),
             });
         }
     }
@@ -96,44 +105,55 @@ pub fn collect(ctx: &FileCtx<'_>) -> Vec<Registration> {
     out
 }
 
-/// Cross-checks collected registrations against the DESIGN.md catalogue:
-/// code names missing from the catalogue, and catalogue names never
-/// registered anywhere in the tree (the caller supplies `all_source`, a
-/// concatenation of every non-vendor file, so names used only from tests
-/// or experiment binaries still count as alive).
+/// Cross-checks collected registrations against the DESIGN.md
+/// catalogues — metrics against "Metric catalogue", spans against
+/// "Span catalogue" — in both directions: code names missing from the
+/// catalogue, and catalogue names never registered anywhere in the tree
+/// (the caller supplies `all_source`, a concatenation of every
+/// non-vendor file, so names used only from tests or experiment binaries
+/// still count as alive).
 pub fn check_catalogue(
     registrations: &[Registration],
     design: &str,
     all_source: &str,
     out: &mut Vec<Finding>,
 ) {
-    let catalogued = catalogue_names(design);
-    for reg in registrations {
-        if !catalogued.iter().any(|(n, _)| n == &reg.name) {
-            out.push(Finding {
-                rule: "FJ04",
-                file: reg.file.clone(),
-                line: reg.line,
-                col: 1,
-                message: format!(
-                    "metric `{}` is not in DESIGN.md's metric catalogue; document it",
-                    reg.name
-                ),
-            });
+    let halves = [
+        ("metric", "Metric catalogue", catalogue_names(design)),
+        ("span", "Span catalogue", span_catalogue_names(design)),
+    ];
+    for (noun, section, catalogued) in &halves {
+        let is_span = *noun == "span";
+        for reg in registrations
+            .iter()
+            .filter(|r| (r.kind == "span") == is_span)
+        {
+            if !catalogued.iter().any(|(n, _)| n == &reg.name) {
+                out.push(Finding {
+                    rule: "FJ04",
+                    file: reg.file.clone(),
+                    line: reg.line,
+                    col: 1,
+                    message: format!(
+                        "{noun} `{}` is not in DESIGN.md's {section}; document it",
+                        reg.name
+                    ),
+                });
+            }
         }
-    }
-    for (name, line) in &catalogued {
-        if !all_source.contains(&format!("\"{name}\"")) {
-            out.push(Finding {
-                rule: "FJ04",
-                file: "DESIGN.md".to_owned(),
-                line: *line,
-                col: 1,
-                message: format!(
-                    "catalogued metric `{name}` is registered nowhere in the tree; \
-                     remove it or restore the series"
-                ),
-            });
+        for (name, line) in catalogued {
+            if !all_source.contains(&format!("\"{name}\"")) {
+                out.push(Finding {
+                    rule: "FJ04",
+                    file: "DESIGN.md".to_owned(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "catalogued {noun} `{name}` is registered nowhere in the tree; \
+                         remove it or restore the series"
+                    ),
+                });
+            }
         }
     }
 }
@@ -142,11 +162,23 @@ pub fn check_catalogue(
 /// "Metric catalogue" section, with their line numbers. Label blocks
 /// (`{target}`) are stripped — the catalogue documents series names.
 pub fn catalogue_names(design: &str) -> Vec<(String, usize)> {
+    section_names(design, "Metric catalogue")
+}
+
+/// Parses the backticked span names out of DESIGN.md's "Span catalogue"
+/// section, with their line numbers.
+pub fn span_catalogue_names(design: &str) -> Vec<(String, usize)> {
+    section_names(design, "Span catalogue")
+}
+
+/// Backticked snake_case names inside the `###` section whose heading
+/// contains `section`.
+fn section_names(design: &str, section: &str) -> Vec<(String, usize)> {
     let mut out = Vec::new();
     let mut in_section = false;
     for (idx, line) in design.lines().enumerate() {
         if line.starts_with("###") {
-            in_section = line.contains("Metric catalogue");
+            in_section = line.contains(section);
             continue;
         }
         if !in_section {

@@ -108,9 +108,10 @@ pub fn catalogue() -> Vec<RuleMeta> {
         RuleMeta {
             id: "FJ04",
             name: "telemetry contract",
-            rationale: "every metric name registered in library code follows the naming \
-                        convention (snake_case; counters `_total`, duration histograms \
-                        `_seconds`) and appears in DESIGN.md's catalogue, and vice versa",
+            rationale: "every metric or span name registered in library code follows \
+                        the naming convention (snake_case; counters `_total`, duration \
+                        histograms `_seconds`) and appears in DESIGN.md's catalogue \
+                        (metric or span, by kind), and vice versa",
             applies_to: "lib",
         },
         RuleMeta {

@@ -189,6 +189,86 @@ fn fj04_catalogue_checks_both_directions() {
 }
 
 #[test]
+fn fj04_span_naming_fires_and_suppresses() {
+    let fired =
+        "fn go(t: &TraceSink, s: SimInstant) { let _id = t.begin_span(\"FleetMerge\", None, s); }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, fired);
+    assert_eq!(rules_of(&findings), ["FJ04"]);
+    assert!(
+        findings[0].message.contains("span `FleetMerge`"),
+        "message must name the span: {findings:?}"
+    );
+
+    // Spans carry no `_total` / `_seconds` suffix rule — a snake_case
+    // name is convention-clean.
+    let clean =
+        "fn go(t: &TraceSink, s: SimInstant) { let _id = t.begin_span(\"fleet_merge\", None, s); }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, clean);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+
+    let suppressed = "fn go(t: &TraceSink, s: SimInstant) {\n\
+         \x20   // fj-lint: allow(FJ04) — mirrors an upstream trace-viewer name\n\
+         \x20   let _id = t.begin_span(\"FleetMerge\", None, s);\n\
+         }\n";
+    let (findings, n) = lint(LIB, FileClass::Library, suppressed);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn fj04_span_catalogue_checks_both_directions() {
+    let ctx_src = "fn go(t: &TraceSink, e: &WallEpoch, s: SimInstant) {\n\
+         \x20   let _id = t.begin_span(\"fleet_merge\", None, s);\n\
+         \x20   let _sp = StageSpan::begin(\"router_step\", s, e);\n\
+         }\n";
+    let spans = lexer::lex(ctx_src);
+    let code = lexer::code_only(ctx_src, &spans);
+    let ctx = FileCtx {
+        rel: LIB,
+        class: FileClass::Library,
+        src: ctx_src,
+        spans: &spans,
+        code: &code,
+        test_regions: &[],
+    };
+    let regs = rules::fj04::collect(&ctx);
+    assert_eq!(regs.len(), 2, "both span forms collect: {regs:?}");
+    assert!(regs.iter().all(|r| r.kind == "span"));
+
+    // One registered span missing from the catalogue, one catalogued span
+    // registered nowhere — and the metric catalogue must NOT absorb span
+    // names (fleet_merge listed only under metrics still counts missing).
+    let design = "### Metric catalogue\n\n| `fleet_merge` | wrong section |\n\n\
+                  ### Span catalogue\n\n| `router_step` | one router-round |\n\
+                  | `ghost_span` | never registered |\n";
+    let mut out = Vec::new();
+    rules::fj04::check_catalogue(&regs, design, ctx_src, &mut out);
+    assert!(
+        out.iter()
+            .any(|f| f.file == LIB && f.message.contains("span `fleet_merge`")),
+        "span missing from span catalogue not flagged: {out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|f| f.file == "DESIGN.md" && f.message.contains("span `ghost_span`")),
+        "dead span catalogue row not flagged: {out:?}"
+    );
+    // Liveness is source-text based, so the misplaced metric row is not
+    // "dead" — and router_step, catalogued and registered, must be clean.
+    assert!(
+        !out.iter().any(|f| f.message.contains("router_step")),
+        "router_step is catalogued and registered: {out:?}"
+    );
+
+    // A design listing both spans in the span catalogue is clean.
+    let design = "### Span catalogue\n\n| `fleet_merge` | merge phase |\n\
+                  | `router_step` | one router-round |\n";
+    let mut out = Vec::new();
+    rules::fj04::check_catalogue(&regs, design, ctx_src, &mut out);
+    assert!(out.is_empty(), "unexpected: {out:?}");
+}
+
+#[test]
 fn fj05_swallowed_io_fires_and_suppresses() {
     let fired = "fn beat(s: &UdpSocket, b: &[u8]) { let _ = s.send_to(b, ADDR); }\n";
     let (findings, _) = lint(LIB, FileClass::Library, fired);

@@ -417,6 +417,16 @@ fn serve_connection(
     loop {
         match next_message(&mut reader) {
             Ok(Message::Upload { first_seq, samples }) => {
+                // The frame span covers store+ack processing; begun and
+                // ended outside the unit-store guard, like the event
+                // emission below.
+                let frame_span =
+                    telemetry
+                        .tracer()
+                        .begin_span("autopower_frame", None, telemetry.now());
+                telemetry
+                    .tracer()
+                    .annotate(frame_span, "unit", unit_id.clone());
                 let mut units = shared.units.lock();
                 let store = units.entry(unit_id.clone()).or_default();
                 let have = store.acked_seq;
@@ -473,6 +483,7 @@ fn serve_connection(
                         ],
                     );
                 }
+                telemetry.tracer().end_span(frame_span, telemetry.now());
                 write_message(&mut writer, &reply)?;
             }
             Ok(_) => { /* ignore unexpected message types */ }

@@ -114,9 +114,57 @@ where
     R: Send,
     F: Fn(usize, &mut T) -> R + Sync,
 {
+    try_shard_map_mut(items, shards, f).unwrap_or_else(|p| p.resume())
+}
+
+/// A captured worker panic: which shard failed, and the original payload.
+///
+/// Observability hooks (the flight recorder) inspect the shard index and
+/// then [`ShardPanic::resume`] so the panic still reaches the caller
+/// exactly as a sequential run's would.
+pub struct ShardPanic {
+    /// Index of the shard whose worker panicked (0 for inline runs).
+    pub shard: usize,
+    /// The payload [`std::thread::JoinHandle::join`] returned.
+    pub payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl ShardPanic {
+    /// Re-raises the captured panic on the calling thread.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for ShardPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPanic")
+            .field("shard", &self.shard)
+            .finish_non_exhaustive()
+    }
+}
+
+/// [`shard_map_mut`] that surfaces a worker panic as a [`ShardPanic`]
+/// instead of unwinding, so callers can record crash context (dump a
+/// flight recorder) before re-raising. Every worker is still joined
+/// before returning; when several panic, the lowest shard index wins —
+/// deterministic for a deterministic panic site.
+pub fn try_shard_map_mut<T, R, F>(
+    items: &mut [T],
+    shards: usize,
+    f: F,
+) -> Result<Vec<R>, ShardPanic>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
     let ranges = shard_ranges(items.len(), shards);
     if ranges.len() <= 1 {
-        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect()
+        }))
+        .map_err(|payload| ShardPanic { shard: 0, payload });
     }
     std::thread::scope(|scope| {
         let mut rest = items;
@@ -133,7 +181,24 @@ where
                     .collect::<Vec<R>>()
             }));
         }
-        handles.into_iter().flat_map(join_propagating).collect()
+        // Join every worker before reporting, so no shard outlives the
+        // call; the lowest panicking shard index wins deterministically.
+        let mut out = Vec::new();
+        let mut first_panic: Option<ShardPanic> = None;
+        for (shard, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(v) => out.extend(v),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(ShardPanic { shard, payload });
+                    }
+                }
+            }
+        }
+        match first_panic {
+            None => Ok(out),
+            Some(p) => Err(p),
+        }
     })
 }
 
@@ -221,6 +286,53 @@ mod tests {
             })
         });
         assert!(result.is_err(), "panic in a shard must reach the caller");
+    }
+
+    #[test]
+    fn try_map_mut_matches_map_mut_on_success() {
+        let mut a: Vec<i64> = vec![0; 53];
+        let mut b: Vec<i64> = vec![0; 53];
+        let out_a = shard_map_mut(&mut a, 4, |i, v| {
+            *v = i as i64;
+            i
+        });
+        let out_b = try_shard_map_mut(&mut b, 4, |i, v| {
+            *v = i as i64;
+            i
+        })
+        .expect("no panic");
+        assert_eq!(out_a, out_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_map_mut_reports_the_lowest_panicking_shard() {
+        // 32 items over 4 shards → shard 2 covers 16..24. Panic in items
+        // 20 and 5 (shard 0): shard 0 must win deterministically.
+        let mut items: Vec<usize> = (0..32).collect();
+        let err = try_shard_map_mut(&mut items, 4, |i, _| {
+            assert!(i != 20 && i != 5, "injected at {i}");
+            i
+        })
+        .expect_err("panics must surface");
+        assert_eq!(err.shard, 0);
+        let msg = err
+            .payload
+            .downcast_ref::<String>()
+            .expect("assert message");
+        assert!(msg.contains("injected"), "payload preserved: {msg}");
+    }
+
+    #[test]
+    fn try_map_mut_captures_inline_panics_as_shard_zero() {
+        let mut items = vec![1u8];
+        let err = try_shard_map_mut(&mut items, 1, |_, v| -> u8 {
+            assert!(*v == 0, "inline injected for {v}");
+            0
+        })
+        .expect_err("inline panic surfaces too");
+        assert_eq!(err.shard, 0);
+        assert!(format!("{err:?}").contains("shard"));
     }
 
     #[test]

@@ -223,11 +223,19 @@ impl SnmpPoller {
             "snmp.poller",
             format!("target {} → {}", from.label(), to.label()),
             &[
-                ("target", target),
+                ("target", target.clone()),
                 ("from", from.label().to_owned()),
                 ("to", to.label().to_owned()),
             ],
         );
+        if from == HealthState::Healthy && to != HealthState::Healthy {
+            // A target leaving Healthy is a flight-recorder trigger: the
+            // armed recorder (if any) dumps the recent span+event rings.
+            let _ = self.telemetry.trip_flight_recorder(
+                "snmp target health ladder left healthy",
+                &[("target", target), ("to", to.label().to_owned())],
+            );
+        }
     }
 
     fn round_trip(&mut self, agent: SocketAddr, request: &Pdu) -> Result<Pdu, SnmpError> {
@@ -248,7 +256,17 @@ impl SnmpPoller {
             return Err(SnmpError::TargetSuppressed);
         }
         let span = SpanTimer::wall(self.metrics.poll_duration.clone());
+        let poll_span = self
+            .telemetry
+            .tracer()
+            .begin_span("snmp_poll", None, self.telemetry.now());
+        self.telemetry
+            .tracer()
+            .annotate(poll_span, "target", agent.to_string());
         let result = self.round_trip_inner(agent, request);
+        self.telemetry
+            .tracer()
+            .end_span(poll_span, self.telemetry.now());
         span.finish();
         let now = self.epoch.elapsed();
         // Update the health ladder first, then mirror the outcome into

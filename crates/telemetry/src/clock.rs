@@ -36,6 +36,13 @@ impl WallEpoch {
         self.start.elapsed()
     }
 
+    /// Microseconds elapsed since the epoch, saturating at `u64::MAX`
+    /// (≈ 585 millennia). Span stamps use this fixed-width form so worker
+    /// records stay `Copy` and allocation-free.
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
     /// A deadline `d` after this epoch (not after "now").
     pub fn deadline_after(&self, d: Duration) -> WallDeadline {
         WallDeadline { at: self.start + d }

@@ -16,9 +16,16 @@
 //!   [`Event`]s, replacing every `eprintln!`-style site;
 //! * **spans** — a [`SpanTimer`] producing per-stage latency histograms,
 //!   wall-clock for real network paths and sim-clock for simulation
-//!   paths (no `std::time::Instant` ever feeds simulated behaviour).
+//!   paths (no `std::time::Instant` ever feeds simulated behaviour);
+//! * **traces** — a [`TraceSink`] of hierarchical causal spans with dual
+//!   sim+wall stamps, merged deterministically from bounded per-worker
+//!   buffers and exportable as Chrome/Perfetto `trace_event` JSON or a
+//!   self-time profile table (see [`trace`]);
+//! * **flight recorder** — an armable dump of the recent span+event rings
+//!   written when a fault-health ladder leaves `Healthy` or a shard
+//!   worker panics (see [`Telemetry::arm_flight_recorder`]).
 //!
-//! A [`Telemetry`] bundle ties the three together with a settable sim
+//! A [`Telemetry`] bundle ties these together with a settable sim
 //! clock: sim drivers call [`Telemetry::set_now`] each tick, so every
 //! event carries the simulation timestamp of its cause and gap markers
 //! can be joined against their cause events exactly. Components default
@@ -27,14 +34,18 @@
 
 pub mod clock;
 pub mod events;
+mod flightrec;
 pub mod histogram;
 pub mod metrics;
 pub mod render;
 pub mod span;
+pub mod trace;
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
 
 use fj_units::SimInstant;
 
@@ -43,11 +54,17 @@ pub use events::{Event, EventLog, Level};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
 pub use span::SpanTimer;
+pub use trace::{Span, SpanBuffer, SpanId, SpanRecord, StageSpan, TraceSink};
 
-/// Metrics, events, and the sim clock they are stamped with.
+use flightrec::FlightRecorder;
+
+/// Metrics, events, causal traces, and the sim clock they are stamped
+/// with.
 pub struct Telemetry {
     registry: Registry,
     events: EventLog,
+    trace: TraceSink,
+    flightrec: Mutex<Option<FlightRecorder>>,
     now_secs: AtomicI64,
 }
 
@@ -57,11 +74,18 @@ impl Telemetry {
         Self::with_capacity(events::DEFAULT_CAPACITY)
     }
 
-    /// A fresh bundle retaining up to `capacity` events.
+    /// A fresh bundle retaining up to `capacity` events and `capacity`
+    /// finished trace spans.
     pub fn with_capacity(capacity: usize) -> Arc<Telemetry> {
+        let registry = Registry::new();
+        // Ring overflow is visible, never silent: the trace sink feeds
+        // the same counter pattern EventLog uses for `evicted()`.
+        let dropped = registry.counter("spans_dropped_total", &[]);
         Arc::new(Telemetry {
-            registry: Registry::new(),
+            trace: TraceSink::new(capacity, dropped),
+            registry,
             events: EventLog::new(capacity),
+            flightrec: Mutex::new(None),
             now_secs: AtomicI64::new(0),
         })
     }
@@ -119,6 +143,93 @@ impl Telemetry {
         }
         std::fs::write(path, self.snapshot_json())
     }
+
+    /// The causal trace sink.
+    pub fn tracer(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Writes the Chrome/Perfetto `trace_event` JSON export of the trace
+    /// sink to `path`, creating parent directories.
+    pub fn write_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.trace.to_trace_event_json())
+    }
+
+    /// Arms the flight recorder: the first fault trip after this call
+    /// dumps the recent span+event rings to `dir/flightrec-<exp>.json`.
+    /// Re-arming resets the trip-once latch.
+    pub fn arm_flight_recorder(&self, experiment: &str, dir: impl Into<PathBuf>) {
+        *self.flightrec.lock() = Some(FlightRecorder {
+            experiment: experiment.to_owned(),
+            dir: dir.into(),
+            dumped: None,
+        });
+    }
+
+    /// The dump path, once the armed recorder has tripped.
+    pub fn flight_recorder_path(&self) -> Option<PathBuf> {
+        self.flightrec
+            .lock()
+            .as_ref()
+            .and_then(|r| r.dumped.clone())
+    }
+
+    /// Trips the flight recorder: dumps the current span+event rings with
+    /// `reason` and `extra` context fields, returning the dump path.
+    /// Strict no-op when unarmed (no event, no metric — fault paths in
+    /// deterministic scenarios stay byte-identical) and after the first
+    /// trip (the dump captures the *first* failure).
+    pub fn trip_flight_recorder(&self, reason: &str, extra: &[(&str, String)]) -> Option<PathBuf> {
+        let experiment;
+        let path;
+        {
+            let mut armed = self.flightrec.lock();
+            let rec = armed.as_mut()?;
+            if rec.dumped.is_some() {
+                return None;
+            }
+            let p = rec.dir.join(format!("flightrec-{}.json", rec.experiment));
+            rec.dumped = Some(p.clone());
+            experiment = rec.experiment.clone();
+            path = p;
+        }
+        // Guard released before touching the event/span rings below.
+        let doc = flightrec::document(self, &experiment, reason, extra);
+        let text = serde_json::to_string_pretty(&doc)
+            .unwrap_or_else(|e| format!("{{\"error\":\"flightrec serialization failed: {e}\"}}"));
+        let written = path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(&path, text));
+        if let Err(e) = written {
+            self.event(
+                Level::Error,
+                "telemetry.flightrec",
+                "flight recorder dump failed",
+                &[
+                    ("path", path.display().to_string()),
+                    ("error", e.to_string()),
+                ],
+            );
+            return None;
+        }
+        self.registry.counter("flightrec_dumps_total", &[]).inc();
+        self.event(
+            Level::Warn,
+            "telemetry.flightrec",
+            "flight recorder dumped",
+            &[
+                ("path", path.display().to_string()),
+                ("reason", reason.to_owned()),
+                ("spans_dropped", self.trace.dropped().to_string()),
+            ],
+        );
+        Some(path)
+    }
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -168,6 +279,49 @@ mod tests {
         let a = global();
         a.registry().counter("global_smoke_total", &[]).inc();
         assert_eq!(global().registry().counter_total("global_smoke_total"), 1);
+    }
+
+    #[test]
+    fn flight_recorder_trips_once_and_joins_cause_events() {
+        let t = Telemetry::with_capacity(64);
+        let dir = std::env::temp_dir().join("fj-flightrec-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Unarmed trips are strict no-ops: no dump, no event, no metric.
+        assert!(t.trip_flight_recorder("unarmed", &[]).is_none());
+        assert!(t.events().events().is_empty());
+
+        t.arm_flight_recorder("unit", &dir);
+        t.set_now(SimInstant::from_secs(600));
+        let poll = t.tracer().begin_span("snmp_poll", None, t.now());
+        t.tracer().annotate(poll, "router", "7");
+        t.tracer().end_span(poll, t.now());
+        t.event(
+            Level::Warn,
+            "fleet.collect",
+            "snmp poll dropped, gap recorded",
+            &[("router", "7".to_owned()), ("series", "snmp".to_owned())],
+        );
+
+        let path = t
+            .trip_flight_recorder("health ladder left Healthy", &[("router", "7".to_owned())])
+            .expect("armed trip dumps");
+        assert!(path.exists());
+        let back: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let doc = back.as_map().unwrap();
+        let joins = serde::field(doc, "joins").as_array().unwrap();
+        assert_eq!(joins.len(), 1, "gap event joins its snmp_poll span");
+        assert_eq!(
+            serde::field(doc, "unjoined_fault_events"),
+            &serde::Value::UInt(0)
+        );
+        assert_eq!(t.flight_recorder_path().as_deref(), Some(path.as_path()));
+        assert_eq!(t.registry().counter_total("flightrec_dumps_total"), 1);
+
+        // Trip-once: the second trip is a no-op.
+        assert!(t.trip_flight_recorder("again", &[]).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

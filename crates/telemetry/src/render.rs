@@ -163,7 +163,8 @@ fn metric_value(m: &MetricSnapshot) -> Value {
     Value::Map(entries)
 }
 
-fn event_value(e: &Event) -> Value {
+/// JSON value for one event entry (shared with flight-recorder dumps).
+pub(crate) fn event_value(e: &Event) -> Value {
     Value::Map(vec![
         ("seq".to_owned(), Value::UInt(e.seq)),
         ("ts_secs".to_owned(), Value::Int(e.ts.as_secs())),

@@ -1,7 +1,8 @@
 //! Property-based tests for the histogram and the Prometheus renderer.
 
 use fj_telemetry::render::{escape_label_value, to_prometheus_text, unescape_label_value};
-use fj_telemetry::{Histogram, HistogramSnapshot, Registry};
+use fj_telemetry::{Histogram, HistogramSnapshot, Registry, SpanRecord};
+use fj_units::SimInstant;
 use proptest::prelude::*;
 
 fn positive_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -27,6 +28,37 @@ proptest! {
         let mut sorted = values.clone();
         sorted.sort_by(f64::total_cmp);
         let truth = true_quantile(&sorted, q);
+        let est = h.snapshot().quantile(q).unwrap();
+        prop_assert!(est >= truth - 1e-12 * truth, "q{q}: {est} ≥ {truth}");
+        let (lo, hi) = HistogramSnapshot::bucket_bounds_of(truth);
+        prop_assert!(est <= truth * (hi / lo) + 1e-9, "q{q}: {est} within one bucket of {truth}");
+    }
+
+    /// Span wall durations pushed through a histogram keep the same
+    /// bracket guarantee: the estimate never underestimates the true
+    /// quantile and lands within one bucket width above it. This is the
+    /// path the trace profile's duration statistics take.
+    #[test]
+    fn span_duration_quantiles_stay_within_bucket_bounds(
+        micros in prop::collection::vec(1u64..1_000_000_000, 1..256),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        let mut secs = Vec::with_capacity(micros.len());
+        for &us in &micros {
+            let rec = SpanRecord {
+                name: "router_step",
+                sim_start: SimInstant::EPOCH,
+                sim_end: SimInstant::EPOCH,
+                wall_start_us: 0,
+                wall_end_us: us,
+            };
+            prop_assert_eq!(rec.wall_micros(), us);
+            h.observe(rec.wall_secs());
+            secs.push(rec.wall_secs());
+        }
+        secs.sort_by(f64::total_cmp);
+        let truth = true_quantile(&secs, q);
         let est = h.snapshot().quantile(q).unwrap();
         prop_assert!(est >= truth - 1e-12 * truth, "q{q}: {est} ≥ {truth}");
         let (lo, hi) = HistogramSnapshot::bucket_bounds_of(truth);

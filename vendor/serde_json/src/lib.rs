@@ -358,13 +358,20 @@ impl<'a> Parser<'a> {
                     return Err(Error::new("control character in string"));
                 }
                 Some(_) => {
-                    // Copy one UTF-8 code point.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // Copy the whole run up to the next quote, escape, or
+                    // control byte in one go: validating per-character
+                    // from the full remaining input would make string
+                    // parsing quadratic in document size.
+                    let run_start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[run_start..self.pos])
                         .map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
