@@ -27,6 +27,10 @@ cargo run -q --release -p fj-bench --bin bench_fleet -- --smoke --json \
 echo "==> perf gate (fresh smoke sweep vs committed BENCH_fleet.json)"
 cargo run -q --release -p fj-bench --bin bench_compare
 
+echo "==> crash-recovery smoke (kill mid-run, resume, diff vs uninterrupted)"
+cargo run -q --release -p fj-bench --bin fleet_recover -- \
+    --dir target/telemetry/recovery
+
 if [[ "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> chaos soak (full)"
     cargo test -p fj-faults --test chaos_soak -q -- --ignored

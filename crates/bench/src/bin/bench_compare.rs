@@ -76,11 +76,12 @@ fn best_of(reports: &[Report]) -> (Report, f64) {
     let mut spread = 0.0f64;
     for fresh in &reports[1..] {
         for cfg in &fresh.sweep {
-            let Some(best_cfg) = best
-                .sweep
-                .iter_mut()
-                .find(|c| c.fleet == cfg.fleet && c.routers == cfg.routers && c.days == cfg.days)
-            else {
+            let Some(best_cfg) = best.sweep.iter_mut().find(|c| {
+                c.fleet == cfg.fleet
+                    && c.routers == cfg.routers
+                    && c.days == cfg.days
+                    && c.chunk_rounds == cfg.chunk_rounds
+            }) else {
                 continue;
             };
             for run in &cfg.runs {
@@ -165,12 +166,21 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let t = TablePrinter::new(&[10, 8, 14, 14, 8, 8]);
-    t.header(&["fleet", "shards", "base rps", "fresh rps", "ratio", "gate"]);
+    let t = TablePrinter::new(&[10, 7, 8, 14, 14, 8, 8]);
+    t.header(&[
+        "fleet",
+        "chunk",
+        "shards",
+        "base rps",
+        "fresh rps",
+        "ratio",
+        "gate",
+    ]);
     let mut regressed = 0usize;
     for c in &cells {
         t.row(&[
             c.fleet.clone(),
+            format!("{}", c.chunk_rounds),
             format!("{}", c.shards),
             fmt(c.baseline_rate, 0),
             fmt(c.fresh_rate, 0),

@@ -2,14 +2,18 @@
 //! `bench_fleet`, the `BENCH_fleet.json` report shape, and the
 //! baseline diff behind `bench_compare` (the CI perf-regression gate).
 //!
-//! The sweep times [`fj_isp::trace::collect_sharded`] over a
-//! routers × horizon grid, reporting router-rounds per second and the
-//! speedup over the single-shard run, and asserts on every cell that the
-//! parallel trace is bit-identical to the sequential one (the
-//! determinism contract: numbers may only differ in wall-clock time).
+//! The sweep times [`fj_isp::trace::collect_streaming`] over a
+//! routers × horizon × chunk grid, reporting router-rounds per second,
+//! the speedup over the single-shard run, and the estimated peak
+//! resident record bytes — the streaming engine's
+//! `O(routers × chunk_rounds)` memory bound made visible next to the
+//! whole-horizon `O(routers × rounds)` cells. Every cell asserts that
+//! its trace is bit-identical to the cell's first run (the determinism
+//! contract: shard count and chunk size may only change wall-clock time
+//! and memory).
 
 use fj_faults::FaultPlan;
-use fj_isp::trace::collect_sharded;
+use fj_isp::trace::{collect_streaming, estimated_peak_record_bytes, StreamConfig};
 use fj_isp::{build_fleet, FleetConfig, FleetTrace};
 use fj_router_sim::SimError;
 use fj_telemetry::{Telemetry, WallEpoch};
@@ -30,19 +34,22 @@ pub struct Report {
     pub cores: usize,
     /// Whether this was the `--smoke` sweep.
     pub smoke: bool,
-    /// One entry per fleet × horizon cell.
+    /// One entry per fleet × horizon × chunk cell.
     pub sweep: Vec<ConfigReport>,
 }
 
 /// One sweep cell's results across shard counts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConfigReport {
-    /// Fleet label (`small` / `switch`).
+    /// Fleet label (`small` / `switch` / `census`).
     pub fleet: String,
     /// Router count of the fleet.
     pub routers: usize,
     /// Horizon in days.
     pub days: u64,
+    /// Epoch chunk size in poll rounds (0 = whole horizon in one chunk,
+    /// the pre-streaming engine's memory profile).
+    pub chunk_rounds: u64,
     /// One entry per shard count.
     pub runs: Vec<RunReport>,
 }
@@ -60,44 +67,84 @@ pub struct RunReport {
     pub router_rounds_per_sec: f64,
     /// Speedup over the single-shard run of the same cell.
     pub speedup: f64,
-    /// Whether the trace matched the sequential baseline (always true —
+    /// Estimated peak resident bytes of in-flight round records:
+    /// `routers × min(chunk, rounds) × sizeof(record)`. The column the
+    /// streaming engine exists for — chunked cells hold one chunk,
+    /// whole-horizon cells hold every round at once.
+    pub est_peak_record_bytes: u64,
+    /// Whether the trace matched the cell's first run (always true —
     /// a divergence aborts the sweep — but recorded for the artifact).
     pub identical: bool,
 }
 
-/// One sweep cell: a fleet size and a horizon.
+/// One sweep cell: a fleet size, a horizon, and a chunk size.
 struct Config {
     label: &'static str,
     fleet: FleetConfig,
     days: u64,
+    chunk_rounds: u64,
+    shards: &'static [usize],
 }
 
-fn sweep_grid(smoke: bool) -> (Vec<Config>, &'static [usize]) {
+fn sweep_grid(smoke: bool) -> Vec<Config> {
     if smoke {
-        (
-            vec![Config {
+        vec![
+            Config {
                 label: "small",
                 fleet: FleetConfig::small(EXPERIMENT_SEED),
                 days: 2,
-            }],
-            &[1, 2],
-        )
+                chunk_rounds: 0,
+                shards: &[1, 2],
+            },
+            Config {
+                label: "small",
+                fleet: FleetConfig::small(EXPERIMENT_SEED),
+                days: 2,
+                chunk_rounds: 96,
+                shards: &[2],
+            },
+            // The census-scale cell: 1 000 routers, one day, 8-hour
+            // chunks — the configuration the O(routers × chunk) bound
+            // is aimed at.
+            Config {
+                label: "census",
+                fleet: FleetConfig::census(EXPERIMENT_SEED),
+                days: 1,
+                chunk_rounds: 96,
+                shards: &[1, 2],
+            },
+        ]
     } else {
-        (
-            vec![
-                Config {
-                    label: "small",
-                    fleet: FleetConfig::small(EXPERIMENT_SEED),
-                    days: 28,
-                },
-                Config {
-                    label: "switch",
-                    fleet: FleetConfig::switch_like(EXPERIMENT_SEED),
-                    days: 28,
-                },
-            ],
-            &[1, 2, 4, 8],
-        )
+        vec![
+            Config {
+                label: "small",
+                fleet: FleetConfig::small(EXPERIMENT_SEED),
+                days: 28,
+                chunk_rounds: 0,
+                shards: &[1, 2, 4, 8],
+            },
+            Config {
+                label: "switch",
+                fleet: FleetConfig::switch_like(EXPERIMENT_SEED),
+                days: 28,
+                chunk_rounds: 0,
+                shards: &[1, 2, 4, 8],
+            },
+            Config {
+                label: "switch",
+                fleet: FleetConfig::switch_like(EXPERIMENT_SEED),
+                days: 28,
+                chunk_rounds: 288,
+                shards: &[1, 2, 4, 8],
+            },
+            Config {
+                label: "census",
+                fleet: FleetConfig::census(EXPERIMENT_SEED),
+                days: 7,
+                chunk_rounds: 288,
+                shards: &[1, 2, 4, 8],
+            },
+        ]
     }
 }
 
@@ -106,8 +153,13 @@ fn sweep_grid(smoke: bool) -> (Vec<Config>, &'static [usize]) {
 fn run_once(cfg: &Config, shards: usize) -> Result<(FleetTrace, f64), SimError> {
     let mut fleet = build_fleet(&cfg.fleet);
     let telemetry = Telemetry::with_capacity(1 << 10);
+    let stream = StreamConfig {
+        shards,
+        chunk_rounds: cfg.chunk_rounds,
+        ..StreamConfig::default()
+    };
     let epoch = WallEpoch::now();
-    let trace = collect_sharded(
+    let outcome = collect_streaming(
         &mut fleet,
         SimInstant::EPOCH,
         SimInstant::from_days(cfg.days as i64),
@@ -116,25 +168,27 @@ fn run_once(cfg: &Config, shards: usize) -> Result<(FleetTrace, f64), SimError> 
         &[],
         &FaultPlan::clean(),
         &telemetry,
-        shards,
+        &stream,
     )?;
-    Ok((trace, epoch.elapsed().as_secs_f64()))
+    Ok((outcome.trace, epoch.elapsed().as_secs_f64()))
 }
 
 /// Runs the full sweep (or the `--smoke` subset), printing a table as it
 /// goes when `print` is set, and returns the report document.
 pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
-    let (configs, shard_counts) = sweep_grid(smoke);
-    let t = TablePrinter::new(&[10, 9, 7, 8, 10, 14, 9]);
+    let configs = sweep_grid(smoke);
+    let t = TablePrinter::new(&[10, 9, 7, 7, 8, 10, 14, 9, 10]);
     if print {
         t.header(&[
             "fleet",
             "routers",
             "days",
+            "chunk",
             "shards",
             "secs",
             "rounds/sec",
             "speedup",
+            "peak MiB",
         ]);
     }
 
@@ -143,17 +197,23 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
         let routers = cfg.fleet.router_count();
         let mut baseline: Option<(FleetTrace, f64)> = None;
         let mut cells = Vec::new();
-        for &shards in shard_counts {
+        for &shards in cfg.shards {
             let (trace, secs) = run_once(cfg, shards)?;
             let rounds = trace.total_wall.len();
             let router_rounds = (rounds * routers) as f64;
+            let rounds_in_flight = if cfg.chunk_rounds == 0 {
+                rounds as u64
+            } else {
+                cfg.chunk_rounds.min(rounds as u64)
+            };
+            let peak_bytes = estimated_peak_record_bytes(routers, rounds_in_flight);
             let speedup = match &baseline {
                 None => 1.0,
                 Some((seq, seq_secs)) => {
                     assert_eq!(
                         seq, &trace,
-                        "{}-shard trace diverged from sequential ({} × {}d)",
-                        shards, cfg.label, cfg.days
+                        "{}-shard trace diverged from the cell baseline ({} × {}d, chunk {})",
+                        shards, cfg.label, cfg.days, cfg.chunk_rounds
                     );
                     seq_secs / secs
                 }
@@ -163,10 +223,12 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
                     cfg.label.to_owned(),
                     format!("{routers}"),
                     format!("{}", cfg.days),
+                    format!("{}", cfg.chunk_rounds),
                     format!("{shards}"),
                     fmt(secs, 3),
                     fmt(router_rounds / secs, 0),
                     format!("{speedup:.2}x"),
+                    fmt(peak_bytes as f64 / (1024.0 * 1024.0), 2),
                 ]);
             }
             cells.push(RunReport {
@@ -175,6 +237,7 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
                 rounds,
                 router_rounds_per_sec: router_rounds / secs,
                 speedup,
+                est_peak_record_bytes: peak_bytes,
                 identical: true,
             });
             if baseline.is_none() {
@@ -185,6 +248,7 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
             fleet: cfg.label.to_owned(),
             routers,
             days: cfg.days,
+            chunk_rounds: cfg.chunk_rounds,
             runs: cells,
         });
     }
@@ -207,6 +271,8 @@ pub struct CellComparison {
     pub routers: usize,
     /// Horizon in days of the matched cell.
     pub days: u64,
+    /// Chunk size of the matched cell.
+    pub chunk_rounds: u64,
     /// Shard count of the matched cell.
     pub shards: usize,
     /// Baseline throughput (router-rounds per second).
@@ -221,18 +287,21 @@ pub struct CellComparison {
 
 /// Diffs a fresh report against a committed baseline: every fresh cell
 /// that also exists in the baseline — matched on
-/// `(fleet, routers, days, shards)` — is compared on throughput, and
-/// flagged as regressed when `fresh < floor × baseline`. Cells present
-/// in only one report are skipped (the gate compares like with like, so
-/// a baseline recorded by the full sweep still gates a `--smoke` run's
-/// overlapping cells — and vice versa, where the overlap is empty, the
-/// returned list is too, which callers must treat as "gate did not
-/// run", not as a pass).
+/// `(fleet, routers, days, chunk_rounds, shards)` — is compared on
+/// throughput, and flagged as regressed when `fresh < floor × baseline`.
+/// Cells present in only one report are skipped (the gate compares like
+/// with like, so a baseline recorded by the full sweep still gates a
+/// `--smoke` run's overlapping cells — and vice versa; where the overlap
+/// is empty, the returned list is too, which callers must treat as
+/// "gate did not run", not as a pass).
 pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellComparison> {
     let mut out = Vec::new();
     for fresh_cfg in &fresh.sweep {
         let Some(base_cfg) = baseline.sweep.iter().find(|c| {
-            c.fleet == fresh_cfg.fleet && c.routers == fresh_cfg.routers && c.days == fresh_cfg.days
+            c.fleet == fresh_cfg.fleet
+                && c.routers == fresh_cfg.routers
+                && c.days == fresh_cfg.days
+                && c.chunk_rounds == fresh_cfg.chunk_rounds
         }) else {
             continue;
         };
@@ -253,6 +322,7 @@ pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellCompari
                 fleet: fresh_cfg.fleet.clone(),
                 routers: fresh_cfg.routers,
                 days: fresh_cfg.days,
+                chunk_rounds: fresh_cfg.chunk_rounds,
                 shards: fresh_run.shards,
                 baseline_rate: base_rate,
                 fresh_rate,
@@ -278,6 +348,7 @@ mod tests {
                 fleet: "small".to_owned(),
                 routers: 17,
                 days: 2,
+                chunk_rounds: 0,
                 runs: rates
                     .iter()
                     .map(|&(shards, rate)| RunReport {
@@ -286,6 +357,7 @@ mod tests {
                         rounds: 100,
                         router_rounds_per_sec: rate,
                         speedup: 1.0,
+                        est_peak_record_bytes: estimated_peak_record_bytes(17, 100),
                         identical: true,
                     })
                     .collect(),
@@ -302,6 +374,10 @@ mod tests {
         assert_eq!(back.sweep[0].fleet, "small");
         assert_eq!(back.sweep[0].runs[1].shards, 2);
         assert!((back.sweep[0].runs[1].router_rounds_per_sec - 1800.0).abs() < 1e-9);
+        assert_eq!(
+            back.sweep[0].runs[0].est_peak_record_bytes,
+            estimated_peak_record_bytes(17, 100)
+        );
     }
 
     #[test]
@@ -318,19 +394,40 @@ mod tests {
     #[test]
     fn compare_skips_unmatched_cells() {
         let baseline = report(&[(1, 1000.0)]);
-        let fresh = report(&[(1, 1000.0), (8, 5000.0)]);
+        let mut fresh = report(&[(1, 1000.0), (8, 5000.0)]);
         let cells = compare(&baseline, &fresh, 0.5);
         assert_eq!(cells.len(), 1, "8-shard cell has no baseline to gate on");
         assert_eq!(cells[0].shards, 1);
+
+        // A chunked cell never gates against a whole-horizon baseline:
+        // peak memory differs, so throughput is not like-for-like.
+        fresh.sweep[0].chunk_rounds = 96;
+        assert!(compare(&baseline, &fresh, 0.5).is_empty());
     }
 
     #[test]
     fn smoke_sweep_produces_the_expected_grid() {
         let doc = run_sweep(true, false).expect("smoke sweep runs");
         assert!(doc.smoke);
-        assert_eq!(doc.sweep.len(), 1);
+        assert_eq!(doc.sweep.len(), 3);
         let shards: Vec<usize> = doc.sweep[0].runs.iter().map(|r| r.shards).collect();
         assert_eq!(shards, [1, 2]);
-        assert!(doc.sweep[0].runs.iter().all(|r| r.identical));
+        assert!(doc.sweep.iter().all(|c| c.runs.iter().all(|r| r.identical)));
+        // The census cell is there, chunked, at scale.
+        let census = doc
+            .sweep
+            .iter()
+            .find(|c| c.fleet == "census")
+            .expect("census smoke cell");
+        assert_eq!(census.routers, 1000);
+        assert_eq!(census.chunk_rounds, 96);
+        // The chunked small cell holds one chunk of records, not the
+        // whole horizon.
+        let whole = &doc.sweep[0];
+        let chunked = &doc.sweep[1];
+        assert!(
+            chunked.runs[0].est_peak_record_bytes < whole.runs[0].est_peak_record_bytes,
+            "chunking shrinks peak record memory"
+        );
     }
 }

@@ -1,0 +1,199 @@
+//! CRC-sealed length framing for checkpoint files.
+//!
+//! A checkpoint written mid-run must survive the very failure modes the
+//! run is being checkpointed against: a process killed mid-`write` leaves
+//! a torn (truncated) file, a bad disk or a hostile test flips bits. The
+//! frame makes both detectable before a single payload byte is trusted:
+//!
+//! ```text
+//! +------+---------+----------+-----------+----------+
+//! | FJCK | version | len (LE) |  payload  | crc (LE) |
+//! |  4 B |   2 B   |   8 B    |  len B    |   4 B    |
+//! +------+---------+----------+-----------+----------+
+//! ```
+//!
+//! The trailing [`crc32`] covers everything before it (magic, version,
+//! length, payload), so a flip anywhere in the frame fails verification;
+//! the explicit length makes truncation a *distinct* error from
+//! corruption, which lets a recovery supervisor report torn writes
+//! (expected after a kill) differently from bad checksums (never
+//! expected). Verification order is magic → version → length → CRC, so
+//! the reported error names the outermost layer that failed.
+
+use std::fmt;
+
+use crate::crc::crc32;
+
+/// Leading magic: "FJCK" (Fantastic Joules ChecKpoint).
+pub const MAGIC: [u8; 4] = *b"FJCK";
+
+/// Current frame layout version.
+pub const FRAME_VERSION: u16 = 1;
+
+/// Bytes of framing around the payload (magic + version + length + CRC).
+pub const FRAME_OVERHEAD: usize = 4 + 2 + 8 + 4;
+
+/// Why a frame failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`MAGIC`] (or the file is shorter
+    /// than the fixed header).
+    BadMagic,
+    /// The version field names a layout this build does not understand.
+    UnsupportedVersion(u16),
+    /// The file is shorter than the length field promises: a torn write.
+    Truncated {
+        /// Total frame size the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The checksum does not match: corruption somewhere in the frame.
+    BadCrc {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC recomputed over the frame body.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad magic (not a checkpoint frame)"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated frame: expected {expected} bytes, got {actual}"
+                )
+            }
+            FrameError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Seals `payload` into a versioned, CRC-trailed frame.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Verifies a frame and returns the payload slice.
+///
+/// Rejects trailing garbage too: `frame` must be exactly the sealed
+/// length, so a file with extra appended bytes does not verify.
+pub fn unseal(frame: &[u8]) -> Result<&[u8], FrameError> {
+    if frame.len() < 4 || frame[..4] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if frame.len() < 4 + 2 + 8 {
+        return Err(FrameError::Truncated {
+            expected: FRAME_OVERHEAD,
+            actual: frame.len(),
+        });
+    }
+    let version = u16::from_le_bytes([frame[4], frame[5]]);
+    if version != FRAME_VERSION {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&frame[6..14]);
+    let payload_len = u64::from_le_bytes(len_bytes) as usize;
+    let expected = payload_len.checked_add(FRAME_OVERHEAD).ok_or(
+        // A length field promising more bytes than addressable is a torn
+        // or scribbled header; report it as the frame being short of it.
+        FrameError::Truncated {
+            expected: usize::MAX,
+            actual: frame.len(),
+        },
+    )?;
+    if frame.len() != expected {
+        return Err(FrameError::Truncated {
+            expected,
+            actual: frame.len(),
+        });
+    }
+    let body_end = frame.len() - 4;
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&frame[body_end..]);
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(&frame[..body_end]);
+    if stored != computed {
+        return Err(FrameError::BadCrc { stored, computed });
+    }
+    Ok(&frame[14..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_payload() {
+        let payload = b"fleet checkpoint payload";
+        let frame = seal(payload);
+        assert_eq!(frame.len(), payload.len() + FRAME_OVERHEAD);
+        assert_eq!(unseal(&frame).expect("verifies"), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = seal(b"");
+        assert_eq!(unseal(&frame).expect("verifies"), b"");
+    }
+
+    #[test]
+    fn bad_magic_is_named() {
+        let mut frame = seal(b"x");
+        frame[0] ^= 0xFF;
+        assert_eq!(unseal(&frame), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_is_rejected_by_name() {
+        let mut frame = seal(b"x");
+        frame[4] = 0xFF;
+        assert_eq!(unseal(&frame), Err(FrameError::UnsupportedVersion(0xFF)));
+    }
+
+    #[test]
+    fn truncation_is_distinct_from_corruption() {
+        let frame = seal(b"some payload bytes");
+        let torn = &frame[..frame.len() - 3];
+        match unseal(torn) {
+            Err(FrameError::Truncated { expected, actual }) => {
+                assert_eq!(expected, frame.len());
+                assert_eq!(actual, frame.len() - 3);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = seal(b"payload");
+        frame.push(0x00);
+        assert!(matches!(unseal(&frame), Err(FrameError::Truncated { .. })));
+    }
+
+    #[test]
+    fn payload_flip_fails_the_crc() {
+        let mut frame = seal(b"payload");
+        frame[15] ^= 0x01;
+        assert!(matches!(unseal(&frame), Err(FrameError::BadCrc { .. })));
+    }
+}

@@ -118,6 +118,33 @@ impl TargetHealth {
         self.state
     }
 
+    /// Restores the lifetime counters from a checkpoint and rederives the
+    /// ladder state from `consecutive_failures` against this instance's
+    /// thresholds — the state is always a pure function of the streak
+    /// (any success resets it to zero/Healthy, any failure re-applies the
+    /// thresholds), so checkpoints need not carry the enum. The probe
+    /// rate-limiter resets: the first post-restore quarantine probe is
+    /// allowed immediately, which only ever probes *sooner* than the
+    /// interrupted run would have.
+    pub fn restore_counts(
+        &mut self,
+        consecutive_failures: u32,
+        total_failures: u64,
+        total_successes: u64,
+    ) {
+        self.consecutive_failures = consecutive_failures;
+        self.total_failures = total_failures;
+        self.total_successes = total_successes;
+        self.state = if consecutive_failures >= self.quarantine_after {
+            HealthState::Quarantined
+        } else if consecutive_failures >= self.degrade_after {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        self.last_probe = None;
+    }
+
     /// Whether a poll should be attempted at caller-clock time `now`.
     ///
     /// Healthy and degraded targets are always polled. Quarantined
@@ -200,6 +227,31 @@ mod tests {
         // Fully healthy again: consecutive probes allowed immediately.
         assert!(h.should_attempt(Duration::from_secs(1)));
         assert!(h.should_attempt(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn restore_counts_rederives_state_from_the_streak() {
+        let mut h = TargetHealth::with_thresholds(2, 4, Duration::from_secs(1));
+        h.restore_counts(0, 10, 90);
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.total_failures(), 10);
+        assert_eq!(h.total_successes(), 90);
+        h.restore_counts(3, 3, 0);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.restore_counts(4, 4, 0);
+        assert_eq!(h.state(), HealthState::Quarantined);
+        // Restore matches the state a live ladder reaches organically.
+        let mut live = TargetHealth::with_thresholds(2, 4, Duration::from_secs(1));
+        for _ in 0..3 {
+            live.record_failure();
+        }
+        let mut restored = TargetHealth::with_thresholds(2, 4, Duration::from_secs(1));
+        restored.restore_counts(
+            live.consecutive_failures(),
+            live.total_failures(),
+            live.total_successes(),
+        );
+        assert_eq!(restored, live);
     }
 
     #[test]

@@ -13,14 +13,18 @@
 //! The client-side counterparts live here too: [`Backoff`] (exponential
 //! with deterministic jitter) and [`TargetHealth`] (healthy → degraded →
 //! quarantined, with recovery probes), plus the [`crc32`] checksum the
-//! Autopower framing uses to surface corruption as a typed error.
+//! Autopower framing uses to surface corruption as a typed error and the
+//! CRC-sealed length [`frame`] the fleet engine's crash checkpoints ride
+//! in (torn writes and bit flips both surface as typed [`FrameError`]s).
 
 pub mod backoff;
 pub mod crc;
+pub mod frame;
 pub mod health;
 pub mod plan;
 
 pub use backoff::Backoff;
 pub use crc::crc32;
+pub use frame::FrameError;
 pub use health::{HealthState, TargetHealth};
 pub use plan::{CrashSchedule, FaultDecision, FaultPlan};

@@ -1,0 +1,59 @@
+//! Property tests for the checkpoint frame: any single-bit flip and any
+//! truncation must be rejected (torn-write detection), and clean frames
+//! must round-trip. This is the foundation the crash-recovery supervisor
+//! stands on — if a corrupt checkpoint could ever verify, recovery would
+//! resume from fiction.
+
+use fj_faults::frame::{seal, unseal, FrameError, FRAME_OVERHEAD};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sealing then unsealing any payload returns it byte-for-byte.
+    #[test]
+    fn round_trip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let frame = seal(&payload);
+        prop_assert_eq!(frame.len(), payload.len() + FRAME_OVERHEAD);
+        prop_assert_eq!(unseal(&frame).expect("clean frame verifies"), &payload[..]);
+    }
+
+    /// Every single-bit flip, anywhere in the frame — magic, version,
+    /// length, payload, or the CRC trailer itself — is rejected.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        flip_pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = seal(&payload);
+        let byte = flip_pos % frame.len();
+        frame[byte] ^= 1 << bit;
+        prop_assert!(
+            unseal(&frame).is_err(),
+            "bit {bit} of byte {byte} flipped yet the frame verified"
+        );
+    }
+
+    /// Every strict prefix of a frame is rejected, and short prefixes
+    /// that still carry an intact header are reported as *truncation*,
+    /// not corruption — the supervisor treats torn writes (expected
+    /// after a kill) differently from bad checksums.
+    #[test]
+    fn any_truncation_is_rejected(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        keep in any::<usize>(),
+    ) {
+        let frame = seal(&payload);
+        let len = keep % frame.len(); // 0..frame.len(): always a strict prefix
+        let torn = &frame[..len];
+        match unseal(torn) {
+            Ok(_) => prop_assert!(false, "torn frame of {len}/{} bytes verified", frame.len()),
+            // Prefixes shorter than the magic can only fail as BadMagic.
+            Err(FrameError::BadMagic) => prop_assert!(len < 14),
+            Err(FrameError::Truncated { expected, actual }) => {
+                prop_assert_eq!(actual, len);
+                prop_assert!(expected > len);
+            }
+            Err(other) => prop_assert!(false, "unexpected error for torn frame: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Chunk-boundary checkpoints for the streaming fleet engine.
+//!
+//! At every chunk boundary (except the last) the engine serializes the
+//! complete resumable state of a collection run — per-router simulator
+//! state, health-ladder counters, predictor counter memory, the event
+//! cursor, the merge-owned traces and fleet totals, and a full
+//! [`fj_telemetry`] checkpoint (event ring, counters, gauges, spans) —
+//! to a CRC-sealed frame on disk ([`fj_faults::frame`]). A resumed run
+//! restores the newest checkpoint that survives verification and
+//! continues; the FJ01 contract extends across the crash: the resumed
+//! run's traces, events, gaps, and counters are bit-identical to an
+//! uninterrupted run.
+//!
+//! # File format
+//!
+//! `ckpt-{rounds:012}.fjck` = [`fj_faults::frame::seal`] over a JSON
+//! payload of [`CheckpointState`]. The frame gives magic, version, exact
+//! length, and CRC-32 — torn writes surface as
+//! [`FrameError::Truncated`](fj_faults::FrameError), flipped bits as
+//! `BadCrc`, and both make the supervisor fall back to the previous
+//! checkpoint. Files are written atomically (temp + rename) and the
+//! newest [`CheckpointConfig::keep`] are retained so a corrupt latest
+//! file never strands a run.
+//!
+//! # Scenario fingerprint
+//!
+//! Every checkpoint embeds a fingerprint of the collection scenario —
+//! horizon, step, router names and models, instrumented set, scheduled
+//! events, and the fault plan (seed plus a behavioural probe of the drop
+//! channel). A checkpoint from a *different* scenario is rejected with
+//! [`CheckpointError::Fingerprint`] instead of silently splicing two
+//! incompatible runs together.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use fj_faults::{frame, FaultPlan, FrameError};
+use fj_telemetry::TelemetryCheckpoint;
+use fj_units::{SimDuration, SimInstant, TimeSeries};
+
+use crate::events::ScheduledEvent;
+use crate::fleet::FleetRouter;
+use crate::trace::RouterTrace;
+
+/// Checkpoint payload schema version. Bumped on any incompatible change
+/// to [`CheckpointState`]; loads of other versions are rejected with
+/// [`CheckpointError::Version`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Where checkpoints live and how many to retain.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory for `ckpt-*.fjck` files (created on first write).
+    pub dir: PathBuf,
+    /// Newest files kept after each write. Two by default, so a corrupt
+    /// or torn latest file still leaves the previous chunk's state.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints under `dir`, keeping the newest two.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            keep: 2,
+        }
+    }
+}
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read.
+    Io(String),
+    /// The CRC-sealed frame was torn, corrupt, or not a checkpoint
+    /// ([`fj_faults::FrameError`] has the detail).
+    Frame(FrameError),
+    /// The payload was not a parseable [`CheckpointState`].
+    Parse(String),
+    /// The payload's schema version is not [`CHECKPOINT_VERSION`].
+    Version(u32),
+    /// The checkpoint belongs to a different collection scenario.
+    Fingerprint {
+        /// Fingerprint of the scenario being resumed.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint read failed: {e}"),
+            CheckpointError::Frame(e) => write!(f, "checkpoint frame rejected: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint payload rejected: {e}"),
+            CheckpointError::Version(v) => {
+                write!(
+                    f,
+                    "checkpoint version {v} != supported {CHECKPOINT_VERSION}"
+                )
+            }
+            CheckpointError::Fingerprint { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:#018x} does not match scenario {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One router's resumable state at a chunk boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RouterState {
+    /// The full simulator + deployment plan (events may have mutated it).
+    pub(crate) router: FleetRouter,
+    /// Health-ladder streak; the ladder state is rederived from it.
+    pub(crate) consecutive_failures: u32,
+    /// Lifetime failed polls.
+    pub(crate) total_failures: u64,
+    /// Lifetime successful polls.
+    pub(crate) total_successes: u64,
+    /// Predictor counter memory, sorted `(fleet, iface, octets, packets)`.
+    pub(crate) predictor: Vec<(usize, usize, u64, u64)>,
+    /// Index of the next unfired scheduled event for this router.
+    pub(crate) next_event: u64,
+    /// The merge-owned per-router trace collected so far.
+    pub(crate) trace: RouterTrace,
+}
+
+/// Everything needed to resume a streaming collection at a chunk
+/// boundary. Serialized as JSON inside a CRC-sealed frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CheckpointState {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub(crate) version: u32,
+    /// Scenario fingerprint ([`scenario_fingerprint`]).
+    pub(crate) fingerprint: u64,
+    /// Rounds fully simulated *and* merged; the resume point.
+    pub(crate) rounds_done: u64,
+    /// [`FleetTrace::missed_polls`](crate::FleetTrace) so far.
+    pub(crate) missed_polls: u64,
+    /// Fleet-total wall power so far.
+    pub(crate) total_wall: TimeSeries,
+    /// Fleet-total reported power so far.
+    pub(crate) total_reported: TimeSeries,
+    /// Fleet-total traffic so far.
+    pub(crate) total_traffic: TimeSeries,
+    /// Per-router state, fleet order.
+    pub(crate) routers: Vec<RouterState>,
+    /// The telemetry bundle: event ring, counters, gauges, span sink.
+    pub(crate) telemetry: TelemetryCheckpoint,
+}
+
+/// File name for the checkpoint taken after `rounds_done` rounds. Zero
+/// padding makes lexical order equal numeric order, so retention and
+/// newest-first listing are plain name sorts.
+pub(crate) fn file_name(rounds_done: u64) -> String {
+    format!("ckpt-{rounds_done:012}.fjck")
+}
+
+/// Checkpoint files under `dir`, newest (most rounds) first. Missing or
+/// unreadable directories yield an empty list.
+pub(crate) fn candidates(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".fjck"))
+        })
+        .collect();
+    files.sort();
+    files.reverse();
+    files
+}
+
+/// Serializes and atomically writes one checkpoint, then prunes to the
+/// newest [`CheckpointConfig::keep`] files.
+pub(crate) fn write(
+    cfg: &CheckpointConfig,
+    rounds_done: u64,
+    state: &CheckpointState,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let payload = serde_json::to_vec(state).map_err(std::io::Error::other)?;
+    let framed = frame::seal(&payload);
+    let name = file_name(rounds_done);
+    let tmp = cfg.dir.join(format!("{name}.tmp"));
+    let path = cfg.dir.join(name);
+    // Temp + rename: a crash mid-write leaves a `.tmp` orphan, never a
+    // half-length `.fjck` masquerading as the newest checkpoint.
+    std::fs::write(&tmp, &framed)?;
+    std::fs::rename(&tmp, &path)?;
+    for old in candidates(&cfg.dir).into_iter().skip(cfg.keep.max(1)) {
+        // fj-lint: allow(FJ05) — best-effort retention pruning: a stale
+        // checkpoint that survives deletion wastes disk but never
+        // corrupts recovery (resume walks newest-first and verifies).
+        let _ = std::fs::remove_file(old);
+    }
+    Ok(path)
+}
+
+/// Reads and fully verifies one checkpoint file: frame (magic, version,
+/// exact length, CRC), JSON payload, and schema version. Fingerprint
+/// matching is the caller's job — it owns the scenario.
+pub(crate) fn load(path: &Path) -> Result<CheckpointState, CheckpointError> {
+    let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let payload = frame::unseal(&bytes).map_err(CheckpointError::Frame)?;
+    let state: CheckpointState =
+        serde_json::from_slice(payload).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    if state.version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Version(state.version));
+    }
+    Ok(state)
+}
+
+/// FNV-1a over the collection scenario: horizon, step, router identity,
+/// instrumented set, scheduled events, and the fault plan. The plan
+/// contributes both its seed and a 64-draw behavioural probe of the drop
+/// channel, so two plans with the same seed but different drop rates
+/// fingerprint differently.
+pub(crate) fn scenario_fingerprint(
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
+    events: &[ScheduledEvent],
+    instrumented: &[usize],
+    poll_faults: &FaultPlan,
+    routers: &[FleetRouter],
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_i64(start.as_secs());
+    h.write_i64(end.as_secs());
+    h.write_i64(step.as_secs());
+    for r in routers {
+        h.write_str(&r.name);
+        h.write_str(&r.sim.spec().model);
+    }
+    for &i in instrumented {
+        h.write_u64(i as u64);
+    }
+    for e in events {
+        h.write_i64(e.at.as_secs());
+        // EventKind derives Debug; its formatting is a stable identity
+        // for scheduling purposes.
+        h.write_str(&format!("{:?}", e.kind));
+    }
+    h.write_u64(poll_faults.seed());
+    let mut probe = 0u64;
+    for i in 0..64 {
+        if poll_faults.should_drop("fjck/fingerprint", i) {
+            probe |= 1 << i;
+        }
+    }
+    h.write_u64(probe);
+    h.finish()
+}
+
+/// Minimal FNV-1a hasher (the workspace vendors no hash crates).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        // Terminator so ("ab","c") never collides with ("a","bc").
+        self.write_bytes(&[0xff]);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_fleet;
+    use crate::config::FleetConfig;
+    use crate::events::EventKind;
+    use fj_units::Watts;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fjck-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn state(fingerprint: u64, rounds_done: u64) -> CheckpointState {
+        let fleet = build_fleet(&FleetConfig::small(3));
+        CheckpointState {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            rounds_done,
+            missed_polls: 2,
+            total_wall: TimeSeries::default(),
+            total_reported: TimeSeries::default(),
+            total_traffic: TimeSeries::default(),
+            routers: fleet
+                .routers
+                .into_iter()
+                .map(|router| RouterState {
+                    trace: RouterTrace {
+                        name: router.name.clone(),
+                        model: router.sim.spec().model.clone(),
+                        ..Default::default()
+                    },
+                    router,
+                    consecutive_failures: 1,
+                    total_failures: 3,
+                    total_successes: 40,
+                    predictor: vec![(0, 1, 99, 7)],
+                    next_event: 0,
+                })
+                .collect(),
+            telemetry: fj_telemetry::Telemetry::with_capacity(8).checkpoint_state(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let cfg = CheckpointConfig::new(&dir);
+        let original = state(0xFEED, 288);
+        let path = write(&cfg, 288, &original).unwrap();
+        assert_eq!(path.file_name().unwrap(), "ckpt-000000000288.fjck");
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.rounds_done, 288);
+        assert_eq!(loaded.fingerprint, 0xFEED);
+        assert_eq!(loaded.missed_polls, 2);
+        assert_eq!(loaded.routers.len(), original.routers.len());
+        assert_eq!(loaded.routers[0].predictor, vec![(0, 1, 99, 7)]);
+        assert_eq!(
+            loaded.routers[0].router.name,
+            original.routers[0].router.name
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_two() {
+        let dir = tmpdir("retention");
+        let cfg = CheckpointConfig::new(&dir);
+        for rounds in [100, 200, 300] {
+            write(&cfg, rounds, &state(1, rounds)).unwrap();
+        }
+        let found = candidates(&dir);
+        assert_eq!(found.len(), 2);
+        // Newest first.
+        assert_eq!(found[0].file_name().unwrap(), "ckpt-000000000300.fjck");
+        assert_eq!(found[1].file_name().unwrap(), "ckpt-000000000200.fjck");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_and_truncation_surface_as_frame_errors() {
+        let dir = tmpdir("corrupt");
+        let cfg = CheckpointConfig::new(&dir);
+        let path = write(&cfg, 10, &state(1, 10)).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        let mut flipped = clean.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(CheckpointError::Frame(FrameError::BadCrc { .. }))
+        ));
+
+        std::fs::write(&path, &clean[..clean.len() - 5]).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(CheckpointError::Frame(FrameError::Truncated { .. }))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let dir = tmpdir("version");
+        let cfg = CheckpointConfig::new(&dir);
+        let mut s = state(1, 10);
+        s.version = CHECKPOINT_VERSION + 1;
+        let path = write(&cfg, 10, &s).unwrap();
+        assert!(
+            matches!(load(&path), Err(CheckpointError::Version(v)) if v == CHECKPOINT_VERSION + 1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_scenario_input() {
+        let fleet = build_fleet(&FleetConfig::small(5));
+        let start = SimInstant::EPOCH;
+        let end = SimInstant::from_days(1);
+        let step = SimDuration::from_mins(5);
+        let plan = FaultPlan::new(7).with_drop_rate(0.1);
+        let base = || scenario_fingerprint(start, end, step, &[], &[0], &plan, &fleet.routers);
+        assert_eq!(base(), base(), "fingerprint is deterministic");
+
+        let longer = scenario_fingerprint(
+            start,
+            SimInstant::from_days(2),
+            step,
+            &[],
+            &[0],
+            &plan,
+            &fleet.routers,
+        );
+        assert_ne!(base(), longer);
+
+        let other_instrumented =
+            scenario_fingerprint(start, end, step, &[], &[1], &plan, &fleet.routers);
+        assert_ne!(base(), other_instrumented);
+
+        let with_event = scenario_fingerprint(
+            start,
+            end,
+            step,
+            &[ScheduledEvent {
+                at: SimInstant::from_secs(60),
+                kind: EventKind::PowerStep {
+                    router: 0,
+                    delta: Watts::new(5.0),
+                },
+            }],
+            &[0],
+            &plan,
+            &fleet.routers,
+        );
+        assert_ne!(base(), with_event);
+
+        // Same seed, different drop rate: the behavioural probe differs.
+        let hotter = FaultPlan::new(7).with_drop_rate(0.9);
+        let hotter_fp = scenario_fingerprint(start, end, step, &[], &[0], &hotter, &fleet.routers);
+        assert_ne!(base(), hotter_fp);
+    }
+}

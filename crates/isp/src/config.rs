@@ -67,6 +67,21 @@ impl FleetConfig {
         cfg
     }
 
+    /// A census-scale fleet: the Switch mix scaled to 1 000 routers
+    /// (every model ×9, remainder on the access workhorse). Exists for
+    /// the streaming engine's memory/throughput benches — the scale the
+    /// chunked collection's O(routers × chunk) bound is aimed at.
+    pub fn census(seed: u64) -> Self {
+        let mut cfg = Self::switch_like(seed);
+        cfg.pops = 230;
+        for (_, n) in &mut cfg.model_mix {
+            *n *= 9;
+        }
+        let have: usize = cfg.model_mix.iter().map(|(_, n)| n).sum();
+        cfg.model_mix[0].1 += 1000 - have;
+        cfg
+    }
+
     /// Total router count in the mix.
     pub fn router_count(&self) -> usize {
         self.model_mix.iter().map(|(_, n)| n).sum()
@@ -87,6 +102,11 @@ mod tests {
         let small = FleetConfig::small(0);
         assert!(small.router_count() < 20);
         assert_eq!(small.external_fraction, 0.51);
+    }
+
+    #[test]
+    fn census_fleet_has_exactly_one_thousand_routers() {
+        assert_eq!(FleetConfig::census(0).router_count(), 1000);
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct PlannedInterface {
 }
 
 /// One deployed router: the simulator plus its deployment plan.
-#[derive(Debug, Clone)]
+///
+/// Serializable as a whole — the checkpointed streaming engine persists
+/// each router's full state (sim clock, counters, PSU inventory, *and*
+/// the plan, which scheduled events mutate mid-run) at chunk boundaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetRouter {
     /// Anonymised name encoding only the PoP relation (§11), e.g.
     /// `"pop07-r2"`.

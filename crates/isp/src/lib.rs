@@ -24,6 +24,7 @@
 //! which is exactly the assumption the flapping event falsifies.
 
 pub mod build;
+pub mod checkpoint;
 pub mod config;
 pub mod events;
 pub mod fleet;
@@ -34,11 +35,15 @@ pub mod trace;
 pub mod validate;
 
 pub use build::build_fleet;
+pub use checkpoint::{CheckpointConfig, CheckpointError, CHECKPOINT_VERSION};
 pub use config::FleetConfig;
 pub use events::{EventKind, ScheduledEvent};
 pub use fleet::{Fleet, FleetRouter, LinkSide, PlannedInterface};
 pub use predict::ModelPredictor;
 pub use publish::publish_fleet;
 pub use stats::{FleetInsights, InterfaceShare};
-pub use trace::{FleetTrace, RouterTrace};
+pub use trace::{
+    collect_streaming, estimated_peak_record_bytes, ChaosPanic, FleetTrace, RouterTrace,
+    StreamConfig, StreamOutcome,
+};
 pub use validate::SourceComparison;

@@ -81,6 +81,29 @@ impl ModelPredictor {
         model.predict(&configs, &loads).ok().map(|b| b.total())
     }
 
+    /// Captures the counter memory as sorted, serializable entries
+    /// (`(fleet_index, iface_index, octets, packets)`), for checkpoints.
+    /// Sorting makes the snapshot a pure function of predictor state —
+    /// `HashMap` iteration order never leaks into a checkpoint file.
+    pub fn counters_snapshot(&self) -> Vec<(usize, usize, u64, u64)> {
+        let mut entries: Vec<(usize, usize, u64, u64)> = self
+            .last
+            .iter()
+            .map(|(&(fleet, iface), c)| (fleet, iface, c.octets, c.packets))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Replaces the counter memory from a snapshot.
+    pub fn restore_counters(&mut self, entries: &[(usize, usize, u64, u64)]) {
+        self.last.clear();
+        for &(fleet, iface, octets, packets) in entries {
+            self.last
+                .insert((fleet, iface), Counters { octets, packets });
+        }
+    }
+
     /// Predicts the whole fleet's power (sum over predictable routers).
     pub fn predict_fleet(&mut self, fleet: &Fleet, dt: SimDuration) -> Watts {
         let mut total = Watts::ZERO;

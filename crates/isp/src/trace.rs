@@ -7,38 +7,72 @@
 //! series — never as a fabricated zero — so gap-aware statistics keep
 //! fleet aggregates comparable between faulty and fault-free runs.
 //!
-//! # Sharded execution
+//! # Streaming sharded execution
 //!
-//! Collection is a two-phase engine built on [`fj_par`]:
+//! Collection is a chunked two-phase engine built on [`fj_par`]. The
+//! horizon is cut into **epoch chunks** of [`StreamConfig::chunk_rounds`]
+//! poll rounds; for each chunk:
 //!
 //! 1. **Simulate** — routers are split into contiguous index shards; each
-//!    scoped worker runs its routers through the *entire* horizon
-//!    (events, polls, fault draws, health ladder, prediction) with no
-//!    cross-shard synchronisation. This is sound because every input is
-//!    already per-router keyed: fault draws address stream
-//!    `"snmp/{router}"` (and `"wall/{router}"`) at `poll_index`, i.e. the
-//!    `(round, router)` cell of a pure oracle; scheduled events each
-//!    target exactly one router ([`crate::events::EventKind::router`]);
-//!    and the simulators share no state.
-//! 2. **Merge** — the main thread replays the per-router round records in
-//!    strict `(round, router-index)` order: fleet totals accumulate in
-//!    fleet order, and telemetry (gap cause events, health transitions,
-//!    counters, gauges) is emitted in exactly the sequence the old
-//!    sequential loop produced.
+//!    scoped worker runs its routers through the chunk's window (events,
+//!    polls, fault draws, health ladder, prediction) with no cross-shard
+//!    synchronisation, producing columnar [`RoundRecord`] batches. This
+//!    is sound because every input is per-router keyed: fault draws
+//!    address stream `"snmp/{router}"` (and `"wall/{router}"`) at the
+//!    *global* round index — the `(round, router)` cell of a pure oracle
+//!    and the engine's "RNG cursor" — scheduled events each target
+//!    exactly one router, and the simulators share no state.
+//! 2. **Merge** — the main thread drains the chunk's records in strict
+//!    `(round, router-index)` order: per-router series and fleet totals
+//!    accumulate in fleet order, and telemetry (gap cause events, health
+//!    transitions, counters, gauges, adopted spans) is emitted in exactly
+//!    the sequence the old sequential loop produced.
 //!
-//! The contract (tested in `tests/determinism.rs`): traces, gap markers,
-//! telemetry events, and counters are **bit-identical for every shard
-//! count**. Threads decide only wall-clock speed, never results — the
-//! FJ01 determinism rule extended to parallel execution.
+//! Workers hold only one chunk of records at a time, so peak record
+//! memory is `O(routers × chunk_rounds)` instead of
+//! `O(routers × horizon)` ([`estimated_peak_record_bytes`]).
+//!
+//! # Checkpoints and crash recovery
+//!
+//! With [`StreamConfig::checkpoints`] set, every chunk boundary (except
+//! the last) serializes the complete resumable state — router sims,
+//! health and predictor counters, event cursors, traces, totals, and the
+//! whole telemetry bundle — to a CRC-sealed file
+//! ([`crate::checkpoint`]). A supervisor catches shard panics
+//! ([`fj_par::try_shard_map_mut`]), restores the chunk-boundary state,
+//! and retries with [`fj_faults::Backoff`] up to
+//! [`StreamConfig::max_restarts`] times; a killed process resumes from
+//! the newest verifiable checkpoint ([`StreamConfig::resume`]), falling
+//! back to the previous one when the latest is torn or corrupt.
+//!
+//! The contract (tested in `tests/determinism.rs` and
+//! `tests/recovery.rs`): traces, gap markers, telemetry events, and
+//! counters are **bit-identical for every shard count, every chunk size,
+//! and across any crash/resume or supervised restart**. Threads, chunking
+//! and recovery decide only wall-clock speed and memory, never results —
+//! the FJ01 determinism rule extended to parallel *and* interrupted
+//! execution. Recovery itself is observable out-of-band: the flight
+//! recorder trips on every restart and checkpoint rejection, and the
+//! recovery-only counters (`fleet_recoveries_total`,
+//! `fleet_checkpoints_rejected_total`) are excluded from the
+//! deterministic surface by construction.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use fj_faults::{FaultPlan, HealthState, TargetHealth};
+use serde::{Deserialize, Serialize};
+
+use fj_faults::{Backoff, FaultPlan, HealthState, TargetHealth};
 use fj_router_sim::SimError;
-use fj_telemetry::{Level, SpanBuffer, SpanTimer, StageSpan, Telemetry, WallEpoch};
+use fj_telemetry::{
+    Counter, Gauge, Histogram, Level, SpanBuffer, SpanId, SpanTimer, StageSpan, Telemetry,
+    TraceSink, WallEpoch,
+};
 use fj_traffic::PacketProfile;
 use fj_units::{SimDuration, SimInstant, TimeSeries};
 
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError};
 use crate::events::{sort_events, ScheduledEvent};
 use crate::fleet::{Fleet, FleetRouter};
 use crate::predict::ModelPredictor;
@@ -53,8 +87,9 @@ fn health_level(s: HealthState) -> f64 {
     }
 }
 
-/// Collected series for one router.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Collected series for one router. Serializable: checkpoints persist
+/// the partially-collected trace at chunk boundaries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RouterTrace {
     /// Router name.
     pub name: String,
@@ -206,8 +241,11 @@ enum WallRead {
     Gap,
 }
 
-/// Everything one router contributed to one poll round, recorded by the
-/// shard worker and replayed by the deterministic merge.
+/// Everything one router contributed to one poll round, recorded
+/// columnar by the shard worker and replayed by the deterministic merge.
+/// The record is fully self-contained — the merge alone writes the
+/// per-router series from it — so a chunk of records is transactional:
+/// a retried chunk re-derives the identical batch.
 #[derive(Debug, Clone, Copy)]
 struct RoundRecord {
     /// Wall power (W) at poll time — feeds `total_wall` and substitutes
@@ -217,9 +255,14 @@ struct RoundRecord {
     snmp: SnmpPoll,
     /// Wall-meter outcome.
     wall_read: WallRead,
+    /// Traffic through the router (full rate over active interfaces),
+    /// for the per-router traffic series.
+    traffic: f64,
     /// Contribution to the fleet traffic total, with the Fig. 1
     /// convention applied per interface (external full, internal half).
     traffic_contrib: f64,
+    /// The §6.2 prediction, if the model is known.
+    predicted: Option<f64>,
     /// Health-ladder transition caused by this round's poll outcome, if
     /// any: `(before, after)`.
     transition: Option<(HealthState, HealthState)>,
@@ -231,80 +274,252 @@ struct RoundRecord {
 /// into the per-stage profile totals.
 const SPAN_BUFFER_CAPACITY: usize = 4096;
 
-/// A shard worker's output for one router: the per-router trace plus the
-/// per-round records the merge replays in fleet order.
-struct RouterRun {
+/// Every `&'static str` the engine can intern into the span sink —
+/// span/stage names plus the `router` span-field key. Restoring a
+/// checkpoint re-interns its owned strings against this table; an
+/// unknown name rejects the checkpoint instead of corrupting the sink.
+const SPAN_NAMES: &[&str] = &[
+    "fleet_collect",
+    "fleet_simulate",
+    "fleet_merge",
+    "fleet_checkpoint",
+    "snmp_poll",
+    "autopower_frame",
+    "predict",
+    "router_step",
+    "router",
+];
+
+/// Estimated peak resident bytes of columnar round records during a
+/// streaming collection: `routers × rounds_in_flight ×
+/// sizeof(RoundRecord)`. For the chunked engine `rounds_in_flight` is
+/// the chunk size; for a whole-horizon run it is the total round count.
+/// (Bench reports use this to show the O(routers × chunk) memory bound.)
+pub fn estimated_peak_record_bytes(routers: usize, rounds_in_flight: u64) -> u64 {
+    let per_round = u64::try_from(std::mem::size_of::<RoundRecord>()).unwrap_or(u64::MAX);
+    u64::try_from(routers)
+        .unwrap_or(u64::MAX)
+        .saturating_mul(rounds_in_flight)
+        .saturating_mul(per_round)
+}
+
+/// Deterministic chaos hook: panics one worker at an exact
+/// `(round, router)` cell, a bounded number of times. Used by the
+/// recovery tests and the crash-recovery CI smoke to prove the
+/// supervisor restores chunk-boundary state; firing is latched through
+/// an [`Arc`] so a supervised retry of the same chunk does not re-fire.
+#[derive(Debug, Clone)]
+pub struct ChaosPanic {
+    round: u64,
+    router: usize,
+    remaining: Arc<AtomicU32>,
+}
+
+impl ChaosPanic {
+    /// Panics the worker simulating `router` when it reaches the global
+    /// poll round `round` — once.
+    pub fn once(round: u64, router: usize) -> Self {
+        Self {
+            round,
+            router,
+            remaining: Arc::new(AtomicU32::new(1)),
+        }
+    }
+
+    /// Consumes one firing if this `(round, router)` cell is armed.
+    fn fires(&self, round: u64, router: usize) -> bool {
+        round == self.round
+            && router == self.router
+            && self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+    }
+}
+
+/// Streaming-engine knobs. `StreamConfig::default()` reproduces the
+/// plain sharded engine exactly: default shard count, one chunk spanning
+/// the whole horizon, no checkpoints, no supervision.
+#[derive(Debug, Clone, Default)]
+pub struct StreamConfig {
+    /// Worker shard count; `0` means [`fj_par::shard_count`].
+    pub shards: usize,
+    /// Poll rounds simulated per epoch chunk; `0` means the whole
+    /// horizon in one chunk. Peak record memory is
+    /// `O(routers × chunk_rounds)`.
+    pub chunk_rounds: u64,
+    /// Supervised restarts allowed after shard panics. Each restart
+    /// restores the chunk-boundary state and retries the chunk after an
+    /// [`fj_faults::Backoff`] delay; once exhausted, the panic resumes
+    /// unwinding (the plain-engine behaviour).
+    pub max_restarts: u32,
+    /// Write a CRC-sealed checkpoint at every chunk boundary except the
+    /// last.
+    pub checkpoints: Option<CheckpointConfig>,
+    /// Before starting, try to resume from the newest verifiable
+    /// checkpoint in [`StreamConfig::checkpoints`]. Rejected candidates
+    /// (torn, corrupt, wrong version/scenario) trip the flight recorder
+    /// and fall back to the next-older file; with none left the run
+    /// starts from round zero.
+    pub resume: bool,
+    /// Stop (successfully, with [`StreamOutcome::completed`] `false`)
+    /// after this many chunks — the deterministic stand-in for a killed
+    /// process in kill-and-resume tests.
+    pub stop_after_chunks: Option<u64>,
+    /// Deterministic fault injection for recovery tests.
+    pub chaos_panic: Option<ChaosPanic>,
+}
+
+/// What a streaming collection produced, beyond the trace itself.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// The collected trace (partial when `completed` is false).
+    pub trace: FleetTrace,
+    /// Whether the full horizon was collected (`false` only under
+    /// [`StreamConfig::stop_after_chunks`]).
+    pub completed: bool,
+    /// Rounds simulated and merged, including restored ones.
+    pub rounds_done: u64,
+    /// Rounds in the full horizon.
+    pub rounds_total: u64,
+    /// Supervised restarts consumed.
+    pub restarts: u32,
+    /// The round this run resumed from, if it restored a checkpoint.
+    pub resumed_at_round: Option<u64>,
+    /// Checkpoint files rejected during resume (torn/corrupt/mismatched).
+    pub checkpoints_rejected: u32,
+}
+
+/// One router's full engine state, owned across chunks: the simulator,
+/// the per-router oracles' cursors (health ladder, predictor counters,
+/// event index), and the merge-owned trace.
+struct RouterCell {
+    router: FleetRouter,
+    predictor: ModelPredictor,
+    health: TargetHealth,
+    /// Index of the next unfired event in this router's filtered list.
+    next_event: usize,
+    snmp_stream: String,
+    wall_stream: String,
+    instrumented: bool,
+    /// Written only by the merge, never by workers.
     trace: RouterTrace,
-    rounds: Vec<RoundRecord>,
-    /// Stage spans recorded by the worker, keyed by round, adopted into
-    /// the causal trace in the same `(round, router-index)` merge order
-    /// as the records above.
+}
+
+/// Worker-side state captured at a chunk boundary so a supervised
+/// restart can rewind a half-simulated chunk. Trace state needs no
+/// capture: workers never touch it, and the merge only runs after the
+/// whole chunk succeeded.
+struct BoundaryState {
+    router: FleetRouter,
+    health: TargetHealth,
+    predictor: Vec<(usize, usize, u64, u64)>,
+    next_event: usize,
+}
+
+impl BoundaryState {
+    fn capture(cell: &RouterCell) -> Self {
+        Self {
+            router: cell.router.clone(),
+            health: cell.health.clone(),
+            predictor: cell.predictor.counters_snapshot(),
+            next_event: cell.next_event,
+        }
+    }
+
+    fn restore_into(&self, cell: &mut RouterCell) {
+        cell.router = self.router.clone();
+        cell.health = self.health.clone();
+        cell.predictor.restore_counters(&self.predictor);
+        cell.next_event = self.next_event;
+    }
+}
+
+/// A shard worker's output for one router and one chunk: the columnar
+/// round records plus the stage spans, both keyed by global round.
+struct ChunkOutput {
+    records: Vec<RoundRecord>,
     spans: SpanBuffer,
+}
+
+/// Global round window `[first, end)` of one epoch chunk.
+#[derive(Debug, Clone, Copy)]
+struct ChunkWindow {
+    first: u64,
+    end: u64,
 }
 
 /// Read-only inputs shared by every shard worker.
 struct RunContext<'a> {
     start: SimInstant,
-    end: SimInstant,
     step: SimDuration,
     packets: &'a PacketProfile,
     /// All scheduled events, time-sorted; workers filter by router.
     events: &'a [ScheduledEvent],
-    instrumented: &'a [usize],
     poll_faults: &'a FaultPlan,
     /// The trace sink's wall-clock epoch, so worker span stamps and
     /// merge span stamps share one time base.
     epoch: WallEpoch,
+    chaos: Option<&'a ChaosPanic>,
 }
 
-/// Simulates one router over the whole horizon: fires its events, polls
-/// it every `step` under the fault plan, steps its health ladder, and
-/// runs the §6.2 predictor. Pure per-router — the only inputs are the
-/// router itself and per-router keyed oracles — so shards can run any
-/// subset in any order and produce identical records.
-fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> RouterRunResult {
-    router.sim.set_time(ctx.start);
-    let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
-    // Health ladder driven by SNMP poll outcomes: 3 consecutive missed
-    // polls degrade a router, 8 quarantine it. The probe interval is
-    // irrelevant here — collection polls every tick regardless; the
-    // ladder only feeds observability.
-    let mut health = TargetHealth::new();
-    let snmp_stream = format!("snmp/{}", router.name);
-    let wall_stream = format!("wall/{}", router.name);
-    let instrumented = ctx.instrumented.contains(&index);
+/// Poll time of global round `round`: rounds sample at
+/// `start + step·(round+1)` (the first step is consumed by priming).
+fn round_time(start: SimInstant, step: SimDuration, round: u64) -> SimInstant {
+    let n = i64::try_from(round).unwrap_or(i64::MAX).saturating_add(1);
+    start + SimDuration::from_secs(step.as_secs().saturating_mul(n))
+}
+
+/// Simulates one router through one chunk window: fires its events,
+/// polls it every `step` under the fault plan, steps its health ladder,
+/// and runs the §6.2 predictor. Pure per-router *and* per-window — the
+/// only inputs are the cell itself and per-router oracles keyed by the
+/// global round — so shards can run any subset in any order, chunks of
+/// any size, and produce identical records.
+fn run_chunk(
+    ctx: &RunContext<'_>,
+    window: ChunkWindow,
+    index: usize,
+    cell: &mut RouterCell,
+) -> Result<ChunkOutput, SimError> {
     let my_events: Vec<&ScheduledEvent> = ctx
         .events
         .iter()
         .filter(|e| e.kind.router() == index)
         .collect();
-    let mut next_event = 0usize;
-
-    let mut run = RouterRun {
-        trace: RouterTrace {
-            name: router.name.clone(),
-            model: router.sim.spec().model.clone(),
-            ..Default::default()
-        },
-        rounds: Vec::new(),
+    let mut out = ChunkOutput {
+        records: Vec::with_capacity(usize::try_from(window.end - window.first).unwrap_or(0)),
         spans: SpanBuffer::new(SPAN_BUFFER_CAPACITY),
     };
 
-    // Prime predictor counters so the first recorded sample has a delta.
-    let _ = predictor.predict_router(index, router, ctx.step);
-    router.step(ctx.start, ctx.packets, ctx.step)?;
+    if window.first == 0 {
+        // Prime: align the sim clock, seed predictor counters so the
+        // first recorded sample has a delta, and consume the first step.
+        // A resumed run never lands here — the checkpoint state is
+        // already past priming.
+        cell.router.sim.set_time(ctx.start);
+        let _ = cell.predictor.predict_router(index, &cell.router, ctx.step);
+        cell.router.step(ctx.start, ctx.packets, ctx.step)?;
+    }
 
-    let mut t = ctx.start + ctx.step;
-    let mut poll_index: u64 = 0;
-    while t < ctx.end {
-        // Fire this router's due events.
-        while next_event < my_events.len() && my_events[next_event].at <= t {
-            my_events[next_event].apply_to_router(router)?;
-            next_event += 1;
+    for round in window.first..window.end {
+        let t = round_time(ctx.start, ctx.step, round);
+        if let Some(chaos) = ctx.chaos {
+            if chaos.fires(round, index) {
+                // fj-lint: allow(FJ02) — deliberate chaos injection: the
+                // recovery tests and CI smoke panic a worker here to
+                // prove the supervisor restores chunk-boundary state.
+                panic!("chaos: injected worker panic (round {round}, router {index})");
+            }
         }
 
-        let rt = &mut run.trace;
-        let wall = router.sim.wall_power().as_f64();
+        // Fire this router's due events.
+        while cell.next_event < my_events.len() && my_events[cell.next_event].at <= t {
+            my_events[cell.next_event].apply_to_router(&mut cell.router)?;
+            cell.next_event += 1;
+        }
+
+        let wall = cell.router.sim.wall_power().as_f64();
 
         // The poll span covers the PSU sensor read plus the fault draw —
         // the simulated counterpart of the poller's round trip. It is
@@ -312,27 +527,24 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
         let poll_span = StageSpan::begin("snmp_poll", t, &ctx.epoch);
         let mut reported = 0.0;
         let mut reports = false;
-        for slot in 0..router.sim.psu_count() {
-            if let Ok(Some(p)) = router.sim.psu_reported_power(slot) {
+        for slot in 0..cell.router.sim.psu_count() {
+            if let Ok(Some(p)) = cell.router.sim.psu_reported_power(slot) {
                 reported += p.as_f64();
                 reports = true;
             }
         }
         let mut transition = None;
         let snmp = if reports {
-            if ctx.poll_faults.should_drop(&snmp_stream, poll_index) {
-                // Missed poll: an explicit gap, never a zero.
-                rt.psu_reported.push_gap(t);
-                let before = health.state();
-                let after = health.record_failure();
+            if ctx.poll_faults.should_drop(&cell.snmp_stream, round) {
+                let before = cell.health.state();
+                let after = cell.health.record_failure();
                 if after != before {
                     transition = Some((before, after));
                 }
                 SnmpPoll::Gap
             } else {
-                rt.psu_reported.push(t, reported);
-                let before = health.state();
-                health.record_success();
+                let before = cell.health.state();
+                cell.health.record_success();
                 if before != HealthState::Healthy {
                     transition = Some((before, HealthState::Healthy));
                 }
@@ -342,23 +554,21 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
             SnmpPoll::NonReporting
         };
         if reports {
-            run.spans.push(poll_index, poll_span.finish(t, &ctx.epoch));
+            out.spans.push(round, poll_span.finish(t, &ctx.epoch));
         }
 
         let frame_span = StageSpan::begin("autopower_frame", t, &ctx.epoch);
-        let wall_read = if instrumented {
-            if ctx.poll_faults.should_drop(&wall_stream, poll_index) {
-                rt.wall.push_gap(t);
+        let wall_read = if cell.instrumented {
+            if ctx.poll_faults.should_drop(&cell.wall_stream, round) {
                 WallRead::Gap
             } else {
-                rt.wall.push(t, wall);
                 WallRead::Value
             }
         } else {
             WallRead::NotInstrumented
         };
-        if instrumented {
-            run.spans.push(poll_index, frame_span.finish(t, &ctx.epoch));
+        if cell.instrumented {
+            out.spans.push(round, frame_span.finish(t, &ctx.epoch));
         }
 
         // One pattern evaluation feeds both the router's own traffic
@@ -366,48 +576,45 @@ fn run_router(ctx: &RunContext<'_>, index: usize, router: &mut FleetRouter) -> R
         // links halved — they appear at both ends).
         let mut traffic = 0.0;
         let mut traffic_contrib = 0.0;
-        for p in router.plan.iter().filter(|p| !p.spare) {
+        for p in cell.router.plan.iter().filter(|p| !p.spare) {
             let r = p.pattern.rate(t, p.class.speed.rate()).as_f64();
             traffic += r;
             traffic_contrib += if p.external { r } else { r / 2.0 };
         }
-        rt.traffic.push(t, traffic);
 
         let predict_span = StageSpan::begin("predict", t, &ctx.epoch);
-        if let Some(p) = predictor.predict_router(index, router, ctx.step) {
-            rt.predicted.push(t, p.as_f64());
-        }
-        run.spans
-            .push(poll_index, predict_span.finish(t, &ctx.epoch));
+        let predicted = cell
+            .predictor
+            .predict_router(index, &cell.router, ctx.step)
+            .map(|p| p.as_f64());
+        out.spans.push(round, predict_span.finish(t, &ctx.epoch));
 
-        run.rounds.push(RoundRecord {
+        out.records.push(RoundRecord {
             wall,
             snmp,
             wall_read,
+            traffic,
             traffic_contrib,
+            predicted,
             transition,
         });
 
         let step_span = StageSpan::begin("router_step", t, &ctx.epoch);
-        router.step(t, ctx.packets, ctx.step)?;
-        run.spans
-            .push(poll_index, step_span.finish(t + ctx.step, &ctx.epoch));
-        t += ctx.step;
-        poll_index += 1;
+        cell.router.step(t, ctx.packets, ctx.step)?;
+        out.spans
+            .push(round, step_span.finish(t + ctx.step, &ctx.epoch));
     }
 
-    Ok(run)
+    Ok(out)
 }
 
-type RouterRunResult = Result<RouterRun, SimError>;
-
 /// [`collect_with_telemetry`] with an explicit shard count — the
-/// deterministic sharded engine.
+/// deterministic sharded engine, running as one whole-horizon chunk.
 ///
 /// Phase 1 splits the fleet into `shards` contiguous index ranges and
-/// runs [`run_router`] for every router on scoped workers (`shards <= 1`
-/// runs inline). Phase 2 merges on the calling thread in strict
-/// `(round, router-index)` order: fleet totals sum in fleet order (so
+/// simulates every router on scoped workers (`shards <= 1` runs inline).
+/// Phase 2 merges on the calling thread in strict `(round,
+/// router-index)` order: fleet totals sum in fleet order (so
 /// floating-point association never depends on the shard count) and all
 /// telemetry — gap cause events, health transitions, gauges, counters —
 /// is emitted exactly as the sequential loop would have. Traces, gap
@@ -419,12 +626,73 @@ pub fn collect_sharded(
     start: SimInstant,
     end: SimInstant,
     step: SimDuration,
-    mut events: Vec<ScheduledEvent>,
+    events: Vec<ScheduledEvent>,
     instrumented: &[usize],
     poll_faults: &FaultPlan,
     telemetry: &Arc<Telemetry>,
     shards: usize,
 ) -> Result<FleetTrace, SimError> {
+    let config = StreamConfig {
+        shards,
+        ..StreamConfig::default()
+    };
+    collect_streaming(
+        fleet,
+        start,
+        end,
+        step,
+        events,
+        instrumented,
+        poll_faults,
+        telemetry,
+        &config,
+    )
+    .map(|outcome| outcome.trace)
+}
+
+/// Recovery bookkeeping counters, registered only for supervised or
+/// checkpointed runs so a plain [`collect_sharded`] registry snapshot
+/// stays byte-identical to the pre-streaming engine's.
+///
+/// `written` is part of the deterministic surface (same chunking ⇒ same
+/// count, checkpointed and restored); `recoveries` and `rejected` are
+/// recovery-only and deliberately excluded from the FJ01 comparison —
+/// an interrupted run *should* differ there.
+struct RecoveryCounters {
+    written: Counter,
+    recoveries: Counter,
+    rejected: Counter,
+}
+
+/// Merge-side metric handles, resolved once per run; the replay then
+/// costs one atomic op per update.
+struct MergeMetrics {
+    rounds: Counter,
+    snmp_gaps: Counter,
+    wall_gaps: Counter,
+    total_gaps: Counter,
+    quarantines: Counter,
+    round_duration: Histogram,
+    health: Vec<Gauge>,
+}
+
+/// The checkpointed streaming engine — [`collect_sharded`] is this with
+/// a default [`StreamConfig`]. See the module docs for the chunked
+/// execution model, the checkpoint/recovery supervisor, and the extended
+/// FJ01 contract (resume-from-checkpoint is bit-identical to an
+/// uninterrupted run at any shard count).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn collect_streaming(
+    fleet: &mut Fleet,
+    start: SimInstant,
+    end: SimInstant,
+    step: SimDuration,
+    mut events: Vec<ScheduledEvent>,
+    instrumented: &[usize],
+    poll_faults: &FaultPlan,
+    telemetry: &Arc<Telemetry>,
+    config: &StreamConfig,
+) -> Result<StreamOutcome, SimError> {
     assert!(step.is_positive(), "poll period must be positive");
     sort_events(&mut events);
     let router_count = fleet.routers.len();
@@ -436,120 +704,470 @@ pub fn collect_sharded(
             e.kind.router()
         );
     }
-
-    // Phase 1: simulate. Workers own disjoint router chunks; every other
-    // input is shared read-only.
-    let tracer = telemetry.tracer();
-    let root_span = tracer.begin_span("fleet_collect", None, start);
-    let sim_span = tracer.begin_span("fleet_simulate", Some(root_span), start);
-    let Fleet {
-        routers, packets, ..
-    } = fleet;
-    let ctx = RunContext {
-        start,
-        end,
-        step,
-        packets,
-        events: &events,
-        instrumented,
-        poll_faults,
-        epoch: tracer.epoch(),
+    let shards = if config.shards == 0 {
+        fj_par::shard_count()
+    } else {
+        config.shards
     };
-    let results: Vec<RouterRunResult> =
-        match fj_par::try_shard_map_mut(routers, shards, |i, router| run_router(&ctx, i, router)) {
-            Ok(results) => results,
-            Err(p) => {
-                // Crash context first, then the panic proceeds exactly as
-                // a sequential run's would.
-                let _ = telemetry.trip_flight_recorder(
-                    "shard worker panicked",
-                    &[("shard", p.shard.to_string())],
-                );
-                p.resume();
-            }
-        };
-    tracer.end_span(sim_span, end);
-    let mut runs = Vec::with_capacity(router_count);
-    for r in results {
-        // First error in fleet order, matching the sequential loop.
-        runs.push(r?);
-    }
-    // Fold each worker's complete stage totals (and span-drop counts)
-    // into the sink before replay, in fleet order.
-    for run in &runs {
-        tracer.absorb_worker(Some(sim_span), &run.spans);
-    }
 
-    // Phase 2: deterministic merge. Metric handles resolved once; the
-    // replay then costs one atomic op per update.
-    let registry = telemetry.registry();
-    let rounds_metric = registry.counter("fleet_poll_rounds_total", &[]);
-    let snmp_gaps = registry.counter("gaps_total", &[("source", "snmp")]);
-    let wall_gaps = registry.counter("gaps_total", &[("source", "wall")]);
-    let total_gaps = registry.counter("gaps_total", &[("source", "fleet_total")]);
-    let quarantines = registry.counter("fleet_routers_quarantined_total", &[]);
-    let round_duration = registry.histogram("fleet_poll_round_duration_seconds", &[]);
-    let health_gauges: Vec<_> = runs
-        .iter()
-        .map(|r| registry.gauge("fleet_router_health", &[("router", &r.trace.name)]))
-        .collect();
-
-    let mut trace = FleetTrace {
-        step,
-        ..Default::default()
-    };
     // Round count derives from the horizon, not from the workers, so an
     // empty fleet still records (empty) totals every round.
-    let mut rounds = 0usize;
+    let mut rounds_total: u64 = 0;
     {
         let mut tt = start + step;
         while tt < end {
-            rounds += 1;
+            rounds_total += 1;
             tt += step;
         }
     }
-    debug_assert!(runs.iter().all(|r| r.rounds.len() == rounds));
+    let chunk_rounds = if config.chunk_rounds == 0 {
+        rounds_total.max(1)
+    } else {
+        config.chunk_rounds
+    };
 
-    let merge_span = tracer.begin_span("fleet_merge", Some(root_span), start);
-    let mut t = start + step;
-    for round in 0..rounds {
+    let fingerprint = checkpoint::scenario_fingerprint(
+        start,
+        end,
+        step,
+        &events,
+        instrumented,
+        poll_faults,
+        &fleet.routers,
+    );
+
+    let tracer = telemetry.tracer();
+    let registry = telemetry.registry();
+    let recovery =
+        (config.checkpoints.is_some() || config.max_restarts > 0).then(|| RecoveryCounters {
+            written: registry.counter("fleet_checkpoints_written_total", &[]),
+            recoveries: registry.counter("fleet_recoveries_total", &[]),
+            rejected: registry.counter("fleet_checkpoints_rejected_total", &[]),
+        });
+
+    // Resume: walk candidate checkpoints newest-first. Every rejection —
+    // torn frame, flipped bit, wrong version, foreign scenario,
+    // unrestorable telemetry — trips the flight recorder and falls back
+    // to the next-older file; verification is transactional, so a
+    // rejected candidate leaves the telemetry bundle untouched.
+    let mut checkpoints_rejected = 0u32;
+    let mut restored: Option<(checkpoint::CheckpointState, SpanId)> = None;
+    if config.resume {
+        if let Some(ckpt_cfg) = &config.checkpoints {
+            for path in checkpoint::candidates(&ckpt_cfg.dir) {
+                let verdict = checkpoint::load(&path).and_then(|state| {
+                    if state.fingerprint != fingerprint {
+                        return Err(CheckpointError::Fingerprint {
+                            expected: fingerprint,
+                            found: state.fingerprint,
+                        });
+                    }
+                    if state.routers.len() != router_count {
+                        return Err(CheckpointError::Parse(format!(
+                            "checkpoint has {} routers, fleet has {router_count}",
+                            state.routers.len()
+                        )));
+                    }
+                    // The open root span must be restorable *before* the
+                    // bundle is mutated, keeping rejection transactional.
+                    if !state
+                        .telemetry
+                        .trace
+                        .open
+                        .iter()
+                        .any(|s| s.name == "fleet_collect")
+                    {
+                        return Err(CheckpointError::Parse(
+                            "checkpoint has no open fleet_collect span".to_owned(),
+                        ));
+                    }
+                    telemetry
+                        .restore_state(&state.telemetry, SPAN_NAMES)
+                        .map_err(CheckpointError::Parse)?;
+                    let root = tracer.resume_open_span("fleet_collect").ok_or_else(|| {
+                        CheckpointError::Parse("open fleet_collect span vanished".to_owned())
+                    })?;
+                    Ok((state, root))
+                });
+                match verdict {
+                    Ok(hit) => {
+                        restored = Some(hit);
+                        break;
+                    }
+                    Err(err) => {
+                        checkpoints_rejected += 1;
+                        if let Some(rc) = &recovery {
+                            rc.rejected.inc();
+                        }
+                        let _ = telemetry.trip_flight_recorder(
+                            "checkpoint rejected",
+                            &[
+                                ("path", path.display().to_string()),
+                                ("error", err.to_string()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let packets = fleet.packets.clone();
+    let mut trace;
+    let first_round;
+    let root_span;
+    let mut resumed_at_round = None;
+    let mut cells: Vec<RouterCell>;
+    match restored {
+        Some((state, root)) => {
+            root_span = root;
+            first_round = state.rounds_done;
+            resumed_at_round = Some(state.rounds_done);
+            trace = FleetTrace {
+                step,
+                routers: Vec::new(),
+                total_wall: state.total_wall,
+                total_reported: state.total_reported,
+                total_traffic: state.total_traffic,
+                missed_polls: state.missed_polls,
+            };
+            // The checkpoint replaces the caller's (round-zero) router
+            // state wholesale; it is handed back on return.
+            fleet.routers.clear();
+            cells = state
+                .routers
+                .into_iter()
+                .enumerate()
+                .map(|(i, rs)| {
+                    let mut health = TargetHealth::new();
+                    health.restore_counts(
+                        rs.consecutive_failures,
+                        rs.total_failures,
+                        rs.total_successes,
+                    );
+                    let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
+                    predictor.restore_counters(&rs.predictor);
+                    RouterCell {
+                        snmp_stream: format!("snmp/{}", rs.router.name),
+                        wall_stream: format!("wall/{}", rs.router.name),
+                        instrumented: instrumented.contains(&i),
+                        router: rs.router,
+                        predictor,
+                        health,
+                        next_event: usize::try_from(rs.next_event).unwrap_or(usize::MAX),
+                        trace: rs.trace,
+                    }
+                })
+                .collect();
+        }
+        None => {
+            root_span = tracer.begin_span("fleet_collect", None, start);
+            first_round = 0;
+            trace = FleetTrace {
+                step,
+                ..Default::default()
+            };
+            cells = std::mem::take(&mut fleet.routers)
+                .into_iter()
+                .enumerate()
+                .map(|(i, router)| RouterCell {
+                    snmp_stream: format!("snmp/{}", router.name),
+                    wall_stream: format!("wall/{}", router.name),
+                    instrumented: instrumented.contains(&i),
+                    trace: RouterTrace {
+                        name: router.name.clone(),
+                        model: router.sim.spec().model.clone(),
+                        ..Default::default()
+                    },
+                    predictor: ModelPredictor::new(fj_router_sim::spec::truth_registry()),
+                    health: TargetHealth::new(),
+                    next_event: 0,
+                    router,
+                })
+                .collect();
+        }
+    }
+
+    let metrics = MergeMetrics {
+        rounds: registry.counter("fleet_poll_rounds_total", &[]),
+        snmp_gaps: registry.counter("gaps_total", &[("source", "snmp")]),
+        wall_gaps: registry.counter("gaps_total", &[("source", "wall")]),
+        total_gaps: registry.counter("gaps_total", &[("source", "fleet_total")]),
+        quarantines: registry.counter("fleet_routers_quarantined_total", &[]),
+        round_duration: registry.histogram("fleet_poll_round_duration_seconds", &[]),
+        health: cells
+            .iter()
+            .map(|c| registry.gauge("fleet_router_health", &[("router", &c.trace.name)]))
+            .collect(),
+    };
+
+    let supervising = config.max_restarts > 0;
+    let mut restarts = 0u32;
+    let mut backoff =
+        Backoff::new(Duration::from_millis(2), Duration::from_millis(50)).with_seed(0x464A_434B);
+    let mut round = first_round;
+    let mut chunks_done = 0u64;
+    let mut completed = true;
+    loop {
+        let window = ChunkWindow {
+            first: round,
+            end: rounds_total.min(round.saturating_add(chunk_rounds)),
+        };
+        // Worker-side rewind point for supervised restarts. The merge
+        // side needs none: it only runs after the chunk succeeded.
+        let boundary: Option<Vec<BoundaryState>> =
+            supervising.then(|| cells.iter().map(BoundaryState::capture).collect());
+
+        let outs: Vec<ChunkOutput> = loop {
+            let ctx = RunContext {
+                start,
+                step,
+                packets: &packets,
+                events: &events,
+                poll_faults,
+                epoch: tracer.epoch(),
+                chaos: config.chaos_panic.as_ref(),
+            };
+            match fj_par::try_shard_map_mut(&mut cells, shards, |i, cell| {
+                run_chunk(&ctx, window, i, cell)
+            }) {
+                Ok(results) => {
+                    let mut outs = Vec::with_capacity(results.len());
+                    let mut first_err = None;
+                    for r in results {
+                        match r {
+                            Ok(o) => outs.push(o),
+                            Err(e) => {
+                                // First error in fleet order, matching
+                                // the sequential loop.
+                                first_err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    match first_err {
+                        Some(e) => {
+                            fleet.routers = cells.into_iter().map(|c| c.router).collect();
+                            return Err(e);
+                        }
+                        None => break outs,
+                    }
+                }
+                Err(p) => {
+                    if let (Some(boundary), true) = (&boundary, restarts < config.max_restarts) {
+                        // Supervised recovery: count it, capture crash
+                        // context, rewind every cell to the chunk
+                        // boundary (panicked *and* healthy shards — a
+                        // healthy shard already advanced through the
+                        // chunk), back off, retry. Nothing here touches
+                        // the deterministic surface: no events, no span
+                        // ids, no series — only the recovery-excluded
+                        // counter and the (armed-only) flight recorder.
+                        restarts += 1;
+                        if let Some(rc) = &recovery {
+                            rc.recoveries.inc();
+                        }
+                        let _ = telemetry.trip_flight_recorder(
+                            "shard worker panicked",
+                            &[
+                                ("shard", p.shard.to_string()),
+                                ("chunk_first_round", window.first.to_string()),
+                                ("restart", restarts.to_string()),
+                            ],
+                        );
+                        for (cell, b) in cells.iter_mut().zip(boundary.iter()) {
+                            b.restore_into(cell);
+                        }
+                        std::thread::sleep(backoff.next_delay(Duration::ZERO));
+                    } else {
+                        // Unsupervised (or budget exhausted): crash
+                        // context first, then the panic proceeds exactly
+                        // as a sequential run's would.
+                        let _ = telemetry.trip_flight_recorder(
+                            "shard worker panicked",
+                            &[("shard", p.shard.to_string())],
+                        );
+                        p.resume();
+                    }
+                }
+            }
+        };
+        debug_assert!(outs
+            .iter()
+            .all(|o| o.records.len()
+                == usize::try_from(window.end - window.first).unwrap_or(usize::MAX)));
+
+        // Chunk spans carry the window's sim extent; the whole-horizon
+        // chunk reproduces the old `[start, end]` stamps exactly.
+        let chunk_start = if window.first == 0 {
+            start
+        } else {
+            round_time(start, step, window.first - 1)
+        };
+        let chunk_end = if window.end == rounds_total {
+            end
+        } else {
+            round_time(start, step, window.end - 1)
+        };
+        // The sim span is begun only after the chunk's workers succeeded:
+        // a supervised retry must not consume span ids, or resumed and
+        // uninterrupted runs would diverge.
+        let sim_span = tracer.begin_span("fleet_simulate", Some(root_span), chunk_start);
+        tracer.end_span(sim_span, chunk_end);
+        // Fold each worker's complete stage totals (and span-drop
+        // counts) into the sink before replay, in fleet order.
+        for o in &outs {
+            tracer.absorb_worker(Some(sim_span), &o.spans);
+        }
+        let merge_span = tracer.begin_span("fleet_merge", Some(root_span), chunk_start);
+        merge_chunk(
+            telemetry, tracer, sim_span, &metrics, &mut cells, outs, window, &mut trace, start,
+            step,
+        );
+        tracer.end_span(merge_span, chunk_end);
+        round = window.end;
+        chunks_done += 1;
+
+        if round >= rounds_total {
+            break;
+        }
+        if let Some(ckpt_cfg) = &config.checkpoints {
+            if let Some(rc) = &recovery {
+                rc.written.inc();
+            }
+            // The checkpoint span and counter are recorded *before*
+            // serialization, so the checkpoint file contains its own
+            // bookkeeping and a resumed run continues the sequence
+            // exactly. Both are deterministic: same chunking, same count.
+            let ck_span = tracer.begin_span("fleet_checkpoint", Some(root_span), chunk_end);
+            tracer.end_span(ck_span, chunk_end);
+            let state = build_state(fingerprint, round, &cells, &trace, telemetry);
+            if let Err(e) = checkpoint::write(ckpt_cfg, round, &state) {
+                // A failed write degrades durability, not correctness:
+                // the run continues, resumable only from the previous
+                // checkpoint. Worth a dump if the recorder is armed.
+                let _ = telemetry
+                    .trip_flight_recorder("checkpoint write failed", &[("error", e.to_string())]);
+            }
+        }
+        if config.stop_after_chunks.is_some_and(|n| chunks_done >= n) {
+            completed = false;
+            break;
+        }
+    }
+
+    if completed {
+        tracer.end_span(root_span, end);
+    }
+    let mut routers = Vec::with_capacity(cells.len());
+    let mut router_traces = Vec::with_capacity(cells.len());
+    for cell in cells {
+        routers.push(cell.router);
+        router_traces.push(cell.trace);
+    }
+    fleet.routers = routers;
+    trace.routers = router_traces;
+    Ok(StreamOutcome {
+        trace,
+        completed,
+        rounds_done: round,
+        rounds_total,
+        restarts,
+        resumed_at_round,
+        checkpoints_rejected,
+    })
+}
+
+/// Serializes the engine state at a chunk boundary (`rounds_done` rounds
+/// simulated *and* merged) into a checkpoint payload.
+fn build_state(
+    fingerprint: u64,
+    rounds_done: u64,
+    cells: &[RouterCell],
+    trace: &FleetTrace,
+    telemetry: &Telemetry,
+) -> checkpoint::CheckpointState {
+    checkpoint::CheckpointState {
+        version: checkpoint::CHECKPOINT_VERSION,
+        fingerprint,
+        rounds_done,
+        missed_polls: trace.missed_polls,
+        total_wall: trace.total_wall.clone(),
+        total_reported: trace.total_reported.clone(),
+        total_traffic: trace.total_traffic.clone(),
+        routers: cells
+            .iter()
+            .map(|c| checkpoint::RouterState {
+                router: c.router.clone(),
+                consecutive_failures: c.health.consecutive_failures(),
+                total_failures: c.health.total_failures(),
+                total_successes: c.health.total_successes(),
+                predictor: c.predictor.counters_snapshot(),
+                next_event: u64::try_from(c.next_event).unwrap_or(u64::MAX),
+                trace: c.trace.clone(),
+            })
+            .collect(),
+        telemetry: telemetry.checkpoint_state(),
+    }
+}
+
+/// Phase 2 for one chunk: drains the columnar records in strict
+/// `(round, router-index)` order, writing per-router series, fleet
+/// totals, and all telemetry exactly as the sequential loop would have.
+#[allow(clippy::too_many_arguments)]
+fn merge_chunk(
+    telemetry: &Telemetry,
+    tracer: &TraceSink,
+    sim_span: SpanId,
+    metrics: &MergeMetrics,
+    cells: &mut [RouterCell],
+    mut outs: Vec<ChunkOutput>,
+    window: ChunkWindow,
+    trace: &mut FleetTrace,
+    start: SimInstant,
+    step: SimDuration,
+) {
+    for round in window.first..window.end {
+        let t = round_time(start, step, round);
         // Stamp the sim clock first: every event emitted this round —
         // gap causes included — carries the round's timestamp, so gap
         // markers on the trace join to their cause events by `ts`.
         telemetry.set_now(t);
-        rounds_metric.inc();
-        let round_span = SpanTimer::wall(round_duration.clone());
+        metrics.rounds.inc();
+        let round_span = SpanTimer::wall(metrics.round_duration.clone());
+        let rec_index = usize::try_from(round - window.first).unwrap_or(usize::MAX);
 
         let mut total_wall = 0.0;
         let mut total_reported = 0.0;
         let mut total_traffic = 0.0;
         let mut reported_unknown = false;
-        for (i, run) in runs.iter_mut().enumerate() {
-            let rec = run.rounds[round];
-            let name = &run.trace.name;
+        for (i, (cell, out)) in cells.iter_mut().zip(outs.iter_mut()).enumerate() {
+            let rec = out.records[rec_index];
+            let rt = &mut cell.trace;
             // Adopt this router's worker spans for the round *before*
             // emitting its telemetry: sequential ids in strict
             // `(round, router-index)` order — the trace stream is
             // bit-identical at any shard count — and fault cause events
             // always land after the span they join to.
             let lane = u32::try_from(i + 1).unwrap_or(u32::MAX);
-            for span_rec in run.spans.drain_through(round as u64) {
-                tracer.adopt(Some(sim_span), lane, span_rec, Some(name));
+            for span_rec in out.spans.drain_through(round) {
+                tracer.adopt(Some(sim_span), lane, span_rec, Some(&rt.name));
             }
             total_wall += rec.wall;
             total_traffic += rec.traffic_contrib;
 
             match rec.snmp {
                 SnmpPoll::Value(v) => {
+                    rt.psu_reported.push(t, v);
                     total_reported += v;
                     if let Some((before, _)) = rec.transition {
-                        health_gauges[i].set(0.0);
+                        metrics.health[i].set(0.0);
                         telemetry.event(
                             Level::Info,
                             "fleet.collect",
                             "router health transition",
                             &[
-                                ("router", name.clone()),
+                                ("router", rt.name.clone()),
                                 ("from", before.label().to_owned()),
                                 ("to", "healthy".to_owned()),
                             ],
@@ -557,28 +1175,30 @@ pub fn collect_sharded(
                     }
                 }
                 SnmpPoll::Gap => {
-                    // With a contributor unknown, the fleet total is
-                    // unknown too.
+                    // Missed poll: an explicit gap, never a zero. With a
+                    // contributor unknown, the fleet total is unknown
+                    // too.
+                    rt.psu_reported.push_gap(t);
                     trace.missed_polls += 1;
                     reported_unknown = true;
-                    snmp_gaps.inc();
+                    metrics.snmp_gaps.inc();
                     telemetry.event(
                         Level::Warn,
                         "fleet.collect",
                         "snmp poll dropped, gap recorded",
-                        &[("router", name.clone()), ("series", "snmp".to_owned())],
+                        &[("router", rt.name.clone()), ("series", "snmp".to_owned())],
                     );
                     if let Some((before, after)) = rec.transition {
-                        health_gauges[i].set(health_level(after));
+                        metrics.health[i].set(health_level(after));
                         if after == HealthState::Quarantined {
-                            quarantines.inc();
+                            metrics.quarantines.inc();
                         }
                         telemetry.event(
                             Level::Warn,
                             "fleet.collect",
                             "router health transition",
                             &[
-                                ("router", name.clone()),
+                                ("router", rt.name.clone()),
                                 ("from", before.label().to_owned()),
                                 ("to", after.label().to_owned()),
                             ],
@@ -589,7 +1209,10 @@ pub fn collect_sharded(
                             // span+event rings at the first failure.
                             let _ = telemetry.trip_flight_recorder(
                                 "router health ladder left healthy",
-                                &[("router", name.clone()), ("to", after.label().to_owned())],
+                                &[
+                                    ("router", rt.name.clone()),
+                                    ("to", after.label().to_owned()),
+                                ],
                             );
                         }
                     }
@@ -598,24 +1221,31 @@ pub fn collect_sharded(
             }
 
             match rec.wall_read {
+                WallRead::Value => rt.wall.push(t, rec.wall),
                 WallRead::Gap => {
+                    rt.wall.push_gap(t);
                     trace.missed_polls += 1;
-                    wall_gaps.inc();
+                    metrics.wall_gaps.inc();
                     telemetry.event(
                         Level::Warn,
                         "fleet.collect",
                         "wall-meter read dropped, gap recorded",
-                        &[("router", name.clone()), ("series", "wall".to_owned())],
+                        &[("router", rt.name.clone()), ("series", "wall".to_owned())],
                     );
                 }
-                WallRead::Value | WallRead::NotInstrumented => {}
+                WallRead::NotInstrumented => {}
+            }
+
+            rt.traffic.push(t, rec.traffic);
+            if let Some(p) = rec.predicted {
+                rt.predicted.push(t, p);
             }
         }
 
         trace.total_wall.push(t, total_wall);
         if reported_unknown {
             trace.total_reported.push_gap(t);
-            total_gaps.inc();
+            metrics.total_gaps.inc();
             telemetry.event(
                 Level::Warn,
                 "fleet.collect",
@@ -628,13 +1258,7 @@ pub fn collect_sharded(
         trace.total_traffic.push(t, total_traffic);
 
         round_span.finish();
-        t += step;
     }
-    tracer.end_span(merge_span, end);
-    tracer.end_span(root_span, end);
-
-    trace.routers = runs.into_iter().map(|r| r.trace).collect();
-    Ok(trace)
 }
 
 #[cfg(test)]
@@ -872,5 +1496,85 @@ mod tests {
             .mean()
             .unwrap();
         assert!(afternoon > night, "afternoon {afternoon} night {night}");
+    }
+
+    #[test]
+    fn chunked_streaming_equals_whole_horizon_run() {
+        let plan = FaultPlan::new(0xC4A5).with_drop_rate(0.1);
+        let run = |chunk_rounds: u64, shards: usize| {
+            let mut fleet = build_fleet(&FleetConfig::small(9));
+            let telemetry = Telemetry::with_capacity(1 << 14);
+            let config = StreamConfig {
+                shards,
+                chunk_rounds,
+                ..StreamConfig::default()
+            };
+            let outcome = collect_streaming(
+                &mut fleet,
+                SimInstant::EPOCH,
+                SimInstant::from_days(1),
+                SimDuration::from_mins(5),
+                vec![],
+                &[0, 3],
+                &plan,
+                &telemetry,
+                &config,
+            )
+            .unwrap();
+            assert!(outcome.completed);
+            assert_eq!(outcome.rounds_done, outcome.rounds_total);
+            (outcome.trace, fleet.routers[4].sim.now())
+        };
+        let baseline = run(0, 1);
+        // 37 does not divide the 287-round horizon: the final chunk is
+        // ragged; 1-round chunks exercise the maximal boundary count.
+        for chunk in [37, 1, 288] {
+            for shards in [1, 4] {
+                assert_eq!(
+                    run(chunk, shards),
+                    baseline,
+                    "chunk={chunk} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stop_after_chunks_reports_partial_progress() {
+        let mut fleet = build_fleet(&FleetConfig::small(5));
+        let telemetry = Telemetry::with_capacity(1 << 10);
+        let config = StreamConfig {
+            shards: 2,
+            chunk_rounds: 50,
+            stop_after_chunks: Some(2),
+            ..StreamConfig::default()
+        };
+        let outcome = collect_streaming(
+            &mut fleet,
+            SimInstant::EPOCH,
+            SimInstant::from_days(1),
+            SimDuration::from_mins(5),
+            vec![],
+            &[0],
+            &FaultPlan::clean(),
+            &telemetry,
+            &config,
+        )
+        .unwrap();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.rounds_done, 100);
+        assert_eq!(outcome.rounds_total, 287);
+        assert_eq!(outcome.trace.total_wall.len(), 100);
+    }
+
+    #[test]
+    fn peak_record_bytes_scales_with_chunk_not_horizon() {
+        let chunked = estimated_peak_record_bytes(1000, 288);
+        let whole = estimated_peak_record_bytes(1000, 80_000);
+        assert!(chunked < whole / 100);
+        assert_eq!(
+            chunked,
+            1000 * 288 * u64::try_from(std::mem::size_of::<RoundRecord>()).unwrap()
+        );
     }
 }

@@ -38,7 +38,7 @@ impl Level {
         }
     }
 
-    fn from_u8(v: u8) -> Level {
+    pub(crate) fn from_u8(v: u8) -> Level {
         match v {
             0 => Level::Debug,
             1 => Level::Info,
@@ -217,6 +217,68 @@ impl EventLog {
     /// Events counted but dropped by the level filter.
     pub fn filtered(&self) -> u64 {
         self.ring.lock().filtered
+    }
+
+    /// Captures the ring — retained events and every lifetime counter —
+    /// for a [`TelemetryCheckpoint`](crate::checkpoint::TelemetryCheckpoint).
+    pub(crate) fn checkpoint(&self) -> crate::checkpoint::EventLogCheckpoint {
+        let ring = self.ring.lock();
+        crate::checkpoint::EventLogCheckpoint {
+            next_seq: ring.next_seq,
+            evicted: ring.evicted,
+            filtered: ring.filtered,
+            emitted_by_level: ring.emitted_by_level.to_vec(),
+            events: ring
+                .events
+                .iter()
+                .map(|e| crate::checkpoint::EventCheckpoint {
+                    seq: e.seq,
+                    ts_secs: e.ts.as_secs(),
+                    level: e.level as u8,
+                    target: e.target.clone(),
+                    message: e.message.clone(),
+                    fields: e.fields.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a checkpointed ring into this (freshly created) log. If
+    /// the checkpoint retains more events than this log's capacity, the
+    /// oldest surplus is evicted (and counted) on the way in.
+    pub(crate) fn restore(
+        &self,
+        ckpt: &crate::checkpoint::EventLogCheckpoint,
+    ) -> Result<(), String> {
+        if ckpt.emitted_by_level.len() != 4 {
+            return Err(format!(
+                "event checkpoint has {} level counters, expected 4",
+                ckpt.emitted_by_level.len()
+            ));
+        }
+        let mut ring = self.ring.lock();
+        ring.next_seq = ckpt.next_seq;
+        ring.evicted = ckpt.evicted;
+        ring.filtered = ckpt.filtered;
+        for (slot, v) in ring.emitted_by_level.iter_mut().zip(&ckpt.emitted_by_level) {
+            *slot = *v;
+        }
+        ring.events.clear();
+        for e in &ckpt.events {
+            if ring.events.len() == self.capacity {
+                ring.events.pop_front();
+                ring.evicted += 1;
+            }
+            ring.events.push_back(Event {
+                seq: e.seq,
+                ts: SimInstant::from_secs(e.ts_secs),
+                level: Level::from_u8(e.level),
+                target: e.target.clone(),
+                message: e.message.clone(),
+                fields: e.fields.clone(),
+            });
+        }
+        Ok(())
     }
 
     /// Lifetime emission count per level (including filtered/evicted).

@@ -32,6 +32,7 @@
 //! to the process-wide [`global`] bundle; tests that need isolation pass
 //! their own via each component's `with_telemetry` hook.
 
+pub mod checkpoint;
 pub mod clock;
 pub mod events;
 mod flightrec;
@@ -49,6 +50,7 @@ use parking_lot::Mutex;
 
 use fj_units::SimInstant;
 
+pub use checkpoint::TelemetryCheckpoint;
 pub use clock::{WallDeadline, WallEpoch};
 pub use events::{Event, EventLog, Level};
 pub use histogram::{Histogram, HistogramSnapshot};

@@ -463,6 +463,75 @@ impl TraceSink {
         }
     }
 
+    /// Re-acquires a handle to the newest *open* span named `name` —
+    /// the resume path for a checkpointed sink whose root span was still
+    /// open when the process died. Returns `None` when no such span is
+    /// open.
+    pub fn resume_open_span(&self, name: &'static str) -> Option<SpanId> {
+        let state = self.state.lock();
+        state
+            .open
+            .iter()
+            .rfind(|s| s.name == name)
+            .map(|s| SpanId { raw: s.id, name })
+    }
+
+    /// Captures the sink — both rings, the id counter, totals — for a
+    /// [`TelemetryCheckpoint`](crate::checkpoint::TelemetryCheckpoint).
+    pub(crate) fn checkpoint(&self) -> crate::checkpoint::TraceCheckpoint {
+        let state = self.state.lock();
+        crate::checkpoint::TraceCheckpoint {
+            next_id: state.next_id,
+            dropped: state.dropped,
+            totals: state
+                .totals
+                .iter()
+                .map(|(name, t)| crate::checkpoint::StageTotalCheckpoint {
+                    name: name.to_owned(),
+                    count: t.count,
+                    wall_us: t.wall_us,
+                    child_wall_us: t.child_wall_us,
+                })
+                .collect(),
+            finished: state.finished.iter().map(span_checkpoint).collect(),
+            open: state.open.iter().map(span_checkpoint).collect(),
+        }
+    }
+
+    /// Restores a checkpointed sink into this (freshly created) one,
+    /// re-interning every span/field name against `names`. Validates the
+    /// whole checkpoint before mutating, so an `Err` leaves the sink
+    /// untouched.
+    pub(crate) fn restore(
+        &self,
+        ckpt: &crate::checkpoint::TraceCheckpoint,
+        names: &[&'static str],
+    ) -> Result<(), String> {
+        let mut totals = StageTotals::default();
+        for t in &ckpt.totals {
+            let name = crate::checkpoint::intern(names, &t.name)?;
+            let e = totals.entry(name);
+            e.count = t.count;
+            e.wall_us = t.wall_us;
+            e.child_wall_us = t.child_wall_us;
+        }
+        let mut finished = VecDeque::with_capacity(ckpt.finished.len());
+        for s in &ckpt.finished {
+            finished.push_back(restore_span(s, names)?);
+        }
+        let mut open = Vec::with_capacity(ckpt.open.len());
+        for s in &ckpt.open {
+            open.push(restore_span(s, names)?);
+        }
+        let mut state = self.state.lock();
+        state.next_id = ckpt.next_id;
+        state.dropped = ckpt.dropped;
+        state.totals = totals;
+        state.finished = finished;
+        state.open = open;
+        Ok(())
+    }
+
     /// Finished spans, oldest first (deterministic adoption order).
     pub fn spans(&self) -> Vec<Span> {
         self.state.lock().finished.iter().cloned().collect()
@@ -580,6 +649,49 @@ pub struct StageProfile {
     pub self_wall_secs: f64,
     /// Mean wall time per span, microseconds.
     pub mean_wall_us: f64,
+}
+
+/// Serializable form of one span, for checkpoints.
+fn span_checkpoint(span: &Span) -> crate::checkpoint::SpanCheckpoint {
+    crate::checkpoint::SpanCheckpoint {
+        id: span.id,
+        parent: span.parent,
+        parent_name: span.parent_name.to_owned(),
+        name: span.name.to_owned(),
+        lane: u64::from(span.lane),
+        sim_start_secs: span.sim_start.as_secs(),
+        sim_end_secs: span.sim_end.as_secs(),
+        wall_start_us: span.wall_start_us,
+        wall_end_us: span.wall_end_us,
+        fields: span
+            .fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    }
+}
+
+/// Rebuilds a live span from its checkpointed form, re-interning names.
+fn restore_span(
+    s: &crate::checkpoint::SpanCheckpoint,
+    names: &[&'static str],
+) -> Result<Span, String> {
+    let mut fields = Vec::with_capacity(s.fields.len());
+    for (k, v) in &s.fields {
+        fields.push((crate::checkpoint::intern(names, k)?, v.clone()));
+    }
+    Ok(Span {
+        id: s.id,
+        parent: s.parent,
+        parent_name: crate::checkpoint::intern(names, &s.parent_name)?,
+        name: crate::checkpoint::intern(names, &s.name)?,
+        lane: u32::try_from(s.lane).unwrap_or(u32::MAX),
+        sim_start: SimInstant::from_secs(s.sim_start_secs),
+        sim_end: SimInstant::from_secs(s.sim_end_secs),
+        wall_start_us: s.wall_start_us,
+        wall_end_us: s.wall_end_us,
+        fields,
+    })
 }
 
 /// Pushes into the bounded finished ring; returns whether one was evicted.
