@@ -24,6 +24,14 @@ cargo run -q --release -p fj-bench --bin bench_fleet -- --smoke --json \
     --out target/telemetry/BENCH_fleet.json \
     --trace target/telemetry/trace-fleet.json
 
+echo "==> efficiency report (profiler + progress plane must have produced output)"
+grep -q '"efficiency"' target/telemetry/BENCH_fleet.json \
+    || { echo "BENCH_fleet.json carries no parallel-efficiency report" >&2; exit 1; }
+grep -q '"generated_by"' target/telemetry/BENCH_fleet.json \
+    || { echo "BENCH_fleet.json carries no generated_by provenance" >&2; exit 1; }
+test -s target/telemetry/progress-bench_fleet.json \
+    || { echo "progress-bench_fleet.json missing or empty" >&2; exit 1; }
+
 echo "==> perf gate (fresh smoke sweep vs committed BENCH_fleet.json)"
 cargo run -q --release -p fj-bench --bin bench_compare
 

@@ -9,6 +9,15 @@
 //! flag a 30% "regression" — but the floor never drops below 5% of
 //! baseline, so a real order-of-magnitude slowdown always fails.
 //!
+//! Beyond throughput, ≥ 2-shard cells whose baseline carries an
+//! efficiency profile also gate on parallel efficiency (same
+//! noise-calibrated floor) and on the serial-merge fraction (a ceiling —
+//! see `fleetbench::compare`). A fresh sweep with no profiled parallel
+//! cell at all is a hard error: the profiler going missing must not read
+//! as a pass. When the committed baseline was recorded on a box with a
+//! different core count, every speedup/efficiency comparison is suspect,
+//! so that mismatch warns loudly on stderr (non-fatal).
+//!
 //! Flags:
 //!
 //! * `--baseline PATH` — baseline report (default: `BENCH_fleet.json`
@@ -22,7 +31,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fj_bench::fleetbench::{compare, run_sweep, Report};
+use fj_bench::fleetbench::{compare, profiled_parallel_runs, run_sweep, Report};
 use fj_bench::table::{fmt, TablePrinter};
 
 struct Args {
@@ -132,7 +141,28 @@ fn main() -> ExitCode {
         args.runs,
         args.tolerance * 100.0
     );
+    if let Some(provenance) = &baseline.generated_by {
+        println!(
+            "baseline recorded by {} ({})",
+            provenance.version,
+            if provenance.smoke { "smoke" } else { "full" }
+        );
+    }
     println!("==============================================================");
+
+    // A baseline recorded on a different core count makes every speedup
+    // and efficiency comparison suspect — loud, but not fatal, so a
+    // borrowed baseline still gates single-shard throughput.
+    let cores_here = fj_par::available_shards();
+    if baseline.cores != cores_here {
+        eprintln!(
+            "bench_compare: WARNING: baseline {} was recorded with {} core(s) but this \
+             box has {cores_here}; speedup and efficiency gates compare across different \
+             hardware — regenerate the baseline with `bench_fleet --smoke --json` here",
+            args.baseline.display(),
+            baseline.cores
+        );
+    }
 
     let mut fresh_runs = Vec::with_capacity(args.runs);
     for _ in 0..args.runs {
@@ -156,6 +186,17 @@ fn main() -> ExitCode {
         floor * 100.0
     );
 
+    // The profiler going missing must fail, not silently skip: every
+    // fresh sweep runs with profiling on, so a parallel cell without an
+    // efficiency report means the plumbing broke.
+    if profiled_parallel_runs(&fresh) == 0 {
+        eprintln!(
+            "bench_compare: fresh sweep carries no parallel-efficiency report on any \
+             ≥2-shard cell — the profiler is missing or empty"
+        );
+        return ExitCode::from(2);
+    }
+
     let cells = compare(&baseline, &fresh, floor);
     if cells.is_empty() {
         eprintln!(
@@ -166,7 +207,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let t = TablePrinter::new(&[10, 7, 8, 14, 14, 8, 8]);
+    let t = TablePrinter::new(&[10, 7, 8, 14, 14, 8, 11, 11, 10]);
     t.header(&[
         "fleet",
         "chunk",
@@ -174,10 +215,30 @@ fn main() -> ExitCode {
         "base rps",
         "fresh rps",
         "ratio",
+        "efficiency",
+        "merge%",
         "gate",
     ]);
+    let eff_cell = |v: Option<f64>| v.map_or("-".to_owned(), |e| format!("{e:.2}"));
+    let pct_cell = |v: Option<f64>| v.map_or("-".to_owned(), |m| format!("{:.1}", m * 100.0));
     let mut regressed = 0usize;
     for c in &cells {
+        let failed = c.regressed || c.efficiency_regressed || c.merge_regressed;
+        let gate = if failed {
+            let mut reasons = Vec::new();
+            if c.regressed {
+                reasons.push("rate");
+            }
+            if c.efficiency_regressed {
+                reasons.push("eff");
+            }
+            if c.merge_regressed {
+                reasons.push("merge");
+            }
+            format!("FAIL:{}", reasons.join("+"))
+        } else {
+            "ok".to_owned()
+        };
         t.row(&[
             c.fleet.clone(),
             format!("{}", c.chunk_rounds),
@@ -185,21 +246,32 @@ fn main() -> ExitCode {
             fmt(c.baseline_rate, 0),
             fmt(c.fresh_rate, 0),
             format!("{:.2}", c.ratio),
-            if c.regressed { "FAIL" } else { "ok" }.to_owned(),
+            format!(
+                "{}/{}",
+                eff_cell(c.fresh_efficiency),
+                eff_cell(c.baseline_efficiency)
+            ),
+            format!(
+                "{}/{}",
+                pct_cell(c.fresh_merge_fraction),
+                pct_cell(c.baseline_merge_fraction)
+            ),
+            gate,
         ]);
-        regressed += usize::from(c.regressed);
+        regressed += usize::from(failed);
     }
 
     if regressed > 0 {
         eprintln!(
-            "\nbench_compare: {regressed} of {} cell(s) regressed below {:.0}% of baseline",
+            "\nbench_compare: {regressed} of {} cell(s) failed a gate (throughput floor \
+             {:.0}% of baseline; efficiency floor and merge ceiling at ≥2 shards)",
             cells.len(),
             floor * 100.0
         );
         return ExitCode::FAILURE;
     }
     println!(
-        "\nall {} cell(s) within tolerance — perf gate passes",
+        "\nall {} cell(s) within tolerance — perf and efficiency gates pass",
         cells.len()
     );
     ExitCode::SUCCESS

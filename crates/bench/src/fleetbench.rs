@@ -15,6 +15,7 @@
 use fj_faults::FaultPlan;
 use fj_isp::trace::{collect_streaming, estimated_peak_record_bytes, StreamConfig};
 use fj_isp::{build_fleet, FleetConfig, FleetTrace};
+use fj_obs::ParallelEfficiencyReport;
 use fj_router_sim::SimError;
 use fj_telemetry::{Telemetry, WallEpoch};
 use fj_units::{SimDuration, SimInstant};
@@ -34,8 +35,42 @@ pub struct Report {
     pub cores: usize,
     /// Whether this was the `--smoke` sweep.
     pub smoke: bool,
+    /// Provenance of the report (absent in pre-provenance baselines).
+    pub generated_by: Option<GeneratedBy>,
     /// One entry per fleet × horizon × chunk cell.
     pub sweep: Vec<ConfigReport>,
+}
+
+/// Provenance block for `BENCH_fleet.json`: which commit recorded the
+/// report, so a regression can be traced to the baseline that defined it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedBy {
+    /// `git describe`-style version string (`<tag|short-sha>[-dirty]`),
+    /// falling back to the crate version when git is unavailable.
+    pub version: String,
+    /// Whether the recording sweep ran in `--smoke` mode.
+    pub smoke: bool,
+}
+
+/// A `git describe --always --dirty --tags` of the repository this
+/// binary was built from; `cargo-<version>` when git is not available
+/// (no repo, no binary, sandboxed CI).
+pub fn version_string() -> String {
+    let described = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output();
+    match described {
+        Ok(out) if out.status.success() => {
+            let text = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+            if text.is_empty() {
+                format!("cargo-{}", env!("CARGO_PKG_VERSION"))
+            } else {
+                text
+            }
+        }
+        _ => format!("cargo-{}", env!("CARGO_PKG_VERSION")),
+    }
 }
 
 /// One sweep cell's results across shard counts.
@@ -75,6 +110,10 @@ pub struct RunReport {
     /// Whether the trace matched the cell's first run (always true —
     /// a divergence aborts the sweep — but recorded for the artifact).
     pub identical: bool,
+    /// Parallel-efficiency profile of this run (worker utilization,
+    /// merge fraction, imbalance, Amdahl ceiling). Absent in baselines
+    /// recorded before the profiler existed.
+    pub efficiency: Option<ParallelEfficiencyReport>,
 }
 
 /// One sweep cell: a fleet size, a horizon, and a chunk size.
@@ -149,13 +188,21 @@ fn sweep_grid(smoke: bool) -> Vec<Config> {
 }
 
 /// One timed run: a fresh fleet and a private telemetry bundle, so
-/// repeated runs never share counter state.
-fn run_once(cfg: &Config, shards: usize) -> Result<(FleetTrace, f64), SimError> {
+/// repeated runs never share counter state. The profiler is always on —
+/// its per-chunk clock reads are noise next to the simulate/merge work
+/// it measures — and the live progress file lands beside the other
+/// telemetry artifacts for CI to upload.
+fn run_once(
+    cfg: &Config,
+    shards: usize,
+) -> Result<(FleetTrace, f64, Option<ParallelEfficiencyReport>), SimError> {
     let mut fleet = build_fleet(&cfg.fleet);
     let telemetry = Telemetry::with_capacity(1 << 10);
     let stream = StreamConfig {
         shards,
         chunk_rounds: cfg.chunk_rounds,
+        profile: true,
+        progress_path: Some(crate::telemetry_dir().join("progress-bench_fleet.json")),
         ..StreamConfig::default()
     };
     let epoch = WallEpoch::now();
@@ -170,14 +217,18 @@ fn run_once(cfg: &Config, shards: usize) -> Result<(FleetTrace, f64), SimError> 
         &telemetry,
         &stream,
     )?;
-    Ok((outcome.trace, epoch.elapsed().as_secs_f64()))
+    Ok((
+        outcome.trace,
+        epoch.elapsed().as_secs_f64(),
+        outcome.efficiency,
+    ))
 }
 
 /// Runs the full sweep (or the `--smoke` subset), printing a table as it
 /// goes when `print` is set, and returns the report document.
 pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
     let configs = sweep_grid(smoke);
-    let t = TablePrinter::new(&[10, 9, 7, 7, 8, 10, 14, 9, 10]);
+    let t = TablePrinter::new(&[10, 9, 7, 7, 8, 10, 14, 9, 10, 7, 8]);
     if print {
         t.header(&[
             "fleet",
@@ -189,6 +240,8 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
             "rounds/sec",
             "speedup",
             "peak MiB",
+            "eff",
+            "merge%",
         ]);
     }
 
@@ -198,7 +251,7 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
         let mut baseline: Option<(FleetTrace, f64)> = None;
         let mut cells = Vec::new();
         for &shards in cfg.shards {
-            let (trace, secs) = run_once(cfg, shards)?;
+            let (trace, secs, efficiency) = run_once(cfg, shards)?;
             let rounds = trace.total_wall.len();
             let router_rounds = (rounds * routers) as f64;
             let rounds_in_flight = if cfg.chunk_rounds == 0 {
@@ -229,6 +282,12 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
                     fmt(router_rounds / secs, 0),
                     format!("{speedup:.2}x"),
                     fmt(peak_bytes as f64 / (1024.0 * 1024.0), 2),
+                    efficiency
+                        .as_ref()
+                        .map_or("-".to_owned(), |e| format!("{:.2}", e.efficiency)),
+                    efficiency.as_ref().map_or("-".to_owned(), |e| {
+                        format!("{:.1}", e.merge_fraction * 100.0)
+                    }),
                 ]);
             }
             cells.push(RunReport {
@@ -239,6 +298,7 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
                 speedup,
                 est_peak_record_bytes: peak_bytes,
                 identical: true,
+                efficiency,
             });
             if baseline.is_none() {
                 baseline = Some((trace, secs));
@@ -258,6 +318,10 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
         seed: EXPERIMENT_SEED,
         cores: fj_par::available_shards(),
         smoke,
+        generated_by: Some(GeneratedBy {
+            version: version_string(),
+            smoke,
+        }),
         sweep,
     })
 }
@@ -283,6 +347,21 @@ pub struct CellComparison {
     pub ratio: f64,
     /// Whether `ratio` fell below the floor: a perf regression.
     pub regressed: bool,
+    /// Fresh parallel efficiency (absent when either report lacks a
+    /// profile for this cell).
+    pub fresh_efficiency: Option<f64>,
+    /// Baseline parallel efficiency.
+    pub baseline_efficiency: Option<f64>,
+    /// Fresh serial-merge fraction.
+    pub fresh_merge_fraction: Option<f64>,
+    /// Baseline serial-merge fraction.
+    pub baseline_merge_fraction: Option<f64>,
+    /// Whether fresh efficiency fell below `floor × baseline` at ≥ 2
+    /// shards: the parallelism stopped paying relative to the baseline.
+    pub efficiency_regressed: bool,
+    /// Whether the fresh merge fraction blew past the baseline's ceiling
+    /// at ≥ 2 shards: the serial merge grew into the parallel budget.
+    pub merge_regressed: bool,
 }
 
 /// Diffs a fresh report against a committed baseline: every fresh cell
@@ -294,6 +373,19 @@ pub struct CellComparison {
 /// `--smoke` run's overlapping cells — and vice versa; where the overlap
 /// is empty, the returned list is too, which callers must treat as
 /// "gate did not run", not as a pass).
+///
+/// When both runs of a ≥ 2-shard cell carry an efficiency profile, two
+/// further gates apply with the same noise-calibrated `floor`:
+///
+/// * **efficiency floor** — fresh parallel efficiency must reach
+///   `floor × baseline` (parallelism keeps paying at least as well,
+///   up to noise);
+/// * **merge ceiling** — the fresh serial-merge fraction must stay under
+///   `max(baseline / floor, baseline + 0.10)` (the serial section may
+///   wobble with noise but not grow into the parallel budget).
+///
+/// Cells without profiles on both sides (pre-profiler baselines) skip
+/// the extra gates rather than failing them.
 pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellComparison> {
     let mut out = Vec::new();
     for fresh_cfg in &fresh.sweep {
@@ -318,6 +410,21 @@ pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellCompari
             } else {
                 1.0
             };
+            let profiles = fresh_run
+                .efficiency
+                .as_ref()
+                .zip(base_run.efficiency.as_ref());
+            let mut efficiency_regressed = false;
+            let mut merge_regressed = false;
+            if fresh_run.shards >= 2 {
+                if let Some((f, b)) = profiles {
+                    if b.efficiency > 0.0 && floor > 0.0 {
+                        efficiency_regressed = f.efficiency < floor * b.efficiency;
+                        let ceiling = (b.merge_fraction / floor).max(b.merge_fraction + 0.10);
+                        merge_regressed = f.merge_fraction > ceiling;
+                    }
+                }
+            }
             out.push(CellComparison {
                 fleet: fresh_cfg.fleet.clone(),
                 routers: fresh_cfg.routers,
@@ -328,10 +435,29 @@ pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellCompari
                 fresh_rate,
                 ratio,
                 regressed: ratio < floor,
+                fresh_efficiency: fresh_run.efficiency.as_ref().map(|e| e.efficiency),
+                baseline_efficiency: base_run.efficiency.as_ref().map(|e| e.efficiency),
+                fresh_merge_fraction: fresh_run.efficiency.as_ref().map(|e| e.merge_fraction),
+                baseline_merge_fraction: base_run.efficiency.as_ref().map(|e| e.merge_fraction),
+                efficiency_regressed,
+                merge_regressed,
             });
         }
     }
     out
+}
+
+/// Parallel (≥ 2-shard) runs of a report that carry an efficiency
+/// profile — the cells the efficiency/merge gates can act on. Zero on a
+/// fresh sweep means the profiler went missing, which `bench_compare`
+/// treats as a hard failure rather than a silent skip.
+pub fn profiled_parallel_runs(report: &Report) -> usize {
+    report
+        .sweep
+        .iter()
+        .flat_map(|c| &c.runs)
+        .filter(|r| r.shards >= 2 && r.efficiency.is_some())
+        .count()
 }
 
 #[cfg(test)]
@@ -344,6 +470,10 @@ mod tests {
             seed: EXPERIMENT_SEED,
             cores: 4,
             smoke: true,
+            generated_by: Some(GeneratedBy {
+                version: "test-0000000".to_owned(),
+                smoke: true,
+            }),
             sweep: vec![ConfigReport {
                 fleet: "small".to_owned(),
                 routers: 17,
@@ -359,10 +489,24 @@ mod tests {
                         speedup: 1.0,
                         est_peak_record_bytes: estimated_peak_record_bytes(17, 100),
                         identical: true,
+                        efficiency: None,
                     })
                     .collect(),
             }],
         }
+    }
+
+    /// Attaches an efficiency profile to every run of `report`.
+    fn with_profiles(mut doc: Report, eff: f64, merge: f64) -> Report {
+        for cfg in &mut doc.sweep {
+            for run in &mut cfg.runs {
+                let mut profile = fj_obs::ParallelEfficiencyReport::empty(run.shards);
+                profile.efficiency = eff;
+                profile.merge_fraction = merge;
+                run.efficiency = Some(profile);
+            }
+        }
+        doc
     }
 
     #[test]
@@ -370,6 +514,7 @@ mod tests {
         let doc = report(&[(1, 1000.0), (2, 1800.0)]);
         let text = serde_json::to_string_pretty(&doc).expect("serialises");
         let back: Report = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back.generated_by, doc.generated_by);
         assert_eq!(back.sweep.len(), 1);
         assert_eq!(back.sweep[0].fleet, "small");
         assert_eq!(back.sweep[0].runs[1].shards, 2);
@@ -392,6 +537,56 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_gate_fires_only_at_parallel_shards_with_profiles() {
+        let baseline = with_profiles(report(&[(1, 1000.0), (2, 2000.0)]), 0.8, 0.10);
+        // Fresh efficiency collapsed to 0.2 of 0.8 — below a 0.5 floor —
+        // while throughput stayed fine.
+        let fresh = with_profiles(report(&[(1, 1000.0), (2, 2000.0)]), 0.16, 0.10);
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert!(!cells[0].regressed && !cells[1].regressed);
+        assert!(
+            !cells[0].efficiency_regressed,
+            "1-shard cells never gate on efficiency"
+        );
+        assert!(cells[1].efficiency_regressed, "0.16 < 0.5 × 0.8");
+        assert!(!cells[1].merge_regressed);
+        assert_eq!(cells[1].fresh_efficiency, Some(0.16));
+        assert_eq!(cells[1].baseline_efficiency, Some(0.8));
+    }
+
+    #[test]
+    fn merge_ceiling_flags_a_grown_serial_fraction() {
+        let baseline = with_profiles(report(&[(2, 2000.0)]), 0.8, 0.10);
+        // Ceiling at floor 0.5: max(0.10 / 0.5, 0.10 + 0.10) = 0.20.
+        let ok = with_profiles(report(&[(2, 2000.0)]), 0.8, 0.19);
+        assert!(!compare(&baseline, &ok, 0.5)[0].merge_regressed);
+        let bad = with_profiles(report(&[(2, 2000.0)]), 0.8, 0.35);
+        let cells = compare(&baseline, &bad, 0.5);
+        assert!(cells[0].merge_regressed, "0.35 > 0.20 ceiling");
+        assert!(!cells[0].efficiency_regressed);
+    }
+
+    #[test]
+    fn unprofiled_baselines_skip_the_extra_gates() {
+        // A pre-profiler baseline (no efficiency blocks) must not trip
+        // the new gates against a profiled fresh run.
+        let baseline = report(&[(2, 2000.0)]);
+        let fresh = with_profiles(report(&[(2, 2000.0)]), 0.01, 0.99);
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert!(!cells[0].efficiency_regressed);
+        assert!(!cells[0].merge_regressed);
+        assert_eq!(cells[0].baseline_efficiency, None);
+        assert_eq!(cells[0].fresh_efficiency, Some(0.01));
+    }
+
+    #[test]
+    fn profiled_parallel_runs_counts_gateable_cells() {
+        assert_eq!(profiled_parallel_runs(&report(&[(1, 1.0), (2, 1.0)])), 0);
+        let profiled = with_profiles(report(&[(1, 1.0), (2, 1.0), (4, 1.0)]), 0.8, 0.1);
+        assert_eq!(profiled_parallel_runs(&profiled), 2);
+    }
+
+    #[test]
     fn compare_skips_unmatched_cells() {
         let baseline = report(&[(1, 1000.0)]);
         let mut fresh = report(&[(1, 1000.0), (8, 5000.0)]);
@@ -410,6 +605,18 @@ mod tests {
         let doc = run_sweep(true, false).expect("smoke sweep runs");
         assert!(doc.smoke);
         assert_eq!(doc.sweep.len(), 3);
+        // Provenance and the per-run efficiency profile always ride along.
+        let provenance = doc.generated_by.as_ref().expect("generated_by recorded");
+        assert!(provenance.smoke);
+        assert!(!provenance.version.is_empty());
+        for cfg in &doc.sweep {
+            for run in &cfg.runs {
+                let profile = run.efficiency.as_ref().expect("profiled run");
+                assert!(profile.chunks > 0);
+                assert!(profile.efficiency > 0.0 && profile.efficiency <= 1.0);
+                assert_eq!(profile.shards, run.shards.min(cfg.routers));
+            }
+        }
         let shards: Vec<usize> = doc.sweep[0].runs.iter().map(|r| r.shards).collect();
         assert_eq!(shards, [1, 2]);
         assert!(doc.sweep.iter().all(|c| c.runs.iter().all(|r| r.identical)));

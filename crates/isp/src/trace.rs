@@ -57,6 +57,7 @@
 //! `fleet_checkpoints_rejected_total`) are excluded from the
 //! deterministic surface by construction.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,10 +65,11 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use fj_faults::{Backoff, FaultPlan, HealthState, TargetHealth};
+use fj_obs::{EfficiencyAccumulator, ParallelEfficiencyReport};
 use fj_router_sim::SimError;
 use fj_telemetry::{
-    Counter, Gauge, Histogram, Level, SpanBuffer, SpanId, SpanTimer, StageSpan, Telemetry,
-    TraceSink, WallEpoch,
+    Counter, Gauge, Histogram, Level, RunProgress, SpanBuffer, SpanId, SpanTimer, StageSpan,
+    Telemetry, TraceSink, WallEpoch,
 };
 use fj_traffic::PacketProfile;
 use fj_units::{SimDuration, SimInstant, TimeSeries};
@@ -368,6 +370,22 @@ pub struct StreamConfig {
     pub stop_after_chunks: Option<u64>,
     /// Deterministic fault injection for recovery tests.
     pub chaos_panic: Option<ChaosPanic>,
+    /// Run the shard-utilization profiler and the live progress plane:
+    /// per-chunk worker/merge timings fold into
+    /// [`StreamOutcome::efficiency`], [`RunProgress`] snapshots publish
+    /// into the telemetry bundle's bounded ring, and profiler-only
+    /// registry series (`fleet_parallel_efficiency`, …) track the latest
+    /// values. Everything recorded is wall-clock-derived and excluded
+    /// from the FJ01 deterministic surface exactly like the recovery
+    /// counters — enabling the profiler never changes traces, events,
+    /// span ids, or the deterministic metric series (enforced by
+    /// `tests/profiler_fj01.rs`).
+    pub profile: bool,
+    /// Additionally mirror each progress snapshot to this file with an
+    /// atomic tmp+rename write (conventionally
+    /// `target/telemetry/progress-<exp>.json`), so a long run can be
+    /// watched from outside the process. Requires [`StreamConfig::profile`].
+    pub progress_path: Option<PathBuf>,
 }
 
 /// What a streaming collection produced, beyond the trace itself.
@@ -388,6 +406,10 @@ pub struct StreamOutcome {
     pub resumed_at_round: Option<u64>,
     /// Checkpoint files rejected during resume (torn/corrupt/mismatched).
     pub checkpoints_rejected: u32,
+    /// Parallel-efficiency report folded over every merged chunk
+    /// (`Some` iff [`StreamConfig::profile`] was on). Wall-clock-derived
+    /// and off the deterministic surface.
+    pub efficiency: Option<ParallelEfficiencyReport>,
 }
 
 /// One router's full engine state, owned across chunks: the simulator,
@@ -676,6 +698,59 @@ struct MergeMetrics {
     health: Vec<Gauge>,
 }
 
+/// Profiler state for one streaming run: the efficiency accumulator plus
+/// the profiler-only registry series. Like the recovery counters, these
+/// series exist only when the feature is enabled and are excluded from
+/// FJ01 comparisons by name — they are wall-clock-derived and *should*
+/// differ between otherwise identical runs.
+struct RunProfiler {
+    epoch: WallEpoch,
+    /// Epoch reading when this run started, so rates cover only the work
+    /// this process actually did (a resumed prefix is not ours).
+    started_us: u64,
+    acc: EfficiencyAccumulator,
+    efficiency: Gauge,
+    merge_fraction: Gauge,
+    rounds_per_sec: Gauge,
+    shard_busy: Histogram,
+}
+
+impl RunProfiler {
+    fn new(registry: &fj_telemetry::Registry, epoch: WallEpoch) -> Self {
+        Self {
+            started_us: epoch.elapsed_micros(),
+            epoch,
+            acc: EfficiencyAccumulator::default(),
+            efficiency: registry.gauge("fleet_parallel_efficiency", &[]),
+            merge_fraction: registry.gauge("fleet_merge_fraction", &[]),
+            rounds_per_sec: registry.gauge("fleet_progress_rounds_per_sec", &[]),
+            shard_busy: registry.histogram("fleet_shard_busy_seconds", &[]),
+        }
+    }
+
+    /// Wall microseconds since this run started.
+    fn run_us(&self) -> u64 {
+        self.epoch.elapsed_micros().saturating_sub(self.started_us)
+    }
+
+    /// Folds one merged chunk into the accumulator and refreshes the
+    /// profiler-only series with the run-so-far report.
+    fn record_chunk(&mut self, stats: &fj_par::ShardStats, merge_us: u64) {
+        for w in &stats.workers {
+            self.shard_busy.observe(w.busy_us as f64 / 1e6);
+        }
+        self.acc.record_chunk(stats, merge_us);
+        let report = self.report();
+        self.efficiency.set(report.efficiency);
+        self.merge_fraction.set(report.merge_fraction);
+    }
+
+    /// The efficiency report over the run so far.
+    fn report(&self) -> ParallelEfficiencyReport {
+        self.acc.report(self.run_us())
+    }
+}
+
 /// The checkpointed streaming engine — [`collect_sharded`] is this with
 /// a default [`StreamConfig`]. See the module docs for the chunked
 /// execution model, the checkpoint/recovery supervisor, and the extended
@@ -901,6 +976,14 @@ pub fn collect_streaming(
             .collect(),
     };
 
+    // Profiler state is created only when asked for: an unprofiled run
+    // registers none of the profiler-only series and takes no clock
+    // reads beyond what the span stamps already do.
+    let mut profiler = config
+        .profile
+        .then(|| RunProfiler::new(registry, tracer.epoch()));
+    let mut checkpoints_written = 0u64;
+
     let supervising = config.max_restarts > 0;
     let mut restarts = 0u32;
     let mut backoff =
@@ -918,6 +1001,7 @@ pub fn collect_streaming(
         let boundary: Option<Vec<BoundaryState>> =
             supervising.then(|| cells.iter().map(BoundaryState::capture).collect());
 
+        let mut chunk_stats: Option<fj_par::ShardStats> = None;
         let outs: Vec<ChunkOutput> = loop {
             let ctx = RunContext {
                 start,
@@ -928,9 +1012,25 @@ pub fn collect_streaming(
                 epoch: tracer.epoch(),
                 chaos: config.chaos_panic.as_ref(),
             };
-            match fj_par::try_shard_map_mut(&mut cells, shards, |i, cell| {
-                run_chunk(&ctx, window, i, cell)
-            }) {
+            // The profiled and plain paths run the identical closure over
+            // the identical shards — profiling only timestamps the work,
+            // it never reorders it (see fj_par::try_shard_map_mut_profiled).
+            let attempt = if let Some(p) = &profiler {
+                let epoch = p.epoch;
+                let clock = move || epoch.elapsed_micros();
+                fj_par::try_shard_map_mut_profiled(&mut cells, shards, &clock, |i, cell| {
+                    run_chunk(&ctx, window, i, cell)
+                })
+                .map(|(results, stats)| {
+                    chunk_stats = Some(stats);
+                    results
+                })
+            } else {
+                fj_par::try_shard_map_mut(&mut cells, shards, |i, cell| {
+                    run_chunk(&ctx, window, i, cell)
+                })
+            };
+            match attempt {
                 Ok(results) => {
                     let mut outs = Vec::with_capacity(results.len());
                     let mut first_err = None;
@@ -1014,6 +1114,9 @@ pub fn collect_streaming(
         // uninterrupted runs would diverge.
         let sim_span = tracer.begin_span("fleet_simulate", Some(root_span), chunk_start);
         tracer.end_span(sim_span, chunk_end);
+        // The serial section the profiler attributes to "merge": worker
+        // span absorption plus the sequential (round, router) replay.
+        let merge_started_us = profiler.as_ref().map(|p| p.epoch.elapsed_micros());
         // Fold each worker's complete stage totals (and span-drop
         // counts) into the sink before replay, in fleet order.
         for o in &outs {
@@ -1028,10 +1131,60 @@ pub fn collect_streaming(
         round = window.end;
         chunks_done += 1;
 
+        if let Some(p) = &mut profiler {
+            let merge_us =
+                merge_started_us.map_or(0, |t0| p.epoch.elapsed_micros().saturating_sub(t0));
+            p.record_chunk(&chunk_stats.take().unwrap_or_default(), merge_us);
+            let report = p.report();
+            let wall_secs = p.run_us() as f64 / 1e6;
+            let merged_here = round.saturating_sub(first_round);
+            let rate = if wall_secs > 0.0 {
+                merged_here as f64 / wall_secs
+            } else {
+                0.0
+            };
+            p.rounds_per_sec.set(rate);
+            let remaining = rounds_total.saturating_sub(round);
+            let eta_secs = if rate > 0.0 {
+                remaining as f64 / rate
+            } else {
+                0.0
+            };
+            let snapshot = RunProgress {
+                chunk: chunks_done,
+                rounds_done: round,
+                rounds_total,
+                routers: u64::try_from(router_count).unwrap_or(u64::MAX),
+                shards: u64::try_from(shards).unwrap_or(u64::MAX),
+                wall_secs,
+                rounds_per_sec: rate,
+                eta_secs,
+                est_peak_record_bytes: estimated_peak_record_bytes(
+                    router_count,
+                    chunk_rounds.min(rounds_total.max(1)),
+                ),
+                checkpoints_written,
+                checkpoints_rejected: u64::from(checkpoints_rejected),
+                recoveries: u64::from(restarts),
+                efficiency: report.efficiency,
+                merge_fraction: report.merge_fraction,
+            };
+            telemetry.publish_progress(snapshot);
+            if let Some(path) = &config.progress_path {
+                if let Err(e) = telemetry.write_progress_json(path) {
+                    // A failed progress write degrades observability, not
+                    // correctness; capture context if the recorder is armed.
+                    let _ = telemetry
+                        .trip_flight_recorder("progress write failed", &[("error", e.to_string())]);
+                }
+            }
+        }
+
         if round >= rounds_total {
             break;
         }
         if let Some(ckpt_cfg) = &config.checkpoints {
+            checkpoints_written += 1;
             if let Some(rc) = &recovery {
                 rc.written.inc();
             }
@@ -1075,6 +1228,7 @@ pub fn collect_streaming(
         restarts,
         resumed_at_round,
         checkpoints_rejected,
+        efficiency: profiler.as_ref().map(RunProfiler::report),
     })
 }
 

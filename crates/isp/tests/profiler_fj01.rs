@@ -1,0 +1,164 @@
+//! FJ01 regression for the shard-utilization profiler and the live
+//! progress plane: enabling `StreamConfig::profile` must leave the
+//! deterministic surface — trace, events, span stream, and the metric
+//! snapshot minus the profiler-excluded series — bit-identical to an
+//! unprofiled run at every shard count.
+//!
+//! The profiler's registry series (`fleet_parallel_efficiency`,
+//! `fleet_merge_fraction`, `fleet_progress_rounds_per_sec`,
+//! `fleet_shard_busy_seconds`) are wall-clock-derived and excluded from
+//! the comparison by name, exactly like the recovery counters in
+//! `recovery.rs` — they exist only when the profiler is on and *should*
+//! differ between otherwise identical runs. Everything else must not.
+
+use std::sync::Arc;
+
+use fj_faults::FaultPlan;
+use fj_isp::trace::{collect_streaming, StreamConfig, StreamOutcome};
+use fj_isp::{build_fleet, EventKind, FleetConfig, ScheduledEvent};
+use fj_telemetry::Telemetry;
+use fj_units::{SimDuration, SimInstant, Watts};
+
+/// Registry series that legitimately differ between profiled and
+/// unprofiled runs: wall-derived profiler series (present only when the
+/// profiler is on) and the wall-clock round-duration histogram.
+const EXCLUDED: [&str; 5] = [
+    "fleet_poll_round_duration_seconds",
+    "fleet_parallel_efficiency",
+    "fleet_merge_fraction",
+    "fleet_progress_rounds_per_sec",
+    "fleet_shard_busy_seconds",
+];
+
+/// A two-day chunked run over a small fleet with drops and a mid-run
+/// event — enough rounds for several chunks per shard count.
+fn run(shards: usize, profile: bool) -> (StreamOutcome, Arc<Telemetry>) {
+    let mut fleet = build_fleet(&FleetConfig::small(11));
+    let events = vec![ScheduledEvent {
+        at: SimInstant::from_days(1),
+        kind: EventKind::OsUpdate {
+            router: 3,
+            version: "7.11.2".into(),
+            delta: Watts::new(45.0),
+        },
+    }];
+    let plan = FaultPlan::new(0x6A9_0007).with_drop_rate(0.15);
+    let telemetry = Telemetry::with_capacity(1 << 16);
+    let config = StreamConfig {
+        shards,
+        chunk_rounds: 96,
+        profile,
+        ..StreamConfig::default()
+    };
+    let outcome = collect_streaming(
+        &mut fleet,
+        SimInstant::EPOCH,
+        SimInstant::from_days(2),
+        SimDuration::from_mins(5),
+        events,
+        &[0, 3],
+        &plan,
+        &telemetry,
+        &config,
+    )
+    .expect("collection succeeds");
+    (outcome, telemetry)
+}
+
+/// Prometheus text minus the series that are wall-derived by design.
+fn stable_prometheus(t: &Telemetry) -> String {
+    t.render_prometheus()
+        .lines()
+        .filter(|l| !EXCLUDED.iter().any(|name| l.contains(name)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Span stream projected onto its deterministic content (wall stamps are
+/// the sanctioned nondeterminism).
+fn stable_spans(t: &Telemetry) -> Vec<String> {
+    let mut out: Vec<String> = t
+        .tracer()
+        .spans()
+        .iter()
+        .map(|s| {
+            format!(
+                "{} parent={} name={} lane={} sim={}..{} fields={:?}",
+                s.id,
+                s.parent,
+                s.name,
+                s.lane,
+                s.sim_start.as_secs(),
+                s.sim_end.as_secs(),
+                s.fields
+            )
+        })
+        .collect();
+    out.push(format!("dropped={}", t.tracer().dropped()));
+    out
+}
+
+#[test]
+fn profiler_adds_nothing_to_the_deterministic_surface() {
+    for shards in [1usize, 2, 4, 8, 1024] {
+        let (off, off_tel) = run(shards, false);
+        let (on, on_tel) = run(shards, true);
+
+        assert_eq!(
+            off.trace, on.trace,
+            "{shards}-shard trace diverged when profiling"
+        );
+        assert_eq!(
+            off_tel.events().events(),
+            on_tel.events().events(),
+            "{shards}-shard event log diverged when profiling"
+        );
+        assert_eq!(
+            stable_prometheus(&off_tel),
+            stable_prometheus(&on_tel),
+            "{shards}-shard metric snapshot diverged when profiling"
+        );
+        assert_eq!(
+            stable_spans(&off_tel),
+            stable_spans(&on_tel),
+            "{shards}-shard span stream diverged when profiling"
+        );
+
+        // The profiler-only series exist exactly when profiling: a plain
+        // run's exposition carries none of them, so existing callers see
+        // a byte-identical registry.
+        let off_prom = off_tel.render_prometheus();
+        for name in &EXCLUDED[1..] {
+            assert!(
+                !off_prom.contains(name),
+                "{name} leaked into an unprofiled run"
+            );
+        }
+        let on_prom = on_tel.render_prometheus();
+        for name in &EXCLUDED[1..] {
+            assert!(on_prom.contains(name), "{name} missing from a profiled run");
+        }
+
+        // Progress snapshots publish only when profiling, and only into
+        // the side-channel ring — never the event log or the registry.
+        assert!(off_tel.latest_progress().is_none());
+        let latest = on_tel.latest_progress().expect("progress published");
+        assert_eq!(latest.rounds_done, on.rounds_total);
+        assert_eq!(latest.rounds_total, on.rounds_total);
+        assert_eq!(latest.shards, shards as u64);
+        assert!(
+            on_tel.progress_published() >= on.rounds_total / 96,
+            "one snapshot per chunk"
+        );
+
+        // The efficiency report rides the outcome side channel.
+        assert!(off.efficiency.is_none());
+        let report = on.efficiency.expect("profiled run reports efficiency");
+        assert_eq!(report.chunks, on_tel.progress_published());
+        assert!(report.wall_secs > 0.0);
+        assert!(report.efficiency > 0.0 && report.efficiency <= 1.0);
+        assert!(report.imbalance >= 1.0);
+        // At most one worker per router; the report records what ran.
+        assert_eq!(report.shards, shards.min(on.trace.routers.len()));
+    }
+}

@@ -211,6 +211,178 @@ fn join_propagating<R>(handle: std::thread::ScopedJoinHandle<'_, Vec<R>>) -> Vec
     }
 }
 
+/// Utilization of a single worker in one profiled sharded call.
+///
+/// The three duration fields partition the call's wall interval as seen
+/// by this worker: `spawn_wait_us` (call start → the worker's first
+/// instruction), `busy_us` (the worker's item loop), and `join_wait_us`
+/// (the worker's last instruction → the call's return, i.e. time spent
+/// waiting for sibling shards and the join loop). By construction
+/// `spawn_wait_us + busy_us + join_wait_us == ShardStats::wall_us` up to
+/// clock granularity — the invariant the fj-obs proptests pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Shard index this worker executed (0 for inline runs).
+    pub shard: usize,
+    /// Items the worker mapped.
+    pub items: u64,
+    /// Clock ticks between call entry and the worker starting.
+    pub spawn_wait_us: u64,
+    /// Clock ticks the worker spent inside its item loop.
+    pub busy_us: u64,
+    /// Clock ticks between the worker finishing and the call returning.
+    pub join_wait_us: u64,
+}
+
+/// Utilization of one whole profiled sharded call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Clock ticks for the whole call (spawn, map, join).
+    pub wall_us: u64,
+    /// One entry per non-empty shard, in shard order.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ShardStats {
+    /// Worker count that actually ran (≤ the requested shard count).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total busy time across workers.
+    pub fn busy_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_us).sum()
+    }
+
+    /// Busy time of the slowest worker — the parallel critical path.
+    pub fn max_busy_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_us).max().unwrap_or(0)
+    }
+
+    /// Total items mapped across workers.
+    pub fn items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Total spawn wait across workers.
+    pub fn spawn_wait_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.spawn_wait_us).sum()
+    }
+
+    /// Total join wait across workers.
+    pub fn join_wait_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.join_wait_us).sum()
+    }
+}
+
+/// [`try_shard_map_mut`] that additionally measures per-worker
+/// utilization through a caller-supplied monotonic clock.
+///
+/// `clock` is sampled at call entry/exit and around each worker's item
+/// loop; units are whatever the closure returns (the engine passes
+/// `WallEpoch::elapsed_micros`, keeping this crate zero-dependency while
+/// the wall clock stays behind fj-telemetry's audited seam). The mapped
+/// results are bit-identical to the unprofiled call — profiling never
+/// reorders or alters work, it only timestamps it. On a worker panic the
+/// partial stats are discarded and the error matches
+/// [`try_shard_map_mut`] exactly.
+pub fn try_shard_map_mut_profiled<T, R, F, C>(
+    items: &mut [T],
+    shards: usize,
+    clock: &C,
+    f: F,
+) -> Result<(Vec<R>, ShardStats), ShardPanic>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+    C: Fn() -> u64 + Sync,
+{
+    let entered = clock();
+    let ranges = shard_ranges(items.len(), shards);
+    if ranges.len() <= 1 {
+        let n = items.len() as u64;
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect()
+        }))
+        .map_err(|payload| ShardPanic { shard: 0, payload })?;
+        let wall = clock().saturating_sub(entered);
+        let worker = WorkerStats {
+            shard: 0,
+            items: n,
+            spawn_wait_us: 0,
+            busy_us: wall,
+            join_wait_us: 0,
+        };
+        return Ok((
+            out,
+            ShardStats {
+                wall_us: wall,
+                workers: vec![worker],
+            },
+        ));
+    }
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut sizes = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            sizes.push(range.len() as u64);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let started = clock();
+                let out = chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, t)| f(range.start + k, t))
+                    .collect::<Vec<R>>();
+                (out, started, clock())
+            }));
+        }
+        // Join every worker before reporting, mirroring the unprofiled
+        // call; the lowest panicking shard index wins deterministically.
+        let mut out = Vec::new();
+        let mut stamps = Vec::with_capacity(handles.len());
+        let mut first_panic: Option<ShardPanic> = None;
+        for (shard, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok((v, started, ended)) => {
+                    out.extend(v);
+                    stamps.push((shard, started, ended));
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(ShardPanic { shard, payload });
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            return Err(p);
+        }
+        let returned = clock();
+        let workers = stamps
+            .into_iter()
+            .map(|(shard, started, ended)| WorkerStats {
+                shard,
+                items: sizes.get(shard).copied().unwrap_or(0),
+                spawn_wait_us: started.saturating_sub(entered),
+                busy_us: ended.saturating_sub(started),
+                join_wait_us: returned.saturating_sub(ended),
+            })
+            .collect();
+        Ok((
+            out,
+            ShardStats {
+                wall_us: returned.saturating_sub(entered),
+                workers,
+            },
+        ))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +505,52 @@ mod tests {
         .expect_err("inline panic surfaces too");
         assert_eq!(err.shard, 0);
         assert!(format!("{err:?}").contains("shard"));
+    }
+
+    #[test]
+    fn profiled_map_matches_unprofiled_and_accounts_wall() {
+        let tick = AtomicUsize::new(0);
+        let clock = || tick.fetch_add(1, Ordering::Relaxed) as u64;
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut a: Vec<i64> = vec![0; 53];
+            let mut b: Vec<i64> = vec![0; 53];
+            let plain = try_shard_map_mut(&mut a, shards, |i, v| {
+                *v = i as i64;
+                i
+            })
+            .expect("no panic");
+            let (profiled, stats) = try_shard_map_mut_profiled(&mut b, shards, &clock, |i, v| {
+                *v = i as i64;
+                i
+            })
+            .expect("no panic");
+            assert_eq!(plain, profiled, "shards {shards}");
+            assert_eq!(a, b, "shards {shards}");
+            assert_eq!(stats.shards(), shards);
+            assert_eq!(stats.items(), 53);
+            // The fake clock is strictly monotonic, so each worker's
+            // three segments partition the call wall exactly.
+            for w in &stats.workers {
+                assert_eq!(
+                    w.spawn_wait_us + w.busy_us + w.join_wait_us,
+                    stats.wall_us,
+                    "shard {} of {shards}",
+                    w.shard
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_map_surfaces_panics_like_unprofiled() {
+        let clock = || 0u64;
+        let mut items: Vec<usize> = (0..32).collect();
+        let err = try_shard_map_mut_profiled(&mut items, 4, &clock, |i, _| {
+            assert!(i != 20, "injected at {i}");
+            i
+        })
+        .expect_err("panics must surface");
+        assert_eq!(err.shard, 2);
     }
 
     #[test]

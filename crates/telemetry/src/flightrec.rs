@@ -121,5 +121,11 @@ pub(crate) fn document(
         ),
         ("joins".to_owned(), Value::Array(join_entries)),
         ("unjoined_fault_events".to_owned(), Value::UInt(unjoined)),
+        // Latest live-progress snapshot (Null before any publish), so a
+        // mid-run dump answers "how far had it got?" directly.
+        (
+            "progress".to_owned(),
+            crate::progress::to_value(telemetry.latest_progress().as_ref()),
+        ),
     ])
 }

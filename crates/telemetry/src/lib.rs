@@ -38,6 +38,7 @@ pub mod events;
 mod flightrec;
 pub mod histogram;
 pub mod metrics;
+pub mod progress;
 pub mod render;
 pub mod span;
 pub mod trace;
@@ -55,6 +56,7 @@ pub use clock::{WallDeadline, WallEpoch};
 pub use events::{Event, EventLog, Level};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, MetricSnapshot, MetricValue, Registry, RegistrySnapshot};
+pub use progress::RunProgress;
 pub use span::SpanTimer;
 pub use trace::{Span, SpanBuffer, SpanId, SpanRecord, StageSpan, TraceSink};
 
@@ -67,6 +69,7 @@ pub struct Telemetry {
     events: EventLog,
     trace: TraceSink,
     flightrec: Mutex<Option<FlightRecorder>>,
+    progress: Mutex<progress::ProgressPlane>,
     now_secs: AtomicI64,
 }
 
@@ -88,6 +91,7 @@ impl Telemetry {
             registry,
             events: EventLog::new(capacity),
             flightrec: Mutex::new(None),
+            progress: Mutex::new(progress::ProgressPlane::default()),
             now_secs: AtomicI64::new(0),
         })
     }
@@ -149,6 +153,58 @@ impl Telemetry {
     /// The causal trace sink.
     pub fn tracer(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// Publishes a live-progress snapshot into the bounded progress ring.
+    ///
+    /// Progress is wall-clock-derived and lives off the FJ01 surface:
+    /// publishing touches no metric, event, or span state.
+    pub fn publish_progress(&self, snapshot: RunProgress) {
+        self.progress.lock().publish(snapshot);
+    }
+
+    /// The most recently published progress snapshot, if any.
+    pub fn latest_progress(&self) -> Option<RunProgress> {
+        self.progress.lock().latest()
+    }
+
+    /// The retained progress history, oldest first (bounded ring of
+    /// [`progress::PROGRESS_CAPACITY`] snapshots).
+    pub fn progress_history(&self) -> Vec<RunProgress> {
+        self.progress.lock().history()
+    }
+
+    /// Snapshots ever published (including ones the ring has evicted).
+    pub fn progress_published(&self) -> u64 {
+        self.progress.lock().published()
+    }
+
+    /// Prometheus text for the latest progress snapshot — rendered on
+    /// demand, deliberately separate from [`Telemetry::render_prometheus`]
+    /// so the wall-derived series never mix into the deterministic
+    /// exposition. Empty when nothing was published.
+    pub fn render_progress_prometheus(&self) -> String {
+        let latest = self.latest_progress();
+        progress::to_prometheus_text(latest.as_ref())
+    }
+
+    /// Atomically writes the latest progress snapshot as pretty JSON to
+    /// `path` (tmp + rename, like checkpoint files), creating parent
+    /// directories, so outside observers can read it mid-run without
+    /// seeing a torn write. No-op (`Ok`) when nothing was published.
+    pub fn write_progress_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let Some(latest) = self.latest_progress() else {
+            return Ok(());
+        };
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let text = serde_json::to_string_pretty(&latest)
+            .unwrap_or_else(|e| format!("{{\"error\":\"progress serialization failed: {e}\"}}"));
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Writes the Chrome/Perfetto `trace_event` JSON export of the trace
@@ -323,6 +379,62 @@ mod tests {
 
         // Trip-once: the second trip is a no-op.
         assert!(t.trip_flight_recorder("again", &[]).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_plane_publishes_renders_and_writes_atomically() {
+        let t = Telemetry::new();
+        assert!(t.latest_progress().is_none());
+        assert_eq!(t.render_progress_prometheus(), "");
+        // An empty plane writes nothing rather than a torn file.
+        let dir = std::env::temp_dir().join("fj-progress-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("progress-unit.json");
+        t.write_progress_json(&path).unwrap();
+        assert!(!path.exists());
+
+        let p = RunProgress {
+            chunk: 2,
+            rounds_done: 192,
+            rounds_total: 960,
+            routers: 11,
+            shards: 4,
+            wall_secs: 1.0,
+            rounds_per_sec: 192.0,
+            eta_secs: 4.0,
+            est_peak_record_bytes: 4096,
+            checkpoints_written: 2,
+            checkpoints_rejected: 0,
+            recoveries: 1,
+            efficiency: 0.75,
+            merge_fraction: 0.2,
+        };
+        t.publish_progress(p.clone());
+        assert_eq!(t.latest_progress(), Some(p.clone()));
+        assert_eq!(t.progress_published(), 1);
+        let prom = t.render_progress_prometheus();
+        assert!(prom.contains("fj_progress_rounds_done 192"));
+        // Progress never leaks into the deterministic exposition.
+        assert!(!t.render_prometheus().contains("fj_progress"));
+
+        t.write_progress_json(&path).unwrap();
+        let back: RunProgress =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "tmp renamed away"
+        );
+
+        // The flight recorder dump carries the latest snapshot.
+        t.arm_flight_recorder("progress-unit", &dir);
+        let dump = t.trip_flight_recorder("unit", &[]).expect("armed trip");
+        let doc: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&dump).unwrap()).unwrap();
+        let progress = serde::field(doc.as_map().unwrap(), "progress");
+        let got: RunProgress = serde::from_value(progress).unwrap();
+        assert_eq!(got, p);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
