@@ -10,8 +10,20 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> fj-lint (domain rules: determinism, dimensional safety, panic-freedom)"
-cargo run -q -p fj-lint
+echo "==> fj-lint (domain rules, cold run with timing)"
+rm -rf target/lint
+cargo run -q -p fj-lint -- --timing target/lint/timing-cold.json
+cp target/lint/findings.json target/lint/findings-cold.json
+
+echo "==> fj-lint (warm run: cache must reproduce the cold bytes)"
+cargo run -q -p fj-lint -- --timing target/lint/timing-warm.json
+cmp target/lint/findings-cold.json target/lint/findings.json \
+    || { echo "incremental cache changed findings.json" >&2; exit 1; }
+
+echo "==> fj-lint wall-time gate (budget = 2x cold + 500ms, noise-calibrated)"
+cold_ms=$(sed -n 's/.*"total_ms": \([0-9]*\).*/\1/p' target/lint/timing-cold.json)
+cargo run -q -p fj-lint -- --max-wall-ms $((cold_ms * 2 + 500)) \
+    --timing target/lint/timing-gated.json
 
 echo "==> cargo test"
 cargo test --workspace -q

@@ -130,9 +130,11 @@ pub fn decide(observations: &[LinkObservation], config: &HypnosConfig) -> Hypnos
             .map(|o| (o.link_id, o.routers.0, o.routers.1)),
     );
 
-    // Per-router internal traffic and up-capacity.
-    let mut router_traffic: std::collections::HashMap<usize, f64> = Default::default();
-    let mut router_capacity: std::collections::HashMap<usize, f64> = Default::default();
+    // Per-router internal traffic and up-capacity. Ordered maps (FJ07):
+    // accumulation order over observations is fixed, and lookups below
+    // never depend on iteration order at all.
+    let mut router_traffic: std::collections::BTreeMap<usize, f64> = Default::default();
+    let mut router_capacity: std::collections::BTreeMap<usize, f64> = Default::default();
     for o in observations {
         for r in [o.routers.0, o.routers.1] {
             *router_traffic.entry(r).or_default() += o.traffic.as_f64();

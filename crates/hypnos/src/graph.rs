@@ -1,14 +1,18 @@
 //! Topology connectivity for the sleep-safety check.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// An undirected multigraph of routers (nodes) and links (edges).
+/// Ordered maps keep traversal order a function of node/link ids alone
+/// (FJ07): component counts are order-independent, but the BFS frontier
+/// order is not, and debugging a replay divergence through a
+/// hash-ordered frontier is misery.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     /// Adjacency: node → (neighbor, link id).
-    adj: HashMap<usize, Vec<(usize, usize)>>,
+    adj: BTreeMap<usize, Vec<(usize, usize)>>,
     /// Links currently considered up.
-    up: HashSet<usize>,
+    up: BTreeSet<usize>,
 }
 
 impl Topology {
@@ -52,7 +56,7 @@ impl Topology {
     /// no edges at all are not counted; a real ISP topology may already be
     /// a forest of islands when only *internal* links are considered).
     pub fn component_count(&self) -> usize {
-        let mut seen: HashSet<usize> = HashSet::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
         let mut components = 0;
         for &start in self.adj.keys() {
             if seen.contains(&start) {

@@ -9,7 +9,7 @@
 //! no traffic), which is exactly what the Oct 22–25 flap exposes; this
 //! predictor reproduces the flawed inference faithfully.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fj_core::{InterfaceConfig, InterfaceLoad, ModelRegistry};
 use fj_units::{DataRate, PacketRate, SimDuration, Watts};
@@ -26,7 +26,7 @@ struct Counters {
 /// Stateful predictor: remembers the previous poll's counters.
 pub struct ModelPredictor {
     registry: ModelRegistry,
-    last: HashMap<(usize, usize), Counters>,
+    last: BTreeMap<(usize, usize), Counters>,
 }
 
 impl ModelPredictor {
@@ -36,7 +36,7 @@ impl ModelPredictor {
     pub fn new(registry: ModelRegistry) -> Self {
         Self {
             registry,
-            last: HashMap::new(),
+            last: BTreeMap::new(),
         }
     }
 
@@ -83,16 +83,13 @@ impl ModelPredictor {
 
     /// Captures the counter memory as sorted, serializable entries
     /// (`(fleet_index, iface_index, octets, packets)`), for checkpoints.
-    /// Sorting makes the snapshot a pure function of predictor state —
-    /// `HashMap` iteration order never leaks into a checkpoint file.
+    /// The `BTreeMap` keeps the memory key-ordered, so the snapshot is a
+    /// pure function of predictor state with no explicit sort.
     pub fn counters_snapshot(&self) -> Vec<(usize, usize, u64, u64)> {
-        let mut entries: Vec<(usize, usize, u64, u64)> = self
-            .last
+        self.last
             .iter()
             .map(|(&(fleet, iface), c)| (fleet, iface, c.octets, c.packets))
-            .collect();
-        entries.sort_unstable();
-        entries
+            .collect()
     }
 
     /// Replaces the counter memory from a snapshot.

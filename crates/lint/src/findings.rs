@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`FJ01` … `FJ06`, or `FJ00` for pragma misuse).
+    /// Rule id (`FJ01` … `FJ09`, or `FJ00` for pragma misuse).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,

@@ -5,9 +5,10 @@
 //! "is this byte inside a string / char literal / comment?" correctly,
 //! which requires real handling of the constructs that break naive
 //! scanners: escapes in string and char literals, raw strings with an
-//! arbitrary number of `#`s, byte and raw-byte strings, *nested* block
-//! comments, doc comments, raw identifiers (`r#fn` is not a raw string),
-//! and the lifetime-vs-char-literal ambiguity (`'a` vs `'a'`).
+//! arbitrary number of `#`s, byte / raw-byte / C / raw-C strings
+//! (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`), *nested* block comments, doc
+//! comments, raw identifiers (`r#fn` is not a raw string), and the
+//! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`).
 
 /// Classification of one contiguous span of source text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,9 +21,9 @@ pub enum SpanKind {
     DocComment,
     /// `/* ... */`, nesting honoured.
     BlockComment,
-    /// `"..."` or `b"..."`, escapes honoured.
+    /// `"..."`, `b"..."`, or `c"..."`, escapes honoured.
     Str,
-    /// `r"..."`, `r#"..."#`, `br##"..."##`, any hash depth.
+    /// `r"..."`, `r#"..."#`, `br##"..."##`, `cr#"..."#`, any hash depth.
     RawStr,
     /// `'x'`, `'\n'`, `b'x'`.
     Char,
@@ -96,7 +97,7 @@ impl<'a> Lexer<'a> {
                 b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
                 b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
                 b'"' => self.string(self.pos),
-                b'r' | b'b' => self.raw_or_byte(),
+                b'r' | b'b' | b'c' => self.raw_or_byte(),
                 b'\'' => self.char_or_lifetime(),
                 _ => self.advance_code(1),
             }
@@ -194,9 +195,9 @@ impl<'a> Lexer<'a> {
         self.emit(kind, start, i.min(self.src.len()));
     }
 
-    /// Handles the `r"`, `r#"`, `br"`, `b"`, and `b'` literal prefixes;
-    /// anything else starting with `r`/`b` (identifiers, raw identifiers
-    /// like `r#fn`) is consumed as code.
+    /// Handles the `r"`, `r#"`, `br"`, `b"`, `b'`, `c"`, and `cr"`
+    /// literal prefixes; anything else starting with `r`/`b`/`c`
+    /// (identifiers, raw identifiers like `r#fn`) is consumed as code.
     fn raw_or_byte(&mut self) {
         if self.prev_is_ident() {
             self.advance_code(1);
@@ -204,7 +205,7 @@ impl<'a> Lexer<'a> {
         }
         let start = self.pos;
         let mut i = self.pos;
-        if self.src[i] == b'b' {
+        if self.src[i] == b'b' || self.src[i] == b'c' {
             i += 1;
         }
         let after_b = i;
@@ -432,6 +433,32 @@ mod tests {
             .map(|s| s.kind)
             .collect();
         assert_eq!(ks, vec![SpanKind::Str, SpanKind::Char, SpanKind::RawStr]);
+    }
+
+    #[test]
+    fn c_string_literals() {
+        let src = "let a = c\"ffi\\0name\"; let r = cr#\"has \"quote\"\"#; done()";
+        let ks: Vec<SpanKind> = lex(src)
+            .into_iter()
+            .filter(|s| s.kind != SpanKind::Code)
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(ks, vec![SpanKind::Str, SpanKind::RawStr]);
+        let masked = code_only(src, &lex(src));
+        assert!(!masked.contains("ffi"));
+        assert!(
+            !masked.contains("quote"),
+            "cr raw string must not end at the inner quote"
+        );
+        assert!(masked.contains("done()"));
+    }
+
+    #[test]
+    fn c_identifier_stays_code() {
+        let src = "let c = 1; match c { 'x' => c, _ => c }";
+        let masked = code_only(src, &lex(src));
+        assert!(masked.contains("match c {"));
+        assert!(!masked.contains("'x'"));
     }
 
     #[test]

@@ -1,39 +1,107 @@
-//! The `fj-lint` driver: lint the workspace, print a compiler-style
-//! report, write the JSON findings artifact, exit non-zero on findings.
+//! The `fj-lint` driver: lint the workspace in parallel shards with an
+//! incremental cache, print a compiler-style report, write deterministic
+//! JSON artifacts (`findings.json`, `surface.json`), and exit 0 clean /
+//! 1 on findings / 2 on internal error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+// fj-lint: allow(FJ01) — lint wall-time measurement feeds the CI timing
+// gate only; it never touches findings.json or any sim-visible output.
+use std::time::Instant;
 
-fn main() -> ExitCode {
+const USAGE: &str = "\
+fj-lint — domain static analysis for the fantastic-joules workspace
+
+usage: fj-lint [options]
+
+  --rules            print the rule catalogue and exit
+  --surface          print the deterministic-surface map (JSON) and exit
+  --root <dir>       workspace root (default: discovered from cwd)
+  --json <file>      findings file (default: <root>/target/lint/findings.json);
+                     surface.json is written alongside it
+  --shards <n>       shard count for the parallel per-file stage
+                     (default: FJ_SHARDS env or available parallelism)
+  --no-cache         skip the incremental cache (<root>/target/lint/cache.tsv)
+  --timing <file>    write a JSON wall-time report for CI gating
+  --max-wall-ms <n>  exit 2 if the lint stage exceeds n milliseconds
+
+exit codes: 0 no findings · 1 findings reported · 2 internal error
+            (unreadable tree, bad usage, or wall-time gate tripped)";
+
+struct Args {
+    rules: bool,
+    surface: bool,
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    shards: usize,
+    no_cache: bool,
+    timing: Option<PathBuf>,
+    max_wall_ms: Option<u128>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        rules: false,
+        surface: false,
+        root: None,
+        json: None,
+        shards: 0,
+        no_cache: false,
+        timing: None,
+        max_wall_ms: None,
+    };
     let mut args = std::env::args().skip(1);
-    let mut root_override: Option<PathBuf> = None;
-    let mut json_override: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("`{name}` needs a value (try --help)"))
+        };
         match arg.as_str() {
-            "--rules" => {
-                print!("{}", fj_lint::render_catalogue());
-                return ExitCode::SUCCESS;
+            "--rules" => out.rules = true,
+            "--surface" => out.surface = true,
+            "--root" => out.root = Some(PathBuf::from(value("--root")?)),
+            "--json" => out.json = Some(PathBuf::from(value("--json")?)),
+            "--shards" => {
+                let v = value("--shards")?;
+                out.shards = v
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("`--shards {v}`: expected a positive integer"))?;
             }
-            "--root" => root_override = args.next().map(PathBuf::from),
-            "--json" => json_override = args.next().map(PathBuf::from),
-            "--help" | "-h" => {
-                println!(
-                    "fj-lint — domain static analysis for the fantastic-joules workspace\n\n\
-                     usage: fj-lint [--rules] [--root <dir>] [--json <file>]\n\n\
-                     --rules   print the rule catalogue and exit\n\
-                     --root    workspace root (default: discovered from cwd)\n\
-                     --json    findings file (default: <root>/target/lint/findings.json)"
+            "--no-cache" => out.no_cache = true,
+            "--timing" => out.timing = Some(PathBuf::from(value("--timing")?)),
+            "--max-wall-ms" => {
+                let v = value("--max-wall-ms")?;
+                out.max_wall_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("`--max-wall-ms {v}`: expected milliseconds"))?,
                 );
-                return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("fj-lint: unknown argument `{other}` (try --help)");
-                return ExitCode::from(2);
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
             }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
+    Ok(out)
+}
 
-    let Some(root) = root_override.or_else(|| {
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fj-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.rules {
+        print!("{}", fj_lint::render_catalogue());
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = args.root.clone().or_else(|| {
         std::env::current_dir()
             .ok()
             .and_then(|cwd| fj_lint::workspace::find_root(&cwd))
@@ -42,15 +110,30 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let report = match fj_lint::lint_root(&root) {
+    let opts = fj_lint::LintOptions {
+        shards: args.shards,
+        cache: (!args.no_cache).then(|| root.join("target/lint/cache.tsv")),
+    };
+    // fj-lint: allow(FJ01) — wall-time for the CI gate; diagnostic only.
+    let started = Instant::now();
+    let report = match fj_lint::lint_root_with(&root, &opts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("fj-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis();
 
-    let json_path = json_override.unwrap_or_else(|| root.join("target/lint/findings.json"));
+    if args.surface {
+        print!("{}", report.surface.render_json());
+        return ExitCode::SUCCESS;
+    }
+
+    let json_path = args
+        .json
+        .unwrap_or_else(|| root.join("target/lint/findings.json"));
+    let surface_path = json_path.with_file_name("surface.json");
     let json =
         fj_lint::findings::render_json(&report.findings, report.files_scanned, report.suppressed);
     if let Some(parent) = json_path.parent() {
@@ -59,19 +142,46 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if let Err(e) = std::fs::write(&json_path, json) {
-        eprintln!("fj-lint: writing {}: {e}", json_path.display());
-        return ExitCode::from(2);
+    for (path, content) in [
+        (&json_path, json),
+        (&surface_path, report.surface.render_json()),
+    ] {
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("fj-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(timing_path) = &args.timing {
+        let timing = format!(
+            "{{\n  \"total_ms\": {elapsed_ms},\n  \"files_scanned\": {},\n  \
+             \"shards\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {}\n}}\n",
+            report.files_scanned, report.shards, report.cache_hits, report.cache_misses
+        );
+        if let Err(e) = std::fs::write(timing_path, timing) {
+            eprintln!("fj-lint: writing {}: {e}", timing_path.display());
+            return ExitCode::from(2);
+        }
     }
 
     print!("{}", fj_lint::findings::render_text(&report.findings));
     eprintln!(
-        "fj-lint: {} file(s) scanned, {} finding(s), {} suppression(s) honoured → {}",
+        "fj-lint: {} file(s) scanned in {elapsed_ms} ms ({} shard(s), {} cached, {} fresh), \
+         {} finding(s), {} suppression(s) honoured → {}",
         report.files_scanned,
+        report.shards,
+        report.cache_hits,
+        report.cache_misses,
         report.findings.len(),
         report.suppressed,
         json_path.display()
     );
+
+    if let Some(budget) = args.max_wall_ms {
+        if elapsed_ms > budget {
+            eprintln!("fj-lint: wall-time gate tripped: {elapsed_ms} ms > budget {budget} ms");
+            return ExitCode::from(2);
+        }
+    }
     if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {

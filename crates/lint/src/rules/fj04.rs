@@ -19,7 +19,7 @@ use crate::lexer::SpanKind;
 use crate::workspace::FileClass;
 
 /// A literal metric registration found in code.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Registration {
     /// The metric name literal.
     pub name: String,

@@ -1,0 +1,55 @@
+//! FJ07 — unordered iteration: no hash-ordered collections on the
+//! deterministic surface.
+//!
+//! `std::collections::HashMap` / `HashSet` seed their hasher per process
+//! (`RandomState`), so iteration order — and anything folded, collected,
+//! or emitted from it — varies run to run. That is exactly the class of
+//! nondeterminism the runtime FJ01 suites can only catch when it happens
+//! to change a compared byte; statically, any hash-ordered container in
+//! deterministic-surface code is a hazard the moment someone iterates
+//! it. The remedy is `BTreeMap` / `BTreeSet` (sorted, replay-stable), an
+//! explicit sorted seam at the boundary, or a justified pragma arguing
+//! that iteration order cannot reach a sim-visible output.
+
+use super::{find_all, FileCtx};
+use crate::findings::Finding;
+use crate::symbols::Surface;
+use crate::workspace::FileClass;
+
+const NEEDLES: &[&str] = &["HashMap", "HashSet", "RandomState"];
+
+/// Scans deterministic-surface library and binary code for hash-ordered
+/// collection types.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library | FileClass::Bin)
+        || ctx.surface != Surface::Deterministic
+    {
+        return;
+    }
+    for needle in NEEDLES {
+        for pos in find_all(ctx.code, needle) {
+            if ctx.in_test(pos) || !word_bounded(ctx.code, pos, needle.len()) {
+                continue;
+            }
+            out.push(ctx.finding(
+                "FJ07",
+                pos,
+                format!(
+                    "`{needle}` in deterministic-surface code: hash iteration order \
+                     varies per process; use BTreeMap/BTreeSet, sort at an explicit \
+                     seam, or justify with an allow pragma"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the match at `pos..pos+len` is a standalone type token
+/// (`MyHashMapLike` must not fire).
+fn word_bounded(code: &str, pos: usize, len: usize) -> bool {
+    let bytes = code.as_bytes();
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let left_ok = pos == 0 || !ident(bytes[pos - 1]);
+    let right_ok = bytes.get(pos + len).is_none_or(|&b| !ident(b));
+    left_ok && right_ok
+}

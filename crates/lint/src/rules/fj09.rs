@@ -1,0 +1,49 @@
+//! FJ09 — atomic-ordering discipline: relaxed atomics need an audit
+//! trail.
+//!
+//! `Ordering::Relaxed` (and the mixed `AcqRel`) is correct for the
+//! audited monotonic counters in `fj-telemetry::metrics` — increments
+//! commute and loads never feed back into sim decisions — but anywhere
+//! else on the deterministic surface a relaxed access is an unreviewed
+//! claim that reordering cannot become sim-visible. The race-detector
+//! literature's lesson is that such claims rot silently: the store that
+//! was a stop flag grows a second reader, the counter becomes a branch
+//! condition, and the replay contract breaks on exactly one machine.
+//! Outside the audited seams, a relaxed access must either become
+//! `SeqCst` (the measurement plane is nowhere near atomic-contention
+//! bound) or carry a pragma justifying why its ordering is immaterial.
+
+use super::{find_all, FileCtx};
+use crate::findings::Finding;
+use crate::symbols::Surface;
+use crate::workspace::FileClass;
+
+const NEEDLES: &[&str] = &["Ordering::Relaxed", "Ordering::AcqRel"];
+
+/// Scans deterministic-surface library and binary code for relaxed
+/// atomic orderings outside the audited seams.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library | FileClass::Bin)
+        || ctx.surface != Surface::Deterministic
+    {
+        return;
+    }
+    for needle in NEEDLES {
+        for pos in find_all(ctx.code, needle) {
+            if ctx.in_test(pos) {
+                continue;
+            }
+            let what = needle.rsplit("::").next().unwrap_or(needle);
+            out.push(ctx.finding(
+                "FJ09",
+                pos,
+                format!(
+                    "`Ordering::{what}` outside the audited counters \
+                     (fj-telemetry::metrics, fj-par): use SeqCst, move the access \
+                     into an audited seam, or justify with an allow pragma why \
+                     reordering cannot become sim-visible"
+                ),
+            ));
+        }
+    }
+}

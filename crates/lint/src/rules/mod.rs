@@ -13,9 +13,13 @@ pub mod fj03;
 pub mod fj04;
 pub mod fj05;
 pub mod fj06;
+pub mod fj07;
+pub mod fj08;
+pub mod fj09;
 
 use crate::findings::Finding;
 use crate::suppress::{col_of, line_of};
+use crate::symbols::Surface;
 use crate::workspace::FileClass;
 
 /// Per-file context handed to every rule.
@@ -24,6 +28,10 @@ pub struct FileCtx<'a> {
     pub rel: &'a str,
     /// Layout-derived role.
     pub class: FileClass,
+    /// Deterministic-surface classification from the symbol pass.
+    pub surface: Surface,
+    /// Whether the file references the `fj-par` shard seam (FJ08 scope).
+    pub shard_adjacent: bool,
     /// Raw source text.
     pub src: &'a str,
     /// Lexer span cover of `src`.
@@ -62,7 +70,7 @@ impl FileCtx<'_> {
 /// Static description of one rule, printed by `fj-lint --rules` and
 /// mirrored in DESIGN.md's catalogue (a test keeps the two in sync).
 pub struct RuleMeta {
-    /// Rule id, `FJ00` … `FJ06`.
+    /// Rule id, `FJ00` … `FJ09`.
     pub id: &'static str,
     /// One-line name.
     pub name: &'static str,
@@ -129,6 +137,33 @@ pub fn catalogue() -> Vec<RuleMeta> {
                         makes that a deadlock-in-waiting",
             applies_to: "lib, bin",
         },
+        RuleMeta {
+            id: "FJ07",
+            name: "unordered iteration",
+            rationale: "no `HashMap`/`HashSet` on the deterministic surface: hash \
+                        iteration order varies per process, so anything folded or \
+                        collected from it breaks bit-replay; use BTreeMap/BTreeSet \
+                        or an explicitly sorted seam",
+            applies_to: "lib, bin (deterministic surface)",
+        },
+        RuleMeta {
+            id: "FJ08",
+            name: "reduction-order discipline",
+            rationale: "floating-point accumulation over shard- or chunk-produced \
+                        collections must go through the index-ordered merge or the \
+                        Kahan `PrefixSums` seam, never a bare iterator `.sum()`; \
+                        reduction order is load-bearing for replay",
+            applies_to: "lib, bin (deterministic surface, shard-adjacent)",
+        },
+        RuleMeta {
+            id: "FJ09",
+            name: "atomic-ordering discipline",
+            rationale: "`Ordering::Relaxed`/`AcqRel` outside the audited counters \
+                        (fj-telemetry::metrics, fj-par) is an unreviewed claim that \
+                        reordering cannot become sim-visible; use SeqCst or justify \
+                        the relaxation in place",
+            applies_to: "lib, bin (deterministic surface)",
+        },
     ]
 }
 
@@ -140,6 +175,9 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     fj04::check_names(ctx, out);
     fj05::check(ctx, out);
     fj06::check(ctx, out);
+    fj07::check(ctx, out);
+    fj08::check(ctx, out);
+    fj09::check(ctx, out);
 }
 
 /// All byte offsets where `needle` occurs in `hay`.

@@ -1,0 +1,83 @@
+//! Driver determinism: the contract CI leans on is that `fj-lint`'s
+//! findings are a pure function of the tree — independent of shard
+//! count, and identical whether the per-file stage ran cold or was
+//! served from the incremental cache.
+
+use fj_lint::workspace;
+use fj_lint::{findings, lint_root_with, LintOptions};
+
+fn root() -> std::path::PathBuf {
+    workspace::find_root(&std::env::current_dir().unwrap()).expect("workspace root")
+}
+
+/// Renders a report to the exact bytes the driver writes.
+fn render(report: &fj_lint::Report) -> (String, String) {
+    (
+        findings::render_json(&report.findings, report.files_scanned, report.suppressed),
+        report.surface.render_json(),
+    )
+}
+
+#[test]
+fn findings_are_byte_identical_across_shard_counts() {
+    let root = root();
+    let baseline = lint_root_with(
+        &root,
+        &LintOptions {
+            shards: 1,
+            cache: None,
+        },
+    )
+    .expect("shards=1");
+    let (base_findings, base_surface) = render(&baseline);
+    for shards in [2, 8] {
+        let report = lint_root_with(
+            &root,
+            &LintOptions {
+                shards,
+                cache: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+        let (json, surface) = render(&report);
+        assert_eq!(json, base_findings, "findings drift at shards={shards}");
+        assert_eq!(surface, base_surface, "surface drift at shards={shards}");
+        assert_eq!(report.shards, shards);
+    }
+}
+
+#[test]
+fn cached_run_is_byte_identical_to_cold() {
+    let root = root();
+    // A test-private cache path so parallel test binaries and the real
+    // driver never share incremental state.
+    let cache = root.join("target/lint/test-driver-cache.tsv");
+    let _ = std::fs::remove_file(&cache);
+    let opts = LintOptions {
+        shards: 2,
+        cache: Some(cache.clone()),
+    };
+
+    let cold = lint_root_with(&root, &opts).expect("cold run");
+    assert_eq!(cold.cache_hits, 0, "first run must be fully cold");
+    assert!(cold.cache_misses > 100, "cold run computed the whole tree");
+    assert!(cache.is_file(), "cache written after the run");
+
+    let warm = lint_root_with(&root, &opts).expect("warm run");
+    assert_eq!(warm.cache_misses, 0, "warm run must be fully cached");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(render(&warm), render(&cold), "cache changed the output");
+
+    // A warm run at a different shard count reads the same cache and
+    // still reproduces the bytes.
+    let reshard = lint_root_with(
+        &root,
+        &LintOptions {
+            shards: 8,
+            cache: Some(cache.clone()),
+        },
+    )
+    .expect("resharded warm run");
+    assert_eq!(render(&reshard), render(&cold));
+    let _ = std::fs::remove_file(&cache);
+}

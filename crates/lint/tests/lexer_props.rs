@@ -65,6 +65,23 @@ fn fragment() -> impl Strategy<Value = Fragment> {
             is_code: false
         }),
         Just(Fragment {
+            text: format!("let s = b\"{HIDDEN} bytes\";\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("let s = c\"{HIDDEN} for ffi\";\n"),
+            is_code: false
+        }),
+        Just(Fragment {
+            text: format!("let s = cr#\"{HIDDEN} \"quoted\" c-raw\"#;\n"),
+            is_code: false
+        }),
+        // `c` as a plain identifier must not open a C-string.
+        Just(Fragment {
+            text: format!("match c {{ _ => {VISIBLE}() }}\n"),
+            is_code: true
+        }),
+        Just(Fragment {
             text: "let c = '\\'';\n".to_owned(),
             is_code: false
         }),
@@ -79,7 +96,7 @@ fn fragment() -> impl Strategy<Value = Fragment> {
 fn hostile_chars() -> impl Strategy<Value = String> {
     prop::collection::vec(
         prop::sample::select(vec![
-            '"', '\'', '/', '*', '#', 'r', 'b', '\\', '\n', 'a', '_', ' ', '!', '{',
+            '"', '\'', '/', '*', '#', 'r', 'b', 'c', '\\', '\n', 'a', '_', ' ', '!', '{',
         ]),
         0..200,
     )

@@ -7,11 +7,13 @@
 
 use fj_lint::findings::Finding;
 use fj_lint::rules::{self, FileCtx};
+use fj_lint::symbols::{self, Surface};
 use fj_lint::workspace::FileClass;
 use fj_lint::{lexer, suppress};
 
 /// Runs the full single-file pipeline; returns surviving findings and the
-/// number suppressed.
+/// number suppressed. Surface and shard adjacency are derived from the
+/// path and code exactly as the driver derives them.
 fn lint(rel: &str, class: FileClass, src: &str) -> (Vec<Finding>, usize) {
     let spans = lexer::lex(src);
     let code = lexer::code_only(src, &spans);
@@ -19,6 +21,8 @@ fn lint(rel: &str, class: FileClass, src: &str) -> (Vec<Finding>, usize) {
     let ctx = FileCtx {
         rel,
         class,
+        surface: symbols::classify(&symbols::resolve(rel), class),
+        shard_adjacent: symbols::references_shard_seam(&code),
         src,
         spans: &spans,
         code: &code,
@@ -157,6 +161,8 @@ fn fj04_catalogue_checks_both_directions() {
     let ctx = FileCtx {
         rel: LIB,
         class: FileClass::Library,
+        surface: Surface::Deterministic,
+        shard_adjacent: false,
         src: ctx_src,
         spans: &spans,
         code: &code,
@@ -226,6 +232,8 @@ fn fj04_span_catalogue_checks_both_directions() {
     let ctx = FileCtx {
         rel: LIB,
         class: FileClass::Library,
+        surface: Surface::Deterministic,
+        shard_adjacent: false,
         src: ctx_src,
         spans: &spans,
         code: &code,
@@ -316,6 +324,136 @@ fn fj06_guard_across_telemetry_fires_and_suppresses() {
     let (findings, n) = lint(LIB, FileClass::Library, suppressed);
     assert!(findings.is_empty(), "unexpected: {findings:?}");
     assert_eq!(n, 1);
+}
+
+#[test]
+fn fj07_hash_collections_fire_and_suppress() {
+    let fired = "fn index(m: &HashMap<u32, u32>) -> usize { m.len() }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, fired);
+    assert_eq!(rules_of(&findings), ["FJ07"]);
+    assert!(findings[0].message.contains("HashMap"));
+
+    let suppressed = "// fj-lint: allow(FJ07) — keys are consumed via lookups only, the\n\
+                      // map is never iterated\n\
+                      fn index(m: &HashMap<u32, u32>) -> usize { m.len() }\n";
+    let (findings, n) = lint(LIB, FileClass::Library, suppressed);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn fj07_scoped_to_the_deterministic_surface() {
+    let src = "fn index(s: &HashSet<u32>) -> usize { s.len() }\n";
+    // Off-surface observability is out of scope.
+    let (findings, _) = lint("crates/obs/src/fixture.rs", FileClass::Library, src);
+    assert!(findings.is_empty(), "fj-obs is off-surface: {findings:?}");
+    // Audited seams are out of scope.
+    let (findings, _) = lint("crates/par/src/fixture.rs", FileClass::Library, src);
+    assert!(
+        findings.is_empty(),
+        "fj-par is an audited seam: {findings:?}"
+    );
+    // Test modules inside deterministic-surface files are exempt.
+    let inline =
+        "#[cfg(test)]\nmod tests {\n    fn t(m: &HashMap<u32, u32>) -> usize { m.len() }\n}\n";
+    let (findings, _) = lint(LIB, FileClass::Library, inline);
+    assert!(findings.is_empty(), "test modules are exempt: {findings:?}");
+    // Identifier boundaries: a type merely containing the token is clean.
+    let boundary = "fn f(m: &MyHashMapLike) -> usize { m.len() }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, boundary);
+    assert!(findings.is_empty(), "word boundary: {findings:?}");
+}
+
+const SHARDY: &str = "crates/isp/src/fixture.rs";
+
+#[test]
+fn fj08_shard_reduction_fires_and_suppresses() {
+    // Direct chain: shard results straight into `.sum()`.
+    let fired = "fn total(xs: &[f64]) -> f64 {\n\
+                 \x20   fj_par::shard_map(xs, 4, |_, x| *x).into_iter().sum()\n\
+                 }\n";
+    let (findings, _) = lint(SHARDY, FileClass::Library, fired);
+    assert_eq!(rules_of(&findings), ["FJ08"]);
+    assert!(findings[0].message.contains("sum"));
+
+    // Bound result reduced later in the same block, turbofish spelling.
+    let bound = "fn total(xs: &[f64]) -> f64 {\n\
+                 \x20   let parts = fj_par::shard_map(xs, 4, |_, x| *x);\n\
+                 \x20   let t = parts.iter().sum::<f64>();\n\
+                 \x20   t\n\
+                 }\n";
+    let (findings, _) = lint(SHARDY, FileClass::Library, bound);
+    assert_eq!(rules_of(&findings), ["FJ08"], "bound-result form");
+
+    // Routing through the Kahan seam is the sanctioned fix.
+    let seam = "fn total(xs: &[f64]) -> f64 {\n\
+                \x20   let parts = fj_par::shard_map(xs, 4, |_, x| *x);\n\
+                \x20   PrefixSums::new(&parts).total()\n\
+                }\n";
+    let (findings, _) = lint(SHARDY, FileClass::Library, seam);
+    assert!(findings.is_empty(), "PrefixSums is exempt: {findings:?}");
+
+    let suppressed = "fn total(xs: &[u64]) -> u64 {\n\
+                      \x20   let parts = fj_par::shard_map(xs, 4, |_, x| *x);\n\
+                      \x20   // fj-lint: allow(FJ08) — integer sum; addition commutes\n\
+                      \x20   parts.iter().sum()\n\
+                      }\n";
+    let (findings, n) = lint(SHARDY, FileClass::Library, suppressed);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn fj08_needs_shard_adjacency_and_the_surface() {
+    // A `.sum()` with no shard producer anywhere is out of scope.
+    let plain = "fn total(xs: &[f64]) -> f64 { xs.iter().sum() }\n";
+    let (findings, _) = lint(SHARDY, FileClass::Library, plain);
+    assert!(findings.is_empty(), "no producer, no finding: {findings:?}");
+
+    // The same shard-fed reduction off the surface is out of scope.
+    let fired = "fn total(xs: &[f64]) -> f64 {\n\
+                 \x20   fj_par::shard_map(xs, 4, |_, x| *x).into_iter().sum()\n\
+                 }\n";
+    let (findings, _) = lint("crates/obs/src/fixture.rs", FileClass::Library, fired);
+    assert!(findings.is_empty(), "fj-obs is off-surface: {findings:?}");
+}
+
+#[test]
+fn fj09_relaxed_ordering_fires_and_suppresses() {
+    let fired = "fn read(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, fired);
+    assert_eq!(rules_of(&findings), ["FJ09"]);
+    assert!(findings[0].message.contains("Relaxed"));
+
+    let acqrel = "fn bump(a: &AtomicU64) -> u64 { a.fetch_add(1, Ordering::AcqRel) }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, acqrel);
+    assert_eq!(rules_of(&findings), ["FJ09"], "AcqRel is in scope too");
+
+    let suppressed = "fn read(a: &AtomicU64) -> u64 {\n\
+                      \x20   // fj-lint: allow(FJ09) — single-writer progress counter;\n\
+                      \x20   // readers tolerate staleness by design\n\
+                      \x20   a.load(Ordering::Relaxed)\n\
+                      }\n";
+    let (findings, n) = lint(LIB, FileClass::Library, suppressed);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn fj09_exempts_audited_seams_and_seqcst() {
+    let src = "fn read(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n";
+    // The audited counter seam may relax.
+    let (findings, _) = lint("crates/telemetry/src/metrics.rs", FileClass::Library, src);
+    assert!(findings.is_empty(), "metrics is audited: {findings:?}");
+    let (findings, _) = lint("crates/par/src/pool.rs", FileClass::Library, src);
+    assert!(findings.is_empty(), "fj-par is audited: {findings:?}");
+    // SeqCst is always clean.
+    let seqcst = "fn read(a: &AtomicU64) -> u64 { a.load(Ordering::SeqCst) }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, seqcst);
+    assert!(
+        findings.is_empty(),
+        "SeqCst is the sanctioned default: {findings:?}"
+    );
 }
 
 #[test]

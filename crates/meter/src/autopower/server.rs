@@ -11,7 +11,7 @@
 //! whole server unreachable — while clients' buffering, backoff, and
 //! retransmission keep the acknowledged record lossless.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,10 +103,11 @@ impl Default for UnitStore {
     }
 }
 
-/// Shared server state.
+/// Shared server state. A `BTreeMap` (FJ07) keeps every view over the
+/// unit table key-ordered by construction.
 #[derive(Default)]
 struct Shared {
-    units: Mutex<HashMap<String, UnitStore>>,
+    units: Mutex<BTreeMap<String, UnitStore>>,
 }
 
 /// Fault-injection context shared by all connection workers.
@@ -189,6 +190,9 @@ impl AutopowerServer {
                 return;
             }
             let mut connection_index: u64 = 0;
+            // fj-lint: allow(FJ09) — shutdown latch: single writer, the
+            // only effect is loop exit; no sim-visible state depends on
+            // how soon the flag is observed.
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
@@ -287,18 +291,17 @@ impl AutopowerServer {
             .map_or(0, |s| s.lost_samples)
     }
 
-    /// Known unit ids, sorted.
+    /// Known unit ids, sorted (the ordered map keeps them that way).
     pub fn units(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.shared.units.lock().keys().cloned().collect();
-        v.sort();
-        v
+        self.shared.units.lock().keys().cloned().collect()
     }
 
     /// Operator status view over all units (sorted by unit id) — what the
     /// Autopower web interface renders.
     pub fn status(&self) -> Vec<UnitStatus> {
-        let units = self.shared.units.lock();
-        let mut rows: Vec<UnitStatus> = units
+        self.shared
+            .units
+            .lock()
             .iter()
             .map(|(unit_id, store)| UnitStatus {
                 unit_id: unit_id.clone(),
@@ -307,13 +310,13 @@ impl AutopowerServer {
                 measuring: store.measuring,
                 lost_samples: store.lost_samples,
             })
-            .collect();
-        rows.sort_by(|a, b| a.unit_id.cmp(&b.unit_id));
-        rows
+            .collect()
     }
 
     /// Stops accepting new connections and waits for the accept loop.
     pub fn shutdown(mut self) {
+        // fj-lint: allow(FJ09) — shutdown latch store; the join below is
+        // the synchronisation point, the flag only requests loop exit.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             // fj-lint: allow(FJ05) — join on shutdown: a panicked accept
@@ -325,6 +328,7 @@ impl AutopowerServer {
 
 impl Drop for AutopowerServer {
     fn drop(&mut self) {
+        // fj-lint: allow(FJ09) — shutdown latch store, as in shutdown().
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             // fj-lint: allow(FJ05) — as in shutdown(); Drop must not panic.
@@ -355,6 +359,8 @@ fn serve_connection(
     // per-frame fault decisions.
     let mut next_message = |reader: &mut BufReader<TcpStream>| -> Result<Message, ProtoError> {
         loop {
+            // fj-lint: allow(FJ09) — shutdown latch read on the idle poll
+            // tick; worst case one extra 100 ms read timeout before exit.
             if faults.down() || stop.load(Ordering::Relaxed) {
                 // Crashed (or shutting down): sever mid-stream.
                 return Err(ProtoError::UnexpectedEof);

@@ -105,6 +105,9 @@ impl SnmpAgent {
             // Event index for the fault plan: one per received datagram,
             // starting at 0 so `expected_drops(stream, n)` lines up.
             let mut request_index: u64 = 0;
+            // fj-lint: allow(FJ09) — shutdown latch read: the only effect
+            // is loop exit, and the zero-byte waker below bounds how late
+            // the flag can be observed.
             while !thread_stop.load(Ordering::Relaxed) {
                 let (len, peer) = match socket.recv_from(&mut buf) {
                     Ok(x) => x,
@@ -122,6 +125,9 @@ impl SnmpAgent {
                 }
                 let index = request_index;
                 request_index += 1;
+                // fj-lint: allow(FJ09) — single-writer monotonic progress
+                // counter; readers only compare against fault-plan math
+                // after the thread is joined, which synchronises.
                 thread_seen.store(request_index, Ordering::Relaxed);
                 requests_metric.inc();
 
@@ -175,6 +181,9 @@ impl SnmpAgent {
     /// lets tests line observed gaps up against
     /// [`FaultPlan::expected_drops`].
     pub fn requests_seen(&self) -> u64 {
+        // fj-lint: allow(FJ09) — progress-counter read, see the store
+        // above; a momentarily stale value only widens a test's polling
+        // loop by one iteration.
         self.requests_seen.load(Ordering::Relaxed)
     }
 
@@ -184,6 +193,8 @@ impl SnmpAgent {
     }
 
     fn stop_inner(&mut self) {
+        // fj-lint: allow(FJ09) — shutdown latch store; the join that
+        // follows is the synchronisation point.
         self.stop.store(true, Ordering::Relaxed);
         // Wake the receive loop immediately rather than waiting out the
         // read timeout: a zero-byte datagram to ourselves.

@@ -1,7 +1,7 @@
 //! The SNMP poller: issues GET / GET-NEXT requests with timeout + retry,
 //! exponential backoff between retries, and per-target health tracking.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::Duration;
@@ -78,7 +78,7 @@ pub struct SnmpPoller {
     /// Base pause between retry attempts (doubles per attempt, jittered).
     pub retry_pause: Duration,
     epoch: WallEpoch,
-    targets: HashMap<SocketAddr, TargetState>,
+    targets: BTreeMap<SocketAddr, TargetState>,
     health_thresholds: (u32, u32, Duration),
     telemetry: Arc<Telemetry>,
     metrics: PollerMetrics,
@@ -103,7 +103,7 @@ impl SnmpPoller {
             retries: 3,
             retry_pause: Duration::from_millis(2),
             epoch: WallEpoch::now(),
-            targets: HashMap::new(),
+            targets: BTreeMap::new(),
             health_thresholds: (3, 8, Duration::from_secs(5)),
             telemetry,
             metrics,

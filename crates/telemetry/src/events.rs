@@ -7,6 +7,11 @@
 //! log is a bounded ring: old events are evicted, never blocking the
 //! emitter, and the eviction count is itself observable.
 
+// fj-lint: allow-file(FJ09) — the only atomics here are the min_level /
+// echo_level configuration cells: operator-set thresholds read on the
+// emit path. A racing reader sees either the old or the new threshold,
+// both of which were valid configurations; retention counts are under
+// the ring mutex, so no sim-visible state depends on the ordering.
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
 
