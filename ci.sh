@@ -31,8 +31,13 @@ cargo test --workspace -q
 echo "==> telemetry smoke"
 cargo run -q -p fj-bench --bin telemetry_smoke
 
-echo "==> fleet throughput smoke (asserts shard-count determinism)"
+echo "==> fleet throughput smoke (asserts shard-count determinism + dispatch-wait budget)"
+# The ≥2-shard cells run on the persistent worker pool: cumulative
+# dispatch wait (jobs queued behind busy workers) must stay under a
+# fixed per-run budget. bench_fleet skips the budget with a note on
+# single-core hosts, where one worker queues shards by construction.
 cargo run -q --release -p fj-bench --bin bench_fleet -- --smoke --json \
+    --max-dispatch-wait-secs 0.25 \
     --out target/telemetry/BENCH_fleet.json \
     --trace target/telemetry/trace-fleet.json
 

@@ -11,12 +11,22 @@
 //!
 //! Beyond throughput, ≥ 2-shard cells whose baseline carries an
 //! efficiency profile also gate on parallel efficiency (same
-//! noise-calibrated floor) and on the serial-merge fraction (a ceiling —
-//! see `fleetbench::compare`). A fresh sweep with no profiled parallel
-//! cell at all is a hard error: the profiler going missing must not read
-//! as a pass. When the committed baseline was recorded on a box with a
-//! different core count, every speedup/efficiency comparison is suspect,
-//! so that mismatch warns loudly on stderr (non-fatal).
+//! noise-calibrated floor), on the serial-merge fraction (a ceiling —
+//! see `fleetbench::compare`), and on speedup over the cell's own
+//! single-shard run. Every cell additionally gates on an absolute
+//! per-scale throughput floor (`fleetbench::scale_floor`) that holds
+//! even when the committed baseline itself was recorded collapsed. A
+//! fresh sweep with no profiled parallel cell at all is a hard error:
+//! the profiler going missing must not read as a pass.
+//!
+//! When either report comes from a single-core host the parallel gates
+//! (speedup, efficiency, merge) skip honestly — at ≥ 2 shards the
+//! pool's one worker serializes the shards by construction, so those
+//! numbers measure the hardware, not the engine. The skip is printed,
+//! and single-shard throughput plus the absolute scale floor still
+//! gate. When the committed baseline was recorded on a box with a
+//! different core count, every speedup/efficiency comparison is
+//! suspect, so that mismatch warns loudly on stderr (non-fatal).
 //!
 //! Flags:
 //!
@@ -31,7 +41,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fj_bench::fleetbench::{compare, profiled_parallel_runs, run_sweep, Report};
+use fj_bench::fleetbench::{
+    compare, profiled_parallel_runs, run_sweep, scale_floor, single_core, Report,
+};
 use fj_bench::table::{fmt, TablePrinter};
 
 struct Args {
@@ -197,6 +209,18 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    if single_core(&baseline) || single_core(&fresh) {
+        println!(
+            "single-core report detected (baseline cores {}, host cores {cores_here}) — \
+             speedup/efficiency/merge gates skipped; throughput and scale floors still apply\n",
+            baseline
+                .generated_by
+                .as_ref()
+                .and_then(|g| g.cores)
+                .unwrap_or(baseline.cores)
+        );
+    }
+
     let cells = compare(&baseline, &fresh, floor);
     if cells.is_empty() {
         eprintln!(
@@ -223,11 +247,21 @@ fn main() -> ExitCode {
     let pct_cell = |v: Option<f64>| v.map_or("-".to_owned(), |m| format!("{:.1}", m * 100.0));
     let mut regressed = 0usize;
     for c in &cells {
-        let failed = c.regressed || c.efficiency_regressed || c.merge_regressed;
+        let failed = c.regressed
+            || c.efficiency_regressed
+            || c.merge_regressed
+            || c.speedup_regressed
+            || c.below_scale_floor;
         let gate = if failed {
             let mut reasons = Vec::new();
             if c.regressed {
                 reasons.push("rate");
+            }
+            if c.below_scale_floor {
+                reasons.push("floor");
+            }
+            if c.speedup_regressed {
+                reasons.push("speedup");
             }
             if c.efficiency_regressed {
                 reasons.push("eff");
@@ -236,6 +270,8 @@ fn main() -> ExitCode {
                 reasons.push("merge");
             }
             format!("FAIL:{}", reasons.join("+"))
+        } else if c.parallel_gates_skipped {
+            "ok*".to_owned()
         } else {
             "ok".to_owned()
         };
@@ -264,9 +300,11 @@ fn main() -> ExitCode {
     if regressed > 0 {
         eprintln!(
             "\nbench_compare: {regressed} of {} cell(s) failed a gate (throughput floor \
-             {:.0}% of baseline; efficiency floor and merge ceiling at ≥2 shards)",
+             {:.0}% of baseline; absolute scale floor e.g. {:.0} rr/s at 1k routers; \
+             speedup/efficiency floors and merge ceiling at ≥2 shards)",
             cells.len(),
-            floor * 100.0
+            floor * 100.0,
+            scale_floor(1000),
         );
         return ExitCode::FAILURE;
     }

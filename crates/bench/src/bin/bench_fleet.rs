@@ -17,7 +17,12 @@
 //!   diffs against);
 //! * `--trace PATH` — run one extra 4-shard traced smoke collection and
 //!   write its Perfetto `trace_event` JSON to PATH, printing the
-//!   self-time profile table.
+//!   self-time profile table;
+//! * `--max-dispatch-wait-secs F` — fail (exit 1) if any profiled
+//!   ≥ 2-shard run spent more than F seconds of cumulative pool
+//!   dispatch wait (jobs queued behind busy workers). Skipped with a
+//!   printed note on single-core hosts, where the pool's one worker
+//!   makes queueing wait unavoidable by construction.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,6 +40,7 @@ struct Args {
     smoke: bool,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    max_dispatch_wait_secs: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         out: None,
         trace: None,
+        max_dispatch_wait_secs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,14 +64,46 @@ fn parse_args() -> Result<Args, String> {
                 Some(p) => args.trace = Some(PathBuf::from(p)),
                 None => return Err("--trace needs a path".to_owned()),
             },
+            "--max-dispatch-wait-secs" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f > 0.0 => args.max_dispatch_wait_secs = Some(f),
+                _ => return Err("--max-dispatch-wait-secs needs a positive number".to_owned()),
+            },
             other => {
                 return Err(format!(
-                    "unknown flag {other} (known: --json --smoke --out PATH --trace PATH)"
+                    "unknown flag {other} (known: --json --smoke --out PATH --trace PATH \
+                     --max-dispatch-wait-secs F)"
                 ))
             }
         }
     }
     Ok(args)
+}
+
+/// The `--max-dispatch-wait-secs` throughput smoke gate: every profiled
+/// ≥ 2-shard run must have kept its cumulative pool dispatch wait (time
+/// shards sat queued behind busy workers) under the budget. Returns the
+/// violations as `(cell label, shards, waited secs)`.
+fn dispatch_wait_violations(
+    report: &fj_bench::fleetbench::Report,
+    budget: f64,
+) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    for cfg in &report.sweep {
+        for run in &cfg.runs {
+            let Some(wait) = run
+                .efficiency
+                .as_ref()
+                .and_then(|e| e.pool_dispatch_wait_secs)
+            else {
+                continue;
+            };
+            if run.shards >= 2 && wait > budget {
+                let label = format!("{} × {}d chunk {}", cfg.fleet, cfg.days, cfg.chunk_rounds);
+                out.push((label, run.shards, wait));
+            }
+        }
+    }
+    out
 }
 
 /// One instrumented 4-shard smoke collection with the causal tracer on,
@@ -124,6 +163,28 @@ fn main() -> ExitCode {
     };
 
     println!("\nall parallel traces bit-identical to sequential — determinism holds");
+
+    if let Some(budget) = args.max_dispatch_wait_secs {
+        if fj_par::available_shards() <= 1 {
+            println!(
+                "dispatch-wait budget skipped: single-core host, the pool's one worker \
+                 queues ≥2-shard dispatches by construction"
+            );
+        } else {
+            let violations = dispatch_wait_violations(&report, budget);
+            if violations.is_empty() {
+                println!("pool dispatch wait within the {budget:.3}s budget on every ≥2-shard run");
+            } else {
+                for (cell, shards, wait) in &violations {
+                    eprintln!(
+                        "bench_fleet: {cell} at {shards} shards spent {wait:.3}s in pool \
+                         dispatch wait (budget {budget:.3}s)"
+                    );
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.json {
         let path = args

@@ -50,6 +50,13 @@ pub struct GeneratedBy {
     pub version: String,
     /// Whether the recording sweep ran in `--smoke` mode.
     pub smoke: bool,
+    /// Cores detected on the recording host
+    /// (`std::thread::available_parallelism`), recorded honestly so a
+    /// single-core baseline is self-describing: speedup and efficiency
+    /// gates skip rather than compare against numbers parallelism could
+    /// never have produced there. Absent in pre-pool baselines (the
+    /// top-level `cores` field covers those).
+    pub cores: Option<usize>,
 }
 
 /// A `git describe --always --dirty --tags` of the repository this
@@ -144,13 +151,14 @@ fn sweep_grid(smoke: bool) -> Vec<Config> {
             },
             // The census-scale cell: 1 000 routers, one day, 8-hour
             // chunks — the configuration the O(routers × chunk) bound
-            // is aimed at.
+            // is aimed at. The 4-shard run is the acceptance cell for
+            // pool-path speedup on multi-core hosts.
             Config {
                 label: "census",
                 fleet: FleetConfig::census(EXPERIMENT_SEED),
                 days: 1,
                 chunk_rounds: 96,
-                shards: &[1, 2],
+                shards: &[1, 2, 4],
             },
         ]
     } else {
@@ -183,8 +191,55 @@ fn sweep_grid(smoke: bool) -> Vec<Config> {
                 chunk_rounds: 288,
                 shards: &[1, 2, 4, 8],
             },
+            // The scaled census cells: one day each, chunk sizes kept
+            // small so peak record memory stays bounded while the pool
+            // ping-pongs 10k/50k cells per chunk.
+            Config {
+                label: "census10k",
+                fleet: FleetConfig::census_of(EXPERIMENT_SEED, 10_000),
+                days: 1,
+                chunk_rounds: 96,
+                shards: &[1, 2, 4, 8],
+            },
+            Config {
+                label: "census50k",
+                fleet: FleetConfig::census_of(EXPERIMENT_SEED, 50_000),
+                days: 1,
+                chunk_rounds: 48,
+                shards: &[1, 4, 8],
+            },
         ]
     }
+}
+
+/// Conservative absolute throughput floor (router-rounds per second) for
+/// a fleet of `routers` routers — an order of magnitude under what a
+/// single 2020s core sustains, so it catches a collapsed engine (a
+/// serialized pool, an accidentally quadratic merge) on any plausible
+/// host without flagging slow CI boxes. Larger fleets get lower floors:
+/// cache pressure grows with the working set.
+pub fn scale_floor(routers: usize) -> f64 {
+    if routers >= 50_000 {
+        5_000.0
+    } else if routers >= 10_000 {
+        10_000.0
+    } else {
+        20_000.0
+    }
+}
+
+/// Whether a report was recorded on a single-core host: the honest
+/// `generated_by.cores` when present, the top-level `cores` field for
+/// older baselines. Single-core reports carry no meaningful speedup or
+/// parallel-efficiency signal — at ≥ 2 shards the pool's one worker
+/// serializes the shards by construction — so the parallel gates skip.
+pub fn single_core(report: &Report) -> bool {
+    report
+        .generated_by
+        .as_ref()
+        .and_then(|g| g.cores)
+        .unwrap_or(report.cores)
+        <= 1
 }
 
 /// One timed run: a fresh fleet and a private telemetry bundle, so
@@ -321,6 +376,7 @@ pub fn run_sweep(smoke: bool, print: bool) -> Result<Report, SimError> {
         generated_by: Some(GeneratedBy {
             version: version_string(),
             smoke,
+            cores: Some(fj_par::available_shards()),
         }),
         sweep,
     })
@@ -362,6 +418,16 @@ pub struct CellComparison {
     /// Whether the fresh merge fraction blew past the baseline's ceiling
     /// at ≥ 2 shards: the serial merge grew into the parallel budget.
     pub merge_regressed: bool,
+    /// Whether the fresh speedup over the cell's single-shard run fell
+    /// below `floor × baseline speedup` at ≥ 2 shards.
+    pub speedup_regressed: bool,
+    /// Whether the fresh absolute throughput fell under the
+    /// [`scale_floor`] for this fleet size — a collapsed engine, caught
+    /// even when the committed baseline was recorded equally collapsed.
+    pub below_scale_floor: bool,
+    /// Whether the speedup/efficiency/merge gates were skipped because
+    /// one of the reports came from a single-core host.
+    pub parallel_gates_skipped: bool,
 }
 
 /// Diffs a fresh report against a committed baseline: every fresh cell
@@ -385,8 +451,14 @@ pub struct CellComparison {
 ///   wobble with noise but not grow into the parallel budget).
 ///
 /// Cells without profiles on both sides (pre-profiler baselines) skip
-/// the extra gates rather than failing them.
+/// the extra gates rather than failing them. Every parallel gate —
+/// efficiency, merge, and the speedup floor — also skips when either
+/// report was recorded on a single-core host ([`single_core`]): there,
+/// the pool's one worker serializes ≥ 2-shard runs by construction, so
+/// "speedup" and "efficiency" measure the hardware, not the engine.
+/// Absolute throughput still gates via [`scale_floor`] on every cell.
 pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellComparison> {
+    let parallel_gates = !single_core(baseline) && !single_core(fresh);
     let mut out = Vec::new();
     for fresh_cfg in &fresh.sweep {
         let Some(base_cfg) = baseline.sweep.iter().find(|c| {
@@ -416,13 +488,17 @@ pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellCompari
                 .zip(base_run.efficiency.as_ref());
             let mut efficiency_regressed = false;
             let mut merge_regressed = false;
-            if fresh_run.shards >= 2 {
+            let mut speedup_regressed = false;
+            if fresh_run.shards >= 2 && parallel_gates {
                 if let Some((f, b)) = profiles {
                     if b.efficiency > 0.0 && floor > 0.0 {
                         efficiency_regressed = f.efficiency < floor * b.efficiency;
                         let ceiling = (b.merge_fraction / floor).max(b.merge_fraction + 0.10);
                         merge_regressed = f.merge_fraction > ceiling;
                     }
+                }
+                if base_run.speedup > 0.0 && floor > 0.0 {
+                    speedup_regressed = fresh_run.speedup < floor * base_run.speedup;
                 }
             }
             out.push(CellComparison {
@@ -441,6 +517,9 @@ pub fn compare(baseline: &Report, fresh: &Report, floor: f64) -> Vec<CellCompari
                 baseline_merge_fraction: base_run.efficiency.as_ref().map(|e| e.merge_fraction),
                 efficiency_regressed,
                 merge_regressed,
+                speedup_regressed,
+                below_scale_floor: fresh_rate < scale_floor(fresh_cfg.routers),
+                parallel_gates_skipped: fresh_run.shards >= 2 && !parallel_gates,
             });
         }
     }
@@ -473,6 +552,7 @@ mod tests {
             generated_by: Some(GeneratedBy {
                 version: "test-0000000".to_owned(),
                 smoke: true,
+                cores: Some(4),
             }),
             sweep: vec![ConfigReport {
                 fleet: "small".to_owned(),
@@ -567,6 +647,87 @@ mod tests {
     }
 
     #[test]
+    fn single_core_reports_skip_the_parallel_gates() {
+        // A collapsed fresh run that would trip every parallel gate on
+        // multi-core hardware...
+        let collapsed = |mut doc: Report| {
+            doc = with_profiles(doc, 0.01, 0.99);
+            for cfg in &mut doc.sweep {
+                for run in &mut cfg.runs {
+                    run.speedup = 0.1;
+                }
+            }
+            doc
+        };
+        let baseline = with_profiles(report(&[(2, 2000.0)]), 0.8, 0.10);
+
+        // ...fails them when both reports are multi-core...
+        let fresh = collapsed(report(&[(2, 2000.0)]));
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert!(cells[0].efficiency_regressed && cells[0].speedup_regressed);
+        assert!(!cells[0].parallel_gates_skipped);
+
+        // ...and skips them when either side is single-core, whether
+        // recorded in the provenance block or (old baselines) only in
+        // the top-level field. Throughput still gates.
+        let mut one_core_fresh = collapsed(report(&[(2, 100.0)]));
+        one_core_fresh.generated_by.as_mut().unwrap().cores = Some(1);
+        let cells = compare(&baseline, &one_core_fresh, 0.5);
+        assert!(!cells[0].efficiency_regressed && !cells[0].merge_regressed);
+        assert!(!cells[0].speedup_regressed);
+        assert!(cells[0].parallel_gates_skipped);
+        assert!(cells[0].regressed, "throughput floor still applies");
+
+        let mut one_core_base = baseline.clone();
+        one_core_base.generated_by = None;
+        one_core_base.cores = 1;
+        let cells = compare(&one_core_base, &fresh, 0.5);
+        assert!(!cells[0].efficiency_regressed && !cells[0].speedup_regressed);
+        assert!(cells[0].parallel_gates_skipped);
+    }
+
+    #[test]
+    fn speedup_gate_fires_when_parallelism_stops_paying() {
+        let mut baseline = report(&[(1, 1000.0), (4, 3000.0)]);
+        baseline.sweep[0].runs[1].speedup = 3.0;
+        // Fresh throughput holds (ratio 1.0) but the 4-shard run no
+        // longer beats single-shard: a serialized pool.
+        let mut fresh = report(&[(1, 3000.0), (4, 3000.0)]);
+        fresh.sweep[0].runs[1].speedup = 1.0;
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert!(!cells[1].regressed, "throughput itself held");
+        assert!(cells[1].speedup_regressed, "1.0 < 0.5 × 3.0");
+        assert!(!cells[0].speedup_regressed, "1-shard cells never gate");
+    }
+
+    #[test]
+    fn scale_floor_is_conservative_and_monotone() {
+        assert_eq!(scale_floor(17), 20_000.0);
+        assert_eq!(scale_floor(1000), 20_000.0);
+        assert_eq!(scale_floor(10_000), 10_000.0);
+        assert_eq!(scale_floor(50_000), 5_000.0);
+
+        let baseline = report(&[(2, 50.0)]);
+        // Baseline itself collapsed, so the relative gate passes — the
+        // absolute floor still catches the fresh run.
+        let fresh = report(&[(2, 60.0)]);
+        let cells = compare(&baseline, &fresh, 0.5);
+        assert!(!cells[0].regressed, "relative ratio 1.2 clears the floor");
+        assert!(cells[0].below_scale_floor, "60 rr/s is a collapsed engine");
+    }
+
+    #[test]
+    fn full_grid_covers_the_census_scales() {
+        let scales: Vec<usize> = sweep_grid(false)
+            .iter()
+            .map(|c| c.fleet.router_count())
+            .collect();
+        assert!(scales.contains(&1000), "1k census cell");
+        assert!(scales.contains(&10_000), "10k census cell");
+        assert!(scales.contains(&50_000), "50k census cell");
+    }
+
+    #[test]
     fn unprofiled_baselines_skip_the_extra_gates() {
         // A pre-profiler baseline (no efficiency blocks) must not trip
         // the new gates against a profiled fresh run.
@@ -609,6 +770,11 @@ mod tests {
         let provenance = doc.generated_by.as_ref().expect("generated_by recorded");
         assert!(provenance.smoke);
         assert!(!provenance.version.is_empty());
+        assert_eq!(
+            provenance.cores,
+            Some(fj_par::available_shards()),
+            "detected cores recorded honestly"
+        );
         for cfg in &doc.sweep {
             for run in &cfg.runs {
                 let profile = run.efficiency.as_ref().expect("profiled run");
@@ -628,6 +794,10 @@ mod tests {
             .expect("census smoke cell");
         assert_eq!(census.routers, 1000);
         assert_eq!(census.chunk_rounds, 96);
+        // The pool-path acceptance cell: the 1k chunked fleet measured
+        // through 4 shards.
+        let census_shards: Vec<usize> = census.runs.iter().map(|r| r.shards).collect();
+        assert_eq!(census_shards, [1, 2, 4]);
         // The chunked small cell holds one chunk of records, not the
         // whole horizon.
         let whole = &doc.sweep[0];

@@ -72,13 +72,26 @@ impl FleetConfig {
     /// the streaming engine's memory/throughput benches — the scale the
     /// chunked collection's O(routers × chunk) bound is aimed at.
     pub fn census(seed: u64) -> Self {
+        Self::census_of(seed, 1000)
+    }
+
+    /// The census mix scaled to an arbitrary router count: every model
+    /// multiplied by `routers / 107` (the Switch mix size), remainder
+    /// on the access workhorse. Powers the 10k/50k-router cells of the
+    /// fleet bench sweep; `routers` below the base mix collapses onto
+    /// the workhorse alone.
+    pub fn census_of(seed: u64, routers: usize) -> Self {
         let mut cfg = Self::switch_like(seed);
-        cfg.pops = 230;
+        // 230 PoPs per 1 000 routers, the census density; scaled fleets
+        // keep the same routers-per-site ratio.
+        cfg.pops = (routers * 230 / 1000).max(1);
+        let base = cfg.router_count();
+        let scale = routers / base;
         for (_, n) in &mut cfg.model_mix {
-            *n *= 9;
+            *n *= scale;
         }
-        let have: usize = cfg.model_mix.iter().map(|(_, n)| n).sum();
-        cfg.model_mix[0].1 += 1000 - have;
+        let have = cfg.router_count();
+        cfg.model_mix[0].1 += routers.saturating_sub(have);
         cfg
     }
 
@@ -107,6 +120,17 @@ mod tests {
     #[test]
     fn census_fleet_has_exactly_one_thousand_routers() {
         assert_eq!(FleetConfig::census(0).router_count(), 1000);
+    }
+
+    #[test]
+    fn census_of_hits_the_requested_scale_exactly() {
+        for routers in [50, 107, 1000, 10_000, 50_000] {
+            let cfg = FleetConfig::census_of(7, routers);
+            assert_eq!(cfg.router_count(), routers, "scale {routers}");
+            assert!(cfg.pops >= 1);
+        }
+        // The 1k shape is the original census: same PoP density.
+        assert_eq!(FleetConfig::census_of(0, 1000).pops, 230);
     }
 
     #[test]

@@ -13,20 +13,30 @@
 //! horizon is cut into **epoch chunks** of [`StreamConfig::chunk_rounds`]
 //! poll rounds; for each chunk:
 //!
-//! 1. **Simulate** — routers are split into contiguous index shards; each
-//!    scoped worker runs its routers through the chunk's window (events,
-//!    polls, fault draws, health ladder, prediction) with no cross-shard
-//!    synchronisation, producing columnar [`RoundRecord`] batches. This
-//!    is sound because every input is per-router keyed: fault draws
-//!    address stream `"snmp/{router}"` (and `"wall/{router}"`) at the
-//!    *global* round index — the `(round, router)` cell of a pure oracle
-//!    and the engine's "RNG cursor" — scheduled events each target
-//!    exactly one router, and the simulators share no state.
+//! 1. **Simulate** — routers are split into contiguous index shards and
+//!    dispatched to a persistent [`fj_par::WorkerPool`] (spawned once
+//!    per run when `shards > 1`; the single-shard path stays inline and
+//!    thread-free); each shard runs its routers through the chunk's
+//!    window (events, polls, fault draws, health ladder, prediction)
+//!    with no cross-shard synchronisation, producing columnar
+//!    [`RoundRecord`] batches. This is sound because every input is
+//!    per-router keyed: fault draws address stream `"snmp/{router}"`
+//!    (and `"wall/{router}"`) at the *global* round index — the
+//!    `(round, router)` cell of a pure oracle and the engine's "RNG
+//!    cursor" — scheduled events each target exactly one router, and
+//!    the simulators share no state.
 //! 2. **Merge** — the main thread drains the chunk's records in strict
 //!    `(round, router-index)` order: per-router series and fleet totals
 //!    accumulate in fleet order, and telemetry (gap cause events, health
 //!    transitions, counters, gauges, adopted spans) is emitted in exactly
 //!    the sequence the old sequential loop produced.
+//!
+//! On the pool path the two phases **pipeline**: the next chunk is
+//! dispatched before the current chunk's merge begins, so the serial
+//! merge overlaps the workers' simulation. Ownership makes this safe —
+//! workers own the router cells (ping-ponged by value through the
+//! pool), the main thread owns all traces and telemetry emission — so
+//! the pipelining is invisible to every output.
 //!
 //! Workers hold only one chunk of records at a time, so peak record
 //! memory is `O(routers × chunk_rounds)` instead of
@@ -38,8 +48,10 @@
 //! the last) serializes the complete resumable state — router sims,
 //! health and predictor counters, event cursors, traces, totals, and the
 //! whole telemetry bundle — to a CRC-sealed file
-//! ([`crate::checkpoint`]). A supervisor catches shard panics
-//! ([`fj_par::try_shard_map_mut`]), restores the chunk-boundary state,
+//! ([`crate::checkpoint`]). A supervisor catches shard panics (reported
+//! deterministically by [`fj_par::Pending::wait`] on the pool path and
+//! [`fj_par::try_shard_map_mut`] inline — lowest panicking shard wins
+//! attribution on both), restores the chunk-boundary state,
 //! and retries with [`fj_faults::Backoff`] up to
 //! [`StreamConfig::max_restarts`] times; a killed process resumes from
 //! the newest verifiable checkpoint ([`StreamConfig::resume`]), falling
@@ -412,9 +424,15 @@ pub struct StreamOutcome {
     pub efficiency: Option<ParallelEfficiencyReport>,
 }
 
-/// One router's full engine state, owned across chunks: the simulator,
-/// the per-router oracles' cursors (health ladder, predictor counters,
-/// event index), and the merge-owned trace.
+/// One router's sim-side engine state, owned across chunks: the
+/// simulator and the per-router oracles' cursors (health ladder,
+/// predictor counters, event index).
+///
+/// Cells are what the worker pool ping-pongs: dispatched by value for
+/// each chunk, handed back by [`fj_par::Pending::wait`]. The per-router
+/// traces deliberately live *outside* the cell (merge-owned, in a
+/// parallel `Vec<RouterTrace>`), so the merge of chunk N can append to
+/// them while the pool already simulates chunk N+1 on these cells.
 struct RouterCell {
     router: FleetRouter,
     predictor: ModelPredictor,
@@ -424,8 +442,6 @@ struct RouterCell {
     snmp_stream: String,
     wall_stream: String,
     instrumented: bool,
-    /// Written only by the merge, never by workers.
-    trace: RouterTrace,
 }
 
 /// Worker-side state captured at a chunk boundary so a supervised
@@ -471,18 +487,21 @@ struct ChunkWindow {
     end: u64,
 }
 
-/// Read-only inputs shared by every shard worker.
-struct RunContext<'a> {
+/// Read-only inputs shared by every shard worker. Owned (and handed to
+/// the pool behind an [`Arc`]) so dispatched chunks need no borrows into
+/// the engine's stack frame — the caller thread is busy merging while
+/// pool workers read this.
+struct RunContext {
     start: SimInstant,
     step: SimDuration,
-    packets: &'a PacketProfile,
+    packets: PacketProfile,
     /// All scheduled events, time-sorted; workers filter by router.
-    events: &'a [ScheduledEvent],
-    poll_faults: &'a FaultPlan,
+    events: Vec<ScheduledEvent>,
+    poll_faults: FaultPlan,
     /// The trace sink's wall-clock epoch, so worker span stamps and
     /// merge span stamps share one time base.
     epoch: WallEpoch,
-    chaos: Option<&'a ChaosPanic>,
+    chaos: Option<ChaosPanic>,
 }
 
 /// Poll time of global round `round`: rounds sample at
@@ -499,7 +518,7 @@ fn round_time(start: SimInstant, step: SimDuration, round: u64) -> SimInstant {
 /// global round — so shards can run any subset in any order, chunks of
 /// any size, and produce identical records.
 fn run_chunk(
-    ctx: &RunContext<'_>,
+    ctx: &RunContext,
     window: ChunkWindow,
     index: usize,
     cell: &mut RouterCell,
@@ -521,12 +540,12 @@ fn run_chunk(
         // already past priming.
         cell.router.sim.set_time(ctx.start);
         let _ = cell.predictor.predict_router(index, &cell.router, ctx.step);
-        cell.router.step(ctx.start, ctx.packets, ctx.step)?;
+        cell.router.step(ctx.start, &ctx.packets, ctx.step)?;
     }
 
     for round in window.first..window.end {
         let t = round_time(ctx.start, ctx.step, round);
-        if let Some(chaos) = ctx.chaos {
+        if let Some(chaos) = &ctx.chaos {
             if chaos.fires(round, index) {
                 // fj-lint: allow(FJ02) — deliberate chaos injection: the
                 // recovery tests and CI smoke panic a worker here to
@@ -622,7 +641,7 @@ fn run_chunk(
         });
 
         let step_span = StageSpan::begin("router_step", t, &ctx.epoch);
-        cell.router.step(t, ctx.packets, ctx.step)?;
+        cell.router.step(t, &ctx.packets, ctx.step)?;
         out.spans
             .push(round, step_span.finish(t + ctx.step, &ctx.epoch));
     }
@@ -634,8 +653,8 @@ fn run_chunk(
 /// deterministic sharded engine, running as one whole-horizon chunk.
 ///
 /// Phase 1 splits the fleet into `shards` contiguous index ranges and
-/// simulates every router on scoped workers (`shards <= 1` runs inline).
-/// Phase 2 merges on the calling thread in strict `(round,
+/// simulates every router on the persistent worker pool (`shards <= 1`
+/// runs inline). Phase 2 merges on the calling thread in strict `(round,
 /// router-index)` order: fleet totals sum in fleet order (so
 /// floating-point association never depends on the shard count) and all
 /// telemetry — gap cause events, health transitions, gauges, counters —
@@ -670,6 +689,100 @@ pub fn collect_sharded(
         &config,
     )
     .map(|outcome| outcome.trace)
+}
+
+/// One in-flight chunk dispatch. The inline single-shard path completes
+/// synchronously (`Ready`); the pool path returns a [`fj_par::Pending`]
+/// handle so the caller can merge the *previous* chunk while workers
+/// simulate this one.
+enum Inflight {
+    Ready {
+        cells: Vec<RouterCell>,
+        result: Result<Vec<Result<ChunkOutput, SimError>>, fj_par::ShardPanic>,
+        stats: Option<fj_par::ShardStats>,
+    },
+    Pooled(fj_par::Pending<RouterCell, Result<ChunkOutput, SimError>>),
+}
+
+impl Inflight {
+    /// Blocks until the chunk's workers are done (a no-op for `Ready`)
+    /// and hands back the cells, the per-router results in fleet order,
+    /// and the profiler stats if the dispatch was profiled.
+    #[allow(clippy::type_complexity)]
+    fn wait(
+        self,
+    ) -> (
+        Vec<RouterCell>,
+        Result<Vec<Result<ChunkOutput, SimError>>, fj_par::ShardPanic>,
+        Option<fj_par::ShardStats>,
+    ) {
+        match self {
+            Inflight::Ready {
+                cells,
+                result,
+                stats,
+            } => (cells, result, stats),
+            Inflight::Pooled(pending) => {
+                let done = pending.wait();
+                (done.items, done.result, done.stats)
+            }
+        }
+    }
+}
+
+/// Dispatches one chunk over the cells: onto the persistent pool when
+/// one exists (taking ownership of the cells for the flight), inline on
+/// the calling thread otherwise. The mapped results are bit-identical
+/// either way — the pool preserves fj-par's index-order reduction and
+/// lowest-shard panic semantics exactly.
+fn dispatch_chunk(
+    pool: Option<&fj_par::WorkerPool>,
+    ctx: &Arc<RunContext>,
+    window: ChunkWindow,
+    shards: usize,
+    mut cells: Vec<RouterCell>,
+    profile_epoch: Option<WallEpoch>,
+) -> Inflight {
+    match pool {
+        Some(pool) => {
+            let ctx = Arc::clone(ctx);
+            let f = move |i: usize, cell: &mut RouterCell| run_chunk(&ctx, window, i, cell);
+            let pending = match profile_epoch {
+                Some(epoch) => {
+                    pool.submit_profiled(cells, shards, move || epoch.elapsed_micros(), f)
+                }
+                None => pool.submit(cells, shards, f),
+            };
+            Inflight::Pooled(pending)
+        }
+        None => {
+            let (result, stats) = match profile_epoch {
+                Some(epoch) => {
+                    let clock = move || epoch.elapsed_micros();
+                    match fj_par::try_shard_map_mut_profiled(
+                        &mut cells,
+                        shards,
+                        &clock,
+                        |i, cell| run_chunk(ctx, window, i, cell),
+                    ) {
+                        Ok((results, stats)) => (Ok(results), Some(stats)),
+                        Err(p) => (Err(p), None),
+                    }
+                }
+                None => (
+                    fj_par::try_shard_map_mut(&mut cells, shards, |i, cell| {
+                        run_chunk(ctx, window, i, cell)
+                    }),
+                    None,
+                ),
+            };
+            Inflight::Ready {
+                cells,
+                result,
+                stats,
+            }
+        }
+    }
 }
 
 /// Recovery bookkeeping counters, registered only for supervised or
@@ -743,6 +856,19 @@ impl RunProfiler {
         let report = self.report();
         self.efficiency.set(report.efficiency);
         self.merge_fraction.set(report.merge_fraction);
+    }
+
+    /// Attributes a pool dispatch's queue wait (dispatch entry → each
+    /// worker's first instruction) — the pool-path successor of the
+    /// scoped engine's per-chunk spawn wait.
+    fn record_pool_dispatch_wait(&mut self, us: u64) {
+        self.acc.record_pool_dispatch_wait(us);
+    }
+
+    /// Attributes the part of a merge interval that ran while the pool
+    /// was already simulating the next chunk.
+    fn record_merge_overlap(&mut self, us: u64) {
+        self.acc.record_merge_overlap(us);
     }
 
     /// The efficiency report over the run so far.
@@ -887,12 +1013,15 @@ pub fn collect_streaming(
         }
     }
 
-    let packets = fleet.packets.clone();
     let mut trace;
     let first_round;
     let root_span;
     let mut resumed_at_round = None;
+    // Sim-side cells (pool-dispatched) and merge-owned per-router traces
+    // are kept in two parallel vectors: the merge appends to `traces`
+    // while the pool may already hold `cells` for the next chunk.
     let mut cells: Vec<RouterCell>;
+    let mut traces: Vec<RouterTrace>;
     match restored {
         Some((state, root)) => {
             root_span = root;
@@ -909,31 +1038,28 @@ pub fn collect_streaming(
             // The checkpoint replaces the caller's (round-zero) router
             // state wholesale; it is handed back on return.
             fleet.routers.clear();
-            cells = state
-                .routers
-                .into_iter()
-                .enumerate()
-                .map(|(i, rs)| {
-                    let mut health = TargetHealth::new();
-                    health.restore_counts(
-                        rs.consecutive_failures,
-                        rs.total_failures,
-                        rs.total_successes,
-                    );
-                    let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
-                    predictor.restore_counters(&rs.predictor);
-                    RouterCell {
-                        snmp_stream: format!("snmp/{}", rs.router.name),
-                        wall_stream: format!("wall/{}", rs.router.name),
-                        instrumented: instrumented.contains(&i),
-                        router: rs.router,
-                        predictor,
-                        health,
-                        next_event: usize::try_from(rs.next_event).unwrap_or(usize::MAX),
-                        trace: rs.trace,
-                    }
-                })
-                .collect();
+            cells = Vec::with_capacity(state.routers.len());
+            traces = Vec::with_capacity(state.routers.len());
+            for (i, rs) in state.routers.into_iter().enumerate() {
+                let mut health = TargetHealth::new();
+                health.restore_counts(
+                    rs.consecutive_failures,
+                    rs.total_failures,
+                    rs.total_successes,
+                );
+                let mut predictor = ModelPredictor::new(fj_router_sim::spec::truth_registry());
+                predictor.restore_counters(&rs.predictor);
+                traces.push(rs.trace);
+                cells.push(RouterCell {
+                    snmp_stream: format!("snmp/{}", rs.router.name),
+                    wall_stream: format!("wall/{}", rs.router.name),
+                    instrumented: instrumented.contains(&i),
+                    router: rs.router,
+                    predictor,
+                    health,
+                    next_event: usize::try_from(rs.next_event).unwrap_or(usize::MAX),
+                });
+            }
         }
         None => {
             root_span = tracer.begin_span("fleet_collect", None, start);
@@ -942,24 +1068,25 @@ pub fn collect_streaming(
                 step,
                 ..Default::default()
             };
-            cells = std::mem::take(&mut fleet.routers)
-                .into_iter()
-                .enumerate()
-                .map(|(i, router)| RouterCell {
+            let routers = std::mem::take(&mut fleet.routers);
+            cells = Vec::with_capacity(routers.len());
+            traces = Vec::with_capacity(routers.len());
+            for (i, router) in routers.into_iter().enumerate() {
+                traces.push(RouterTrace {
+                    name: router.name.clone(),
+                    model: router.sim.spec().model.clone(),
+                    ..Default::default()
+                });
+                cells.push(RouterCell {
                     snmp_stream: format!("snmp/{}", router.name),
                     wall_stream: format!("wall/{}", router.name),
                     instrumented: instrumented.contains(&i),
-                    trace: RouterTrace {
-                        name: router.name.clone(),
-                        model: router.sim.spec().model.clone(),
-                        ..Default::default()
-                    },
                     predictor: ModelPredictor::new(fj_router_sim::spec::truth_registry()),
                     health: TargetHealth::new(),
                     next_event: 0,
                     router,
-                })
-                .collect();
+                });
+            }
         }
     }
 
@@ -970,9 +1097,9 @@ pub fn collect_streaming(
         total_gaps: registry.counter("gaps_total", &[("source", "fleet_total")]),
         quarantines: registry.counter("fleet_routers_quarantined_total", &[]),
         round_duration: registry.histogram("fleet_poll_round_duration_seconds", &[]),
-        health: cells
+        health: traces
             .iter()
-            .map(|c| registry.gauge("fleet_router_health", &[("router", &c.trace.name)]))
+            .map(|rt| registry.gauge("fleet_router_health", &[("router", &rt.name)]))
             .collect(),
     };
 
@@ -991,46 +1118,49 @@ pub fn collect_streaming(
     let mut round = first_round;
     let mut chunks_done = 0u64;
     let mut completed = true;
-    loop {
-        let window = ChunkWindow {
-            first: round,
-            end: rounds_total.min(round.saturating_add(chunk_rounds)),
-        };
-        // Worker-side rewind point for supervised restarts. The merge
-        // side needs none: it only runs after the chunk succeeded.
-        let boundary: Option<Vec<BoundaryState>> =
-            supervising.then(|| cells.iter().map(BoundaryState::capture).collect());
 
-        let mut chunk_stats: Option<fj_par::ShardStats> = None;
-        let outs: Vec<ChunkOutput> = loop {
-            let ctx = RunContext {
-                start,
-                step,
-                packets: &packets,
-                events: &events,
-                poll_faults,
-                epoch: tracer.epoch(),
-                chaos: config.chaos_panic.as_ref(),
-            };
-            // The profiled and plain paths run the identical closure over
-            // the identical shards — profiling only timestamps the work,
-            // it never reorders it (see fj_par::try_shard_map_mut_profiled).
-            let attempt = if let Some(p) = &profiler {
-                let epoch = p.epoch;
-                let clock = move || epoch.elapsed_micros();
-                fj_par::try_shard_map_mut_profiled(&mut cells, shards, &clock, |i, cell| {
-                    run_chunk(&ctx, window, i, cell)
-                })
-                .map(|(results, stats)| {
-                    chunk_stats = Some(stats);
-                    results
-                })
-            } else {
-                fj_par::try_shard_map_mut(&mut cells, shards, |i, cell| {
-                    run_chunk(&ctx, window, i, cell)
-                })
-            };
-            match attempt {
+    // The persistent worker pool: threads are spawned once here and
+    // parked on their channels between chunks; `shards <= 1` runs inline
+    // with no pool at all. The pool is sized to the host — shard counts
+    // above the core count (the FJ01 1024-shard case) round-robin onto
+    // the available workers deterministically.
+    let pool = (shards > 1).then(|| fj_par::WorkerPool::new(fj_par::clamp_shards(shards)));
+    let ctx = Arc::new(RunContext {
+        start,
+        step,
+        packets: fleet.packets.clone(),
+        events,
+        poll_faults: poll_faults.clone(),
+        epoch: tracer.epoch(),
+        chaos: config.chaos_panic.clone(),
+    });
+    let profile_epoch = profiler.as_ref().map(|p| p.epoch);
+    let window_at = |first: u64| ChunkWindow {
+        first,
+        end: rounds_total.min(first.saturating_add(chunk_rounds)),
+    };
+
+    // Pipelined dispatch state. The first chunk is dispatched before the
+    // loop; each iteration then waits on chunk N, dispatches chunk N+1
+    // (pool path), and merges chunk N while N+1 simulates. `boundary` is
+    // the worker-side rewind point for supervised restarts, captured at
+    // every dispatch; the merge side needs none — it only runs after the
+    // chunk succeeded.
+    let mut window = window_at(round);
+    let mut boundary: Option<Vec<BoundaryState>> =
+        supervising.then(|| cells.iter().map(BoundaryState::capture).collect());
+    let mut dispatched_us = profile_epoch.map_or(0, |e| e.elapsed_micros());
+    let mut inflight = dispatch_chunk(pool.as_ref(), &ctx, window, shards, cells, profile_epoch);
+    // Merge interval of the previous chunk, awaiting overlap attribution
+    // against the dispatch currently in flight.
+    let mut overlap_pending: Option<(u64, u64)> = None;
+    let final_cells: Vec<RouterCell>;
+    loop {
+        // Wait for the chunk's workers, supervising panics: restore the
+        // chunk-boundary state, back off, re-dispatch the same window.
+        let (cells_now, outs, chunk_stats) = loop {
+            let (mut got, result, stats) = inflight.wait();
+            match result {
                 Ok(results) => {
                     let mut outs = Vec::with_capacity(results.len());
                     let mut first_err = None;
@@ -1047,14 +1177,19 @@ pub fn collect_streaming(
                     }
                     match first_err {
                         Some(e) => {
-                            fleet.routers = cells.into_iter().map(|c| c.router).collect();
+                            fleet.routers = got.into_iter().map(|c| c.router).collect();
                             return Err(e);
                         }
-                        None => break outs,
+                        None => break (got, outs, stats),
                     }
                 }
                 Err(p) => {
-                    if let (Some(boundary), true) = (&boundary, restarts < config.max_restarts) {
+                    // A wedged pool worker loses its shard's cells; only
+                    // a complete set can be rewound and retried.
+                    let restorable = got.len() == router_count;
+                    if let (Some(bounds), true, true) =
+                        (&boundary, restarts < config.max_restarts, restorable)
+                    {
                         // Supervised recovery: count it, capture crash
                         // context, rewind every cell to the chunk
                         // boundary (panicked *and* healthy shards — a
@@ -1075,10 +1210,13 @@ pub fn collect_streaming(
                                 ("restart", restarts.to_string()),
                             ],
                         );
-                        for (cell, b) in cells.iter_mut().zip(boundary.iter()) {
+                        for (cell, b) in got.iter_mut().zip(bounds.iter()) {
                             b.restore_into(cell);
                         }
                         std::thread::sleep(backoff.next_delay(Duration::ZERO));
+                        dispatched_us = profile_epoch.map_or(0, |e| e.elapsed_micros());
+                        inflight =
+                            dispatch_chunk(pool.as_ref(), &ctx, window, shards, got, profile_epoch);
                     } else {
                         // Unsupervised (or budget exhausted): crash
                         // context first, then the panic proceeds exactly
@@ -1096,6 +1234,52 @@ pub fn collect_streaming(
             .iter()
             .all(|o| o.records.len()
                 == usize::try_from(window.end - window.first).unwrap_or(usize::MAX)));
+
+        // Merge-overlap attribution: how much of the previous chunk's
+        // merge interval ran while this chunk's workers were still busy.
+        // `dispatched_us + critical_end` is the absolute epoch time the
+        // last worker finished its item loop.
+        if let (Some(p), Some((m0, m1))) = (&mut profiler, overlap_pending.take()) {
+            if let Some(stats) = &chunk_stats {
+                let workers_end = dispatched_us.saturating_add(stats.critical_end_us());
+                p.record_merge_overlap(workers_end.min(m1).saturating_sub(m0));
+            }
+        }
+
+        // Decide — and on the pool path start — the next chunk *before*
+        // merging this one: that is the pipeline. `stop_after_chunks`
+        // counts this chunk, so a stopping run never simulates past the
+        // rounds it reports and the returned fleet state matches an
+        // unpipelined engine's exactly.
+        let stopping = config
+            .stop_after_chunks
+            .is_some_and(|n| chunks_done + 1 >= n);
+        let has_next = window.end < rounds_total && !stopping;
+        // Sim-side checkpoint snapshot, taken while the cells are in
+        // hand (they may be re-dispatched below): the merge-owned traces
+        // and telemetry are folded in at write time, after this chunk's
+        // merge ran. The cells' sim state at this boundary is exactly
+        // what the next dispatch starts from — the merge never touches
+        // sim-side fields.
+        let ckpt_cells = (config.checkpoints.is_some() && window.end < rounds_total)
+            .then(|| capture_router_states(&cells_now));
+        let mut cells_opt = Some(cells_now);
+        let mut prefetched: Option<Inflight> = None;
+        if has_next && pool.is_some() {
+            if let Some(next_cells) = cells_opt.take() {
+                boundary =
+                    supervising.then(|| next_cells.iter().map(BoundaryState::capture).collect());
+                dispatched_us = profile_epoch.map_or(0, |e| e.elapsed_micros());
+                prefetched = Some(dispatch_chunk(
+                    pool.as_ref(),
+                    &ctx,
+                    window_at(window.end),
+                    shards,
+                    next_cells,
+                    profile_epoch,
+                ));
+            }
+        }
 
         // Chunk spans carry the window's sim extent; the whole-horizon
         // chunk reproduces the old `[start, end]` stamps exactly.
@@ -1115,7 +1299,9 @@ pub fn collect_streaming(
         let sim_span = tracer.begin_span("fleet_simulate", Some(root_span), chunk_start);
         tracer.end_span(sim_span, chunk_end);
         // The serial section the profiler attributes to "merge": worker
-        // span absorption plus the sequential (round, router) replay.
+        // span absorption plus the sequential (round, router) replay. On
+        // the pool path the next chunk is already simulating while this
+        // runs — the interval is saved for overlap attribution above.
         let merge_started_us = profiler.as_ref().map(|p| p.epoch.elapsed_micros());
         // Fold each worker's complete stage totals (and span-drop
         // counts) into the sink before replay, in fleet order.
@@ -1124,7 +1310,15 @@ pub fn collect_streaming(
         }
         let merge_span = tracer.begin_span("fleet_merge", Some(root_span), chunk_start);
         merge_chunk(
-            telemetry, tracer, sim_span, &metrics, &mut cells, outs, window, &mut trace, start,
+            telemetry,
+            tracer,
+            sim_span,
+            &metrics,
+            &mut traces,
+            outs,
+            window,
+            &mut trace,
+            start,
             step,
         );
         tracer.end_span(merge_span, chunk_end);
@@ -1132,9 +1326,21 @@ pub fn collect_streaming(
         chunks_done += 1;
 
         if let Some(p) = &mut profiler {
-            let merge_us =
-                merge_started_us.map_or(0, |t0| p.epoch.elapsed_micros().saturating_sub(t0));
-            p.record_chunk(&chunk_stats.take().unwrap_or_default(), merge_us);
+            let merge_ended_us = p.epoch.elapsed_micros();
+            let merge_us = merge_started_us.map_or(0, |t0| merge_ended_us.saturating_sub(t0));
+            let stats = chunk_stats.unwrap_or_default();
+            if pool.is_some() {
+                // On the pool path the per-worker spawn wait *is* the
+                // dispatch queue wait (channel send + queueing behind
+                // earlier shards on the same worker).
+                p.record_pool_dispatch_wait(stats.spawn_wait_us());
+            }
+            p.record_chunk(&stats, merge_us);
+            if prefetched.is_some() {
+                if let Some(t0) = merge_started_us {
+                    overlap_pending = Some((t0, merge_ended_us));
+                }
+            }
             let report = p.report();
             let wall_secs = p.run_us() as f64 / 1e6;
             let merged_here = round.saturating_sub(first_round);
@@ -1181,9 +1387,10 @@ pub fn collect_streaming(
         }
 
         if round >= rounds_total {
+            final_cells = cells_opt.take().unwrap_or_default();
             break;
         }
-        if let Some(ckpt_cfg) = &config.checkpoints {
+        if let (Some(ckpt_cfg), Some(ckpt_routers)) = (&config.checkpoints, ckpt_cells) {
             checkpoints_written += 1;
             if let Some(rc) = &recovery {
                 rc.written.inc();
@@ -1194,7 +1401,7 @@ pub fn collect_streaming(
             // exactly. Both are deterministic: same chunking, same count.
             let ck_span = tracer.begin_span("fleet_checkpoint", Some(root_span), chunk_end);
             tracer.end_span(ck_span, chunk_end);
-            let state = build_state(fingerprint, round, &cells, &trace, telemetry);
+            let state = build_state(fingerprint, round, ckpt_routers, &traces, &trace, telemetry);
             if let Err(e) = checkpoint::write(ckpt_cfg, round, &state) {
                 // A failed write degrades durability, not correctness:
                 // the run continues, resumable only from the previous
@@ -1203,23 +1410,39 @@ pub fn collect_streaming(
                     .trip_flight_recorder("checkpoint write failed", &[("error", e.to_string())]);
             }
         }
-        if config.stop_after_chunks.is_some_and(|n| chunks_done >= n) {
+        if stopping {
             completed = false;
+            final_cells = cells_opt.take().unwrap_or_default();
             break;
         }
+
+        // Advance: the pool path already dispatched the next chunk
+        // before the merge; the inline path dispatches it now.
+        window = window_at(round);
+        inflight = match prefetched {
+            Some(inf) => inf,
+            None => {
+                let next_cells = cells_opt.take().unwrap_or_default();
+                boundary =
+                    supervising.then(|| next_cells.iter().map(BoundaryState::capture).collect());
+                dispatched_us = profile_epoch.map_or(0, |e| e.elapsed_micros());
+                dispatch_chunk(
+                    pool.as_ref(),
+                    &ctx,
+                    window,
+                    shards,
+                    next_cells,
+                    profile_epoch,
+                )
+            }
+        };
     }
 
     if completed {
         tracer.end_span(root_span, end);
     }
-    let mut routers = Vec::with_capacity(cells.len());
-    let mut router_traces = Vec::with_capacity(cells.len());
-    for cell in cells {
-        routers.push(cell.router);
-        router_traces.push(cell.trace);
-    }
-    fleet.routers = routers;
-    trace.routers = router_traces;
+    fleet.routers = final_cells.into_iter().map(|c| c.router).collect();
+    trace.routers = traces;
     Ok(StreamOutcome {
         trace,
         completed,
@@ -1232,15 +1455,40 @@ pub fn collect_streaming(
     })
 }
 
+/// Snapshots the sim-side per-router state at a chunk boundary, while
+/// the cells are still in hand (the pipelined engine may dispatch them
+/// for the next chunk before the checkpoint is written). The merge-owned
+/// trace slot is left empty; [`build_state`] fills it at write time.
+fn capture_router_states(cells: &[RouterCell]) -> Vec<checkpoint::RouterState> {
+    cells
+        .iter()
+        .map(|c| checkpoint::RouterState {
+            router: c.router.clone(),
+            consecutive_failures: c.health.consecutive_failures(),
+            total_failures: c.health.total_failures(),
+            total_successes: c.health.total_successes(),
+            predictor: c.predictor.counters_snapshot(),
+            next_event: u64::try_from(c.next_event).unwrap_or(u64::MAX),
+            trace: RouterTrace::default(),
+        })
+        .collect()
+}
+
 /// Serializes the engine state at a chunk boundary (`rounds_done` rounds
-/// simulated *and* merged) into a checkpoint payload.
+/// simulated *and* merged) into a checkpoint payload, marrying the
+/// sim-side snapshot from [`capture_router_states`] with the merge-owned
+/// traces and telemetry as they stand after the boundary's merge.
 fn build_state(
     fingerprint: u64,
     rounds_done: u64,
-    cells: &[RouterCell],
+    mut routers: Vec<checkpoint::RouterState>,
+    traces: &[RouterTrace],
     trace: &FleetTrace,
     telemetry: &Telemetry,
 ) -> checkpoint::CheckpointState {
+    for (rs, rt) in routers.iter_mut().zip(traces.iter()) {
+        rs.trace = rt.clone();
+    }
     checkpoint::CheckpointState {
         version: checkpoint::CHECKPOINT_VERSION,
         fingerprint,
@@ -1249,18 +1497,7 @@ fn build_state(
         total_wall: trace.total_wall.clone(),
         total_reported: trace.total_reported.clone(),
         total_traffic: trace.total_traffic.clone(),
-        routers: cells
-            .iter()
-            .map(|c| checkpoint::RouterState {
-                router: c.router.clone(),
-                consecutive_failures: c.health.consecutive_failures(),
-                total_failures: c.health.total_failures(),
-                total_successes: c.health.total_successes(),
-                predictor: c.predictor.counters_snapshot(),
-                next_event: u64::try_from(c.next_event).unwrap_or(u64::MAX),
-                trace: c.trace.clone(),
-            })
-            .collect(),
+        routers,
         telemetry: telemetry.checkpoint_state(),
     }
 }
@@ -1274,7 +1511,7 @@ fn merge_chunk(
     tracer: &TraceSink,
     sim_span: SpanId,
     metrics: &MergeMetrics,
-    cells: &mut [RouterCell],
+    traces: &mut [RouterTrace],
     mut outs: Vec<ChunkOutput>,
     window: ChunkWindow,
     trace: &mut FleetTrace,
@@ -1295,9 +1532,8 @@ fn merge_chunk(
         let mut total_reported = 0.0;
         let mut total_traffic = 0.0;
         let mut reported_unknown = false;
-        for (i, (cell, out)) in cells.iter_mut().zip(outs.iter_mut()).enumerate() {
+        for (i, (rt, out)) in traces.iter_mut().zip(outs.iter_mut()).enumerate() {
             let rec = out.records[rec_index];
-            let rt = &mut cell.trace;
             // Adopt this router's worker spans for the round *before*
             // emitting its telemetry: sequential ids in strict
             // `(round, router-index)` order — the trace stream is

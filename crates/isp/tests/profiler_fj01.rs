@@ -160,5 +160,25 @@ fn profiler_adds_nothing_to_the_deterministic_surface() {
         assert!(report.imbalance >= 1.0);
         // At most one worker per router; the report records what ran.
         assert_eq!(report.shards, shards.min(on.trace.routers.len()));
+
+        // The pool-path fields are always present on a fresh report.
+        // Dispatch wait exists only on the pooled engine (shards > 1);
+        // merge overlap is bounded by the merge time it overlapped.
+        let wait = report
+            .pool_dispatch_wait_secs
+            .expect("fresh report carries dispatch wait");
+        let overlap = report
+            .merge_overlap_secs
+            .expect("fresh report carries merge overlap");
+        let fraction = report
+            .merge_overlap_fraction
+            .expect("fresh report carries overlap fraction");
+        assert!(wait >= 0.0);
+        assert!(overlap >= 0.0);
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        if shards == 1 {
+            assert_eq!(wait, 0.0, "inline engine never queues a dispatch");
+            assert_eq!(overlap, 0.0, "inline engine never overlaps merges");
+        }
     }
 }

@@ -60,7 +60,12 @@ const AUDITED_SEAMS: &[(&str, &str)] = &[
     // decisions, stores are commutative increments (PR 2 audit).
     ("telemetry", "metrics"),
     // The single audited concurrency seam: contiguous index shards with
-    // stable index-order reduction (PR 4), including its profiled path.
+    // stable index-order reduction (PR 4), including its profiled path
+    // and the persistent worker pool (`pool` module): per-worker mpsc
+    // channels with deterministic round-robin placement, per-item
+    // catch_unwind, lowest-shard-wins panic attribution. The empty
+    // prefix deliberately covers the whole crate, so a new module here
+    // lands on the audited seam — adding one is an audit, not a lint fix.
     ("par", ""),
 ];
 
@@ -373,6 +378,8 @@ mod tests {
             Surface::AuditedSeam
         );
         assert_eq!(surf("crates/par/src/lib.rs"), Surface::AuditedSeam);
+        // The persistent worker pool rides the whole-crate seam entry.
+        assert_eq!(surf("crates/par/src/pool.rs"), Surface::AuditedSeam);
         assert_eq!(surf("crates/obs/src/lib.rs"), Surface::Off);
         assert_eq!(surf("crates/telemetry/src/progress.rs"), Surface::Off);
         assert_eq!(surf("crates/telemetry/src/flightrec.rs"), Surface::Off);

@@ -53,6 +53,19 @@ pub struct ParallelEfficiencyReport {
     pub spawn_wait_secs: f64,
     /// Σ worker join wait (worker end → call return).
     pub join_wait_secs: f64,
+    /// Σ pool dispatch wait: on the persistent-pool path, the time
+    /// between a chunk's dispatch and each worker's first instruction
+    /// (channel send + queueing behind earlier shards on the same
+    /// worker). Zero for scoped/inline runs. `Option` so baselines
+    /// recorded before the pool existed still parse (`None`).
+    pub pool_dispatch_wait_secs: Option<f64>,
+    /// Σ merge time that overlapped the *next* chunk's simulation — the
+    /// pipelining win. Zero when the merge never overlaps (inline path,
+    /// single-chunk runs); `None` on pre-pool baselines.
+    pub merge_overlap_secs: Option<f64>,
+    /// merge_overlap / merge: the fraction of the serial merge hidden
+    /// behind pool workers, in `[0, 1]`; `None` on pre-pool baselines.
+    pub merge_overlap_fraction: Option<f64>,
     /// Σbusy / (wall × shards): fraction of the theoretically available
     /// worker-seconds actually spent mapping items.
     pub efficiency: f64,
@@ -98,6 +111,11 @@ pub struct EfficiencyAccumulator {
     /// Σ per-chunk mean worker busy, in microsecond units scaled by the
     /// chunk's worker count (kept as a float to avoid rounding bias).
     mean_busy_us: f64,
+    /// Σ pool dispatch queue wait ([`EfficiencyAccumulator::record_pool_dispatch_wait`]).
+    pool_dispatch_wait_us: u64,
+    /// Σ merge time overlapped with the next chunk's simulation
+    /// ([`EfficiencyAccumulator::record_merge_overlap`]).
+    merge_overlap_us: u64,
 }
 
 impl EfficiencyAccumulator {
@@ -121,6 +139,20 @@ impl EfficiencyAccumulator {
     /// Chunks folded so far.
     pub fn chunks(&self) -> u64 {
         self.chunks
+    }
+
+    /// Absorbs one pool dispatch's queue wait (Σ per-worker spawn wait
+    /// as measured by [`fj_par::WorkerPool::submit_profiled`]). Callers
+    /// on the scoped path never call this; the field stays zero.
+    pub fn record_pool_dispatch_wait(&mut self, us: u64) {
+        self.pool_dispatch_wait_us += us;
+    }
+
+    /// Absorbs the portion of one merge interval that ran while the
+    /// pool was already simulating the next chunk — the pipelined-merge
+    /// win the report surfaces as `merge_overlap_fraction`.
+    pub fn record_merge_overlap(&mut self, us: u64) {
+        self.merge_overlap_us += us;
     }
 
     /// Snapshot the report against the measured total wall time of the
@@ -154,6 +186,11 @@ impl EfficiencyAccumulator {
             1.0
         };
         let amdahl_ceiling = 1.0 / (serial_fraction + (1.0 - serial_fraction) / shards as f64);
+        let merge_overlap_fraction = if self.merge_us > 0 {
+            (self.merge_overlap_us as f64 / self.merge_us as f64).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         ParallelEfficiencyReport {
             shards,
             chunks: self.chunks,
@@ -164,6 +201,9 @@ impl EfficiencyAccumulator {
             merge_secs,
             spawn_wait_secs: self.spawn_wait_us as f64 / US_PER_SEC,
             join_wait_secs: self.join_wait_us as f64 / US_PER_SEC,
+            pool_dispatch_wait_secs: Some(self.pool_dispatch_wait_us as f64 / US_PER_SEC),
+            merge_overlap_secs: Some(self.merge_overlap_us as f64 / US_PER_SEC),
+            merge_overlap_fraction: Some(merge_overlap_fraction),
             efficiency,
             merge_fraction,
             imbalance,
@@ -246,6 +286,47 @@ mod tests {
         assert_eq!(r.imbalance, 1.0);
         assert_eq!(r.serial_fraction, 1.0);
         assert!((r.amdahl_ceiling - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_dispatch_wait_and_merge_overlap_fold_into_the_report() {
+        let mut acc = EfficiencyAccumulator::default();
+        acc.record_chunk(&stats(&[800, 900]), 400);
+        acc.record_pool_dispatch_wait(30);
+        acc.record_merge_overlap(300);
+        acc.record_chunk(&stats(&[850, 850]), 600);
+        acc.record_pool_dispatch_wait(20);
+        acc.record_merge_overlap(450);
+        let r = acc.report(3000);
+        assert!((r.pool_dispatch_wait_secs.unwrap_or(0.0) - 50e-6).abs() < 1e-12);
+        assert!((r.merge_overlap_secs.unwrap_or(0.0) - 750e-6).abs() < 1e-12);
+        // 750 of 1000 merge µs hidden behind the pipeline.
+        let frac = r.merge_overlap_fraction.unwrap_or(0.0);
+        assert!((frac - 0.75).abs() < 1e-9, "overlap fraction {frac}");
+    }
+
+    #[test]
+    fn overlap_fraction_clamps_and_defaults_sanely() {
+        // No merge recorded → fraction is 0, not NaN.
+        let mut acc = EfficiencyAccumulator::default();
+        acc.record_merge_overlap(500);
+        let r = acc.report(1000);
+        assert_eq!(r.merge_overlap_fraction, Some(0.0));
+        // Overlap beyond the merge total clamps to 1.
+        let mut acc = EfficiencyAccumulator::default();
+        acc.record_chunk(&stats(&[100]), 100);
+        acc.record_merge_overlap(500);
+        assert_eq!(acc.report(1000).merge_overlap_fraction, Some(1.0));
+        // Pre-pool baselines parse with the new fields absent.
+        let old = r#"{"shards":2,"chunks":1,"items":4,"wall_secs":1.0,
+            "busy_secs":0.5,"simulate_secs":0.5,"merge_secs":0.1,
+            "spawn_wait_secs":0.0,"join_wait_secs":0.0,"efficiency":0.25,
+            "merge_fraction":0.1,"imbalance":1.0,"serial_fraction":0.5,
+            "amdahl_ceiling":1.33}"#;
+        let parsed: ParallelEfficiencyReport = serde_json::from_str(old).expect("old json parses");
+        assert_eq!(parsed.pool_dispatch_wait_secs, None);
+        assert_eq!(parsed.merge_overlap_secs, None);
+        assert_eq!(parsed.merge_overlap_fraction, None);
     }
 
     #[test]

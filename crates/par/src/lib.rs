@@ -8,24 +8,38 @@
 //! determinism contract: results must be a pure function of seeds and the
 //! sim clock, never of thread scheduling.
 //!
-//! This crate provides the one audited concurrency seam of the workspace:
-//! a scoped worker pool built on [`std::thread::scope`] (structured
-//! concurrency — no detached threads, no `'static` bounds, no channels)
-//! whose combinators split an **indexed** workload into contiguous shards
-//! and reduce the per-item results in **stable index order**. Whatever
-//! the shard count, the returned vector is element-for-element identical
-//! to the sequential map; threads only decide *when* each item runs,
-//! never *what* the caller observes. Callers keep cross-item effects
+//! This crate provides the one audited concurrency seam of the workspace,
+//! in two flavors sharing one contract:
+//!
+//! - **Scoped combinators** ([`shard_map`], [`try_shard_map_mut`], …)
+//!   built on [`std::thread::scope`]: spawn, map, join — right for
+//!   one-shot calls where borrowing the caller's slice matters.
+//! - **A persistent [`WorkerPool`]** whose threads are spawned once per
+//!   run and parked on channels between dispatches — right for chunked
+//!   streaming where a scoped pool would pay the spawn/join tax per
+//!   chunk (see `pool.rs` for the ownership ping-pong design).
+//!
+//! Both split an **indexed** workload into contiguous shards and reduce
+//! the per-item results in **stable index order**. Whatever the shard
+//! count, the returned vector is element-for-element identical to the
+//! sequential map; threads only decide *when* each item runs, never
+//! *what* the caller observes. Callers keep cross-item effects
 //! (telemetry, floating-point accumulation) out of the parallel closure
 //! and apply them during their own in-order reduction — see
 //! `fj_isp::trace` for the canonical pattern.
 //!
-//! Zero dependencies, no unsafe, no locks: workers either borrow disjoint
-//! `&mut` chunks (`shard_map_mut`) or share `&T` (`shard_map`), and the
-//! scope joins every worker before returning, propagating panics.
+//! Zero dependencies, no unsafe, no locks, no atomics: scoped workers
+//! borrow disjoint `&mut` chunks and are joined before returning; pool
+//! workers receive owned shards over [`std::sync::mpsc`] channels and
+//! hand them back the same way. Panics propagate in both flavors with
+//! the lowest panicking shard winning deterministically.
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+
+mod pool;
+
+pub use pool::{Completed, Pending, WorkerPool};
 
 /// Environment variable overriding the default shard count.
 pub const SHARDS_ENV: &str = "FJ_SHARDS";
@@ -257,6 +271,18 @@ impl ShardStats {
     /// Busy time of the slowest worker — the parallel critical path.
     pub fn max_busy_us(&self) -> u64 {
         self.workers.iter().map(|w| w.busy_us).max().unwrap_or(0)
+    }
+
+    /// Offset from call entry to the *last* worker finishing its item
+    /// loop: `max(spawn_wait + busy)`. For a pipelined pool dispatch
+    /// this is when the simulate phase truly ended, which the engine's
+    /// merge-overlap accounting needs.
+    pub fn critical_end_us(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.spawn_wait_us + w.busy_us)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total items mapped across workers.
