@@ -31,6 +31,9 @@ cargo test --workspace -q
 echo "==> telemetry smoke"
 cargo run -q -p fj-bench --bin telemetry_smoke
 
+echo "==> alert smoke (default pack parses; seeded faults must fire)"
+cargo run -q --release -p fj-bench --bin alert_smoke
+
 echo "==> fleet throughput smoke (asserts shard-count determinism + dispatch-wait budget)"
 # The ≥2-shard cells run on the persistent worker pool: cumulative
 # dispatch wait (jobs queued behind busy workers) must stay under a

@@ -1,0 +1,727 @@
+//! Declarative alert rules and their line-oriented text format.
+//!
+//! A rule names a metric selector, an expression over it (threshold,
+//! rate-of-change, absence/staleness, or multi-window burn rate), a
+//! severity, and the `for`/`keep` durations driving the
+//! `pending → firing → resolved` state machine in [`crate::engine`].
+//!
+//! Rules round-trip through a one-line-per-rule text format so a rule
+//! pack can be embedded in a checkpoint and compared byte-for-byte on
+//! resume:
+//!
+//! ```text
+//! alert gap_rate_slo severity=warning for=0 keep=0 expr=burn_rate \
+//!     num=gaps_total{source=fleet_total} den=fleet_poll_rounds_total \
+//!     budget=0.05 factor=2 short=1h long=6h
+//! ```
+//!
+//! (shown wrapped; the actual format is one physical line per rule).
+//! Values never contain spaces, so tokens split on whitespace and each
+//! token after the rule name is a `key=value` pair.
+
+use fj_telemetry::{MetricSnapshot, MetricValue};
+use fj_units::SimDuration;
+
+/// How loud a firing alert is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Severity {
+    /// Informational: worth a look, not worth a page.
+    Info,
+    /// Degraded but operating; burn is above budget.
+    Warning,
+    /// The run is unhealthy; results are suspect.
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case label used in rendering and the text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Severity> {
+        match text {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Comparison operator in threshold and rate expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Cmp {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+}
+
+impl Cmp {
+    /// Whether `lhs OP rhs` holds.
+    pub fn holds(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+        }
+    }
+
+    /// The operator's text-format spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Cmp> {
+        match text {
+            ">" => Some(Cmp::Gt),
+            ">=" => Some(Cmp::Ge),
+            "<" => Some(Cmp::Lt),
+            "<=" => Some(Cmp::Le),
+            _ => None,
+        }
+    }
+}
+
+/// A metric selector: a name plus label pairs that must all be present
+/// on a series for it to match. `gaps_total{source=fleet_total}` matches
+/// every `gaps_total` series carrying `source="fleet_total"` (and any
+/// other labels); `gaps_total` alone matches all label sets.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricSelector {
+    /// Metric name (exact match).
+    pub name: String,
+    /// Label pairs the series must carry (subset match), sorted.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricSelector {
+    /// A selector matching every label set of `name`.
+    pub fn name(name: &str) -> MetricSelector {
+        MetricSelector {
+            name: name.to_owned(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A selector with label constraints.
+    pub fn with_labels(name: &str, labels: &[(&str, &str)]) -> MetricSelector {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricSelector {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// Parses `name` or `name{k=v,k2=v2}`.
+    pub fn parse(text: &str) -> Result<MetricSelector, String> {
+        let Some((name, rest)) = text.split_once('{') else {
+            if text.is_empty() {
+                return Err("empty metric selector".to_owned());
+            }
+            return Ok(MetricSelector::name(text));
+        };
+        let Some(body) = rest.strip_suffix('}') else {
+            return Err(format!("selector `{text}` is missing the closing brace"));
+        };
+        if name.is_empty() {
+            return Err(format!("selector `{text}` has an empty metric name"));
+        }
+        let mut labels = Vec::new();
+        for pair in body.split(',').filter(|p| !p.is_empty()) {
+            let Some((k, v)) = pair.split_once('=') else {
+                return Err(format!("selector label `{pair}` is not key=value"));
+            };
+            labels.push((k.to_owned(), v.trim_matches('"').to_owned()));
+        }
+        labels.sort();
+        Ok(MetricSelector {
+            name: name.to_owned(),
+            labels,
+        })
+    }
+
+    /// Whether one snapshot entry matches this selector.
+    pub fn matches(&self, snap: &MetricSnapshot) -> bool {
+        snap.name == self.name
+            && self
+                .labels
+                .iter()
+                .all(|(k, v)| snap.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+    }
+
+    /// Samples the selector against a registry snapshot: the sum over
+    /// every matching series (counter reading, gauge reading, histogram
+    /// sample count), or `None` when nothing matches.
+    pub fn sample(&self, snapshot: &[MetricSnapshot]) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut found = false;
+        for snap in snapshot.iter().filter(|s| self.matches(s)) {
+            found = true;
+            sum += match &snap.value {
+                MetricValue::Counter(c) => *c as f64,
+                MetricValue::Gauge(g) => *g,
+                MetricValue::Histogram(h) => h.count as f64,
+            };
+        }
+        found.then_some(sum)
+    }
+}
+
+impl std::fmt::Display for MetricSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if self.labels.is_empty() {
+            return Ok(());
+        }
+        f.write_str("{")?;
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// The condition a rule evaluates each epoch-chunk boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertExpr {
+    /// Instantaneous comparison of the sampled value. No match in the
+    /// registry means no breach.
+    Threshold {
+        /// What to sample.
+        metric: MetricSelector,
+        /// Comparison against `value`.
+        cmp: Cmp,
+        /// Right-hand side.
+        value: f64,
+    },
+    /// Rate of change per second over a trailing window, computed from
+    /// the per-eval increments of a cumulative series.
+    Rate {
+        /// What to sample (a counter).
+        metric: MetricSelector,
+        /// Trailing window `(now - window, now]`.
+        window: SimDuration,
+        /// Comparison against `value`.
+        cmp: Cmp,
+        /// Right-hand side, in metric units per second.
+        value: f64,
+    },
+    /// The series is absent from the registry, or present but frozen,
+    /// for at least `staleness` of sim time.
+    Absent {
+        /// What to watch.
+        metric: MetricSelector,
+        /// How long the series may stay silent before breaching.
+        staleness: SimDuration,
+    },
+    /// Multi-window burn rate: `(num/den) / budget` must reach `factor`
+    /// over *both* the short and the long trailing window — the classic
+    /// fast-burn/slow-burn pairing that ignores brief spikes yet pages
+    /// quickly on sustained budget burn.
+    BurnRate {
+        /// Error-event counter (e.g. gaps).
+        numerator: MetricSelector,
+        /// Total-event counter (e.g. poll rounds).
+        denominator: MetricSelector,
+        /// Error budget as a fraction of total (e.g. 0.05 = 5%).
+        budget: f64,
+        /// Burn multiple that breaches (e.g. 2 = burning double budget).
+        factor: f64,
+        /// Fast window.
+        short: SimDuration,
+        /// Slow window.
+        long: SimDuration,
+    },
+}
+
+impl AlertExpr {
+    /// Selectors this expression samples, in evaluation order.
+    pub fn selectors(&self) -> Vec<&MetricSelector> {
+        match self {
+            AlertExpr::Threshold { metric, .. }
+            | AlertExpr::Rate { metric, .. }
+            | AlertExpr::Absent { metric, .. } => vec![metric],
+            AlertExpr::BurnRate {
+                numerator,
+                denominator,
+                ..
+            } => vec![numerator, denominator],
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            AlertExpr::Threshold { metric, cmp, value } => {
+                let _ = write!(
+                    out,
+                    "expr=threshold metric={metric} op={} value={value}",
+                    cmp.as_str()
+                );
+            }
+            AlertExpr::Rate {
+                metric,
+                window,
+                cmp,
+                value,
+            } => {
+                let _ = write!(
+                    out,
+                    "expr=rate metric={metric} window={} op={} value={value}",
+                    fmt_duration(*window),
+                    cmp.as_str()
+                );
+            }
+            AlertExpr::Absent { metric, staleness } => {
+                let _ = write!(
+                    out,
+                    "expr=absent metric={metric} staleness={}",
+                    fmt_duration(*staleness)
+                );
+            }
+            AlertExpr::BurnRate {
+                numerator,
+                denominator,
+                budget,
+                factor,
+                short,
+                long,
+            } => {
+                let _ = write!(
+                    out,
+                    "expr=burn_rate num={numerator} den={denominator} budget={budget} \
+                     factor={factor} short={} long={}",
+                    fmt_duration(*short),
+                    fmt_duration(*long)
+                );
+            }
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Alert name (snake_case; catalogued in DESIGN.md by FJ04).
+    pub name: String,
+    /// Severity attached to transitions and rendering.
+    pub severity: Severity,
+    /// How long the condition must hold before `pending` becomes
+    /// `firing` (zero fires immediately).
+    pub for_duration: SimDuration,
+    /// Hysteresis: how long the condition must stay clear before
+    /// `firing` resolves (zero resolves immediately).
+    pub keep_firing_for: SimDuration,
+    /// The condition.
+    pub expr: AlertExpr,
+}
+
+impl AlertRule {
+    /// A rule with zero `for`/`keep` durations. The name should be a
+    /// string literal — the FJ04 lint catalogues these call sites
+    /// against DESIGN.md's alert catalogue.
+    pub fn new(name: &str, severity: Severity, expr: AlertExpr) -> AlertRule {
+        AlertRule {
+            name: name.to_owned(),
+            severity,
+            for_duration: SimDuration::ZERO,
+            keep_firing_for: SimDuration::ZERO,
+            expr,
+        }
+    }
+
+    /// Requires the condition to hold this long before firing.
+    pub fn for_duration(mut self, d: SimDuration) -> AlertRule {
+        self.for_duration = d;
+        self
+    }
+
+    /// Keeps the alert firing this long after the condition clears.
+    pub fn keep_firing_for(mut self, d: SimDuration) -> AlertRule {
+        self.keep_firing_for = d;
+        self
+    }
+
+    /// Canonical one-line text rendering (see module docs).
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            "alert {} severity={} for={} keep={} ",
+            self.name,
+            self.severity,
+            fmt_duration(self.for_duration),
+            fmt_duration(self.keep_firing_for)
+        );
+        self.expr.render(&mut out);
+        out
+    }
+}
+
+/// Where and why a rule failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+/// Parses a rule pack: one rule per line, `#` comments and blank lines
+/// skipped. Duplicate rule names are an error — the engine keys phases
+/// and transitions by name.
+pub fn parse_rules(text: &str) -> Result<Vec<AlertRule>, RuleParseError> {
+    let mut rules: Vec<AlertRule> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = parse_line(line).map_err(|message| RuleParseError {
+            line: idx + 1,
+            message,
+        })?;
+        if rules.iter().any(|r| r.name == rule.name) {
+            return Err(RuleParseError {
+                line: idx + 1,
+                message: format!("duplicate rule name `{}`", rule.name),
+            });
+        }
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+/// Renders a rule pack as canonical text — the inverse of
+/// [`parse_rules`], used to fingerprint the pack inside checkpoints.
+pub fn render_rules(rules: &[AlertRule]) -> String {
+    let mut out = String::new();
+    for rule in rules {
+        out.push_str(&rule.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_line(line: &str) -> Result<AlertRule, String> {
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("alert") {
+        return Err("rule must start with `alert <name>`".to_owned());
+    }
+    let Some(name) = tokens.next() else {
+        return Err("missing alert name".to_owned());
+    };
+    if name.contains('=') {
+        return Err(format!(
+            "alert name `{name}` must come before key=value pairs"
+        ));
+    }
+
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for tok in tokens {
+        let Some((k, v)) = tok.split_once('=') else {
+            return Err(format!("token `{tok}` is not key=value"));
+        };
+        pairs.push((k.to_owned(), v.to_owned()));
+    }
+    let take = |key: &str| -> Option<String> {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    let require = |key: &str| -> Result<String, String> {
+        take(key).ok_or_else(|| format!("missing `{key}=`"))
+    };
+
+    let severity = require("severity").and_then(|s| {
+        Severity::parse(&s).ok_or_else(|| format!("unknown severity `{s}` (info|warning|critical)"))
+    })?;
+    let for_duration = match take("for") {
+        Some(d) => parse_duration(&d)?,
+        None => SimDuration::ZERO,
+    };
+    let keep = match take("keep") {
+        Some(d) => parse_duration(&d)?,
+        None => SimDuration::ZERO,
+    };
+
+    let kind = require("expr")?;
+    let metric = |key: &str| require(key).and_then(|m| MetricSelector::parse(&m));
+    let number = |key: &str| -> Result<f64, String> {
+        let v = require(key)?;
+        v.parse::<f64>()
+            .map_err(|_| format!("`{key}={v}` is not a number"))
+    };
+    let duration = |key: &str| -> Result<SimDuration, String> {
+        let v = require(key)?;
+        let d = parse_duration(&v)?;
+        if !d.is_positive() {
+            return Err(format!("`{key}={v}` must be a positive duration"));
+        }
+        Ok(d)
+    };
+    let cmp = || -> Result<Cmp, String> {
+        let v = require("op")?;
+        Cmp::parse(&v).ok_or_else(|| format!("unknown operator `{v}` (>, >=, <, <=)"))
+    };
+
+    let expr = match kind.as_str() {
+        "threshold" => AlertExpr::Threshold {
+            metric: metric("metric")?,
+            cmp: cmp()?,
+            value: number("value")?,
+        },
+        "rate" => AlertExpr::Rate {
+            metric: metric("metric")?,
+            window: duration("window")?,
+            cmp: cmp()?,
+            value: number("value")?,
+        },
+        "absent" => AlertExpr::Absent {
+            metric: metric("metric")?,
+            staleness: duration("staleness")?,
+        },
+        "burn_rate" => {
+            let budget = number("budget")?;
+            let factor = number("factor")?;
+            if budget <= 0.0 {
+                return Err("`budget` must be positive".to_owned());
+            }
+            if factor <= 0.0 {
+                return Err("`factor` must be positive".to_owned());
+            }
+            let short = duration("short")?;
+            let long = duration("long")?;
+            if long < short {
+                return Err("`long` window must be at least the `short` window".to_owned());
+            }
+            AlertExpr::BurnRate {
+                numerator: metric("num")?,
+                denominator: metric("den")?,
+                budget,
+                factor,
+                short,
+                long,
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown expr kind `{other}` (threshold|rate|absent|burn_rate)"
+            ))
+        }
+    };
+
+    Ok(AlertRule {
+        name: name.to_owned(),
+        severity,
+        for_duration,
+        keep_firing_for: keep,
+        expr,
+    })
+}
+
+/// Formats a duration as the largest whole unit that divides it:
+/// `0`, `45s`, `5m`, `2h`, `1d`.
+pub fn fmt_duration(d: SimDuration) -> String {
+    let secs = d.as_secs();
+    if secs == 0 {
+        return "0".to_owned();
+    }
+    if secs % 86_400 == 0 {
+        format!("{}d", secs / 86_400)
+    } else if secs % 3_600 == 0 {
+        format!("{}h", secs / 3_600)
+    } else if secs % 60 == 0 {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// Parses `0`, `<n>s`, `<n>m`, `<n>h`, `<n>d`.
+pub fn parse_duration(text: &str) -> Result<SimDuration, String> {
+    if text == "0" {
+        return Ok(SimDuration::ZERO);
+    }
+    let (digits, mult) = match text.as_bytes().last() {
+        Some(b's') => (&text[..text.len() - 1], 1),
+        Some(b'm') => (&text[..text.len() - 1], 60),
+        Some(b'h') => (&text[..text.len() - 1], 3_600),
+        Some(b'd') => (&text[..text.len() - 1], 86_400),
+        _ => {
+            return Err(format!(
+                "duration `{text}` needs a unit suffix (s|m|h|d) or be `0`"
+            ))
+        }
+    };
+    let n: i64 = digits
+        .parse()
+        .map_err(|_| format!("duration `{text}` is not a whole number of units"))?;
+    if n < 0 {
+        return Err(format!("duration `{text}` must not be negative"));
+    }
+    Ok(SimDuration::from_secs(n * mult))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_round_trips_and_matches_subsets() {
+        let sel = MetricSelector::parse("gaps_total{source=fleet_total}").unwrap();
+        assert_eq!(sel.to_string(), "gaps_total{source=fleet_total}");
+        let snap = MetricSnapshot {
+            name: "gaps_total".to_owned(),
+            labels: vec![
+                ("router".to_owned(), "3".to_owned()),
+                ("source".to_owned(), "fleet_total".to_owned()),
+            ],
+            value: MetricValue::Counter(4),
+        };
+        assert!(sel.matches(&snap));
+        assert!(!MetricSelector::parse("gaps_total{source=snmp}")
+            .unwrap()
+            .matches(&snap));
+        assert_eq!(sel.sample(&[snap]), Some(4.0));
+        assert_eq!(sel.sample(&[]), None);
+    }
+
+    #[test]
+    fn rules_round_trip_through_text() {
+        let pack = [
+            AlertRule::new(
+                "checkpoint_rejection_spike",
+                Severity::Critical,
+                AlertExpr::Threshold {
+                    metric: MetricSelector::name("fleet_checkpoints_rejected_total"),
+                    cmp: Cmp::Ge,
+                    value: 1.0,
+                },
+            ),
+            AlertRule::new(
+                "gap_rate_slo",
+                Severity::Warning,
+                AlertExpr::BurnRate {
+                    numerator: MetricSelector::with_labels(
+                        "gaps_total",
+                        &[("source", "fleet_total")],
+                    ),
+                    denominator: MetricSelector::name("fleet_poll_rounds_total"),
+                    budget: 0.05,
+                    factor: 2.0,
+                    short: SimDuration::from_hours(1),
+                    long: SimDuration::from_hours(6),
+                },
+            )
+            .for_duration(SimDuration::from_mins(30))
+            .keep_firing_for(SimDuration::from_mins(10)),
+            AlertRule::new(
+                "progress_stall",
+                Severity::Critical,
+                AlertExpr::Absent {
+                    metric: MetricSelector::name("fleet_poll_rounds_total"),
+                    staleness: SimDuration::from_days(1),
+                },
+            ),
+            AlertRule::new(
+                "dispatch_wait_budget",
+                Severity::Warning,
+                AlertExpr::Rate {
+                    metric: MetricSelector::name("fleet_alert_evals_total"),
+                    window: SimDuration::from_hours(2),
+                    cmp: Cmp::Gt,
+                    value: 0.25,
+                },
+            ),
+        ];
+        let text = render_rules(&pack);
+        let back = parse_rules(&text).unwrap();
+        assert_eq!(back.as_slice(), pack.as_slice());
+        assert_eq!(render_rules(&back), text);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_reports_errors_with_lines() {
+        let text = "# a comment\n\nalert ok severity=info expr=threshold metric=m op=> value=1\n";
+        assert_eq!(parse_rules(text).unwrap().len(), 1);
+
+        let err =
+            parse_rules("alert bad severity=loud expr=absent metric=m staleness=1h").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("severity"));
+
+        let dup = "alert a severity=info expr=threshold metric=m op=> value=1\n\
+                   alert a severity=info expr=threshold metric=m op=> value=2\n";
+        let err = parse_rules(dup).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn burn_rate_windows_are_validated() {
+        let err = parse_rules(
+            "alert b severity=info expr=burn_rate num=n den=d budget=0.1 factor=2 short=6h long=1h",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("long"));
+        let err = parse_rules(
+            "alert b severity=info expr=burn_rate num=n den=d budget=0 factor=2 short=1h long=6h",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn durations_render_largest_dividing_unit() {
+        for (secs, text) in [
+            (0, "0"),
+            (45, "45s"),
+            (300, "5m"),
+            (7_200, "2h"),
+            (86_400, "1d"),
+            (90_000, "25h"),
+        ] {
+            let d = SimDuration::from_secs(secs);
+            assert_eq!(fmt_duration(d), text);
+            assert_eq!(parse_duration(text).unwrap(), d);
+        }
+        assert!(parse_duration("5").is_err());
+        assert!(parse_duration("-1h").is_err());
+    }
+}

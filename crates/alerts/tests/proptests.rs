@@ -1,0 +1,221 @@
+//! Property-based tests for the alert engine's window arithmetic and
+//! its phase state machine: burn rates are monotone in the error count,
+//! for-duration / keep-firing hysteresis never flaps under oscillating
+//! input, and absence rules fire exactly when staleness crosses the
+//! configured bound.
+
+use fj_alerts::{
+    burn_rate, step_phase, window_sum, AlertEngine, AlertExpr, AlertRule, MetricSelector, Phase,
+    Severity, TransitionKind,
+};
+use fj_telemetry::{MetricSnapshot, MetricValue};
+use fj_units::{SimDuration, SimInstant, TimeSeries};
+use proptest::prelude::*;
+
+/// Builds an increment series from (time-delta, value) pairs, stamped at
+/// strictly increasing instants like the engine's per-eval deltas.
+fn series(pairs: &[(i64, f64)]) -> (TimeSeries, SimInstant) {
+    let mut ts = TimeSeries::new();
+    let mut at = SimInstant::EPOCH;
+    for &(dt, v) in pairs {
+        at += SimDuration::from_secs(dt);
+        ts.push(at, v);
+    }
+    (ts, at)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `window_sum` is additive over adjacent windows (up to float
+    /// rounding of the shared prefix-sum endpoint) and the whole-history
+    /// window recovers the plain total.
+    #[test]
+    fn window_sum_is_additive(
+        pairs in prop::collection::vec((1i64..100, 0.0f64..50.0), 1..40),
+        cut in 0i64..4000,
+    ) {
+        let (ts, last) = series(&pairs);
+        let start = SimInstant::EPOCH - SimDuration::from_secs(1);
+        let mid = SimInstant::EPOCH + SimDuration::from_secs(cut);
+        let mid = mid.min(last).max(start);
+        let whole = window_sum(&ts, start, last);
+        let left = window_sum(&ts, start, mid);
+        let right = window_sum(&ts, mid, last);
+        let scale = whole.abs().max(1.0);
+        prop_assert!(
+            (whole - (left + right)).abs() <= 1e-9 * scale,
+            "split {left} + {right} != whole {whole}"
+        );
+        let total: f64 = pairs.iter().map(|&(_, v)| v).sum();
+        prop_assert!((whole - total).abs() <= 1e-9 * total.abs().max(1.0));
+    }
+
+    /// Burn rate never decreases when more errors land inside the
+    /// window, and never goes negative.
+    #[test]
+    fn burn_rate_is_monotone_in_errors(
+        pairs in prop::collection::vec((1i64..100, 0.0f64..10.0), 1..30),
+        budget in 0.01f64..1.0,
+        window_secs in 1i64..5000,
+        extra in 0.0f64..20.0,
+    ) {
+        let (num, last) = series(&pairs);
+        // Denominator: steady unit traffic on the same stamps.
+        let unit: Vec<(i64, f64)> = pairs.iter().map(|&(dt, _)| (dt, 1.0)).collect();
+        let (den, _) = series(&unit);
+        let window = SimDuration::from_secs(window_secs);
+
+        let before = burn_rate(&num, &den, budget, last, window);
+        prop_assert!(before >= 0.0);
+
+        // One more error at the window's closing edge: strictly inside
+        // `(last - window, last]`, so the burn can only grow.
+        let mut more = num.clone();
+        more.push(last, extra);
+        let after = burn_rate(&more, &den, budget, last, window);
+        prop_assert!(
+            after >= before,
+            "burn fell from {before} to {after} after adding {extra} errors"
+        );
+    }
+
+    /// A breach signal oscillating faster than the for-duration never
+    /// fires: each clear eval resets the pending phase, so the rule
+    /// cannot flap its way past the hold-down.
+    #[test]
+    fn oscillation_never_beats_for_duration(
+        for_secs in 2i64..60,
+        steps in 2usize..200,
+        start_breached in any::<bool>(),
+    ) {
+        let for_duration = SimDuration::from_secs(for_secs);
+        let mut phase = Phase::Inactive;
+        for step in 0..steps {
+            let now = SimInstant::EPOCH + SimDuration::from_secs(step as i64);
+            let breach = (step % 2 == 0) == start_breached;
+            let (next, emitted) =
+                step_phase(phase, breach, now, for_duration, SimDuration::ZERO);
+            prop_assert_eq!(emitted, None, "oscillating input emitted a transition");
+            prop_assert!(
+                !matches!(next, Phase::Firing { .. }),
+                "oscillating input reached firing"
+            );
+            phase = next;
+        }
+    }
+
+    /// A firing rule with keep-firing hysteresis longer than the breach
+    /// gaps never resolves — and therefore never re-fires: no flapping.
+    #[test]
+    fn keep_firing_absorbs_oscillation(
+        keep_secs in 2i64..60,
+        steps in 2usize..200,
+        start_breached in any::<bool>(),
+    ) {
+        let keep = SimDuration::from_secs(keep_secs);
+        let mut phase = Phase::Firing {
+            since: SimInstant::EPOCH,
+            breach_lost: None,
+        };
+        for step in 0..steps {
+            let now = SimInstant::EPOCH + SimDuration::from_secs(1 + step as i64);
+            let breach = (step % 2 == 0) == start_breached;
+            let (next, emitted) = step_phase(phase, breach, now, SimDuration::ZERO, keep);
+            prop_assert_eq!(emitted, None, "hysteresis emitted a transition");
+            prop_assert!(matches!(next, Phase::Firing { .. }), "hysteresis resolved");
+            phase = next;
+        }
+    }
+
+    /// Under any breach sequence the emitted transitions strictly
+    /// alternate firing / resolved, starting with firing — the state
+    /// machine cannot double-fire or double-resolve.
+    #[test]
+    fn transitions_always_alternate(
+        breaches in prop::collection::vec(any::<bool>(), 1..200),
+        for_secs in 0i64..5,
+        keep_secs in 0i64..5,
+    ) {
+        let mut phase = Phase::Inactive;
+        let mut kinds = Vec::new();
+        for (step, &breach) in breaches.iter().enumerate() {
+            let now = SimInstant::EPOCH + SimDuration::from_secs(step as i64);
+            let (next, emitted) = step_phase(
+                phase,
+                breach,
+                now,
+                SimDuration::from_secs(for_secs),
+                SimDuration::from_secs(keep_secs),
+            );
+            kinds.extend(emitted);
+            phase = next;
+        }
+        for (i, k) in kinds.iter().enumerate() {
+            let expect = if i % 2 == 0 {
+                TransitionKind::Firing
+            } else {
+                TransitionKind::Resolved
+            };
+            prop_assert_eq!(*k, expect, "transition {} out of order", i);
+        }
+    }
+
+    /// An absence rule fires exactly when the time since the last value
+    /// change reaches the staleness bound — no earlier, no later — and
+    /// the reported silence never exceeds time since engine start.
+    #[test]
+    fn absence_fires_exactly_at_staleness(
+        staleness_secs in 1i64..300,
+        evals in prop::collection::vec((1i64..200, any::<bool>()), 1..30),
+    ) {
+        let staleness = SimDuration::from_secs(staleness_secs);
+        let rule = AlertRule::new(
+            "prop_absent",
+            Severity::Warning,
+            AlertExpr::Absent {
+                metric: MetricSelector::name("prop_work_total"),
+                staleness,
+            },
+        );
+        let mut engine = AlertEngine::new(vec![rule]);
+
+        let mut now = SimInstant::EPOCH;
+        let mut counter = 0u64;
+        let mut last_change: Option<SimInstant> = None;
+        for &(dt, bump) in &evals {
+            now += SimDuration::from_secs(dt);
+            if bump {
+                counter += 1;
+            }
+            let snap = vec![MetricSnapshot {
+                name: "prop_work_total".to_owned(),
+                labels: Vec::new(),
+                value: MetricValue::Counter(counter),
+            }];
+            let before_change = last_change;
+            // The engine counts the first sighting as a change, like any
+            // later value movement.
+            if bump || last_change.is_none() {
+                last_change = Some(now);
+            }
+            let transitions = engine.eval(&snap, now);
+            let reference = if bump || before_change.is_none() {
+                now
+            } else {
+                before_change.unwrap()
+            };
+            let stale = now - reference >= staleness;
+            prop_assert_eq!(
+                engine.firing_count(),
+                usize::from(stale),
+                "staleness bound mismatch at {:?} (reference {:?})",
+                now,
+                reference
+            );
+            for t in &transitions {
+                prop_assert!(t.value <= (now - SimInstant::EPOCH).as_secs_f64() + f64::EPSILON);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! CI alert smoke: the default SLO pack must parse, evaluate quietly on
+//! a healthy bundle, and actually fire under a seeded fault scenario.
+//!
+//! Two gates, both self-contained:
+//!
+//! 1. **Pack integrity** — `default_pack` round-trips through the rules
+//!    text format byte-identically (the same text a checkpoint embeds to
+//!    detect pack drift), and an evaluation against a fresh telemetry
+//!    bundle produces no transitions: a healthy system is silent.
+//! 2. **Fault → alert causality** — a two-day streaming fleet run with a
+//!    seeded 15% drop rate (triple the 5% gap budget) must leave at
+//!    least one firing transition in the verdict stream, and the alert
+//!    dump at `target/telemetry/alerts-alert_smoke.json` must exist for
+//!    CI to archive.
+//!
+//! Exits non-zero on any violation, so `ci.sh` can gate on it.
+
+use std::process::ExitCode;
+
+use fj_alerts::{default_pack, parse_rules, render_rules, AlertEngine, TransitionKind};
+use fj_bench::telemetry_dir;
+use fj_faults::FaultPlan;
+use fj_isp::trace::{collect_streaming, AlertsConfig, StreamConfig};
+use fj_isp::{build_fleet, FleetConfig};
+use fj_telemetry::Telemetry;
+use fj_units::{SimDuration, SimInstant};
+
+fn pack_round_trips() -> Result<(), String> {
+    let pack = default_pack();
+    let text = render_rules(&pack);
+    let reparsed = parse_rules(&text).map_err(|e| format!("default pack failed to parse: {e}"))?;
+    let again = render_rules(&reparsed);
+    if text != again {
+        return Err(format!(
+            "rules text is not a fixed point:\n--- first ---\n{text}\n--- second ---\n{again}"
+        ));
+    }
+    println!("ok: default pack ({} rules) round-trips", pack.len());
+
+    // A healthy (empty) bundle must evaluate to silence.
+    let telemetry = Telemetry::with_capacity(1024);
+    let mut engine = AlertEngine::new(pack);
+    let transitions = engine.eval_and_trip(&telemetry, SimInstant::from_days(30));
+    if !transitions.is_empty() || !engine.firing().is_empty() {
+        return Err(format!(
+            "healthy bundle raised alerts: {:?}",
+            engine.firing()
+        ));
+    }
+    println!("ok: healthy bundle evaluates to silence");
+    Ok(())
+}
+
+fn seeded_faults_fire() -> Result<(), String> {
+    let mut fleet = build_fleet(&FleetConfig::small(11));
+    let plan = FaultPlan::new(0x5A0_CE11).with_drop_rate(0.15);
+    let telemetry = Telemetry::with_capacity(1 << 16);
+    let json_path = telemetry_dir().join("alerts-alert_smoke.json");
+    let config = StreamConfig {
+        chunk_rounds: 96, // evaluate every 8 h of 5-min polls
+        alerts: Some(AlertsConfig {
+            rules: default_pack(),
+            json_path: Some(json_path.clone()),
+        }),
+        ..StreamConfig::default()
+    };
+    let outcome = collect_streaming(
+        &mut fleet,
+        SimInstant::EPOCH,
+        SimInstant::from_days(2),
+        SimDuration::from_mins(5),
+        Vec::new(),
+        &[],
+        &plan,
+        &telemetry,
+        &config,
+    )
+    .map_err(|e| format!("streaming run failed: {e}"))?;
+
+    let engine = outcome
+        .alerts
+        .ok_or("outcome carries no alert engine despite StreamConfig::alerts")?;
+    for t in engine.transitions() {
+        println!(
+            "  {} {} at {} (value {:.4})",
+            match t.kind {
+                TransitionKind::Firing => "firing  ",
+                TransitionKind::Resolved => "resolved",
+            },
+            t.rule,
+            t.at,
+            t.value
+        );
+    }
+    let fired = engine
+        .transitions()
+        .iter()
+        .filter(|t| t.kind == TransitionKind::Firing)
+        .count();
+    if fired == 0 {
+        return Err(format!(
+            "seeded fault scenario (15% drops vs 5% gap budget) fired no alerts \
+             after {} evals",
+            engine.evals()
+        ));
+    }
+    if !json_path.is_file() {
+        return Err(format!("alert dump missing at {}", json_path.display()));
+    }
+    println!(
+        "ok: seeded faults fired {fired} alert(s); dump at {}",
+        json_path.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    for (name, gate) in [
+        ("pack", pack_round_trips as fn() -> Result<(), String>),
+        ("faults", seeded_faults_fire),
+    ] {
+        if let Err(msg) = gate() {
+            eprintln!("alert_smoke: {name} gate failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("alert_smoke: all gates passed");
+    ExitCode::SUCCESS
+}

@@ -211,13 +211,11 @@ fn main() -> ExitCode {
 
     if single_core(&baseline) || single_core(&fresh) {
         println!(
-            "single-core report detected (baseline cores {}, host cores {cores_here}) — \
-             speedup/efficiency/merge gates skipped; throughput and scale floors still apply\n",
-            baseline
-                .generated_by
-                .as_ref()
-                .and_then(|g| g.cores)
-                .unwrap_or(baseline.cores)
+            "single-core report detected (baseline generated_by cores {}, fresh \
+             generated_by cores {}, host cores {cores_here}) — speedup/efficiency/merge \
+             gates skipped; throughput and scale floors still apply\n",
+            generated_cores(&baseline),
+            generated_cores(&fresh),
         );
     }
 
@@ -298,6 +296,15 @@ fn main() -> ExitCode {
     }
 
     if regressed > 0 {
+        // Everything a triager needs to judge the failure without
+        // re-running: which baseline file actually resolved, the core
+        // counts both reports were recorded with (a mismatch is the
+        // usual benign explanation), and which gates never applied.
+        let resolved = args
+            .baseline
+            .canonicalize()
+            .unwrap_or_else(|_| args.baseline.clone());
+        let skipped = cells.iter().filter(|c| c.parallel_gates_skipped).count();
         eprintln!(
             "\nbench_compare: {regressed} of {} cell(s) failed a gate (throughput floor \
              {:.0}% of baseline; absolute scale floor e.g. {:.0} rr/s at 1k routers; \
@@ -306,6 +313,24 @@ fn main() -> ExitCode {
             floor * 100.0,
             scale_floor(1000),
         );
+        eprintln!(
+            "  baseline: {} (generated_by cores {})",
+            resolved.display(),
+            generated_cores(&baseline),
+        );
+        eprintln!(
+            "  fresh sweep: generated_by cores {} (host has {cores_here})",
+            generated_cores(&fresh),
+        );
+        if skipped > 0 {
+            eprintln!(
+                "  gates skipped: speedup/efficiency/merge on {skipped} of {} cell(s) \
+                 (single-core report)",
+                cells.len()
+            );
+        } else {
+            eprintln!("  gates skipped: none");
+        }
         return ExitCode::FAILURE;
     }
     println!(
@@ -317,4 +342,18 @@ fn main() -> ExitCode {
 
 fn repo_root() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// The core count a report's `generated_by` stanza recorded, falling
+/// back to the report-level count; `"unknown"` for pre-provenance
+/// baselines.
+fn generated_cores(report: &Report) -> String {
+    report
+        .generated_by
+        .as_ref()
+        .and_then(|g| g.cores)
+        .map_or_else(
+            || format!("{} (report-level)", report.cores),
+            |c| c.to_string(),
+        )
 }

@@ -19,6 +19,7 @@ pub mod table;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use fj_alerts::AlertEngine;
 use fj_isp::{build_fleet, Fleet, FleetConfig};
 use fj_telemetry::{Level, MetricValue, Telemetry};
 use fj_units::{SimDuration, SimInstant};
@@ -79,12 +80,37 @@ pub fn banner(id: &str, title: &str) -> ExperimentRun {
     // Crash context for free: the first health-ladder departure or shard
     // panic in this run dumps spans + events + joins under telemetry_dir.
     telemetry.arm_flight_recorder(id, telemetry_dir());
-    ExperimentRun { telemetry }
+    ExperimentRun {
+        telemetry,
+        alerts: Some(AlertEngine::new(fj_alerts::default_pack())),
+    }
+}
+
+/// The experiment slug used for artifact filenames: the binary's name.
+fn exe_slug() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "experiment".to_owned())
 }
 
 /// Guard returned by [`banner`]; see there.
 pub struct ExperimentRun {
     telemetry: Arc<Telemetry>,
+    /// Default SLO pack, evaluated once over the whole run at drop so
+    /// the exit summary carries run-level verdicts (an engine's first
+    /// sample counts the full reading, so one evaluation computes
+    /// whole-run SLIs). `banner` attaches the default pack; clear or
+    /// replace via [`ExperimentRun::set_alert_rules`].
+    alerts: Option<AlertEngine>,
+}
+
+impl ExperimentRun {
+    /// Replaces the alert rule pack evaluated at exit; `None` disables
+    /// alerting for this run.
+    pub fn set_alert_rules(&mut self, rules: Option<Vec<fj_alerts::AlertRule>>) {
+        self.alerts = rules.map(AlertEngine::new);
+    }
 }
 
 impl Drop for ExperimentRun {
@@ -92,6 +118,20 @@ impl Drop for ExperimentRun {
         let metrics = self.telemetry.registry().snapshot();
         if metrics.is_empty() && self.telemetry.events().is_empty() {
             return; // nothing instrumented ran; keep the output clean
+        }
+        if let Some(engine) = &mut self.alerts {
+            let now = self.telemetry.now();
+            engine.eval_and_trip(&self.telemetry, now);
+            let rendered = engine.render_prometheus();
+            if !rendered.is_empty() {
+                println!("\n--- alerts ---");
+                print!("{rendered}");
+            }
+            let path = telemetry_dir().join(format!("alerts-{}.json", exe_slug()));
+            match engine.write_alerts_json(&path) {
+                Ok(()) => println!("alert dump: {}", path.display()),
+                Err(e) => eprintln!("alert dump failed: {e}"),
+            }
         }
         println!(
             "\n--- telemetry ({} series, {} events) ---",
@@ -118,11 +158,7 @@ impl Drop for ExperimentRun {
                 ),
             }
         }
-        let slug = std::env::current_exe()
-            .ok()
-            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
-            .unwrap_or_else(|| "experiment".to_owned());
-        let path = telemetry_dir().join(format!("{slug}.json"));
+        let path = telemetry_dir().join(format!("{}.json", exe_slug()));
         match self.telemetry.write_snapshot(&path) {
             Ok(()) => println!("telemetry snapshot: {}", path.display()),
             Err(e) => eprintln!("telemetry snapshot failed: {e}"),

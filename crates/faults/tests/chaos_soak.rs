@@ -384,6 +384,117 @@ fn run_soak(n_routers: usize, rounds: i64, seed: u64) {
         "dump captured the poll spans leading up to the failure"
     );
 
+    // --- Contract 6: fault → alert → flight recorder, end to end. ---
+    // A fresh bundle with the default SLO pack attached to the poller:
+    // unplugging an agent's cable walks its target down the health
+    // ladder, the paired `snmp_target_unhealthy` rule fires exactly once
+    // (the threshold stays breached while degraded — no flapping),
+    // resolves exactly once after the cable is replugged, and the armed
+    // flight recorder's dump embeds the firing rule.
+    let alert_tel = Telemetry::with_capacity(4096);
+    let mut alert_poller = SnmpPoller::with_telemetry(Arc::clone(&alert_tel)).unwrap();
+    alert_poller.timeout = Duration::from_millis(5);
+    alert_poller.retries = 1;
+    // Degrade fast, quarantine never: recovery must come from ordinary
+    // polls, not quarantine probes.
+    alert_poller.set_health_thresholds(2, u32::MAX, Duration::from_millis(10));
+    alert_poller.set_alert_rules(fj_alerts::default_pack());
+    let alert_flightrec_dir = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/telemetry/chaos-alert-flightrec"
+    );
+    let _ = std::fs::remove_dir_all(alert_flightrec_dir);
+    alert_tel.arm_flight_recorder("chaos-alert", alert_flightrec_dir);
+
+    let watched = spawn_fleet(1, &FaultPlan::new(seed ^ 0xA1E7), &alert_tel)
+        .pop()
+        .unwrap();
+    let alerts_on = |p: &SnmpPoller| p.alerts().unwrap().firing_count();
+    let wait_ladder =
+        |p: &mut SnmpPoller, agent: &SnmpAgent, until: &dyn Fn(&SnmpPoller) -> bool| {
+            while !until(p) {
+                while p.in_backoff(agent.addr()) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let _ = poll_power(p, agent);
+                assert!(
+                    alert_tel.registry().counter_total("snmp_polls_total") < 100_000,
+                    "alert ladder never converged"
+                );
+            }
+        };
+
+    // Healthy polls stay silent.
+    poll_power(&mut alert_poller, &watched.clean).expect("clean agent answers");
+    assert_eq!(alerts_on(&alert_poller), 0, "healthy target, no alerts");
+
+    // Unplug: the target departs Healthy and the paired alert fires.
+    watched.clean.unplug();
+    wait_ladder(&mut alert_poller, &watched.clean, &|p| alerts_on(p) >= 1);
+    assert_eq!(
+        alert_poller.health_state(watched.clean.addr()),
+        HealthState::Degraded
+    );
+
+    // Replug: the ladder recovers and the alert resolves.
+    watched.clean.replug();
+    wait_ladder(&mut alert_poller, &watched.clean, &|p| alerts_on(p) == 0);
+    assert_eq!(
+        alert_poller.health_state(watched.clean.addr()),
+        HealthState::Healthy
+    );
+
+    // Exactly one firing and one resolution — the threshold held while
+    // degraded instead of re-firing every poll.
+    let verdicts: Vec<_> = alert_poller
+        .alerts()
+        .unwrap()
+        .transitions()
+        .iter()
+        .filter(|t| t.rule == "snmp_target_unhealthy")
+        .map(|t| t.kind)
+        .collect();
+    assert_eq!(
+        verdicts,
+        vec![
+            fj_alerts::TransitionKind::Firing,
+            fj_alerts::TransitionKind::Resolved
+        ],
+        "the health departure fired its paired alert exactly once"
+    );
+
+    // The firing tripped the recorder, and the dump names the rule.
+    let alert_dump_path = alert_tel
+        .flight_recorder_path()
+        .expect("the firing alert trips the flight recorder");
+    assert_eq!(
+        alert_tel.registry().counter_total("flightrec_dumps_total"),
+        1
+    );
+    let dump_raw = std::fs::read_to_string(&alert_dump_path).expect("alert dump readable");
+    let dump: serde::Value = serde_json::from_str(&dump_raw).expect("alert dump is valid JSON");
+    let dump_doc = dump.as_map().expect("alert dump is a JSON object");
+    let header = serde::field(dump_doc, "flightrec")
+        .as_map()
+        .expect("alert dump header");
+    assert_eq!(
+        serde::field(header, "reason").as_str(),
+        Some("alert firing")
+    );
+    assert_eq!(
+        serde::field(header, "alert").as_str(),
+        Some("snmp_target_unhealthy")
+    );
+    let rule_line = serde::field(header, "rule")
+        .as_str()
+        .expect("rule embedded");
+    assert!(
+        rule_line.contains("snmp_target_health"),
+        "dump embeds the triggering rule, got `{rule_line}`"
+    );
+    watched.clean.shutdown();
+    watched.faulty.shutdown();
+
     // --- The snapshot the CI smoke step parses. ---
     let snap_path = concat!(
         env!("CARGO_MANIFEST_DIR"),

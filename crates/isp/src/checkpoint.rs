@@ -153,6 +153,10 @@ pub(crate) struct CheckpointState {
     pub(crate) routers: Vec<RouterState>,
     /// The telemetry bundle: event ring, counters, gauges, span sink.
     pub(crate) telemetry: TelemetryCheckpoint,
+    /// Alert-engine state when the run had alerting configured. `None`
+    /// on plain runs; `Option` keeps old checkpoints readable without a
+    /// version bump (the serde layer maps a missing key to `None`).
+    pub(crate) alerts: Option<fj_alerts::EngineState>,
 }
 
 /// File name for the checkpoint taken after `rounds_done` rounds. Zero
@@ -340,6 +344,7 @@ mod tests {
                 })
                 .collect(),
             telemetry: fj_telemetry::Telemetry::with_capacity(8).checkpoint_state(),
+            alerts: None,
         }
     }
 

@@ -76,6 +76,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use fj_alerts::{AlertEngine, AlertRule, TransitionKind};
 use fj_faults::{Backoff, FaultPlan, HealthState, TargetHealth};
 use fj_obs::{EfficiencyAccumulator, ParallelEfficiencyReport};
 use fj_router_sim::SimError;
@@ -398,6 +399,40 @@ pub struct StreamConfig {
     /// `target/telemetry/progress-<exp>.json`), so a long run can be
     /// watched from outside the process. Requires [`StreamConfig::profile`].
     pub progress_path: Option<PathBuf>,
+    /// Evaluate a declarative alert rule pack ([`fj_alerts`]) at every
+    /// epoch-chunk boundary, in sim time. The verdict stream — firing
+    /// and resolved transitions with sim timestamps — is part of the
+    /// deterministic contract: bit-identical at any shard/chunk count
+    /// and across crash/resume (the engine state rides in checkpoints;
+    /// `tests/alerts_fj01.rs` enforces it). The alert-plane registry
+    /// series (`fleet_alerts_*`) are registered only when this is set
+    /// and sit on [`fj_telemetry::OFF_SURFACE_METRICS`], so plain runs
+    /// stay byte-identical. Firing alerts trip the flight recorder (if
+    /// armed) with the triggering rule attached.
+    pub alerts: Option<AlertsConfig>,
+}
+
+/// Alert-plane configuration for a streaming run.
+#[derive(Debug, Clone)]
+pub struct AlertsConfig {
+    /// The rule pack to evaluate (e.g. [`fj_alerts::default_pack`]).
+    /// On resume the pack must render to exactly the checkpointed
+    /// rules text, or the candidate is rejected.
+    pub rules: Vec<AlertRule>,
+    /// Mirror the full alert state (rule phases, verdict stream) to
+    /// this file after every evaluation with an atomic tmp+rename write
+    /// (conventionally `target/telemetry/alerts-<exp>.json`).
+    pub json_path: Option<PathBuf>,
+}
+
+impl AlertsConfig {
+    /// The default rule pack, no JSON mirror.
+    pub fn default_pack() -> AlertsConfig {
+        AlertsConfig {
+            rules: fj_alerts::default_pack(),
+            json_path: None,
+        }
+    }
 }
 
 /// What a streaming collection produced, beyond the trace itself.
@@ -422,6 +457,10 @@ pub struct StreamOutcome {
     /// (`Some` iff [`StreamConfig::profile`] was on). Wall-clock-derived
     /// and off the deterministic surface.
     pub efficiency: Option<ParallelEfficiencyReport>,
+    /// The alert engine after the final boundary evaluation (`Some` iff
+    /// [`StreamConfig::alerts`] was set): rule phases, the verdict
+    /// stream, and the `ALERTS` renderer.
+    pub alerts: Option<AlertEngine>,
 }
 
 /// One router's sim-side engine state, owned across chunks: the
@@ -799,6 +838,12 @@ struct RecoveryCounters {
     rejected: Counter,
 }
 
+/// Relative error above which a §6.2 power-model prediction counts as a
+/// miss for `fleet_prediction_errors_total` (with a 1 W absolute floor,
+/// so near-idle readings don't flag on noise). Feeds the
+/// `prediction_error_burn` SLO rule.
+pub const PREDICTION_ERROR_TOLERANCE: f64 = 0.10;
+
 /// Merge-side metric handles, resolved once per run; the replay then
 /// costs one atomic op per update.
 struct MergeMetrics {
@@ -809,6 +854,68 @@ struct MergeMetrics {
     quarantines: Counter,
     round_duration: Histogram,
     health: Vec<Gauge>,
+    /// Rounds × routers with a §6.2 prediction and wall truth.
+    predictions: Counter,
+    /// Of those, predictions outside [`PREDICTION_ERROR_TOLERANCE`].
+    prediction_errors: Counter,
+}
+
+/// Alert-plane state for one streaming run: the [`AlertEngine`] plus its
+/// registry series. Like the recovery counters and the profiler, the
+/// series exist only when the feature is configured and are excluded
+/// from base FJ01 comparisons by name ([`fj_telemetry::OFF_SURFACE_METRICS`])
+/// — but unlike the profiler they are *deterministic given the config*:
+/// the verdict stream they mirror is part of the extended contract.
+struct AlertPlane {
+    engine: AlertEngine,
+    firing: Gauge,
+    pending: Gauge,
+    evals: Counter,
+    fired: Counter,
+    resolved: Counter,
+    json_path: Option<PathBuf>,
+}
+
+impl AlertPlane {
+    fn new(
+        registry: &fj_telemetry::Registry,
+        engine: AlertEngine,
+        json_path: Option<PathBuf>,
+    ) -> Self {
+        Self {
+            engine,
+            firing: registry.gauge("fleet_alerts_firing", &[]),
+            pending: registry.gauge("fleet_alerts_pending", &[]),
+            evals: registry.counter("fleet_alert_evals_total", &[]),
+            fired: registry.counter("fleet_alert_transitions_total", &[("kind", "firing")]),
+            resolved: registry.counter("fleet_alert_transitions_total", &[("kind", "resolved")]),
+            json_path,
+        }
+    }
+
+    /// One boundary evaluation at sim time `now`: steps every rule,
+    /// emits verdict events, trips the (armed-only) flight recorder per
+    /// firing, refreshes the alert-plane series, and mirrors the JSON
+    /// dump if configured.
+    fn eval(&mut self, telemetry: &Telemetry, now: SimInstant) {
+        let transitions = self.engine.eval_and_trip(telemetry, now);
+        self.evals.inc();
+        for t in &transitions {
+            match t.kind {
+                TransitionKind::Firing => self.fired.inc(),
+                TransitionKind::Resolved => self.resolved.inc(),
+            }
+        }
+        self.firing.set(self.engine.firing_count() as f64);
+        self.pending.set(self.engine.pending_count() as f64);
+        if let Some(path) = &self.json_path {
+            if let Err(e) = self.engine.write_alerts_json(path) {
+                // A failed dump degrades observability, not correctness.
+                let _ = telemetry
+                    .trip_flight_recorder("alerts write failed", &[("error", e.to_string())]);
+            }
+        }
+    }
 }
 
 /// Profiler state for one streaming run: the efficiency accumulator plus
@@ -826,6 +933,7 @@ struct RunProfiler {
     merge_fraction: Gauge,
     rounds_per_sec: Gauge,
     shard_busy: Histogram,
+    dispatch_wait: Gauge,
 }
 
 impl RunProfiler {
@@ -838,6 +946,7 @@ impl RunProfiler {
             merge_fraction: registry.gauge("fleet_merge_fraction", &[]),
             rounds_per_sec: registry.gauge("fleet_progress_rounds_per_sec", &[]),
             shard_busy: registry.histogram("fleet_shard_busy_seconds", &[]),
+            dispatch_wait: registry.gauge("fleet_pool_dispatch_wait_seconds", &[]),
         }
     }
 
@@ -856,6 +965,11 @@ impl RunProfiler {
         let report = self.report();
         self.efficiency.set(report.efficiency);
         self.merge_fraction.set(report.merge_fraction);
+        // Cumulative pool dispatch wait so far — the series the
+        // `dispatch_wait_budget` alert rule watches. Zero (absent from
+        // the report) on the inline path.
+        self.dispatch_wait
+            .set(report.pool_dispatch_wait_secs.unwrap_or(0.0));
     }
 
     /// Attributes a pool dispatch's queue wait (dispatch entry → each
@@ -952,11 +1066,11 @@ pub fn collect_streaming(
     // to the next-older file; verification is transactional, so a
     // rejected candidate leaves the telemetry bundle untouched.
     let mut checkpoints_rejected = 0u32;
-    let mut restored: Option<(checkpoint::CheckpointState, SpanId)> = None;
+    let mut restored: Option<(checkpoint::CheckpointState, SpanId, Option<AlertEngine>)> = None;
     if config.resume {
         if let Some(ckpt_cfg) = &config.checkpoints {
             for path in checkpoint::candidates(&ckpt_cfg.dir) {
-                let verdict = checkpoint::load(&path).and_then(|state| {
+                let verdict = checkpoint::load(&path).and_then(|mut state| {
                     if state.fingerprint != fingerprint {
                         return Err(CheckpointError::Fingerprint {
                             expected: fingerprint,
@@ -982,13 +1096,34 @@ pub fn collect_streaming(
                             "checkpoint has no open fleet_collect span".to_owned(),
                         ));
                     }
+                    // The alert engine restores *before* the bundle is
+                    // mutated, keeping rejection transactional. A run
+                    // configured with alerts cannot resume a checkpoint
+                    // written without them (the verdict stream would
+                    // diverge from an uninterrupted run's); a run
+                    // without alerts ignores any checkpointed state.
+                    let alert_engine = match &config.alerts {
+                        Some(alerts_cfg) => {
+                            let engine_state = state.alerts.take().ok_or_else(|| {
+                                CheckpointError::Parse(
+                                    "checkpoint carries no alert state but alerts are configured"
+                                        .to_owned(),
+                                )
+                            })?;
+                            Some(
+                                AlertEngine::restore(alerts_cfg.rules.clone(), engine_state)
+                                    .map_err(CheckpointError::Parse)?,
+                            )
+                        }
+                        None => None,
+                    };
                     telemetry
                         .restore_state(&state.telemetry, SPAN_NAMES)
                         .map_err(CheckpointError::Parse)?;
                     let root = tracer.resume_open_span("fleet_collect").ok_or_else(|| {
                         CheckpointError::Parse("open fleet_collect span vanished".to_owned())
                     })?;
-                    Ok((state, root))
+                    Ok((state, root, alert_engine))
                 });
                 match verdict {
                     Ok(hit) => {
@@ -1022,8 +1157,10 @@ pub fn collect_streaming(
     // while the pool may already hold `cells` for the next chunk.
     let mut cells: Vec<RouterCell>;
     let mut traces: Vec<RouterTrace>;
+    let mut restored_alerts: Option<AlertEngine> = None;
     match restored {
-        Some((state, root)) => {
+        Some((state, root, alert_engine)) => {
+            restored_alerts = alert_engine;
             root_span = root;
             first_round = state.rounds_done;
             resumed_at_round = Some(state.rounds_done);
@@ -1101,7 +1238,19 @@ pub fn collect_streaming(
             .iter()
             .map(|rt| registry.gauge("fleet_router_health", &[("router", &rt.name)]))
             .collect(),
+        predictions: registry.counter("fleet_predictions_total", &[]),
+        prediction_errors: registry.counter("fleet_prediction_errors_total", &[]),
     };
+
+    // The alert plane exists only when configured, like the recovery
+    // counters: a plain run registers none of the `fleet_alerts_*`
+    // series and evaluates nothing.
+    let mut alert_plane = config.alerts.as_ref().map(|alerts_cfg| {
+        let engine = restored_alerts
+            .take()
+            .unwrap_or_else(|| AlertEngine::new(alerts_cfg.rules.clone()));
+        AlertPlane::new(registry, engine, alerts_cfg.json_path.clone())
+    });
 
     // Profiler state is created only when asked for: an unprofiled run
     // registers none of the profiler-only series and takes no clock
@@ -1325,6 +1474,14 @@ pub fn collect_streaming(
         round = window.end;
         chunks_done += 1;
 
+        // Alert evaluation at the chunk boundary, in sim time, *before*
+        // the checkpoint write below: the checkpoint then carries the
+        // post-eval engine state, so a resumed run continues the verdict
+        // stream exactly (the boundary is never re-evaluated).
+        if let Some(plane) = &mut alert_plane {
+            plane.eval(telemetry, chunk_end);
+        }
+
         if let Some(p) = &mut profiler {
             let merge_ended_us = p.epoch.elapsed_micros();
             let merge_us = merge_started_us.map_or(0, |t0| merge_ended_us.saturating_sub(t0));
@@ -1401,7 +1558,15 @@ pub fn collect_streaming(
             // exactly. Both are deterministic: same chunking, same count.
             let ck_span = tracer.begin_span("fleet_checkpoint", Some(root_span), chunk_end);
             tracer.end_span(ck_span, chunk_end);
-            let state = build_state(fingerprint, round, ckpt_routers, &traces, &trace, telemetry);
+            let state = build_state(
+                fingerprint,
+                round,
+                ckpt_routers,
+                &traces,
+                &trace,
+                telemetry,
+                alert_plane.as_ref().map(|p| p.engine.checkpoint_state()),
+            );
             if let Err(e) = checkpoint::write(ckpt_cfg, round, &state) {
                 // A failed write degrades durability, not correctness:
                 // the run continues, resumable only from the previous
@@ -1452,6 +1617,7 @@ pub fn collect_streaming(
         resumed_at_round,
         checkpoints_rejected,
         efficiency: profiler.as_ref().map(RunProfiler::report),
+        alerts: alert_plane.map(|p| p.engine),
     })
 }
 
@@ -1485,6 +1651,7 @@ fn build_state(
     traces: &[RouterTrace],
     trace: &FleetTrace,
     telemetry: &Telemetry,
+    alerts: Option<fj_alerts::EngineState>,
 ) -> checkpoint::CheckpointState {
     for (rs, rt) in routers.iter_mut().zip(traces.iter()) {
         rs.trace = rt.clone();
@@ -1499,6 +1666,7 @@ fn build_state(
         total_traffic: trace.total_traffic.clone(),
         routers,
         telemetry: telemetry.checkpoint_state(),
+        alerts,
     }
 }
 
@@ -1629,6 +1797,15 @@ fn merge_chunk(
             rt.traffic.push(t, rec.traffic);
             if let Some(p) = rec.predicted {
                 rt.predicted.push(t, p);
+                // Prediction-accuracy counters for the SLO plane: every
+                // predicted round has wall truth in hand; a miss is a
+                // relative error outside the tolerance band. Both are
+                // deterministic (same records ⇒ same counts) and feed
+                // the `prediction_error_burn` burn-rate rule.
+                metrics.predictions.inc();
+                if (p - rec.wall).abs() > PREDICTION_ERROR_TOLERANCE * rec.wall.abs().max(1.0) {
+                    metrics.prediction_errors.inc();
+                }
             }
         }
 

@@ -122,16 +122,10 @@ fn run_chunked(shards: usize) -> (FleetTrace, Arc<Telemetry>) {
     (outcome.trace, telemetry)
 }
 
-/// The one nondeterministic metric: round span timing measures wall-clock
-/// seconds, so its histogram differs run to run by construction. Strip it
-/// before comparing snapshots.
-fn stable_prometheus(t: &Telemetry) -> String {
-    t.render_prometheus()
-        .lines()
-        .filter(|l| !l.contains("fleet_poll_round_duration_seconds"))
-        .collect::<Vec<_>>()
-        .join("\n")
-}
+// Metric snapshot minus the sanctioned off-surface series (wall-clock
+// timing and feature-only planes), via the shared exclusion list in
+// `fj_telemetry::OFF_SURFACE_METRICS`.
+use fj_telemetry::stable_prometheus;
 
 /// The causal span stream projected onto its deterministic content. Wall
 /// stamps are the sanctioned nondeterminism (they measure real elapsed

@@ -6,28 +6,28 @@
 //!
 //! The profiler's registry series (`fleet_parallel_efficiency`,
 //! `fleet_merge_fraction`, `fleet_progress_rounds_per_sec`,
-//! `fleet_shard_busy_seconds`) are wall-clock-derived and excluded from
-//! the comparison by name, exactly like the recovery counters in
-//! `recovery.rs` — they exist only when the profiler is on and *should*
-//! differ between otherwise identical runs. Everything else must not.
+//! `fleet_shard_busy_seconds`, `fleet_pool_dispatch_wait_seconds`) are
+//! wall-clock-derived and excluded from the comparison by name via the
+//! shared `fj_telemetry::OFF_SURFACE_METRICS` list, exactly like the
+//! recovery counters in `recovery.rs` — they exist only when the
+//! profiler is on and *should* differ between otherwise identical runs.
+//! Everything else must not.
 
 use std::sync::Arc;
 
 use fj_faults::FaultPlan;
 use fj_isp::trace::{collect_streaming, StreamConfig, StreamOutcome};
 use fj_isp::{build_fleet, EventKind, FleetConfig, ScheduledEvent};
-use fj_telemetry::Telemetry;
+use fj_telemetry::{stable_prometheus, Telemetry};
 use fj_units::{SimDuration, SimInstant, Watts};
 
-/// Registry series that legitimately differ between profiled and
-/// unprofiled runs: wall-derived profiler series (present only when the
-/// profiler is on) and the wall-clock round-duration histogram.
-const EXCLUDED: [&str; 5] = [
-    "fleet_poll_round_duration_seconds",
+/// The profiler-only series: present exactly when profiling is on.
+const PROFILER_SERIES: [&str; 5] = [
     "fleet_parallel_efficiency",
     "fleet_merge_fraction",
     "fleet_progress_rounds_per_sec",
     "fleet_shard_busy_seconds",
+    "fleet_pool_dispatch_wait_seconds",
 ];
 
 /// A two-day chunked run over a small fleet with drops and a mid-run
@@ -63,15 +63,6 @@ fn run(shards: usize, profile: bool) -> (StreamOutcome, Arc<Telemetry>) {
     )
     .expect("collection succeeds");
     (outcome, telemetry)
-}
-
-/// Prometheus text minus the series that are wall-derived by design.
-fn stable_prometheus(t: &Telemetry) -> String {
-    t.render_prometheus()
-        .lines()
-        .filter(|l| !EXCLUDED.iter().any(|name| l.contains(name)))
-        .collect::<Vec<_>>()
-        .join("\n")
 }
 
 /// Span stream projected onto its deterministic content (wall stamps are
@@ -128,14 +119,14 @@ fn profiler_adds_nothing_to_the_deterministic_surface() {
         // run's exposition carries none of them, so existing callers see
         // a byte-identical registry.
         let off_prom = off_tel.render_prometheus();
-        for name in &EXCLUDED[1..] {
+        for name in &PROFILER_SERIES {
             assert!(
                 !off_prom.contains(name),
                 "{name} leaked into an unprofiled run"
             );
         }
         let on_prom = on_tel.render_prometheus();
-        for name in &EXCLUDED[1..] {
+        for name in &PROFILER_SERIES {
             assert!(on_prom.contains(name), "{name} missing from a profiled run");
         }
 

@@ -97,20 +97,11 @@ fn checkpointed(shards: usize, dir: &Path) -> StreamConfig {
     }
 }
 
-/// Metric state minus the sanctioned nondeterminism: wall-clock round
-/// timing, plus the recovery-only counters — an interrupted run *should*
-/// differ there, and only there.
-fn stable_prometheus(t: &Telemetry) -> String {
-    t.render_prometheus()
-        .lines()
-        .filter(|l| {
-            !l.contains("fleet_poll_round_duration_seconds")
-                && !l.contains("fleet_recoveries_total")
-                && !l.contains("fleet_checkpoints_rejected_total")
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
-}
+// Metric state minus the sanctioned nondeterminism — wall-clock round
+// timing plus the recovery-only counters (an interrupted run *should*
+// differ there, and only there) — via the shared exclusion list in
+// `fj_telemetry::OFF_SURFACE_METRICS`.
+use fj_telemetry::stable_prometheus;
 
 /// The causal span stream projected onto its deterministic content
 /// (wall stamps measure real elapsed time and are excluded).

@@ -28,7 +28,7 @@ use crate::rules::fj04::Registration;
 use crate::suppress::Pragma;
 
 /// Bump on any change to rules, the lexer, or the symbol pass.
-pub const RULESET_VERSION: u32 = 1;
+pub const RULESET_VERSION: u32 = 2;
 
 /// Everything the per-file stage produces; the unit of caching.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -228,7 +228,7 @@ fn static_rule(id: &str) -> Option<&'static str> {
 }
 
 fn static_kind(kind: &str) -> Option<&'static str> {
-    ["counter", "gauge", "histogram", "span"]
+    ["counter", "gauge", "histogram", "span", "alert"]
         .into_iter()
         .find(|k| *k == kind)
 }

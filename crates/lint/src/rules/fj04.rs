@@ -11,7 +11,9 @@
 //! "Metric catalogue" section. Causal trace spans carry the same
 //! contract: every literal name passed to `TraceSink::begin_span` or
 //! `StageSpan::begin` must be snake_case and listed in DESIGN.md's
-//! "Span catalogue" section, and vice versa.
+//! "Span catalogue" section, and vice versa. Alert rules are the third
+//! catalogued namespace: every literal name passed to `AlertRule::new`
+//! must be snake_case and listed in DESIGN.md's "Alert catalogue".
 
 use super::{find_all, FileCtx};
 use crate::findings::Finding;
@@ -23,7 +25,7 @@ use crate::workspace::FileClass;
 pub struct Registration {
     /// The metric name literal.
     pub name: String,
-    /// `counter` / `gauge` / `histogram`.
+    /// `counter` / `gauge` / `histogram` / `span` / `alert`.
     pub kind: &'static str,
     /// File and line of the registration.
     pub file: String,
@@ -39,7 +41,19 @@ const KINDS: &[(&str, &str)] = &[
     // spans share one catalogued namespace.
     (".begin_span(", "span"),
     ("StageSpan::begin(", "span"),
+    // Alert rules: the name is the first argument of the constructor and
+    // the key a pager/dashboard shows, so it shares the naming contract.
+    ("AlertRule::new(", "alert"),
 ];
+
+/// The catalogue namespace a registration kind belongs to.
+fn noun_of(kind: &str) -> &'static str {
+    match kind {
+        "span" => "span",
+        "alert" => "alert",
+        _ => "metric",
+    }
+}
 
 /// Per-file half: naming-convention findings. Use [`collect`] for the
 /// registrations themselves (the driver cross-checks them globally).
@@ -56,7 +70,7 @@ pub fn check_names(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             problems.push("duration histogram must end `_seconds`".to_owned());
         }
         for problem in problems {
-            let noun = if reg.kind == "span" { "span" } else { "metric" };
+            let noun = noun_of(reg.kind);
             out.push(Finding {
                 rule: "FJ04",
                 file: reg.file.clone(),
@@ -107,7 +121,8 @@ pub fn collect(ctx: &FileCtx<'_>) -> Vec<Registration> {
 
 /// Cross-checks collected registrations against the DESIGN.md
 /// catalogues — metrics against "Metric catalogue", spans against
-/// "Span catalogue" — in both directions: code names missing from the
+/// "Span catalogue", alerts against "Alert catalogue" — in both
+/// directions: code names missing from the
 /// catalogue, and catalogue names never registered anywhere in the tree
 /// (the caller supplies `all_source`, a concatenation of every
 /// non-vendor file, so names used only from tests or experiment binaries
@@ -118,16 +133,13 @@ pub fn check_catalogue(
     all_source: &str,
     out: &mut Vec<Finding>,
 ) {
-    let halves = [
+    let thirds = [
         ("metric", "Metric catalogue", catalogue_names(design)),
         ("span", "Span catalogue", span_catalogue_names(design)),
+        ("alert", "Alert catalogue", alert_catalogue_names(design)),
     ];
-    for (noun, section, catalogued) in &halves {
-        let is_span = *noun == "span";
-        for reg in registrations
-            .iter()
-            .filter(|r| (r.kind == "span") == is_span)
-        {
+    for (noun, section, catalogued) in &thirds {
+        for reg in registrations.iter().filter(|r| noun_of(r.kind) == *noun) {
             if !catalogued.iter().any(|(n, _)| n == &reg.name) {
                 out.push(Finding {
                     rule: "FJ04",
@@ -169,6 +181,12 @@ pub fn catalogue_names(design: &str) -> Vec<(String, usize)> {
 /// section, with their line numbers.
 pub fn span_catalogue_names(design: &str) -> Vec<(String, usize)> {
     section_names(design, "Span catalogue")
+}
+
+/// Parses the backticked alert names out of DESIGN.md's
+/// "Alert catalogue" section, with their line numbers.
+pub fn alert_catalogue_names(design: &str) -> Vec<(String, usize)> {
+    section_names(design, "Alert catalogue")
 }
 
 /// Backticked snake_case names inside the `###` section whose heading

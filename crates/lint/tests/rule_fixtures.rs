@@ -277,6 +277,76 @@ fn fj04_span_catalogue_checks_both_directions() {
 }
 
 #[test]
+fn fj04_alert_naming_fires_and_suppresses() {
+    let fired = "fn pack() -> AlertRule { AlertRule::new(\"GapSLO\", Severity::Page, expr()) }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, fired);
+    assert_eq!(rules_of(&findings), ["FJ04"]);
+    assert!(
+        findings[0].message.contains("alert `GapSLO`"),
+        "message must name the alert: {findings:?}"
+    );
+
+    // Alerts carry no `_total` / `_seconds` suffix rule — a snake_case
+    // name is convention-clean.
+    let clean = "fn pack() -> AlertRule { AlertRule::new(\"gap_slo\", Severity::Page, expr()) }\n";
+    let (findings, _) = lint(LIB, FileClass::Library, clean);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+
+    let suppressed = "fn pack() -> AlertRule {\n\
+         \x20   // fj-lint: allow(FJ04) — matches the upstream pager's routing key\n\
+         \x20   AlertRule::new(\"GapSLO\", Severity::Page, expr())\n\
+         }\n";
+    let (findings, n) = lint(LIB, FileClass::Library, suppressed);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn fj04_alert_catalogue_checks_both_directions() {
+    let ctx_src = "fn pack() -> Vec<AlertRule> {\n\
+         \x20   vec![AlertRule::new(\"gap_rate_slo\", Severity::Page, expr())]\n\
+         }\n";
+    let spans = lexer::lex(ctx_src);
+    let code = lexer::code_only(ctx_src, &spans);
+    let ctx = FileCtx {
+        rel: LIB,
+        class: FileClass::Library,
+        surface: Surface::Deterministic,
+        shard_adjacent: false,
+        src: ctx_src,
+        spans: &spans,
+        code: &code,
+        test_regions: &[],
+    };
+    let regs = rules::fj04::collect(&ctx);
+    assert_eq!(regs.len(), 1, "alert registration collects: {regs:?}");
+    assert_eq!(regs[0].kind, "alert");
+
+    // The metric catalogue must NOT absorb alert names, and a catalogued
+    // alert registered nowhere is a dead row against DESIGN.md.
+    let design = "### Metric catalogue\n\n| `gap_rate_slo` | wrong section |\n\n\
+                  ### Alert catalogue\n\n| `ghost_alert` | never registered |\n";
+    let mut out = Vec::new();
+    rules::fj04::check_catalogue(&regs, design, ctx_src, &mut out);
+    assert!(
+        out.iter()
+            .any(|f| f.file == LIB && f.message.contains("alert `gap_rate_slo`")),
+        "alert missing from alert catalogue not flagged: {out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|f| f.file == "DESIGN.md" && f.message.contains("alert `ghost_alert`")),
+        "dead alert catalogue row not flagged: {out:?}"
+    );
+
+    // A design listing the alert in the alert catalogue is clean.
+    let design = "### Alert catalogue\n\n| `gap_rate_slo` | gap-rate SLO burn |\n";
+    let mut out = Vec::new();
+    rules::fj04::check_catalogue(&regs, design, ctx_src, &mut out);
+    assert!(out.is_empty(), "unexpected: {out:?}");
+}
+
+#[test]
 fn fj05_swallowed_io_fires_and_suppresses() {
     let fired = "fn beat(s: &UdpSocket, b: &[u8]) { let _ = s.send_to(b, ADDR); }\n";
     let (findings, _) = lint(LIB, FileClass::Library, fired);

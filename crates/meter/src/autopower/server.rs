@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use fj_alerts::{AlertEngine, AlertRule, AlertTransition};
 use fj_faults::FaultPlan;
 use fj_telemetry::{Counter, Level, Telemetry, WallEpoch};
 use fj_units::{SimDuration, SimInstant, TimeSeries};
@@ -108,6 +109,10 @@ impl Default for UnitStore {
 #[derive(Default)]
 struct Shared {
     units: Mutex<BTreeMap<String, UnitStore>>,
+    /// Optional alert engine, evaluated after every processed upload
+    /// frame (the default pack's `autopower_sample_loss` rule watches
+    /// the `autopower_samples_lost_total` counter).
+    alerts: Mutex<Option<AlertEngine>>,
 }
 
 /// Fault-injection context shared by all connection workers.
@@ -246,6 +251,34 @@ impl AutopowerServer {
     /// Address clients should dial.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Attaches an alert rule pack (e.g. [`fj_alerts::default_pack`]).
+    /// The engine evaluates after every processed upload frame at the
+    /// bundle's sim clock; firing rules emit `alerts` events and trip
+    /// the flight recorder if armed.
+    pub fn set_alert_rules(&self, rules: Vec<AlertRule>) {
+        *self.shared.alerts.lock() = Some(AlertEngine::new(rules));
+    }
+
+    /// Names of the rules currently firing (empty without an engine).
+    pub fn alerts_firing(&self) -> Vec<String> {
+        self.shared
+            .alerts
+            .lock()
+            .as_ref()
+            .map(|e| e.firing().iter().map(|&n| n.to_owned()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The verdict stream so far (empty without an engine).
+    pub fn alert_transitions(&self) -> Vec<AlertTransition> {
+        self.shared
+            .alerts
+            .lock()
+            .as_ref()
+            .map(|e| e.transitions().to_vec())
+            .unwrap_or_default()
     }
 
     /// Sets whether `unit_id` should be measuring; delivered on its next
@@ -490,6 +523,10 @@ fn serve_connection(
                     );
                 }
                 telemetry.tracer().end_span(frame_span, telemetry.now());
+                if let Some(engine) = shared.alerts.lock().as_mut() {
+                    let now = telemetry.now();
+                    engine.eval_and_trip(&telemetry, now);
+                }
                 write_message(&mut writer, &reply)?;
             }
             Ok(_) => { /* ignore unexpected message types */ }

@@ -50,6 +50,7 @@ impl Default for AgentConfig {
 pub struct SnmpAgent {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    unplugged: Arc<AtomicBool>,
     requests_seen: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
@@ -93,6 +94,8 @@ impl SnmpAgent {
         socket.set_read_timeout(Some(config.read_timeout))?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let unplugged = Arc::new(AtomicBool::new(false));
+        let thread_unplugged = Arc::clone(&unplugged);
         let requests_seen = Arc::new(AtomicU64::new(0));
         let thread_seen = Arc::clone(&requests_seen);
         let registry = config.telemetry.registry();
@@ -121,6 +124,12 @@ impl SnmpAgent {
                 };
                 if len == 0 {
                     // Zero-byte wakeup datagram from shutdown.
+                    continue;
+                }
+                // fj-lint: allow(FJ09) — unplug latch read: while set, the
+                // datagram is treated as never having arrived (no fault-plan
+                // index, no request counter), exactly like a pulled cable.
+                if thread_unplugged.load(Ordering::Relaxed) {
                     continue;
                 }
                 let index = request_index;
@@ -167,9 +176,33 @@ impl SnmpAgent {
         Ok(SnmpAgent {
             addr,
             stop,
+            unplugged,
             requests_seen,
             thread: Some(thread),
         })
+    }
+
+    /// Simulates pulling the agent's network cable: every inbound
+    /// datagram is silently discarded — it consumes no fault-plan index
+    /// and no request counter, indistinguishable from wire loss — until
+    /// [`SnmpAgent::replug`]. Chaos soaks use this to drive a target
+    /// through the poller's health ladder and back.
+    pub fn unplug(&self) {
+        // fj-lint: allow(FJ09) — latch store; the receive loop observes it
+        // at worst one datagram late, which is within wire-loss semantics.
+        self.unplugged.store(true, Ordering::Relaxed);
+    }
+
+    /// Reconnects an [`SnmpAgent::unplug`]ged agent.
+    pub fn replug(&self) {
+        // fj-lint: allow(FJ09) — latch store, see `unplug`.
+        self.unplugged.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the simulated cable is currently pulled.
+    pub fn is_unplugged(&self) -> bool {
+        // fj-lint: allow(FJ09) — latch read, see `unplug`.
+        self.unplugged.load(Ordering::Relaxed)
     }
 
     /// The agent's UDP address.

@@ -6,6 +6,7 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::Duration;
 
+use fj_alerts::{AlertEngine, AlertRule};
 use fj_faults::{Backoff, HealthState, TargetHealth};
 use fj_telemetry::{Counter, Histogram, Level, SpanTimer, Telemetry, WallDeadline, WallEpoch};
 
@@ -82,6 +83,7 @@ pub struct SnmpPoller {
     health_thresholds: (u32, u32, Duration),
     telemetry: Arc<Telemetry>,
     metrics: PollerMetrics,
+    alerts: Option<AlertEngine>,
 }
 
 impl SnmpPoller {
@@ -107,7 +109,23 @@ impl SnmpPoller {
             health_thresholds: (3, 8, Duration::from_secs(5)),
             telemetry,
             metrics,
+            alerts: None,
         })
+    }
+
+    /// Attaches an alert rule pack (e.g. [`fj_alerts::default_pack`],
+    /// whose `snmp_target_unhealthy` rule mirrors the health ladder).
+    /// The engine evaluates after every completed poll round-trip at the
+    /// bundle's sim clock; firing rules emit `alerts` events and trip
+    /// the flight recorder if armed.
+    pub fn set_alert_rules(&mut self, rules: Vec<AlertRule>) {
+        self.alerts = Some(AlertEngine::new(rules));
+    }
+
+    /// The attached alert engine, if any — its transition log is the
+    /// poller's verdict stream.
+    pub fn alerts(&self) -> Option<&AlertEngine> {
+        self.alerts.as_ref()
     }
 
     /// Overrides the health-ladder thresholds applied to targets first
@@ -228,9 +246,12 @@ impl SnmpPoller {
                 ("to", to.label().to_owned()),
             ],
         );
-        if from == HealthState::Healthy && to != HealthState::Healthy {
+        if from == HealthState::Healthy && to != HealthState::Healthy && self.alerts.is_none() {
             // A target leaving Healthy is a flight-recorder trigger: the
             // armed recorder (if any) dumps the recent span+event rings.
+            // With an alert engine attached the paired rule owns the trip
+            // instead (the recorder latches on its first trip, and the
+            // rule-annotated dump is the more diagnostic one).
             let _ = self.telemetry.trip_flight_recorder(
                 "snmp target health ladder left healthy",
                 &[("target", target), ("to", to.label().to_owned())],
@@ -311,6 +332,10 @@ impl SnmpPoller {
             if after != before {
                 self.record_transition(agent, before, after);
             }
+        }
+        if let Some(engine) = &mut self.alerts {
+            let now = self.telemetry.now();
+            engine.eval_and_trip(&self.telemetry, now);
         }
         result
     }

@@ -62,6 +62,62 @@ pub use trace::{Span, SpanBuffer, SpanId, SpanRecord, StageSpan, TraceSink};
 
 use flightrec::FlightRecorder;
 
+/// Metric series that live off the base FJ01 deterministic surface.
+///
+/// Two families, one list:
+///
+/// * **wall-derived** series (poll-round timing, the profiler plane)
+///   measure the host, not the simulation, and legitimately differ
+///   between byte-identical runs;
+/// * **conditional** series (the recovery counters that vary with the
+///   kill/resume schedule, the alert plane registered only when
+///   `StreamConfig::alerts` is set) are deterministic *given their
+///   feature configuration* but absent from plain runs.
+///
+/// Determinism suites comparing telemetry across shard counts, crash
+/// schedules, or feature toggles filter these names with
+/// [`stable_prometheus`] instead of hand-rolling per-test lists.
+/// `fleet_checkpoints_written_total` is deliberately **not** here: the
+/// checkpoint cadence is part of the deterministic contract and stays
+/// under comparison.
+pub const OFF_SURFACE_METRICS: &[&str] = &[
+    // Wall-derived poll timing (always registered).
+    "fleet_poll_round_duration_seconds",
+    // Recovery plane: counts depend on the kill/resume schedule.
+    "fleet_recoveries_total",
+    "fleet_checkpoints_rejected_total",
+    // Profiler plane (wall-derived, `StreamConfig::profile` only).
+    "fleet_parallel_efficiency",
+    "fleet_merge_fraction",
+    "fleet_progress_rounds_per_sec",
+    "fleet_shard_busy_seconds",
+    "fleet_pool_dispatch_wait_seconds",
+    // Alert plane (`StreamConfig::alerts` only; the verdict stream
+    // itself is deterministic and compared separately).
+    "fleet_alerts_firing",
+    "fleet_alerts_pending",
+    "fleet_alert_transitions_total",
+    "fleet_alert_evals_total",
+];
+
+/// Whether a Prometheus exposition line belongs to an
+/// [`OFF_SURFACE_METRICS`] series.
+pub fn is_off_surface_line(line: &str) -> bool {
+    OFF_SURFACE_METRICS.iter().any(|name| line.contains(name))
+}
+
+/// The Prometheus exposition with every off-surface series filtered
+/// out — the byte-comparable rendering the FJ01 suites diff across
+/// shard counts, chunk sizes, crash schedules, and feature toggles.
+pub fn stable_prometheus(telemetry: &Telemetry) -> String {
+    telemetry
+        .render_prometheus()
+        .lines()
+        .filter(|line| !is_off_surface_line(line))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// Metrics, events, causal traces, and the sim clock they are stamped
 /// with.
 pub struct Telemetry {
